@@ -1,0 +1,36 @@
+//! Raw throughput of the from-scratch MAC implementations (the primitive
+//! behind Figures 6 and 8): bytes per second of SHA-256, HMAC-SHA256 and
+//! keyed BLAKE2s on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use erasmus_crypto::{Blake2s, Digest, HmacSha256, MacAlgorithm, Sha256};
+
+fn bench_mac_throughput(c: &mut Criterion) {
+    let key = [0x42u8; 32];
+    let mut group = c.benchmark_group("mac_throughput");
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("SHA-256", size), &data, |b, data| {
+            b.iter(|| std::hint::black_box(Sha256::digest(data)))
+        });
+        group.bench_with_input(BenchmarkId::new("HMAC-SHA256", size), &data, |b, data| {
+            b.iter(|| std::hint::black_box(HmacSha256::mac(&key, data)))
+        });
+        group.bench_with_input(BenchmarkId::new("Keyed BLAKE2s", size), &data, |b, data| {
+            b.iter(|| std::hint::black_box(Blake2s::keyed_mac(&key, data)))
+        });
+    }
+    group.finish();
+
+    // Tag verification cost (constant-time comparison path).
+    c.bench_function("mac_throughput/verify_1KiB", |b| {
+        let data = vec![0x11u8; 1024];
+        let tag = MacAlgorithm::HmacSha256.mac(&key, &data);
+        b.iter(|| std::hint::black_box(MacAlgorithm::HmacSha256.verify(&key, &data, &tag)))
+    });
+}
+
+criterion_group!(benches, bench_mac_throughput);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Section 4.1 hardware cost: FPGA registers and look-up tables.
+
+use erasmus_hw::HardwareCost;
+
+/// Renders the register/LUT comparison of Section 4.1.
+pub fn render() -> String {
+    let cost = HardwareCost::openmsp430_erasmus();
+    format!(
+        "Hardware cost (OpenMSP430 synthesis, Section 4.1)\n\
+         registers: {} vs {} baseline (+{:.1}%)\n\
+         look-up tables: {} vs {} baseline (+{:.1}%)\n\
+         (identical for ERASMUS and on-demand attestation)\n",
+        cost.registers(),
+        cost.baseline_registers(),
+        cost.register_overhead_percent(),
+        cost.luts(),
+        cost.baseline_luts(),
+        cost.lut_overhead_percent(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_paper_numbers() {
+        let text = render();
+        assert!(text.contains("655 vs 579"));
+        assert!(text.contains("1969 vs 1731"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Figures 6 and 8: measurement run-time versus memory size.
+
+use erasmus_crypto::MacAlgorithm;
+use erasmus_hw::{CostModel, DeviceProfile};
+
+/// Which attestation mode a curve belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Classic on-demand attestation (request authentication + measurement).
+    OnDemand,
+    /// ERASMUS self-measurement (no request authentication).
+    Erasmus,
+}
+
+impl Mode {
+    /// Label used in the figures' legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::OnDemand => "On-demand",
+            Mode::Erasmus => "ERASMUS",
+        }
+    }
+}
+
+/// One point of a run-time curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimePoint {
+    /// Measured memory size in bytes.
+    pub memory_bytes: usize,
+    /// Measurement run-time in seconds.
+    pub seconds: f64,
+}
+
+/// One curve of Figure 6 / Figure 8.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSeries {
+    /// Which mode the curve belongs to.
+    pub mode: Mode,
+    /// Which MAC the curve uses.
+    pub mac: MacAlgorithm,
+    /// The sampled points, in increasing memory size.
+    pub points: Vec<RuntimePoint>,
+}
+
+fn series_for(profile: &DeviceProfile, sizes: &[usize]) -> Vec<RuntimeSeries> {
+    let cost = CostModel::new(profile);
+    let mut series = Vec::new();
+    for mac in [MacAlgorithm::HmacSha256, MacAlgorithm::KeyedBlake2s] {
+        for mode in [Mode::OnDemand, Mode::Erasmus] {
+            let points = sizes
+                .iter()
+                .map(|&memory_bytes| {
+                    let duration = match mode {
+                        Mode::Erasmus => cost.measurement(memory_bytes, mac),
+                        Mode::OnDemand => {
+                            cost.verify_request(mac) + cost.measurement(memory_bytes, mac)
+                        }
+                    };
+                    RuntimePoint { memory_bytes, seconds: duration.as_secs_f64() }
+                })
+                .collect();
+            series.push(RuntimeSeries { mode, mac, points });
+        }
+    }
+    series
+}
+
+/// Figure 6: the MSP430 @ 8 MHz sweep from 0 to 10 KB.
+pub fn figure6() -> Vec<RuntimeSeries> {
+    let sizes: Vec<usize> = (0..=10).map(|kb| kb * 1024).collect();
+    series_for(&DeviceProfile::msp430_8mhz(10 * 1024), &sizes)
+}
+
+/// Figure 8: the i.MX6 Sabre Lite @ 1 GHz sweep from 0 to 10 MB.
+pub fn figure8() -> Vec<RuntimeSeries> {
+    let sizes: Vec<usize> = (0..=10).map(|mb| mb * 1024 * 1024).collect();
+    series_for(&DeviceProfile::imx6_sabre_lite(10 * 1024 * 1024), &sizes)
+}
+
+/// Renders a figure's series as an aligned text table (memory on rows,
+/// one column per curve).
+pub fn render(title: &str, series: &[RuntimeSeries], unit_bytes: usize, unit_label: &str) -> String {
+    let mut out = format!("{title}\n{:<12}", format!("Mem ({unit_label})"));
+    for s in series {
+        out.push_str(&format!(" | {:>26}", format!("{} ({})", s.mode.label(), s.mac.paper_name())));
+    }
+    out.push('\n');
+    let rows = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..rows {
+        let memory = series[0].points[i].memory_bytes;
+        out.push_str(&format!("{:<12}", memory / unit_bytes));
+        for s in series {
+            out.push_str(&format!(" | {:>26}", crate::fmt_seconds(s.points[i].seconds)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_has_four_curves_of_eleven_points() {
+        let series = figure6();
+        assert_eq!(series.len(), 4);
+        assert!(series.iter().all(|s| s.points.len() == 11));
+    }
+
+    #[test]
+    fn figure6_runtime_is_linear_and_matches_headline() {
+        let series = figure6();
+        let erasmus_sha256 = series
+            .iter()
+            .find(|s| s.mode == Mode::Erasmus && s.mac == MacAlgorithm::HmacSha256)
+            .expect("curve exists");
+        // ~7 s at 10 KB (Section 5 / Figure 6).
+        let at_10kb = erasmus_sha256.points.last().expect("point").seconds;
+        assert!((at_10kb - 7.0).abs() < 0.2, "{at_10kb}");
+        // Monotonically increasing.
+        for pair in erasmus_sha256.points.windows(2) {
+            assert!(pair[1].seconds > pair[0].seconds);
+        }
+    }
+
+    #[test]
+    fn figure6_on_demand_roughly_equals_erasmus() {
+        let series = figure6();
+        let erasmus = series
+            .iter()
+            .find(|s| s.mode == Mode::Erasmus && s.mac == MacAlgorithm::HmacSha256)
+            .expect("curve");
+        let on_demand = series
+            .iter()
+            .find(|s| s.mode == Mode::OnDemand && s.mac == MacAlgorithm::HmacSha256)
+            .expect("curve");
+        let e = erasmus.points.last().expect("point").seconds;
+        let o = on_demand.points.last().expect("point").seconds;
+        assert!(o > e, "on-demand pays for request authentication");
+        assert!((o - e) / e < 0.05, "but the curves are roughly equal: {e} vs {o}");
+    }
+
+    #[test]
+    fn figure8_matches_table2_measurement_time() {
+        let series = figure8();
+        let blake = series
+            .iter()
+            .find(|s| s.mode == Mode::Erasmus && s.mac == MacAlgorithm::KeyedBlake2s)
+            .expect("curve");
+        let at_10mb = blake.points.last().expect("point").seconds;
+        assert!((at_10mb - 0.2856).abs() < 0.002, "{at_10mb}");
+        // HMAC-SHA256 stays under the figure's 0.6 s axis.
+        let sha = series
+            .iter()
+            .find(|s| s.mode == Mode::OnDemand && s.mac == MacAlgorithm::HmacSha256)
+            .expect("curve");
+        assert!(sha.points.last().expect("point").seconds < 0.6);
+    }
+
+    #[test]
+    fn blake2s_is_the_faster_curve_on_both_figures() {
+        for series in [figure6(), figure8()] {
+            let blake = series
+                .iter()
+                .find(|s| s.mode == Mode::Erasmus && s.mac == MacAlgorithm::KeyedBlake2s)
+                .expect("curve");
+            let sha = series
+                .iter()
+                .find(|s| s.mode == Mode::Erasmus && s.mac == MacAlgorithm::HmacSha256)
+                .expect("curve");
+            assert!(
+                blake.points.last().expect("p").seconds < sha.points.last().expect("p").seconds
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_curves() {
+        let text = render("Figure 6", &figure6(), 1024, "KB");
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("On-demand (HMAC-SHA256)"));
+        assert!(text.contains("ERASMUS (Keyed BLAKE2S)"));
+        assert!(text.lines().count() >= 13);
+    }
+}

@@ -1,0 +1,221 @@
+//! Scheduling ablations: regular vs irregular intervals against
+//! schedule-aware malware (Section 3.5), and lenient scheduling for
+//! time-critical tasks (Section 5).
+
+use erasmus_core::{
+    CollectionRequest, DeviceId, Prover, ProverConfig, ScheduleKind, Verifier,
+};
+use erasmus_crypto::MacAlgorithm;
+use erasmus_hw::{DeviceKey, DeviceProfile};
+use erasmus_sim::{SimDuration, SimRng, SimTime};
+
+/// Result of the schedule-aware-malware ablation for one schedule policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleAblationPoint {
+    /// Human-readable schedule name.
+    pub schedule: String,
+    /// Fraction of trials in which the schedule-aware malware was caught by
+    /// at least one measurement.
+    pub detection_rate: f64,
+}
+
+/// Simulates schedule-aware mobile malware against a prover using the given
+/// schedule.
+///
+/// The malware knows the *nominal* `T_M` and the phase of the regular
+/// schedule, enters right after each expected measurement and leaves just
+/// before the next one. Against a regular schedule it always escapes;
+/// against the CSPRNG-driven irregular schedule it gets caught whenever an
+/// unpredictable measurement lands inside its dwell window.
+pub fn schedule_aware_malware_detection(
+    schedule: ScheduleKind,
+    trials: usize,
+    seed: u64,
+) -> ScheduleAblationPoint {
+    let t_m = SimDuration::from_secs(10);
+    let horizon = SimTime::from_secs(200);
+    let mut rng = SimRng::seed_from(seed);
+    let mut detected = 0usize;
+
+    for trial in 0..trials {
+        let key = DeviceKey::derive(b"schedule ablation", trial as u64);
+        let config = ProverConfig::builder()
+            .measurement_interval(t_m)
+            .buffer_slots(64)
+            .schedule(schedule.clone())
+            .build()
+            .expect("valid config");
+        let mut prover = Prover::new(
+            DeviceId::new(trial as u64),
+            DeviceProfile::msp430_8mhz(1024),
+            key.clone(),
+            config,
+        )
+        .expect("provisioning");
+        let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
+        verifier.learn_reference_image(prover.mcu().app_memory());
+
+        // The malware believes measurements happen at k * T_M. It enters
+        // shortly after each expected instant and leaves before the next,
+        // with a small random jitter so trials differ.
+        let mut caught = false;
+        let mut window_start = SimTime::from_secs(10);
+        while window_start < horizon {
+            let enter = window_start + SimDuration::from_millis(500 + rng.gen_range(0, 500));
+            let leave = window_start + t_m - SimDuration::from_millis(500 + rng.gen_range(0, 500));
+            prover.run_until(enter).expect("measurements");
+            prover.mcu_mut().write_app_memory(0, b"schedule-aware malware").expect("infect");
+            prover.run_until(leave).expect("measurements");
+            // Restore the original contents (cover tracks).
+            prover.mcu_mut().write_app_memory(0, &[0u8; 22]).expect("restore");
+            window_start = window_start + t_m;
+        }
+        prover.run_until(horizon).expect("measurements");
+        let response = prover.handle_collection(&CollectionRequest::all(), horizon);
+        if let Ok(report) = verifier.verify_collection(&response, horizon) {
+            caught = report.verdict().indicates_compromise();
+        }
+        if caught {
+            detected += 1;
+        }
+    }
+
+    ScheduleAblationPoint {
+        schedule: schedule.to_string(),
+        detection_rate: detected as f64 / trials as f64,
+    }
+}
+
+/// Runs the regular-vs-irregular ablation.
+pub fn schedule_ablation(trials: usize, seed: u64) -> Vec<ScheduleAblationPoint> {
+    vec![
+        schedule_aware_malware_detection(ScheduleKind::Regular, trials, seed),
+        schedule_aware_malware_detection(
+            ScheduleKind::Irregular {
+                lower: SimDuration::from_secs(5),
+                upper: SimDuration::from_secs(15),
+            },
+            trials,
+            seed,
+        ),
+    ]
+}
+
+/// Result of the lenient-scheduling experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LenientPoint {
+    /// The window factor `w`.
+    pub window_factor: f64,
+    /// Measurements actually taken over the run.
+    pub measurements_taken: u64,
+    /// Deferrals granted to time-critical tasks.
+    pub deferrals: u64,
+}
+
+/// Simulates a prover whose application raises a time-critical task at every
+/// nominal measurement instant, forcing a deferral when the schedule allows
+/// one (Section 5).
+pub fn lenient_scheduling(window_factors: &[f64]) -> Vec<LenientPoint> {
+    window_factors
+        .iter()
+        .map(|&w| {
+            let config = ProverConfig::builder()
+                .measurement_interval(SimDuration::from_secs(10))
+                .buffer_slots(64)
+                .schedule(ScheduleKind::Lenient { window_factor: w })
+                .build()
+                .expect("valid config");
+            let mut prover = Prover::new(
+                DeviceId::new(0),
+                DeviceProfile::msp430_8mhz(1024),
+                DeviceKey::from_bytes([9u8; 32]),
+                config,
+            )
+            .expect("provisioning");
+            let horizon = SimTime::from_secs(300);
+            loop {
+                let due = prover.next_measurement_due();
+                if due > horizon {
+                    break;
+                }
+                // The application is busy exactly at the nominal instant and
+                // asks for a deferral; when none is available the measurement
+                // happens anyway.
+                if prover.defer_measurement(due).is_none() {
+                    prover.run_until(due).expect("measurement");
+                }
+            }
+            LenientPoint {
+                window_factor: w,
+                measurements_taken: prover.measurements_taken(),
+                deferrals: prover.aborted_measurements(),
+            }
+        })
+        .collect()
+}
+
+/// Renders both ablations.
+pub fn render(trials: usize, seed: u64) -> String {
+    let mut out = String::from("Scheduling ablations\n\n");
+    out.push_str("Schedule-aware mobile malware (enters/leaves around the nominal T_M instants):\n");
+    for point in schedule_ablation(trials, seed) {
+        out.push_str(&format!(
+            "  {:<28} detection rate {:.2}\n",
+            point.schedule, point.detection_rate
+        ));
+    }
+    out.push_str("\nLenient scheduling (time-critical task at every nominal instant, 300 s run):\n");
+    for point in lenient_scheduling(&[1.0, 2.0, 3.0]) {
+        out.push_str(&format!(
+            "  w = {:<4} measurements {}  deferrals {}\n",
+            point.window_factor, point.measurements_taken, point.deferrals
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_schedule_misses_schedule_aware_malware() {
+        let point = schedule_aware_malware_detection(ScheduleKind::Regular, 3, 1);
+        assert_eq!(point.detection_rate, 0.0, "predictable schedule never catches it");
+    }
+
+    #[test]
+    fn irregular_schedule_catches_schedule_aware_malware() {
+        let point = schedule_aware_malware_detection(
+            ScheduleKind::Irregular {
+                lower: SimDuration::from_secs(5),
+                upper: SimDuration::from_secs(15),
+            },
+            3,
+            1,
+        );
+        assert!(
+            point.detection_rate > 0.5,
+            "unpredictable measurements should catch it: {}",
+            point.detection_rate
+        );
+    }
+
+    #[test]
+    fn lenient_window_trades_measurements_for_availability() {
+        let points = lenient_scheduling(&[1.0, 3.0]);
+        // A wider window grants deferrals; measurements still happen at the
+        // window ends, so the count stays close to the nominal schedule.
+        assert_eq!(points[0].deferrals, 0, "w = 1 has no slack");
+        assert!(points[1].deferrals > 0, "w = 3 grants deferrals");
+        assert!(points[1].measurements_taken > 0);
+    }
+
+    #[test]
+    fn render_mentions_both_ablations() {
+        let text = render(1, 2);
+        assert!(text.contains("Schedule-aware"));
+        assert!(text.contains("Lenient scheduling"));
+        assert!(text.contains("w = 3"));
+    }
+}

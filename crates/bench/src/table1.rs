@@ -1,0 +1,113 @@
+//! Table 1: size of the attestation executable.
+
+use erasmus_crypto::MacAlgorithm;
+use erasmus_hw::{CodeSizeModel, RaMode, SecurityArchitecture};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// MAC implementation.
+    pub mac: MacAlgorithm,
+    /// SMART+ on-demand size in KiB (`None` where the paper leaves a blank).
+    pub smart_on_demand_kib: Option<f64>,
+    /// SMART+ ERASMUS size in KiB.
+    pub smart_erasmus_kib: Option<f64>,
+    /// HYDRA on-demand size in KiB.
+    pub hydra_on_demand_kib: Option<f64>,
+    /// HYDRA ERASMUS size in KiB.
+    pub hydra_erasmus_kib: Option<f64>,
+}
+
+/// Produces the three rows of Table 1 from the calibrated code-size model.
+pub fn rows() -> Vec<Table1Row> {
+    let model = CodeSizeModel::calibrated();
+    MacAlgorithm::ALL
+        .iter()
+        .map(|&mac| {
+            let cell = |arch, mode| {
+                model
+                    .executable_size(arch, mode, mac)
+                    .map(|size| size.as_kib())
+            };
+            Table1Row {
+                mac,
+                smart_on_demand_kib: cell(SecurityArchitecture::SmartPlus, RaMode::OnDemand),
+                smart_erasmus_kib: cell(SecurityArchitecture::SmartPlus, RaMode::Erasmus),
+                hydra_on_demand_kib: cell(SecurityArchitecture::Hydra, RaMode::OnDemand),
+                hydra_erasmus_kib: cell(SecurityArchitecture::Hydra, RaMode::Erasmus),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 in the same layout as the paper.
+pub fn render() -> String {
+    let mut out = String::from(
+        "Table 1: Size of Attestation Executable\n\
+         MAC Impl.        | SMART+ On-Demand | SMART+ ERASMUS | HYDRA On-Demand | HYDRA ERASMUS\n",
+    );
+    for row in rows() {
+        let cell = |value: Option<f64>| match value {
+            Some(kib) => format!("{kib:.2}KB"),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<16} | {:>16} | {:>14} | {:>15} | {:>13}\n",
+            row.mac.paper_name(),
+            cell(row.smart_on_demand_kib),
+            cell(row.smart_erasmus_kib),
+            cell(row.hydra_on_demand_kib),
+            cell(row.hydra_erasmus_kib),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_rows_in_table_order() {
+        let rows = rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mac, MacAlgorithm::HmacSha1);
+        assert_eq!(rows[1].mac, MacAlgorithm::HmacSha256);
+        assert_eq!(rows[2].mac, MacAlgorithm::KeyedBlake2s);
+    }
+
+    #[test]
+    fn hmac_sha1_has_no_hydra_entry() {
+        let rows = rows();
+        assert!(rows[0].hydra_on_demand_kib.is_none());
+        assert!(rows[0].hydra_erasmus_kib.is_none());
+        assert!(rows[1].hydra_on_demand_kib.is_some());
+    }
+
+    #[test]
+    fn values_match_paper_within_tolerance() {
+        let rows = rows();
+        let close = |value: Option<f64>, expected: f64| {
+            (value.expect("value present") - expected).abs() < 0.05
+        };
+        assert!(close(rows[0].smart_on_demand_kib, 4.9));
+        assert!(close(rows[0].smart_erasmus_kib, 4.7));
+        assert!(close(rows[1].smart_on_demand_kib, 5.1));
+        assert!(close(rows[1].smart_erasmus_kib, 4.9));
+        assert!(close(rows[1].hydra_on_demand_kib, 231.96));
+        assert!(close(rows[1].hydra_erasmus_kib, 233.84));
+        assert!(close(rows[2].smart_on_demand_kib, 28.9));
+        assert!(close(rows[2].smart_erasmus_kib, 28.7));
+        assert!(close(rows[2].hydra_on_demand_kib, 239.29));
+        assert!(close(rows[2].hydra_erasmus_kib, 241.17));
+    }
+
+    #[test]
+    fn render_contains_every_mac() {
+        let text = render();
+        assert!(text.contains("HMAC-SHA1"));
+        assert!(text.contains("HMAC-SHA256"));
+        assert!(text.contains("Keyed BLAKE2S"));
+        assert!(text.contains("231.96KB"));
+    }
+}

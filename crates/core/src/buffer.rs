@@ -1,0 +1,313 @@
+//! The rolling (windowed/circular) measurement buffer of Section 3.2.
+//!
+//! A fixed section of the prover's **insecure** storage holds the last `n`
+//! measurements. Measurement `M_t` goes into slot `i = ⌊t / T_M⌋ mod n`,
+//! so the schedule is stateless: the slot follows from the RROC timestamp
+//! alone. The verifier is expected to collect often enough that no slot is
+//! overwritten before it has been seen (`T_C ≤ n · T_M`).
+//!
+//! Because the storage is insecure, the buffer deliberately exposes
+//! tampering operations ([`MeasurementBuffer::tamper_delete`],
+//! [`MeasurementBuffer::tamper_replace`], …). Malware can do all of that —
+//! what it cannot do is forge a measurement that verifies under `K`.
+
+use erasmus_sim::{SimDuration, SimTime};
+
+use crate::measurement::Measurement;
+
+/// Rolling buffer of the prover's `n` most recent measurements.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::{Measurement, MeasurementBuffer};
+/// use erasmus_crypto::MacAlgorithm;
+/// use erasmus_sim::{SimDuration, SimTime};
+///
+/// let key = [1u8; 32];
+/// let t_m = SimDuration::from_secs(10);
+/// let mut buffer = MeasurementBuffer::new(4, t_m);
+/// for i in 1..=6u64 {
+///     let t = SimTime::from_secs(i * 10);
+///     buffer.store(Measurement::compute(&key, MacAlgorithm::HmacSha256, t, b"mem"));
+/// }
+/// // Only the last 4 survive; the latest 2 are returned newest-first.
+/// let latest = buffer.latest(2);
+/// assert_eq!(latest[0].timestamp(), SimTime::from_secs(60));
+/// assert_eq!(latest[1].timestamp(), SimTime::from_secs(50));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasurementBuffer {
+    slots: Vec<Option<Measurement>>,
+    measurement_interval: SimDuration,
+    /// Total number of measurements ever stored (including overwritten ones).
+    stored: u64,
+    /// Number of stores that overwrote a not-yet-collected slot.
+    overwrites: u64,
+}
+
+impl MeasurementBuffer {
+    /// Creates a buffer with `slots` entries for a schedule with measurement
+    /// interval `measurement_interval` (`T_M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or `measurement_interval` is zero; both
+    /// would make the slot formula meaningless. Configuration-level
+    /// validation with a proper error happens in
+    /// [`ProverConfig`](crate::ProverConfig).
+    pub fn new(slots: usize, measurement_interval: SimDuration) -> Self {
+        assert!(slots > 0, "buffer must have at least one slot");
+        assert!(
+            !measurement_interval.is_zero(),
+            "measurement interval must be non-zero"
+        );
+        Self {
+            slots: vec![None; slots],
+            measurement_interval,
+            stored: 0,
+            overwrites: 0,
+        }
+    }
+
+    /// Number of slots `n`.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The measurement interval `T_M` the slot formula uses.
+    pub fn measurement_interval(&self) -> SimDuration {
+        self.measurement_interval
+    }
+
+    /// Number of slots currently holding a measurement.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// Whether no measurement has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total measurements stored over the buffer's lifetime.
+    pub fn total_stored(&self) -> u64 {
+        self.stored
+    }
+
+    /// Number of stores that overwrote an existing (uncollected) slot.
+    pub fn overwrites(&self) -> u64 {
+        self.overwrites
+    }
+
+    /// The slot index for a measurement taken at `timestamp`:
+    /// `i = ⌊t / T_M⌋ mod n`.
+    pub fn slot_for(&self, timestamp: SimTime) -> usize {
+        let index = timestamp.as_nanos() / self.measurement_interval.as_nanos();
+        (index % self.slots.len() as u64) as usize
+    }
+
+    /// Stores a measurement in its slot, returning the slot index. Any
+    /// previous occupant is overwritten (that is the "rolling" part).
+    pub fn store(&mut self, measurement: Measurement) -> usize {
+        let slot = self.slot_for(measurement.timestamp());
+        if self.slots[slot].is_some() {
+            self.overwrites += 1;
+        }
+        self.slots[slot] = Some(measurement);
+        self.stored += 1;
+        slot
+    }
+
+    /// Direct read of one slot (the collection code path: no crypto, no
+    /// state change).
+    pub fn slot(&self, index: usize) -> Option<&Measurement> {
+        self.slots.get(index).and_then(|slot| slot.as_ref())
+    }
+
+    /// The `k` most recent measurements, newest first. If fewer than `k` are
+    /// present, returns all of them (the paper clamps `k = n` when a
+    /// verifier over-asks).
+    pub fn latest(&self, k: usize) -> Vec<Measurement> {
+        let mut present: Vec<&Measurement> = self.slots.iter().flatten().collect();
+        present.sort_by_key(|m| std::cmp::Reverse(m.timestamp()));
+        present.into_iter().take(k).cloned().collect()
+    }
+
+    /// All stored measurements, oldest first.
+    pub fn all(&self) -> Vec<Measurement> {
+        let mut present: Vec<&Measurement> = self.slots.iter().flatten().collect();
+        present.sort_by_key(|m| m.timestamp());
+        present.into_iter().cloned().collect()
+    }
+
+    /// The most recent measurement, if any.
+    pub fn most_recent(&self) -> Option<&Measurement> {
+        self.slots.iter().flatten().max_by_key(|m| m.timestamp())
+    }
+
+    /// Largest collection period `T_C` that guarantees no loss:
+    /// `T_C ≤ n · T_M` (Section 3.2).
+    pub fn max_safe_collection_period(&self) -> SimDuration {
+        self.measurement_interval * self.slots.len() as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Tampering API — what malware with write access to insecure storage
+    // can do. None of these can produce a measurement that verifies.
+    // ------------------------------------------------------------------
+
+    /// Deletes every stored measurement (malware covering its tracks).
+    pub fn tamper_clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+
+    /// Deletes the measurement in one slot, if present. Returns whether a
+    /// measurement was removed.
+    pub fn tamper_delete(&mut self, slot: usize) -> bool {
+        match self.slots.get_mut(slot) {
+            Some(entry) => entry.take().is_some(),
+            None => false,
+        }
+    }
+
+    /// Overwrites a slot with an arbitrary (forged) measurement.
+    pub fn tamper_replace(&mut self, slot: usize, forged: Measurement) {
+        if let Some(entry) = self.slots.get_mut(slot) {
+            *entry = Some(forged);
+        }
+    }
+
+    /// Swaps the contents of two slots (re-ordering attack).
+    pub fn tamper_swap(&mut self, a: usize, b: usize) {
+        if a < self.slots.len() && b < self.slots.len() {
+            self.slots.swap(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasmus_crypto::MacAlgorithm;
+
+    const KEY: [u8; 32] = [9u8; 32];
+    const TM: SimDuration = SimDuration::from_secs(10);
+
+    fn m(t_secs: u64) -> Measurement {
+        Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(t_secs), b"mem")
+    }
+
+    #[test]
+    fn slot_formula_matches_paper() {
+        let buffer = MeasurementBuffer::new(12, TM);
+        // i = ⌊t/T_M⌋ mod n
+        assert_eq!(buffer.slot_for(SimTime::from_secs(0)), 0);
+        assert_eq!(buffer.slot_for(SimTime::from_secs(10)), 1);
+        assert_eq!(buffer.slot_for(SimTime::from_secs(119)), 11);
+        assert_eq!(buffer.slot_for(SimTime::from_secs(120)), 0);
+        assert_eq!(buffer.slot_for(SimTime::from_secs(35)), 3);
+    }
+
+    #[test]
+    fn store_and_latest_ordering() {
+        let mut buffer = MeasurementBuffer::new(8, TM);
+        for i in 1..=5u64 {
+            buffer.store(m(i * 10));
+        }
+        assert_eq!(buffer.len(), 5);
+        let latest = buffer.latest(3);
+        assert_eq!(latest.len(), 3);
+        assert_eq!(latest[0].timestamp(), SimTime::from_secs(50));
+        assert_eq!(latest[2].timestamp(), SimTime::from_secs(30));
+        // Asking for more than is present returns everything.
+        assert_eq!(buffer.latest(100).len(), 5);
+        assert_eq!(buffer.most_recent().map(|m| m.timestamp()), Some(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn all_returns_oldest_first() {
+        let mut buffer = MeasurementBuffer::new(8, TM);
+        buffer.store(m(30));
+        buffer.store(m(10));
+        buffer.store(m(20));
+        let timestamps: Vec<u64> = buffer.all().iter().map(|m| m.timestamp().as_nanos() / 1_000_000_000).collect();
+        assert_eq!(timestamps, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn rolling_overwrite_behaviour() {
+        let mut buffer = MeasurementBuffer::new(4, TM);
+        for i in 1..=4u64 {
+            buffer.store(m(i * 10));
+        }
+        assert_eq!(buffer.overwrites(), 0);
+        // Timestamp 50 maps to the same slot as 10 (n = 4), overwriting it.
+        buffer.store(m(50));
+        assert_eq!(buffer.overwrites(), 1);
+        assert_eq!(buffer.len(), 4);
+        assert_eq!(buffer.total_stored(), 5);
+        let timestamps: Vec<u64> = buffer.all().iter().map(|m| m.timestamp().as_secs_f64() as u64).collect();
+        assert_eq!(timestamps, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn max_safe_collection_period() {
+        let buffer = MeasurementBuffer::new(12, TM);
+        assert_eq!(buffer.max_safe_collection_period(), SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn empty_buffer_queries() {
+        let buffer = MeasurementBuffer::new(4, TM);
+        assert!(buffer.is_empty());
+        assert!(buffer.latest(3).is_empty());
+        assert!(buffer.all().is_empty());
+        assert!(buffer.most_recent().is_none());
+        assert!(buffer.slot(0).is_none());
+        assert!(buffer.slot(100).is_none());
+    }
+
+    #[test]
+    fn tampering_operations() {
+        let mut buffer = MeasurementBuffer::new(4, TM);
+        for i in 1..=4u64 {
+            buffer.store(m(i * 10));
+        }
+        // Delete one, swap two, replace one with a forgery, clear all.
+        assert!(buffer.tamper_delete(1));
+        assert!(!buffer.tamper_delete(1));
+        assert!(!buffer.tamper_delete(99));
+        assert_eq!(buffer.len(), 3);
+
+        buffer.tamper_swap(2, 3);
+        assert_eq!(buffer.len(), 3);
+
+        let forged = Measurement::from_parts(
+            SimTime::from_secs(999),
+            vec![0u8; 32],
+            erasmus_crypto::MacTag::new(vec![0u8; 32]),
+        );
+        buffer.tamper_replace(0, forged.clone());
+        assert_eq!(buffer.slot(0), Some(&forged));
+        // Forged entries never verify under the real key.
+        assert!(!buffer.slot(0).expect("slot 0").verify(&KEY, MacAlgorithm::HmacSha256));
+
+        buffer.tamper_clear();
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _ = MeasurementBuffer::new(0, TM);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = MeasurementBuffer::new(4, SimDuration::ZERO);
+    }
+}

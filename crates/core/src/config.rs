@@ -1,0 +1,254 @@
+//! Prover configuration.
+
+use erasmus_crypto::MacAlgorithm;
+use erasmus_sim::SimDuration;
+
+use crate::error::Error;
+use crate::schedule::ScheduleKind;
+
+/// Configuration of one ERASMUS prover.
+///
+/// Use [`ProverConfig::builder`] to construct one; the builder validates the
+/// QoA-relevant relationships (non-zero `T_M`, at least one buffer slot,
+/// sensible irregular bounds).
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::ProverConfig;
+/// use erasmus_crypto::MacAlgorithm;
+/// use erasmus_sim::SimDuration;
+///
+/// # fn main() -> Result<(), erasmus_core::Error> {
+/// let config = ProverConfig::builder()
+///     .mac_algorithm(MacAlgorithm::KeyedBlake2s)
+///     .measurement_interval(SimDuration::from_secs(60))
+///     .buffer_slots(32)
+///     .build()?;
+/// assert_eq!(config.buffer_slots(), 32);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProverConfig {
+    mac_algorithm: MacAlgorithm,
+    measurement_interval: SimDuration,
+    buffer_slots: usize,
+    schedule: ScheduleKind,
+}
+
+impl ProverConfig {
+    /// Starts building a configuration with the defaults: HMAC-SHA256, a
+    /// 60-second measurement interval, 16 buffer slots and a regular
+    /// schedule.
+    pub fn builder() -> ProverConfigBuilder {
+        ProverConfigBuilder::default()
+    }
+
+    /// The MAC used for measurements.
+    pub fn mac_algorithm(&self) -> MacAlgorithm {
+        self.mac_algorithm
+    }
+
+    /// The measurement interval `T_M`.
+    pub fn measurement_interval(&self) -> SimDuration {
+        self.measurement_interval
+    }
+
+    /// Number of rolling-buffer slots `n`.
+    pub fn buffer_slots(&self) -> usize {
+        self.buffer_slots
+    }
+
+    /// The measurement schedule policy.
+    pub fn schedule(&self) -> &ScheduleKind {
+        &self.schedule
+    }
+
+    /// Largest collection period that loses no measurement: `n · T_M`.
+    pub fn max_safe_collection_period(&self) -> SimDuration {
+        self.measurement_interval * self.buffer_slots as u64
+    }
+}
+
+impl Default for ProverConfig {
+    fn default() -> Self {
+        ProverConfig::builder()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+/// Builder for [`ProverConfig`].
+#[derive(Debug, Clone)]
+pub struct ProverConfigBuilder {
+    mac_algorithm: MacAlgorithm,
+    measurement_interval: SimDuration,
+    buffer_slots: usize,
+    schedule: ScheduleKind,
+}
+
+impl Default for ProverConfigBuilder {
+    fn default() -> Self {
+        Self {
+            mac_algorithm: MacAlgorithm::HmacSha256,
+            measurement_interval: SimDuration::from_secs(60),
+            buffer_slots: 16,
+            schedule: ScheduleKind::Regular,
+        }
+    }
+}
+
+impl ProverConfigBuilder {
+    /// Selects the MAC algorithm.
+    pub fn mac_algorithm(mut self, alg: MacAlgorithm) -> Self {
+        self.mac_algorithm = alg;
+        self
+    }
+
+    /// Sets the measurement interval `T_M`.
+    pub fn measurement_interval(mut self, interval: SimDuration) -> Self {
+        self.measurement_interval = interval;
+        self
+    }
+
+    /// Sets the number of rolling-buffer slots `n`.
+    pub fn buffer_slots(mut self, slots: usize) -> Self {
+        self.buffer_slots = slots;
+        self
+    }
+
+    /// Selects the measurement schedule policy.
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the measurement interval is
+    /// zero, the buffer has no slots, an irregular schedule has an empty or
+    /// zero-based interval range, or a lenient window factor is below 1.
+    pub fn build(self) -> Result<ProverConfig, Error> {
+        if self.measurement_interval.is_zero() {
+            return Err(Error::InvalidConfig {
+                parameter: "measurement_interval",
+                reason: "T_M must be non-zero".to_owned(),
+            });
+        }
+        if self.buffer_slots == 0 {
+            return Err(Error::InvalidConfig {
+                parameter: "buffer_slots",
+                reason: "the rolling buffer needs at least one slot".to_owned(),
+            });
+        }
+        match &self.schedule {
+            ScheduleKind::Regular => {}
+            ScheduleKind::Irregular { lower, upper } => {
+                if lower.is_zero() {
+                    return Err(Error::InvalidConfig {
+                        parameter: "schedule",
+                        reason: "irregular lower bound must be non-zero".to_owned(),
+                    });
+                }
+                if lower >= upper {
+                    return Err(Error::InvalidConfig {
+                        parameter: "schedule",
+                        reason: format!("irregular bounds are empty: [{lower}, {upper})"),
+                    });
+                }
+            }
+            ScheduleKind::Lenient { window_factor } => {
+                if !window_factor.is_finite() || *window_factor < 1.0 {
+                    return Err(Error::InvalidConfig {
+                        parameter: "schedule",
+                        reason: format!("lenient window factor must be >= 1, got {window_factor}"),
+                    });
+                }
+            }
+        }
+        Ok(ProverConfig {
+            mac_algorithm: self.mac_algorithm,
+            measurement_interval: self.measurement_interval,
+            buffer_slots: self.buffer_slots,
+            schedule: self.schedule,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let config = ProverConfig::default();
+        assert_eq!(config.mac_algorithm(), MacAlgorithm::HmacSha256);
+        assert_eq!(config.measurement_interval(), SimDuration::from_secs(60));
+        assert_eq!(config.buffer_slots(), 16);
+        assert_eq!(config.schedule(), &ScheduleKind::Regular);
+        assert_eq!(config.max_safe_collection_period(), SimDuration::from_secs(960));
+    }
+
+    #[test]
+    fn builder_overrides_every_field() {
+        let config = ProverConfig::builder()
+            .mac_algorithm(MacAlgorithm::KeyedBlake2s)
+            .measurement_interval(SimDuration::from_secs(5))
+            .buffer_slots(4)
+            .schedule(ScheduleKind::Lenient { window_factor: 2.0 })
+            .build()
+            .expect("valid config");
+        assert_eq!(config.mac_algorithm(), MacAlgorithm::KeyedBlake2s);
+        assert_eq!(config.measurement_interval(), SimDuration::from_secs(5));
+        assert_eq!(config.buffer_slots(), 4);
+        assert!(matches!(config.schedule(), ScheduleKind::Lenient { .. }));
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let err = ProverConfig::builder()
+            .measurement_interval(SimDuration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { parameter: "measurement_interval", .. }));
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        let err = ProverConfig::builder().buffer_slots(0).build().unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { parameter: "buffer_slots", .. }));
+    }
+
+    #[test]
+    fn invalid_irregular_bounds_rejected() {
+        let err = ProverConfig::builder()
+            .schedule(ScheduleKind::Irregular {
+                lower: SimDuration::from_secs(10),
+                upper: SimDuration::from_secs(10),
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { parameter: "schedule", .. }));
+
+        let err = ProverConfig::builder()
+            .schedule(ScheduleKind::Irregular {
+                lower: SimDuration::ZERO,
+                upper: SimDuration::from_secs(10),
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { parameter: "schedule", .. }));
+    }
+
+    #[test]
+    fn invalid_window_factor_rejected() {
+        let err = ProverConfig::builder()
+            .schedule(ScheduleKind::Lenient { window_factor: 0.9 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { parameter: "schedule", .. }));
+    }
+}

@@ -1,0 +1,290 @@
+//! Wire format for measurements and protocol messages.
+//!
+//! The paper's prover answers collections over UDP (Table 2 prices packet
+//! construction and transmission separately). This module defines the byte
+//! layout used by the reproduction so that collection responses can actually
+//! be serialized, sized and parsed — and so the verifier can be fed bytes
+//! that crossed an untrusted network rather than in-memory structs.
+//!
+//! All integers are big-endian. A serialized measurement is:
+//!
+//! ```text
+//! +---------+------------+-----------------+-----------+---------------+
+//! | t: u64  | dlen: u16  | digest (dlen B) | tlen: u16 | tag (tlen B)  |
+//! +---------+------------+-----------------+-----------+---------------+
+//! ```
+//!
+//! A collection response is the device id (u64), a measurement count (u16)
+//! and that many measurements back to back.
+
+use std::fmt;
+
+use erasmus_crypto::MacTag;
+use erasmus_sim::{SimDuration, SimTime};
+
+use crate::ids::DeviceId;
+use crate::measurement::Measurement;
+use crate::protocol::CollectionResponse;
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    reason: String,
+    /// Byte offset at which decoding failed.
+    offset: usize,
+}
+
+impl DecodeError {
+    fn new(reason: impl Into<String>, offset: usize) -> Self {
+        Self { reason: reason.into(), offset }
+    }
+
+    /// Byte offset at which decoding failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum digest or tag length accepted by the decoder. Larger values can
+/// only come from corrupted or hostile input.
+const MAX_FIELD_LEN: usize = 64;
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, offset: 0 }
+    }
+
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        if self.offset + len > self.bytes.len() {
+            return Err(DecodeError::new(
+                format!("truncated while reading {what} ({len} bytes needed)"),
+                self.offset,
+            ));
+        }
+        let slice = &self.bytes[self.offset..self.offset + len];
+        self.offset += len;
+        Ok(slice)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_be_bytes(bytes.try_into().expect("slice length is 8")))
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
+        let bytes = self.take(2, what)?;
+        Ok(u16::from_be_bytes(bytes.try_into().expect("slice length is 2")))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.offset != self.bytes.len() {
+            return Err(DecodeError::new(
+                format!("{} trailing bytes after message", self.bytes.len() - self.offset),
+                self.offset,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Serializes one measurement.
+pub fn encode_measurement(measurement: &Measurement) -> Vec<u8> {
+    let digest = measurement.digest();
+    let tag = measurement.tag().as_bytes();
+    let mut out = Vec::with_capacity(8 + 2 + digest.len() + 2 + tag.len());
+    out.extend_from_slice(&measurement.timestamp().as_nanos().to_be_bytes());
+    out.extend_from_slice(&(digest.len() as u16).to_be_bytes());
+    out.extend_from_slice(digest);
+    out.extend_from_slice(&(tag.len() as u16).to_be_bytes());
+    out.extend_from_slice(tag);
+    out
+}
+
+fn decode_measurement_from(reader: &mut Reader<'_>) -> Result<Measurement, DecodeError> {
+    let timestamp = reader.u64("timestamp")?;
+    let digest_len = reader.u16("digest length")? as usize;
+    if digest_len == 0 || digest_len > MAX_FIELD_LEN {
+        return Err(DecodeError::new(
+            format!("implausible digest length {digest_len}"),
+            reader.offset,
+        ));
+    }
+    let digest = reader.take(digest_len, "digest")?.to_vec();
+    let tag_len = reader.u16("tag length")? as usize;
+    if tag_len == 0 || tag_len > MAX_FIELD_LEN {
+        return Err(DecodeError::new(
+            format!("implausible tag length {tag_len}"),
+            reader.offset,
+        ));
+    }
+    let tag = reader.take(tag_len, "tag")?.to_vec();
+    Ok(Measurement::from_parts(
+        SimTime::from_nanos(timestamp),
+        digest,
+        MacTag::new(tag),
+    ))
+}
+
+/// Parses one measurement, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input, implausible field lengths
+/// or trailing garbage. A successfully decoded measurement still needs MAC
+/// verification — decoding performs no cryptography.
+pub fn decode_measurement(bytes: &[u8]) -> Result<Measurement, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let measurement = decode_measurement_from(&mut reader)?;
+    reader.finish()?;
+    Ok(measurement)
+}
+
+/// Serializes a collection response (the prover → verifier UDP payload).
+pub fn encode_collection_response(response: &CollectionResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 2 + response.payload_bytes() + 4 * response.measurements.len());
+    out.extend_from_slice(&response.device.value().to_be_bytes());
+    out.extend_from_slice(&(response.measurements.len() as u16).to_be_bytes());
+    for measurement in &response.measurements {
+        out.extend_from_slice(&encode_measurement(measurement));
+    }
+    out
+}
+
+/// Parses a collection response.
+///
+/// The prover-time field is not on the wire (it is a simulation artefact);
+/// the decoded response carries [`SimDuration::ZERO`] there.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input, implausible counts or
+/// trailing garbage.
+pub fn decode_collection_response(bytes: &[u8]) -> Result<CollectionResponse, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let device = reader.u64("device id")?;
+    let count = reader.u16("measurement count")? as usize;
+    let mut measurements = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        measurements.push(decode_measurement_from(&mut reader)?);
+    }
+    reader.finish()?;
+    Ok(CollectionResponse {
+        device: DeviceId::new(device),
+        measurements,
+        prover_time: SimDuration::ZERO,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasmus_crypto::MacAlgorithm;
+
+    const KEY: [u8; 32] = [0x33u8; 32];
+
+    fn sample(secs: u64) -> Measurement {
+        Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(secs), b"mem")
+    }
+
+    #[test]
+    fn measurement_roundtrip() {
+        let original = sample(1234);
+        let bytes = encode_measurement(&original);
+        assert_eq!(bytes.len(), original.wire_size() + 4);
+        let decoded = decode_measurement(&bytes).expect("decodes");
+        assert_eq!(decoded, original);
+        assert!(decoded.verify(&KEY, MacAlgorithm::HmacSha256));
+    }
+
+    #[test]
+    fn collection_response_roundtrip() {
+        let response = CollectionResponse {
+            device: DeviceId::new(42),
+            measurements: vec![sample(30), sample(20), sample(10)],
+            prover_time: SimDuration::from_micros(15),
+        };
+        let bytes = encode_collection_response(&response);
+        let decoded = decode_collection_response(&bytes).expect("decodes");
+        assert_eq!(decoded.device, DeviceId::new(42));
+        assert_eq!(decoded.measurements, response.measurements);
+        assert_eq!(decoded.prover_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_response_roundtrip() {
+        let response = CollectionResponse {
+            device: DeviceId::new(7),
+            measurements: Vec::new(),
+            prover_time: SimDuration::ZERO,
+        };
+        let decoded = decode_collection_response(&encode_collection_response(&response))
+            .expect("decodes");
+        assert!(decoded.measurements.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode_measurement(&sample(5));
+        for len in [0usize, 1, 7, 9, bytes.len() - 1] {
+            let err = decode_measurement(&bytes[..len]).unwrap_err();
+            assert!(err.to_string().contains("decode error"), "{err}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_measurement(&sample(5));
+        bytes.push(0xff);
+        let err = decode_measurement(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected() {
+        // Hand-craft a measurement header with an absurd digest length.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&5u64.to_be_bytes());
+        bytes.extend_from_slice(&60000u16.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let err = decode_measurement(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausible digest length"));
+        assert!(err.offset() >= 10);
+    }
+
+    #[test]
+    fn wrong_count_in_response_is_rejected() {
+        let response = CollectionResponse {
+            device: DeviceId::new(1),
+            measurements: vec![sample(1)],
+            prover_time: SimDuration::ZERO,
+        };
+        let mut bytes = encode_collection_response(&response);
+        // Claim two measurements but provide one.
+        bytes[9] = 2;
+        assert!(decode_collection_response(&bytes).is_err());
+    }
+
+    #[test]
+    fn decoded_tampered_bytes_fail_mac_verification() {
+        let original = sample(99);
+        let mut bytes = encode_measurement(&original);
+        // Flip one digest byte on the wire.
+        bytes[12] ^= 0x01;
+        let decoded = decode_measurement(&bytes).expect("still well-formed");
+        assert!(!decoded.verify(&KEY, MacAlgorithm::HmacSha256));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type of the ERASMUS core library.
+
+use std::fmt;
+
+use erasmus_hw::HwError;
+
+/// Errors returned by provers, verifiers and protocol engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was invalid (e.g. a zero measurement interval).
+    InvalidConfig {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The simulated hardware refused an operation.
+    Hardware(HwError),
+    /// An authenticated verifier request failed authentication or freshness
+    /// checking (on-demand / ERASMUS+OD only).
+    RequestRejected {
+        /// Why the prover rejected the request.
+        reason: String,
+    },
+    /// A collection response could not be verified at all (malformed or
+    /// empty when measurements were expected).
+    InvalidResponse {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The prover has not produced any measurement yet.
+    NoMeasurements,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            Error::Hardware(err) => write!(f, "hardware error: {err}"),
+            Error::RequestRejected { reason } => write!(f, "request rejected: {reason}"),
+            Error::InvalidResponse { reason } => write!(f, "invalid response: {reason}"),
+            Error::NoMeasurements => write!(f, "prover has no recorded measurements"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Hardware(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<HwError> for Error {
+    fn from(err: HwError) -> Self {
+        Error::Hardware(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = Error::InvalidConfig { parameter: "buffer_slots", reason: "must be non-zero".into() };
+        assert!(err.to_string().contains("buffer_slots"));
+        assert!(Error::NoMeasurements.to_string().contains("no recorded"));
+        assert!(Error::RequestRejected { reason: "stale".into() }.to_string().contains("stale"));
+        assert!(Error::InvalidResponse { reason: "empty".into() }.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn hardware_errors_convert_and_chain() {
+        let hw = HwError::SecureBootFailure { reason: "digest mismatch".into() };
+        let err: Error = hw.clone().into();
+        assert_eq!(err, Error::Hardware(hw));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&Error::NoMeasurements).is_none());
+    }
+}

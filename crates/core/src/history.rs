@@ -1,0 +1,317 @@
+//! Verifier-side device history: the state timeline reconstructed from
+//! successive collections.
+//!
+//! ERASMUS's selling point is that the verifier obtains the prover's *entire
+//! history* of measurements rather than a single point-in-time snapshot.
+//! [`DeviceHistory`] accumulates the verified measurements from every
+//! collection, deduplicates them, and answers the questions an operator
+//! actually asks: when did the device first look compromised, how long was
+//! it compromised, and were there windows with no evidence at all?
+
+use std::collections::BTreeMap;
+
+use erasmus_sim::{SimDuration, SimTime};
+
+use crate::ids::DeviceId;
+use crate::report::{CollectionReport, MeasurementVerdict};
+
+/// One point of the reconstructed timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// When the prover took the measurement.
+    pub timestamp: SimTime,
+    /// What the verifier concluded about it.
+    pub verdict: MeasurementVerdict,
+    /// When the verifier learned about it (collection time).
+    pub collected_at: SimTime,
+}
+
+/// A contiguous run of measurements sharing the same verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistorySpan {
+    /// Verdict shared by every measurement in the span.
+    pub verdict: MeasurementVerdict,
+    /// Timestamp of the first measurement in the span.
+    pub start: SimTime,
+    /// Timestamp of the last measurement in the span.
+    pub end: SimTime,
+    /// Number of measurements in the span.
+    pub measurements: usize,
+}
+
+/// The reconstructed state timeline of one device.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::{history::DeviceHistory, DeviceId};
+///
+/// let history = DeviceHistory::new(DeviceId::new(1));
+/// assert!(history.is_empty());
+/// assert!(history.first_compromise().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceHistory {
+    device: DeviceId,
+    /// Keyed by measurement timestamp so repeated collections of the same
+    /// measurement deduplicate naturally.
+    entries: BTreeMap<SimTime, HistoryEntry>,
+    collections: u64,
+}
+
+impl DeviceHistory {
+    /// Creates an empty history for `device`.
+    pub fn new(device: DeviceId) -> Self {
+        Self { device, entries: BTreeMap::new(), collections: 0 }
+    }
+
+    /// The device this history belongs to.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Number of distinct measurements recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no measurement has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of collection reports folded in.
+    pub fn collections(&self) -> u64 {
+        self.collections
+    }
+
+    /// Folds a collection report into the history.
+    ///
+    /// Measurements already known (same timestamp) keep their existing
+    /// verdict unless the new report downgrades them (e.g. a re-collected
+    /// measurement now fails verification, which indicates tampering after
+    /// the fact).
+    pub fn ingest(&mut self, report: &CollectionReport) {
+        self.collections += 1;
+        for vm in report.measurements() {
+            let entry = HistoryEntry {
+                timestamp: vm.measurement.timestamp(),
+                verdict: vm.verdict,
+                collected_at: report.collected_at(),
+            };
+            self.entries
+                .entry(entry.timestamp)
+                .and_modify(|existing| {
+                    if severity(vm.verdict) > severity(existing.verdict) {
+                        existing.verdict = vm.verdict;
+                        existing.collected_at = report.collected_at();
+                    }
+                })
+                .or_insert(entry);
+        }
+    }
+
+    /// All entries in timestamp order.
+    pub fn entries(&self) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries.values()
+    }
+
+    /// The timestamp of the earliest measurement showing compromise or
+    /// tampering, if any.
+    pub fn first_compromise(&self) -> Option<SimTime> {
+        self.entries
+            .values()
+            .find(|entry| entry.verdict != MeasurementVerdict::Healthy)
+            .map(|entry| entry.timestamp)
+    }
+
+    /// The time at which the verifier *learned* of the first compromise.
+    pub fn first_compromise_detected_at(&self) -> Option<SimTime> {
+        self.entries
+            .values()
+            .filter(|entry| entry.verdict != MeasurementVerdict::Healthy)
+            .map(|entry| entry.collected_at)
+            .min()
+    }
+
+    /// Detection latency: from the first incriminating measurement to the
+    /// collection that delivered it.
+    pub fn detection_latency(&self) -> Option<SimDuration> {
+        match (self.first_compromise(), self.first_compromise_detected_at()) {
+            (Some(measured), Some(collected)) => {
+                Some(collected.saturating_duration_since(measured))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total number of measurements with a given verdict.
+    pub fn count(&self, verdict: MeasurementVerdict) -> usize {
+        self.entries.values().filter(|entry| entry.verdict == verdict).count()
+    }
+
+    /// Collapses the timeline into contiguous spans of equal verdict.
+    pub fn spans(&self) -> Vec<HistorySpan> {
+        let mut spans: Vec<HistorySpan> = Vec::new();
+        for entry in self.entries.values() {
+            match spans.last_mut() {
+                Some(span) if span.verdict == entry.verdict => {
+                    span.end = entry.timestamp;
+                    span.measurements += 1;
+                }
+                _ => spans.push(HistorySpan {
+                    verdict: entry.verdict,
+                    start: entry.timestamp,
+                    end: entry.timestamp,
+                    measurements: 1,
+                }),
+            }
+        }
+        spans
+    }
+
+    /// Largest gap between consecutive measurement timestamps, if at least
+    /// two measurements are known. Large gaps relative to `T_M` point at
+    /// deleted evidence or an undersized buffer.
+    pub fn largest_gap(&self) -> Option<SimDuration> {
+        let timestamps: Vec<SimTime> = self.entries.keys().copied().collect();
+        timestamps
+            .windows(2)
+            .map(|pair| pair[1].duration_since(pair[0]))
+            .max()
+    }
+}
+
+/// Orders verdicts by how alarming they are, for the "keep the worst verdict"
+/// rule in [`DeviceHistory::ingest`].
+fn severity(verdict: MeasurementVerdict) -> u8 {
+    match verdict {
+        MeasurementVerdict::Healthy => 0,
+        MeasurementVerdict::Compromised => 1,
+        MeasurementVerdict::Forged => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProverConfig;
+    use crate::protocol::CollectionRequest;
+    use crate::prover::Prover;
+    use crate::verifier::Verifier;
+    use erasmus_crypto::MacAlgorithm;
+    use erasmus_hw::{DeviceKey, DeviceProfile};
+
+    fn provision() -> (Prover, Verifier) {
+        let key = DeviceKey::from_bytes([0x44u8; 32]);
+        let config = ProverConfig::builder()
+            .measurement_interval(SimDuration::from_secs(10))
+            .buffer_slots(16)
+            .build()
+            .expect("valid config");
+        let prover = Prover::new(
+            DeviceId::new(1),
+            DeviceProfile::msp430_8mhz(1024),
+            key.clone(),
+            config,
+        )
+        .expect("provisioning");
+        let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        verifier.set_expected_interval(SimDuration::from_secs(10));
+        (prover, verifier)
+    }
+
+    fn collect_into(
+        history: &mut DeviceHistory,
+        prover: &mut Prover,
+        verifier: &mut Verifier,
+        at_secs: u64,
+        k: usize,
+    ) {
+        prover.run_until(SimTime::from_secs(at_secs)).expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(k), SimTime::from_secs(at_secs));
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(at_secs))
+            .expect("report");
+        history.ingest(&report);
+    }
+
+    #[test]
+    fn accumulates_and_deduplicates_across_collections() {
+        let (mut prover, mut verifier) = provision();
+        let mut history = DeviceHistory::new(DeviceId::new(1));
+        collect_into(&mut history, &mut prover, &mut verifier, 60, 6);
+        // Overlapping second collection re-delivers some measurements.
+        collect_into(&mut history, &mut prover, &mut verifier, 120, 12);
+        assert_eq!(history.collections(), 2);
+        assert_eq!(history.len(), 12); // measurements at 10..120, deduplicated
+        assert!(history.first_compromise().is_none());
+        assert_eq!(history.count(MeasurementVerdict::Healthy), 12);
+        assert_eq!(history.largest_gap(), Some(SimDuration::from_secs(10)));
+        assert_eq!(history.spans().len(), 1);
+    }
+
+    #[test]
+    fn compromise_window_is_reconstructed() {
+        let (mut prover, mut verifier) = provision();
+        let mut history = DeviceHistory::new(DeviceId::new(1));
+        collect_into(&mut history, &mut prover, &mut verifier, 60, 6);
+
+        // Persistent implant lands at t = 73 s.
+        prover.run_until(SimTime::from_secs(73)).expect("measurements");
+        prover.mcu_mut().write_app_memory(0, b"implant").expect("infect");
+        collect_into(&mut history, &mut prover, &mut verifier, 120, 6);
+
+        assert_eq!(history.first_compromise(), Some(SimTime::from_secs(80)));
+        assert_eq!(history.first_compromise_detected_at(), Some(SimTime::from_secs(120)));
+        assert_eq!(history.detection_latency(), Some(SimDuration::from_secs(40)));
+        let spans = history.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].verdict, MeasurementVerdict::Healthy);
+        assert_eq!(spans[0].measurements, 7); // t = 10..70
+        assert_eq!(spans[1].verdict, MeasurementVerdict::Compromised);
+        assert_eq!(spans[1].start, SimTime::from_secs(80));
+        assert_eq!(spans[1].end, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn empty_history_queries() {
+        let history = DeviceHistory::new(DeviceId::new(9));
+        assert!(history.is_empty());
+        assert_eq!(history.len(), 0);
+        assert!(history.spans().is_empty());
+        assert!(history.largest_gap().is_none());
+        assert!(history.detection_latency().is_none());
+        assert_eq!(history.device(), DeviceId::new(9));
+    }
+
+    #[test]
+    fn worst_verdict_wins_on_reingestion() {
+        let (mut prover, mut verifier) = provision();
+        let mut history = DeviceHistory::new(DeviceId::new(1));
+        collect_into(&mut history, &mut prover, &mut verifier, 40, 4);
+        assert_eq!(history.count(MeasurementVerdict::Healthy), 4);
+
+        // Malware later replaces the stored measurement for t = 30 with a
+        // forgery; a second collection re-delivers that slot.
+        let slot = prover.buffer().slot_for(SimTime::from_secs(30));
+        prover.buffer_mut().tamper_replace(
+            slot,
+            crate::Measurement::from_parts(
+                SimTime::from_secs(30),
+                vec![0u8; 32],
+                erasmus_crypto::MacTag::new(vec![0u8; 32]),
+            ),
+        );
+        collect_into(&mut history, &mut prover, &mut verifier, 80, 8);
+        assert_eq!(history.count(MeasurementVerdict::Forged), 1);
+        // The forged verdict replaced the previously healthy one for t = 30.
+        let entry = history
+            .entries()
+            .find(|e| e.timestamp == SimTime::from_secs(30))
+            .expect("entry exists");
+        assert_eq!(entry.verdict, MeasurementVerdict::Forged);
+    }
+}

@@ -1,0 +1,66 @@
+//! Device identifiers.
+
+use std::fmt;
+
+/// Identifier of a prover device.
+///
+/// In single-device deployments the identifier is informational; in swarm
+/// deployments (`erasmus-swarm`) it keys the verifier's per-device state and
+/// the topology graph.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::DeviceId;
+///
+/// let id = DeviceId::new(42);
+/// assert_eq!(id.value(), 42);
+/// assert_eq!(id.to_string(), "device-42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(u64);
+
+impl DeviceId {
+    /// Wraps a numeric identifier.
+    pub const fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    /// The numeric value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device-{}", self.0)
+    }
+}
+
+impl From<u64> for DeviceId {
+    fn from(id: u64) -> Self {
+        Self(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let id = DeviceId::new(7);
+        assert_eq!(id.value(), 7);
+        assert_eq!(DeviceId::from(7u64), id);
+        assert_eq!(id.to_string(), "device-7");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+        let mut ids = vec![DeviceId::new(3), DeviceId::new(1), DeviceId::new(2)];
+        ids.sort();
+        assert_eq!(ids, vec![DeviceId::new(1), DeviceId::new(2), DeviceId::new(3)]);
+    }
+}

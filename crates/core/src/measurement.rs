@@ -1,0 +1,199 @@
+//! Self-measurements: `M_t = < t, H(mem_t), MAC_K(t, H(mem_t)) >`.
+
+use std::fmt;
+
+use erasmus_crypto::{Digest, MacAlgorithm, MacTag, Sha256};
+use erasmus_sim::SimTime;
+
+/// One self-measurement, exactly as defined in Section 3 of the paper.
+///
+/// A measurement binds a timestamp `t` (read from the RROC) to the digest of
+/// the prover's memory at that time, authenticated under the device key `K`.
+/// Measurements are stored in *insecure* memory: malware can delete or
+/// mangle them, but — lacking `K` — it cannot forge a valid one, so any
+/// tampering is detected at the next collection.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::Measurement;
+/// use erasmus_crypto::MacAlgorithm;
+/// use erasmus_sim::SimTime;
+///
+/// let key = [0x42u8; 32];
+/// let memory = vec![0u8; 1024];
+/// let m = Measurement::compute(&key, MacAlgorithm::HmacSha256, SimTime::from_secs(60), &memory);
+/// assert!(m.verify(&key, MacAlgorithm::HmacSha256));
+/// assert_eq!(m.timestamp(), SimTime::from_secs(60));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Measurement {
+    timestamp: SimTime,
+    digest: Vec<u8>,
+    tag: MacTag,
+}
+
+impl Measurement {
+    /// Computes a measurement over `memory` at time `timestamp`.
+    ///
+    /// `H(mem_t)` is always SHA-256 (the digest half of the construction is
+    /// not varied in the paper's evaluation); the MAC over `(t, H(mem_t))`
+    /// uses the configured [`MacAlgorithm`].
+    pub fn compute(
+        key: &[u8],
+        alg: MacAlgorithm,
+        timestamp: SimTime,
+        memory: &[u8],
+    ) -> Self {
+        let digest = Sha256::digest(memory);
+        Self::from_digest(key, alg, timestamp, digest)
+    }
+
+    /// Computes a measurement from an already-hashed memory digest.
+    ///
+    /// The prover's trusted code hashes memory inside the security
+    /// architecture and then MACs the timestamped digest; splitting the two
+    /// steps keeps that structure visible and lets the cost model charge them
+    /// separately.
+    pub fn from_digest(
+        key: &[u8],
+        alg: MacAlgorithm,
+        timestamp: SimTime,
+        digest: Vec<u8>,
+    ) -> Self {
+        let tag = alg.mac(key, &Self::mac_input(timestamp, &digest));
+        Self { timestamp, digest, tag }
+    }
+
+    /// Reassembles a measurement from its stored parts (e.g. when reading
+    /// the rolling buffer back from a wire format). No validation happens
+    /// here; call [`Measurement::verify`].
+    pub fn from_parts(timestamp: SimTime, digest: Vec<u8>, tag: MacTag) -> Self {
+        Self { timestamp, digest, tag }
+    }
+
+    /// The canonical MAC input: the big-endian timestamp followed by the
+    /// memory digest.
+    fn mac_input(timestamp: SimTime, digest: &[u8]) -> Vec<u8> {
+        let mut input = Vec::with_capacity(8 + digest.len());
+        input.extend_from_slice(&timestamp.as_nanos().to_be_bytes());
+        input.extend_from_slice(digest);
+        input
+    }
+
+    /// Verifies the MAC under `key`.
+    pub fn verify(&self, key: &[u8], alg: MacAlgorithm) -> bool {
+        alg.verify(key, &Self::mac_input(self.timestamp, &self.digest), &self.tag)
+    }
+
+    /// The RROC timestamp `t`.
+    pub fn timestamp(&self) -> SimTime {
+        self.timestamp
+    }
+
+    /// The memory digest `H(mem_t)`.
+    pub fn digest(&self) -> &[u8] {
+        &self.digest
+    }
+
+    /// The authentication tag `MAC_K(t, H(mem_t))`.
+    pub fn tag(&self) -> &MacTag {
+        &self.tag
+    }
+
+    /// Size of the measurement on the wire (timestamp + digest + tag), used
+    /// by the cost model to price collection packets.
+    pub fn wire_size(&self) -> usize {
+        8 + self.digest.len() + self.tag.len()
+    }
+
+    /// Freshness of this measurement at `now`: how long ago it was taken.
+    /// Returns zero if `now` is earlier than the timestamp (clock skew in a
+    /// tampered response).
+    pub fn age_at(&self, now: SimTime) -> erasmus_sim::SimDuration {
+        now.saturating_duration_since(self.timestamp)
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digest_prefix: String = self.digest.iter().take(4).map(|b| format!("{b:02x}")).collect();
+        write!(
+            f,
+            "M(t={:.3}s, H=0x{}.., tag={:.8}..)",
+            self.timestamp.as_secs_f64(),
+            digest_prefix,
+            self.tag.to_string()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 32] = [0xabu8; 32];
+
+    #[test]
+    fn compute_and_verify_roundtrip() {
+        for alg in MacAlgorithm::ALL {
+            let m = Measurement::compute(&KEY, alg, SimTime::from_secs(10), b"memory image");
+            assert!(m.verify(&KEY, alg));
+            assert!(!m.verify(&[0u8; 32], alg), "wrong key must fail for {alg}");
+        }
+    }
+
+    #[test]
+    fn verification_fails_under_wrong_algorithm() {
+        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(1), b"x");
+        assert!(!m.verify(&KEY, MacAlgorithm::KeyedBlake2s));
+    }
+
+    #[test]
+    fn tampering_with_timestamp_is_detected() {
+        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(50), b"mem");
+        let forged = Measurement::from_parts(SimTime::from_secs(51), m.digest().to_vec(), m.tag().clone());
+        assert!(!forged.verify(&KEY, MacAlgorithm::HmacSha256));
+    }
+
+    #[test]
+    fn tampering_with_digest_is_detected() {
+        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(50), b"mem");
+        let mut digest = m.digest().to_vec();
+        digest[0] ^= 0xff;
+        let forged = Measurement::from_parts(m.timestamp(), digest, m.tag().clone());
+        assert!(!forged.verify(&KEY, MacAlgorithm::HmacSha256));
+    }
+
+    #[test]
+    fn same_memory_different_time_gives_different_tag() {
+        let a = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(1), b"mem");
+        let b = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(2), b"mem");
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.tag(), b.tag());
+    }
+
+    #[test]
+    fn from_digest_matches_compute() {
+        let digest = Sha256::digest(b"the memory");
+        let a = Measurement::from_digest(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(9), digest);
+        let b = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(9), b"the memory");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wire_size_and_age() {
+        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(10), b"mem");
+        assert_eq!(m.wire_size(), 8 + 32 + 32);
+        assert_eq!(m.age_at(SimTime::from_secs(25)), erasmus_sim::SimDuration::from_secs(15));
+        assert_eq!(m.age_at(SimTime::from_secs(5)), erasmus_sim::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(10), b"mem");
+        let text = m.to_string();
+        assert!(text.starts_with("M(t=10.000s"));
+        assert!(text.contains("H=0x"));
+    }
+}

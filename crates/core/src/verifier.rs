@@ -1,0 +1,455 @@
+//! The verifier: collects measurements and reconstructs the prover's state
+//! history.
+
+use erasmus_crypto::MacAlgorithm;
+use erasmus_hw::DeviceKey;
+use erasmus_sim::{SimDuration, SimTime};
+
+use crate::error::Error;
+use crate::measurement::Measurement;
+use crate::protocol::{CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse};
+use crate::report::{AttestationVerdict, CollectionReport, MeasurementVerdict, VerifiedMeasurement};
+
+/// The (possibly untrusted-network-facing, but key-holding) verifier.
+///
+/// The verifier shares `K` with the prover, knows the MAC algorithm the
+/// prover was provisioned with, and optionally knows:
+///
+/// * the **reference digest** of the prover's healthy software image — needed
+///   to tell "authentic measurement of compromised software" from "authentic
+///   measurement of healthy software";
+/// * the **expected measurement interval** `T_M` — needed to notice that
+///   measurements are *missing* (deleted by malware or lost to buffer
+///   overwrites).
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::{DeviceId, Prover, ProverConfig, Verifier, CollectionRequest};
+/// use erasmus_crypto::MacAlgorithm;
+/// use erasmus_hw::{DeviceKey, DeviceProfile};
+/// use erasmus_sim::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), erasmus_core::Error> {
+/// let key = DeviceKey::from_bytes([2; 32]);
+/// let config = ProverConfig::builder()
+///     .measurement_interval(SimDuration::from_secs(10))
+///     .buffer_slots(8)
+///     .build()?;
+/// let mut prover = Prover::new(DeviceId::new(1), DeviceProfile::msp430_8mhz(1024), key.clone(), config)?;
+/// let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
+///
+/// prover.run_until(SimTime::from_secs(40))?;
+/// let response = prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+/// let report = verifier.verify_collection(&response, SimTime::from_secs(40))?;
+/// assert!(report.all_valid());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    key: DeviceKey,
+    alg: MacAlgorithm,
+    reference_digest: Option<Vec<u8>>,
+    expected_interval: Option<SimDuration>,
+    last_collection: Option<SimTime>,
+    last_request_issued: SimTime,
+}
+
+impl Verifier {
+    /// Creates a verifier holding the shared key and MAC algorithm.
+    pub fn new(key: DeviceKey, alg: MacAlgorithm) -> Self {
+        Self {
+            key,
+            alg,
+            reference_digest: None,
+            expected_interval: None,
+            last_collection: None,
+            last_request_issued: SimTime::ZERO,
+        }
+    }
+
+    /// The MAC algorithm this verifier checks against.
+    pub fn mac_algorithm(&self) -> MacAlgorithm {
+        self.alg
+    }
+
+    /// Registers the digest of the prover's known-good software image.
+    /// Measurements whose digest differs will be flagged
+    /// [`MeasurementVerdict::Compromised`].
+    pub fn set_reference_digest(&mut self, digest: Vec<u8>) {
+        self.reference_digest = Some(digest);
+    }
+
+    /// Convenience: computes and registers the reference digest from a copy
+    /// of the healthy memory image.
+    pub fn learn_reference_image(&mut self, image: &[u8]) {
+        use erasmus_crypto::{Digest, Sha256};
+        self.reference_digest = Some(Sha256::digest(image));
+    }
+
+    /// Registers the prover's measurement interval `T_M`, enabling
+    /// missing-measurement (gap) detection.
+    pub fn set_expected_interval(&mut self, interval: SimDuration) {
+        self.expected_interval = Some(interval);
+    }
+
+    /// Timestamp of the last successful collection, if any.
+    pub fn last_collection(&self) -> Option<SimTime> {
+        self.last_collection
+    }
+
+    /// Builds a plain ERASMUS collection request for the latest `k`
+    /// measurements. Unauthenticated by design (Section 3).
+    pub fn make_collection_request(&self, k: usize) -> CollectionRequest {
+        CollectionRequest::latest(k)
+    }
+
+    /// Builds an authenticated on-demand / ERASMUS+OD request at time `now`.
+    ///
+    /// Timestamps are forced to be strictly increasing so the prover's
+    /// anti-replay check never rejects a legitimate request.
+    pub fn make_on_demand_request(&mut self, k: usize, now: SimTime) -> OnDemandRequest {
+        let treq = if now > self.last_request_issued {
+            now
+        } else {
+            self.last_request_issued + SimDuration::from_nanos(1)
+        };
+        self.last_request_issued = treq;
+        OnDemandRequest::new(self.key.as_bytes(), self.alg, treq, k)
+    }
+
+    fn verdict_for(&self, measurement: &Measurement) -> MeasurementVerdict {
+        if !measurement.verify(self.key.as_bytes(), self.alg) {
+            return MeasurementVerdict::Forged;
+        }
+        match &self.reference_digest {
+            Some(reference) if measurement.digest() != &reference[..] => {
+                MeasurementVerdict::Compromised
+            }
+            _ => MeasurementVerdict::Healthy,
+        }
+    }
+
+    /// Number of measurements expected since the previous collection, based
+    /// on the configured `T_M` (zero when unknown).
+    fn expected_since_last_collection(&self, now: SimTime) -> usize {
+        match (self.expected_interval, self.last_collection) {
+            (Some(interval), Some(last)) => {
+                (now.saturating_duration_since(last).as_nanos() / interval.as_nanos()) as usize
+            }
+            _ => 0,
+        }
+    }
+
+    /// Verifies an ERASMUS collection response (Figure 2, verifier side).
+    ///
+    /// Each measurement's MAC is checked in constant time; timestamps are
+    /// checked for plausibility (not in the future, strictly decreasing in
+    /// the newest-first response); and, if `T_M` is known, the number of
+    /// measurements covering the interval since the previous collection is
+    /// compared against the expected count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoMeasurements`] if the response is empty — an empty
+    /// response from a prover that should have a history is itself suspicious
+    /// and is treated as missing evidence by callers.
+    pub fn verify_collection(
+        &mut self,
+        response: &CollectionResponse,
+        now: SimTime,
+    ) -> Result<CollectionReport, Error> {
+        if response.measurements.is_empty() {
+            return Err(Error::NoMeasurements);
+        }
+
+        let mut verified = Vec::with_capacity(response.measurements.len());
+        let mut any_forged = false;
+        let mut any_compromised = false;
+        let mut out_of_order = false;
+        let mut previous: Option<SimTime> = None;
+
+        for measurement in &response.measurements {
+            let mut verdict = self.verdict_for(measurement);
+            // Timestamps must not lie in the verifier's future; a "future"
+            // measurement can only come from a tampered store or clock.
+            if measurement.timestamp() > now {
+                verdict = MeasurementVerdict::Forged;
+            }
+            if let Some(prev) = previous {
+                if measurement.timestamp() >= prev {
+                    out_of_order = true;
+                }
+            }
+            previous = Some(measurement.timestamp());
+            match verdict {
+                MeasurementVerdict::Forged => any_forged = true,
+                MeasurementVerdict::Compromised => any_compromised = true,
+                MeasurementVerdict::Healthy => {}
+            }
+            verified.push(VerifiedMeasurement {
+                measurement: measurement.clone(),
+                verdict,
+            });
+        }
+
+        // Coverage check: did we receive as many measurements as the schedule
+        // should have produced since the last collection?
+        let expected = self.expected_since_last_collection(now);
+        let usable = verified
+            .iter()
+            .filter(|vm| vm.verdict != MeasurementVerdict::Forged)
+            .filter(|vm| match self.last_collection {
+                Some(last) => vm.measurement.timestamp() > last,
+                None => true,
+            })
+            .count();
+        let missing = expected.saturating_sub(usable);
+
+        let verdict = if any_forged || out_of_order || missing > 0 {
+            AttestationVerdict::TamperingDetected
+        } else if any_compromised {
+            AttestationVerdict::CompromiseDetected
+        } else {
+            AttestationVerdict::AllHealthy
+        };
+
+        let freshness = response
+            .most_recent()
+            .map(|m| m.age_at(now))
+            .unwrap_or(SimDuration::ZERO);
+
+        self.last_collection = Some(now);
+        Ok(CollectionReport::new(
+            response.device,
+            verified,
+            verdict,
+            missing,
+            freshness,
+            now,
+        ))
+    }
+
+    /// Verifies an ERASMUS+OD response (Figure 4, verifier side): the fresh
+    /// measurement `M_0` is checked first, then the history is verified like
+    /// a normal collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidResponse`] if the fresh measurement fails MAC
+    /// verification or does not match the request timing.
+    pub fn verify_on_demand(
+        &mut self,
+        request: &OnDemandRequest,
+        response: &OnDemandResponse,
+        now: SimTime,
+    ) -> Result<CollectionReport, Error> {
+        if !response.fresh.verify(self.key.as_bytes(), self.alg) {
+            return Err(Error::InvalidResponse {
+                reason: "fresh measurement failed MAC verification".to_owned(),
+            });
+        }
+        if response.fresh.timestamp() < request.treq {
+            return Err(Error::InvalidResponse {
+                reason: "fresh measurement predates the request".to_owned(),
+            });
+        }
+
+        // Verify the history exactly like a plain collection, then fold the
+        // fresh measurement into the report.
+        let mut measurements = vec![response.fresh.clone()];
+        measurements.extend(response.history.iter().cloned());
+        let as_collection = CollectionResponse {
+            device: response.device,
+            measurements,
+            prover_time: response.prover_time,
+        };
+        self.verify_collection(&as_collection, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProverConfig;
+    use crate::ids::DeviceId;
+    use crate::prover::Prover;
+    use erasmus_hw::DeviceProfile;
+
+    const KEY_BYTES: [u8; 32] = [0x77u8; 32];
+
+    fn setup() -> (Prover, Verifier) {
+        let key = DeviceKey::from_bytes(KEY_BYTES);
+        let config = ProverConfig::builder()
+            .measurement_interval(SimDuration::from_secs(10))
+            .buffer_slots(16)
+            .build()
+            .expect("valid config");
+        let prover = Prover::new(
+            DeviceId::new(1),
+            DeviceProfile::msp430_8mhz(1024),
+            key.clone(),
+            config,
+        )
+        .expect("provisioning");
+        let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
+        verifier.set_expected_interval(SimDuration::from_secs(10));
+        (prover, verifier)
+    }
+
+    #[test]
+    fn healthy_history_verifies() {
+        let (mut prover, mut verifier) = setup();
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        prover.run_until(SimTime::from_secs(60)).expect("measurements");
+        let response = prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
+        let report = verifier.verify_collection(&response, SimTime::from_secs(60)).expect("report");
+        assert!(report.all_valid());
+        assert_eq!(report.verdict(), AttestationVerdict::AllHealthy);
+        assert_eq!(report.measurements().len(), 6);
+        assert_eq!(report.missing(), 0);
+        // The newest measurement was taken at t = 60, collected at t = 60.
+        assert_eq!(report.freshness(), SimDuration::ZERO);
+        assert_eq!(verifier.last_collection(), Some(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn compromised_memory_is_detected() {
+        let (mut prover, mut verifier) = setup();
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        prover.run_until(SimTime::from_secs(20)).expect("measurements");
+        prover.mcu_mut().write_app_memory(0, b"persistent malware").expect("infection");
+        prover.run_until(SimTime::from_secs(40)).expect("measurements");
+        let response = prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let report = verifier.verify_collection(&response, SimTime::from_secs(40)).expect("report");
+        assert_eq!(report.verdict(), AttestationVerdict::CompromiseDetected);
+        assert_eq!(report.with_verdict(MeasurementVerdict::Compromised).count(), 2);
+        assert_eq!(report.with_verdict(MeasurementVerdict::Healthy).count(), 2);
+    }
+
+    #[test]
+    fn forged_measurement_is_detected() {
+        let (mut prover, mut verifier) = setup();
+        prover.run_until(SimTime::from_secs(40)).expect("measurements");
+        // Malware replaces a stored measurement with garbage.
+        let forged = Measurement::from_parts(
+            SimTime::from_secs(30),
+            vec![0u8; 32],
+            erasmus_crypto::MacTag::new(vec![0u8; 32]),
+        );
+        let slot = prover.buffer().slot_for(SimTime::from_secs(30));
+        prover.buffer_mut().tamper_replace(slot, forged);
+        let response = prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let report = verifier.verify_collection(&response, SimTime::from_secs(40)).expect("report");
+        assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
+        assert_eq!(report.with_verdict(MeasurementVerdict::Forged).count(), 1);
+    }
+
+    #[test]
+    fn deleted_measurements_show_up_as_missing() {
+        let (mut prover, mut verifier) = setup();
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        // First collection establishes a baseline.
+        prover.run_until(SimTime::from_secs(20)).expect("measurements");
+        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(20));
+        verifier.verify_collection(&response, SimTime::from_secs(20)).expect("baseline");
+
+        // Malware deletes everything recorded afterwards.
+        prover.run_until(SimTime::from_secs(60)).expect("measurements");
+        prover.buffer_mut().tamper_clear();
+        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(60));
+        match verifier.verify_collection(&response, SimTime::from_secs(60)) {
+            // Either the buffer is completely empty (NoMeasurements)…
+            Err(Error::NoMeasurements) => {}
+            // …or the report flags the gap.
+            Ok(report) => assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn partial_deletion_is_detected_as_gap() {
+        let (mut prover, mut verifier) = setup();
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        prover.run_until(SimTime::from_secs(20)).expect("measurements");
+        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(20));
+        verifier.verify_collection(&response, SimTime::from_secs(20)).expect("baseline");
+
+        prover.run_until(SimTime::from_secs(60)).expect("measurements");
+        // Delete two of the four new measurements (t = 30 and t = 40).
+        for secs in [30u64, 40] {
+            let slot = prover.buffer().slot_for(SimTime::from_secs(secs));
+            assert!(prover.buffer_mut().tamper_delete(slot));
+        }
+        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(60));
+        let report = verifier.verify_collection(&response, SimTime::from_secs(60)).expect("report");
+        assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
+        assert_eq!(report.missing(), 2);
+    }
+
+    #[test]
+    fn empty_response_is_an_error() {
+        let (_, mut verifier) = setup();
+        let response = CollectionResponse {
+            device: DeviceId::new(1),
+            measurements: Vec::new(),
+            prover_time: SimDuration::ZERO,
+        };
+        assert!(matches!(
+            verifier.verify_collection(&response, SimTime::from_secs(10)),
+            Err(Error::NoMeasurements)
+        ));
+    }
+
+    #[test]
+    fn future_timestamps_are_flagged() {
+        let (mut prover, mut verifier) = setup();
+        prover.run_until(SimTime::from_secs(20)).expect("measurements");
+        let response = prover.handle_collection(&CollectionRequest::latest(2), SimTime::from_secs(20));
+        // Verify "in the past": the measurements' timestamps are now in the future.
+        let report = verifier.verify_collection(&response, SimTime::from_secs(5)).expect("report");
+        assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
+    }
+
+    #[test]
+    fn on_demand_roundtrip_and_freshness() {
+        let (mut prover, mut verifier) = setup();
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        prover.run_until(SimTime::from_secs(35)).expect("measurements");
+        let request = verifier.make_on_demand_request(2, SimTime::from_secs(36));
+        let response = prover.handle_on_demand(&request, SimTime::from_secs(36)).expect("response");
+        let report = verifier
+            .verify_on_demand(&request, &response, SimTime::from_secs(36))
+            .expect("report");
+        assert!(report.all_valid());
+        // Maximal freshness: the fresh measurement was taken at collection time.
+        assert_eq!(report.freshness(), SimDuration::ZERO);
+        assert_eq!(report.measurements().len(), 3);
+    }
+
+    #[test]
+    fn on_demand_response_with_forged_fresh_measurement_rejected() {
+        let (mut prover, mut verifier) = setup();
+        prover.run_until(SimTime::from_secs(35)).expect("measurements");
+        let request = verifier.make_on_demand_request(1, SimTime::from_secs(36));
+        let mut response = prover.handle_on_demand(&request, SimTime::from_secs(36)).expect("response");
+        response.fresh = Measurement::from_parts(
+            response.fresh.timestamp(),
+            vec![0u8; 32],
+            erasmus_crypto::MacTag::new(vec![0u8; 32]),
+        );
+        assert!(matches!(
+            verifier.verify_on_demand(&request, &response, SimTime::from_secs(36)),
+            Err(Error::InvalidResponse { .. })
+        ));
+    }
+
+    #[test]
+    fn request_timestamps_are_strictly_increasing() {
+        let (_, mut verifier) = setup();
+        let first = verifier.make_on_demand_request(1, SimTime::from_secs(10));
+        let second = verifier.make_on_demand_request(1, SimTime::from_secs(10));
+        assert!(second.treq > first.treq);
+    }
+}

@@ -1,0 +1,70 @@
+//! Constant-time comparison helpers.
+//!
+//! Verifier-side MAC checks must not leak how many prefix bytes of a
+//! candidate tag were correct, otherwise a network attacker could forge
+//! measurements byte by byte. Every verification path in the workspace goes
+//! through [`constant_time_eq`].
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately when the lengths differ (the length of a MAC
+/// tag is public), and otherwise accumulates the XOR of every byte pair so
+/// the running time does not depend on where the first mismatch occurs.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::constant_time_eq;
+///
+/// assert!(constant_time_eq(b"same", b"same"));
+/// assert!(!constant_time_eq(b"same", b"diff"));
+/// assert!(!constant_time_eq(b"short", b"longer"));
+/// ```
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"a", b"a"));
+        assert!(constant_time_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!constant_time_eq(b"a", b"b"));
+        assert!(!constant_time_eq(b"aa", b"ab"));
+        assert!(!constant_time_eq(b"ba", b"aa"));
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(!constant_time_eq(b"abcd", b"abc"));
+        assert!(!constant_time_eq(b"", b"a"));
+    }
+
+    #[test]
+    fn single_bit_differences_detected() {
+        let base = [0x5au8; 32];
+        for byte in 0..32 {
+            for bit in 0..8 {
+                let mut other = base;
+                other[byte] ^= 1 << bit;
+                assert!(!constant_time_eq(&base, &other));
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The [`Digest`] trait implemented by every hash function in this crate.
+
+/// An incremental cryptographic hash function.
+///
+/// The trait mirrors the shape of the usual `digest` ecosystem trait but is
+/// defined locally so that the crate stays dependency-free: ERASMUS
+/// measurements hash the prover's memory (`H(mem_t)`), and the hash is part
+/// of the reproduced system.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::{Digest, Sha256};
+///
+/// let mut hasher = Sha256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// let incremental = hasher.finalize();
+/// assert_eq!(incremental, Sha256::digest(b"hello world"));
+/// ```
+pub trait Digest: Clone {
+    /// Size of the produced digest in bytes.
+    const OUTPUT_SIZE: usize;
+    /// Internal block size in bytes (used by HMAC for key padding).
+    const BLOCK_SIZE: usize;
+
+    /// Creates a fresh hasher state.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the hasher state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest bytes.
+    ///
+    /// The returned vector always has length [`Digest::OUTPUT_SIZE`].
+    fn finalize(self) -> Vec<u8>;
+
+    /// Convenience one-shot helper: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut hasher = Self::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+}

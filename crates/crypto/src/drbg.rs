@@ -1,0 +1,216 @@
+//! HMAC-DRBG: a deterministic CSPRNG in the style of NIST SP 800-90A.
+//!
+//! Section 3.5 of the paper proposes irregular measurement intervals driven
+//! by a CSPRNG seeded with the device key `K`, so that schedule-aware mobile
+//! malware cannot predict when the next measurement will fire. [`HmacDrbg`]
+//! provides that generator; `erasmus-core`'s `IrregularSchedule` maps its
+//! output into a bounded interval exactly as the paper's `map` function does.
+
+use crate::hmac::HmacSha256;
+
+/// Deterministic HMAC-SHA256-based pseudo-random generator.
+///
+/// The construction follows the HMAC_DRBG update/generate loop of
+/// SP 800-90A (without reseed counters or prediction-resistance requests,
+/// which the paper's usage does not need): state is a key/value pair `(K, V)`
+/// updated through HMAC invocations.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::HmacDrbg;
+///
+/// let mut a = HmacDrbg::new(b"device key", b"erasmus-schedule");
+/// let mut b = HmacDrbg::new(b"device key", b"erasmus-schedule");
+/// // Deterministic: same seed, same stream.
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert_eq!(a.generate(16), b.generate(16));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacDrbg {
+    key: Vec<u8>,
+    value: Vec<u8>,
+}
+
+impl HmacDrbg {
+    /// Instantiates the generator from `seed` and a domain-separation
+    /// `personalization` string.
+    pub fn new(seed: &[u8], personalization: &[u8]) -> Self {
+        let mut drbg = Self {
+            key: vec![0u8; 32],
+            value: vec![0x01u8; 32],
+        };
+        let mut seed_material = Vec::with_capacity(seed.len() + personalization.len());
+        seed_material.extend_from_slice(seed);
+        seed_material.extend_from_slice(personalization);
+        drbg.update(Some(&seed_material));
+        drbg
+    }
+
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut data = Vec::with_capacity(self.value.len() + 1 + provided.map_or(0, |p| p.len()));
+        data.extend_from_slice(&self.value);
+        data.push(0x00);
+        if let Some(p) = provided {
+            data.extend_from_slice(p);
+        }
+        self.key = HmacSha256::mac(&self.key, &data);
+        self.value = HmacSha256::mac(&self.key, &self.value);
+
+        if let Some(p) = provided {
+            let mut data = Vec::with_capacity(self.value.len() + 1 + p.len());
+            data.extend_from_slice(&self.value);
+            data.push(0x01);
+            data.extend_from_slice(p);
+            self.key = HmacSha256::mac(&self.key, &data);
+            self.value = HmacSha256::mac(&self.key, &self.value);
+        }
+    }
+
+    /// Mixes additional entropy or context into the generator state.
+    pub fn reseed(&mut self, additional: &[u8]) {
+        self.update(Some(additional));
+    }
+
+    /// Generates `len` pseudo-random bytes.
+    pub fn generate(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            self.value = HmacSha256::mac(&self.key, &self.value);
+            let take = (len - out.len()).min(self.value.len());
+            out.extend_from_slice(&self.value[..take]);
+        }
+        self.update(None);
+        out
+    }
+
+    /// Generates a pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let bytes = self.generate(8);
+        u64::from_be_bytes([
+            bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+        ])
+    }
+
+    /// Generates a value uniformly distributed in `[low, high)` using
+    /// rejection sampling to avoid modulo bias.
+    ///
+    /// This is the `map` function of Section 3.5: it bounds the next
+    /// measurement interval between a lower and an upper limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn next_in_range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range [{low}, {high})");
+        let span = high - low;
+        // Rejection sampling: draw until the value falls below the largest
+        // multiple of `span` representable in u64.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let candidate = self.next_u64();
+            if candidate < zone {
+                return low + candidate % span;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = HmacDrbg::new(b"seed", b"ctx");
+        let mut b = HmacDrbg::new(b"seed", b"ctx");
+        assert_eq!(a.generate(64), b.generate(64));
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = HmacDrbg::new(b"seed-a", b"ctx");
+        let mut b = HmacDrbg::new(b"seed-b", b"ctx");
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn different_personalization_diverges() {
+        let mut a = HmacDrbg::new(b"seed", b"ctx-a");
+        let mut b = HmacDrbg::new(b"seed", b"ctx-b");
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn successive_outputs_differ() {
+        let mut drbg = HmacDrbg::new(b"seed", b"ctx");
+        let first = drbg.generate(32);
+        let second = drbg.generate(32);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn reseed_changes_stream() {
+        let mut a = HmacDrbg::new(b"seed", b"ctx");
+        let mut b = HmacDrbg::new(b"seed", b"ctx");
+        b.reseed(b"extra entropy");
+        assert_ne!(a.generate(32), b.generate(32));
+    }
+
+    #[test]
+    fn generate_arbitrary_lengths() {
+        let mut drbg = HmacDrbg::new(b"seed", b"len");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(drbg.generate(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut drbg = HmacDrbg::new(b"seed", b"range");
+        for _ in 0..1000 {
+            let v = drbg.next_in_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values_eventually() {
+        let mut drbg = HmacDrbg::new(b"seed", b"coverage");
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[drbg.next_in_range(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 residues should appear: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut drbg = HmacDrbg::new(b"seed", b"panic");
+        let _ = drbg.next_in_range(5, 5);
+    }
+
+    #[test]
+    fn single_value_range() {
+        let mut drbg = HmacDrbg::new(b"seed", b"one");
+        for _ in 0..10 {
+            assert_eq!(drbg.next_in_range(42, 43), 42);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity_over_small_range() {
+        let mut drbg = HmacDrbg::new(b"seed", b"uniform");
+        let mut counts = [0u32; 4];
+        let n = 4000;
+        for _ in 0..n {
+            counts[drbg.next_in_range(0, 4) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expect ~1000 each; allow generous slack.
+            assert!((700..1300).contains(&c), "counts {counts:?}");
+        }
+    }
+}

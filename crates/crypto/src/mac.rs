@@ -1,0 +1,277 @@
+//! Message authentication codes used for ERASMUS measurements.
+//!
+//! The paper evaluates three MAC constructions: HMAC-SHA1 (size comparison
+//! only), HMAC-SHA256 and keyed BLAKE2s. [`MacAlgorithm`] lets every prover,
+//! verifier and benchmark in the workspace select among them with a single
+//! value, mirroring the columns of Table 1 and the curves of Figures 6/8.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::blake2s::Blake2s;
+use crate::ct::constant_time_eq;
+use crate::hmac::{HmacSha1, HmacSha256};
+
+/// A computed MAC tag.
+///
+/// Wrapping the raw bytes in a newtype keeps tag handling explicit in
+/// protocol code and lets the verifier insist on constant-time comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MacTag(Vec<u8>);
+
+impl MacTag {
+    /// Wraps raw tag bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Self(bytes)
+    }
+
+    /// Tag length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the tag is empty (only possible for corrupted storage).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the raw tag bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the tag and returns the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Constant-time equality with another candidate tag.
+    pub fn ct_eq(&self, other: &MacTag) -> bool {
+        constant_time_eq(&self.0, &other.0)
+    }
+}
+
+impl AsRef<[u8]> for MacTag {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for MacTag {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self(bytes)
+    }
+}
+
+impl fmt::Display for MacTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in &self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Object-safe MAC abstraction.
+///
+/// Provers hold a `Box<dyn Mac>` chosen at deployment time; this mirrors the
+/// paper's deployments, which fix one MAC per ROM image.
+pub trait Mac: Send + Sync {
+    /// Computes the tag of `message` under `key`.
+    fn compute(&self, key: &[u8], message: &[u8]) -> MacTag;
+
+    /// Verifies a tag in constant time.
+    fn verify(&self, key: &[u8], message: &[u8], tag: &MacTag) -> bool {
+        self.compute(key, message).ct_eq(tag)
+    }
+
+    /// Tag length in bytes.
+    fn tag_len(&self) -> usize;
+
+    /// The algorithm identifier.
+    fn algorithm(&self) -> MacAlgorithm;
+}
+
+/// The three MAC constructions evaluated by the paper.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::MacAlgorithm;
+///
+/// let key = [7u8; 32];
+/// for alg in MacAlgorithm::ALL {
+///     let tag = alg.mac(&key, b"measurement");
+///     assert!(alg.verify(&key, b"measurement", &tag));
+///     assert!(!alg.verify(&key, b"tampered", &tag));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MacAlgorithm {
+    /// HMAC-SHA1 — reproduced only for the Table 1 size comparison.
+    HmacSha1,
+    /// HMAC-SHA256 — the paper's reference MAC.
+    HmacSha256,
+    /// Keyed BLAKE2s.
+    KeyedBlake2s,
+}
+
+impl MacAlgorithm {
+    /// All algorithms, in the order used by Table 1 of the paper.
+    pub const ALL: [MacAlgorithm; 3] = [
+        MacAlgorithm::HmacSha1,
+        MacAlgorithm::HmacSha256,
+        MacAlgorithm::KeyedBlake2s,
+    ];
+
+    /// Computes a tag over `message` under `key`.
+    pub fn mac(self, key: &[u8], message: &[u8]) -> MacTag {
+        match self {
+            MacAlgorithm::HmacSha1 => MacTag::new(HmacSha1::mac(key, message)),
+            MacAlgorithm::HmacSha256 => MacTag::new(HmacSha256::mac(key, message)),
+            MacAlgorithm::KeyedBlake2s => MacTag::new(Blake2s::keyed_mac(key, message)),
+        }
+    }
+
+    /// Verifies `tag` in constant time.
+    pub fn verify(self, key: &[u8], message: &[u8], tag: &MacTag) -> bool {
+        self.mac(key, message).ct_eq(tag)
+    }
+
+    /// Tag length in bytes.
+    pub fn tag_len(self) -> usize {
+        match self {
+            MacAlgorithm::HmacSha1 => 20,
+            MacAlgorithm::HmacSha256 => 32,
+            MacAlgorithm::KeyedBlake2s => 32,
+        }
+    }
+
+    /// Human-readable name matching the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            MacAlgorithm::HmacSha1 => "HMAC-SHA1",
+            MacAlgorithm::HmacSha256 => "HMAC-SHA256",
+            MacAlgorithm::KeyedBlake2s => "Keyed BLAKE2S",
+        }
+    }
+}
+
+impl fmt::Display for MacAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Error returned when parsing a [`MacAlgorithm`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacAlgorithmError {
+    input: String,
+}
+
+impl fmt::Display for ParseMacAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown MAC algorithm `{}`; expected one of hmac-sha1, hmac-sha256, blake2s",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseMacAlgorithmError {}
+
+impl FromStr for MacAlgorithm {
+    type Err = ParseMacAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hmac-sha1" | "hmacsha1" | "sha1" => Ok(MacAlgorithm::HmacSha1),
+            "hmac-sha256" | "hmacsha256" | "sha256" => Ok(MacAlgorithm::HmacSha256),
+            "blake2s" | "keyed-blake2s" | "keyedblake2s" => Ok(MacAlgorithm::KeyedBlake2s),
+            _ => Err(ParseMacAlgorithmError { input: s.to_owned() }),
+        }
+    }
+}
+
+impl Mac for MacAlgorithm {
+    fn compute(&self, key: &[u8], message: &[u8]) -> MacTag {
+        (*self).mac(key, message)
+    }
+
+    fn tag_len(&self) -> usize {
+        (*self).tag_len()
+    }
+
+    fn algorithm(&self) -> MacAlgorithm {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip_all_algorithms() {
+        let key = [0xa5u8; 32];
+        for alg in MacAlgorithm::ALL {
+            let tag = alg.mac(&key, b"hello");
+            assert_eq!(tag.len(), alg.tag_len());
+            assert!(alg.verify(&key, b"hello", &tag), "{alg}");
+            assert!(!alg.verify(&key, b"hellO", &tag), "{alg}");
+        }
+    }
+
+    #[test]
+    fn algorithms_produce_distinct_tags() {
+        let key = [1u8; 32];
+        let sha256 = MacAlgorithm::HmacSha256.mac(&key, b"m");
+        let blake = MacAlgorithm::KeyedBlake2s.mac(&key, b"m");
+        assert_ne!(sha256, blake);
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("hmac-sha256".parse::<MacAlgorithm>(), Ok(MacAlgorithm::HmacSha256));
+        assert_eq!("BLAKE2S".parse::<MacAlgorithm>(), Ok(MacAlgorithm::KeyedBlake2s));
+        assert_eq!("sha1".parse::<MacAlgorithm>(), Ok(MacAlgorithm::HmacSha1));
+        assert!("md5".parse::<MacAlgorithm>().is_err());
+        let err = "md5".parse::<MacAlgorithm>().unwrap_err();
+        assert!(err.to_string().contains("md5"));
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(MacAlgorithm::HmacSha256.to_string(), "HMAC-SHA256");
+        assert_eq!(MacAlgorithm::KeyedBlake2s.to_string(), "Keyed BLAKE2S");
+        assert_eq!(MacAlgorithm::HmacSha1.to_string(), "HMAC-SHA1");
+    }
+
+    #[test]
+    fn mac_tag_display_is_hex() {
+        let tag = MacTag::new(vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(tag.to_string(), "deadbeef");
+        assert_eq!(tag.len(), 4);
+        assert!(!tag.is_empty());
+    }
+
+    #[test]
+    fn mac_tag_conversions() {
+        let bytes = vec![1u8, 2, 3];
+        let tag = MacTag::from(bytes.clone());
+        assert_eq!(tag.as_bytes(), &bytes[..]);
+        assert_eq!(tag.as_ref(), &bytes[..]);
+        assert_eq!(tag.clone().into_bytes(), bytes);
+        assert!(tag.ct_eq(&MacTag::new(bytes)));
+    }
+
+    #[test]
+    fn dyn_mac_object_safety() {
+        let mac: Box<dyn Mac> = Box::new(MacAlgorithm::HmacSha256);
+        let tag = mac.compute(b"key", b"msg");
+        assert!(mac.verify(b"key", b"msg", &tag));
+        assert_eq!(mac.algorithm(), MacAlgorithm::HmacSha256);
+        assert_eq!(mac.tag_len(), 32);
+    }
+}

@@ -1,0 +1,202 @@
+//! SHA-1 as specified in FIPS 180-1 / RFC 3174.
+//!
+//! The paper includes HMAC-SHA1 in Table 1 "for comparison purposes only" and
+//! explicitly excludes it from its actual implementations due to the SHAttered
+//! collision. This crate mirrors that stance: [`Sha1`] exists so that the
+//! Table 1 executable-size comparison can be reproduced, but the rest of the
+//! workspace defaults to SHA-256 or BLAKE2s.
+
+use crate::digest::Digest;
+
+const H0: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+
+/// Incremental SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::{Digest, Sha1};
+///
+/// let digest = Sha1::digest(b"abc");
+/// assert_eq!(digest.len(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    /// Creates a fresh SHA-1 state.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_SIZE: usize = 20;
+    const BLOCK_SIZE: usize = 64;
+
+    fn new() -> Self {
+        Sha1::new()
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            self.buffer[..rem.len()].copy_from_slice(rem);
+            self.buffer_len = rem.len();
+        }
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut padding = Vec::with_capacity(72);
+        padding.push(0x80u8);
+        let msg_len = (self.total_len % 64) as usize;
+        let zero_count = if msg_len < 56 { 55 - msg_len } else { 119 - msg_len };
+        padding.extend(std::iter::repeat(0u8).take(zero_count));
+        padding.extend_from_slice(&bit_len.to_be_bytes());
+        self.update(&padding);
+        debug_assert_eq!(self.buffer_len, 0);
+
+        let mut out = Vec::with_capacity(20);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha1::digest(&msg)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..777u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 65, 200, 776, 777] {
+            let mut hasher = Sha1::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), Sha1::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn output_size_is_twenty_bytes() {
+        assert_eq!(Sha1::digest(b"x").len(), 20);
+        assert_eq!(<Sha1 as Digest>::OUTPUT_SIZE, 20);
+    }
+}

@@ -1,0 +1,372 @@
+//! Executable-size and hardware-cost models (Table 1 and Section 4.1).
+//!
+//! The paper reports the size of the attestation executable for every
+//! combination of MAC algorithm, security architecture and RA mode
+//! (Table 1), plus the FPGA synthesis overhead of the SMART+ hardware
+//! modifications (Section 4.1: 655 vs. 579 registers and 1,969 vs. 1,731
+//! look-up tables). Rebuilding those binaries needs the authors' msp430-gcc
+//! and seL4 build trees, so this module substitutes a *compositional* model:
+//! each executable is the sum of its components (measurement core, MAC
+//! implementation, request-authentication code, timer driver, seL4
+//! libraries), with component sizes calibrated so the composed totals match
+//! Table 1. The relative claims the paper draws from the table — ERASMUS
+//! needs slightly *less* ROM than on-demand on SMART+, and only ~1 % more
+//! space on HYDRA — fall out of the composition.
+
+use std::fmt;
+
+use erasmus_crypto::MacAlgorithm;
+
+use crate::profile::SecurityArchitecture;
+
+/// Which RA flavour the executable implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaMode {
+    /// Classic on-demand attestation (SMART+/HYDRA as published).
+    OnDemand,
+    /// ERASMUS self-measurement.
+    Erasmus,
+}
+
+impl RaMode {
+    /// Both modes, in Table 1 column order.
+    pub const ALL: [RaMode; 2] = [RaMode::OnDemand, RaMode::Erasmus];
+
+    /// Name as used in the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            RaMode::OnDemand => "On-Demand",
+            RaMode::Erasmus => "ERASMUS",
+        }
+    }
+}
+
+impl fmt::Display for RaMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// The size of one attestation executable, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExecutableSize {
+    bytes: usize,
+}
+
+impl ExecutableSize {
+    /// Wraps a size in bytes.
+    pub fn from_bytes(bytes: usize) -> Self {
+        Self { bytes }
+    }
+
+    /// Size in bytes.
+    pub fn as_bytes(self) -> usize {
+        self.bytes
+    }
+
+    /// Size in binary kilobytes, the unit Table 1 uses.
+    pub fn as_kib(self) -> f64 {
+        self.bytes as f64 / 1024.0
+    }
+}
+
+impl fmt::Display for ExecutableSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}KB", self.as_kib())
+    }
+}
+
+/// Component sizes (bytes) used to compose Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Components {
+    /// Measurement core: hash loop over memory, buffer management,
+    /// scheduling glue.
+    measurement_core: usize,
+    /// Verifier-request authentication and freshness checking (on-demand and
+    /// ERASMUS+OD only).
+    request_auth: usize,
+    /// Extra timer driver needed by ERASMUS on HYDRA (Section 4.2 attributes
+    /// its ~1 % size overhead to this).
+    timer_driver: usize,
+    /// Per-MAC code sizes.
+    hmac_sha1: usize,
+    hmac_sha256: usize,
+    blake2s: usize,
+    /// Platform baseline outside the attestation logic proper (zero on
+    /// SMART+, the seL4 libraries + network stack on HYDRA).
+    platform_base: usize,
+}
+
+/// Executable-size model reproducing Table 1.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::MacAlgorithm;
+/// use erasmus_hw::{CodeSizeModel, RaMode, SecurityArchitecture};
+///
+/// let model = CodeSizeModel::calibrated();
+/// let size = model
+///     .executable_size(SecurityArchitecture::SmartPlus, RaMode::Erasmus, MacAlgorithm::HmacSha256)
+///     .expect("SMART+ supports HMAC-SHA256");
+/// // Table 1 reports 4.9 KB for this cell.
+/// assert!((size.as_kib() - 4.9).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeSizeModel {
+    smart_plus: Components,
+    hydra: Components,
+}
+
+impl CodeSizeModel {
+    /// The calibration used throughout the workspace.
+    pub fn calibrated() -> Self {
+        Self {
+            smart_plus: Components {
+                measurement_core: 2_048,
+                request_auth: 205,
+                timer_driver: 0, // the MSP430 timer is driven by existing ROM code
+                hmac_sha1: 2_765,
+                hmac_sha256: 2_970,
+                blake2s: 27_341,
+                platform_base: 0,
+            },
+            hydra: Components {
+                measurement_core: 2_048,
+                request_auth: 205,
+                timer_driver: 2_130,
+                hmac_sha1: 2_560,
+                hmac_sha256: 2_970,
+                blake2s: 10_476,
+                platform_base: 232_305,
+            },
+        }
+    }
+
+    fn components(&self, arch: SecurityArchitecture) -> &Components {
+        match arch {
+            SecurityArchitecture::SmartPlus => &self.smart_plus,
+            SecurityArchitecture::Hydra => &self.hydra,
+        }
+    }
+
+    /// Size of the attestation executable for one Table 1 cell.
+    ///
+    /// Returns `None` for the combination the paper leaves blank
+    /// (HMAC-SHA1 on HYDRA).
+    pub fn executable_size(
+        &self,
+        arch: SecurityArchitecture,
+        mode: RaMode,
+        alg: MacAlgorithm,
+    ) -> Option<ExecutableSize> {
+        if arch == SecurityArchitecture::Hydra && alg == MacAlgorithm::HmacSha1 {
+            // Table 1 does not report HMAC-SHA1 on HYDRA.
+            return None;
+        }
+        let c = self.components(arch);
+        let mac = match alg {
+            MacAlgorithm::HmacSha1 => c.hmac_sha1,
+            MacAlgorithm::HmacSha256 => c.hmac_sha256,
+            MacAlgorithm::KeyedBlake2s => c.blake2s,
+        };
+        let mode_specific = match mode {
+            RaMode::OnDemand => c.request_auth,
+            RaMode::Erasmus => c.timer_driver,
+        };
+        Some(ExecutableSize::from_bytes(
+            c.platform_base + c.measurement_core + mac + mode_specific,
+        ))
+    }
+
+    /// All Table 1 rows: `(algorithm, architecture, mode, size)`.
+    pub fn table1(&self) -> Vec<(MacAlgorithm, SecurityArchitecture, RaMode, Option<ExecutableSize>)> {
+        let mut rows = Vec::new();
+        for alg in MacAlgorithm::ALL {
+            for arch in SecurityArchitecture::ALL {
+                for mode in RaMode::ALL {
+                    rows.push((alg, arch, mode, self.executable_size(arch, mode, alg)));
+                }
+            }
+        }
+        rows
+    }
+}
+
+impl Default for CodeSizeModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// FPGA synthesis cost of the SMART+/ERASMUS hardware support
+/// (Section 4.1).
+///
+/// # Example
+///
+/// ```
+/// use erasmus_hw::HardwareCost;
+///
+/// let cost = HardwareCost::openmsp430_erasmus();
+/// assert_eq!(cost.registers(), 655);
+/// assert!((cost.register_overhead_percent() - 13.1).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HardwareCost {
+    baseline_registers: u32,
+    baseline_luts: u32,
+    added_registers: u32,
+    added_luts: u32,
+}
+
+impl HardwareCost {
+    /// The unmodified OpenMSP430 core versus the core extended for
+    /// SMART+/ERASMUS (same cost for both modes, as the paper reports).
+    pub fn openmsp430_erasmus() -> Self {
+        Self {
+            baseline_registers: 579,
+            baseline_luts: 1_731,
+            added_registers: 76,
+            added_luts: 238,
+        }
+    }
+
+    /// Registers of the unmodified core.
+    pub fn baseline_registers(&self) -> u32 {
+        self.baseline_registers
+    }
+
+    /// Look-up tables of the unmodified core.
+    pub fn baseline_luts(&self) -> u32 {
+        self.baseline_luts
+    }
+
+    /// Registers of the extended core.
+    pub fn registers(&self) -> u32 {
+        self.baseline_registers + self.added_registers
+    }
+
+    /// Look-up tables of the extended core.
+    pub fn luts(&self) -> u32 {
+        self.baseline_luts + self.added_luts
+    }
+
+    /// Register overhead in percent.
+    pub fn register_overhead_percent(&self) -> f64 {
+        self.added_registers as f64 / self.baseline_registers as f64 * 100.0
+    }
+
+    /// LUT overhead in percent.
+    pub fn lut_overhead_percent(&self) -> f64 {
+        self.added_luts as f64 / self.baseline_luts as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Expected Table 1 values in KB: (alg, arch, on_demand, erasmus).
+    const TABLE1: [(MacAlgorithm, SecurityArchitecture, Option<f64>, Option<f64>); 6] = [
+        (MacAlgorithm::HmacSha1, SecurityArchitecture::SmartPlus, Some(4.9), Some(4.7)),
+        (MacAlgorithm::HmacSha1, SecurityArchitecture::Hydra, None, None),
+        (MacAlgorithm::HmacSha256, SecurityArchitecture::SmartPlus, Some(5.1), Some(4.9)),
+        (MacAlgorithm::HmacSha256, SecurityArchitecture::Hydra, Some(231.96), Some(233.84)),
+        (MacAlgorithm::KeyedBlake2s, SecurityArchitecture::SmartPlus, Some(28.9), Some(28.7)),
+        (MacAlgorithm::KeyedBlake2s, SecurityArchitecture::Hydra, Some(239.29), Some(241.17)),
+    ];
+
+    #[test]
+    fn reproduces_table1_within_tolerance() {
+        let model = CodeSizeModel::calibrated();
+        for (alg, arch, od_expected, erasmus_expected) in TABLE1 {
+            let od = model.executable_size(arch, RaMode::OnDemand, alg);
+            let erasmus = model.executable_size(arch, RaMode::Erasmus, alg);
+            match od_expected {
+                Some(expected) => {
+                    let got = od.expect("size present").as_kib();
+                    assert!(
+                        (got - expected).abs() < 0.05,
+                        "{alg} {arch} on-demand: got {got:.2}, expected {expected}"
+                    );
+                }
+                None => assert!(od.is_none()),
+            }
+            match erasmus_expected {
+                Some(expected) => {
+                    let got = erasmus.expect("size present").as_kib();
+                    assert!(
+                        (got - expected).abs() < 0.05,
+                        "{alg} {arch} ERASMUS: got {got:.2}, expected {expected}"
+                    );
+                }
+                None => assert!(erasmus.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn erasmus_needs_less_rom_than_on_demand_on_smart_plus() {
+        let model = CodeSizeModel::calibrated();
+        for alg in MacAlgorithm::ALL {
+            let od = model
+                .executable_size(SecurityArchitecture::SmartPlus, RaMode::OnDemand, alg)
+                .expect("present");
+            let erasmus = model
+                .executable_size(SecurityArchitecture::SmartPlus, RaMode::Erasmus, alg)
+                .expect("present");
+            assert!(erasmus < od, "{alg}");
+        }
+    }
+
+    #[test]
+    fn erasmus_overhead_on_hydra_is_about_one_percent() {
+        let model = CodeSizeModel::calibrated();
+        for alg in [MacAlgorithm::HmacSha256, MacAlgorithm::KeyedBlake2s] {
+            let od = model
+                .executable_size(SecurityArchitecture::Hydra, RaMode::OnDemand, alg)
+                .expect("present")
+                .as_bytes() as f64;
+            let erasmus = model
+                .executable_size(SecurityArchitecture::Hydra, RaMode::Erasmus, alg)
+                .expect("present")
+                .as_bytes() as f64;
+            let overhead = (erasmus - od) / od * 100.0;
+            assert!(overhead > 0.0 && overhead < 1.5, "{alg}: {overhead:.2}%");
+        }
+    }
+
+    #[test]
+    fn table1_enumerates_all_cells() {
+        let rows = CodeSizeModel::calibrated().table1();
+        assert_eq!(rows.len(), 3 * 2 * 2);
+        let absent = rows.iter().filter(|(_, _, _, size)| size.is_none()).count();
+        assert_eq!(absent, 2); // HMAC-SHA1 × HYDRA × {OnDemand, ERASMUS}
+    }
+
+    #[test]
+    fn executable_size_formatting() {
+        let size = ExecutableSize::from_bytes(5 * 1024);
+        assert_eq!(size.as_bytes(), 5 * 1024);
+        assert_eq!(size.to_string(), "5.00KB");
+    }
+
+    #[test]
+    fn hardware_cost_matches_section_4_1() {
+        let cost = HardwareCost::openmsp430_erasmus();
+        assert_eq!(cost.registers(), 655);
+        assert_eq!(cost.luts(), 1_969);
+        assert_eq!(cost.baseline_registers(), 579);
+        assert_eq!(cost.baseline_luts(), 1_731);
+        // Paper: "roughly 13% and 14% additional registers and look-up tables".
+        assert!((cost.register_overhead_percent() - 13.0).abs() < 1.0);
+        assert!((cost.lut_overhead_percent() - 14.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ra_mode_names() {
+        assert_eq!(RaMode::OnDemand.to_string(), "On-Demand");
+        assert_eq!(RaMode::Erasmus.to_string(), "ERASMUS");
+        assert_eq!(RaMode::ALL.len(), 2);
+    }
+}

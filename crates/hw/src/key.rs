@@ -1,0 +1,98 @@
+//! The device attestation key `K`.
+
+use std::fmt;
+
+use erasmus_crypto::HmacDrbg;
+
+/// The symmetric key shared between prover and verifier.
+///
+/// On SMART+ the key lives in ROM and is readable only by the ROM-resident
+/// attestation code; on HYDRA it is owned exclusively by the `PrAtt` process.
+/// The [`Debug`]/[`Display`] implementations never print the key material.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_hw::DeviceKey;
+///
+/// let key = DeviceKey::from_bytes([0x42; 32]);
+/// assert_eq!(key.as_bytes().len(), 32);
+/// // Debug output is redacted:
+/// assert_eq!(format!("{key:?}"), "DeviceKey(..redacted..)");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DeviceKey {
+    bytes: [u8; 32],
+}
+
+impl DeviceKey {
+    /// Key length in bytes.
+    pub const LEN: usize = 32;
+
+    /// Wraps raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self { bytes }
+    }
+
+    /// Derives a per-device key from a deployment master seed and a device
+    /// identifier, the way a fleet operator would provision keys.
+    pub fn derive(master_seed: &[u8], device_id: u64) -> Self {
+        let mut drbg = HmacDrbg::new(master_seed, b"erasmus-device-key");
+        drbg.reseed(&device_id.to_be_bytes());
+        let material = drbg.generate(32);
+        let mut bytes = [0u8; 32];
+        bytes.copy_from_slice(&material);
+        Self { bytes }
+    }
+
+    /// Borrows the raw key bytes.
+    ///
+    /// In the real architectures this is only possible from within the
+    /// attestation code; in the simulation the type-level guard is
+    /// [`crate::Mcu::run_trusted`], and verifier-side code (which legitimately
+    /// holds a copy of `K`) uses this accessor directly.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Debug for DeviceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DeviceKey(..redacted..)")
+    }
+}
+
+impl fmt::Display for DeviceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DeviceKey(..redacted..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_roundtrip() {
+        let key = DeviceKey::from_bytes([9u8; 32]);
+        assert_eq!(key.as_bytes(), &[9u8; 32]);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_per_device() {
+        let a1 = DeviceKey::derive(b"master", 1);
+        let a2 = DeviceKey::derive(b"master", 1);
+        let b = DeviceKey::derive(b"master", 2);
+        let c = DeviceKey::derive(b"other-master", 1);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_ne!(a1, c);
+    }
+
+    #[test]
+    fn debug_and_display_are_redacted() {
+        let key = DeviceKey::from_bytes([0xffu8; 32]);
+        assert!(!format!("{key:?}").contains("ff"));
+        assert!(!key.to_string().contains("ff"));
+    }
+}

@@ -1,0 +1,375 @@
+//! The simulated device (MCU / SoC).
+
+use erasmus_sim::{SimDuration, SimTime};
+
+use crate::cost::CostModel;
+use crate::error::HwError;
+use crate::key::DeviceKey;
+use crate::mem::{MemoryMap, RegionKind};
+use crate::mpu::{AccessKind, MpuConfig, Subject};
+use crate::profile::{DeviceProfile, SecurityArchitecture};
+use crate::rom::Rom;
+use crate::rroc::Rroc;
+use crate::secure_boot::SecureBoot;
+
+/// A simulated prover device.
+///
+/// The `Mcu` composes the pieces the paper's security argument rests on:
+///
+/// * application memory — what gets measured, and what malware modifies;
+/// * a [`Rom`] holding the attestation code and the device key `K`;
+/// * an [`MpuConfig`] that only lets the attestation code read `K`;
+/// * a [`Rroc`] providing tamper-proof timestamps;
+/// * a [`CostModel`] so operations consume realistic simulated time.
+///
+/// Untrusted code (the application, and therefore malware) can read and
+/// write application memory freely; the key is only reachable inside
+/// [`Mcu::run_trusted`], which models entering the ROM-resident / PrAtt
+/// attestation code atomically.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_hw::{DeviceKey, DeviceProfile, Mcu};
+///
+/// let mut mcu = Mcu::new(DeviceProfile::msp430_8mhz(1024), DeviceKey::from_bytes([1; 32]));
+/// // Malware scribbles over application memory…
+/// mcu.write_app_memory(0, b"evil payload")?;
+/// // …which the next trusted measurement will observe.
+/// let digest = mcu.run_trusted(|ctx| ctx.memory_digest())?;
+/// assert_eq!(digest.len(), 32);
+/// # Ok::<(), erasmus_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mcu {
+    profile: DeviceProfile,
+    memory_map: MemoryMap,
+    mpu: MpuConfig,
+    rom: Rom,
+    rroc: Rroc,
+    secure_boot: Option<SecureBoot>,
+    app_memory: Vec<u8>,
+    trusted_invocations: u64,
+}
+
+impl Mcu {
+    /// Builds a device from a profile and its provisioned key.
+    ///
+    /// The memory map, MPU rule table and (for HYDRA) secure-boot reference
+    /// are derived from the profile's architecture.
+    pub fn new(profile: DeviceProfile, key: DeviceKey) -> Self {
+        let app_size = profile.app_memory_bytes();
+        // Reserve a comfortable measurement store; its exact size does not
+        // affect any experiment (the rolling buffer lives in erasmus-core).
+        let store_size = 4 * 1024;
+        let (memory_map, mpu) = match profile.architecture() {
+            SecurityArchitecture::SmartPlus => (
+                MemoryMap::smart_plus_layout(app_size, store_size)
+                    .expect("smart+ layout never overlaps"),
+                MpuConfig::smart_plus(),
+            ),
+            SecurityArchitecture::Hydra => (
+                MemoryMap::hydra_layout(app_size, store_size).expect("hydra layout never overlaps"),
+                MpuConfig::hydra(),
+            ),
+        };
+        let rom = Rom::with_synthetic_code(key, 5 * 1024);
+        let secure_boot = match profile.architecture() {
+            SecurityArchitecture::SmartPlus => None,
+            SecurityArchitecture::Hydra => Some(SecureBoot::provision(&rom)),
+        };
+        Self {
+            app_memory: vec![0u8; app_size],
+            profile,
+            memory_map,
+            mpu,
+            rom,
+            rroc: Rroc::new(),
+            secure_boot,
+            trusted_invocations: 0,
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The device's cost model.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::new(&self.profile)
+    }
+
+    /// The memory map (Figure 5 / Figure 7 layout).
+    pub fn memory_map(&self) -> &MemoryMap {
+        &self.memory_map
+    }
+
+    /// The MPU / capability rule table.
+    pub fn mpu(&self) -> &MpuConfig {
+        &self.mpu
+    }
+
+    /// The ROM image (attestation code); the key is not exposed here.
+    pub fn rom(&self) -> &Rom {
+        &self.rom
+    }
+
+    /// The secure-boot verifier, present on HYDRA-class devices.
+    pub fn secure_boot(&self) -> Option<&SecureBoot> {
+        self.secure_boot.as_ref()
+    }
+
+    /// Current RROC reading. Reading the clock is allowed to everyone; only
+    /// writing is restricted (there is no API for that at all).
+    pub fn rroc_now(&self) -> SimTime {
+        self.rroc.now()
+    }
+
+    /// Advances device time by `elapsed`. Called by scenario drivers as
+    /// simulated time passes.
+    pub fn advance_time(&mut self, elapsed: SimDuration) -> SimTime {
+        self.rroc.advance(elapsed)
+    }
+
+    /// Advances device time to `target` (no-op if already past it).
+    pub fn advance_time_to(&mut self, target: SimTime) -> SimTime {
+        self.rroc.advance_to(target)
+    }
+
+    /// Mutable access to the RROC, exposed only so negative tests can model
+    /// the physical clock-rollback attack of Section 3.4.
+    pub fn rroc_mut_for_attack(&mut self) -> &mut Rroc {
+        &mut self.rroc
+    }
+
+    /// Number of times the trusted attestation code has been invoked.
+    pub fn trusted_invocations(&self) -> u64 {
+        self.trusted_invocations
+    }
+
+    /// Size of the application memory in bytes.
+    pub fn app_memory_len(&self) -> usize {
+        self.app_memory.len()
+    }
+
+    /// Read-only view of application memory (untrusted access — allowed).
+    pub fn app_memory(&self) -> &[u8] {
+        &self.app_memory
+    }
+
+    /// Writes `data` into application memory at `offset` as untrusted code
+    /// (the application itself, or malware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::OutOfBounds`] if the write does not fit, or
+    /// [`HwError::AccessViolation`] if the MPU forbids application writes
+    /// (never the case with the stock rule tables).
+    pub fn write_app_memory(&mut self, offset: usize, data: &[u8]) -> Result<(), HwError> {
+        self.mpu
+            .check(Subject::Application, RegionKind::Application, AccessKind::Write)?;
+        let end = offset.checked_add(data.len()).ok_or(HwError::OutOfBounds {
+            offset,
+            len: data.len(),
+            region_size: self.app_memory.len(),
+        })?;
+        if end > self.app_memory.len() {
+            return Err(HwError::OutOfBounds {
+                offset,
+                len: data.len(),
+                region_size: self.app_memory.len(),
+            });
+        }
+        self.app_memory[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Fills application memory from an iterator of bytes, truncating or
+    /// zero-padding to the memory size. Used to install a "benign software
+    /// image" at the start of a scenario.
+    pub fn load_app_image<I: IntoIterator<Item = u8>>(&mut self, image: I) {
+        let len = self.app_memory.len();
+        let mut iter = image.into_iter();
+        for slot in self.app_memory.iter_mut().take(len) {
+            *slot = iter.next().unwrap_or(0);
+        }
+    }
+
+    /// Runs `body` inside the trusted attestation context (ROM code on
+    /// SMART+, the PrAtt process on HYDRA).
+    ///
+    /// The closure receives a [`TrustedContext`] giving read access to the
+    /// key, the application memory and the RROC — the three things the
+    /// measurement code needs. The MPU table is consulted first, so a
+    /// mis-configured device (e.g. [`MpuConfig::deny_all`]) refuses to
+    /// produce measurements, mirroring how the hardware would fault.
+    ///
+    /// On HYDRA the secure-boot check must have passed at provisioning time;
+    /// this is re-validated on every entry to catch tests that tamper with
+    /// the ROM image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::AccessViolation`] if the rule table does not allow
+    /// the attestation code to read the key and application memory, or
+    /// [`HwError::SecureBootFailure`] if the HYDRA image check fails.
+    pub fn run_trusted<F, R>(&mut self, body: F) -> Result<R, HwError>
+    where
+        F: FnOnce(&TrustedContext<'_>) -> R,
+    {
+        self.mpu
+            .check(Subject::AttestationCode, RegionKind::Key, AccessKind::Read)?;
+        self.mpu
+            .check(Subject::AttestationCode, RegionKind::Application, AccessKind::Read)?;
+        self.mpu
+            .check(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Read)?;
+        if let Some(boot) = &self.secure_boot {
+            boot.verify(&self.rom)?;
+        }
+        self.trusted_invocations += 1;
+        let ctx = TrustedContext {
+            key: self.rom.key(),
+            app_memory: &self.app_memory,
+            now: self.rroc.now(),
+        };
+        Ok(body(&ctx))
+    }
+
+    /// Replaces the MPU configuration. Exists so tests can demonstrate what
+    /// breaks when the access rules are wrong; production code keeps the
+    /// architecture defaults.
+    pub fn set_mpu(&mut self, mpu: MpuConfig) {
+        self.mpu = mpu;
+    }
+}
+
+/// Read-only view handed to code running inside the trusted measurement
+/// context.
+#[derive(Debug)]
+pub struct TrustedContext<'a> {
+    key: &'a DeviceKey,
+    app_memory: &'a [u8],
+    now: SimTime,
+}
+
+impl TrustedContext<'_> {
+    /// The device key bytes (only reachable here).
+    pub fn key_bytes(&self) -> &[u8] {
+        self.key.as_bytes()
+    }
+
+    /// The application memory image to be measured.
+    pub fn memory(&self) -> &[u8] {
+        self.app_memory
+    }
+
+    /// RROC reading at entry into the trusted code.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Convenience: SHA-256 digest of the application memory, `H(mem_t)`.
+    pub fn memory_digest(&self) -> Vec<u8> {
+        use erasmus_crypto::{Digest, Sha256};
+        Sha256::digest(self.app_memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasmus_crypto::MacAlgorithm;
+
+    fn device() -> Mcu {
+        Mcu::new(DeviceProfile::msp430_8mhz(1024), DeviceKey::from_bytes([7; 32]))
+    }
+
+    #[test]
+    fn construction_reflects_architecture() {
+        let smart = device();
+        assert!(smart.secure_boot().is_none());
+        assert_eq!(smart.app_memory_len(), 1024);
+        assert_eq!(smart.memory_map().region(RegionKind::Application).map(|r| r.size), Some(1024));
+
+        let hydra = Mcu::new(
+            DeviceProfile::imx6_sabre_lite(2048),
+            DeviceKey::from_bytes([7; 32]),
+        );
+        assert!(hydra.secure_boot().is_some());
+        assert_eq!(hydra.profile().architecture(), SecurityArchitecture::Hydra);
+    }
+
+    #[test]
+    fn untrusted_writes_are_bounded() {
+        let mut mcu = device();
+        assert!(mcu.write_app_memory(0, &[1, 2, 3]).is_ok());
+        assert_eq!(&mcu.app_memory()[..3], &[1, 2, 3]);
+        let err = mcu.write_app_memory(1020, &[0; 10]).unwrap_err();
+        assert!(matches!(err, HwError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn load_app_image_pads_and_truncates() {
+        let mut mcu = device();
+        mcu.load_app_image([0xaa; 10]);
+        assert_eq!(mcu.app_memory()[9], 0xaa);
+        assert_eq!(mcu.app_memory()[10], 0);
+        mcu.load_app_image(std::iter::repeat(0xbb).take(5000));
+        assert_eq!(mcu.app_memory().len(), 1024);
+        assert!(mcu.app_memory().iter().all(|&b| b == 0xbb));
+    }
+
+    #[test]
+    fn trusted_context_exposes_key_memory_and_clock() {
+        let mut mcu = device();
+        mcu.advance_time(SimDuration::from_secs(42));
+        mcu.write_app_memory(0, b"state").expect("write");
+        let (tag, now) = mcu
+            .run_trusted(|ctx| {
+                assert_eq!(ctx.key_bytes(), &[7u8; 32]);
+                (
+                    MacAlgorithm::HmacSha256.mac(ctx.key_bytes(), ctx.memory()),
+                    ctx.now(),
+                )
+            })
+            .expect("trusted execution");
+        assert_eq!(tag.len(), 32);
+        assert_eq!(now, SimTime::from_secs(42));
+        assert_eq!(mcu.trusted_invocations(), 1);
+    }
+
+    #[test]
+    fn memory_digest_changes_when_memory_changes() {
+        let mut mcu = device();
+        let before = mcu.run_trusted(|ctx| ctx.memory_digest()).expect("digest");
+        mcu.write_app_memory(100, b"malware").expect("write");
+        let after = mcu.run_trusted(|ctx| ctx.memory_digest()).expect("digest");
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn deny_all_mpu_blocks_trusted_execution() {
+        let mut mcu = device();
+        mcu.set_mpu(MpuConfig::deny_all());
+        let err = mcu.run_trusted(|_| ()).unwrap_err();
+        assert!(matches!(err, HwError::AccessViolation { .. }));
+    }
+
+    #[test]
+    fn rroc_only_moves_forward_through_public_api() {
+        let mut mcu = device();
+        mcu.advance_time(SimDuration::from_secs(10));
+        mcu.advance_time_to(SimTime::from_secs(5)); // no-op
+        assert_eq!(mcu.rroc_now(), SimTime::from_secs(10));
+        mcu.advance_time_to(SimTime::from_secs(20));
+        assert_eq!(mcu.rroc_now(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn cost_model_is_derived_from_profile() {
+        let mcu = device();
+        let cost = mcu.cost_model();
+        assert_eq!(cost.profile().clock_hz(), 8_000_000);
+    }
+}

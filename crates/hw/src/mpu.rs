@@ -1,0 +1,259 @@
+//! Execution-aware memory protection rules.
+//!
+//! SMART hard-wires access-control rules in the MCU memory backbone;
+//! TrustLite generalizes them into an Execution-Aware MPU; HYDRA enforces
+//! the same policy in software via seL4 capabilities. All three reduce to
+//! the same abstract statement: *the device key is readable only while the
+//! attestation code is executing, and the attestation code itself is
+//! immutable*. [`MpuConfig`] captures that rule table.
+
+use crate::error::HwError;
+use crate::mem::RegionKind;
+
+/// Who is performing an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subject {
+    /// The ROM-resident (SMART+) or PrAtt (HYDRA) attestation code.
+    AttestationCode,
+    /// Untrusted application code — including any malware present.
+    Application,
+    /// A DMA-capable peripheral or the network interface.
+    Peripheral,
+}
+
+impl Subject {
+    /// Human-readable name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subject::AttestationCode => "attestation-code",
+            Subject::Application => "application",
+            Subject::Peripheral => "peripheral",
+        }
+    }
+}
+
+/// The kind of access being attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read bytes.
+    Read,
+    /// Write bytes.
+    Write,
+    /// Fetch and execute instructions.
+    Execute,
+}
+
+impl AccessKind {
+    /// Human-readable name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        }
+    }
+}
+
+/// A single allow-rule: `subject` may perform `access` on `region`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MpuRule {
+    /// Who is allowed.
+    pub subject: Subject,
+    /// On which region.
+    pub region: RegionKind,
+    /// Which access kind.
+    pub access: AccessKind,
+}
+
+impl MpuRule {
+    /// Creates an allow-rule.
+    pub fn allow(subject: Subject, region: RegionKind, access: AccessKind) -> Self {
+        Self { subject, region, access }
+    }
+}
+
+/// A default-deny access-rule table.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_hw::{AccessKind, MpuConfig, Subject};
+/// use erasmus_hw::RegionKind;
+///
+/// let mpu = MpuConfig::smart_plus();
+/// // Attestation code may read the key…
+/// assert!(mpu.check(Subject::AttestationCode, RegionKind::Key, AccessKind::Read).is_ok());
+/// // …the application (and thus malware) may not.
+/// assert!(mpu.check(Subject::Application, RegionKind::Key, AccessKind::Read).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpuConfig {
+    rules: Vec<MpuRule>,
+}
+
+impl MpuConfig {
+    /// Creates an empty (deny-everything) configuration.
+    pub fn deny_all() -> Self {
+        Self { rules: Vec::new() }
+    }
+
+    /// Creates a configuration from explicit rules.
+    pub fn new(rules: Vec<MpuRule>) -> Self {
+        Self { rules }
+    }
+
+    /// The SMART+ rule table of Figure 5:
+    ///
+    /// * attestation code: execute ROM, read key, read application memory,
+    ///   read/write the measurement store, read peripherals (RROC, timer);
+    /// * application: read/write application memory and the measurement
+    ///   store, read ROM and peripherals — but never the key;
+    /// * peripherals (network interface): read the measurement store so that
+    ///   collection responses can be transmitted without invoking the
+    ///   attestation code.
+    pub fn smart_plus() -> Self {
+        use AccessKind::{Execute, Read, Write};
+        Self::new(vec![
+            MpuRule::allow(Subject::AttestationCode, RegionKind::Rom, Execute),
+            MpuRule::allow(Subject::AttestationCode, RegionKind::Rom, Read),
+            MpuRule::allow(Subject::AttestationCode, RegionKind::Key, Read),
+            MpuRule::allow(Subject::AttestationCode, RegionKind::Application, Read),
+            MpuRule::allow(Subject::AttestationCode, RegionKind::MeasurementStore, Read),
+            MpuRule::allow(Subject::AttestationCode, RegionKind::MeasurementStore, Write),
+            MpuRule::allow(Subject::AttestationCode, RegionKind::Peripheral, Read),
+            MpuRule::allow(Subject::Application, RegionKind::Application, Read),
+            MpuRule::allow(Subject::Application, RegionKind::Application, Write),
+            MpuRule::allow(Subject::Application, RegionKind::Application, Execute),
+            MpuRule::allow(Subject::Application, RegionKind::Rom, Read),
+            MpuRule::allow(Subject::Application, RegionKind::MeasurementStore, Read),
+            MpuRule::allow(Subject::Application, RegionKind::MeasurementStore, Write),
+            MpuRule::allow(Subject::Application, RegionKind::Peripheral, Read),
+            MpuRule::allow(Subject::Peripheral, RegionKind::MeasurementStore, Read),
+        ])
+    }
+
+    /// The HYDRA capability assignment of Figure 7. The shape is the same as
+    /// SMART+ — the attestation process has exclusive access to `K` — with
+    /// the addition that the attestation process may also *write* the RROC
+    /// peripherals, because HYDRA builds its reliable clock in software from
+    /// a hardware counter (Section 4.2).
+    pub fn hydra() -> Self {
+        let mut config = Self::smart_plus();
+        config.rules.push(MpuRule::allow(
+            Subject::AttestationCode,
+            RegionKind::Peripheral,
+            AccessKind::Write,
+        ));
+        // PrAtt code lives in RAM but is writable only by itself (enforced by
+        // seL4 capabilities); modelled as attestation-code write access to ROM
+        // being *absent* and application write access to ROM being absent too,
+        // which the smart_plus table already guarantees by default-deny.
+        config
+    }
+
+    /// All rules in the table.
+    pub fn rules(&self) -> &[MpuRule] {
+        &self.rules
+    }
+
+    /// Returns whether `subject` may perform `access` on `region`.
+    pub fn is_allowed(&self, subject: Subject, region: RegionKind, access: AccessKind) -> bool {
+        self.rules
+            .iter()
+            .any(|rule| rule.subject == subject && rule.region == region && rule.access == access)
+    }
+
+    /// Checks an access, returning an [`HwError::AccessViolation`] when it is
+    /// not allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no allow-rule matches (default deny).
+    pub fn check(
+        &self,
+        subject: Subject,
+        region: RegionKind,
+        access: AccessKind,
+    ) -> Result<(), HwError> {
+        if self.is_allowed(subject, region, access) {
+            Ok(())
+        } else {
+            Err(HwError::AccessViolation {
+                subject: subject.name().to_owned(),
+                region: region.name().to_owned(),
+                access: access.name().to_owned(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_deny() {
+        let mpu = MpuConfig::deny_all();
+        assert!(mpu
+            .check(Subject::Application, RegionKind::Application, AccessKind::Read)
+            .is_err());
+        assert!(mpu.rules().is_empty());
+    }
+
+    #[test]
+    fn smart_plus_key_isolation() {
+        let mpu = MpuConfig::smart_plus();
+        // Only the attestation code reads K.
+        assert!(mpu.is_allowed(Subject::AttestationCode, RegionKind::Key, AccessKind::Read));
+        assert!(!mpu.is_allowed(Subject::Application, RegionKind::Key, AccessKind::Read));
+        assert!(!mpu.is_allowed(Subject::Peripheral, RegionKind::Key, AccessKind::Read));
+        // Nobody writes K or ROM at runtime.
+        for subject in [Subject::AttestationCode, Subject::Application, Subject::Peripheral] {
+            assert!(!mpu.is_allowed(subject, RegionKind::Key, AccessKind::Write));
+            assert!(!mpu.is_allowed(subject, RegionKind::Rom, AccessKind::Write));
+        }
+    }
+
+    #[test]
+    fn smart_plus_measurement_store_is_insecure() {
+        // The paper stores measurements in *unprotected* memory: the
+        // application (and malware) may read and write them freely.
+        let mpu = MpuConfig::smart_plus();
+        assert!(mpu.is_allowed(Subject::Application, RegionKind::MeasurementStore, AccessKind::Read));
+        assert!(mpu.is_allowed(Subject::Application, RegionKind::MeasurementStore, AccessKind::Write));
+    }
+
+    #[test]
+    fn smart_plus_attestation_code_reads_app_memory() {
+        let mpu = MpuConfig::smart_plus();
+        assert!(mpu.is_allowed(Subject::AttestationCode, RegionKind::Application, AccessKind::Read));
+        assert!(mpu.is_allowed(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Read));
+    }
+
+    #[test]
+    fn hydra_extends_smart_plus() {
+        let smart = MpuConfig::smart_plus();
+        let hydra = MpuConfig::hydra();
+        // Everything SMART+ allows, HYDRA allows too.
+        for rule in smart.rules() {
+            assert!(hydra.is_allowed(rule.subject, rule.region, rule.access));
+        }
+        // HYDRA's software clock needs peripheral write access for PrAtt.
+        assert!(hydra.is_allowed(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Write));
+        assert!(!smart.is_allowed(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Write));
+        // But the application still cannot touch the key.
+        assert!(!hydra.is_allowed(Subject::Application, RegionKind::Key, AccessKind::Read));
+    }
+
+    #[test]
+    fn check_reports_subject_and_region() {
+        let mpu = MpuConfig::smart_plus();
+        let err = mpu
+            .check(Subject::Application, RegionKind::Key, AccessKind::Read)
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("application"));
+        assert!(message.contains("key"));
+        assert!(message.contains("read"));
+    }
+}

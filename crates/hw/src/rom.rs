@@ -1,0 +1,94 @@
+//! ROM image: the attestation code and (on SMART+) the device key.
+
+use erasmus_crypto::{Digest, Sha256};
+
+use crate::key::DeviceKey;
+
+/// The immutable ROM contents of a SMART+ device, or the secure-boot-
+/// protected `PrAtt` image of a HYDRA device.
+///
+/// The ROM holds (a) the attestation/measurement code and (b) the device key
+/// `K`. Neither can be modified at runtime; the [`Rom::code_digest`] is what
+/// secure boot (HYDRA) checks before handing control to the system.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_hw::{DeviceKey, Rom};
+///
+/// let rom = Rom::new(DeviceKey::from_bytes([1; 32]), b"attestation code image".to_vec());
+/// assert_eq!(rom.code().len(), 22);
+/// assert_eq!(rom.code_digest().len(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rom {
+    key: DeviceKey,
+    code: Vec<u8>,
+    code_digest: Vec<u8>,
+}
+
+impl Rom {
+    /// Creates a ROM image holding `key` and the attestation `code` bytes.
+    pub fn new(key: DeviceKey, code: Vec<u8>) -> Self {
+        let code_digest = Sha256::digest(&code);
+        Self { key, code, code_digest }
+    }
+
+    /// Creates a ROM with a synthetic attestation-code image of `code_size`
+    /// bytes (used when only the *size* matters, e.g. for Table 1 models).
+    pub fn with_synthetic_code(key: DeviceKey, code_size: usize) -> Self {
+        // Deterministic, compressible-looking filler: a repeating counter.
+        let code: Vec<u8> = (0..code_size).map(|i| (i % 251) as u8).collect();
+        Self::new(key, code)
+    }
+
+    /// The device key. Access control is enforced by the MCU, not here; see
+    /// [`crate::Mcu::run_trusted`].
+    pub(crate) fn key(&self) -> &DeviceKey {
+        &self.key
+    }
+
+    /// The attestation code bytes.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// SHA-256 digest of the attestation code, as checked by secure boot.
+    pub fn code_digest(&self) -> &[u8] {
+        &self.code_digest
+    }
+
+    /// Size of the attestation code in bytes.
+    pub fn code_size(&self) -> usize {
+        self.code.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_matches_code() {
+        let rom = Rom::new(DeviceKey::from_bytes([0; 32]), vec![1, 2, 3]);
+        assert_eq!(rom.code_digest(), &Sha256::digest(&[1, 2, 3])[..]);
+        assert_eq!(rom.code(), &[1, 2, 3]);
+        assert_eq!(rom.code_size(), 3);
+    }
+
+    #[test]
+    fn synthetic_code_has_requested_size() {
+        let rom = Rom::with_synthetic_code(DeviceKey::from_bytes([0; 32]), 4900);
+        assert_eq!(rom.code_size(), 4900);
+        // Deterministic: same size gives same digest.
+        let rom2 = Rom::with_synthetic_code(DeviceKey::from_bytes([0; 32]), 4900);
+        assert_eq!(rom.code_digest(), rom2.code_digest());
+    }
+
+    #[test]
+    fn different_code_different_digest() {
+        let a = Rom::new(DeviceKey::from_bytes([0; 32]), vec![1, 2, 3]);
+        let b = Rom::new(DeviceKey::from_bytes([0; 32]), vec![1, 2, 4]);
+        assert_ne!(a.code_digest(), b.code_digest());
+    }
+}

@@ -1,0 +1,161 @@
+//! Hardware timers.
+//!
+//! The SMART+ implementation reuses the unmodified `omsp_timerA` module and
+//! the HYDRA implementation uses the i.MX6 Enhanced Periodic Interrupt Timer
+//! (EPIT) to trigger self-measurements (Section 4). The paper notes that
+//! timers are *not* counted as extra hardware cost because every embedded
+//! device already has one.
+
+use erasmus_sim::{SimDuration, SimTime};
+
+/// A periodic interrupt timer.
+///
+/// The timer fires every `period`, starting one period after it is armed.
+/// [`PeriodicTimer::fire_times_until`] returns every expiry up to a deadline,
+/// which is how the prover discovers the self-measurement instants it slept
+/// through in a discrete-event run.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_hw::PeriodicTimer;
+/// use erasmus_sim::{SimDuration, SimTime};
+///
+/// let mut timer = PeriodicTimer::armed_at(SimTime::ZERO, SimDuration::from_secs(10));
+/// let fires = timer.fire_times_until(SimTime::from_secs(35));
+/// assert_eq!(fires.len(), 3); // t = 10, 20, 30
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodicTimer {
+    period: SimDuration,
+    next_fire: SimTime,
+    fired: u64,
+}
+
+impl PeriodicTimer {
+    /// Arms a timer at `now` with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn armed_at(now: SimTime, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        Self {
+            period,
+            next_fire: now + period,
+            fired: 0,
+        }
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// The next instant the timer will fire.
+    pub fn next_fire(&self) -> SimTime {
+        self.next_fire
+    }
+
+    /// Number of times the timer has fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Reprograms the period; the next expiry is one new period after `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn reprogram(&mut self, now: SimTime, period: SimDuration) {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        self.period = period;
+        self.next_fire = now + period;
+    }
+
+    /// Overrides the next expiry without changing the period. Used by the
+    /// irregular (CSPRNG-driven) and lenient schedules, which pick each next
+    /// firing individually.
+    pub fn set_next_fire(&mut self, at: SimTime) {
+        self.next_fire = at;
+    }
+
+    /// Returns `true` and advances to the next period if the timer expires at
+    /// or before `now`.
+    pub fn poll(&mut self, now: SimTime) -> bool {
+        if now >= self.next_fire {
+            self.next_fire += self.period;
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns every expiry instant up to and including `deadline`,
+    /// advancing the timer past them.
+    pub fn fire_times_until(&mut self, deadline: SimTime) -> Vec<SimTime> {
+        let mut fires = Vec::new();
+        while self.next_fire <= deadline {
+            fires.push(self.next_fire);
+            self.next_fire += self.period;
+            self.fired += 1;
+        }
+        fires
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_periodically() {
+        let mut timer = PeriodicTimer::armed_at(SimTime::ZERO, SimDuration::from_secs(5));
+        assert_eq!(timer.next_fire(), SimTime::from_secs(5));
+        assert!(!timer.poll(SimTime::from_secs(4)));
+        assert!(timer.poll(SimTime::from_secs(5)));
+        assert_eq!(timer.next_fire(), SimTime::from_secs(10));
+        assert_eq!(timer.fired(), 1);
+    }
+
+    #[test]
+    fn fire_times_until_collects_all_expiries() {
+        let mut timer = PeriodicTimer::armed_at(SimTime::from_secs(100), SimDuration::from_secs(10));
+        let fires = timer.fire_times_until(SimTime::from_secs(145));
+        assert_eq!(
+            fires,
+            vec![
+                SimTime::from_secs(110),
+                SimTime::from_secs(120),
+                SimTime::from_secs(130),
+                SimTime::from_secs(140),
+            ]
+        );
+        assert_eq!(timer.fired(), 4);
+        assert!(timer.fire_times_until(SimTime::from_secs(145)).is_empty());
+    }
+
+    #[test]
+    fn reprogram_changes_cadence() {
+        let mut timer = PeriodicTimer::armed_at(SimTime::ZERO, SimDuration::from_secs(10));
+        timer.reprogram(SimTime::from_secs(3), SimDuration::from_secs(2));
+        assert_eq!(timer.period(), SimDuration::from_secs(2));
+        assert_eq!(timer.next_fire(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn set_next_fire_overrides_single_expiry() {
+        let mut timer = PeriodicTimer::armed_at(SimTime::ZERO, SimDuration::from_secs(10));
+        timer.set_next_fire(SimTime::from_secs(3));
+        assert!(timer.poll(SimTime::from_secs(3)));
+        // Subsequent expiries continue from the overridden point + period.
+        assert_eq!(timer.next_fire(), SimTime::from_secs(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let _ = PeriodicTimer::armed_at(SimTime::ZERO, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,106 @@
+//! A monotonically advancing simulated clock.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simulated wall clock.
+///
+/// `SimClock` is the time source used by scenario drivers outside the
+/// discrete-event [`Engine`](crate::Engine), e.g. the quickstart example that
+/// advances time manually between measurements. It can only move forward,
+/// mirroring the paper's reliable read-only clock (RROC) requirement.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_sim::{SimClock, SimDuration, SimTime};
+///
+/// let mut clock = SimClock::new();
+/// assert_eq!(clock.now(), SimTime::ZERO);
+/// clock.advance(SimDuration::from_secs(30));
+/// assert_eq!(clock.now(), SimTime::from_secs(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock starting at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock starting at an arbitrary instant.
+    pub fn starting_at(start: SimTime) -> Self {
+        Self { now: start }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `duration` and returns the new time.
+    pub fn advance(&mut self, duration: SimDuration) -> SimTime {
+        self.now += duration;
+        self.now
+    }
+
+    /// Moves the clock to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is earlier than the current time: simulated clocks
+    /// never run backwards.
+    pub fn advance_to(&mut self, target: SimTime) -> SimTime {
+        assert!(
+            target >= self.now,
+            "cannot move clock backwards from {} to {}",
+            self.now,
+            target
+        );
+        self.now = target;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now(), SimTime::ZERO);
+        assert_eq!(SimClock::default().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn starting_at_arbitrary_time() {
+        let clock = SimClock::starting_at(SimTime::from_secs(100));
+        assert_eq!(clock.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut clock = SimClock::new();
+        clock.advance(SimDuration::from_secs(1));
+        clock.advance(SimDuration::from_millis(500));
+        assert_eq!(clock.now(), SimTime::from_millis(1500));
+    }
+
+    #[test]
+    fn advance_to_moves_forward() {
+        let mut clock = SimClock::new();
+        let t = clock.advance_to(SimTime::from_secs(42));
+        assert_eq!(t, SimTime::from_secs(42));
+        // Advancing to the same instant is allowed.
+        clock.advance_to(SimTime::from_secs(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_to_backwards_panics() {
+        let mut clock = SimClock::starting_at(SimTime::from_secs(10));
+        clock.advance_to(SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,173 @@
+//! Time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number used to break ties FIFO.
+    pub sequence: u64,
+    /// Caller-defined payload.
+    pub payload: T,
+}
+
+/// Internal wrapper giving the heap min-ordering by (time, sequence).
+#[derive(Debug)]
+struct HeapEntry<T> {
+    event: ScheduledEvent<T>,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.event.time == other.event.time && self.event.sequence == other.event.sequence
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .event
+            .time
+            .cmp(&self.event.time)
+            .then_with(|| other.event.sequence.cmp(&self.event.sequence))
+    }
+}
+
+/// A priority queue of events ordered by time, with FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_sim::{EventQueue, SimTime};
+///
+/// let mut queue = EventQueue::new();
+/// queue.push(SimTime::from_secs(3), "c");
+/// queue.push(SimTime::from_secs(1), "a");
+/// queue.push(SimTime::from_secs(1), "b");
+/// assert_eq!(queue.pop().map(|e| e.payload), Some("a"));
+/// assert_eq!(queue.pop().map(|e| e.payload), Some("b"));
+/// assert_eq!(queue.pop().map(|e| e.payload), Some("c"));
+/// assert!(queue.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_sequence: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(HeapEntry {
+            event: ScheduledEvent {
+                time,
+                sequence,
+                payload,
+            },
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop().map(|entry| entry.event)
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|entry| entry.event.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::from_secs(10), 10u32);
+        queue.push(SimTime::from_secs(5), 5);
+        queue.push(SimTime::from_secs(7), 7);
+        let order: Vec<u32> = std::iter::from_fn(|| queue.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![5, 7, 10]);
+    }
+
+    #[test]
+    fn ties_broken_fifo() {
+        let mut queue = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            queue.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| queue.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut queue = EventQueue::new();
+        assert!(queue.is_empty());
+        assert_eq!(queue.peek_time(), None);
+        queue.push(SimTime::from_secs(2), ());
+        queue.push(SimTime::from_secs(1), ());
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.peek_time(), Some(SimTime::from_secs(1)));
+        queue.clear();
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let mut queue = EventQueue::new();
+        queue.push(SimTime::ZERO, "a");
+        queue.push(SimTime::ZERO, "b");
+        let first = queue.pop().expect("event");
+        let second = queue.pop().expect("event");
+        assert!(first.sequence < second.sequence);
+    }
+}

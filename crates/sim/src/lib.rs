@@ -1,0 +1,49 @@
+//! Deterministic discrete-event simulation engine for the ERASMUS
+//! reproduction.
+//!
+//! The paper's evaluation reasons about *timelines*: when measurements are
+//! taken (every `T_M`), when collections happen (every `T_C`), when mobile
+//! malware enters and leaves, and how long each operation takes on a given
+//! device (Figures 1, 6, 8; Table 2). This crate provides the time base and
+//! event machinery those experiments run on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
+//! * [`SimClock`] — a monotonically advancing clock handle.
+//! * [`EventQueue`] / [`Engine`] — a classic discrete-event scheduler.
+//! * [`Trace`] — an append-only record of what happened and when, used by
+//!   the QoA analysis and by the `repro` harness to print timelines.
+//! * [`SimRng`] — a small deterministic RNG for workload generation
+//!   (malware dwell times, mobility), so every experiment is reproducible
+//!   from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use erasmus_sim::{Engine, SimTime};
+//!
+//! let mut engine: Engine<&'static str> = Engine::new();
+//! engine.schedule_at(SimTime::from_secs(5), "measurement");
+//! engine.schedule_at(SimTime::from_secs(2), "boot");
+//! let mut order = Vec::new();
+//! while let Some(event) = engine.next_event() {
+//!     order.push((event.time.as_secs_f64(), event.payload));
+//! }
+//! assert_eq!(order, vec![(2.0, "boot"), (5.0, "measurement")]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use clock::SimClock;
+pub use engine::Engine;
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,209 @@
+//! Device mobility: link churn applied to the topology over time.
+//!
+//! The paper's argument in Section 6 is about *how long* the topology has to
+//! hold still: on-demand swarm attestation needs it static for the entire
+//! protocol run (dominated by per-device measurement computation), while the
+//! ERASMUS collection phase is so short that mobility barely matters. The
+//! mobility model here is deliberately simple — per-epoch link churn — which
+//! is enough to expose that asymmetry.
+
+use erasmus_sim::{SimDuration, SimRng};
+
+use crate::topology::Topology;
+
+/// How the swarm's connectivity changes over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityModel {
+    /// The topology never changes.
+    Static,
+    /// Every `epoch`, each device rewires one of its links with probability
+    /// `churn_probability` (drops a random existing link and gains a link to
+    /// a random other device).
+    Churn {
+        /// Length of one mobility epoch.
+        epoch: SimDuration,
+        /// Per-device probability of rewiring per epoch, in `[0, 1]`.
+        churn_probability: f64,
+    },
+}
+
+impl MobilityModel {
+    /// A churn model with the given epoch and per-device rewiring
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]` or the epoch is zero.
+    pub fn churn(epoch: SimDuration, churn_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&churn_probability),
+            "churn probability must be within [0, 1], got {churn_probability}"
+        );
+        assert!(!epoch.is_zero(), "mobility epoch must be non-zero");
+        MobilityModel::Churn { epoch, churn_probability }
+    }
+
+    /// Length of one mobility epoch (`None` for a static swarm).
+    pub fn epoch(&self) -> Option<SimDuration> {
+        match self {
+            MobilityModel::Static => None,
+            MobilityModel::Churn { epoch, .. } => Some(*epoch),
+        }
+    }
+
+    /// Number of whole mobility epochs that elapse during `duration`.
+    pub fn epochs_during(&self, duration: SimDuration) -> u64 {
+        match self {
+            MobilityModel::Static => 0,
+            MobilityModel::Churn { epoch, .. } => duration.as_nanos() / epoch.as_nanos(),
+        }
+    }
+}
+
+/// Applies a [`MobilityModel`] to a [`Topology`].
+///
+/// # Example
+///
+/// ```
+/// use erasmus_swarm::{MobilityModel, MobilitySimulator, Topology};
+/// use erasmus_sim::{SimDuration, SimRng};
+///
+/// let mut topology = Topology::ring(16);
+/// let mut mobility = MobilitySimulator::new(
+///     MobilityModel::churn(SimDuration::from_secs(1), 0.5),
+///     SimRng::seed_from(7),
+/// );
+/// let before = topology.links();
+/// mobility.advance(&mut topology, SimDuration::from_secs(10));
+/// assert_ne!(before, topology.links(), "ten epochs of churn rewired something");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MobilitySimulator {
+    model: MobilityModel,
+    rng: SimRng,
+    epochs_applied: u64,
+}
+
+impl MobilitySimulator {
+    /// Creates a simulator for `model` driven by `rng`.
+    pub fn new(model: MobilityModel, rng: SimRng) -> Self {
+        Self { model, rng, epochs_applied: 0 }
+    }
+
+    /// The mobility model.
+    pub fn model(&self) -> MobilityModel {
+        self.model
+    }
+
+    /// Total epochs applied so far.
+    pub fn epochs_applied(&self) -> u64 {
+        self.epochs_applied
+    }
+
+    /// Applies one epoch of churn to `topology`.
+    pub fn step(&mut self, topology: &mut Topology) {
+        let MobilityModel::Churn { churn_probability, .. } = self.model else {
+            return;
+        };
+        let nodes = topology.len();
+        if nodes < 3 {
+            return;
+        }
+        for node in 0..nodes {
+            if !self.rng.gen_bool(churn_probability) {
+                continue;
+            }
+            // Drop one existing link (if any)…
+            let neighbors = topology.neighbors(node);
+            if let Some(&victim) = neighbors.get(self.rng.gen_range(0, neighbors.len().max(1) as u64) as usize)
+            {
+                topology.remove_link(node, victim);
+            }
+            // …and gain a link to a random other node.
+            let mut other = self.rng.gen_range(0, nodes as u64) as usize;
+            if other == node {
+                other = (other + 1) % nodes;
+            }
+            topology.add_link(node, other);
+        }
+        self.epochs_applied += 1;
+    }
+
+    /// Applies as many whole epochs as fit in `duration`.
+    pub fn advance(&mut self, topology: &mut Topology, duration: SimDuration) {
+        for _ in 0..self.model.epochs_during(duration) {
+            self.step(topology);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_model_never_changes_anything() {
+        let mut topology = Topology::ring(8);
+        let before = topology.clone();
+        let mut mobility = MobilitySimulator::new(MobilityModel::Static, SimRng::seed_from(1));
+        mobility.advance(&mut topology, SimDuration::from_secs(1_000));
+        assert_eq!(topology, before);
+        assert_eq!(mobility.epochs_applied(), 0);
+        assert_eq!(MobilityModel::Static.epoch(), None);
+    }
+
+    #[test]
+    fn churn_rewires_links() {
+        let mut topology = Topology::ring(32);
+        let before = topology.links();
+        let mut mobility = MobilitySimulator::new(
+            MobilityModel::churn(SimDuration::from_secs(1), 0.8),
+            SimRng::seed_from(5),
+        );
+        mobility.advance(&mut topology, SimDuration::from_secs(5));
+        assert_eq!(mobility.epochs_applied(), 5);
+        assert_ne!(before, topology.links());
+        // Node count is preserved, only links move.
+        assert_eq!(topology.len(), 32);
+    }
+
+    #[test]
+    fn zero_probability_churn_is_a_no_op() {
+        let mut topology = Topology::ring(8);
+        let before = topology.clone();
+        let mut mobility = MobilitySimulator::new(
+            MobilityModel::churn(SimDuration::from_secs(1), 0.0),
+            SimRng::seed_from(5),
+        );
+        mobility.advance(&mut topology, SimDuration::from_secs(50));
+        assert_eq!(topology, before);
+        assert_eq!(mobility.epochs_applied(), 50);
+    }
+
+    #[test]
+    fn epochs_during_counts_whole_epochs() {
+        let model = MobilityModel::churn(SimDuration::from_secs(2), 0.5);
+        assert_eq!(model.epochs_during(SimDuration::from_secs(7)), 3);
+        assert_eq!(model.epochs_during(SimDuration::from_millis(100)), 0);
+        assert_eq!(MobilityModel::Static.epochs_during(SimDuration::from_secs(100)), 0);
+        assert_eq!(model.epoch(), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn tiny_swarms_are_left_alone() {
+        let mut topology = Topology::ring(2);
+        let before = topology.clone();
+        let mut mobility = MobilitySimulator::new(
+            MobilityModel::churn(SimDuration::from_secs(1), 1.0),
+            SimRng::seed_from(5),
+        );
+        mobility.step(&mut topology);
+        assert_eq!(topology, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = MobilityModel::churn(SimDuration::from_secs(1), 1.5);
+    }
+}

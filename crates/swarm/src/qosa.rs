@@ -1,0 +1,229 @@
+//! Quality of Swarm Attestation (QoSA).
+//!
+//! QoSA (introduced by LISA and referenced in Section 6) captures *how much
+//! information* the verifier learns from a swarm attestation: from a single
+//! bit ("is the whole swarm healthy?") to the full per-device picture. QoSA
+//! is orthogonal to QoA — one is spatial, the other temporal — and the two
+//! compose: a swarm report at any QoSA level can be built from per-device
+//! ERASMUS histories.
+
+use std::collections::BTreeMap;
+
+use erasmus_core::AttestationVerdict;
+
+/// Per-device outcome inside a swarm report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceStatus {
+    /// The device's history verified and showed only healthy software.
+    Healthy,
+    /// The device's history showed compromise or tampering.
+    Compromised,
+    /// The device could not be reached during the collection.
+    Unreachable,
+}
+
+impl DeviceStatus {
+    /// Collapses a per-device attestation verdict into a swarm status.
+    pub fn from_verdict(verdict: AttestationVerdict) -> Self {
+        if verdict.indicates_compromise() {
+            DeviceStatus::Compromised
+        } else {
+            DeviceStatus::Healthy
+        }
+    }
+}
+
+/// How much detail the verifier asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosaLevel {
+    /// One bit: is every reachable device healthy and was every device
+    /// reached?
+    Binary,
+    /// The list of devices that are *not* known to be healthy.
+    List,
+    /// Full per-device status.
+    Full,
+}
+
+/// A swarm attestation report at a chosen QoSA level.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_swarm::{DeviceStatus, QosaLevel, SwarmReport};
+///
+/// let report = SwarmReport::from_statuses([
+///     (0, DeviceStatus::Healthy),
+///     (1, DeviceStatus::Compromised),
+///     (2, DeviceStatus::Unreachable),
+/// ]);
+/// assert!(!report.swarm_healthy());
+/// assert_eq!(report.unhealthy_devices(), vec![1, 2]);
+/// assert_eq!(report.summary(QosaLevel::Binary), "swarm unhealthy");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwarmReport {
+    statuses: BTreeMap<usize, DeviceStatus>,
+}
+
+impl SwarmReport {
+    /// Builds a report from per-device statuses.
+    pub fn from_statuses<I: IntoIterator<Item = (usize, DeviceStatus)>>(statuses: I) -> Self {
+        Self {
+            statuses: statuses.into_iter().collect(),
+        }
+    }
+
+    /// Number of devices covered by the report.
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+
+    /// Per-device statuses (Full QoSA).
+    pub fn statuses(&self) -> &BTreeMap<usize, DeviceStatus> {
+        &self.statuses
+    }
+
+    /// The status of one device, if it appears in the report.
+    pub fn status(&self, device: usize) -> Option<DeviceStatus> {
+        self.statuses.get(&device).copied()
+    }
+
+    /// Binary QoSA: `true` only if every device was reached and healthy.
+    pub fn swarm_healthy(&self) -> bool {
+        !self.statuses.is_empty()
+            && self.statuses.values().all(|s| *s == DeviceStatus::Healthy)
+    }
+
+    /// List QoSA: devices that are compromised or unreachable, ascending.
+    pub fn unhealthy_devices(&self) -> Vec<usize> {
+        self.statuses
+            .iter()
+            .filter(|(_, status)| **status != DeviceStatus::Healthy)
+            .map(|(device, _)| *device)
+            .collect()
+    }
+
+    /// Count of devices with the given status.
+    pub fn count(&self, status: DeviceStatus) -> usize {
+        self.statuses.values().filter(|s| **s == status).count()
+    }
+
+    /// Fraction of devices that were reached (healthy or compromised), the
+    /// coverage metric used by the mobility experiments.
+    pub fn coverage(&self) -> f64 {
+        if self.statuses.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.count(DeviceStatus::Unreachable) as f64 / self.statuses.len() as f64
+    }
+
+    /// Renders the report at the requested QoSA level.
+    pub fn summary(&self, level: QosaLevel) -> String {
+        match level {
+            QosaLevel::Binary => {
+                if self.swarm_healthy() {
+                    "swarm healthy".to_owned()
+                } else {
+                    "swarm unhealthy".to_owned()
+                }
+            }
+            QosaLevel::List => {
+                let unhealthy = self.unhealthy_devices();
+                if unhealthy.is_empty() {
+                    "no unhealthy devices".to_owned()
+                } else {
+                    format!(
+                        "unhealthy devices: {}",
+                        unhealthy
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            }
+            QosaLevel::Full => self
+                .statuses
+                .iter()
+                .map(|(device, status)| format!("device {device}: {status:?}"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_report() -> SwarmReport {
+        SwarmReport::from_statuses([
+            (0, DeviceStatus::Healthy),
+            (1, DeviceStatus::Healthy),
+            (2, DeviceStatus::Compromised),
+            (3, DeviceStatus::Unreachable),
+        ])
+    }
+
+    #[test]
+    fn binary_qosa() {
+        assert!(!mixed_report().swarm_healthy());
+        let healthy = SwarmReport::from_statuses([(0, DeviceStatus::Healthy), (1, DeviceStatus::Healthy)]);
+        assert!(healthy.swarm_healthy());
+        assert_eq!(healthy.summary(QosaLevel::Binary), "swarm healthy");
+        assert_eq!(mixed_report().summary(QosaLevel::Binary), "swarm unhealthy");
+        assert!(!SwarmReport::from_statuses([]).swarm_healthy());
+    }
+
+    #[test]
+    fn list_qosa() {
+        let report = mixed_report();
+        assert_eq!(report.unhealthy_devices(), vec![2, 3]);
+        assert!(report.summary(QosaLevel::List).contains("2, 3"));
+        let healthy = SwarmReport::from_statuses([(0, DeviceStatus::Healthy)]);
+        assert_eq!(healthy.summary(QosaLevel::List), "no unhealthy devices");
+    }
+
+    #[test]
+    fn full_qosa_and_counts() {
+        let report = mixed_report();
+        assert_eq!(report.len(), 4);
+        assert!(!report.is_empty());
+        assert_eq!(report.count(DeviceStatus::Healthy), 2);
+        assert_eq!(report.count(DeviceStatus::Compromised), 1);
+        assert_eq!(report.count(DeviceStatus::Unreachable), 1);
+        assert_eq!(report.status(2), Some(DeviceStatus::Compromised));
+        assert_eq!(report.status(9), None);
+        let full = report.summary(QosaLevel::Full);
+        assert_eq!(full.lines().count(), 4);
+        assert!(full.contains("device 3: Unreachable"));
+    }
+
+    #[test]
+    fn coverage_counts_reached_devices() {
+        assert!((mixed_report().coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(SwarmReport::from_statuses([]).coverage(), 0.0);
+    }
+
+    #[test]
+    fn verdict_conversion() {
+        assert_eq!(
+            DeviceStatus::from_verdict(AttestationVerdict::AllHealthy),
+            DeviceStatus::Healthy
+        );
+        assert_eq!(
+            DeviceStatus::from_verdict(AttestationVerdict::CompromiseDetected),
+            DeviceStatus::Compromised
+        );
+        assert_eq!(
+            DeviceStatus::from_verdict(AttestationVerdict::TamperingDetected),
+            DeviceStatus::Compromised
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Staggered measurement scheduling for swarm availability.
+//!
+//! Section 6 closes with an availability observation: with on-demand swarm
+//! attestation a large part of the network may be busy computing
+//! measurements at the same time, whereas with ERASMUS "it is trivial to
+//! establish a schedule which ensures that only a fraction of the swarm
+//! computes measurements at any given time". [`StaggeredSchedule`] is that
+//! schedule: devices are partitioned into groups whose measurement phases
+//! are offset within `T_M`.
+
+use erasmus_sim::{SimDuration, SimTime};
+
+/// Assigns each device a phase offset so that at most `⌈n / groups⌉`
+/// devices measure simultaneously.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_swarm::StaggeredSchedule;
+/// use erasmus_sim::SimDuration;
+///
+/// let schedule = StaggeredSchedule::new(8, 4, SimDuration::from_secs(60));
+/// // Devices 0 and 4 share a group and therefore an offset; device 1 is
+/// // offset by a quarter of T_M.
+/// assert_eq!(schedule.offset(0), schedule.offset(4));
+/// assert_eq!(schedule.offset(1), SimDuration::from_secs(15));
+/// assert_eq!(schedule.max_concurrent(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaggeredSchedule {
+    devices: usize,
+    groups: usize,
+    measurement_interval: SimDuration,
+}
+
+impl StaggeredSchedule {
+    /// Creates a schedule for `devices` devices split into `groups` groups
+    /// over a measurement interval `measurement_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero or `measurement_interval` is zero.
+    pub fn new(devices: usize, groups: usize, measurement_interval: SimDuration) -> Self {
+        assert!(groups > 0, "at least one group is required");
+        assert!(
+            !measurement_interval.is_zero(),
+            "measurement interval must be non-zero"
+        );
+        Self {
+            devices,
+            groups: groups.min(devices.max(1)),
+            measurement_interval,
+        }
+    }
+
+    /// Number of devices covered.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of groups (clamped to the device count).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The group a device belongs to.
+    pub fn group_of(&self, device: usize) -> usize {
+        device % self.groups
+    }
+
+    /// The phase offset of a device within `T_M`.
+    pub fn offset(&self, device: usize) -> SimDuration {
+        self.measurement_interval * self.group_of(device) as u64 / self.groups as u64
+    }
+
+    /// The first measurement instant of a device.
+    pub fn first_measurement(&self, device: usize) -> SimTime {
+        SimTime::ZERO + self.measurement_interval + self.offset(device)
+    }
+
+    /// Largest number of devices measuring at the same instant.
+    pub fn max_concurrent(&self) -> usize {
+        self.devices.div_ceil(self.groups)
+    }
+
+    /// Fraction of the swarm that can be busy measuring at once.
+    pub fn max_busy_fraction(&self) -> f64 {
+        if self.devices == 0 {
+            return 0.0;
+        }
+        self.max_concurrent() as f64 / self.devices as f64
+    }
+
+    /// The devices measuring at a given offset slot (group index).
+    pub fn devices_in_group(&self, group: usize) -> Vec<usize> {
+        (0..self.devices).filter(|d| self.group_of(*d) == group).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TM: SimDuration = SimDuration::from_secs(60);
+
+    #[test]
+    fn offsets_spread_within_interval() {
+        let schedule = StaggeredSchedule::new(12, 4, TM);
+        assert_eq!(schedule.offset(0), SimDuration::ZERO);
+        assert_eq!(schedule.offset(1), SimDuration::from_secs(15));
+        assert_eq!(schedule.offset(2), SimDuration::from_secs(30));
+        assert_eq!(schedule.offset(3), SimDuration::from_secs(45));
+        assert_eq!(schedule.offset(4), SimDuration::ZERO);
+        assert!(schedule.offset(11) < TM);
+    }
+
+    #[test]
+    fn concurrency_bound() {
+        let schedule = StaggeredSchedule::new(100, 10, TM);
+        assert_eq!(schedule.max_concurrent(), 10);
+        assert!((schedule.max_busy_fraction() - 0.1).abs() < 1e-12);
+        // Every group has exactly 10 devices.
+        for group in 0..10 {
+            assert_eq!(schedule.devices_in_group(group).len(), 10);
+        }
+    }
+
+    #[test]
+    fn uneven_split() {
+        let schedule = StaggeredSchedule::new(10, 3, TM);
+        assert_eq!(schedule.max_concurrent(), 4);
+        assert_eq!(schedule.devices_in_group(0), vec![0, 3, 6, 9]);
+        assert_eq!(schedule.devices_in_group(2), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn groups_clamped_to_device_count() {
+        let schedule = StaggeredSchedule::new(3, 10, TM);
+        assert_eq!(schedule.groups(), 3);
+        assert_eq!(schedule.max_concurrent(), 1);
+        assert_eq!(schedule.devices(), 3);
+    }
+
+    #[test]
+    fn first_measurement_includes_offset() {
+        let schedule = StaggeredSchedule::new(4, 4, TM);
+        assert_eq!(schedule.first_measurement(0), SimTime::from_secs(60));
+        assert_eq!(schedule.first_measurement(2), SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn zero_devices_edge_case() {
+        let schedule = StaggeredSchedule::new(0, 4, TM);
+        assert_eq!(schedule.max_busy_fraction(), 0.0);
+        assert_eq!(schedule.devices_in_group(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        let _ = StaggeredSchedule::new(4, 0, TM);
+    }
+}

@@ -1,0 +1,89 @@
+//! Time-sensitive devices: irregular and lenient measurement schedules
+//! (Sections 3.5 and 5).
+//!
+//! * The **irregular** schedule draws each measurement interval from a
+//!   CSPRNG seeded with the device key, so schedule-aware mobile malware
+//!   cannot time its visits around the measurements.
+//! * The **lenient** schedule lets a time-critical task defer a pending
+//!   measurement to the end of a `w × T_M` window instead of being
+//!   interrupted for seconds.
+//!
+//! Run with: `cargo run --example time_sensitive_scheduling`
+
+use erasmus::core::{DeviceId, DeviceKey, Prover, ProverConfig, ScheduleKind};
+use erasmus::hw::DeviceProfile;
+use erasmus::sim::{SimDuration, SimTime};
+
+fn main() -> Result<(), erasmus::core::Error> {
+    let t_m = SimDuration::from_secs(10);
+
+    // --- irregular schedule -------------------------------------------------
+    let irregular = ProverConfig::builder()
+        .measurement_interval(t_m)
+        .buffer_slots(64)
+        .schedule(ScheduleKind::Irregular {
+            lower: SimDuration::from_secs(5),
+            upper: SimDuration::from_secs(15),
+        })
+        .build()?;
+    let mut prover = Prover::new(
+        DeviceId::new(1),
+        DeviceProfile::msp430_8mhz(4 * 1024),
+        DeviceKey::from_bytes([7; 32]),
+        irregular,
+    )?;
+    let outcomes = prover.run_until(SimTime::from_secs(120))?;
+    println!("=== irregular schedule (bounds 5 s .. 15 s) ===");
+    let mut previous = SimTime::ZERO;
+    for outcome in &outcomes {
+        let gap = outcome.measurement.timestamp().saturating_duration_since(previous);
+        println!(
+            "measurement at {:>7.1} s (gap {})",
+            outcome.measurement.timestamp().as_secs_f64(),
+            gap
+        );
+        previous = outcome.measurement.timestamp();
+    }
+    println!("malware cannot predict these instants without the device key\n");
+
+    // --- lenient schedule -----------------------------------------------------
+    let lenient = ProverConfig::builder()
+        .measurement_interval(t_m)
+        .buffer_slots(64)
+        .schedule(ScheduleKind::Lenient { window_factor: 3.0 })
+        .build()?;
+    let mut prover = Prover::new(
+        DeviceId::new(2),
+        DeviceProfile::msp430_8mhz(4 * 1024),
+        DeviceKey::from_bytes([8; 32]),
+        lenient,
+    )?;
+
+    println!("=== lenient schedule (w = 3) ===");
+    // The application runs a time-critical control loop that must not be
+    // interrupted around t = 10 s and t = 20 s; both nominal measurements are
+    // deferred to the end of their windows.
+    for _ in 0..2 {
+        let due = prover.next_measurement_due();
+        match prover.defer_measurement(due) {
+            Some(deferred) => println!(
+                "measurement nominally due at {:.0} s deferred to {:.0} s",
+                due.as_secs_f64(),
+                deferred.as_secs_f64()
+            ),
+            None => println!("no deferral available at {:.0} s", due.as_secs_f64()),
+        }
+        let due = prover.next_measurement_due();
+        prover.run_until(due)?;
+        println!("measurement actually taken at {:.0} s", due.as_secs_f64());
+    }
+    println!(
+        "deferred {} measurements, took {} in total",
+        prover.aborted_measurements(),
+        prover.measurements_taken()
+    );
+
+    assert!(prover.aborted_measurements() >= 1);
+    assert!(prover.measurements_taken() >= 2);
+    Ok(())
+}
