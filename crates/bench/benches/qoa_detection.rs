@@ -8,7 +8,10 @@ use erasmus_sim::{SimDuration, SimTime};
 
 fn bench_qoa(c: &mut Criterion) {
     println!("\n{}", fig1::render());
-    println!("\n{}", qoa_sweep::render(&qoa_sweep::default_sweep(40, 2024)));
+    println!(
+        "\n{}",
+        qoa_sweep::render(&qoa_sweep::default_sweep(40, 2024))
+    );
 
     c.bench_function("qoa/figure1_scenario", |b| {
         b.iter(|| std::hint::black_box(fig1::run()))

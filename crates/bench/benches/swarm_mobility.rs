@@ -7,7 +7,10 @@ use erasmus_sim::{SimRng, SimTime};
 use erasmus_swarm::{MobilityModel, MobilitySimulator, Swarm, SwarmConfig, Topology};
 
 fn bench_swarm(c: &mut Criterion) {
-    println!("\n{}", swarm_mobility::render(&swarm_mobility::default_sweep(2024)));
+    println!(
+        "\n{}",
+        swarm_mobility::render(&swarm_mobility::default_sweep(2024))
+    );
 
     c.bench_function("swarm/erasmus_collection_24_devices", |b| {
         let mut rng = SimRng::seed_from(1);
@@ -26,7 +29,11 @@ fn bench_swarm(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             let mut mobility = MobilitySimulator::new(MobilityModel::Static, SimRng::seed_from(t));
-            std::hint::black_box(swarm.on_demand_attestation(0, SimTime::from_secs(t), &mut mobility))
+            std::hint::black_box(swarm.on_demand_attestation(
+                0,
+                SimTime::from_secs(t),
+                &mut mobility,
+            ))
         })
     });
 

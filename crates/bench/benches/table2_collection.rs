@@ -23,7 +23,9 @@ fn provisioned_prover(memory: usize) -> (Prover, Verifier) {
         config,
     )
     .expect("provisioning");
-    prover.run_until(SimTime::from_secs(480)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(480))
+        .expect("measurements");
     (prover, Verifier::new(key, MacAlgorithm::KeyedBlake2s))
 }
 

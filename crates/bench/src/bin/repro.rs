@@ -22,12 +22,21 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig3", "Rolling-buffer memory layout (n = 12)"),
     ("fig4", "ERASMUS+OD protocol run"),
     ("fig5", "SMART+ memory organization and access rules"),
-    ("fig6", "Measurement run-time vs memory size (MSP430 @ 8 MHz)"),
+    (
+        "fig6",
+        "Measurement run-time vs memory size (MSP430 @ 8 MHz)",
+    ),
     ("fig7", "HYDRA memory organization and access rules"),
-    ("fig8", "Measurement run-time vs memory size (i.MX6 @ 1 GHz)"),
+    (
+        "fig8",
+        "Measurement run-time vs memory size (i.MX6 @ 1 GHz)",
+    ),
     ("hwcost", "FPGA register/LUT overhead (Section 4.1)"),
     ("qoa", "Mobile-malware detection probability sweep"),
-    ("schedules", "Regular vs irregular vs lenient scheduling ablations"),
+    (
+        "schedules",
+        "Regular vs irregular vs lenient scheduling ablations",
+    ),
     ("buffer_sizing", "Buffer size vs collection period ablation"),
     ("swarm", "Swarm coverage under mobility (Section 6)"),
 ];
@@ -65,7 +74,11 @@ fn run_experiment(id: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "list" || a == "--help" || a == "-h") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "list" || a == "--help" || a == "-h")
+    {
         eprintln!("usage: repro <experiment...|all|list>");
         eprintln!("available experiments:");
         for (id, description) in EXPERIMENTS {
@@ -80,13 +93,20 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
+    let mut unknown = false;
     for id in selected {
         match run_experiment(id) {
             Some(output) => {
                 println!("==================================================================");
                 println!("{output}");
             }
-            None => eprintln!("unknown experiment `{id}` (try `repro list`)"),
+            None => {
+                eprintln!("unknown experiment `{id}` (try `repro list`)");
+                unknown = true;
+            }
         }
+    }
+    if unknown {
+        std::process::exit(2);
     }
 }

@@ -71,9 +71,17 @@ mod tests {
     fn rule_and_simulation_agree() {
         for point in sweep(&[4, 8, 16]) {
             if point.rule_predicts_loss {
-                assert!(point.alarms > 0, "n = {} should lose history", point.buffer_slots);
+                assert!(
+                    point.alarms > 0,
+                    "n = {} should lose history",
+                    point.buffer_slots
+                );
             } else {
-                assert_eq!(point.alarms, 0, "n = {} should not lose history", point.buffer_slots);
+                assert_eq!(
+                    point.alarms, 0,
+                    "n = {} should not lose history",
+                    point.buffer_slots
+                );
             }
         }
     }

@@ -16,7 +16,10 @@ pub fn run() -> ScenarioOutcome {
         .measurement_interval(SimDuration::from_secs(10))
         .collection_interval(SimDuration::from_secs(60))
         .duration(SimDuration::from_secs(300))
-        .infection(InfectionSpec::mobile(SimTime::from_secs(12), SimDuration::from_secs(3)))
+        .infection(InfectionSpec::mobile(
+            SimTime::from_secs(12),
+            SimDuration::from_secs(3),
+        ))
         .infection(InfectionSpec::persistent(SimTime::from_secs(95)))
         .run()
         .expect("the Figure 1 scenario always runs")
@@ -53,7 +56,10 @@ mod tests {
     fn reproduces_figure1_outcomes() {
         let outcome = run();
         assert!(!outcome.infections[0].detected, "infection 1 must escape");
-        assert!(outcome.infections[1].detected, "infection 2 must be detected");
+        assert!(
+            outcome.infections[1].detected,
+            "infection 2 must be detected"
+        );
         assert_eq!(
             outcome.infections[1].detection_latency(),
             Some(SimDuration::from_secs(25))

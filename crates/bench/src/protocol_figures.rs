@@ -24,7 +24,9 @@ fn provisioned(profile: DeviceProfile) -> (Prover, Verifier) {
 /// Figure 2: one run of the ERASMUS collection protocol, message by message.
 pub fn figure2() -> String {
     let (mut prover, mut verifier) = provisioned(DeviceProfile::msp430_8mhz(1024));
-    prover.run_until(SimTime::from_secs(70)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(70))
+        .expect("measurements");
     let request = verifier.make_collection_request(4);
     let response = prover.handle_collection(&request, SimTime::from_secs(70));
     let wire = erasmus_core::encode_collection_response(&response);
@@ -43,7 +45,10 @@ pub fn figure2() -> String {
     for m in &response.measurements {
         out.push_str(&format!("             {m}\n"));
     }
-    out.push_str(&format!("Vrf        : checks each t and h, verifies each MAC -> {}\n", report.verdict()));
+    out.push_str(&format!(
+        "Vrf        : checks each t and h, verifies each MAC -> {}\n",
+        report.verdict()
+    ));
     out
 }
 
@@ -52,7 +57,9 @@ pub fn figure2() -> String {
 pub fn figure3() -> String {
     let (mut prover, _) = provisioned(DeviceProfile::msp430_8mhz(1024));
     // Run long enough that the buffer has wrapped: 15 measurements into 12 slots.
-    prover.run_until(SimTime::from_secs(150)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(150))
+        .expect("measurements");
     let buffer = prover.buffer();
     let current = buffer.slot_for(prover.now());
 
@@ -65,7 +72,11 @@ pub fn figure3() -> String {
     for slot in 0..buffer.capacity() {
         match buffer.slot(slot) {
             Some(m) => {
-                let marker = if latest.contains(&m.timestamp()) { "*" } else { " " };
+                let marker = if latest.contains(&m.timestamp()) {
+                    "*"
+                } else {
+                    " "
+                };
                 out.push_str(&format!(
                     "  L{slot:<2} {marker} t = {:>5.0} s  H(mem) = {:02x}{:02x}..  MAC = {:.8}..\n",
                     m.timestamp().as_secs_f64(),
@@ -83,7 +94,9 @@ pub fn figure3() -> String {
 /// Figure 4: one run of the ERASMUS+OD protocol.
 pub fn figure4() -> String {
     let (mut prover, mut verifier) = provisioned(DeviceProfile::msp430_8mhz(1024));
-    prover.run_until(SimTime::from_secs(70)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(70))
+        .expect("measurements");
     let request = verifier.make_on_demand_request(3, SimTime::from_secs(72));
     let response = prover
         .handle_on_demand(&request, SimTime::from_secs(72))
@@ -115,7 +128,11 @@ pub fn figure4() -> String {
 }
 
 fn render_access_rules(title: &str, mpu: &MpuConfig) -> String {
-    let subjects = [Subject::AttestationCode, Subject::Application, Subject::Peripheral];
+    let subjects = [
+        Subject::AttestationCode,
+        Subject::Application,
+        Subject::Peripheral,
+    ];
     let regions = [
         RegionKind::Rom,
         RegionKind::Key,
@@ -137,7 +154,11 @@ fn render_access_rules(title: &str, mpu: &MpuConfig) -> String {
                 (AccessKind::Write, 'w'),
                 (AccessKind::Execute, 'x'),
             ] {
-                cell.push(if mpu.is_allowed(subject, region, access) { letter } else { '-' });
+                cell.push(if mpu.is_allowed(subject, region, access) {
+                    letter
+                } else {
+                    '-'
+                });
             }
             out.push_str(&format!(" | {cell:<17}"));
         }

@@ -39,8 +39,8 @@ pub fn sweep(
             for _ in 0..trials {
                 // Arrival uniform over one full collection window, after the
                 // first collection so the baseline is established.
-                let arrival = collection_interval
-                    + rng.gen_duration(SimDuration::ZERO, collection_interval);
+                let arrival =
+                    collection_interval + rng.gen_duration(SimDuration::ZERO, collection_interval);
                 let outcome = Scenario::builder()
                     .measurement_interval(measurement_interval)
                     .collection_interval(collection_interval)

@@ -56,7 +56,10 @@ fn series_for(profile: &DeviceProfile, sizes: &[usize]) -> Vec<RuntimeSeries> {
                             cost.verify_request(mac) + cost.measurement(memory_bytes, mac)
                         }
                     };
-                    RuntimePoint { memory_bytes, seconds: duration.as_secs_f64() }
+                    RuntimePoint {
+                        memory_bytes,
+                        seconds: duration.as_secs_f64(),
+                    }
                 })
                 .collect();
             series.push(RuntimeSeries { mode, mac, points });
@@ -79,10 +82,18 @@ pub fn figure8() -> Vec<RuntimeSeries> {
 
 /// Renders a figure's series as an aligned text table (memory on rows,
 /// one column per curve).
-pub fn render(title: &str, series: &[RuntimeSeries], unit_bytes: usize, unit_label: &str) -> String {
+pub fn render(
+    title: &str,
+    series: &[RuntimeSeries],
+    unit_bytes: usize,
+    unit_label: &str,
+) -> String {
     let mut out = format!("{title}\n{:<12}", format!("Mem ({unit_label})"));
     for s in series {
-        out.push_str(&format!(" | {:>26}", format!("{} ({})", s.mode.label(), s.mac.paper_name())));
+        out.push_str(&format!(
+            " | {:>26}",
+            format!("{} ({})", s.mode.label(), s.mac.paper_name())
+        ));
     }
     out.push('\n');
     let rows = series.first().map(|s| s.points.len()).unwrap_or(0);
@@ -90,7 +101,10 @@ pub fn render(title: &str, series: &[RuntimeSeries], unit_bytes: usize, unit_lab
         let memory = series[0].points[i].memory_bytes;
         out.push_str(&format!("{:<12}", memory / unit_bytes));
         for s in series {
-            out.push_str(&format!(" | {:>26}", crate::fmt_seconds(s.points[i].seconds)));
+            out.push_str(&format!(
+                " | {:>26}",
+                crate::fmt_seconds(s.points[i].seconds)
+            ));
         }
         out.push('\n');
     }
@@ -138,7 +152,10 @@ mod tests {
         let e = erasmus.points.last().expect("point").seconds;
         let o = on_demand.points.last().expect("point").seconds;
         assert!(o > e, "on-demand pays for request authentication");
-        assert!((o - e) / e < 0.05, "but the curves are roughly equal: {e} vs {o}");
+        assert!(
+            (o - e) / e < 0.05,
+            "but the curves are roughly equal: {e} vs {o}"
+        );
     }
 
     #[test]

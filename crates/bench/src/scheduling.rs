@@ -2,9 +2,7 @@
 //! schedule-aware malware (Section 3.5), and lenient scheduling for
 //! time-critical tasks (Section 5).
 
-use erasmus_core::{
-    CollectionRequest, DeviceId, Prover, ProverConfig, ScheduleKind, Verifier,
-};
+use erasmus_core::{CollectionRequest, DeviceId, Prover, ProverConfig, ScheduleKind, Verifier};
 use erasmus_crypto::MacAlgorithm;
 use erasmus_hw::{DeviceKey, DeviceProfile};
 use erasmus_sim::{SimDuration, SimRng, SimTime};
@@ -64,11 +62,17 @@ pub fn schedule_aware_malware_detection(
             let enter = window_start + SimDuration::from_millis(500 + rng.gen_range(0, 500));
             let leave = window_start + t_m - SimDuration::from_millis(500 + rng.gen_range(0, 500));
             prover.run_until(enter).expect("measurements");
-            prover.mcu_mut().write_app_memory(0, b"schedule-aware malware").expect("infect");
+            prover
+                .mcu_mut()
+                .write_app_memory(0, b"schedule-aware malware")
+                .expect("infect");
             prover.run_until(leave).expect("measurements");
             // Restore the original contents (cover tracks).
-            prover.mcu_mut().write_app_memory(0, &[0u8; 22]).expect("restore");
-            window_start = window_start + t_m;
+            prover
+                .mcu_mut()
+                .write_app_memory(0, &[0u8; 22])
+                .expect("restore");
+            window_start += t_m;
         }
         prover.run_until(horizon).expect("measurements");
         let response = prover.handle_collection(&CollectionRequest::all(), horizon);
@@ -157,14 +161,18 @@ pub fn lenient_scheduling(window_factors: &[f64]) -> Vec<LenientPoint> {
 /// Renders both ablations.
 pub fn render(trials: usize, seed: u64) -> String {
     let mut out = String::from("Scheduling ablations\n\n");
-    out.push_str("Schedule-aware mobile malware (enters/leaves around the nominal T_M instants):\n");
+    out.push_str(
+        "Schedule-aware mobile malware (enters/leaves around the nominal T_M instants):\n",
+    );
     for point in schedule_ablation(trials, seed) {
         out.push_str(&format!(
             "  {:<28} detection rate {:.2}\n",
             point.schedule, point.detection_rate
         ));
     }
-    out.push_str("\nLenient scheduling (time-critical task at every nominal instant, 300 s run):\n");
+    out.push_str(
+        "\nLenient scheduling (time-critical task at every nominal instant, 300 s run):\n",
+    );
     for point in lenient_scheduling(&[1.0, 2.0, 3.0]) {
         out.push_str(&format!(
             "  w = {:<4} measurements {}  deferrals {}\n",
@@ -181,7 +189,10 @@ mod tests {
     #[test]
     fn regular_schedule_misses_schedule_aware_malware() {
         let point = schedule_aware_malware_detection(ScheduleKind::Regular, 3, 1);
-        assert_eq!(point.detection_rate, 0.0, "predictable schedule never catches it");
+        assert_eq!(
+            point.detection_rate, 0.0,
+            "predictable schedule never catches it"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub fn sweep(size: usize, churn_probabilities: &[f64], seed: u64) -> Vec<Mobilit
                 let topology = Topology::random_connected(size, 3.0, &mut rng);
                 let mut swarm = Swarm::new(SwarmConfig::default(), topology, b"mobility sweep")
                     .expect("swarm builds");
-                swarm.run_until(SimTime::from_secs(60)).expect("self-measurements");
+                swarm
+                    .run_until(SimTime::from_secs(60))
+                    .expect("self-measurements");
 
                 let erasmus = swarm
                     .erasmus_collection(0, SimTime::from_secs(60), 6)
@@ -52,7 +54,7 @@ pub fn sweep(size: usize, churn_probabilities: &[f64], seed: u64) -> Vec<Mobilit
                     MobilityModel::churn(SimDuration::from_millis(100), churn)
                 };
                 let mut mobility =
-                    MobilitySimulator::new(model, SimRng::seed_from(seed ^ (rep + 1) * 0x5a5a));
+                    MobilitySimulator::new(model, SimRng::seed_from(seed ^ ((rep + 1) * 0x5a5a)));
                 let on_demand = swarm
                     .on_demand_attestation(0, SimTime::from_secs(61), &mut mobility)
                     .expect("attestation");

@@ -35,7 +35,11 @@ pub fn rows() -> Vec<Table2Row> {
     let send = cost.send_packet(payload).as_millis_f64();
 
     vec![
-        Table2Row { operation: "Verify Request", erasmus_ms: None, erasmus_od_ms: Some(verify) },
+        Table2Row {
+            operation: "Verify Request",
+            erasmus_ms: None,
+            erasmus_od_ms: Some(verify),
+        },
         Table2Row {
             operation: "Compute Measurement",
             erasmus_ms: None,
@@ -46,7 +50,11 @@ pub fn rows() -> Vec<Table2Row> {
             erasmus_ms: Some(construct),
             erasmus_od_ms: Some(construct),
         },
-        Table2Row { operation: "Send UDP Packet", erasmus_ms: Some(send), erasmus_od_ms: Some(send) },
+        Table2Row {
+            operation: "Send UDP Packet",
+            erasmus_ms: Some(send),
+            erasmus_od_ms: Some(send),
+        },
         Table2Row {
             operation: "Total Collection Run-time",
             erasmus_ms: Some(construct + send),
@@ -76,7 +84,9 @@ pub fn measured_collection_times() -> (f64, f64) {
     .expect("provisioning");
     let mut verifier = Verifier::new(key, MacAlgorithm::KeyedBlake2s);
 
-    prover.run_until(SimTime::from_secs(480)).expect("self-measurements");
+    prover
+        .run_until(SimTime::from_secs(480))
+        .expect("self-measurements");
     let erasmus = prover
         .handle_collection(&CollectionRequest::latest(8), SimTime::from_secs(480))
         .prover_time
@@ -156,8 +166,14 @@ mod tests {
         let model_erasmus = rows[4].erasmus_ms.expect("value");
         let model_od = rows[4].erasmus_od_ms.expect("value");
         // The engine adds the per-entry buffer-read cost, so allow slack.
-        assert!((erasmus - model_erasmus).abs() < 0.05, "{erasmus} vs {model_erasmus}");
-        assert!((erasmus_od - model_od).abs() < 5.0, "{erasmus_od} vs {model_od}");
+        assert!(
+            (erasmus - model_erasmus).abs() < 0.05,
+            "{erasmus} vs {model_erasmus}"
+        );
+        assert!(
+            (erasmus_od - model_od).abs() < 5.0,
+            "{erasmus_od} vs {model_od}"
+        );
     }
 
     #[test]

@@ -197,7 +197,12 @@ mod tests {
     const TM: SimDuration = SimDuration::from_secs(10);
 
     fn m(t_secs: u64) -> Measurement {
-        Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(t_secs), b"mem")
+        Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(t_secs),
+            b"mem",
+        )
     }
 
     #[test]
@@ -224,7 +229,10 @@ mod tests {
         assert_eq!(latest[2].timestamp(), SimTime::from_secs(30));
         // Asking for more than is present returns everything.
         assert_eq!(buffer.latest(100).len(), 5);
-        assert_eq!(buffer.most_recent().map(|m| m.timestamp()), Some(SimTime::from_secs(50)));
+        assert_eq!(
+            buffer.most_recent().map(|m| m.timestamp()),
+            Some(SimTime::from_secs(50))
+        );
     }
 
     #[test]
@@ -233,7 +241,11 @@ mod tests {
         buffer.store(m(30));
         buffer.store(m(10));
         buffer.store(m(20));
-        let timestamps: Vec<u64> = buffer.all().iter().map(|m| m.timestamp().as_nanos() / 1_000_000_000).collect();
+        let timestamps: Vec<u64> = buffer
+            .all()
+            .iter()
+            .map(|m| m.timestamp().as_nanos() / 1_000_000_000)
+            .collect();
         assert_eq!(timestamps, vec![10, 20, 30]);
     }
 
@@ -249,14 +261,21 @@ mod tests {
         assert_eq!(buffer.overwrites(), 1);
         assert_eq!(buffer.len(), 4);
         assert_eq!(buffer.total_stored(), 5);
-        let timestamps: Vec<u64> = buffer.all().iter().map(|m| m.timestamp().as_secs_f64() as u64).collect();
+        let timestamps: Vec<u64> = buffer
+            .all()
+            .iter()
+            .map(|m| m.timestamp().as_secs_f64() as u64)
+            .collect();
         assert_eq!(timestamps, vec![20, 30, 40, 50]);
     }
 
     #[test]
     fn max_safe_collection_period() {
         let buffer = MeasurementBuffer::new(12, TM);
-        assert_eq!(buffer.max_safe_collection_period(), SimDuration::from_secs(120));
+        assert_eq!(
+            buffer.max_safe_collection_period(),
+            SimDuration::from_secs(120)
+        );
     }
 
     #[test]
@@ -293,7 +312,10 @@ mod tests {
         buffer.tamper_replace(0, forged.clone());
         assert_eq!(buffer.slot(0), Some(&forged));
         // Forged entries never verify under the real key.
-        assert!(!buffer.slot(0).expect("slot 0").verify(&KEY, MacAlgorithm::HmacSha256));
+        assert!(!buffer
+            .slot(0)
+            .expect("slot 0")
+            .verify(&KEY, MacAlgorithm::HmacSha256));
 
         buffer.tamper_clear();
         assert!(buffer.is_empty());

@@ -189,7 +189,10 @@ mod tests {
         assert_eq!(config.measurement_interval(), SimDuration::from_secs(60));
         assert_eq!(config.buffer_slots(), 16);
         assert_eq!(config.schedule(), &ScheduleKind::Regular);
-        assert_eq!(config.max_safe_collection_period(), SimDuration::from_secs(960));
+        assert_eq!(
+            config.max_safe_collection_period(),
+            SimDuration::from_secs(960)
+        );
     }
 
     #[test]
@@ -213,13 +216,25 @@ mod tests {
             .measurement_interval(SimDuration::ZERO)
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::InvalidConfig { parameter: "measurement_interval", .. }));
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                parameter: "measurement_interval",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn zero_slots_rejected() {
         let err = ProverConfig::builder().buffer_slots(0).build().unwrap_err();
-        assert!(matches!(err, Error::InvalidConfig { parameter: "buffer_slots", .. }));
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                parameter: "buffer_slots",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -231,7 +246,13 @@ mod tests {
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::InvalidConfig { parameter: "schedule", .. }));
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                parameter: "schedule",
+                ..
+            }
+        ));
 
         let err = ProverConfig::builder()
             .schedule(ScheduleKind::Irregular {
@@ -240,7 +261,13 @@ mod tests {
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::InvalidConfig { parameter: "schedule", .. }));
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                parameter: "schedule",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -249,6 +276,12 @@ mod tests {
             .schedule(ScheduleKind::Lenient { window_factor: 0.9 })
             .build()
             .unwrap_err();
-        assert!(matches!(err, Error::InvalidConfig { parameter: "schedule", .. }));
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                parameter: "schedule",
+                ..
+            }
+        ));
     }
 }

@@ -37,7 +37,10 @@ pub struct DecodeError {
 
 impl DecodeError {
     fn new(reason: impl Into<String>, offset: usize) -> Self {
-        Self { reason: reason.into(), offset }
+        Self {
+            reason: reason.into(),
+            offset,
+        }
     }
 
     /// Byte offset at which decoding failed.
@@ -82,18 +85,25 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
         let bytes = self.take(8, what)?;
-        Ok(u64::from_be_bytes(bytes.try_into().expect("slice length is 8")))
+        Ok(u64::from_be_bytes(
+            bytes.try_into().expect("slice length is 8"),
+        ))
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
         let bytes = self.take(2, what)?;
-        Ok(u16::from_be_bytes(bytes.try_into().expect("slice length is 2")))
+        Ok(u16::from_be_bytes(
+            bytes.try_into().expect("slice length is 2"),
+        ))
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
         if self.offset != self.bytes.len() {
             return Err(DecodeError::new(
-                format!("{} trailing bytes after message", self.bytes.len() - self.offset),
+                format!(
+                    "{} trailing bytes after message",
+                    self.bytes.len() - self.offset
+                ),
                 self.offset,
             ));
         }
@@ -155,7 +165,8 @@ pub fn decode_measurement(bytes: &[u8]) -> Result<Measurement, DecodeError> {
 
 /// Serializes a collection response (the prover → verifier UDP payload).
 pub fn encode_collection_response(response: &CollectionResponse) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + 2 + response.payload_bytes() + 4 * response.measurements.len());
+    let mut out =
+        Vec::with_capacity(8 + 2 + response.payload_bytes() + 4 * response.measurements.len());
     out.extend_from_slice(&response.device.value().to_be_bytes());
     out.extend_from_slice(&(response.measurements.len() as u16).to_be_bytes());
     for measurement in &response.measurements {
@@ -197,7 +208,12 @@ mod tests {
     const KEY: [u8; 32] = [0x33u8; 32];
 
     fn sample(secs: u64) -> Measurement {
-        Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(secs), b"mem")
+        Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(secs),
+            b"mem",
+        )
     }
 
     #[test]
@@ -231,8 +247,8 @@ mod tests {
             measurements: Vec::new(),
             prover_time: SimDuration::ZERO,
         };
-        let decoded = decode_collection_response(&encode_collection_response(&response))
-            .expect("decodes");
+        let decoded =
+            decode_collection_response(&encode_collection_response(&response)).expect("decodes");
         assert!(decoded.measurements.is_empty());
     }
 

@@ -68,16 +68,29 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let err = Error::InvalidConfig { parameter: "buffer_slots", reason: "must be non-zero".into() };
+        let err = Error::InvalidConfig {
+            parameter: "buffer_slots",
+            reason: "must be non-zero".into(),
+        };
         assert!(err.to_string().contains("buffer_slots"));
         assert!(Error::NoMeasurements.to_string().contains("no recorded"));
-        assert!(Error::RequestRejected { reason: "stale".into() }.to_string().contains("stale"));
-        assert!(Error::InvalidResponse { reason: "empty".into() }.to_string().contains("empty"));
+        assert!(Error::RequestRejected {
+            reason: "stale".into()
+        }
+        .to_string()
+        .contains("stale"));
+        assert!(Error::InvalidResponse {
+            reason: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
     }
 
     #[test]
     fn hardware_errors_convert_and_chain() {
-        let hw = HwError::SecureBootFailure { reason: "digest mismatch".into() };
+        let hw = HwError::SecureBootFailure {
+            reason: "digest mismatch".into(),
+        };
         let err: Error = hw.clone().into();
         assert_eq!(err, Error::Hardware(hw));
         assert!(std::error::Error::source(&err).is_some());

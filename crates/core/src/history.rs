@@ -62,7 +62,11 @@ pub struct DeviceHistory {
 impl DeviceHistory {
     /// Creates an empty history for `device`.
     pub fn new(device: DeviceId) -> Self {
-        Self { device, entries: BTreeMap::new(), collections: 0 }
+        Self {
+            device,
+            entries: BTreeMap::new(),
+            collections: 0,
+        }
     }
 
     /// The device this history belongs to.
@@ -147,7 +151,10 @@ impl DeviceHistory {
 
     /// Total number of measurements with a given verdict.
     pub fn count(&self, verdict: MeasurementVerdict) -> usize {
-        self.entries.values().filter(|entry| entry.verdict == verdict).count()
+        self.entries
+            .values()
+            .filter(|entry| entry.verdict == verdict)
+            .count()
     }
 
     /// Collapses the timeline into contiguous spans of equal verdict.
@@ -229,7 +236,9 @@ mod tests {
         at_secs: u64,
         k: usize,
     ) {
-        prover.run_until(SimTime::from_secs(at_secs)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(at_secs))
+            .expect("measurements");
         let response =
             prover.handle_collection(&CollectionRequest::latest(k), SimTime::from_secs(at_secs));
         let report = verifier
@@ -260,13 +269,24 @@ mod tests {
         collect_into(&mut history, &mut prover, &mut verifier, 60, 6);
 
         // Persistent implant lands at t = 73 s.
-        prover.run_until(SimTime::from_secs(73)).expect("measurements");
-        prover.mcu_mut().write_app_memory(0, b"implant").expect("infect");
+        prover
+            .run_until(SimTime::from_secs(73))
+            .expect("measurements");
+        prover
+            .mcu_mut()
+            .write_app_memory(0, b"implant")
+            .expect("infect");
         collect_into(&mut history, &mut prover, &mut verifier, 120, 6);
 
         assert_eq!(history.first_compromise(), Some(SimTime::from_secs(80)));
-        assert_eq!(history.first_compromise_detected_at(), Some(SimTime::from_secs(120)));
-        assert_eq!(history.detection_latency(), Some(SimDuration::from_secs(40)));
+        assert_eq!(
+            history.first_compromise_detected_at(),
+            Some(SimTime::from_secs(120))
+        );
+        assert_eq!(
+            history.detection_latency(),
+            Some(SimDuration::from_secs(40))
+        );
         let spans = history.spans();
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].verdict, MeasurementVerdict::Healthy);

@@ -61,6 +61,9 @@ mod tests {
         assert!(DeviceId::new(1) < DeviceId::new(2));
         let mut ids = vec![DeviceId::new(3), DeviceId::new(1), DeviceId::new(2)];
         ids.sort();
-        assert_eq!(ids, vec![DeviceId::new(1), DeviceId::new(2), DeviceId::new(3)]);
+        assert_eq!(
+            ids,
+            vec![DeviceId::new(1), DeviceId::new(2), DeviceId::new(3)]
+        );
     }
 }

@@ -86,13 +86,13 @@ pub mod schedule;
 pub mod verifier;
 
 pub use buffer::MeasurementBuffer;
-pub use encoding::{
-    decode_collection_response, decode_measurement, encode_collection_response,
-    encode_measurement, DecodeError,
-};
-pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
 pub use config::{ProverConfig, ProverConfigBuilder};
+pub use encoding::{
+    decode_collection_response, decode_measurement, encode_collection_response, encode_measurement,
+    DecodeError,
+};
 pub use error::Error;
+pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
 pub use ids::DeviceId;
 pub use malware::{Malware, MalwareBehavior, TamperStrategy};
 pub use measurement::Measurement;

@@ -39,12 +39,7 @@ impl Measurement {
     /// `H(mem_t)` is always SHA-256 (the digest half of the construction is
     /// not varied in the paper's evaluation); the MAC over `(t, H(mem_t))`
     /// uses the configured [`MacAlgorithm`].
-    pub fn compute(
-        key: &[u8],
-        alg: MacAlgorithm,
-        timestamp: SimTime,
-        memory: &[u8],
-    ) -> Self {
+    pub fn compute(key: &[u8], alg: MacAlgorithm, timestamp: SimTime, memory: &[u8]) -> Self {
         let digest = Sha256::digest(memory);
         Self::from_digest(key, alg, timestamp, digest)
     }
@@ -55,21 +50,24 @@ impl Measurement {
     /// architecture and then MACs the timestamped digest; splitting the two
     /// steps keeps that structure visible and lets the cost model charge them
     /// separately.
-    pub fn from_digest(
-        key: &[u8],
-        alg: MacAlgorithm,
-        timestamp: SimTime,
-        digest: Vec<u8>,
-    ) -> Self {
+    pub fn from_digest(key: &[u8], alg: MacAlgorithm, timestamp: SimTime, digest: Vec<u8>) -> Self {
         let tag = alg.mac(key, &Self::mac_input(timestamp, &digest));
-        Self { timestamp, digest, tag }
+        Self {
+            timestamp,
+            digest,
+            tag,
+        }
     }
 
     /// Reassembles a measurement from its stored parts (e.g. when reading
     /// the rolling buffer back from a wire format). No validation happens
     /// here; call [`Measurement::verify`].
     pub fn from_parts(timestamp: SimTime, digest: Vec<u8>, tag: MacTag) -> Self {
-        Self { timestamp, digest, tag }
+        Self {
+            timestamp,
+            digest,
+            tag,
+        }
     }
 
     /// The canonical MAC input: the big-endian timestamp followed by the
@@ -83,7 +81,11 @@ impl Measurement {
 
     /// Verifies the MAC under `key`.
     pub fn verify(&self, key: &[u8], alg: MacAlgorithm) -> bool {
-        alg.verify(key, &Self::mac_input(self.timestamp, &self.digest), &self.tag)
+        alg.verify(
+            key,
+            &Self::mac_input(self.timestamp, &self.digest),
+            &self.tag,
+        )
     }
 
     /// The RROC timestamp `t`.
@@ -117,7 +119,12 @@ impl Measurement {
 
 impl fmt::Display for Measurement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let digest_prefix: String = self.digest.iter().take(4).map(|b| format!("{b:02x}")).collect();
+        let digest_prefix: String = self
+            .digest
+            .iter()
+            .take(4)
+            .map(|b| format!("{b:02x}"))
+            .collect();
         write!(
             f,
             "M(t={:.3}s, H=0x{}.., tag={:.8}..)",
@@ -151,14 +158,25 @@ mod tests {
 
     #[test]
     fn tampering_with_timestamp_is_detected() {
-        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(50), b"mem");
-        let forged = Measurement::from_parts(SimTime::from_secs(51), m.digest().to_vec(), m.tag().clone());
+        let m = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(50),
+            b"mem",
+        );
+        let forged =
+            Measurement::from_parts(SimTime::from_secs(51), m.digest().to_vec(), m.tag().clone());
         assert!(!forged.verify(&KEY, MacAlgorithm::HmacSha256));
     }
 
     #[test]
     fn tampering_with_digest_is_detected() {
-        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(50), b"mem");
+        let m = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(50),
+            b"mem",
+        );
         let mut digest = m.digest().to_vec();
         digest[0] ^= 0xff;
         let forged = Measurement::from_parts(m.timestamp(), digest, m.tag().clone());
@@ -167,8 +185,18 @@ mod tests {
 
     #[test]
     fn same_memory_different_time_gives_different_tag() {
-        let a = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(1), b"mem");
-        let b = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(2), b"mem");
+        let a = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(1),
+            b"mem",
+        );
+        let b = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(2),
+            b"mem",
+        );
         assert_eq!(a.digest(), b.digest());
         assert_ne!(a.tag(), b.tag());
     }
@@ -176,22 +204,48 @@ mod tests {
     #[test]
     fn from_digest_matches_compute() {
         let digest = Sha256::digest(b"the memory");
-        let a = Measurement::from_digest(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(9), digest);
-        let b = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(9), b"the memory");
+        let a = Measurement::from_digest(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(9),
+            digest,
+        );
+        let b = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(9),
+            b"the memory",
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn wire_size_and_age() {
-        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(10), b"mem");
+        let m = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(10),
+            b"mem",
+        );
         assert_eq!(m.wire_size(), 8 + 32 + 32);
-        assert_eq!(m.age_at(SimTime::from_secs(25)), erasmus_sim::SimDuration::from_secs(15));
-        assert_eq!(m.age_at(SimTime::from_secs(5)), erasmus_sim::SimDuration::ZERO);
+        assert_eq!(
+            m.age_at(SimTime::from_secs(25)),
+            erasmus_sim::SimDuration::from_secs(15)
+        );
+        assert_eq!(
+            m.age_at(SimTime::from_secs(5)),
+            erasmus_sim::SimDuration::ZERO
+        );
     }
 
     #[test]
     fn display_is_compact() {
-        let m = Measurement::compute(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(10), b"mem");
+        let m = Measurement::compute(
+            &KEY,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(10),
+            b"mem",
+        );
         let text = m.to_string();
         assert!(text.starts_with("M(t=10.000s"));
         assert!(text.contains("H=0x"));

@@ -107,7 +107,12 @@ pub struct OnDemandResponse {
 impl OnDemandResponse {
     /// Total payload bytes on the wire.
     pub fn payload_bytes(&self) -> usize {
-        self.fresh.wire_size() + self.history.iter().map(Measurement::wire_size).sum::<usize>()
+        self.fresh.wire_size()
+            + self
+                .history
+                .iter()
+                .map(Measurement::wire_size)
+                .sum::<usize>()
     }
 }
 
@@ -134,9 +139,15 @@ mod tests {
     fn on_demand_request_binds_k_and_timestamp() {
         let req = OnDemandRequest::new(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(100), 5);
         // Replaying the tag with different parameters fails.
-        let altered_k = OnDemandRequest { k: 6, ..req.clone() };
+        let altered_k = OnDemandRequest {
+            k: 6,
+            ..req.clone()
+        };
         assert!(!altered_k.verify(&KEY, MacAlgorithm::HmacSha256));
-        let altered_t = OnDemandRequest { treq: SimTime::from_secs(101), ..req };
+        let altered_t = OnDemandRequest {
+            treq: SimTime::from_secs(101),
+            ..req
+        };
         assert!(!altered_t.verify(&KEY, MacAlgorithm::HmacSha256));
     }
 
@@ -150,7 +161,10 @@ mod tests {
             prover_time: SimDuration::from_micros(15),
         };
         assert_eq!(response.payload_bytes(), m1.wire_size() + m2.wire_size());
-        assert_eq!(response.most_recent().map(|m| m.timestamp()), Some(SimTime::from_secs(2)));
+        assert_eq!(
+            response.most_recent().map(|m| m.timestamp()),
+            Some(SimTime::from_secs(2))
+        );
 
         let od = OnDemandResponse {
             device: DeviceId::new(1),

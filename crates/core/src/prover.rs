@@ -187,11 +187,9 @@ impl Prover {
     pub fn self_measure(&mut self, now: SimTime) -> Result<MeasurementOutcome, Error> {
         self.mcu.advance_time_to(now);
         let alg = self.config.mac_algorithm();
-        let measurement = self
-            .mcu
-            .run_trusted(|ctx| {
-                Measurement::from_digest(ctx.key_bytes(), alg, ctx.now(), ctx.memory_digest())
-            })?;
+        let measurement = self.mcu.run_trusted(|ctx| {
+            Measurement::from_digest(ctx.key_bytes(), alg, ctx.now(), ctx.memory_digest())
+        })?;
         let duration = self
             .mcu
             .cost_model()
@@ -200,7 +198,11 @@ impl Prover {
         self.measurements_taken += 1;
         let slot = self.buffer.store(measurement.clone());
         self.scheduler.mark_completed(now);
-        Ok(MeasurementOutcome { measurement, slot, duration })
+        Ok(MeasurementOutcome {
+            measurement,
+            slot,
+            duration,
+        })
     }
 
     /// Performs every scheduled self-measurement due up to and including
@@ -332,13 +334,15 @@ impl Prover {
             .take(k)
             .collect();
 
-        let payload =
-            fresh.wire_size() + history.iter().map(Measurement::wire_size).sum::<usize>();
+        let payload = fresh.wire_size() + history.iter().map(Measurement::wire_size).sum::<usize>();
         prover_time += self
             .mcu
             .cost_model()
             .measurement(self.mcu.app_memory_len(), alg)
-            + self.mcu.cost_model().erasmus_collection(history.len(), payload);
+            + self
+                .mcu
+                .cost_model()
+                .erasmus_collection(history.len(), payload);
         self.busy_time += prover_time;
 
         Ok(OnDemandResponse {
@@ -353,9 +357,9 @@ impl Prover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::ScheduleKind;
     use erasmus_crypto::MacAlgorithm;
     use erasmus_hw::MpuConfig;
-    use crate::schedule::ScheduleKind;
 
     const KEY_BYTES: [u8; 32] = [0x11u8; 32];
 
@@ -382,7 +386,9 @@ mod tests {
     #[test]
     fn scheduled_measurements_follow_t_m() {
         let mut prover = default_prover();
-        let outcomes = prover.run_until(SimTime::from_secs(45)).expect("measurements");
+        let outcomes = prover
+            .run_until(SimTime::from_secs(45))
+            .expect("measurements");
         assert_eq!(outcomes.len(), 4); // t = 10, 20, 30, 40
         assert_eq!(prover.measurements_taken(), 4);
         assert_eq!(prover.buffer().len(), 4);
@@ -397,8 +403,11 @@ mod tests {
     #[test]
     fn collection_returns_latest_first_and_clamps_k() {
         let mut prover = default_prover();
-        prover.run_until(SimTime::from_secs(60)).expect("measurements");
-        let response = prover.handle_collection(&CollectionRequest::latest(3), SimTime::from_secs(61));
+        prover
+            .run_until(SimTime::from_secs(60))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(3), SimTime::from_secs(61));
         assert_eq!(response.measurements.len(), 3);
         assert_eq!(response.measurements[0].timestamp(), SimTime::from_secs(60));
         assert_eq!(response.device, DeviceId::new(1));
@@ -411,23 +420,36 @@ mod tests {
     #[test]
     fn collection_is_cheap_measurement_is_not() {
         let mut prover = default_prover();
-        prover.run_until(SimTime::from_secs(30)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(30))
+            .expect("measurements");
         let before = prover.total_busy_time();
-        let response = prover.handle_collection(&CollectionRequest::latest(3), SimTime::from_secs(31));
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(3), SimTime::from_secs(31));
         let collection_cost = prover.total_busy_time() - before;
         assert_eq!(collection_cost, response.prover_time);
         // One measurement on this profile takes ~1.4 s; the collection path
         // must be orders of magnitude cheaper (Table 2's "factor of 3,000" is
         // on the i.MX6 profile and is exercised by the bench).
-        let one_measurement = prover.mcu().cost_model().measurement(2048, MacAlgorithm::HmacSha256);
+        let one_measurement = prover
+            .mcu()
+            .cost_model()
+            .measurement(2048, MacAlgorithm::HmacSha256);
         assert!(one_measurement.as_secs_f64() / collection_cost.as_secs_f64() > 500.0);
     }
 
     #[test]
     fn on_demand_request_happy_path() {
         let mut prover = default_prover();
-        prover.run_until(SimTime::from_secs(30)).expect("measurements");
-        let request = OnDemandRequest::new(&KEY_BYTES, MacAlgorithm::HmacSha256, SimTime::from_secs(31), 2);
+        prover
+            .run_until(SimTime::from_secs(30))
+            .expect("measurements");
+        let request = OnDemandRequest::new(
+            &KEY_BYTES,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(31),
+            2,
+        );
         let response = prover
             .handle_on_demand(&request, SimTime::from_secs(31))
             .expect("request accepted");
@@ -441,32 +463,56 @@ mod tests {
     #[test]
     fn on_demand_rejects_bad_mac_stale_and_replayed_requests() {
         let mut prover = default_prover();
-        prover.run_until(SimTime::from_secs(100)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(100))
+            .expect("measurements");
 
         // Wrong key → MAC failure.
-        let forged = OnDemandRequest::new(&[0u8; 32], MacAlgorithm::HmacSha256, SimTime::from_secs(101), 1);
+        let forged = OnDemandRequest::new(
+            &[0u8; 32],
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(101),
+            1,
+        );
         assert!(matches!(
             prover.handle_on_demand(&forged, SimTime::from_secs(101)),
             Err(Error::RequestRejected { .. })
         ));
 
         // Stale timestamp.
-        let stale = OnDemandRequest::new(&KEY_BYTES, MacAlgorithm::HmacSha256, SimTime::from_secs(10), 1);
+        let stale = OnDemandRequest::new(
+            &KEY_BYTES,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(10),
+            1,
+        );
         assert!(matches!(
             prover.handle_on_demand(&stale, SimTime::from_secs(101)),
             Err(Error::RequestRejected { .. })
         ));
 
         // Future timestamp beyond allowed skew.
-        let future = OnDemandRequest::new(&KEY_BYTES, MacAlgorithm::HmacSha256, SimTime::from_secs(500), 1);
+        let future = OnDemandRequest::new(
+            &KEY_BYTES,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(500),
+            1,
+        );
         assert!(matches!(
             prover.handle_on_demand(&future, SimTime::from_secs(101)),
             Err(Error::RequestRejected { .. })
         ));
 
         // Valid request accepted once…
-        let good = OnDemandRequest::new(&KEY_BYTES, MacAlgorithm::HmacSha256, SimTime::from_secs(101), 1);
-        prover.handle_on_demand(&good, SimTime::from_secs(101)).expect("accepted");
+        let good = OnDemandRequest::new(
+            &KEY_BYTES,
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(101),
+            1,
+        );
+        prover
+            .handle_on_demand(&good, SimTime::from_secs(101))
+            .expect("accepted");
         // …and rejected when replayed.
         assert!(matches!(
             prover.handle_on_demand(&good, SimTime::from_secs(102)),
@@ -477,11 +523,28 @@ mod tests {
     #[test]
     fn memory_changes_show_up_in_measurements() {
         let mut prover = default_prover();
-        prover.run_until(SimTime::from_secs(10)).expect("measurement");
-        let clean = prover.buffer().most_recent().expect("measurement").digest().to_vec();
-        prover.mcu_mut().write_app_memory(0, b"malware!").expect("infection");
-        prover.run_until(SimTime::from_secs(20)).expect("measurement");
-        let infected = prover.buffer().most_recent().expect("measurement").digest().to_vec();
+        prover
+            .run_until(SimTime::from_secs(10))
+            .expect("measurement");
+        let clean = prover
+            .buffer()
+            .most_recent()
+            .expect("measurement")
+            .digest()
+            .to_vec();
+        prover
+            .mcu_mut()
+            .write_app_memory(0, b"malware!")
+            .expect("infection");
+        prover
+            .run_until(SimTime::from_secs(20))
+            .expect("measurement");
+        let infected = prover
+            .buffer()
+            .most_recent()
+            .expect("measurement")
+            .digest()
+            .to_vec();
         assert_ne!(clean, infected);
     }
 
@@ -496,7 +559,9 @@ mod tests {
                 .expect("valid config"),
         );
         assert_eq!(prover.next_measurement_due(), SimTime::from_secs(10));
-        let deferred = prover.defer_measurement(SimTime::from_secs(9)).expect("deferral");
+        let deferred = prover
+            .defer_measurement(SimTime::from_secs(9))
+            .expect("deferral");
         assert_eq!(deferred, SimTime::from_secs(20));
         assert_eq!(prover.aborted_measurements(), 1);
         // Regular schedules never defer.
@@ -528,11 +593,16 @@ mod tests {
                 .build()
                 .expect("valid config"),
         );
-        let outcomes = prover.run_until(SimTime::from_secs(200)).expect("measurements");
+        let outcomes = prover
+            .run_until(SimTime::from_secs(200))
+            .expect("measurements");
         assert!(!outcomes.is_empty());
         let mut prev = SimTime::ZERO;
         for outcome in &outcomes {
-            let gap = outcome.measurement.timestamp().saturating_duration_since(prev);
+            let gap = outcome
+                .measurement
+                .timestamp()
+                .saturating_duration_since(prev);
             assert!(gap >= SimDuration::from_secs(5) && gap < SimDuration::from_secs(15));
             prev = outcome.measurement.timestamp();
         }

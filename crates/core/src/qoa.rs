@@ -147,8 +147,11 @@ mod tests {
     use super::*;
 
     fn qoa(tm_secs: u64, tc_secs: u64) -> QoaParams {
-        QoaParams::new(SimDuration::from_secs(tm_secs), SimDuration::from_secs(tc_secs))
-            .expect("valid params")
+        QoaParams::new(
+            SimDuration::from_secs(tm_secs),
+            SimDuration::from_secs(tc_secs),
+        )
+        .expect("valid params")
     }
 
     #[test]
@@ -171,8 +174,14 @@ mod tests {
         let q = qoa(60, 600);
         assert_eq!(q.mobile_detection_probability(SimDuration::ZERO), 0.0);
         assert!((q.mobile_detection_probability(SimDuration::from_secs(30)) - 0.5).abs() < 1e-12);
-        assert_eq!(q.mobile_detection_probability(SimDuration::from_secs(60)), 1.0);
-        assert_eq!(q.mobile_detection_probability(SimDuration::from_secs(3600)), 1.0);
+        assert_eq!(
+            q.mobile_detection_probability(SimDuration::from_secs(60)),
+            1.0
+        );
+        assert_eq!(
+            q.mobile_detection_probability(SimDuration::from_secs(3600)),
+            1.0
+        );
     }
 
     #[test]
@@ -181,7 +190,10 @@ mod tests {
         let dwell = SimDuration::from_secs(45);
         let erasmus = q.mobile_detection_probability(dwell);
         let on_demand = q.on_demand_detection_probability(dwell);
-        assert!(erasmus > on_demand * 10.0, "erasmus {erasmus} vs on-demand {on_demand}");
+        assert!(
+            erasmus > on_demand * 10.0,
+            "erasmus {erasmus} vs on-demand {on_demand}"
+        );
     }
 
     #[test]

@@ -172,7 +172,12 @@ mod tests {
     use erasmus_crypto::MacAlgorithm;
 
     fn sample_measurement(secs: u64) -> Measurement {
-        Measurement::compute(&[1u8; 32], MacAlgorithm::HmacSha256, SimTime::from_secs(secs), b"m")
+        Measurement::compute(
+            &[1u8; 32],
+            MacAlgorithm::HmacSha256,
+            SimTime::from_secs(secs),
+            b"m",
+        )
     }
 
     fn sample_report(verdict: AttestationVerdict) -> CollectionReport {
@@ -220,7 +225,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(MeasurementVerdict::Forged.to_string(), "forged");
-        assert_eq!(AttestationVerdict::TamperingDetected.to_string(), "tampering detected");
+        assert_eq!(
+            AttestationVerdict::TamperingDetected.to_string(),
+            "tampering detected"
+        );
         let text = sample_report(AttestationVerdict::CompromiseDetected).to_string();
         assert!(text.contains("device-3"));
         assert!(text.contains("compromise detected"));

@@ -32,12 +32,20 @@ pub struct InfectionSpec {
 impl InfectionSpec {
     /// A mobile infection that enters at `start` and dwells for `dwell`.
     pub fn mobile(start: SimTime, dwell: SimDuration) -> Self {
-        Self { start, dwell: Some(dwell), tamper: TamperStrategy::None }
+        Self {
+            start,
+            dwell: Some(dwell),
+            tamper: TamperStrategy::None,
+        }
     }
 
     /// A persistent infection starting at `start`.
     pub fn persistent(start: SimTime) -> Self {
-        Self { start, dwell: None, tamper: TamperStrategy::None }
+        Self {
+            start,
+            dwell: None,
+            tamper: TamperStrategy::None,
+        }
     }
 
     /// Sets the tampering strategy.
@@ -190,7 +198,11 @@ impl Scenario {
         let mut outcomes: Vec<InfectionOutcome> = self
             .infections
             .iter()
-            .map(|spec| InfectionOutcome { spec: *spec, detected: false, detected_at: None })
+            .map(|spec| InfectionOutcome {
+                spec: *spec,
+                detected: false,
+                detected_at: None,
+            })
             .collect();
 
         let mut trace = Trace::new();
@@ -202,7 +214,10 @@ impl Scenario {
             SimTime::ZERO + self.config.measurement_interval(),
             ScenarioEvent::Measurement,
         );
-        engine.schedule_at(SimTime::ZERO + self.collection_interval, ScenarioEvent::Collection);
+        engine.schedule_at(
+            SimTime::ZERO + self.collection_interval,
+            ScenarioEvent::Collection,
+        );
         for (index, spec) in self.infections.iter().enumerate() {
             engine.schedule_at(spec.start, ScenarioEvent::InfectionStart(index));
             if let Some(dwell) = spec.dwell {
@@ -327,10 +342,10 @@ impl Scenario {
             if outcomes[index].detected {
                 continue;
             }
-            let Some((start, until)) = m.residency(now) else { continue };
-            let overlaps_measurement = incriminating
-                .iter()
-                .any(|&t| t >= start && t <= until);
+            let Some((start, until)) = m.residency(now) else {
+                continue;
+            };
+            let overlaps_measurement = incriminating.iter().any(|&t| t >= start && t <= until);
             let tampered = *verdict == AttestationVerdict::TamperingDetected
                 && m.tamper_strategy() != TamperStrategy::None;
             if overlaps_measurement || tampered {
@@ -526,7 +541,10 @@ mod tests {
             .measurement_interval(SimDuration::from_secs(10))
             .collection_interval(SimDuration::from_secs(60))
             .duration(SimDuration::from_secs(300))
-            .infection(InfectionSpec::mobile(SimTime::from_secs(12), SimDuration::from_secs(3)))
+            .infection(InfectionSpec::mobile(
+                SimTime::from_secs(12),
+                SimDuration::from_secs(3),
+            ))
             .infection(InfectionSpec::persistent(SimTime::from_secs(95)))
             .run()
             .expect("scenario runs");
@@ -545,10 +563,16 @@ mod tests {
             .measurement_interval(SimDuration::from_secs(10))
             .collection_interval(SimDuration::from_secs(60))
             .duration(SimDuration::from_secs(180))
-            .infection(InfectionSpec::mobile(SimTime::from_secs(15), SimDuration::from_secs(10)))
+            .infection(InfectionSpec::mobile(
+                SimTime::from_secs(15),
+                SimDuration::from_secs(10),
+            ))
             .run()
             .expect("scenario runs");
-        assert!(outcome.infections[0].detected, "dwell 10 s ≥ T_M window remainder covers t = 20 s");
+        assert!(
+            outcome.infections[0].detected,
+            "dwell 10 s ≥ T_M window remainder covers t = 20 s"
+        );
     }
 
     #[test]
@@ -563,7 +587,10 @@ mod tests {
             )
             .run()
             .expect("scenario runs");
-        assert!(outcome.infections[0].detected, "deleting history is self-incriminating");
+        assert!(
+            outcome.infections[0].detected,
+            "deleting history is self-incriminating"
+        );
         assert!(outcome.alarms >= 1);
     }
 

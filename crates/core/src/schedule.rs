@@ -152,11 +152,11 @@ impl MeasurementScheduler {
         self.completed += 1;
         match &self.kind {
             ScheduleKind::Regular => {
-                self.next_due = self.next_due + self.interval;
+                self.next_due += self.interval;
                 // If the prover fell behind (e.g. it was busy), skip forward
                 // so the next due time is in the future of `now`.
                 while self.next_due <= now {
-                    self.next_due = self.next_due + self.interval;
+                    self.next_due += self.interval;
                 }
             }
             ScheduleKind::Irregular { lower, upper } => {
@@ -273,12 +273,16 @@ mod tests {
             s.mark_completed(due);
         }
         let first = gaps[0];
-        assert!(gaps.iter().any(|g| *g != first), "intervals never varied: {gaps:?}");
+        assert!(
+            gaps.iter().any(|g| *g != first),
+            "intervals never varied: {gaps:?}"
+        );
     }
 
     #[test]
     fn lenient_schedule_defers_to_window_end() {
-        let mut s = MeasurementScheduler::new(ScheduleKind::Lenient { window_factor: 3.0 }, TM, &KEY);
+        let mut s =
+            MeasurementScheduler::new(ScheduleKind::Lenient { window_factor: 3.0 }, TM, &KEY);
         assert_eq!(s.next_due(), SimTime::from_secs(10));
         // The device is busy at t = 10; defer to the end of the 3×T_M window.
         let deferred = s.defer(SimTime::from_secs(10)).expect("deferral granted");
@@ -309,7 +313,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(ScheduleKind::Regular.to_string(), "regular");
-        assert!(ScheduleKind::Lenient { window_factor: 2.0 }.to_string().contains("w = 2"));
+        assert!(ScheduleKind::Lenient { window_factor: 2.0 }
+            .to_string()
+            .contains("w = 2"));
         let irregular = ScheduleKind::Irregular {
             lower: SimDuration::from_secs(1),
             upper: SimDuration::from_secs(2),

@@ -8,7 +8,9 @@ use erasmus_sim::{SimDuration, SimTime};
 use crate::error::Error;
 use crate::measurement::Measurement;
 use crate::protocol::{CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse};
-use crate::report::{AttestationVerdict, CollectionReport, MeasurementVerdict, VerifiedMeasurement};
+use crate::report::{
+    AttestationVerdict, CollectionReport, MeasurementVerdict, VerifiedMeasurement,
+};
 
 /// The (possibly untrusted-network-facing, but key-holding) verifier.
 ///
@@ -302,9 +304,14 @@ mod tests {
     fn healthy_history_verifies() {
         let (mut prover, mut verifier) = setup();
         verifier.learn_reference_image(prover.mcu().app_memory());
-        prover.run_until(SimTime::from_secs(60)).expect("measurements");
-        let response = prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
-        let report = verifier.verify_collection(&response, SimTime::from_secs(60)).expect("report");
+        prover
+            .run_until(SimTime::from_secs(60))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(60))
+            .expect("report");
         assert!(report.all_valid());
         assert_eq!(report.verdict(), AttestationVerdict::AllHealthy);
         assert_eq!(report.measurements().len(), 6);
@@ -318,20 +325,35 @@ mod tests {
     fn compromised_memory_is_detected() {
         let (mut prover, mut verifier) = setup();
         verifier.learn_reference_image(prover.mcu().app_memory());
-        prover.run_until(SimTime::from_secs(20)).expect("measurements");
-        prover.mcu_mut().write_app_memory(0, b"persistent malware").expect("infection");
-        prover.run_until(SimTime::from_secs(40)).expect("measurements");
-        let response = prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
-        let report = verifier.verify_collection(&response, SimTime::from_secs(40)).expect("report");
+        prover
+            .run_until(SimTime::from_secs(20))
+            .expect("measurements");
+        prover
+            .mcu_mut()
+            .write_app_memory(0, b"persistent malware")
+            .expect("infection");
+        prover
+            .run_until(SimTime::from_secs(40))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(40))
+            .expect("report");
         assert_eq!(report.verdict(), AttestationVerdict::CompromiseDetected);
-        assert_eq!(report.with_verdict(MeasurementVerdict::Compromised).count(), 2);
+        assert_eq!(
+            report.with_verdict(MeasurementVerdict::Compromised).count(),
+            2
+        );
         assert_eq!(report.with_verdict(MeasurementVerdict::Healthy).count(), 2);
     }
 
     #[test]
     fn forged_measurement_is_detected() {
         let (mut prover, mut verifier) = setup();
-        prover.run_until(SimTime::from_secs(40)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(40))
+            .expect("measurements");
         // Malware replaces a stored measurement with garbage.
         let forged = Measurement::from_parts(
             SimTime::from_secs(30),
@@ -340,8 +362,11 @@ mod tests {
         );
         let slot = prover.buffer().slot_for(SimTime::from_secs(30));
         prover.buffer_mut().tamper_replace(slot, forged);
-        let response = prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
-        let report = verifier.verify_collection(&response, SimTime::from_secs(40)).expect("report");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(40))
+            .expect("report");
         assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
         assert_eq!(report.with_verdict(MeasurementVerdict::Forged).count(), 1);
     }
@@ -351,14 +376,22 @@ mod tests {
         let (mut prover, mut verifier) = setup();
         verifier.learn_reference_image(prover.mcu().app_memory());
         // First collection establishes a baseline.
-        prover.run_until(SimTime::from_secs(20)).expect("measurements");
-        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(20));
-        verifier.verify_collection(&response, SimTime::from_secs(20)).expect("baseline");
+        prover
+            .run_until(SimTime::from_secs(20))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(20));
+        verifier
+            .verify_collection(&response, SimTime::from_secs(20))
+            .expect("baseline");
 
         // Malware deletes everything recorded afterwards.
-        prover.run_until(SimTime::from_secs(60)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(60))
+            .expect("measurements");
         prover.buffer_mut().tamper_clear();
-        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(60));
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(60));
         match verifier.verify_collection(&response, SimTime::from_secs(60)) {
             // Either the buffer is completely empty (NoMeasurements)…
             Err(Error::NoMeasurements) => {}
@@ -372,18 +405,28 @@ mod tests {
     fn partial_deletion_is_detected_as_gap() {
         let (mut prover, mut verifier) = setup();
         verifier.learn_reference_image(prover.mcu().app_memory());
-        prover.run_until(SimTime::from_secs(20)).expect("measurements");
-        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(20));
-        verifier.verify_collection(&response, SimTime::from_secs(20)).expect("baseline");
+        prover
+            .run_until(SimTime::from_secs(20))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(20));
+        verifier
+            .verify_collection(&response, SimTime::from_secs(20))
+            .expect("baseline");
 
-        prover.run_until(SimTime::from_secs(60)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(60))
+            .expect("measurements");
         // Delete two of the four new measurements (t = 30 and t = 40).
         for secs in [30u64, 40] {
             let slot = prover.buffer().slot_for(SimTime::from_secs(secs));
             assert!(prover.buffer_mut().tamper_delete(slot));
         }
-        let response = prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(60));
-        let report = verifier.verify_collection(&response, SimTime::from_secs(60)).expect("report");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(16), SimTime::from_secs(60));
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(60))
+            .expect("report");
         assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
         assert_eq!(report.missing(), 2);
     }
@@ -405,10 +448,15 @@ mod tests {
     #[test]
     fn future_timestamps_are_flagged() {
         let (mut prover, mut verifier) = setup();
-        prover.run_until(SimTime::from_secs(20)).expect("measurements");
-        let response = prover.handle_collection(&CollectionRequest::latest(2), SimTime::from_secs(20));
+        prover
+            .run_until(SimTime::from_secs(20))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(2), SimTime::from_secs(20));
         // Verify "in the past": the measurements' timestamps are now in the future.
-        let report = verifier.verify_collection(&response, SimTime::from_secs(5)).expect("report");
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(5))
+            .expect("report");
         assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
     }
 
@@ -416,9 +464,13 @@ mod tests {
     fn on_demand_roundtrip_and_freshness() {
         let (mut prover, mut verifier) = setup();
         verifier.learn_reference_image(prover.mcu().app_memory());
-        prover.run_until(SimTime::from_secs(35)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(35))
+            .expect("measurements");
         let request = verifier.make_on_demand_request(2, SimTime::from_secs(36));
-        let response = prover.handle_on_demand(&request, SimTime::from_secs(36)).expect("response");
+        let response = prover
+            .handle_on_demand(&request, SimTime::from_secs(36))
+            .expect("response");
         let report = verifier
             .verify_on_demand(&request, &response, SimTime::from_secs(36))
             .expect("report");
@@ -431,9 +483,13 @@ mod tests {
     #[test]
     fn on_demand_response_with_forged_fresh_measurement_rejected() {
         let (mut prover, mut verifier) = setup();
-        prover.run_until(SimTime::from_secs(35)).expect("measurements");
+        prover
+            .run_until(SimTime::from_secs(35))
+            .expect("measurements");
         let request = verifier.make_on_demand_request(1, SimTime::from_secs(36));
-        let mut response = prover.handle_on_demand(&request, SimTime::from_secs(36)).expect("response");
+        let mut response = prover
+            .handle_on_demand(&request, SimTime::from_secs(36))
+            .expect("response");
         response.fresh = Measurement::from_parts(
             response.fresh.timestamp(),
             vec![0u8; 32],

@@ -80,7 +80,7 @@ impl Blake2s {
 
     fn with_params(key: &[u8], out_len: usize) -> Self {
         assert!(
-            out_len >= 1 && out_len <= MAX_OUT_BYTES,
+            (1..=MAX_OUT_BYTES).contains(&out_len),
             "BLAKE2s output length must be in 1..=32, got {out_len}"
         );
         let key = if key.len() > MAX_KEY_BYTES {

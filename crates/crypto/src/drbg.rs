@@ -182,7 +182,10 @@ mod tests {
         for _ in 0..1000 {
             seen[drbg.next_in_range(0, 8) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 8 residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 8 residues should appear: {seen:?}"
+        );
     }
 
     #[test]

@@ -189,7 +189,9 @@ impl FromStr for MacAlgorithm {
             "hmac-sha1" | "hmacsha1" | "sha1" => Ok(MacAlgorithm::HmacSha1),
             "hmac-sha256" | "hmacsha256" | "sha256" => Ok(MacAlgorithm::HmacSha256),
             "blake2s" | "keyed-blake2s" | "keyedblake2s" => Ok(MacAlgorithm::KeyedBlake2s),
-            _ => Err(ParseMacAlgorithmError { input: s.to_owned() }),
+            _ => Err(ParseMacAlgorithmError {
+                input: s.to_owned(),
+            }),
         }
     }
 }
@@ -233,8 +235,14 @@ mod tests {
 
     #[test]
     fn parse_from_str() {
-        assert_eq!("hmac-sha256".parse::<MacAlgorithm>(), Ok(MacAlgorithm::HmacSha256));
-        assert_eq!("BLAKE2S".parse::<MacAlgorithm>(), Ok(MacAlgorithm::KeyedBlake2s));
+        assert_eq!(
+            "hmac-sha256".parse::<MacAlgorithm>(),
+            Ok(MacAlgorithm::HmacSha256)
+        );
+        assert_eq!(
+            "BLAKE2S".parse::<MacAlgorithm>(),
+            Ok(MacAlgorithm::KeyedBlake2s)
+        );
         assert_eq!("sha1".parse::<MacAlgorithm>(), Ok(MacAlgorithm::HmacSha1));
         assert!("md5".parse::<MacAlgorithm>().is_err());
         let err = "md5".parse::<MacAlgorithm>().unwrap_err();

@@ -160,8 +160,12 @@ impl Digest for Sha256 {
         let mut padding = Vec::with_capacity(72);
         padding.push(0x80u8);
         let msg_len = (self.total_len % 64) as usize;
-        let zero_count = if msg_len < 56 { 55 - msg_len } else { 119 - msg_len };
-        padding.extend(std::iter::repeat(0u8).take(zero_count));
+        let zero_count = if msg_len < 56 {
+            55 - msg_len
+        } else {
+            119 - msg_len
+        };
+        padding.extend(std::iter::repeat_n(0u8, zero_count));
         padding.extend_from_slice(&bit_len.to_be_bytes());
 
         // `update` adjusts total_len but padding length no longer matters.

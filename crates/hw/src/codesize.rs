@@ -180,7 +180,14 @@ impl CodeSizeModel {
     }
 
     /// All Table 1 rows: `(algorithm, architecture, mode, size)`.
-    pub fn table1(&self) -> Vec<(MacAlgorithm, SecurityArchitecture, RaMode, Option<ExecutableSize>)> {
+    pub fn table1(
+        &self,
+    ) -> Vec<(
+        MacAlgorithm,
+        SecurityArchitecture,
+        RaMode,
+        Option<ExecutableSize>,
+    )> {
         let mut rows = Vec::new();
         for alg in MacAlgorithm::ALL {
             for arch in SecurityArchitecture::ALL {
@@ -268,12 +275,42 @@ mod tests {
 
     /// Expected Table 1 values in KB: (alg, arch, on_demand, erasmus).
     const TABLE1: [(MacAlgorithm, SecurityArchitecture, Option<f64>, Option<f64>); 6] = [
-        (MacAlgorithm::HmacSha1, SecurityArchitecture::SmartPlus, Some(4.9), Some(4.7)),
-        (MacAlgorithm::HmacSha1, SecurityArchitecture::Hydra, None, None),
-        (MacAlgorithm::HmacSha256, SecurityArchitecture::SmartPlus, Some(5.1), Some(4.9)),
-        (MacAlgorithm::HmacSha256, SecurityArchitecture::Hydra, Some(231.96), Some(233.84)),
-        (MacAlgorithm::KeyedBlake2s, SecurityArchitecture::SmartPlus, Some(28.9), Some(28.7)),
-        (MacAlgorithm::KeyedBlake2s, SecurityArchitecture::Hydra, Some(239.29), Some(241.17)),
+        (
+            MacAlgorithm::HmacSha1,
+            SecurityArchitecture::SmartPlus,
+            Some(4.9),
+            Some(4.7),
+        ),
+        (
+            MacAlgorithm::HmacSha1,
+            SecurityArchitecture::Hydra,
+            None,
+            None,
+        ),
+        (
+            MacAlgorithm::HmacSha256,
+            SecurityArchitecture::SmartPlus,
+            Some(5.1),
+            Some(4.9),
+        ),
+        (
+            MacAlgorithm::HmacSha256,
+            SecurityArchitecture::Hydra,
+            Some(231.96),
+            Some(233.84),
+        ),
+        (
+            MacAlgorithm::KeyedBlake2s,
+            SecurityArchitecture::SmartPlus,
+            Some(28.9),
+            Some(28.7),
+        ),
+        (
+            MacAlgorithm::KeyedBlake2s,
+            SecurityArchitecture::Hydra,
+            Some(239.29),
+            Some(241.17),
+        ),
     ];
 
     #[test]

@@ -33,7 +33,9 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a cost model for the given device profile.
     pub fn new(profile: &DeviceProfile) -> Self {
-        Self { profile: profile.clone() }
+        Self {
+            profile: profile.clone(),
+        }
     }
 
     /// The underlying profile.
@@ -166,7 +168,10 @@ mod tests {
         // Construct UDP packet ≈ 0.003 ms, send ≈ 0.012 ms for a small payload.
         let construct = cost.construct_packet(0);
         let send = cost.send_packet(0);
-        assert!((construct.as_millis_f64() - 0.003).abs() < 0.001, "{construct}");
+        assert!(
+            (construct.as_millis_f64() - 0.003).abs() < 0.001,
+            "{construct}"
+        );
         assert!((send.as_millis_f64() - 0.012).abs() < 0.002, "{send}");
         // ERASMUS total collection ≈ 0.015 ms (plus negligible buffer read).
         let total = cost.erasmus_collection(1, 0);
@@ -209,6 +214,9 @@ mod tests {
         let on_demand = cost.on_demand_attestation(10 * 1024, MacAlgorithm::HmacSha256, 72);
         let relative_gap =
             (on_demand.as_secs_f64() - erasmus.as_secs_f64()) / erasmus.as_secs_f64();
-        assert!(relative_gap > 0.0 && relative_gap < 0.05, "gap {relative_gap}");
+        assert!(
+            relative_gap > 0.0 && relative_gap < 0.05,
+            "gap {relative_gap}"
+        );
     }
 }

@@ -42,10 +42,21 @@ pub enum HwError {
 impl fmt::Display for HwError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HwError::AccessViolation { subject, region, access } => {
-                write!(f, "access violation: {subject} attempted {access} on {region}")
+            HwError::AccessViolation {
+                subject,
+                region,
+                access,
+            } => {
+                write!(
+                    f,
+                    "access violation: {subject} attempted {access} on {region}"
+                )
             }
-            HwError::OutOfBounds { offset, len, region_size } => {
+            HwError::OutOfBounds {
+                offset,
+                len,
+                region_size,
+            } => {
                 write!(
                     f,
                     "memory access out of bounds: offset {offset} + len {len} exceeds region of {region_size} bytes"
@@ -76,13 +87,22 @@ mod tests {
         };
         assert!(err.to_string().contains("access violation"));
 
-        let err = HwError::OutOfBounds { offset: 10, len: 20, region_size: 16 };
+        let err = HwError::OutOfBounds {
+            offset: 10,
+            len: 20,
+            region_size: 16,
+        };
         assert!(err.to_string().contains("out of bounds"));
 
-        let err = HwError::SecureBootFailure { reason: "hash mismatch".into() };
+        let err = HwError::SecureBootFailure {
+            reason: "hash mismatch".into(),
+        };
         assert!(err.to_string().contains("hash mismatch"));
 
-        let err = HwError::OverlappingRegions { first: "rom".into(), second: "ram".into() };
+        let err = HwError::OverlappingRegions {
+            first: "rom".into(),
+            second: "ram".into(),
+        };
         assert!(err.to_string().contains("overlap"));
     }
 

@@ -167,8 +167,11 @@ impl Mcu {
     /// [`HwError::AccessViolation`] if the MPU forbids application writes
     /// (never the case with the stock rule tables).
     pub fn write_app_memory(&mut self, offset: usize, data: &[u8]) -> Result<(), HwError> {
-        self.mpu
-            .check(Subject::Application, RegionKind::Application, AccessKind::Write)?;
+        self.mpu.check(
+            Subject::Application,
+            RegionKind::Application,
+            AccessKind::Write,
+        )?;
         let end = offset.checked_add(data.len()).ok_or(HwError::OutOfBounds {
             offset,
             len: data.len(),
@@ -220,10 +223,16 @@ impl Mcu {
     {
         self.mpu
             .check(Subject::AttestationCode, RegionKind::Key, AccessKind::Read)?;
-        self.mpu
-            .check(Subject::AttestationCode, RegionKind::Application, AccessKind::Read)?;
-        self.mpu
-            .check(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Read)?;
+        self.mpu.check(
+            Subject::AttestationCode,
+            RegionKind::Application,
+            AccessKind::Read,
+        )?;
+        self.mpu.check(
+            Subject::AttestationCode,
+            RegionKind::Peripheral,
+            AccessKind::Read,
+        )?;
         if let Some(boot) = &self.secure_boot {
             boot.verify(&self.rom)?;
         }
@@ -282,7 +291,10 @@ mod tests {
     use erasmus_crypto::MacAlgorithm;
 
     fn device() -> Mcu {
-        Mcu::new(DeviceProfile::msp430_8mhz(1024), DeviceKey::from_bytes([7; 32]))
+        Mcu::new(
+            DeviceProfile::msp430_8mhz(1024),
+            DeviceKey::from_bytes([7; 32]),
+        )
     }
 
     #[test]
@@ -290,7 +302,13 @@ mod tests {
         let smart = device();
         assert!(smart.secure_boot().is_none());
         assert_eq!(smart.app_memory_len(), 1024);
-        assert_eq!(smart.memory_map().region(RegionKind::Application).map(|r| r.size), Some(1024));
+        assert_eq!(
+            smart
+                .memory_map()
+                .region(RegionKind::Application)
+                .map(|r| r.size),
+            Some(1024)
+        );
 
         let hydra = Mcu::new(
             DeviceProfile::imx6_sabre_lite(2048),
@@ -315,7 +333,7 @@ mod tests {
         mcu.load_app_image([0xaa; 10]);
         assert_eq!(mcu.app_memory()[9], 0xaa);
         assert_eq!(mcu.app_memory()[10], 0);
-        mcu.load_app_image(std::iter::repeat(0xbb).take(5000));
+        mcu.load_app_image(std::iter::repeat_n(0xbb, 5000));
         assert_eq!(mcu.app_memory().len(), 1024);
         assert!(mcu.app_memory().iter().all(|&b| b == 0xbb));
     }

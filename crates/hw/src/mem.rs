@@ -217,7 +217,10 @@ mod tests {
         ] {
             assert!(map.region(kind).is_some(), "missing {kind:?}");
         }
-        assert_eq!(map.region(RegionKind::Application).map(|r| r.size), Some(10 * 1024));
+        assert_eq!(
+            map.region(RegionKind::Application).map(|r| r.size),
+            Some(10 * 1024)
+        );
         assert!(map.total_size() > 10 * 1024);
     }
 
@@ -235,7 +238,9 @@ mod tests {
     fn region_containing_lookup() {
         let map = MemoryMap::smart_plus_layout(1024, 256).expect("layout");
         let app = map.region(RegionKind::Application).expect("app region");
-        let found = map.region_containing(app.base + 5).expect("containing region");
+        let found = map
+            .region_containing(app.base + 5)
+            .expect("containing region");
         assert_eq!(found.kind, RegionKind::Application);
         assert!(map.region_containing(usize::MAX / 2).is_none());
     }

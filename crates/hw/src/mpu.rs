@@ -68,7 +68,11 @@ pub struct MpuRule {
 impl MpuRule {
     /// Creates an allow-rule.
     pub fn allow(subject: Subject, region: RegionKind, access: AccessKind) -> Self {
-        Self { subject, region, access }
+        Self {
+            subject,
+            region,
+            access,
+        }
     }
 }
 
@@ -119,7 +123,11 @@ impl MpuConfig {
             MpuRule::allow(Subject::AttestationCode, RegionKind::Key, Read),
             MpuRule::allow(Subject::AttestationCode, RegionKind::Application, Read),
             MpuRule::allow(Subject::AttestationCode, RegionKind::MeasurementStore, Read),
-            MpuRule::allow(Subject::AttestationCode, RegionKind::MeasurementStore, Write),
+            MpuRule::allow(
+                Subject::AttestationCode,
+                RegionKind::MeasurementStore,
+                Write,
+            ),
             MpuRule::allow(Subject::AttestationCode, RegionKind::Peripheral, Read),
             MpuRule::allow(Subject::Application, RegionKind::Application, Read),
             MpuRule::allow(Subject::Application, RegionKind::Application, Write),
@@ -195,7 +203,11 @@ mod tests {
     fn default_deny() {
         let mpu = MpuConfig::deny_all();
         assert!(mpu
-            .check(Subject::Application, RegionKind::Application, AccessKind::Read)
+            .check(
+                Subject::Application,
+                RegionKind::Application,
+                AccessKind::Read
+            )
             .is_err());
         assert!(mpu.rules().is_empty());
     }
@@ -208,7 +220,11 @@ mod tests {
         assert!(!mpu.is_allowed(Subject::Application, RegionKind::Key, AccessKind::Read));
         assert!(!mpu.is_allowed(Subject::Peripheral, RegionKind::Key, AccessKind::Read));
         // Nobody writes K or ROM at runtime.
-        for subject in [Subject::AttestationCode, Subject::Application, Subject::Peripheral] {
+        for subject in [
+            Subject::AttestationCode,
+            Subject::Application,
+            Subject::Peripheral,
+        ] {
             assert!(!mpu.is_allowed(subject, RegionKind::Key, AccessKind::Write));
             assert!(!mpu.is_allowed(subject, RegionKind::Rom, AccessKind::Write));
         }
@@ -219,15 +235,31 @@ mod tests {
         // The paper stores measurements in *unprotected* memory: the
         // application (and malware) may read and write them freely.
         let mpu = MpuConfig::smart_plus();
-        assert!(mpu.is_allowed(Subject::Application, RegionKind::MeasurementStore, AccessKind::Read));
-        assert!(mpu.is_allowed(Subject::Application, RegionKind::MeasurementStore, AccessKind::Write));
+        assert!(mpu.is_allowed(
+            Subject::Application,
+            RegionKind::MeasurementStore,
+            AccessKind::Read
+        ));
+        assert!(mpu.is_allowed(
+            Subject::Application,
+            RegionKind::MeasurementStore,
+            AccessKind::Write
+        ));
     }
 
     #[test]
     fn smart_plus_attestation_code_reads_app_memory() {
         let mpu = MpuConfig::smart_plus();
-        assert!(mpu.is_allowed(Subject::AttestationCode, RegionKind::Application, AccessKind::Read));
-        assert!(mpu.is_allowed(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Read));
+        assert!(mpu.is_allowed(
+            Subject::AttestationCode,
+            RegionKind::Application,
+            AccessKind::Read
+        ));
+        assert!(mpu.is_allowed(
+            Subject::AttestationCode,
+            RegionKind::Peripheral,
+            AccessKind::Read
+        ));
     }
 
     #[test]
@@ -239,8 +271,16 @@ mod tests {
             assert!(hydra.is_allowed(rule.subject, rule.region, rule.access));
         }
         // HYDRA's software clock needs peripheral write access for PrAtt.
-        assert!(hydra.is_allowed(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Write));
-        assert!(!smart.is_allowed(Subject::AttestationCode, RegionKind::Peripheral, AccessKind::Write));
+        assert!(hydra.is_allowed(
+            Subject::AttestationCode,
+            RegionKind::Peripheral,
+            AccessKind::Write
+        ));
+        assert!(!smart.is_allowed(
+            Subject::AttestationCode,
+            RegionKind::Peripheral,
+            AccessKind::Write
+        ));
         // But the application still cannot touch the key.
         assert!(!hydra.is_allowed(Subject::Application, RegionKind::Key, AccessKind::Read));
     }

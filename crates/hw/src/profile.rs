@@ -211,11 +211,7 @@ impl DeviceProfile {
 
 impl fmt::Display for DeviceProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} ({} B app memory)",
-            self.name, self.app_memory_bytes
-        )
+        write!(f, "{} ({} B app memory)", self.name, self.app_memory_bytes)
     }
 }
 
@@ -229,7 +225,10 @@ mod tests {
         assert_eq!(p.architecture(), SecurityArchitecture::SmartPlus);
         assert_eq!(p.clock_hz(), 8_000_000);
         assert_eq!(p.app_memory_bytes(), 10 * 1024);
-        assert!(p.mac_cycles_per_byte(MacAlgorithm::HmacSha256) > p.mac_cycles_per_byte(MacAlgorithm::KeyedBlake2s));
+        assert!(
+            p.mac_cycles_per_byte(MacAlgorithm::HmacSha256)
+                > p.mac_cycles_per_byte(MacAlgorithm::KeyedBlake2s)
+        );
         assert!(p.name().contains("MSP430"));
     }
 
@@ -266,7 +265,10 @@ mod tests {
         let cycles = p.mac_cycles_per_byte(MacAlgorithm::HmacSha256) * (10.0 * 1024.0)
             + p.measurement_overhead_cycles() as f64;
         let seconds = cycles / p.clock_hz() as f64;
-        assert!((seconds - 7.0).abs() < 0.1, "calibration drifted: {seconds} s");
+        assert!(
+            (seconds - 7.0).abs() < 0.1,
+            "calibration drifted: {seconds} s"
+        );
     }
 
     #[test]
@@ -276,6 +278,9 @@ mod tests {
         let cycles = p.mac_cycles_per_byte(MacAlgorithm::KeyedBlake2s) * (10.0 * 1024.0 * 1024.0)
             + p.measurement_overhead_cycles() as f64;
         let millis = cycles / p.clock_hz() as f64 * 1e3;
-        assert!((millis - 285.6).abs() < 1.0, "calibration drifted: {millis} ms");
+        assert!(
+            (millis - 285.6).abs() < 1.0,
+            "calibration drifted: {millis} ms"
+        );
     }
 }

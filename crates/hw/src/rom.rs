@@ -31,7 +31,11 @@ impl Rom {
     /// Creates a ROM image holding `key` and the attestation `code` bytes.
     pub fn new(key: DeviceKey, code: Vec<u8>) -> Self {
         let code_digest = Sha256::digest(&code);
-        Self { key, code, code_digest }
+        Self {
+            key,
+            code,
+            code_digest,
+        }
     }
 
     /// Creates a ROM with a synthetic attestation-code image of `code_size`

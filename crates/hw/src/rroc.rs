@@ -44,13 +44,19 @@ impl Rroc {
 
     /// Creates a clock reading zero (device boot).
     pub fn new() -> Self {
-        Self { now: SimTime::ZERO, wraps: 0 }
+        Self {
+            now: SimTime::ZERO,
+            wraps: 0,
+        }
     }
 
     /// Creates a clock starting at an arbitrary instant (e.g. a device that
     /// has been running for a while before the scenario starts).
     pub fn starting_at(start: SimTime) -> Self {
-        Self { now: start, wraps: 0 }
+        Self {
+            now: start,
+            wraps: 0,
+        }
     }
 
     /// Current clock value.

@@ -39,7 +39,9 @@ impl SecureBoot {
 
     /// Creates a verifier from an already-known reference digest.
     pub fn from_reference_digest(digest: Vec<u8>) -> Self {
-        Self { reference_digest: digest }
+        Self {
+            reference_digest: digest,
+        }
     }
 
     /// The provisioned reference digest.

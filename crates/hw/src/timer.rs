@@ -121,7 +121,8 @@ mod tests {
 
     #[test]
     fn fire_times_until_collects_all_expiries() {
-        let mut timer = PeriodicTimer::armed_at(SimTime::from_secs(100), SimDuration::from_secs(10));
+        let mut timer =
+            PeriodicTimer::armed_at(SimTime::from_secs(100), SimDuration::from_secs(10));
         let fires = timer.fire_times_until(SimTime::from_secs(145));
         assert_eq!(
             fires,

@@ -126,7 +126,9 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let mean = SimDuration::from_secs(10);
         let n = 5000;
-        let total: f64 = (0..n).map(|_| rng.gen_exponential(mean).as_secs_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| rng.gen_exponential(mean).as_secs_f64())
+            .sum();
         let empirical_mean = total / n as f64;
         assert!(
             (empirical_mean - 10.0).abs() < 1.0,

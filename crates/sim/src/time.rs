@@ -36,17 +36,23 @@ impl SimTime {
 
     /// Creates a time from microseconds since boot.
     pub const fn from_micros(micros: u64) -> Self {
-        Self { nanos: micros * 1_000 }
+        Self {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Creates a time from milliseconds since boot.
     pub const fn from_millis(millis: u64) -> Self {
-        Self { nanos: millis * 1_000_000 }
+        Self {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Creates a time from whole seconds since boot.
     pub const fn from_secs(secs: u64) -> Self {
-        Self { nanos: secs * 1_000_000_000 }
+        Self {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Nanoseconds since boot.
@@ -151,17 +157,23 @@ impl SimDuration {
 
     /// Creates a duration from microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        Self { nanos: micros * 1_000 }
+        Self {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Creates a duration from milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Self { nanos: millis * 1_000_000 }
+        Self {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Creates a duration from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Self { nanos: secs * 1_000_000_000 }
+        Self {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Creates a duration from fractional seconds.
@@ -174,7 +186,9 @@ impl SimDuration {
             secs.is_finite() && secs >= 0.0,
             "duration seconds must be finite and non-negative, got {secs}"
         );
-        Self { nanos: (secs * 1e9).round() as u64 }
+        Self {
+            nanos: (secs * 1e9).round() as u64,
+        }
     }
 
     /// Duration in nanoseconds.

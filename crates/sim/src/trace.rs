@@ -17,7 +17,13 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12.6}s] {:<14} {}", self.time.as_secs_f64(), self.kind, self.detail)
+        write!(
+            f,
+            "[{:>12.6}s] {:<14} {}",
+            self.time.as_secs_f64(),
+            self.kind,
+            self.detail
+        )
     }
 }
 
@@ -137,12 +143,18 @@ mod tests {
         let mut trace = Trace::new();
         trace.record(SimTime::from_secs(10), "collection", "c1");
         trace.record(SimTime::from_secs(20), "collection", "c2");
-        let found = trace.first_after("collection", SimTime::from_secs(15)).expect("entry");
+        let found = trace
+            .first_after("collection", SimTime::from_secs(15))
+            .expect("entry");
         assert_eq!(found.detail, "c2");
-        assert!(trace.first_after("collection", SimTime::from_secs(21)).is_none());
+        assert!(trace
+            .first_after("collection", SimTime::from_secs(21))
+            .is_none());
         // Boundary: an entry exactly at the query time counts.
         assert_eq!(
-            trace.first_after("collection", SimTime::from_secs(20)).map(|e| e.detail.as_str()),
+            trace
+                .first_after("collection", SimTime::from_secs(20))
+                .map(|e| e.detail.as_str()),
             Some("c2")
         );
     }
@@ -175,8 +187,16 @@ mod tests {
     #[test]
     fn collect_and_extend() {
         let entries = vec![
-            TraceEntry { time: SimTime::from_secs(1), kind: "a".into(), detail: String::new() },
-            TraceEntry { time: SimTime::from_secs(2), kind: "b".into(), detail: String::new() },
+            TraceEntry {
+                time: SimTime::from_secs(1),
+                kind: "a".into(),
+                detail: String::new(),
+            },
+            TraceEntry {
+                time: SimTime::from_secs(2),
+                kind: "b".into(),
+                detail: String::new(),
+            },
         ];
         let mut trace: Trace = entries.clone().into_iter().collect();
         assert_eq!(trace.len(), 2);

@@ -40,7 +40,10 @@ impl fmt::Display for SwarmError {
             SwarmError::UnknownDevice { index, size } => {
                 write!(f, "device index {index} out of range for swarm of {size}")
             }
-            SwarmError::TopologyMismatch { topology_nodes, swarm_size } => write!(
+            SwarmError::TopologyMismatch {
+                topology_nodes,
+                swarm_size,
+            } => write!(
                 f,
                 "topology has {topology_nodes} nodes but the swarm has {swarm_size} devices"
             ),
@@ -67,11 +70,19 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(SwarmError::EmptySwarm.to_string().contains("no devices"));
-        assert!(SwarmError::UnknownDevice { index: 9, size: 4 }.to_string().contains("9"));
-        assert!(SwarmError::TopologyMismatch { topology_nodes: 3, swarm_size: 5 }
+        assert!(SwarmError::UnknownDevice { index: 9, size: 4 }
             .to_string()
-            .contains("3"));
-        let device = SwarmError::Device { index: 2, source: CoreError::NoMeasurements };
+            .contains("9"));
+        assert!(SwarmError::TopologyMismatch {
+            topology_nodes: 3,
+            swarm_size: 5
+        }
+        .to_string()
+        .contains("3"));
+        let device = SwarmError::Device {
+            index: 2,
+            source: CoreError::NoMeasurements,
+        };
         assert!(device.to_string().contains("device 2"));
         assert!(std::error::Error::source(&device).is_some());
         assert!(std::error::Error::source(&SwarmError::EmptySwarm).is_none());

@@ -40,7 +40,10 @@ impl MobilityModel {
             "churn probability must be within [0, 1], got {churn_probability}"
         );
         assert!(!epoch.is_zero(), "mobility epoch must be non-zero");
-        MobilityModel::Churn { epoch, churn_probability }
+        MobilityModel::Churn {
+            epoch,
+            churn_probability,
+        }
     }
 
     /// Length of one mobility epoch (`None` for a static swarm).
@@ -87,7 +90,11 @@ pub struct MobilitySimulator {
 impl MobilitySimulator {
     /// Creates a simulator for `model` driven by `rng`.
     pub fn new(model: MobilityModel, rng: SimRng) -> Self {
-        Self { model, rng, epochs_applied: 0 }
+        Self {
+            model,
+            rng,
+            epochs_applied: 0,
+        }
     }
 
     /// The mobility model.
@@ -102,7 +109,10 @@ impl MobilitySimulator {
 
     /// Applies one epoch of churn to `topology`.
     pub fn step(&mut self, topology: &mut Topology) {
-        let MobilityModel::Churn { churn_probability, .. } = self.model else {
+        let MobilityModel::Churn {
+            churn_probability, ..
+        } = self.model
+        else {
             return;
         };
         let nodes = topology.len();
@@ -115,7 +125,8 @@ impl MobilitySimulator {
             }
             // Drop one existing link (if any)…
             let neighbors = topology.neighbors(node);
-            if let Some(&victim) = neighbors.get(self.rng.gen_range(0, neighbors.len().max(1) as u64) as usize)
+            if let Some(&victim) =
+                neighbors.get(self.rng.gen_range(0, neighbors.len().max(1) as u64) as usize)
             {
                 topology.remove_link(node, victim);
             }
@@ -185,7 +196,10 @@ mod tests {
         let model = MobilityModel::churn(SimDuration::from_secs(2), 0.5);
         assert_eq!(model.epochs_during(SimDuration::from_secs(7)), 3);
         assert_eq!(model.epochs_during(SimDuration::from_millis(100)), 0);
-        assert_eq!(MobilityModel::Static.epochs_during(SimDuration::from_secs(100)), 0);
+        assert_eq!(
+            MobilityModel::Static.epochs_during(SimDuration::from_secs(100)),
+            0
+        );
         assert_eq!(model.epoch(), Some(SimDuration::from_secs(2)));
     }
 

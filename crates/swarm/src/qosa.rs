@@ -96,8 +96,7 @@ impl SwarmReport {
 
     /// Binary QoSA: `true` only if every device was reached and healthy.
     pub fn swarm_healthy(&self) -> bool {
-        !self.statuses.is_empty()
-            && self.statuses.values().all(|s| *s == DeviceStatus::Healthy)
+        !self.statuses.is_empty() && self.statuses.values().all(|s| *s == DeviceStatus::Healthy)
     }
 
     /// List QoSA: devices that are compromised or unreachable, ascending.
@@ -174,7 +173,8 @@ mod tests {
     #[test]
     fn binary_qosa() {
         assert!(!mixed_report().swarm_healthy());
-        let healthy = SwarmReport::from_statuses([(0, DeviceStatus::Healthy), (1, DeviceStatus::Healthy)]);
+        let healthy =
+            SwarmReport::from_statuses([(0, DeviceStatus::Healthy), (1, DeviceStatus::Healthy)]);
         assert!(healthy.swarm_healthy());
         assert_eq!(healthy.summary(QosaLevel::Binary), "swarm healthy");
         assert_eq!(mixed_report().summary(QosaLevel::Binary), "swarm unhealthy");

@@ -93,7 +93,9 @@ impl StaggeredSchedule {
 
     /// The devices measuring at a given offset slot (group index).
     pub fn devices_in_group(&self, group: usize) -> Vec<usize> {
-        (0..self.devices).filter(|d| self.group_of(*d) == group).collect()
+        (0..self.devices)
+            .filter(|d| self.group_of(*d) == group)
+            .collect()
     }
 }
 

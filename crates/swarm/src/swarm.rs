@@ -2,9 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use erasmus_core::{
-    CollectionRequest, DeviceId, DeviceKey, Prover, ProverConfig, Verifier,
-};
+use erasmus_core::{CollectionRequest, DeviceId, DeviceKey, Prover, ProverConfig, Verifier};
 use erasmus_crypto::MacAlgorithm;
 use erasmus_hw::DeviceProfile;
 use erasmus_sim::{SimDuration, SimRng, SimTime};
@@ -108,7 +106,11 @@ impl Swarm {
     ///
     /// Returns [`SwarmError::EmptySwarm`] for an empty topology and
     /// propagates per-device provisioning errors.
-    pub fn new(config: SwarmConfig, topology: Topology, master_seed: &[u8]) -> Result<Self, SwarmError> {
+    pub fn new(
+        config: SwarmConfig,
+        topology: Topology,
+        master_seed: &[u8],
+    ) -> Result<Self, SwarmError> {
         if topology.is_empty() {
             return Err(SwarmError::EmptySwarm);
         }
@@ -135,7 +137,12 @@ impl Swarm {
             provers.push(prover);
             verifiers.push(verifier);
         }
-        Ok(Self { config, topology, provers, verifiers })
+        Ok(Self {
+            config,
+            topology,
+            provers,
+            verifiers,
+        })
     }
 
     /// Number of devices.
@@ -218,7 +225,10 @@ impl Swarm {
         k: usize,
     ) -> Result<SwarmCollectionOutcome, SwarmError> {
         if root >= self.provers.len() {
-            return Err(SwarmError::UnknownDevice { index: root, size: self.provers.len() });
+            return Err(SwarmError::UnknownDevice {
+                index: root,
+                size: self.provers.len(),
+            });
         }
         let reachable = self.topology.reachable_from(root);
         let distances = self.topology.hop_distances(root);
@@ -227,13 +237,13 @@ impl Swarm {
         let mut total_prover_time = SimDuration::ZERO;
         let mut max_hops = 0usize;
 
-        for index in 0..self.provers.len() {
+        for (index, &distance) in distances.iter().enumerate() {
             if !reachable.contains(&index) {
                 statuses.push((index, DeviceStatus::Unreachable));
                 unreachable.insert(index);
                 continue;
             }
-            max_hops = max_hops.max(distances[index].unwrap_or(0));
+            max_hops = max_hops.max(distance.unwrap_or(0));
             let response =
                 self.provers[index].handle_collection(&CollectionRequest::latest(k), now);
             total_prover_time += response.prover_time;
@@ -274,7 +284,10 @@ impl Swarm {
         mobility: &mut MobilitySimulator,
     ) -> Result<SwarmOnDemandOutcome, SwarmError> {
         if root >= self.provers.len() {
-            return Err(SwarmError::UnknownDevice { index: root, size: self.provers.len() });
+            return Err(SwarmError::UnknownDevice {
+                index: root,
+                size: self.provers.len(),
+            });
         }
         let reachable_at_request = self.topology.reachable_from(root);
         let distances = self.topology.hop_distances(root);
@@ -319,8 +332,8 @@ impl Swarm {
 
         let mut statuses = Vec::with_capacity(self.provers.len());
         let mut unreachable = BTreeSet::new();
-        for index in 0..self.provers.len() {
-            match fresh_results[index] {
+        for (index, fresh) in fresh_results.iter().enumerate() {
+            match *fresh {
                 Some(status) if connected_throughout.contains(&index) => {
                     statuses.push((index, status));
                 }
@@ -355,7 +368,10 @@ impl Swarm {
         prover
             .mcu_mut()
             .write_app_memory(0, b"swarm malware payload")
-            .map_err(|err| SwarmError::Device { index, source: err.into() })
+            .map_err(|err| SwarmError::Device {
+                index,
+                source: err.into(),
+            })
     }
 }
 
@@ -369,7 +385,8 @@ mod tests {
     use super::*;
 
     fn swarm(nodes: usize) -> Swarm {
-        Swarm::new(SwarmConfig::default(), Topology::ring(nodes), b"test fleet").expect("swarm builds")
+        Swarm::new(SwarmConfig::default(), Topology::ring(nodes), b"test fleet")
+            .expect("swarm builds")
     }
 
     #[test]
@@ -395,8 +412,20 @@ mod tests {
     fn devices_have_distinct_keys() {
         let mut swarm = swarm(3);
         swarm.run_until(SimTime::from_secs(10)).expect("run");
-        let m0 = swarm.prover(0).expect("device").buffer().most_recent().expect("m").clone();
-        let m1 = swarm.prover(1).expect("device").buffer().most_recent().expect("m").clone();
+        let m0 = swarm
+            .prover(0)
+            .expect("device")
+            .buffer()
+            .most_recent()
+            .expect("m")
+            .clone();
+        let m1 = swarm
+            .prover(1)
+            .expect("device")
+            .buffer()
+            .most_recent()
+            .expect("m")
+            .clone();
         // Same memory contents and timestamp, different keys → different tags.
         assert_eq!(m0.digest(), m1.digest());
         assert_ne!(m0.tag(), m1.tag());
@@ -407,21 +436,31 @@ mod tests {
     fn healthy_connected_swarm_has_full_coverage() {
         let mut swarm = swarm(8);
         swarm.run_until(SimTime::from_secs(60)).expect("run");
-        let outcome = swarm.erasmus_collection(0, SimTime::from_secs(60), 4).expect("collection");
+        let outcome = swarm
+            .erasmus_collection(0, SimTime::from_secs(60), 4)
+            .expect("collection");
         assert_eq!(outcome.coverage(), 1.0);
         assert!(outcome.report.swarm_healthy());
         assert!(outcome.unreachable.is_empty());
         // Collection is fast: well under a second for an 8-device ring.
-        assert!(outcome.duration < SimDuration::from_secs(1), "{}", outcome.duration);
+        assert!(
+            outcome.duration < SimDuration::from_secs(1),
+            "{}",
+            outcome.duration
+        );
     }
 
     #[test]
     fn compromised_device_is_flagged_in_swarm_report() {
         let mut swarm = swarm(5);
         swarm.run_until(SimTime::from_secs(20)).expect("run");
-        swarm.infect_device(3, SimTime::from_secs(25)).expect("infect");
+        swarm
+            .infect_device(3, SimTime::from_secs(25))
+            .expect("infect");
         swarm.run_until(SimTime::from_secs(60)).expect("run");
-        let outcome = swarm.erasmus_collection(0, SimTime::from_secs(60), 6).expect("collection");
+        let outcome = swarm
+            .erasmus_collection(0, SimTime::from_secs(60), 6)
+            .expect("collection");
         assert!(!outcome.report.swarm_healthy());
         assert_eq!(outcome.report.unhealthy_devices(), vec![3]);
         assert_eq!(outcome.report.status(3), Some(DeviceStatus::Compromised));
@@ -434,7 +473,9 @@ mod tests {
         // Cut node 3 off entirely.
         swarm.topology_mut().remove_link(2, 3);
         swarm.topology_mut().remove_link(3, 4);
-        let outcome = swarm.erasmus_collection(0, SimTime::from_secs(30), 3).expect("collection");
+        let outcome = swarm
+            .erasmus_collection(0, SimTime::from_secs(30), 3)
+            .expect("collection");
         assert_eq!(outcome.report.status(3), Some(DeviceStatus::Unreachable));
         assert!(outcome.coverage() < 1.0);
         assert!(outcome.unreachable.contains(&3));
@@ -444,7 +485,9 @@ mod tests {
     fn on_demand_round_is_much_slower_than_erasmus_collection() {
         let mut swarm = swarm(6);
         swarm.run_until(SimTime::from_secs(60)).expect("run");
-        let erasmus = swarm.erasmus_collection(0, SimTime::from_secs(60), 4).expect("collection");
+        let erasmus = swarm
+            .erasmus_collection(0, SimTime::from_secs(60), 4)
+            .expect("collection");
         let mut mobility = mobility_for_experiment(MobilityModel::Static, 1);
         let on_demand = swarm
             .on_demand_attestation(0, SimTime::from_secs(61), &mut mobility)
@@ -468,12 +511,18 @@ mod tests {
         let model = MobilityModel::churn(SimDuration::from_millis(100), 0.6);
         let mut mobility = mobility_for_experiment(model, 7);
 
-        let erasmus = swarm.erasmus_collection(0, SimTime::from_secs(60), 6).expect("collection");
+        let erasmus = swarm
+            .erasmus_collection(0, SimTime::from_secs(60), 6)
+            .expect("collection");
         let on_demand = swarm
             .on_demand_attestation(0, SimTime::from_secs(61), &mut mobility)
             .expect("attestation");
 
-        assert!(erasmus.coverage() > 0.95, "erasmus coverage {}", erasmus.coverage());
+        assert!(
+            erasmus.coverage() > 0.95,
+            "erasmus coverage {}",
+            erasmus.coverage()
+        );
         assert!(
             on_demand.coverage() < erasmus.coverage(),
             "on-demand {} vs erasmus {}",

@@ -14,7 +14,7 @@ fn main() -> Result<(), erasmus::core::Error> {
     let config = ProverConfig::builder()
         .mac_algorithm(MacAlgorithm::HmacSha256)
         .measurement_interval(SimDuration::from_secs(60)) // T_M = 1 minute
-        .buffer_slots(16)                                  // n = 16 rolling slots
+        .buffer_slots(16) // n = 16 rolling slots
         .build()?;
     let mut prover = Prover::new(DeviceId::new(1), profile, key.clone(), config)?;
 
@@ -29,7 +29,10 @@ fn main() -> Result<(), erasmus::core::Error> {
     let mut clock = SimClock::new();
     clock.advance(SimDuration::from_secs(600));
     let taken = prover.run_until(clock.now())?;
-    println!("prover took {} self-measurements while unattended", taken.len());
+    println!(
+        "prover took {} self-measurements while unattended",
+        taken.len()
+    );
     println!(
         "total prover time spent measuring: {} (collection will cost almost nothing)",
         prover.total_busy_time()

@@ -14,9 +14,7 @@
 
 use erasmus::sim::{SimDuration, SimRng, SimTime};
 use erasmus::swarm::swarm::mobility_for_experiment;
-use erasmus::swarm::{
-    MobilityModel, QosaLevel, StaggeredSchedule, Swarm, SwarmConfig, Topology,
-};
+use erasmus::swarm::{MobilityModel, QosaLevel, StaggeredSchedule, Swarm, SwarmConfig, Topology};
 
 fn main() -> Result<(), erasmus::swarm::SwarmError> {
     let mut rng = SimRng::seed_from(2024);
@@ -35,8 +33,14 @@ fn main() -> Result<(), erasmus::swarm::SwarmError> {
     println!("=== ERASMUS swarm collection ===");
     println!("round duration: {}", collection.duration);
     println!("coverage: {:.0}%", collection.coverage() * 100.0);
-    println!("binary QoSA: {}", collection.report.summary(QosaLevel::Binary));
-    println!("list QoSA:   {}", collection.report.summary(QosaLevel::List));
+    println!(
+        "binary QoSA: {}",
+        collection.report.summary(QosaLevel::Binary)
+    );
+    println!(
+        "list QoSA:   {}",
+        collection.report.summary(QosaLevel::List)
+    );
 
     // --- on-demand (SEDA-style) baseline under high mobility ---------------
     let model = MobilityModel::churn(SimDuration::from_millis(100), 0.6);

@@ -36,7 +36,10 @@ fn main() -> Result<(), erasmus::core::Error> {
     println!("=== irregular schedule (bounds 5 s .. 15 s) ===");
     let mut previous = SimTime::ZERO;
     for outcome in &outcomes {
-        let gap = outcome.measurement.timestamp().saturating_duration_since(previous);
+        let gap = outcome
+            .measurement
+            .timestamp()
+            .saturating_duration_since(previous);
         println!(
             "measurement at {:>7.1} s (gap {})",
             outcome.measurement.timestamp().as_secs_f64(),

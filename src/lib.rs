@@ -53,6 +53,7 @@ pub use erasmus_core as core;
 pub use erasmus_crypto as crypto;
 pub use erasmus_hw as hw;
 pub use erasmus_sim as sim;
+#[cfg(feature = "swarm")]
 pub use erasmus_swarm as swarm;
 
 /// Commonly used items, re-exported for convenience.

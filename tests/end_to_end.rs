@@ -22,7 +22,8 @@ fn provision(
         .buffer_slots(slots)
         .build()
         .expect("valid config");
-    let prover = Prover::new(DeviceId::new(99), profile, key.clone(), config).expect("provisioning");
+    let prover =
+        Prover::new(DeviceId::new(99), profile, key.clone(), config).expect("provisioning");
     let mut verifier = Verifier::new(key, alg);
     verifier.learn_reference_image(prover.mcu().app_memory());
     verifier.set_expected_interval(t_m);
@@ -38,7 +39,9 @@ fn full_lifecycle_on_both_architectures_and_all_macs() {
         for alg in MacAlgorithm::ALL {
             let (mut prover, mut verifier) =
                 provision(profile.clone(), alg, SimDuration::from_secs(30), 8);
-            prover.run_until(SimTime::from_secs(240)).expect("measurements");
+            prover
+                .run_until(SimTime::from_secs(240))
+                .expect("measurements");
             assert_eq!(prover.measurements_taken(), 8);
 
             let response =
@@ -71,7 +74,11 @@ fn repeated_collections_cover_the_whole_history() {
         prover.run_until(now).expect("measurements");
         let response = prover.handle_collection(&CollectionRequest::latest(6), now);
         let report = verifier.verify_collection(&response, now).expect("report");
-        assert_eq!(report.verdict(), AttestationVerdict::AllHealthy, "round {round}");
+        assert_eq!(
+            report.verdict(),
+            AttestationVerdict::AllHealthy,
+            "round {round}"
+        );
         assert_eq!(report.missing(), 0, "round {round}");
         assert_eq!(report.measurements().len(), 6);
     }
@@ -90,13 +97,17 @@ fn undersized_buffer_loses_history_and_the_verifier_notices() {
         4,
     );
     // Establish a baseline collection so gap detection has a reference point.
-    prover.run_until(SimTime::from_secs(40)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(40))
+        .expect("measurements");
     let response = prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
     verifier
         .verify_collection(&response, SimTime::from_secs(40))
         .expect("baseline");
 
-    prover.run_until(SimTime::from_secs(120)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(120))
+        .expect("measurements");
     assert!(prover.buffer().overwrites() > 0);
     let response = prover.handle_collection(&CollectionRequest::latest(8), SimTime::from_secs(120));
     let report = verifier
@@ -114,7 +125,9 @@ fn erasmus_od_provides_maximal_freshness_between_scheduled_measurements() {
         SimDuration::from_secs(60),
         8,
     );
-    prover.run_until(SimTime::from_secs(300)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(300))
+        .expect("measurements");
 
     // Plain ERASMUS collection between measurements: freshness up to T_M.
     let response = prover.handle_collection(&CollectionRequest::latest(3), SimTime::from_secs(330));
@@ -145,7 +158,9 @@ fn infection_between_collections_is_attributed_to_the_right_window() {
         SimDuration::from_secs(10),
         16,
     );
-    prover.run_until(SimTime::from_secs(60)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(60))
+        .expect("measurements");
     let response = prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
     assert!(verifier
         .verify_collection(&response, SimTime::from_secs(60))
@@ -153,12 +168,16 @@ fn infection_between_collections_is_attributed_to_the_right_window() {
         .all_valid());
 
     // Persistent compromise at t = 73 s.
-    prover.run_until(SimTime::from_secs(73)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(73))
+        .expect("measurements");
     prover
         .mcu_mut()
         .write_app_memory(128, b"implant")
         .expect("infection");
-    prover.run_until(SimTime::from_secs(120)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(120))
+        .expect("measurements");
 
     let response = prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(120));
     let report = verifier
@@ -200,7 +219,9 @@ fn irregular_schedule_keeps_verification_working() {
     let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
     verifier.learn_reference_image(prover.mcu().app_memory());
 
-    prover.run_until(SimTime::from_secs(300)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(300))
+        .expect("measurements");
     let response =
         prover.handle_collection(&CollectionRequest::latest(64), SimTime::from_secs(300));
     let report = verifier

@@ -11,7 +11,10 @@ fn figure1_timeline_is_reproduced() {
         .measurement_interval(SimDuration::from_secs(10))
         .collection_interval(SimDuration::from_secs(60))
         .duration(SimDuration::from_secs(300))
-        .infection(InfectionSpec::mobile(SimTime::from_secs(12), SimDuration::from_secs(3)))
+        .infection(InfectionSpec::mobile(
+            SimTime::from_secs(12),
+            SimDuration::from_secs(3),
+        ))
         .infection(InfectionSpec::persistent(SimTime::from_secs(95)))
         .run()
         .expect("scenario runs");
@@ -20,7 +23,10 @@ fn figure1_timeline_is_reproduced() {
     assert!(!outcome.infections[0].detected);
     // Infection 2 (persistent): measured at t = 100, collected at t = 120.
     assert!(outcome.infections[1].detected);
-    assert_eq!(outcome.infections[1].detected_at, Some(SimTime::from_secs(120)));
+    assert_eq!(
+        outcome.infections[1].detected_at,
+        Some(SimTime::from_secs(120))
+    );
 
     // The timeline contains the expected event kinds.
     assert!(outcome.trace.of_kind("infection").count() == 2);
@@ -38,7 +44,8 @@ fn detection_latency_is_bounded_by_tm_plus_tc_for_persistent_malware() {
 
     let mut rng = SimRng::seed_from(31);
     for _ in 0..10 {
-        let start = SimTime::ZERO + rng.gen_duration(SimDuration::from_secs(60), SimDuration::from_secs(150));
+        let start = SimTime::ZERO
+            + rng.gen_duration(SimDuration::from_secs(60), SimDuration::from_secs(150));
         let outcome = Scenario::builder()
             .measurement_interval(t_m)
             .collection_interval(t_c)
@@ -47,7 +54,10 @@ fn detection_latency_is_bounded_by_tm_plus_tc_for_persistent_malware() {
             .run()
             .expect("scenario runs");
         let infection = &outcome.infections[0];
-        assert!(infection.detected, "persistent malware starting at {start} must be detected");
+        assert!(
+            infection.detected,
+            "persistent malware starting at {start} must be detected"
+        );
         let latency = infection.detection_latency().expect("latency");
         assert!(
             latency <= bound,
@@ -67,13 +77,19 @@ fn short_dwell_malware_is_missed_long_dwell_is_caught() {
 
     let escaped = base
         .clone()
-        .infection(InfectionSpec::mobile(SimTime::from_secs(71), SimDuration::from_secs(4)))
+        .infection(InfectionSpec::mobile(
+            SimTime::from_secs(71),
+            SimDuration::from_secs(4),
+        ))
         .run()
         .expect("scenario runs");
     assert!(!escaped.infections[0].detected);
 
     let caught = base
-        .infection(InfectionSpec::mobile(SimTime::from_secs(71), SimDuration::from_secs(12)))
+        .infection(InfectionSpec::mobile(
+            SimTime::from_secs(71),
+            SimDuration::from_secs(12),
+        ))
         .run()
         .expect("scenario runs");
     assert!(caught.infections[0].detected);

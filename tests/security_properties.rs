@@ -51,8 +51,11 @@ fn malware_cannot_read_the_device_key_region() {
 #[test]
 fn measurements_survive_collection_replay_and_are_bound_to_the_device_key() {
     let (mut prover, mut verifier, _) = provision(2);
-    prover.run_until(SimTime::from_secs(100)).expect("measurements");
-    let response = prover.handle_collection(&CollectionRequest::latest(10), SimTime::from_secs(100));
+    prover
+        .run_until(SimTime::from_secs(100))
+        .expect("measurements");
+    let response =
+        prover.handle_collection(&CollectionRequest::latest(10), SimTime::from_secs(100));
 
     // A verifier for a *different* device (different key) rejects the whole
     // history as forged.
@@ -85,25 +88,37 @@ fn physical_clock_rollback_enables_the_attack_the_rroc_prevents() {
     // takes place while the malware is resident — so no baseline collection
     // happens here before the infection.
     let (mut prover, mut verifier, _) = provision(4);
-    prover.run_until(SimTime::from_secs(20)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(20))
+        .expect("measurements");
 
     // Malware arrives, is measured at t = 30 (incriminating), then rolls the
     // clock back, discards the evidence and waits for a "clean" re-measurement
     // of the same slot.
     let mut malware = Malware::new(
-        MalwareBehavior::Mobile { dwell: SimDuration::from_secs(8) },
+        MalwareBehavior::Mobile {
+            dwell: SimDuration::from_secs(8),
+        },
         TamperStrategy::DeleteIncriminating,
     );
-    malware.infect(&mut prover, SimTime::from_secs(25)).expect("infect");
-    prover.run_until(SimTime::from_secs(30)).expect("incriminating measurement");
-    malware.depart(&mut prover, SimTime::from_secs(33)).expect("depart");
+    malware
+        .infect(&mut prover, SimTime::from_secs(25))
+        .expect("infect");
+    prover
+        .run_until(SimTime::from_secs(30))
+        .expect("incriminating measurement");
+    malware
+        .depart(&mut prover, SimTime::from_secs(33))
+        .expect("depart");
 
     // Physical attack: roll the clock back before t = 30 and re-measure.
     prover
         .mcu_mut()
         .rroc_mut_for_attack()
         .physical_rollback(SimTime::from_secs(29));
-    prover.self_measure(SimTime::from_secs(30)).expect("clean re-measurement");
+    prover
+        .self_measure(SimTime::from_secs(30))
+        .expect("clean re-measurement");
     prover.run_until(SimTime::from_secs(60)).expect("catch up");
 
     let response = prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
@@ -113,13 +128,18 @@ fn physical_clock_rollback_enables_the_attack_the_rroc_prevents() {
     // With the clock rolled back the forged timeline looks complete and
     // healthy: the verifier is fooled. This is exactly why the RROC (which
     // cannot be rolled back by software) is part of the architecture.
-    assert!(report.all_valid(), "demonstrates the attack the RROC requirement blocks: {report}");
+    assert!(
+        report.all_valid(),
+        "demonstrates the attack the RROC requirement blocks: {report}"
+    );
 }
 
 #[test]
 fn without_clock_rollback_the_same_malware_is_caught() {
     let (mut prover, mut verifier, _) = provision(5);
-    prover.run_until(SimTime::from_secs(20)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(20))
+        .expect("measurements");
     // The verifier has already collected once, so it knows how many
     // measurements to expect per interval from here on.
     let baseline = prover.handle_collection(&CollectionRequest::latest(2), SimTime::from_secs(20));
@@ -127,12 +147,20 @@ fn without_clock_rollback_the_same_malware_is_caught() {
         .verify_collection(&baseline, SimTime::from_secs(20))
         .expect("baseline");
     let mut malware = Malware::new(
-        MalwareBehavior::Mobile { dwell: SimDuration::from_secs(8) },
+        MalwareBehavior::Mobile {
+            dwell: SimDuration::from_secs(8),
+        },
         TamperStrategy::DeleteIncriminating,
     );
-    malware.infect(&mut prover, SimTime::from_secs(25)).expect("infect");
-    prover.run_until(SimTime::from_secs(30)).expect("incriminating measurement");
-    malware.depart(&mut prover, SimTime::from_secs(33)).expect("depart");
+    malware
+        .infect(&mut prover, SimTime::from_secs(25))
+        .expect("infect");
+    prover
+        .run_until(SimTime::from_secs(30))
+        .expect("incriminating measurement");
+    malware
+        .depart(&mut prover, SimTime::from_secs(33))
+        .expect("depart");
     prover.run_until(SimTime::from_secs(60)).expect("catch up");
 
     let response = prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
@@ -147,7 +175,9 @@ fn without_clock_rollback_the_same_malware_is_caught() {
 #[test]
 fn on_demand_request_forgery_and_replay_are_rejected() {
     let (mut prover, mut verifier, key) = provision(6);
-    prover.run_until(SimTime::from_secs(100)).expect("measurements");
+    prover
+        .run_until(SimTime::from_secs(100))
+        .expect("measurements");
 
     // Forged request under a guessed key.
     let forged = OnDemandRequest::new(
@@ -156,7 +186,9 @@ fn on_demand_request_forgery_and_replay_are_rejected() {
         SimTime::from_secs(101),
         4,
     );
-    assert!(prover.handle_on_demand(&forged, SimTime::from_secs(101)).is_err());
+    assert!(prover
+        .handle_on_demand(&forged, SimTime::from_secs(101))
+        .is_err());
 
     // Legitimate request works once…
     let request = verifier.make_on_demand_request(4, SimTime::from_secs(102));
@@ -165,7 +197,9 @@ fn on_demand_request_forgery_and_replay_are_rejected() {
         .handle_on_demand(&request, SimTime::from_secs(102))
         .expect("accepted");
     // …and replaying it later is rejected (anti-DoS/replay, SMART+ rule).
-    assert!(prover.handle_on_demand(&request, SimTime::from_secs(140)).is_err());
+    assert!(prover
+        .handle_on_demand(&request, SimTime::from_secs(140))
+        .is_err());
 }
 
 proptest! {

@@ -16,7 +16,9 @@ fn fleet(topology: Topology) -> Swarm {
 #[test]
 fn grid_swarm_full_collection_roundtrip() {
     let mut swarm = fleet(Topology::grid(4, 4));
-    swarm.run_until(SimTime::from_secs(60)).expect("self-measurements");
+    swarm
+        .run_until(SimTime::from_secs(60))
+        .expect("self-measurements");
     let outcome = swarm
         .erasmus_collection(0, SimTime::from_secs(60), 6)
         .expect("collection");
@@ -33,7 +35,9 @@ fn grid_swarm_full_collection_roundtrip() {
 fn compromised_and_partitioned_devices_show_up_in_qosa() {
     let mut swarm = fleet(Topology::ring(10));
     swarm.run_until(SimTime::from_secs(30)).expect("run");
-    swarm.infect_device(4, SimTime::from_secs(31)).expect("infect");
+    swarm
+        .infect_device(4, SimTime::from_secs(31))
+        .expect("infect");
     swarm.run_until(SimTime::from_secs(60)).expect("run");
     // Partition device 7 completely.
     swarm.topology_mut().remove_link(6, 7);
@@ -101,7 +105,10 @@ fn swarm_errors_are_reported_per_device() {
         swarm.erasmus_collection(9, SimTime::from_secs(10), 2),
         Err(SwarmError::UnknownDevice { index: 9, size: 4 })
     ));
-    assert!(matches!(swarm.prover(17), Err(SwarmError::UnknownDevice { .. })));
+    assert!(matches!(
+        swarm.prover(17),
+        Err(SwarmError::UnknownDevice { .. })
+    ));
     assert!(matches!(
         swarm.infect_device(17, SimTime::from_secs(1)),
         Err(SwarmError::UnknownDevice { .. })

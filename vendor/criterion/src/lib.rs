@@ -1,0 +1,304 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the API surface its benches need: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is a simple calibrated loop — median of
+//! several timed batches — which is enough for the repo's "did this get
+//! slower by 10×?" smoke usage; swap in the real crate for publication-grade
+//! statistics by editing one line in the workspace manifest.
+//!
+//! `--no-run`, benchmark-name filtering, `--bench`/`--test` and `--help`
+//! flags passed by `cargo bench` are accepted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and an input label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing state handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_batch: u32,
+    batches: u32,
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            iters_per_batch: 16,
+            batches: sample_size.clamp(3, 100) as u32,
+            median_ns: f64::NAN,
+        }
+    }
+
+    /// Times `routine`, keeping the median over several batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one batch, also used to bound total runtime for slow
+        // routines by shrinking the batch size.
+        let warmup = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            std::hint::black_box(routine());
+        }
+        let per_iter = warmup.elapsed() / self.iters_per_batch;
+        if per_iter > Duration::from_millis(20) {
+            self.iters_per_batch = 1;
+        }
+
+        let mut samples = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / f64::from(self.iters_per_batch));
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn format_time(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1e6 {
+        format!("{:.2} us", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<56} {:>12}/iter", format_time(bencher.median_ns));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(bytes) => {
+                let gib = bytes as f64 / (bencher.median_ns * 1e-9) / (1u64 << 30) as f64;
+                format!("{gib:.3} GiB/s")
+            }
+            Throughput::Elements(n) => {
+                let elems = n as f64 / (bencher.median_ns * 1e-9);
+                format!("{elems:.0} elem/s")
+            }
+        };
+        line.push_str(&format!(" {per_sec:>14}"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench` plus any user filter; `--no-run` never
+        // reaches us (cargo handles it), but skip-listed flags are tolerated.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+        }
+        Self {
+            filter,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.enabled(id) {
+            let mut bencher = Bencher::new(self.sample_size);
+            f(&mut bencher);
+            report(id, &bencher, None);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        if self.criterion.enabled(&full) {
+            let mut bencher = Bencher::new(self.sample_size.unwrap_or(self.criterion.sample_size));
+            f(&mut bencher);
+            report(&full, &bencher, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        if self.criterion.enabled(&full) {
+            let mut bencher = Bencher::new(self.sample_size.unwrap_or(self.criterion.sample_size));
+            f(&mut bencher, input);
+            report(&full, &bencher, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the optimiser from eliding a value (re-export convenience).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_a_routine() {
+        let mut criterion = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut ran = false;
+        criterion.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| 2u64 + 2);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_apply_filters() {
+        let mut criterion = Criterion {
+            filter: Some("matches".into()),
+            sample_size: 3,
+        };
+        let mut hits = 0;
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3).throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("matches", 1), &8u64, |b, v| {
+            hits += 1;
+            b.iter(|| v + 1);
+        });
+        group.bench_function("skipped", |_b| {
+            hits += 10;
+        });
+        group.finish();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn time_formatting_spans_units() {
+        assert_eq!(format_time(12.3), "12.3 ns");
+        assert_eq!(format_time(4_560.0), "4.56 us");
+        assert_eq!(format_time(7_890_000.0), "7.89 ms");
+        assert_eq!(format_time(1.5e9), "1.500 s");
+    }
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the property-testing surface its test suites rely on: the [`proptest!`]
+//! macro, `prop_assert*` / [`prop_assume!`], integer-range and `any::<T>()`
+//! strategies, and [`collection::vec`]. Sampling is deterministic — the RNG
+//! is seeded from the test's name — and there is **no shrinking**: a failing
+//! case panics with the values baked into the assertion message.
+//!
+//! The API shapes match upstream so the stand-in can be swapped for the real
+//! crate by editing one line in the workspace manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    if end < <$ty>::MAX {
+                        rng.0.gen_range(start..end + 1)
+                    } else if start > <$ty>::MIN {
+                        rng.0.gen_range(start - 1..end) + 1
+                    } else {
+                        // Full-width range: any draw is in range.
+                        rng.0.gen_range(<$ty>::MIN..<$ty>::MAX)
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(u8, u16, u32, u64, usize);
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for "any value of this type" strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use rand::RngCore;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.0.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// An (inclusive-exclusive) bound on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        low: usize,
+        high: usize,
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            if self.low + 1 >= self.high {
+                self.low
+            } else {
+                rng.0.gen_range(self.low..self.high)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                low: exact,
+                high: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            Self {
+                low: range.start,
+                high: range.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(range: RangeInclusive<usize>) -> Self {
+            Self {
+                low: *range.start(),
+                high: range.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and per-test driver state.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic RNG handed to strategies; seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Creates the RNG for the named test (FNV-1a over the name).
+        pub fn for_test(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self(StdRng::seed_from_u64(hash))
+        }
+    }
+
+    /// Why a generated case did not run to completion.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected by [`prop_assume!`](crate::prop_assume);
+        /// another one will be generated in its place.
+        Reject,
+    }
+
+    /// Proptest execution configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` takes `name in strategy` arguments and
+/// is run for the configured number of generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(
+            $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut passed = 0u32;
+            let mut attempts = 0u32;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(16).saturating_add(256),
+                    "property {} rejected too many generated cases \
+                     ({passed}/{} passed after {attempts} attempts)",
+                    stringify!($name),
+                    config.cases,
+                );
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )+
+                let case = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match case {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {}
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property; panics with the failing values.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {
+        assert!($($args)*)
+    };
+}
+
+/// Asserts equality inside a property; panics with both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {
+        assert_eq!($($args)*)
+    };
+}
+
+/// Asserts inequality inside a property; panics with both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => {
+        assert_ne!($($args)*)
+    };
+}
+
+/// Rejects the current generated case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 10u64..20, y in 1u8..=255, z in 0usize..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y >= 1);
+            prop_assert!(z < 4);
+        }
+
+        #[test]
+        fn vectors_respect_sizes(
+            data in crate::collection::vec(any::<u8>(), 0..64),
+            fixed in crate::collection::vec(any::<u8>(), 7),
+        ) {
+            prop_assert!(data.len() < 64);
+            prop_assert_eq!(fixed.len(), 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_attribute_parses(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        let strat = 0u64..1_000_000;
+        for _ in 0..16 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}
