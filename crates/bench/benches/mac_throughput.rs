@@ -1,6 +1,7 @@
 //! Raw throughput of the from-scratch MAC implementations (the primitive
 //! behind Figures 6 and 8): bytes per second of SHA-256, HMAC-SHA256 and
-//! keyed BLAKE2s on the host.
+//! keyed BLAKE2s on the host, plus the re-keyed vs precomputed key-schedule
+//! comparison on measurement-sized inputs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use erasmus_crypto::{Blake2s, Digest, HmacSha256, MacAlgorithm, Sha256};
@@ -32,5 +33,29 @@ fn bench_mac_throughput(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mac_throughput);
+/// The ERASMUS hot path MACs a 40-byte `(t, H(mem_t))` input per
+/// measurement. Re-deriving the HMAC key schedule dominates at that size;
+/// the precomputed `KeyedMac` midstate amortizes it to once per device.
+fn bench_key_schedule(c: &mut Criterion) {
+    let key = [0x42u8; 32];
+    // Timestamp + SHA-256 digest, as built by `Measurement::mac_input`.
+    let mac_input = [0x5au8; 40];
+    let mut group = c.benchmark_group("key_schedule");
+    for alg in MacAlgorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("rekeyed", alg.to_string()),
+            &mac_input,
+            |b, input| b.iter(|| std::hint::black_box(alg.mac(&key, input))),
+        );
+        let keyed = alg.with_key(&key);
+        group.bench_with_input(
+            BenchmarkId::new("precomputed", alg.to_string()),
+            &mac_input,
+            |b, input| b.iter(|| std::hint::black_box(keyed.mac(input))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mac_throughput, bench_key_schedule);
 criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! `perfbench` — fleet-scale throughput harness.
+//!
+//! Simulates N provers × scheduled self-measurements × periodic
+//! collections for every MAC algorithm, prints a throughput summary and
+//! writes `BENCH_fleet.json` at the repository root so successive PRs have
+//! a perf trajectory to compare against.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfbench                  # full run (4096 provers per algorithm)
+//! perfbench --quick          # CI-sized run (1000 provers per algorithm)
+//! perfbench --provers 20000  # override the fleet size
+//! perfbench --out path.json  # write the JSON somewhere else
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use erasmus_bench::fleet::{self, FleetConfig};
+use erasmus_crypto::MacAlgorithm;
+
+struct Options {
+    quick: bool,
+    provers: Option<usize>,
+    rounds: Option<usize>,
+    memory_bytes: Option<usize>,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: perfbench [--quick] [--provers N] [--rounds N] [--memory BYTES] [--out PATH]\n\
+     \n\
+     Drives N simulated provers through scheduled self-measurements and\n\
+     periodic collections for each MAC algorithm, then writes the\n\
+     BENCH_fleet.json throughput trajectory (default: repository root)."
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        quick: false,
+        provers: None,
+        rounds: None,
+        memory_bytes: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("invalid {name} value: {e}"))
+        };
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--provers" => options.provers = Some(numeric("--provers")?),
+            "--rounds" => options.rounds = Some(numeric("--rounds")?),
+            "--memory" => options.memory_bytes = Some(numeric("--memory")?),
+            "--out" => {
+                options.out = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--out needs a path".to_owned())?,
+                ));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// `BENCH_fleet.json` lives at the repository root regardless of the
+/// invocation directory, so CI and local runs agree on its location.
+fn default_output_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_fleet.json")
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("perfbench: {message}");
+            }
+            eprintln!("{}", usage());
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let mode = if options.quick { "quick" } else { "full" };
+    let reports: Vec<_> = MacAlgorithm::ALL
+        .iter()
+        .map(|&algorithm| {
+            let mut config = if options.quick {
+                FleetConfig::quick(algorithm)
+            } else {
+                FleetConfig::full(algorithm)
+            };
+            if let Some(provers) = options.provers {
+                config.provers = provers;
+            }
+            if let Some(rounds) = options.rounds {
+                config.rounds = rounds;
+            }
+            if let Some(memory_bytes) = options.memory_bytes {
+                config.memory_bytes = memory_bytes;
+            }
+            eprintln!(
+                "perfbench: {algorithm}: {} provers x {} measurements x {} rounds ...",
+                config.provers, config.measurements_per_round, config.rounds
+            );
+            fleet::run(&config)
+        })
+        .collect();
+
+    print!("{}", fleet::render(&reports));
+
+    let path = options.out.unwrap_or_else(default_output_path);
+    let document = fleet::document_json(mode, &reports);
+    if let Err(error) = std::fs::write(&path, &document) {
+        eprintln!("perfbench: cannot write {}: {error}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let shown = path.canonicalize().unwrap_or(path);
+    println!("wrote {}", shown.display());
+
+    if reports.iter().all(|r| r.all_healthy) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perfbench: a collection round failed verification");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,328 @@
+//! Fleet-scale throughput harness: how many self-measurements and
+//! collection verifications per second the reproduction sustains on the
+//! host.
+//!
+//! The paper's evaluation prices a *single* prover (Figures 6/8, Table 2);
+//! the ROADMAP's north star is millions of unattended devices. This module
+//! drives N provers through their measurement schedules and periodic
+//! collections end to end — the same `Prover`/`Verifier` hot paths the
+//! protocol tests use, with the precomputed [`erasmus_crypto::KeyedMac`]
+//! schedules derived once per device — and reports wall-clock throughput.
+//! The `perfbench` binary serializes the result to `BENCH_fleet.json` so
+//! successive PRs accumulate a perf trajectory.
+
+use std::time::{Duration, Instant};
+
+use erasmus_core::{CollectionRequest, DeviceId, Prover, ProverConfig, Verifier};
+use erasmus_crypto::MacAlgorithm;
+use erasmus_hw::{DeviceKey, DeviceProfile};
+use erasmus_sim::{SimDuration, SimTime};
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated prover devices.
+    pub provers: usize,
+    /// Scheduled self-measurements each prover takes per collection round.
+    pub measurements_per_round: usize,
+    /// Collection rounds: after each, every device's buffer is collected
+    /// and verified.
+    pub rounds: usize,
+    /// Application-memory size hashed by every measurement, in bytes.
+    pub memory_bytes: usize,
+    /// MAC construction provisioned on every device.
+    pub algorithm: MacAlgorithm,
+}
+
+impl FleetConfig {
+    /// CI-sized run: ≥ 1,000 provers but only a few schedule ticks, so the
+    /// whole sweep finishes in seconds even on a busy runner.
+    pub fn quick(algorithm: MacAlgorithm) -> Self {
+        Self {
+            provers: 1_000,
+            measurements_per_round: 4,
+            rounds: 2,
+            memory_bytes: 1024,
+            algorithm,
+        }
+    }
+
+    /// Default full-size run.
+    pub fn full(algorithm: MacAlgorithm) -> Self {
+        Self {
+            provers: 4_096,
+            measurements_per_round: 8,
+            rounds: 4,
+            memory_bytes: 4 * 1024,
+            algorithm,
+        }
+    }
+
+    /// Total measurements the run will produce.
+    pub fn total_measurements(&self) -> u64 {
+        (self.provers * self.measurements_per_round * self.rounds) as u64
+    }
+}
+
+/// Wall-clock throughput of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The configuration that produced this report.
+    pub config: FleetConfig,
+    /// Self-measurements taken across the fleet.
+    pub measurements_total: u64,
+    /// Individual measurement MACs verified across all collection reports.
+    pub verifications_total: u64,
+    /// Wall-clock time spent in the measurement phase (provisioning is
+    /// excluded; the key schedules are derived once and reused).
+    pub measure_wall: Duration,
+    /// Wall-clock time spent collecting and verifying.
+    pub verify_wall: Duration,
+    /// Aggregate *simulated* prover busy time, for cross-checking against
+    /// the paper's cost model.
+    pub simulated_busy: SimDuration,
+    /// Whether every collection round verified as healthy (it must: the
+    /// fleet is never infected).
+    pub all_healthy: bool,
+}
+
+impl FleetReport {
+    /// Measurements per wall-clock second.
+    pub fn measurements_per_sec(&self) -> f64 {
+        per_second(self.measurements_total, self.measure_wall)
+    }
+
+    /// Verified measurements per wall-clock second.
+    pub fn verifications_per_sec(&self) -> f64 {
+        per_second(self.verifications_total, self.verify_wall)
+    }
+}
+
+fn per_second(count: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+const MEASUREMENT_INTERVAL: SimDuration = SimDuration::from_secs(10);
+
+/// Provisions and drives a fleet, timing the measurement and
+/// collection/verification phases separately.
+///
+/// # Panics
+///
+/// Panics if a prover refuses a measurement or a verifier rejects a
+/// response — both would be bugs in the reproduction, not load conditions.
+pub fn run(config: &FleetConfig) -> FleetReport {
+    let buffer_slots = config.measurements_per_round.max(1);
+    let prover_config = ProverConfig::builder()
+        .measurement_interval(MEASUREMENT_INTERVAL)
+        .buffer_slots(buffer_slots)
+        .mac_algorithm(config.algorithm)
+        .build()
+        .expect("fleet prover config is valid");
+
+    // Provisioning: per-device keys, precomputed MAC schedules, reference
+    // digests. Deliberately outside the timed sections — this happens once
+    // per device lifetime.
+    let mut fleet: Vec<(Prover, Verifier)> = (0..config.provers)
+        .map(|i| {
+            let key = DeviceKey::derive(b"erasmus-fleet", i as u64);
+            let prover = Prover::new(
+                DeviceId::new(i as u64),
+                DeviceProfile::msp430_8mhz(config.memory_bytes),
+                key.clone(),
+                prover_config.clone(),
+            )
+            .expect("fleet prover provisions");
+            let mut verifier = Verifier::new(key, config.algorithm);
+            verifier.learn_reference_image(prover.mcu().app_memory());
+            verifier.set_expected_interval(MEASUREMENT_INTERVAL);
+            (prover, verifier)
+        })
+        .collect();
+
+    let mut measurements_total = 0u64;
+    let mut verifications_total = 0u64;
+    let mut measure_wall = Duration::ZERO;
+    let mut verify_wall = Duration::ZERO;
+    let mut all_healthy = true;
+
+    let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
+    for round in 1..=config.rounds {
+        let horizon = SimTime::ZERO + round_span * round as u64;
+
+        let measure_start = Instant::now();
+        for (prover, _) in fleet.iter_mut() {
+            let outcomes = prover.run_until(horizon).expect("fleet measurement");
+            measurements_total += outcomes.len() as u64;
+        }
+        measure_wall += measure_start.elapsed();
+
+        let request = CollectionRequest::latest(config.measurements_per_round);
+        let verify_start = Instant::now();
+        for (prover, verifier) in fleet.iter_mut() {
+            let response = prover.handle_collection(&request, horizon);
+            let report = verifier
+                .verify_collection(&response, horizon)
+                .expect("fleet collection verifies");
+            verifications_total += report.measurements().len() as u64;
+            all_healthy &= report.all_valid();
+        }
+        verify_wall += verify_start.elapsed();
+    }
+
+    let simulated_busy = fleet
+        .iter()
+        .map(|(prover, _)| prover.total_busy_time())
+        .fold(SimDuration::ZERO, |acc, busy| acc + busy);
+
+    FleetReport {
+        config: config.clone(),
+        measurements_total,
+        verifications_total,
+        measure_wall,
+        verify_wall,
+        simulated_busy,
+        all_healthy,
+    }
+}
+
+/// Renders one report as the JSON object used inside `BENCH_fleet.json`.
+pub fn report_json(report: &FleetReport, indent: &str) -> String {
+    format!(
+        "{indent}{{\n\
+         {indent}  \"algorithm\": \"{alg}\",\n\
+         {indent}  \"provers\": {provers},\n\
+         {indent}  \"measurements_per_round\": {mpr},\n\
+         {indent}  \"rounds\": {rounds},\n\
+         {indent}  \"memory_bytes\": {memory},\n\
+         {indent}  \"measurements_total\": {mt},\n\
+         {indent}  \"verifications_total\": {vt},\n\
+         {indent}  \"measure_wall_secs\": {mw:.6},\n\
+         {indent}  \"verify_wall_secs\": {vw:.6},\n\
+         {indent}  \"measurements_per_sec\": {mps:.1},\n\
+         {indent}  \"verifications_per_sec\": {vps:.1},\n\
+         {indent}  \"simulated_busy_secs\": {busy:.3},\n\
+         {indent}  \"all_healthy\": {healthy}\n\
+         {indent}}}",
+        alg = report.config.algorithm,
+        provers = report.config.provers,
+        mpr = report.config.measurements_per_round,
+        rounds = report.config.rounds,
+        memory = report.config.memory_bytes,
+        mt = report.measurements_total,
+        vt = report.verifications_total,
+        mw = report.measure_wall.as_secs_f64(),
+        vw = report.verify_wall.as_secs_f64(),
+        mps = report.measurements_per_sec(),
+        vps = report.verifications_per_sec(),
+        busy = report.simulated_busy.as_secs_f64(),
+        healthy = report.all_healthy,
+    )
+}
+
+/// Renders the whole `BENCH_fleet.json` document for a set of per-algorithm
+/// runs sharing one mode label.
+pub fn document_json(mode: &str, reports: &[FleetReport]) -> String {
+    let provers = reports.first().map_or(0, |r| r.config.provers);
+    let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
+    format!(
+        "{{\n  \"schema\": \"erasmus-perfbench/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"provers\": {provers},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Renders a human-readable summary table.
+pub fn render(reports: &[FleetReport]) -> String {
+    let mut out = String::from(
+        "Fleet throughput (host wall-clock)\n\
+         algorithm       provers  measurements     meas/s     verifs     verif/s\n",
+    );
+    for report in reports {
+        out.push_str(&format!(
+            "{:<15} {:>7}  {:>12}  {:>9.0}  {:>9}  {:>10.0}\n",
+            report.config.algorithm.to_string(),
+            report.config.provers,
+            report.measurements_total,
+            report.measurements_per_sec(),
+            report.verifications_total,
+            report.verifications_per_sec(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(algorithm: MacAlgorithm) -> FleetConfig {
+        FleetConfig {
+            provers: 8,
+            measurements_per_round: 2,
+            rounds: 2,
+            memory_bytes: 256,
+            algorithm,
+        }
+    }
+
+    #[test]
+    fn fleet_run_counts_add_up() {
+        let config = tiny(MacAlgorithm::HmacSha256);
+        let report = run(&config);
+        assert_eq!(report.measurements_total, config.total_measurements());
+        assert_eq!(report.measurements_total, 8 * 2 * 2);
+        // Every measurement taken in a round is collected and verified.
+        assert_eq!(report.verifications_total, report.measurements_total);
+        assert!(report.all_healthy);
+        assert!(report.simulated_busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fleet_runs_for_every_algorithm() {
+        for alg in MacAlgorithm::ALL {
+            let report = run(&tiny(alg));
+            assert!(report.all_healthy, "{alg}");
+            assert!(report.measurements_per_sec() > 0.0, "{alg}");
+            assert!(report.verifications_per_sec() > 0.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let report = run(&tiny(MacAlgorithm::KeyedBlake2s));
+        let doc = document_json("test", std::slice::from_ref(&report));
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v1\""));
+        assert!(doc.contains("\"mode\": \"test\""));
+        assert!(doc.contains("\"provers\": 8"));
+        assert!(doc.contains("\"measurements_per_sec\""));
+        assert!(doc.contains("\"verifications_per_sec\""));
+        assert!(doc.contains("\"algorithm\": \"Keyed BLAKE2S\""));
+        // Balanced braces/brackets — the cheap structural JSON check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn render_mentions_each_algorithm() {
+        let reports: Vec<FleetReport> = MacAlgorithm::ALL.iter().map(|&a| run(&tiny(a))).collect();
+        let text = render(&reports);
+        for alg in MacAlgorithm::ALL {
+            assert!(text.contains(&alg.to_string()), "{text}");
+        }
+    }
+
+    #[test]
+    fn quick_config_meets_the_fleet_floor() {
+        let quick = FleetConfig::quick(MacAlgorithm::HmacSha256);
+        assert!(quick.provers >= 1_000);
+        let full = FleetConfig::full(MacAlgorithm::HmacSha256);
+        assert!(full.provers >= quick.provers);
+    }
+}

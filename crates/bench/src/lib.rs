@@ -12,6 +12,7 @@
 
 pub mod buffer_sizing;
 pub mod fig1;
+pub mod fleet;
 pub mod hwcost;
 pub mod protocol_figures;
 pub mod qoa_sweep;

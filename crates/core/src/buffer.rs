@@ -306,7 +306,7 @@ mod tests {
 
         let forged = Measurement::from_parts(
             SimTime::from_secs(999),
-            vec![0u8; 32],
+            [0u8; 32],
             erasmus_crypto::MacTag::new(vec![0u8; 32]),
         );
         buffer.tamper_replace(0, forged.clone());

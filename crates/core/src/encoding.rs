@@ -19,11 +19,11 @@
 
 use std::fmt;
 
-use erasmus_crypto::MacTag;
+use erasmus_crypto::{MacTag, MAX_TAG_LEN};
 use erasmus_sim::{SimDuration, SimTime};
 
 use crate::ids::DeviceId;
-use crate::measurement::Measurement;
+use crate::measurement::{Measurement, MemoryDigest, DIGEST_LEN};
 use crate::protocol::CollectionResponse;
 
 /// Error produced when decoding malformed bytes.
@@ -57,9 +57,10 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Maximum digest or tag length accepted by the decoder. Larger values can
-/// only come from corrupted or hostile input.
-const MAX_FIELD_LEN: usize = 64;
+// Digest and tag lengths are bounded by the fixed-size in-memory types: a
+// digest is always 32 bytes of SHA-256, and no supported MAC produces a tag
+// longer than `MAX_TAG_LEN`. Anything else can only come from corrupted or
+// hostile input and is rejected before allocation.
 
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -127,21 +128,22 @@ pub fn encode_measurement(measurement: &Measurement) -> Vec<u8> {
 fn decode_measurement_from(reader: &mut Reader<'_>) -> Result<Measurement, DecodeError> {
     let timestamp = reader.u64("timestamp")?;
     let digest_len = reader.u16("digest length")? as usize;
-    if digest_len == 0 || digest_len > MAX_FIELD_LEN {
+    if digest_len != DIGEST_LEN {
         return Err(DecodeError::new(
             format!("implausible digest length {digest_len}"),
             reader.offset,
         ));
     }
-    let digest = reader.take(digest_len, "digest")?.to_vec();
+    let mut digest = MemoryDigest::default();
+    digest.copy_from_slice(reader.take(digest_len, "digest")?);
     let tag_len = reader.u16("tag length")? as usize;
-    if tag_len == 0 || tag_len > MAX_FIELD_LEN {
+    if tag_len == 0 || tag_len > MAX_TAG_LEN {
         return Err(DecodeError::new(
             format!("implausible tag length {tag_len}"),
             reader.offset,
         ));
     }
-    let tag = reader.take(tag_len, "tag")?.to_vec();
+    let tag = reader.take(tag_len, "tag")?;
     Ok(Measurement::from_parts(
         SimTime::from_nanos(timestamp),
         digest,

@@ -321,7 +321,7 @@ mod tests {
             slot,
             crate::Measurement::from_parts(
                 SimTime::from_secs(30),
-                vec![0u8; 32],
+                [0u8; 32],
                 erasmus_crypto::MacTag::new(vec![0u8; 32]),
             ),
         );

@@ -95,7 +95,7 @@ pub use error::Error;
 pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
 pub use ids::DeviceId;
 pub use malware::{Malware, MalwareBehavior, TamperStrategy};
-pub use measurement::Measurement;
+pub use measurement::{Measurement, MemoryDigest, DIGEST_LEN, MAC_INPUT_LEN};
 pub use protocol::{CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse};
 pub use prover::{MeasurementOutcome, Prover};
 pub use qoa::QoaParams;

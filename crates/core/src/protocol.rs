@@ -1,7 +1,7 @@
 //! Protocol messages: ERASMUS collection (Figure 2), ERASMUS+OD (Figure 4)
 //! and classic on-demand attestation.
 
-use erasmus_crypto::{MacAlgorithm, MacTag};
+use erasmus_crypto::{KeyedMac, MacAlgorithm, MacTag};
 use erasmus_sim::{SimDuration, SimTime};
 
 use crate::ids::DeviceId;
@@ -69,23 +69,36 @@ pub struct OnDemandRequest {
 }
 
 impl OnDemandRequest {
-    /// Canonical MAC input for the request.
-    pub fn mac_input(treq: SimTime, k: usize) -> Vec<u8> {
-        let mut input = Vec::with_capacity(16);
-        input.extend_from_slice(&treq.as_nanos().to_be_bytes());
-        input.extend_from_slice(&(k as u64).to_be_bytes());
+    /// Canonical MAC input for the request, built on the stack.
+    pub fn mac_input(treq: SimTime, k: usize) -> [u8; 16] {
+        let mut input = [0u8; 16];
+        input[..8].copy_from_slice(&treq.as_nanos().to_be_bytes());
+        input[8..].copy_from_slice(&(k as u64).to_be_bytes());
         input
     }
 
-    /// Builds an authenticated request.
+    /// Builds an authenticated request, deriving the key schedule from
+    /// scratch. Prefer [`OnDemandRequest::new_keyed`] when issuing requests
+    /// repeatedly under the same key.
     pub fn new(key: &[u8], alg: MacAlgorithm, treq: SimTime, k: usize) -> Self {
         let tag = alg.mac(key, &Self::mac_input(treq, k));
+        Self { treq, k, tag }
+    }
+
+    /// Builds an authenticated request from a precomputed key schedule.
+    pub fn new_keyed(keyed: &KeyedMac, treq: SimTime, k: usize) -> Self {
+        let tag = keyed.mac(&Self::mac_input(treq, k));
         Self { treq, k, tag }
     }
 
     /// Verifies the request MAC (done by the prover inside its trusted code).
     pub fn verify(&self, key: &[u8], alg: MacAlgorithm) -> bool {
         alg.verify(key, &Self::mac_input(self.treq, self.k), &self.tag)
+    }
+
+    /// Verifies the request MAC against a precomputed key schedule.
+    pub fn verify_keyed(&self, keyed: &KeyedMac) -> bool {
+        keyed.verify(&Self::mac_input(self.treq, self.k), &self.tag)
     }
 }
 
@@ -133,6 +146,21 @@ mod tests {
         let req = OnDemandRequest::new(&KEY, MacAlgorithm::HmacSha256, SimTime::from_secs(100), 5);
         assert!(req.verify(&KEY, MacAlgorithm::HmacSha256));
         assert!(!req.verify(&[0u8; 32], MacAlgorithm::HmacSha256));
+    }
+
+    #[test]
+    fn keyed_request_path_matches_oneshot() {
+        for alg in MacAlgorithm::ALL {
+            let keyed = alg.with_key(&KEY);
+            let oneshot = OnDemandRequest::new(&KEY, alg, SimTime::from_secs(100), 5);
+            let precomputed = OnDemandRequest::new_keyed(&keyed, SimTime::from_secs(100), 5);
+            assert_eq!(oneshot, precomputed, "{alg}");
+            assert!(oneshot.verify_keyed(&keyed), "{alg}");
+            assert!(
+                !precomputed.verify_keyed(&alg.with_key(&[0u8; 32])),
+                "{alg}"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The ERASMUS prover: a device that periodically measures itself.
 
+use erasmus_crypto::KeyedMac;
 use erasmus_hw::{DeviceKey, DeviceProfile, Mcu};
 use erasmus_sim::{SimDuration, SimTime};
 
@@ -75,6 +76,10 @@ pub struct Prover {
     config: ProverConfig,
     buffer: MeasurementBuffer,
     scheduler: MeasurementScheduler,
+    /// Precomputed MAC key schedule, derived once at provisioning: the
+    /// ipad/opad (or BLAKE2s key-block) absorption happens here, not per
+    /// measurement — mirroring how SMART+/HYDRA-style firmware holds `K`.
+    keyed: KeyedMac,
     last_request_seen: Option<SimTime>,
     busy_time: SimDuration,
     measurements_taken: u64,
@@ -102,6 +107,7 @@ impl Prover {
             key.as_bytes(),
         );
         let buffer = MeasurementBuffer::new(config.buffer_slots(), config.measurement_interval());
+        let keyed = config.mac_algorithm().with_key(key.as_bytes());
         let mcu = Mcu::new(profile, key);
         Ok(Self {
             id,
@@ -109,6 +115,7 @@ impl Prover {
             config,
             buffer,
             scheduler,
+            keyed,
             last_request_seen: None,
             busy_time: SimDuration::ZERO,
             measurements_taken: 0,
@@ -187,8 +194,9 @@ impl Prover {
     pub fn self_measure(&mut self, now: SimTime) -> Result<MeasurementOutcome, Error> {
         self.mcu.advance_time_to(now);
         let alg = self.config.mac_algorithm();
+        let keyed = &self.keyed;
         let measurement = self.mcu.run_trusted(|ctx| {
-            Measurement::from_digest(ctx.key_bytes(), alg, ctx.now(), ctx.memory_digest())
+            Measurement::from_digest_keyed(keyed, ctx.now(), ctx.memory_digest())
         })?;
         let duration = self
             .mcu
@@ -297,13 +305,13 @@ impl Prover {
         }
 
         // Authenticate the request and compute the fresh measurement inside
-        // the trusted context.
+        // the trusted context, both through the precomputed key schedule.
+        let keyed = &self.keyed;
         let (request_ok, fresh) = self.mcu.run_trusted(|ctx| {
-            let ok = request.verify(ctx.key_bytes(), alg);
+            let ok = request.verify_keyed(keyed);
             let fresh = if ok {
-                Some(Measurement::from_digest(
-                    ctx.key_bytes(),
-                    alg,
+                Some(Measurement::from_digest_keyed(
+                    keyed,
                     ctx.now(),
                     ctx.memory_digest(),
                 ))

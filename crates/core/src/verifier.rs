@@ -1,12 +1,12 @@
 //! The verifier: collects measurements and reconstructs the prover's state
 //! history.
 
-use erasmus_crypto::MacAlgorithm;
+use erasmus_crypto::{KeyedMac, MacAlgorithm};
 use erasmus_hw::DeviceKey;
 use erasmus_sim::{SimDuration, SimTime};
 
 use crate::error::Error;
-use crate::measurement::Measurement;
+use crate::measurement::{Measurement, MemoryDigest};
 use crate::protocol::{CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse};
 use crate::report::{
     AttestationVerdict, CollectionReport, MeasurementVerdict, VerifiedMeasurement,
@@ -50,9 +50,13 @@ use crate::report::{
 /// ```
 #[derive(Debug, Clone)]
 pub struct Verifier {
-    key: DeviceKey,
     alg: MacAlgorithm,
-    reference_digest: Option<Vec<u8>>,
+    /// Precomputed key schedule shared by every measurement check: one
+    /// keyed state is derived per device and reused across whole collection
+    /// responses instead of re-keying per measurement. The raw key is
+    /// dropped at construction; only the schedule is retained.
+    keyed: KeyedMac,
+    reference_digest: Option<MemoryDigest>,
     expected_interval: Option<SimDuration>,
     last_collection: Option<SimTime>,
     last_request_issued: SimTime,
@@ -61,9 +65,10 @@ pub struct Verifier {
 impl Verifier {
     /// Creates a verifier holding the shared key and MAC algorithm.
     pub fn new(key: DeviceKey, alg: MacAlgorithm) -> Self {
+        let keyed = alg.with_key(key.as_bytes());
         Self {
-            key,
             alg,
+            keyed,
             reference_digest: None,
             expected_interval: None,
             last_collection: None,
@@ -79,7 +84,7 @@ impl Verifier {
     /// Registers the digest of the prover's known-good software image.
     /// Measurements whose digest differs will be flagged
     /// [`MeasurementVerdict::Compromised`].
-    pub fn set_reference_digest(&mut self, digest: Vec<u8>) {
+    pub fn set_reference_digest(&mut self, digest: MemoryDigest) {
         self.reference_digest = Some(digest);
     }
 
@@ -118,17 +123,15 @@ impl Verifier {
             self.last_request_issued + SimDuration::from_nanos(1)
         };
         self.last_request_issued = treq;
-        OnDemandRequest::new(self.key.as_bytes(), self.alg, treq, k)
+        OnDemandRequest::new_keyed(&self.keyed, treq, k)
     }
 
     fn verdict_for(&self, measurement: &Measurement) -> MeasurementVerdict {
-        if !measurement.verify(self.key.as_bytes(), self.alg) {
+        if !measurement.verify_keyed(&self.keyed) {
             return MeasurementVerdict::Forged;
         }
         match &self.reference_digest {
-            Some(reference) if measurement.digest() != &reference[..] => {
-                MeasurementVerdict::Compromised
-            }
+            Some(reference) if measurement.digest() != reference => MeasurementVerdict::Compromised,
             _ => MeasurementVerdict::Healthy,
         }
     }
@@ -247,7 +250,7 @@ impl Verifier {
         response: &OnDemandResponse,
         now: SimTime,
     ) -> Result<CollectionReport, Error> {
-        if !response.fresh.verify(self.key.as_bytes(), self.alg) {
+        if !response.fresh.verify_keyed(&self.keyed) {
             return Err(Error::InvalidResponse {
                 reason: "fresh measurement failed MAC verification".to_owned(),
             });
@@ -357,7 +360,7 @@ mod tests {
         // Malware replaces a stored measurement with garbage.
         let forged = Measurement::from_parts(
             SimTime::from_secs(30),
-            vec![0u8; 32],
+            [0u8; 32],
             erasmus_crypto::MacTag::new(vec![0u8; 32]),
         );
         let slot = prover.buffer().slot_for(SimTime::from_secs(30));
@@ -492,7 +495,7 @@ mod tests {
             .expect("response");
         response.fresh = Measurement::from_parts(
             response.fresh.timestamp(),
-            vec![0u8; 32],
+            [0u8; 32],
             erasmus_crypto::MacTag::new(vec![0u8; 32]),
         );
         assert!(matches!(

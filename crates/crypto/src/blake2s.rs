@@ -112,10 +112,45 @@ impl Blake2s {
     }
 
     /// One-shot keyed MAC.
-    pub fn keyed_mac(key: &[u8], message: &[u8]) -> Vec<u8> {
+    pub fn keyed_mac(key: &[u8], message: &[u8]) -> [u8; 32] {
         let mut mac = Self::new_keyed(key, MAX_OUT_BYTES);
         mac.update(message);
         mac.finalize()
+    }
+
+    /// Compresses all pending input and returns the full 32-byte state.
+    fn finalize_words(mut self) -> [u8; 32] {
+        self.increment_counter(self.buffer_len as u32);
+        let mut block = [0u8; BLOCK_BYTES];
+        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        self.compress(&block, true);
+
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.h) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Finishes the hash and writes the configured `out_len` digest bytes
+    /// into `out`, returning how many were written.
+    ///
+    /// This is the finalizer for truncated-output instances; full 32-byte
+    /// instances can use [`Digest::finalize`] and stay on the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the configured output length.
+    pub fn finalize_into(self, out: &mut [u8]) -> usize {
+        let out_len = self.out_len;
+        assert!(
+            out.len() >= out_len,
+            "output buffer of {} bytes cannot hold a {out_len}-byte digest",
+            out.len()
+        );
+        let words = self.finalize_words();
+        out[..out_len].copy_from_slice(&words[..out_len]);
+        out_len
     }
 
     /// Verifies a keyed-BLAKE2s tag in constant time.
@@ -185,6 +220,8 @@ impl Digest for Blake2s {
     const OUTPUT_SIZE: usize = MAX_OUT_BYTES;
     const BLOCK_SIZE: usize = BLOCK_BYTES;
 
+    type Output = [u8; 32];
+
     fn new() -> Self {
         Blake2s::new()
     }
@@ -206,18 +243,12 @@ impl Digest for Blake2s {
         }
     }
 
-    fn finalize(mut self) -> Vec<u8> {
-        self.increment_counter(self.buffer_len as u32);
-        let mut block = [0u8; BLOCK_BYTES];
-        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
-        self.compress(&block, true);
-
-        let mut out = Vec::with_capacity(self.out_len);
-        for word in self.h {
-            out.extend_from_slice(&word.to_le_bytes());
-        }
-        out.truncate(self.out_len);
-        out
+    fn finalize(self) -> [u8; 32] {
+        assert_eq!(
+            self.out_len, MAX_OUT_BYTES,
+            "use finalize_into for truncated-output instances"
+        );
+        self.finalize_words()
     }
 }
 
@@ -330,8 +361,40 @@ mod tests {
         for out_len in [1usize, 16, 20, 31, 32] {
             let mut mac = Blake2s::new_keyed(b"key", out_len);
             mac.update(b"msg");
-            assert_eq!(mac.finalize().len(), out_len);
+            let mut out = [0u8; 32];
+            assert_eq!(mac.finalize_into(&mut out), out_len);
         }
+    }
+
+    #[test]
+    fn finalize_into_matches_finalize_for_full_output() {
+        let mut a = Blake2s::new_keyed(b"key", 32);
+        let mut b = Blake2s::new_keyed(b"key", 32);
+        a.update(b"msg");
+        b.update(b"msg");
+        let mut out = [0u8; 32];
+        assert_eq!(a.finalize_into(&mut out), 32);
+        assert_eq!(out, b.finalize());
+    }
+
+    #[test]
+    fn truncated_digests_are_not_prefixes_of_the_full_digest() {
+        // The output length is part of the BLAKE2 parameter block, so a
+        // 16-byte digest differs from the first 16 bytes of the 32-byte one.
+        let mut short = Blake2s::new_keyed(b"key", 16);
+        short.update(b"msg");
+        let mut short_out = [0u8; 16];
+        short.finalize_into(&mut short_out);
+        let mut full = Blake2s::new_keyed(b"key", 32);
+        full.update(b"msg");
+        assert_ne!(short_out, full.finalize()[..16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated-output")]
+    fn digest_finalize_rejects_truncated_instances() {
+        let mac = Blake2s::new_keyed(b"key", 16);
+        let _ = mac.finalize();
     }
 
     #[test]
@@ -352,7 +415,7 @@ mod tests {
         assert!(Blake2s::verify_keyed(b"key", b"message", &tag));
         assert!(!Blake2s::verify_keyed(b"key", b"message!", &tag));
         assert!(!Blake2s::verify_keyed(b"yek", b"message", &tag));
-        let mut bad = tag.clone();
+        let mut bad = tag;
         bad[31] ^= 0x80;
         assert!(!Blake2s::verify_keyed(b"key", b"message", &bad));
     }

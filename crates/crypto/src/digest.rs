@@ -7,6 +7,12 @@
 /// measurements hash the prover's memory (`H(mem_t)`), and the hash is part
 /// of the reproduced system.
 ///
+/// Finalizers return a fixed-size `[u8; N]` rather than a `Vec<u8>`: the
+/// measurement hot path runs once per device per schedule tick across a
+/// simulated fleet, and a heap allocation per digest would misrepresent the
+/// cost structure the paper measures (real provers write the digest into a
+/// stack buffer or register file).
+///
 /// # Example
 ///
 /// ```
@@ -24,19 +30,20 @@ pub trait Digest: Clone {
     /// Internal block size in bytes (used by HMAC for key padding).
     const BLOCK_SIZE: usize;
 
+    /// The fixed-size digest array, `[u8; Self::OUTPUT_SIZE]`.
+    type Output: Copy + AsRef<[u8]> + PartialEq + Eq + std::fmt::Debug;
+
     /// Creates a fresh hasher state.
     fn new() -> Self;
 
     /// Absorbs `data` into the hasher state.
     fn update(&mut self, data: &[u8]);
 
-    /// Consumes the hasher and returns the digest bytes.
-    ///
-    /// The returned vector always has length [`Digest::OUTPUT_SIZE`].
-    fn finalize(self) -> Vec<u8>;
+    /// Consumes the hasher and returns the digest bytes on the stack.
+    fn finalize(self) -> Self::Output;
 
     /// Convenience one-shot helper: hash `data` in a single call.
-    fn digest(data: &[u8]) -> Vec<u8>
+    fn digest(data: &[u8]) -> Self::Output
     where
         Self: Sized,
     {
@@ -45,3 +52,9 @@ pub trait Digest: Clone {
         hasher.finalize()
     }
 }
+
+/// Largest digest block size among the hashes in this crate (all three are
+/// 64-byte-block constructions), used to key HMAC without heap-allocating
+/// the padded key block. `HmacKey::new` debug-asserts against it, so adding
+/// a wider-block digest (e.g. SHA-512) forces this constant to grow with it.
+pub(crate) const MAX_BLOCK_SIZE: usize = 64;

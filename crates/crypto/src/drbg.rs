@@ -6,7 +6,8 @@
 //! provides that generator; `erasmus-core`'s `IrregularSchedule` maps its
 //! output into a bounded interval exactly as the paper's `map` function does.
 
-use crate::hmac::HmacSha256;
+use crate::hmac::HmacKey;
+use crate::sha256::Sha256;
 
 /// Deterministic HMAC-SHA256-based pseudo-random generator.
 ///
@@ -26,10 +27,13 @@ use crate::hmac::HmacSha256;
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// assert_eq!(a.generate(16), b.generate(16));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HmacDrbg {
-    key: Vec<u8>,
-    value: Vec<u8>,
+    value: [u8; 32],
+    /// Precomputed HMAC schedule for the current `K` — the generate loop
+    /// MACs under the same key until the next state update, so the ipad/opad
+    /// midstates are derived once per rekey instead of once per block.
+    schedule: HmacKey<Sha256>,
 }
 
 impl HmacDrbg {
@@ -37,46 +41,43 @@ impl HmacDrbg {
     /// `personalization` string.
     pub fn new(seed: &[u8], personalization: &[u8]) -> Self {
         let mut drbg = Self {
-            key: vec![0u8; 32],
-            value: vec![0x01u8; 32],
+            value: [0x01u8; 32],
+            schedule: HmacKey::new(&[0u8; 32]),
         };
-        let mut seed_material = Vec::with_capacity(seed.len() + personalization.len());
-        seed_material.extend_from_slice(seed);
-        seed_material.extend_from_slice(personalization);
-        drbg.update(Some(&seed_material));
+        drbg.update(Some(&[seed, personalization]));
         drbg
     }
 
-    fn update(&mut self, provided: Option<&[u8]>) {
-        let mut data = Vec::with_capacity(self.value.len() + 1 + provided.map_or(0, |p| p.len()));
-        data.extend_from_slice(&self.value);
-        data.push(0x00);
-        if let Some(p) = provided {
-            data.extend_from_slice(p);
+    /// One `K = HMAC(K, V || domain || provided…); V = HMAC(K, V)` step,
+    /// streamed through the incremental HMAC so no scratch buffer is needed.
+    fn rekey(&mut self, domain: u8, provided: &[&[u8]]) {
+        let mut mac = self.schedule.begin();
+        mac.update(&self.value);
+        mac.update(&[domain]);
+        for part in provided {
+            mac.update(part);
         }
-        self.key = HmacSha256::mac(&self.key, &data);
-        self.value = HmacSha256::mac(&self.key, &self.value);
+        self.schedule = HmacKey::new(&mac.finalize());
+        self.value = self.schedule.mac(&self.value);
+    }
 
-        if let Some(p) = provided {
-            let mut data = Vec::with_capacity(self.value.len() + 1 + p.len());
-            data.extend_from_slice(&self.value);
-            data.push(0x01);
-            data.extend_from_slice(p);
-            self.key = HmacSha256::mac(&self.key, &data);
-            self.value = HmacSha256::mac(&self.key, &self.value);
+    fn update(&mut self, provided: Option<&[&[u8]]>) {
+        self.rekey(0x00, provided.unwrap_or(&[]));
+        if let Some(parts) = provided {
+            self.rekey(0x01, parts);
         }
     }
 
     /// Mixes additional entropy or context into the generator state.
     pub fn reseed(&mut self, additional: &[u8]) {
-        self.update(Some(additional));
+        self.update(Some(&[additional]));
     }
 
     /// Generates `len` pseudo-random bytes.
     pub fn generate(&mut self, len: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(len);
         while out.len() < len {
-            self.value = HmacSha256::mac(&self.key, &self.value);
+            self.value = self.schedule.mac(&self.value);
             let take = (len - out.len()).min(self.value.len());
             out.extend_from_slice(&self.value[..take]);
         }
@@ -84,12 +85,14 @@ impl HmacDrbg {
         out
     }
 
-    /// Generates a pseudo-random `u64`.
+    /// Generates a pseudo-random `u64` without heap allocation — this is the
+    /// per-measurement draw behind the irregular schedule of Section 3.5.
     pub fn next_u64(&mut self) -> u64 {
-        let bytes = self.generate(8);
-        u64::from_be_bytes([
-            bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
-        ])
+        self.value = self.schedule.mac(&self.value);
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.value[..8]);
+        self.update(None);
+        u64::from_be_bytes(bytes)
     }
 
     /// Generates a value uniformly distributed in `[low, high)` using
@@ -116,9 +119,22 @@ impl HmacDrbg {
     }
 }
 
+impl std::fmt::Debug for HmacDrbg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The state is seed-derived (often from the device key `K`).
+        f.write_str("HmacDrbg(..redacted..)")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn debug_is_redacted() {
+        let drbg = HmacDrbg::new(b"secret seed", b"ctx");
+        assert_eq!(format!("{drbg:?}"), "HmacDrbg(..redacted..)");
+    }
 
     #[test]
     fn deterministic_for_same_seed() {

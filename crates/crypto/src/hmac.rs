@@ -3,11 +3,98 @@
 //! HMAC-SHA256 is the reference MAC in both the SMART+ and HYDRA
 //! implementations of the paper (Table 1, Figures 6 and 8); HMAC-SHA1 is
 //! reproduced only for the size comparison.
+//!
+//! The implementation is midstate-based: keying absorbs the ipad and opad
+//! blocks into two digest states exactly once, and every subsequent MAC
+//! clones those cheap fixed-size states instead of re-deriving the key
+//! schedule. [`HmacKey`] exposes the precomputed form directly, which is how
+//! real SMART+/HYDRA-style deployments hold the device key — derived once at
+//! provisioning, reused for every self-measurement.
 
 use crate::ct::constant_time_eq;
-use crate::digest::Digest;
+use crate::digest::{Digest, MAX_BLOCK_SIZE};
 use crate::sha1::Sha1;
 use crate::sha256::Sha256;
+
+/// Precomputed HMAC key schedule: the inner (ipad) and outer (opad)
+/// midstates, each one compression ahead.
+///
+/// Cloning an `HmacKey` or starting a MAC from it copies two fixed-size
+/// digest states — no allocation, no re-hashing of the key.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::{HmacKey, HmacSha256, Sha256};
+///
+/// let schedule = HmacKey::<Sha256>::new(b"device key");
+/// let precomputed = schedule.mac(b"message");
+/// assert_eq!(precomputed, HmacSha256::mac(b"device key", b"message"));
+/// ```
+#[derive(Clone)]
+pub struct HmacKey<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> HmacKey<D> {
+    /// Derives the ipad/opad midstates from `key`.
+    ///
+    /// Keys longer than the digest block size are first hashed, exactly as
+    /// RFC 2104 prescribes; shorter keys are zero-padded.
+    pub fn new(key: &[u8]) -> Self {
+        debug_assert!(D::BLOCK_SIZE <= MAX_BLOCK_SIZE);
+        let mut key_block = [0u8; MAX_BLOCK_SIZE];
+        if key.len() > D::BLOCK_SIZE {
+            let hashed = D::digest(key);
+            key_block[..hashed.as_ref().len()].copy_from_slice(hashed.as_ref());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut pad = [0u8; MAX_BLOCK_SIZE];
+        for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+            *p = k ^ 0x36;
+        }
+        let mut inner = D::new();
+        inner.update(&pad[..D::BLOCK_SIZE]);
+
+        for (p, k) in pad.iter_mut().zip(key_block.iter()) {
+            *p = k ^ 0x5c;
+        }
+        let mut outer = D::new();
+        outer.update(&pad[..D::BLOCK_SIZE]);
+
+        Self { inner, outer }
+    }
+
+    /// Starts an incremental MAC computation from the precomputed midstates.
+    pub fn begin(&self) -> Hmac<D> {
+        Hmac {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+
+    /// Computes the tag of `message` in one call, reusing the midstates.
+    pub fn mac(&self, message: &[u8]) -> D::Output {
+        let mut hmac = self.begin();
+        hmac.update(message);
+        hmac.finalize()
+    }
+
+    /// Verifies `tag` against the MAC of `message` in constant time.
+    pub fn verify(&self, message: &[u8], tag: &[u8]) -> bool {
+        constant_time_eq(self.mac(message).as_ref(), tag)
+    }
+}
+
+impl<D: Digest> std::fmt::Debug for HmacKey<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The midstates are key material; never print them.
+        f.write_str("HmacKey(..redacted..)")
+    }
+}
 
 /// HMAC keyed with an arbitrary-length key over digest `D`.
 ///
@@ -22,11 +109,18 @@ use crate::sha256::Sha256;
 /// assert_eq!(tag.len(), 32);
 /// assert!(Hmac::<Sha256>::verify(b"key", b"The quick brown fox jumps over the lazy dog", &tag));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Hmac<D: Digest> {
     inner: D,
-    /// Key XORed with the opad, kept for the outer pass.
-    opad_key: Vec<u8>,
+    /// Outer state with the opad block already absorbed.
+    outer: D,
+}
+
+impl<D: Digest> std::fmt::Debug for Hmac<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Both midstates are key-equivalent material; never print them.
+        f.write_str("Hmac(..redacted..)")
+    }
 }
 
 /// HMAC-SHA1 alias (Table 1 comparison only).
@@ -36,24 +130,8 @@ pub type HmacSha256 = Hmac<Sha256>;
 
 impl<D: Digest> Hmac<D> {
     /// Creates an HMAC instance keyed with `key`.
-    ///
-    /// Keys longer than the digest block size are first hashed, exactly as
-    /// RFC 2104 prescribes; shorter keys are zero-padded.
     pub fn new(key: &[u8]) -> Self {
-        let mut key_block = vec![0u8; D::BLOCK_SIZE];
-        if key.len() > D::BLOCK_SIZE {
-            let hashed = D::digest(key);
-            key_block[..hashed.len()].copy_from_slice(&hashed);
-        } else {
-            key_block[..key.len()].copy_from_slice(key);
-        }
-
-        let ipad_key: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
-        let opad_key: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-
-        let mut inner = D::new();
-        inner.update(&ipad_key);
-        Self { inner, opad_key }
+        HmacKey::new(key).begin()
     }
 
     /// Absorbs message data.
@@ -62,16 +140,15 @@ impl<D: Digest> Hmac<D> {
     }
 
     /// Finishes the computation and returns the authentication tag.
-    pub fn finalize(self) -> Vec<u8> {
+    pub fn finalize(self) -> D::Output {
         let inner_digest = self.inner.finalize();
-        let mut outer = D::new();
-        outer.update(&self.opad_key);
-        outer.update(&inner_digest);
+        let mut outer = self.outer;
+        outer.update(inner_digest.as_ref());
         outer.finalize()
     }
 
     /// One-shot MAC computation.
-    pub fn mac(key: &[u8], message: &[u8]) -> Vec<u8> {
+    pub fn mac(key: &[u8], message: &[u8]) -> D::Output {
         let mut hmac = Self::new(key);
         hmac.update(message);
         hmac.finalize()
@@ -80,7 +157,7 @@ impl<D: Digest> Hmac<D> {
     /// Verifies `tag` against the MAC of `message` under `key` in constant
     /// time.
     pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
-        constant_time_eq(&Self::mac(key, message), tag)
+        constant_time_eq(Self::mac(key, message).as_ref(), tag)
     }
 }
 
@@ -188,7 +265,7 @@ mod tests {
         assert!(HmacSha256::verify(b"k", b"m", &tag));
         assert!(!HmacSha256::verify(b"k", b"m2", &tag));
         assert!(!HmacSha256::verify(b"k2", b"m", &tag));
-        let mut bad = tag.clone();
+        let mut bad = tag;
         bad[0] ^= 1;
         assert!(!HmacSha256::verify(b"k", b"m", &bad));
         assert!(!HmacSha256::verify(b"k", b"m", &tag[..31]));
@@ -203,6 +280,42 @@ mod tests {
             mac.finalize(),
             HmacSha256::mac(b"incremental key", b"part one / part two")
         );
+    }
+
+    #[test]
+    fn precomputed_key_matches_oneshot_across_key_lengths() {
+        for key_len in [0usize, 1, 31, 32, 63, 64, 65, 131] {
+            let key: Vec<u8> = (0..key_len as u32).map(|i| (i % 251) as u8).collect();
+            let schedule = HmacKey::<Sha256>::new(&key);
+            for message in [&b""[..], b"m", &[0xabu8; 200]] {
+                assert_eq!(
+                    schedule.mac(message),
+                    HmacSha256::mac(&key, message),
+                    "key length {key_len}"
+                );
+                assert!(schedule.verify(message, &HmacSha256::mac(&key, message)));
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_key_is_reusable_and_incremental() {
+        let schedule = HmacKey::<Sha256>::new(b"reused key");
+        let first = schedule.mac(b"alpha");
+        let mut incremental = schedule.begin();
+        incremental.update(b"al");
+        incremental.update(b"pha");
+        assert_eq!(incremental.finalize(), first);
+        // The schedule is unchanged by use.
+        assert_eq!(schedule.mac(b"alpha"), first);
+    }
+
+    #[test]
+    fn hmac_key_debug_is_redacted() {
+        let schedule = HmacKey::<Sha256>::new(&[0xffu8; 32]);
+        assert_eq!(format!("{schedule:?}"), "HmacKey(..redacted..)");
+        let in_flight = HmacSha256::new(&[0xffu8; 32]);
+        assert_eq!(format!("{in_flight:?}"), "Hmac(..redacted..)");
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!
 //! The [`Mac`] trait and the [`MacAlgorithm`] enum give the rest of the
 //! workspace a single switch point for the three MAC constructions evaluated
-//! in the paper.
+//! in the paper. [`MacAlgorithm::with_key`] precomputes the key schedule
+//! ([`KeyedMac`]) so the measure/verify hot paths absorb the HMAC ipad/opad
+//! blocks (or the BLAKE2s key block) exactly once per device.
+//!
+//! Digest finalizers and MAC tags are fixed-size stack values — the hot path
+//! performs no heap allocation.
 //!
 //! # Example
 //!
@@ -47,7 +52,7 @@ pub use blake2s::{Blake2s, Blake2sMac};
 pub use ct::constant_time_eq;
 pub use digest::Digest;
 pub use drbg::HmacDrbg;
-pub use hmac::{Hmac, HmacSha1, HmacSha256};
-pub use mac::{Mac, MacAlgorithm, MacTag, ParseMacAlgorithmError};
+pub use hmac::{Hmac, HmacKey, HmacSha1, HmacSha256};
+pub use mac::{KeyedMac, Mac, MacAlgorithm, MacTag, ParseMacAlgorithmError, MAX_TAG_LEN};
 pub use sha1::Sha1;
 pub use sha256::Sha256;

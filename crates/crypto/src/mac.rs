@@ -4,68 +4,120 @@
 //! only), HMAC-SHA256 and keyed BLAKE2s. [`MacAlgorithm`] lets every prover,
 //! verifier and benchmark in the workspace select among them with a single
 //! value, mirroring the columns of Table 1 and the curves of Figures 6/8.
+//!
+//! [`KeyedMac`] is the precomputed form: the HMAC ipad/opad blocks (or the
+//! BLAKE2s key block) are absorbed exactly once per device, and every
+//! subsequent tag clones the cheap fixed-size midstate. This matches how the
+//! paper's SMART+/HYDRA-style implementations hold `K`, and it is what the
+//! prover/verifier hot paths use.
 
 use std::fmt;
 use std::str::FromStr;
 
 use crate::blake2s::Blake2s;
 use crate::ct::constant_time_eq;
-use crate::hmac::{HmacSha1, HmacSha256};
+use crate::digest::Digest;
+use crate::hmac::{HmacKey, HmacSha1, HmacSha256};
+use crate::sha1::Sha1;
+use crate::sha256::Sha256;
 
-/// A computed MAC tag.
+/// Largest tag any supported algorithm produces, in bytes.
+pub const MAX_TAG_LEN: usize = 32;
+
+/// A computed MAC tag, stored inline (no heap allocation).
 ///
 /// Wrapping the raw bytes in a newtype keeps tag handling explicit in
 /// protocol code and lets the verifier insist on constant-time comparison.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct MacTag(Vec<u8>);
+/// The unused suffix of the inline array is always zero, so the derived
+/// equality and hash are well-defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacTag {
+    bytes: [u8; MAX_TAG_LEN],
+    len: u8,
+}
 
 impl MacTag {
     /// Wraps raw tag bytes.
-    pub fn new(bytes: Vec<u8>) -> Self {
-        Self(bytes)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than [`MAX_TAG_LEN`]; no supported
+    /// algorithm produces such a tag.
+    pub fn new(bytes: impl AsRef<[u8]>) -> Self {
+        let bytes = bytes.as_ref();
+        assert!(
+            bytes.len() <= MAX_TAG_LEN,
+            "tag of {} bytes exceeds the {MAX_TAG_LEN}-byte maximum",
+            bytes.len()
+        );
+        let mut inline = [0u8; MAX_TAG_LEN];
+        inline[..bytes.len()].copy_from_slice(bytes);
+        Self {
+            bytes: inline,
+            len: bytes.len() as u8,
+        }
     }
 
     /// Tag length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
     /// Whether the tag is empty (only possible for corrupted storage).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     /// Borrows the raw tag bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        &self.bytes[..self.len as usize]
     }
 
-    /// Consumes the tag and returns the raw bytes.
+    /// Copies the tag into a freshly allocated vector (convenience for
+    /// serialization code; the tag itself lives on the stack).
     pub fn into_bytes(self) -> Vec<u8> {
-        self.0
+        self.as_bytes().to_vec()
     }
 
     /// Constant-time equality with another candidate tag.
     pub fn ct_eq(&self, other: &MacTag) -> bool {
-        constant_time_eq(&self.0, &other.0)
+        constant_time_eq(self.as_bytes(), other.as_bytes())
     }
 }
 
 impl AsRef<[u8]> for MacTag {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_bytes()
+    }
+}
+
+impl From<[u8; 32]> for MacTag {
+    fn from(bytes: [u8; 32]) -> Self {
+        Self { bytes, len: 32 }
+    }
+}
+
+impl From<[u8; 20]> for MacTag {
+    fn from(bytes: [u8; 20]) -> Self {
+        Self::new(bytes)
     }
 }
 
 impl From<Vec<u8>> for MacTag {
     fn from(bytes: Vec<u8>) -> Self {
-        Self(bytes)
+        Self::new(bytes)
+    }
+}
+
+impl From<&[u8]> for MacTag {
+    fn from(bytes: &[u8]) -> Self {
+        Self::new(bytes)
     }
 }
 
 impl fmt::Display for MacTag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for byte in &self.0 {
+        for byte in self.as_bytes() {
             write!(f, "{byte:02x}")?;
         }
         Ok(())
@@ -124,12 +176,26 @@ impl MacAlgorithm {
         MacAlgorithm::KeyedBlake2s,
     ];
 
-    /// Computes a tag over `message` under `key`.
+    /// Precomputes the keyed state for this algorithm — the once-per-device
+    /// key-schedule derivation. Use the returned [`KeyedMac`] on hot paths.
+    pub fn with_key(self, key: &[u8]) -> KeyedMac {
+        match self {
+            MacAlgorithm::HmacSha1 => KeyedMac::HmacSha1(HmacKey::new(key)),
+            MacAlgorithm::HmacSha256 => KeyedMac::HmacSha256(HmacKey::new(key)),
+            MacAlgorithm::KeyedBlake2s => {
+                KeyedMac::KeyedBlake2s(Blake2s::new_keyed(key, MAX_TAG_LEN))
+            }
+        }
+    }
+
+    /// Computes a tag over `message` under `key`, deriving the key schedule
+    /// from scratch (the one-shot path; prefer [`MacAlgorithm::with_key`]
+    /// when the same key authenticates more than one message).
     pub fn mac(self, key: &[u8], message: &[u8]) -> MacTag {
         match self {
-            MacAlgorithm::HmacSha1 => MacTag::new(HmacSha1::mac(key, message)),
-            MacAlgorithm::HmacSha256 => MacTag::new(HmacSha256::mac(key, message)),
-            MacAlgorithm::KeyedBlake2s => MacTag::new(Blake2s::keyed_mac(key, message)),
+            MacAlgorithm::HmacSha1 => MacTag::from(HmacSha1::mac(key, message)),
+            MacAlgorithm::HmacSha256 => MacTag::from(HmacSha256::mac(key, message)),
+            MacAlgorithm::KeyedBlake2s => MacTag::from(Blake2s::keyed_mac(key, message)),
         }
     }
 
@@ -160,6 +226,75 @@ impl MacAlgorithm {
 impl fmt::Display for MacAlgorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.paper_name())
+    }
+}
+
+/// A MAC with its key schedule already derived.
+///
+/// For HMAC this holds the ipad/opad midstates (each one compression ahead);
+/// for keyed BLAKE2s it holds the parameterized state with the key block
+/// absorbed. Producing a tag clones the fixed-size state and runs only the
+/// per-message compressions — no allocation, no re-keying.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_crypto::MacAlgorithm;
+///
+/// let key = [7u8; 32];
+/// let keyed = MacAlgorithm::HmacSha256.with_key(&key);
+/// let tag = keyed.mac(b"measurement");
+/// assert_eq!(tag, MacAlgorithm::HmacSha256.mac(&key, b"measurement"));
+/// assert!(keyed.verify(b"measurement", &tag));
+/// ```
+#[derive(Clone)]
+pub enum KeyedMac {
+    /// Precomputed HMAC-SHA1 midstates.
+    HmacSha1(HmacKey<Sha1>),
+    /// Precomputed HMAC-SHA256 midstates.
+    HmacSha256(HmacKey<Sha256>),
+    /// Keyed BLAKE2s state with the key block absorbed.
+    KeyedBlake2s(Blake2s),
+}
+
+impl KeyedMac {
+    /// Computes the tag of `message` from the precomputed state.
+    pub fn mac(&self, message: &[u8]) -> MacTag {
+        match self {
+            KeyedMac::HmacSha1(key) => MacTag::from(key.mac(message)),
+            KeyedMac::HmacSha256(key) => MacTag::from(key.mac(message)),
+            KeyedMac::KeyedBlake2s(state) => {
+                let mut mac = state.clone();
+                mac.update(message);
+                MacTag::from(mac.finalize())
+            }
+        }
+    }
+
+    /// Verifies `tag` against `message` in constant time.
+    pub fn verify(&self, message: &[u8], tag: &MacTag) -> bool {
+        self.mac(message).ct_eq(tag)
+    }
+
+    /// The algorithm this keyed state was derived for.
+    pub fn algorithm(&self) -> MacAlgorithm {
+        match self {
+            KeyedMac::HmacSha1(_) => MacAlgorithm::HmacSha1,
+            KeyedMac::HmacSha256(_) => MacAlgorithm::HmacSha256,
+            KeyedMac::KeyedBlake2s(_) => MacAlgorithm::KeyedBlake2s,
+        }
+    }
+
+    /// Tag length in bytes.
+    pub fn tag_len(&self) -> usize {
+        self.algorithm().tag_len()
+    }
+}
+
+impl fmt::Debug for KeyedMac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The midstates are key-derived; never print them.
+        write!(f, "KeyedMac({}, ..redacted..)", self.algorithm())
     }
 }
 
@@ -226,6 +361,30 @@ mod tests {
     }
 
     #[test]
+    fn keyed_state_matches_oneshot_for_all_algorithms() {
+        let key = [0x5au8; 32];
+        for alg in MacAlgorithm::ALL {
+            let keyed = alg.with_key(&key);
+            assert_eq!(keyed.algorithm(), alg);
+            assert_eq!(keyed.tag_len(), alg.tag_len());
+            for message in [&b""[..], b"m", &[0xcdu8; 129]] {
+                let precomputed = keyed.mac(message);
+                assert_eq!(precomputed, alg.mac(&key, message), "{alg}");
+                assert!(keyed.verify(message, &precomputed), "{alg}");
+                assert!(!keyed.verify(b"other", &precomputed), "{alg}");
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_mac_debug_is_redacted() {
+        let keyed = MacAlgorithm::HmacSha256.with_key(&[0xffu8; 32]);
+        let text = format!("{keyed:?}");
+        assert!(text.contains("redacted"), "{text}");
+        assert!(!text.contains("ff"), "{text}");
+    }
+
+    #[test]
     fn algorithms_produce_distinct_tags() {
         let key = [1u8; 32];
         let sha256 = MacAlgorithm::HmacSha256.mac(&key, b"m");
@@ -258,7 +417,7 @@ mod tests {
 
     #[test]
     fn mac_tag_display_is_hex() {
-        let tag = MacTag::new(vec![0xde, 0xad, 0xbe, 0xef]);
+        let tag = MacTag::new([0xde, 0xad, 0xbe, 0xef]);
         assert_eq!(tag.to_string(), "deadbeef");
         assert_eq!(tag.len(), 4);
         assert!(!tag.is_empty());
@@ -270,8 +429,22 @@ mod tests {
         let tag = MacTag::from(bytes.clone());
         assert_eq!(tag.as_bytes(), &bytes[..]);
         assert_eq!(tag.as_ref(), &bytes[..]);
-        assert_eq!(tag.clone().into_bytes(), bytes);
+        assert_eq!(tag.into_bytes(), bytes);
         assert!(tag.ct_eq(&MacTag::new(bytes)));
+    }
+
+    #[test]
+    fn short_tags_of_different_length_are_unequal() {
+        // The inline array zero-pads, but the length is part of identity.
+        assert_ne!(MacTag::new([0u8; 4]), MacTag::new([0u8; 5]));
+        assert_eq!(MacTag::new([]).len(), 0);
+        assert!(MacTag::new([]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_tag_panics() {
+        let _ = MacTag::new([0u8; 33]);
     }
 
     #[test]

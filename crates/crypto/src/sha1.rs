@@ -88,6 +88,8 @@ impl Digest for Sha1 {
     const OUTPUT_SIZE: usize = 20;
     const BLOCK_SIZE: usize = 64;
 
+    type Output = [u8; 20];
+
     fn new() -> Self {
         Sha1::new()
     }
@@ -121,24 +123,24 @@ impl Digest for Sha1 {
         }
     }
 
-    fn finalize(mut self) -> Vec<u8> {
+    fn finalize(mut self) -> [u8; 20] {
         let bit_len = self.total_len.wrapping_mul(8);
-        let mut padding = Vec::with_capacity(72);
-        padding.push(0x80u8);
+        let mut padding = [0u8; 72];
+        padding[0] = 0x80;
         let msg_len = (self.total_len % 64) as usize;
         let zero_count = if msg_len < 56 {
             55 - msg_len
         } else {
             119 - msg_len
         };
-        padding.extend(std::iter::repeat_n(0u8, zero_count));
-        padding.extend_from_slice(&bit_len.to_be_bytes());
-        self.update(&padding);
+        let pad_len = 1 + zero_count + 8;
+        padding[1 + zero_count..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&padding[..pad_len]);
         debug_assert_eq!(self.buffer_len, 0);
 
-        let mut out = Vec::with_capacity(20);
-        for word in self.state {
-            out.extend_from_slice(&word.to_be_bytes());
+        let mut out = [0u8; 20];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         out
     }

@@ -121,6 +121,8 @@ impl Digest for Sha256 {
     const OUTPUT_SIZE: usize = 32;
     const BLOCK_SIZE: usize = 64;
 
+    type Output = [u8; 32];
+
     fn new() -> Self {
         Sha256::new()
     }
@@ -154,27 +156,28 @@ impl Digest for Sha256 {
         }
     }
 
-    fn finalize(mut self) -> Vec<u8> {
+    fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Append 0x80, then zeros, then the 64-bit big-endian length.
-        let mut padding = Vec::with_capacity(72);
-        padding.push(0x80u8);
+        // Append 0x80, then zeros, then the 64-bit big-endian length — at
+        // most 72 bytes, built on the stack.
+        let mut padding = [0u8; 72];
+        padding[0] = 0x80;
         let msg_len = (self.total_len % 64) as usize;
         let zero_count = if msg_len < 56 {
             55 - msg_len
         } else {
             119 - msg_len
         };
-        padding.extend(std::iter::repeat_n(0u8, zero_count));
-        padding.extend_from_slice(&bit_len.to_be_bytes());
+        let pad_len = 1 + zero_count + 8;
+        padding[1 + zero_count..pad_len].copy_from_slice(&bit_len.to_be_bytes());
 
         // `update` adjusts total_len but padding length no longer matters.
-        self.update(&padding);
+        self.update(&padding[..pad_len]);
         debug_assert_eq!(self.buffer_len, 0);
 
-        let mut out = Vec::with_capacity(32);
-        for word in self.state {
-            out.extend_from_slice(&word.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
         }
         out
     }

@@ -1,0 +1,185 @@
+//! Equivalence suite: the precomputed [`KeyedMac`] path must produce
+//! byte-identical tags to the one-shot [`MacAlgorithm::mac`] path for every
+//! algorithm, on known-answer vectors and on random inputs.
+//!
+//! The precomputed path is what provers and verifiers actually run; the
+//! one-shot path is the reference construction checked against the RFC
+//! vectors in the unit tests. This suite pins the two together so a midstate
+//! bug cannot silently diverge from the spec.
+
+use erasmus_crypto::{HmacKey, KeyedMac, MacAlgorithm, MacTag, Sha1, Sha256};
+use proptest::prelude::*;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Known-answer vectors: (algorithm, key, message, expected tag hex).
+///
+/// HMAC-SHA256 cases are from RFC 4231, HMAC-SHA1 cases from RFC 2202, and
+/// the keyed-BLAKE2s cases from the official BLAKE2 reference test suite.
+fn known_answers() -> Vec<(MacAlgorithm, Vec<u8>, Vec<u8>, &'static str)> {
+    let blake_key: Vec<u8> = (0..32u8).collect();
+    vec![
+        (
+            MacAlgorithm::HmacSha256,
+            vec![0x0b; 20],
+            b"Hi There".to_vec(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+        ),
+        (
+            MacAlgorithm::HmacSha256,
+            b"Jefe".to_vec(),
+            b"what do ya want for nothing?".to_vec(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+        ),
+        (
+            MacAlgorithm::HmacSha256,
+            vec![0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+        ),
+        (
+            MacAlgorithm::HmacSha1,
+            vec![0x0b; 20],
+            b"Hi There".to_vec(),
+            "b617318655057264e28bc0b6fb378c8ef146be00",
+        ),
+        (
+            MacAlgorithm::HmacSha1,
+            b"Jefe".to_vec(),
+            b"what do ya want for nothing?".to_vec(),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+        ),
+        (
+            MacAlgorithm::KeyedBlake2s,
+            blake_key.clone(),
+            Vec::new(),
+            "48a8997da407876b3d79c0d92325ad3b89cbb754d86ab71aee047ad345fd2c49",
+        ),
+        (
+            MacAlgorithm::KeyedBlake2s,
+            blake_key.clone(),
+            vec![0x00],
+            "40d15fee7c328830166ac3f918650f807e7e01e177258cdc0a39b11f598066f1",
+        ),
+        (
+            MacAlgorithm::KeyedBlake2s,
+            blake_key,
+            vec![0x00, 0x01],
+            "6bb71300644cd3991b26ccd4d274acd1adeab8b1d7914546c1198bbe9fc9d803",
+        ),
+    ]
+}
+
+#[test]
+fn keyed_path_reproduces_every_known_answer() {
+    for (alg, key, message, expected) in known_answers() {
+        let keyed = alg.with_key(&key);
+        let tag = keyed.mac(&message);
+        assert_eq!(hex(tag.as_bytes()), expected, "{alg} KAT via KeyedMac");
+        assert_eq!(tag, alg.mac(&key, &message), "{alg} KAT one-shot match");
+        assert!(keyed.verify(&message, &tag), "{alg} KAT verifies");
+        assert!(
+            keyed.verify(&message, &MacTag::new(tag.as_bytes())),
+            "{alg} KAT verifies through a reconstructed tag"
+        );
+    }
+}
+
+#[test]
+fn hmac_key_incremental_absorption_matches_oneshot_at_block_boundaries() {
+    // Message lengths straddling the 64-byte block boundary exercise the
+    // midstate buffering logic in both digests.
+    let key = [0x7eu8; 32];
+    let sha256 = HmacKey::<Sha256>::new(&key);
+    let sha1 = HmacKey::<Sha1>::new(&key);
+    for len in [0usize, 1, 23, 55, 56, 63, 64, 65, 119, 120, 127, 128, 129] {
+        let message: Vec<u8> = (0..len as u32).map(|i| (i * 31 % 256) as u8).collect();
+        assert_eq!(
+            sha256.mac(&message),
+            erasmus_crypto::HmacSha256::mac(&key, &message),
+            "sha256 length {len}"
+        );
+        assert_eq!(
+            sha1.mac(&message),
+            erasmus_crypto::HmacSha1::mac(&key, &message),
+            "sha1 length {len}"
+        );
+        // Byte-at-a-time absorption through the midstate.
+        let mut incremental = sha256.begin();
+        for byte in &message {
+            incremental.update(std::slice::from_ref(byte));
+        }
+        assert_eq!(
+            incremental.finalize(),
+            sha256.mac(&message),
+            "sha256 incremental length {len}"
+        );
+    }
+}
+
+#[test]
+fn cloned_keyed_states_are_independent() {
+    let keyed = MacAlgorithm::KeyedBlake2s.with_key(b"device key");
+    let clone = keyed.clone();
+    let before = keyed.mac(b"first");
+    // Using the clone must not disturb the original state.
+    let _ = clone.mac(b"interleaved message of a different length");
+    assert_eq!(keyed.mac(b"first"), before);
+    assert_eq!(clone.mac(b"first"), before);
+}
+
+proptest! {
+    /// Random keys and messages: precomputed == one-shot, always, for all
+    /// three algorithms.
+    #[test]
+    fn precomputed_equals_oneshot(
+        key in proptest::collection::vec(any::<u8>(), 0..128),
+        message in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        for alg in MacAlgorithm::ALL {
+            let keyed = alg.with_key(&key);
+            let precomputed = keyed.mac(&message);
+            let oneshot = alg.mac(&key, &message);
+            prop_assert_eq!(&precomputed, &oneshot, "{} diverged", alg);
+            prop_assert!(keyed.verify(&message, &oneshot));
+            prop_assert!(alg.verify(&key, &message, &precomputed));
+        }
+    }
+
+    /// A keyed state survives arbitrary reuse: the Nth tag equals the first.
+    #[test]
+    fn keyed_state_reuse_is_stateless(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256), 1..8),
+    ) {
+        for alg in MacAlgorithm::ALL {
+            let keyed: KeyedMac = alg.with_key(&key);
+            let expected: Vec<MacTag> = messages.iter().map(|m| alg.mac(&key, m)).collect();
+            // Interleave in both directions to shake out shared-state bugs.
+            for (message, tag) in messages.iter().zip(&expected) {
+                prop_assert_eq!(&keyed.mac(message), tag);
+            }
+            for (message, tag) in messages.iter().zip(&expected).rev() {
+                prop_assert_eq!(&keyed.mac(message), tag);
+            }
+        }
+    }
+
+    /// Tags produced by the precomputed path are rejected by a schedule for
+    /// any other key (no key-schedule aliasing).
+    #[test]
+    fn different_keys_never_alias(
+        key_a in proptest::collection::vec(any::<u8>(), 1..64),
+        key_b in proptest::collection::vec(any::<u8>(), 1..64),
+        message in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(key_a != key_b);
+        for alg in MacAlgorithm::ALL {
+            let tag = alg.with_key(&key_a).mac(&message);
+            prop_assert!(!alg.with_key(&key_b).verify(&message, &tag), "{} aliased", alg);
+        }
+    }
+}

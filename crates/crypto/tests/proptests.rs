@@ -84,7 +84,7 @@ proptest! {
     ) {
         for alg in MacAlgorithm::ALL {
             let tag = alg.mac(&key, &message);
-            let mut bytes = tag.clone().into_bytes();
+            let mut bytes = tag.into_bytes();
             let idx = byte_index % bytes.len();
             bytes[idx] ^= 1 << bit;
             prop_assert!(!alg.verify(&key, &message, &bytes.into()));

@@ -278,8 +278,9 @@ impl TrustedContext<'_> {
         self.now
     }
 
-    /// Convenience: SHA-256 digest of the application memory, `H(mem_t)`.
-    pub fn memory_digest(&self) -> Vec<u8> {
+    /// Convenience: SHA-256 digest of the application memory, `H(mem_t)`,
+    /// returned on the stack.
+    pub fn memory_digest(&self) -> [u8; 32] {
         use erasmus_crypto::{Digest, Sha256};
         Sha256::digest(self.app_memory)
     }

@@ -24,7 +24,7 @@ use crate::key::DeviceKey;
 pub struct Rom {
     key: DeviceKey,
     code: Vec<u8>,
-    code_digest: Vec<u8>,
+    code_digest: [u8; 32],
 }
 
 impl Rom {
@@ -58,7 +58,7 @@ impl Rom {
     }
 
     /// SHA-256 digest of the attestation code, as checked by secure boot.
-    pub fn code_digest(&self) -> &[u8] {
+    pub fn code_digest(&self) -> &[u8; 32] {
         &self.code_digest
     }
 

@@ -25,7 +25,7 @@ use crate::rom::Rom;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecureBoot {
     /// Reference digest of the trusted image, fixed at provisioning.
-    reference_digest: Vec<u8>,
+    reference_digest: [u8; 32],
 }
 
 impl SecureBoot {
@@ -33,19 +33,19 @@ impl SecureBoot {
     /// factory).
     pub fn provision(trusted_image: &Rom) -> Self {
         Self {
-            reference_digest: trusted_image.code_digest().to_vec(),
+            reference_digest: *trusted_image.code_digest(),
         }
     }
 
     /// Creates a verifier from an already-known reference digest.
-    pub fn from_reference_digest(digest: Vec<u8>) -> Self {
+    pub fn from_reference_digest(digest: [u8; 32]) -> Self {
         Self {
             reference_digest: digest,
         }
     }
 
     /// The provisioned reference digest.
-    pub fn reference_digest(&self) -> &[u8] {
+    pub fn reference_digest(&self) -> &[u8; 32] {
         &self.reference_digest
     }
 
@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn from_reference_digest_roundtrip() {
         let trusted = rom(b"image");
-        let boot = SecureBoot::from_reference_digest(trusted.code_digest().to_vec());
+        let boot = SecureBoot::from_reference_digest(*trusted.code_digest());
         assert!(boot.verify(&trusted).is_ok());
     }
 }

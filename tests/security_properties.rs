@@ -222,9 +222,11 @@ proptest! {
         verifier.verify_collection(&baseline, SimTime::from_secs(80)).expect("baseline");
 
         prover.run_until(SimTime::from_secs(160)).expect("measurements");
+        let mut forged_digest = [0u8; 32];
+        forged_digest.copy_from_slice(&digest);
         let forged = Measurement::from_parts(
             SimTime::from_secs(timestamp_secs),
-            digest,
+            forged_digest,
             MacTag::new(tag),
         );
         let target_slot = slot % prover.buffer().capacity();
