@@ -1,15 +1,17 @@
 //! `perfbench` — fleet-scale throughput harness.
 //!
 //! Simulates N provers × scheduled self-measurements × periodic
-//! collections for every MAC algorithm, prints a throughput summary and
-//! writes `BENCH_fleet.json` at the repository root so successive PRs have
-//! a perf trajectory to compare against.
+//! collections for every MAC algorithm — partitioned over worker threads —
+//! prints a throughput summary, runs a 1→N thread-scaling sweep and writes
+//! `BENCH_fleet.json` (schema `erasmus-perfbench/v2`) at the repository
+//! root so successive PRs have a perf trajectory to compare against.
 //!
 //! Usage:
 //!
 //! ```text
 //! perfbench                  # full run (4096 provers per algorithm)
 //! perfbench --quick          # CI-sized run (1000 provers per algorithm)
+//! perfbench --threads 4      # shard the fleet over 4 worker threads
 //! perfbench --provers 20000  # override the fleet size
 //! perfbench --out path.json  # write the JSON somewhere else
 //! ```
@@ -17,11 +19,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use erasmus_bench::fleet::{self, FleetConfig};
+use erasmus_bench::fleet::{self, scaling, FleetConfig};
 use erasmus_crypto::MacAlgorithm;
 
 struct Options {
     quick: bool,
+    threads: usize,
     provers: Option<usize>,
     rounds: Option<usize>,
     memory_bytes: Option<usize>,
@@ -29,16 +32,20 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: perfbench [--quick] [--provers N] [--rounds N] [--memory BYTES] [--out PATH]\n\
+    "usage: perfbench [--quick] [--threads N] [--provers N] [--rounds N] [--memory BYTES] [--out PATH]\n\
      \n\
      Drives N simulated provers through scheduled self-measurements and\n\
-     periodic collections for each MAC algorithm, then writes the\n\
-     BENCH_fleet.json throughput trajectory (default: repository root)."
+     periodic collections for each MAC algorithm, sharded over --threads\n\
+     worker threads, then writes the BENCH_fleet.json throughput trajectory\n\
+     (default: repository root) including a 1..N thread-scaling sweep.\n\
+     --threads, --provers and --rounds must be at least 1; --memory must be\n\
+     at least 1 byte."
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         quick: false,
+        threads: 1,
         provers: None,
         rounds: None,
         memory_bytes: None,
@@ -46,17 +53,26 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut numeric = |name: &str| -> Result<usize, String> {
-            args.next()
+        let mut numeric = |name: &str, min: usize| -> Result<usize, String> {
+            let value = args
+                .next()
                 .ok_or_else(|| format!("{name} needs a value"))?
                 .parse::<usize>()
-                .map_err(|e| format!("invalid {name} value: {e}"))
+                .map_err(|e| format!("invalid {name} value: {e}"))?;
+            if value < min {
+                return Err(format!(
+                    "{name} must be at least {min}, got {value} — a zero-work run \
+                     would overwrite BENCH_fleet.json with a degenerate trajectory"
+                ));
+            }
+            Ok(value)
         };
         match arg.as_str() {
             "--quick" => options.quick = true,
-            "--provers" => options.provers = Some(numeric("--provers")?),
-            "--rounds" => options.rounds = Some(numeric("--rounds")?),
-            "--memory" => options.memory_bytes = Some(numeric("--memory")?),
+            "--threads" => options.threads = numeric("--threads", 1)?,
+            "--provers" => options.provers = Some(numeric("--provers", 1)?),
+            "--rounds" => options.rounds = Some(numeric("--rounds", 1)?),
+            "--memory" => options.memory_bytes = Some(numeric("--memory", 1)?),
             "--out" => {
                 options.out = Some(PathBuf::from(
                     args.next().ok_or_else(|| "--out needs a path".to_owned())?,
@@ -76,6 +92,24 @@ fn default_output_path() -> PathBuf {
         .join("..")
         .join("..")
         .join("BENCH_fleet.json")
+}
+
+fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
+    let mut config = if options.quick {
+        FleetConfig::quick(algorithm)
+    } else {
+        FleetConfig::full(algorithm)
+    };
+    if let Some(provers) = options.provers {
+        config.provers = provers;
+    }
+    if let Some(rounds) = options.rounds {
+        config.rounds = rounds;
+    }
+    if let Some(memory_bytes) = options.memory_bytes {
+        config.memory_bytes = memory_bytes;
+    }
+    config
 }
 
 fn main() -> ExitCode {
@@ -98,32 +132,37 @@ fn main() -> ExitCode {
     let reports: Vec<_> = MacAlgorithm::ALL
         .iter()
         .map(|&algorithm| {
-            let mut config = if options.quick {
-                FleetConfig::quick(algorithm)
-            } else {
-                FleetConfig::full(algorithm)
-            };
-            if let Some(provers) = options.provers {
-                config.provers = provers;
-            }
-            if let Some(rounds) = options.rounds {
-                config.rounds = rounds;
-            }
-            if let Some(memory_bytes) = options.memory_bytes {
-                config.memory_bytes = memory_bytes;
-            }
+            let config = config_for(&options, algorithm);
             eprintln!(
-                "perfbench: {algorithm}: {} provers x {} measurements x {} rounds ...",
-                config.provers, config.measurements_per_round, config.rounds
+                "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) ...",
+                config.provers, config.measurements_per_round, config.rounds, options.threads
             );
-            fleet::run(&config)
+            fleet::run_threaded(&config, options.threads)
         })
         .collect();
 
     print!("{}", fleet::render(&reports));
 
+    // run_threaded clamps oversized requests to the fleet size; report the
+    // effective count so the document agrees with its own results.
+    let threads = reports.first().map_or(options.threads, |r| r.threads);
+
+    // Thread-scaling sweep on the paper's default MAC: same fleet, 1..N
+    // workers, identical totals — only the wall clock may move. The
+    // N-thread endpoint reuses the main run above instead of re-timing it.
+    eprintln!("perfbench: scaling sweep 1..{threads} threads (HMAC-SHA256) ...");
+    let hmac_report = reports
+        .iter()
+        .find(|r| r.config.algorithm == MacAlgorithm::HmacSha256);
+    let sweep = scaling::sweep_reusing(
+        &config_for(&options, MacAlgorithm::HmacSha256),
+        threads,
+        hmac_report,
+    );
+    print!("{}", scaling::render(&sweep));
+
     let path = options.out.unwrap_or_else(default_output_path);
-    let document = fleet::document_json(mode, &reports);
+    let document = fleet::document_json(mode, threads, &reports, &sweep);
     if let Err(error) = std::fs::write(&path, &document) {
         eprintln!("perfbench: cannot write {}: {error}", path.display());
         return ExitCode::FAILURE;

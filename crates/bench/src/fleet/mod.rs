@@ -1,0 +1,525 @@
+//! Fleet-scale throughput harness: how many self-measurements and
+//! collection verifications per second the reproduction sustains on the
+//! host.
+//!
+//! The paper's evaluation prices a *single* prover (Figures 6/8, Table 2);
+//! the ROADMAP's north star is millions of unattended devices. This module
+//! drives N provers through their measurement schedules and periodic
+//! collections end to end — the same `Prover`/`Verifier` hot paths the
+//! protocol tests use, with the precomputed [`erasmus_crypto::KeyedMac`]
+//! schedules derived once per device — and reports wall-clock throughput.
+//!
+//! The fleet is partitioned into per-thread **shards** (see [`shard`]): each
+//! scoped `std::thread` worker owns its `(Prover, Verifier)` pairs outright,
+//! staggers their measurement phases within `T_M` via
+//! [`erasmus_swarm::StaggeredSchedule`] (the Section 6 availability
+//! argument), and routes every collection report through its own
+//! [`erasmus_core::VerifierHub`] so the paper's "entire history"
+//! reconstruction runs end to end at fleet scale. Shard results are merged
+//! into one [`FleetReport`]; the per-thread breakdown and the 1→N scaling
+//! sweep (see [`scaling`]) are serialized by the `perfbench` binary into
+//! `BENCH_fleet.json` (schema `erasmus-perfbench/v2`) so successive PRs
+//! accumulate a perf trajectory.
+
+pub mod scaling;
+mod shard;
+
+pub use shard::ShardReport;
+
+use std::time::Duration;
+
+use erasmus_core::VerifierHub;
+use erasmus_crypto::MacAlgorithm;
+use erasmus_sim::SimDuration;
+use erasmus_swarm::StaggeredSchedule;
+
+use shard::Shard;
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated prover devices.
+    pub provers: usize,
+    /// Scheduled self-measurements each prover takes per collection round.
+    pub measurements_per_round: usize,
+    /// Collection rounds: after each, every device's buffer is collected
+    /// and verified.
+    pub rounds: usize,
+    /// Application-memory size hashed by every measurement, in bytes.
+    pub memory_bytes: usize,
+    /// Phase groups for the staggered measurement schedule: devices are
+    /// spread over this many offsets within `T_M`, so at most
+    /// `⌈provers / stagger_groups⌉` devices measure at the same simulated
+    /// instant (Section 6 availability). Clamped to at least 1.
+    pub stagger_groups: usize,
+    /// MAC construction provisioned on every device.
+    pub algorithm: MacAlgorithm,
+}
+
+impl FleetConfig {
+    /// CI-sized run: ≥ 1,000 provers but only a few schedule ticks, so the
+    /// whole sweep finishes in seconds even on a busy runner.
+    pub fn quick(algorithm: MacAlgorithm) -> Self {
+        Self {
+            provers: 1_000,
+            measurements_per_round: 4,
+            rounds: 2,
+            memory_bytes: 1024,
+            stagger_groups: 4,
+            algorithm,
+        }
+    }
+
+    /// Default full-size run.
+    pub fn full(algorithm: MacAlgorithm) -> Self {
+        Self {
+            provers: 4_096,
+            measurements_per_round: 8,
+            rounds: 4,
+            memory_bytes: 4 * 1024,
+            stagger_groups: 4,
+            algorithm,
+        }
+    }
+
+    /// Total measurements the run will produce.
+    pub fn total_measurements(&self) -> u64 {
+        (self.provers * self.measurements_per_round * self.rounds) as u64
+    }
+
+    /// The staggered schedule the run drives its provers with.
+    pub fn schedule(&self) -> StaggeredSchedule {
+        StaggeredSchedule::new(
+            self.provers,
+            self.stagger_groups.max(1),
+            MEASUREMENT_INTERVAL,
+        )
+    }
+}
+
+/// Wall-clock throughput of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The configuration that produced this report.
+    pub config: FleetConfig,
+    /// Worker threads (shards) the fleet was partitioned into.
+    pub threads: usize,
+    /// Self-measurements taken across the fleet.
+    pub measurements_total: u64,
+    /// Individual measurement MACs verified across all collection reports.
+    pub verifications_total: u64,
+    /// Wall-clock time of the measurement phase: the *slowest shard's*
+    /// accumulated measurement time, since shards run concurrently
+    /// (provisioning is excluded; key schedules are derived once).
+    pub measure_wall: Duration,
+    /// Wall-clock time of the collection/verification phase, same
+    /// slowest-shard convention.
+    pub verify_wall: Duration,
+    /// Aggregate *simulated* prover busy time, for cross-checking against
+    /// the paper's cost model.
+    pub simulated_busy: SimDuration,
+    /// Whether every collection round verified as healthy and every report
+    /// was accepted by the history hub (it must: the fleet is never
+    /// infected).
+    pub all_healthy: bool,
+    /// Devices tracked by the merged verifier-side history hub.
+    pub devices_tracked: usize,
+    /// Distinct measurements recorded across all per-device histories.
+    pub history_entries: u64,
+    /// Collection reports folded into the hub across the whole run.
+    pub collections_ingested: u64,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl FleetReport {
+    /// Measurements per wall-clock second.
+    pub fn measurements_per_sec(&self) -> f64 {
+        per_second(self.measurements_total, self.measure_wall)
+    }
+
+    /// Verified measurements per wall-clock second.
+    pub fn verifications_per_sec(&self) -> f64 {
+        per_second(self.verifications_total, self.verify_wall)
+    }
+}
+
+/// Smallest wall time a phase is credited with when computing rates. Quick
+/// runs on fast hosts can complete a phase below timer resolution; dividing
+/// by a raw zero used to report `0.0` throughput into `BENCH_fleet.json`,
+/// which downstream tooling reads as "infinitely slow". Clamping keeps the
+/// rate finite, positive and, at worst, *under*stated.
+const MIN_RATE_WALL: Duration = Duration::from_micros(1);
+
+fn per_second(count: u64, wall: Duration) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    count as f64 / wall.as_secs_f64().max(MIN_RATE_WALL.as_secs_f64())
+}
+
+pub(crate) const MEASUREMENT_INTERVAL: SimDuration = SimDuration::from_secs(10);
+
+/// Single-threaded fleet run: [`run_threaded`] with one shard.
+///
+/// # Panics
+///
+/// Panics if a prover refuses a measurement or a verifier rejects a
+/// response — both would be bugs in the reproduction, not load conditions.
+pub fn run(config: &FleetConfig) -> FleetReport {
+    run_threaded(config, 1)
+}
+
+/// Provisions a sharded fleet and drives it on `threads` scoped worker
+/// threads, timing the measurement and collection/verification phases
+/// separately per shard and merging the shard results.
+///
+/// The partition only changes *which worker* drives a device; every device
+/// performs identical simulated work regardless of `threads`, so
+/// measurement/verification totals and health are deterministic across
+/// thread counts.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a prover refuses a measurement or a
+/// verifier rejects a response — the latter two would be bugs in the
+/// reproduction, not load conditions.
+pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
+    assert!(threads > 0, "at least one worker thread is required");
+    let threads = threads.min(config.provers.max(1));
+    let schedule = config.schedule();
+
+    // Provisioning: per-device keys, precomputed MAC schedules, reference
+    // digests. Deliberately outside the timed sections — this happens once
+    // per device lifetime. The partition is balanced: the remainder is
+    // spread over the first shards, so no worker idles while another owns
+    // two extra devices.
+    let base = config.provers / threads;
+    let remainder = config.provers % threads;
+    let mut start = 0usize;
+    let mut shards: Vec<Shard> = (0..threads)
+        .map(|index| {
+            let size = base + usize::from(index < remainder);
+            let range = start..start + size;
+            start += size;
+            Shard::provision(index, config, &schedule, range)
+        })
+        .collect();
+
+    let shard_reports: Vec<ShardReport> = if shards.len() == 1 {
+        // Keep a single-threaded run literally single-threaded so its
+        // timings carry no spawn/join overhead.
+        vec![shards[0].run(config)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.run(config)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("fleet shard thread panicked"))
+                .collect()
+        })
+    };
+
+    let mut hub = VerifierHub::new();
+    for shard in shards {
+        hub.merge(shard.into_hub());
+    }
+
+    let mut measurements_total = 0u64;
+    let mut verifications_total = 0u64;
+    let mut measure_wall = Duration::ZERO;
+    let mut verify_wall = Duration::ZERO;
+    let mut simulated_busy = SimDuration::ZERO;
+    let mut all_healthy = true;
+    for report in &shard_reports {
+        measurements_total += report.measurements;
+        verifications_total += report.verifications;
+        measure_wall = measure_wall.max(report.measure_wall);
+        verify_wall = verify_wall.max(report.verify_wall);
+        simulated_busy += report.simulated_busy;
+        all_healthy &= report.all_healthy;
+    }
+    all_healthy &= hub.all_healthy() && hub.rejected() == 0;
+
+    FleetReport {
+        config: config.clone(),
+        threads,
+        measurements_total,
+        verifications_total,
+        measure_wall,
+        verify_wall,
+        simulated_busy,
+        all_healthy,
+        devices_tracked: hub.len(),
+        history_entries: hub.total_entries(),
+        collections_ingested: hub.total_collections(),
+        shards: shard_reports,
+    }
+}
+
+/// Renders one report as the JSON object used inside `BENCH_fleet.json`.
+pub fn report_json(report: &FleetReport, indent: &str) -> String {
+    let per_thread: Vec<String> = report
+        .shards
+        .iter()
+        .map(|shard| shard.to_json(&format!("{indent}    ")))
+        .collect();
+    format!(
+        "{indent}{{\n\
+         {indent}  \"algorithm\": \"{alg}\",\n\
+         {indent}  \"provers\": {provers},\n\
+         {indent}  \"measurements_per_round\": {mpr},\n\
+         {indent}  \"rounds\": {rounds},\n\
+         {indent}  \"memory_bytes\": {memory},\n\
+         {indent}  \"stagger_groups\": {groups},\n\
+         {indent}  \"threads\": {threads},\n\
+         {indent}  \"measurements_total\": {mt},\n\
+         {indent}  \"verifications_total\": {vt},\n\
+         {indent}  \"measure_wall_secs\": {mw:.6},\n\
+         {indent}  \"verify_wall_secs\": {vw:.6},\n\
+         {indent}  \"measurements_per_sec\": {mps:.1},\n\
+         {indent}  \"verifications_per_sec\": {vps:.1},\n\
+         {indent}  \"simulated_busy_secs\": {busy:.3},\n\
+         {indent}  \"all_healthy\": {healthy},\n\
+         {indent}  \"devices_tracked\": {tracked},\n\
+         {indent}  \"history_entries\": {entries},\n\
+         {indent}  \"collections_ingested\": {ingested},\n\
+         {indent}  \"per_thread\": [\n{pt}\n{indent}  ]\n\
+         {indent}}}",
+        alg = report.config.algorithm,
+        provers = report.config.provers,
+        mpr = report.config.measurements_per_round,
+        rounds = report.config.rounds,
+        memory = report.config.memory_bytes,
+        groups = report.config.stagger_groups,
+        threads = report.threads,
+        mt = report.measurements_total,
+        vt = report.verifications_total,
+        mw = report.measure_wall.as_secs_f64(),
+        vw = report.verify_wall.as_secs_f64(),
+        mps = report.measurements_per_sec(),
+        vps = report.verifications_per_sec(),
+        busy = report.simulated_busy.as_secs_f64(),
+        healthy = report.all_healthy,
+        tracked = report.devices_tracked,
+        entries = report.history_entries,
+        ingested = report.collections_ingested,
+        pt = per_thread.join(",\n"),
+    )
+}
+
+/// Renders the whole `BENCH_fleet.json` document for a set of per-algorithm
+/// runs sharing one mode label, plus the 1→N scaling sweep.
+pub fn document_json(
+    mode: &str,
+    threads: usize,
+    reports: &[FleetReport],
+    sweep: &[scaling::ScalingPoint],
+) -> String {
+    let provers = reports.first().map_or(0, |r| r.config.provers);
+    let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
+    let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
+    format!(
+        "{{\n  \"schema\": \"erasmus-perfbench/v2\",\n  \"mode\": \"{mode}\",\n  \
+         \"provers\": {provers},\n  \"threads\": {threads},\n  \
+         \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        scaling_entries.join(",\n"),
+    )
+}
+
+/// Renders a human-readable summary table.
+pub fn render(reports: &[FleetReport]) -> String {
+    let mut out = String::from(
+        "Fleet throughput (host wall-clock)\n\
+         algorithm       provers  threads  measurements     meas/s     verifs     verif/s\n",
+    );
+    for report in reports {
+        out.push_str(&format!(
+            "{:<15} {:>7}  {:>7}  {:>12}  {:>9.0}  {:>9}  {:>10.0}\n",
+            report.config.algorithm.to_string(),
+            report.config.provers,
+            report.threads,
+            report.measurements_total,
+            report.measurements_per_sec(),
+            report.verifications_total,
+            report.verifications_per_sec(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasmus_core::DeviceId;
+
+    fn tiny(algorithm: MacAlgorithm) -> FleetConfig {
+        FleetConfig {
+            provers: 8,
+            measurements_per_round: 2,
+            rounds: 2,
+            memory_bytes: 256,
+            stagger_groups: 4,
+            algorithm,
+        }
+    }
+
+    #[test]
+    fn fleet_run_counts_add_up() {
+        let config = tiny(MacAlgorithm::HmacSha256);
+        let report = run(&config);
+        assert_eq!(report.measurements_total, config.total_measurements());
+        assert_eq!(report.measurements_total, 8 * 2 * 2);
+        // Every measurement taken in a round is collected and verified.
+        assert_eq!(report.verifications_total, report.measurements_total);
+        assert!(report.all_healthy);
+        assert!(report.simulated_busy > SimDuration::ZERO);
+        // The hub saw every device and every measurement exactly once.
+        assert_eq!(report.devices_tracked, config.provers);
+        assert_eq!(report.history_entries, report.measurements_total);
+        assert_eq!(
+            report.collections_ingested,
+            (config.provers * config.rounds) as u64
+        );
+    }
+
+    #[test]
+    fn fleet_runs_for_every_algorithm() {
+        for alg in MacAlgorithm::ALL {
+            let report = run(&tiny(alg));
+            assert!(report.all_healthy, "{alg}");
+            assert!(report.measurements_per_sec() > 0.0, "{alg}");
+            assert!(report.verifications_per_sec() > 0.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn threaded_run_matches_single_threaded_totals() {
+        let config = tiny(MacAlgorithm::HmacSha256);
+        let single = run_threaded(&config, 1);
+        let threaded = run_threaded(&config, 4);
+        assert_eq!(threaded.threads, 4);
+        assert_eq!(threaded.shards.len(), 4);
+        assert_eq!(single.measurements_total, threaded.measurements_total);
+        assert_eq!(single.verifications_total, threaded.verifications_total);
+        assert_eq!(single.all_healthy, threaded.all_healthy);
+        assert_eq!(single.devices_tracked, threaded.devices_tracked);
+        assert_eq!(single.history_entries, threaded.history_entries);
+        // Shard totals add up to the fleet totals.
+        let shard_meas: u64 = threaded.shards.iter().map(|s| s.measurements).sum();
+        assert_eq!(shard_meas, threaded.measurements_total);
+        let shard_provers: usize = threaded.shards.iter().map(|s| s.provers).sum();
+        assert_eq!(shard_provers, config.provers);
+    }
+
+    #[test]
+    fn thread_count_clamped_to_fleet_size() {
+        let config = FleetConfig {
+            provers: 3,
+            ..tiny(MacAlgorithm::HmacSha256)
+        };
+        let report = run_threaded(&config, 16);
+        assert_eq!(report.threads, 3);
+        assert!(report.shards.iter().all(|s| s.provers == 1));
+        assert_eq!(report.measurements_total, config.total_measurements());
+    }
+
+    #[test]
+    fn partition_is_balanced_with_no_empty_shard() {
+        let config = FleetConfig {
+            provers: 9,
+            ..tiny(MacAlgorithm::HmacSha256)
+        };
+        let report = run_threaded(&config, 4);
+        let sizes: Vec<usize> = report.shards.iter().map(|s| s.provers).collect();
+        assert_eq!(sizes, vec![3, 2, 2, 2]);
+        assert_eq!(report.measurements_total, config.total_measurements());
+    }
+
+    #[test]
+    fn staggering_spreads_offsets_but_keeps_counts() {
+        let config = tiny(MacAlgorithm::KeyedBlake2s);
+        let schedule = config.schedule();
+        assert_eq!(schedule.groups(), 4);
+        assert_eq!(schedule.max_concurrent(), 2);
+        // Offsets stay inside T_M, so every device still completes the same
+        // number of measurements per round.
+        for device in 0..config.provers {
+            assert!(schedule.offset(device) < MEASUREMENT_INTERVAL);
+        }
+        let report = run(&config);
+        assert_eq!(report.measurements_total, config.total_measurements());
+    }
+
+    #[test]
+    fn per_second_is_positive_even_below_timer_resolution() {
+        // The regression: a quick phase finishing in "zero" wall time used
+        // to serialize measurements_per_sec = 0.0 into BENCH_fleet.json.
+        assert!(per_second(1_000, Duration::ZERO) > 0.0);
+        assert_eq!(per_second(0, Duration::ZERO), 0.0);
+        assert_eq!(per_second(10, Duration::from_secs(2)), 5.0);
+    }
+
+    #[test]
+    fn hub_histories_are_per_device() {
+        let config = tiny(MacAlgorithm::HmacSha256);
+        let report = run(&config);
+        // Each device contributed measurements_per_round × rounds entries;
+        // a cross-device leak would inflate one history and starve another.
+        assert_eq!(
+            report.history_entries,
+            (config.provers * config.measurements_per_round * config.rounds) as u64
+        );
+        assert_eq!(report.devices_tracked, config.provers);
+        let _ = DeviceId::new(0); // device ids are dense 0..provers by construction
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let report = run_threaded(&tiny(MacAlgorithm::KeyedBlake2s), 2);
+        let sweep = vec![scaling::ScalingPoint {
+            threads: 1,
+            measurements_per_sec: report.measurements_per_sec(),
+            verifications_per_sec: report.verifications_per_sec(),
+            speedup: 1.0,
+        }];
+        let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v2\""));
+        assert!(doc.contains("\"mode\": \"test\""));
+        assert!(doc.contains("\"provers\": 8"));
+        assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains("\"measurements_per_sec\""));
+        assert!(doc.contains("\"verifications_per_sec\""));
+        assert!(doc.contains("\"algorithm\": \"Keyed BLAKE2S\""));
+        assert!(doc.contains("\"per_thread\""));
+        assert!(doc.contains("\"shard\": 0"));
+        assert!(doc.contains("\"scaling\""));
+        assert!(doc.contains("\"speedup\": 1.00"));
+        assert!(doc.contains("\"devices_tracked\": 8"));
+        // Balanced braces/brackets — the cheap structural JSON check.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn render_mentions_each_algorithm() {
+        let reports: Vec<FleetReport> = MacAlgorithm::ALL.iter().map(|&a| run(&tiny(a))).collect();
+        let text = render(&reports);
+        for alg in MacAlgorithm::ALL {
+            assert!(text.contains(&alg.to_string()), "{text}");
+        }
+    }
+
+    #[test]
+    fn quick_config_meets_the_fleet_floor() {
+        let quick = FleetConfig::quick(MacAlgorithm::HmacSha256);
+        assert!(quick.provers >= 1_000);
+        let full = FleetConfig::full(MacAlgorithm::HmacSha256);
+        assert!(full.provers >= quick.provers);
+    }
+}

@@ -1,0 +1,201 @@
+//! 1→N thread-scaling sweep.
+//!
+//! Re-runs one [`FleetConfig`] at doubling thread counts (1, 2, 4, …, N) and
+//! records how measurement throughput scales relative to the single-threaded
+//! baseline. The sweep is what turns the committed `BENCH_fleet.json` into a
+//! multi-core scaling record: totals are identical at every thread count
+//! (the partition is work-preserving), only the wall clock moves.
+
+use super::{run_threaded, FleetConfig, FleetReport};
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker threads used for this run.
+    pub threads: usize,
+    /// Measurement throughput at this thread count.
+    pub measurements_per_sec: f64,
+    /// Verification throughput at this thread count.
+    pub verifications_per_sec: f64,
+    /// Measurement throughput relative to the sweep's single-threaded run
+    /// (1.0 for the baseline itself).
+    pub speedup: f64,
+}
+
+impl ScalingPoint {
+    /// Renders the point as one JSON object of the `scaling` array.
+    pub fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{ \"threads\": {threads}, \
+             \"measurements_per_sec\": {mps:.1}, \
+             \"verifications_per_sec\": {vps:.1}, \
+             \"speedup\": {speedup:.2} }}",
+            threads = self.threads,
+            mps = self.measurements_per_sec,
+            vps = self.verifications_per_sec,
+            speedup = self.speedup,
+        )
+    }
+}
+
+/// The thread counts a sweep up to `max_threads` visits: powers of two plus
+/// `max_threads` itself.
+pub fn thread_counts(max_threads: usize) -> Vec<usize> {
+    let max_threads = max_threads.max(1);
+    let mut counts = Vec::new();
+    let mut n = 1usize;
+    while n < max_threads {
+        counts.push(n);
+        n *= 2;
+    }
+    counts.push(max_threads);
+    counts
+}
+
+/// Runs `config` at every thread count of [`thread_counts`] and reports the
+/// scaling trajectory. The sweep asserts the work-preservation invariant:
+/// every run must produce identical measurement/verification totals.
+///
+/// `max_threads` is clamped to the fleet size first (a shard needs at least
+/// one device), so the sweep never times the same effective partition
+/// twice.
+///
+/// # Panics
+///
+/// Panics if a run produces different totals than the single-threaded
+/// baseline — that would mean the shard partition dropped or duplicated
+/// work.
+pub fn sweep(config: &FleetConfig, max_threads: usize) -> Vec<ScalingPoint> {
+    sweep_reusing(config, max_threads, None)
+}
+
+/// Like [`sweep`], but a thread count whose fleet was already run (same
+/// `config`, same effective thread count) reuses `reuse` instead of timing
+/// the identical run again — `perfbench` passes its main per-algorithm
+/// report here, saving one full fleet run per invocation.
+pub fn sweep_reusing(
+    config: &FleetConfig,
+    max_threads: usize,
+    reuse: Option<&FleetReport>,
+) -> Vec<ScalingPoint> {
+    let max_threads = max_threads.min(config.provers.max(1));
+    let mut points: Vec<ScalingPoint> = Vec::new();
+    let mut baseline: Option<FleetReport> = None;
+    for threads in thread_counts(max_threads) {
+        let report = match reuse {
+            Some(done) if done.threads == threads && done.config == *config => done.clone(),
+            _ => run_threaded(config, threads),
+        };
+        if let Some(base) = &baseline {
+            assert_eq!(
+                base.measurements_total, report.measurements_total,
+                "threaded partition changed the measurement total"
+            );
+            assert_eq!(
+                base.verifications_total, report.verifications_total,
+                "threaded partition changed the verification total"
+            );
+        }
+        let base_rate = baseline
+            .get_or_insert_with(|| report.clone())
+            .measurements_per_sec();
+        points.push(ScalingPoint {
+            threads: report.threads,
+            measurements_per_sec: report.measurements_per_sec(),
+            verifications_per_sec: report.verifications_per_sec(),
+            speedup: report.measurements_per_sec() / base_rate,
+        });
+    }
+    points
+}
+
+/// Renders the sweep as a human-readable table.
+pub fn render(points: &[ScalingPoint]) -> String {
+    let mut out = String::from(
+        "Thread scaling (same fleet, 1..N workers)\nthreads     meas/s    verif/s  speedup\n",
+    );
+    for point in points {
+        out.push_str(&format!(
+            "{:>7}  {:>9.0}  {:>9.0}  {:>6.2}x\n",
+            point.threads, point.measurements_per_sec, point.verifications_per_sec, point.speedup,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasmus_crypto::MacAlgorithm;
+
+    #[test]
+    fn thread_counts_double_up_to_max() {
+        assert_eq!(thread_counts(1), vec![1]);
+        assert_eq!(thread_counts(2), vec![1, 2]);
+        assert_eq!(thread_counts(4), vec![1, 2, 4]);
+        assert_eq!(thread_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(thread_counts(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_counts(0), vec![1]);
+    }
+
+    #[test]
+    fn sweep_keeps_totals_and_reports_baseline_speedup() {
+        let config = FleetConfig {
+            provers: 8,
+            measurements_per_round: 2,
+            rounds: 1,
+            memory_bytes: 128,
+            stagger_groups: 2,
+            algorithm: MacAlgorithm::KeyedBlake2s,
+        };
+        let points = sweep(&config, 4);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].threads, 1);
+        assert!((points[0].speedup - 1.0).abs() < 1e-12);
+        for point in &points {
+            assert!(point.measurements_per_sec > 0.0);
+            assert!(point.verifications_per_sec > 0.0);
+            assert!(point.speedup > 0.0);
+        }
+        let text = render(&points);
+        assert!(text.contains("threads"));
+        assert!(text.contains("1.00x"));
+    }
+
+    #[test]
+    fn sweep_clamps_thread_counts_to_fleet_size() {
+        let config = FleetConfig {
+            provers: 2,
+            measurements_per_round: 2,
+            rounds: 1,
+            memory_bytes: 128,
+            stagger_groups: 2,
+            algorithm: MacAlgorithm::HmacSha256,
+        };
+        // 8 requested threads, 2 devices: only 1 and 2 are distinct
+        // partitions; timing 2 twice (as 4 and 8) would skew the record.
+        let points = sweep(&config, 8);
+        let threads: Vec<usize> = points.iter().map(|p| p.threads).collect();
+        assert_eq!(threads, vec![1, 2]);
+    }
+
+    #[test]
+    fn sweep_reuses_an_already_run_report() {
+        let config = FleetConfig {
+            provers: 4,
+            measurements_per_round: 2,
+            rounds: 1,
+            memory_bytes: 128,
+            stagger_groups: 2,
+            algorithm: MacAlgorithm::HmacSha256,
+        };
+        let done = run_threaded(&config, 2);
+        let points = sweep_reusing(&config, 2, Some(&done));
+        assert_eq!(points.len(), 2);
+        // The reused point carries the exact rates of the prior run.
+        let last = points.last().expect("two points");
+        assert_eq!(last.threads, 2);
+        assert!((last.measurements_per_sec - done.measurements_per_sec()).abs() < 1e-9);
+        assert!((last.verifications_per_sec - done.verifications_per_sec()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Per-thread fleet shards.
+//!
+//! [`Shard`] is the unit of parallelism of the fleet harness: a contiguous
+//! slice of the fleet whose `(Prover, Verifier)` pairs are *owned* by one
+//! scoped worker thread, so the hot loops run without any cross-thread
+//! sharing or locking. Devices keep their global fleet index for key
+//! derivation and for their [`StaggeredSchedule`] phase offset, which makes
+//! shard boundaries invisible to the simulated protocol: a device performs
+//! the same measurements at the same simulated instants whether the fleet
+//! runs on one thread or sixteen.
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use erasmus_core::{CollectionRequest, DeviceId, Prover, ProverConfig, Verifier, VerifierHub};
+use erasmus_hw::{DeviceKey, DeviceProfile};
+use erasmus_sim::{SimDuration, SimTime};
+use erasmus_swarm::StaggeredSchedule;
+
+use super::{FleetConfig, MEASUREMENT_INTERVAL};
+
+/// One device of a shard: the protocol pair plus its staggered phase offset
+/// within `T_M`.
+struct ShardDevice {
+    prover: Prover,
+    verifier: Verifier,
+    offset: SimDuration,
+}
+
+/// A worker thread's slice of the fleet.
+pub(crate) struct Shard {
+    index: usize,
+    devices: Vec<ShardDevice>,
+    hub: VerifierHub,
+}
+
+/// What one shard contributed to a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index (0-based, matches spawn order).
+    pub shard: usize,
+    /// Devices driven by this shard.
+    pub provers: usize,
+    /// Self-measurements taken by this shard's devices.
+    pub measurements: u64,
+    /// Measurement MACs verified from this shard's collection reports.
+    pub verifications: u64,
+    /// Wall-clock time this shard spent in measurement phases.
+    pub measure_wall: Duration,
+    /// Wall-clock time this shard spent collecting and verifying.
+    pub verify_wall: Duration,
+    /// Simulated busy time accumulated by this shard's provers.
+    pub simulated_busy: SimDuration,
+    /// Whether every collection round of this shard verified healthy.
+    pub all_healthy: bool,
+}
+
+impl ShardReport {
+    /// Renders the shard as one JSON object of the `per_thread` array.
+    pub fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{ \"shard\": {shard}, \"provers\": {provers}, \
+             \"measurements\": {meas}, \"verifications\": {verif}, \
+             \"measure_wall_secs\": {mw:.6}, \"verify_wall_secs\": {vw:.6}, \
+             \"all_healthy\": {healthy} }}",
+            shard = self.shard,
+            provers = self.provers,
+            meas = self.measurements,
+            verif = self.verifications,
+            mw = self.measure_wall.as_secs_f64(),
+            vw = self.verify_wall.as_secs_f64(),
+            healthy = self.all_healthy,
+        )
+    }
+}
+
+impl Shard {
+    /// Provisions the devices with global fleet indices `range`: per-device
+    /// keys, precomputed MAC schedules, reference digests, phase offsets.
+    pub(crate) fn provision(
+        index: usize,
+        config: &FleetConfig,
+        schedule: &StaggeredSchedule,
+        range: Range<usize>,
+    ) -> Self {
+        let buffer_slots = config.measurements_per_round.max(1);
+        let devices = range
+            .map(|i| {
+                // The device's phase offset goes into its *prover schedule*:
+                // measurements genuinely fire at `offset + k·T_M`, so at any
+                // simulated instant only one stagger group is busy measuring.
+                let prover_config = ProverConfig::builder()
+                    .measurement_interval(MEASUREMENT_INTERVAL)
+                    .buffer_slots(buffer_slots)
+                    .mac_algorithm(config.algorithm)
+                    .phase_offset(schedule.offset(i))
+                    .build()
+                    .expect("fleet prover config is valid");
+                let key = DeviceKey::derive(b"erasmus-fleet", i as u64);
+                let prover = Prover::new(
+                    DeviceId::new(i as u64),
+                    DeviceProfile::msp430_8mhz(config.memory_bytes),
+                    key.clone(),
+                    prover_config,
+                )
+                .expect("fleet prover provisions");
+                let mut verifier = Verifier::new(key, config.algorithm);
+                verifier.learn_reference_image(prover.mcu().app_memory());
+                verifier.set_expected_interval(MEASUREMENT_INTERVAL);
+                ShardDevice {
+                    prover,
+                    verifier,
+                    offset: schedule.offset(i),
+                }
+            })
+            .collect();
+
+        Self {
+            index,
+            devices,
+            hub: VerifierHub::new(),
+        }
+    }
+
+    /// Drives this shard through every collection round.
+    ///
+    /// A device with phase offset `o` measures at `o + k·T_M` and runs to —
+    /// and is collected at — its *own* staggered horizon `round_end + o`,
+    /// so staggering shifts whole phases without changing how many
+    /// measurements a round yields: offsets stay strictly inside `T_M`,
+    /// hence exactly `measurements_per_round` measurements fall into every
+    /// device's collection window regardless of its group.
+    pub(crate) fn run(&mut self, config: &FleetConfig) -> ShardReport {
+        let mut measurements = 0u64;
+        let mut verifications = 0u64;
+        let mut measure_wall = Duration::ZERO;
+        let mut verify_wall = Duration::ZERO;
+        let mut all_healthy = true;
+
+        let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
+        let request = CollectionRequest::latest(config.measurements_per_round);
+        for round in 1..=config.rounds {
+            let round_end = SimTime::ZERO + round_span * round as u64;
+
+            let measure_start = Instant::now();
+            for device in self.devices.iter_mut() {
+                let outcomes = device
+                    .prover
+                    .run_until(round_end + device.offset)
+                    .expect("fleet measurement");
+                measurements += outcomes.len() as u64;
+            }
+            measure_wall += measure_start.elapsed();
+
+            // Only the protocol work (collection + MAC verification) is
+            // timed; hub bookkeeping happens outside the span so
+            // `verifications_per_sec` stays comparable with the pre-hub
+            // trajectory in earlier `BENCH_fleet.json` revisions.
+            let verify_start = Instant::now();
+            let reports: Vec<_> = self
+                .devices
+                .iter_mut()
+                .map(|device| {
+                    let now = round_end + device.offset;
+                    let response = device.prover.handle_collection(&request, now);
+                    device
+                        .verifier
+                        .verify_collection(&response, now)
+                        .expect("fleet collection verifies")
+                })
+                .collect();
+            verify_wall += verify_start.elapsed();
+
+            for report in &reports {
+                verifications += report.measurements().len() as u64;
+                all_healthy &= report.all_valid();
+                all_healthy &= self.hub.ingest(report);
+            }
+        }
+
+        let simulated_busy = self
+            .devices
+            .iter()
+            .map(|device| device.prover.total_busy_time())
+            .fold(SimDuration::ZERO, |acc, busy| acc + busy);
+
+        ShardReport {
+            shard: self.index,
+            provers: self.devices.len(),
+            measurements,
+            verifications,
+            measure_wall,
+            verify_wall,
+            simulated_busy,
+            all_healthy,
+        }
+    }
+
+    /// Surrenders the shard's history hub for merging into the fleet-wide
+    /// view.
+    pub(crate) fn into_hub(self) -> VerifierHub {
+        self.hub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erasmus_crypto::MacAlgorithm;
+
+    fn config() -> FleetConfig {
+        FleetConfig {
+            provers: 6,
+            measurements_per_round: 3,
+            rounds: 2,
+            memory_bytes: 256,
+            stagger_groups: 3,
+            algorithm: MacAlgorithm::HmacSha256,
+        }
+    }
+
+    #[test]
+    fn shard_drives_only_its_range() {
+        let config = config();
+        let schedule = config.schedule();
+        let mut shard = Shard::provision(1, &config, &schedule, 2..5);
+        let report = shard.run(&config);
+        assert_eq!(report.shard, 1);
+        assert_eq!(report.provers, 3);
+        assert_eq!(report.measurements, 3 * 3 * 2);
+        assert_eq!(report.verifications, report.measurements);
+        assert!(report.all_healthy);
+        assert!(report.simulated_busy > SimDuration::ZERO);
+
+        // The hub tracks exactly the shard's devices, under their *global*
+        // fleet ids.
+        let hub = shard.into_hub();
+        assert_eq!(hub.len(), 3);
+        for id in 2..5u64 {
+            let history = hub.history(DeviceId::new(id)).expect("tracked");
+            assert_eq!(history.len(), 3 * 2);
+            assert_eq!(history.collections(), 2);
+        }
+        assert!(hub.history(DeviceId::new(0)).is_none());
+    }
+
+    #[test]
+    fn measurement_instants_are_genuinely_staggered() {
+        let config = config(); // 6 devices, 3 stagger groups over T_M = 10 s
+        let schedule = config.schedule();
+        let mut shard = Shard::provision(0, &config, &schedule, 0..3);
+        shard.run(&config);
+        let hub = shard.into_hub();
+        // Devices 0/1/2 sit in groups 0/1/2: their k-th measurements fire at
+        // 10k, 10k + 3.33…, 10k + 6.66… seconds — never the same instant.
+        let firsts: Vec<_> = (0..3u64)
+            .map(|id| {
+                hub.history(DeviceId::new(id))
+                    .expect("tracked")
+                    .entries()
+                    .next()
+                    .expect("measured")
+                    .timestamp
+            })
+            .collect();
+        for (device, first) in firsts.iter().enumerate() {
+            let expected = SimTime::ZERO + MEASUREMENT_INTERVAL + schedule.offset(device);
+            assert_eq!(*first, expected, "device {device}");
+        }
+        assert!(firsts[0] < firsts[1] && firsts[1] < firsts[2]);
+    }
+
+    #[test]
+    fn empty_shard_is_a_no_op() {
+        let config = config();
+        let schedule = config.schedule();
+        let mut shard = Shard::provision(0, &config, &schedule, 0..0);
+        let report = shard.run(&config);
+        assert_eq!(report.provers, 0);
+        assert_eq!(report.measurements, 0);
+        assert!(report.all_healthy);
+        assert!(shard.into_hub().is_empty());
+    }
+
+    #[test]
+    fn shard_report_json_is_balanced() {
+        let config = config();
+        let schedule = config.schedule();
+        let mut shard = Shard::provision(0, &config, &schedule, 0..2);
+        let text = shard.run(&config).to_json("  ");
+        assert!(text.contains("\"shard\": 0"));
+        assert!(text.contains("\"provers\": 2"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

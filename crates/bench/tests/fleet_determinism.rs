@@ -1,0 +1,89 @@
+//! The sharded fleet engine must be a pure partition of the work: thread
+//! count changes wall-clock, never the simulated protocol. These tests pin
+//! the determinism contract the `BENCH_fleet.json` scaling sweep relies on.
+
+use erasmus_bench::fleet::{self, scaling, FleetConfig};
+use erasmus_crypto::MacAlgorithm;
+
+fn config(algorithm: MacAlgorithm) -> FleetConfig {
+    FleetConfig {
+        provers: 96,
+        measurements_per_round: 3,
+        rounds: 2,
+        memory_bytes: 512,
+        stagger_groups: 4,
+        algorithm,
+    }
+}
+
+#[test]
+fn threaded_and_single_threaded_runs_are_identical() {
+    let config = config(MacAlgorithm::HmacSha256);
+    let single = fleet::run_threaded(&config, 1);
+    let threaded = fleet::run_threaded(&config, 4);
+
+    assert_eq!(single.threads, 1);
+    assert_eq!(threaded.threads, 4);
+    assert_eq!(single.measurements_total, threaded.measurements_total);
+    assert_eq!(single.verifications_total, threaded.verifications_total);
+    assert_eq!(single.all_healthy, threaded.all_healthy);
+    assert!(single.all_healthy);
+
+    // The same invariants hold on the simulated-cost and history axes: the
+    // partition must not change what any device did or what the verifier
+    // side learned.
+    assert_eq!(single.simulated_busy, threaded.simulated_busy);
+    assert_eq!(single.devices_tracked, threaded.devices_tracked);
+    assert_eq!(single.history_entries, threaded.history_entries);
+    assert_eq!(single.collections_ingested, threaded.collections_ingested);
+
+    assert_eq!(single.measurements_total, config.total_measurements());
+    assert_eq!(threaded.shards.len(), 4);
+    let shard_sum: u64 = threaded.shards.iter().map(|s| s.measurements).sum();
+    assert_eq!(shard_sum, threaded.measurements_total);
+}
+
+#[test]
+fn determinism_holds_for_every_algorithm() {
+    for alg in MacAlgorithm::ALL {
+        let config = config(alg);
+        let single = fleet::run_threaded(&config, 1);
+        let threaded = fleet::run_threaded(&config, 3);
+        assert_eq!(
+            single.measurements_total, threaded.measurements_total,
+            "{alg}"
+        );
+        assert_eq!(
+            single.verifications_total, threaded.verifications_total,
+            "{alg}"
+        );
+        assert_eq!(single.all_healthy, threaded.all_healthy, "{alg}");
+    }
+}
+
+#[test]
+fn hub_tracks_every_device_exactly_once_at_fleet_scale() {
+    let config = config(MacAlgorithm::KeyedBlake2s);
+    let report = fleet::run_threaded(&config, 4);
+    // Per-device isolation: 96 devices × 3 measurements × 2 rounds, no
+    // entry leaked into a neighbour's history and none double-counted.
+    assert_eq!(report.devices_tracked, config.provers);
+    assert_eq!(report.history_entries, config.total_measurements());
+    assert_eq!(
+        report.collections_ingested,
+        (config.provers * config.rounds) as u64
+    );
+}
+
+#[test]
+fn scaling_sweep_is_work_preserving() {
+    let config = config(MacAlgorithm::HmacSha256);
+    // sweep() itself asserts identical totals at every thread count.
+    let points = scaling::sweep(&config, 4);
+    assert_eq!(points.len(), 3); // 1, 2, 4
+    assert!((points[0].speedup - 1.0).abs() < 1e-12);
+    for point in &points {
+        assert!(point.measurements_per_sec > 0.0, "rates must stay positive");
+        assert!(point.verifications_per_sec > 0.0);
+    }
+}

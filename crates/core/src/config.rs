@@ -35,6 +35,7 @@ pub struct ProverConfig {
     measurement_interval: SimDuration,
     buffer_slots: usize,
     schedule: ScheduleKind,
+    phase_offset: SimDuration,
 }
 
 impl ProverConfig {
@@ -65,6 +66,13 @@ impl ProverConfig {
         &self.schedule
     }
 
+    /// Phase offset within `T_M`: all scheduled measurement instants are
+    /// shifted by this amount, so a fleet can stagger which devices measure
+    /// at any given simulated time (Section 6 availability).
+    pub fn phase_offset(&self) -> SimDuration {
+        self.phase_offset
+    }
+
     /// Largest collection period that loses no measurement: `n · T_M`.
     pub fn max_safe_collection_period(&self) -> SimDuration {
         self.measurement_interval * self.buffer_slots as u64
@@ -86,6 +94,7 @@ pub struct ProverConfigBuilder {
     measurement_interval: SimDuration,
     buffer_slots: usize,
     schedule: ScheduleKind,
+    phase_offset: SimDuration,
 }
 
 impl Default for ProverConfigBuilder {
@@ -95,6 +104,7 @@ impl Default for ProverConfigBuilder {
             measurement_interval: SimDuration::from_secs(60),
             buffer_slots: 16,
             schedule: ScheduleKind::Regular,
+            phase_offset: SimDuration::ZERO,
         }
     }
 }
@@ -124,13 +134,21 @@ impl ProverConfigBuilder {
         self
     }
 
+    /// Shifts every scheduled measurement instant by `offset` within `T_M`
+    /// (must be strictly smaller than the measurement interval).
+    pub fn phase_offset(mut self, offset: SimDuration) -> Self {
+        self.phase_offset = offset;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] when the measurement interval is
-    /// zero, the buffer has no slots, an irregular schedule has an empty or
-    /// zero-based interval range, or a lenient window factor is below 1.
+    /// zero, the buffer has no slots, the phase offset is not strictly
+    /// inside the measurement interval, an irregular schedule has an empty
+    /// or zero-based interval range, or a lenient window factor is below 1.
     pub fn build(self) -> Result<ProverConfig, Error> {
         if self.measurement_interval.is_zero() {
             return Err(Error::InvalidConfig {
@@ -142,6 +160,15 @@ impl ProverConfigBuilder {
             return Err(Error::InvalidConfig {
                 parameter: "buffer_slots",
                 reason: "the rolling buffer needs at least one slot".to_owned(),
+            });
+        }
+        if self.phase_offset >= self.measurement_interval {
+            return Err(Error::InvalidConfig {
+                parameter: "phase_offset",
+                reason: format!(
+                    "phase offset {} must lie strictly within T_M = {}",
+                    self.phase_offset, self.measurement_interval
+                ),
             });
         }
         match &self.schedule {
@@ -174,6 +201,7 @@ impl ProverConfigBuilder {
             measurement_interval: self.measurement_interval,
             buffer_slots: self.buffer_slots,
             schedule: self.schedule,
+            phase_offset: self.phase_offset,
         })
     }
 }
@@ -208,6 +236,33 @@ mod tests {
         assert_eq!(config.measurement_interval(), SimDuration::from_secs(5));
         assert_eq!(config.buffer_slots(), 4);
         assert!(matches!(config.schedule(), ScheduleKind::Lenient { .. }));
+    }
+
+    #[test]
+    fn phase_offset_defaults_to_zero_and_is_settable() {
+        assert_eq!(ProverConfig::default().phase_offset(), SimDuration::ZERO);
+        let config = ProverConfig::builder()
+            .measurement_interval(SimDuration::from_secs(10))
+            .phase_offset(SimDuration::from_secs(3))
+            .build()
+            .expect("valid config");
+        assert_eq!(config.phase_offset(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn phase_offset_outside_interval_rejected() {
+        let err = ProverConfig::builder()
+            .measurement_interval(SimDuration::from_secs(10))
+            .phase_offset(SimDuration::from_secs(10))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                parameter: "phase_offset",
+                ..
+            }
+        ));
     }
 
     #[test]

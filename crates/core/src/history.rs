@@ -95,24 +95,58 @@ impl DeviceHistory {
     /// verdict unless the new report downgrades them (e.g. a re-collected
     /// measurement now fails verification, which indicates tampering after
     /// the fact).
-    pub fn ingest(&mut self, report: &CollectionReport) {
+    ///
+    /// Reports about a *different* device are rejected wholesale: nothing is
+    /// recorded, [`DeviceHistory::collections`] does not advance, and the
+    /// call returns `false`. Mixing devices' timelines would corrupt the
+    /// reconstruction (a healthy neighbour could mask a compromise window);
+    /// route multi-device fleets through [`crate::VerifierHub`] instead.
+    pub fn ingest(&mut self, report: &CollectionReport) -> bool {
+        if report.device() != self.device {
+            return false;
+        }
         self.collections += 1;
         for vm in report.measurements() {
-            let entry = HistoryEntry {
+            self.upsert(HistoryEntry {
                 timestamp: vm.measurement.timestamp(),
                 verdict: vm.verdict,
                 collected_at: report.collected_at(),
-            };
-            self.entries
-                .entry(entry.timestamp)
-                .and_modify(|existing| {
-                    if severity(vm.verdict) > severity(existing.verdict) {
-                        existing.verdict = vm.verdict;
-                        existing.collected_at = report.collected_at();
-                    }
-                })
-                .or_insert(entry);
+            });
         }
+        true
+    }
+
+    /// Records one entry under the worst-verdict-wins rule shared by
+    /// [`DeviceHistory::ingest`] and [`DeviceHistory::merge_from`]: a known
+    /// timestamp keeps its verdict unless the incoming one is more alarming.
+    fn upsert(&mut self, entry: HistoryEntry) {
+        self.entries
+            .entry(entry.timestamp)
+            .and_modify(|existing| {
+                if severity(entry.verdict) > severity(existing.verdict) {
+                    existing.verdict = entry.verdict;
+                    existing.collected_at = entry.collected_at;
+                }
+            })
+            .or_insert(entry);
+    }
+
+    /// Merges another history of the *same* device into this one, entry by
+    /// entry, using the same worst-verdict-wins rule as
+    /// [`DeviceHistory::ingest`]. Collection counts are summed.
+    ///
+    /// Returns `false` (and changes nothing) when `other` belongs to a
+    /// different device. Used by [`crate::VerifierHub::merge`] to combine the
+    /// per-shard hubs of a partitioned fleet run.
+    pub fn merge_from(&mut self, other: &DeviceHistory) -> bool {
+        if other.device != self.device {
+            return false;
+        }
+        self.collections += other.collections;
+        for entry in other.entries.values() {
+            self.upsert(entry.clone());
+        }
+        true
     }
 
     /// All entries in timestamp order.
@@ -244,7 +278,10 @@ mod tests {
         let report = verifier
             .verify_collection(&response, SimTime::from_secs(at_secs))
             .expect("report");
-        history.ingest(&report);
+        assert!(
+            history.ingest(&report),
+            "report matches the history's device"
+        );
     }
 
     #[test]
@@ -294,6 +331,52 @@ mod tests {
         assert_eq!(spans[1].verdict, MeasurementVerdict::Compromised);
         assert_eq!(spans[1].start, SimTime::from_secs(80));
         assert_eq!(spans[1].end, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn wrong_device_reports_are_rejected() {
+        let (mut prover, mut verifier) = provision();
+        prover
+            .run_until(SimTime::from_secs(40))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let report = verifier
+            .verify_collection(&response, SimTime::from_secs(40))
+            .expect("report");
+
+        // The prover is device 1; this history tracks device 2.
+        let mut other = DeviceHistory::new(DeviceId::new(2));
+        assert!(!other.ingest(&report));
+        assert!(other.is_empty(), "rejected report must record nothing");
+        assert_eq!(other.collections(), 0, "rejected report must not count");
+
+        // The right history still accepts it.
+        let mut own = DeviceHistory::new(DeviceId::new(1));
+        assert!(own.ingest(&report));
+        assert_eq!(own.len(), 4);
+        assert_eq!(own.collections(), 1);
+    }
+
+    #[test]
+    fn merge_from_combines_same_device_histories() {
+        let (mut prover, mut verifier) = provision();
+        let mut first = DeviceHistory::new(DeviceId::new(1));
+        collect_into(&mut first, &mut prover, &mut verifier, 60, 6);
+
+        let mut second = DeviceHistory::new(DeviceId::new(1));
+        collect_into(&mut second, &mut prover, &mut verifier, 120, 6);
+
+        assert!(first.merge_from(&second));
+        assert_eq!(first.len(), 12); // t = 10..120, disjoint halves
+        assert_eq!(first.collections(), 2);
+        assert_eq!(first.largest_gap(), Some(SimDuration::from_secs(10)));
+
+        // Device mismatch leaves the target untouched.
+        let stranger = DeviceHistory::new(DeviceId::new(7));
+        assert!(!first.merge_from(&stranger));
+        assert_eq!(first.len(), 12);
+        assert_eq!(first.collections(), 2);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Verifier-side history hub: per-device timelines for a whole fleet.
+//!
+//! A single [`crate::DeviceHistory`] reconstructs one device's state
+//! timeline; an operator of an unattended swarm (Section 6) runs collections
+//! against *thousands* of devices. [`VerifierHub`] is the map in front of
+//! those histories: every [`CollectionReport`] produced during a run is
+//! routed to the history of the device it is about, so the paper's "entire
+//! history" property holds fleet-wide — and cross-device mixups are caught
+//! instead of silently corrupting a neighbour's timeline.
+//!
+//! Hubs are cheap to create per worker/shard and can be [`merged`] back into
+//! one fleet-wide view, which is how the parallel fleet harness in
+//! `erasmus-bench` combines its per-thread shards.
+//!
+//! [`merged`]: VerifierHub::merge
+
+use std::collections::BTreeMap;
+
+use crate::history::DeviceHistory;
+use crate::ids::DeviceId;
+use crate::report::CollectionReport;
+
+/// Per-device [`DeviceHistory`] map covering a fleet.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::{DeviceId, VerifierHub};
+///
+/// let hub = VerifierHub::new();
+/// assert!(hub.is_empty());
+/// assert!(hub.history(DeviceId::new(1)).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifierHub {
+    histories: BTreeMap<DeviceId, DeviceHistory>,
+    ingested: u64,
+    rejected: u64,
+}
+
+impl VerifierHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures a (possibly empty) history exists for `device`, so that a
+    /// fleet roster is visible even before its first collection.
+    pub fn register(&mut self, device: DeviceId) {
+        self.histories
+            .entry(device)
+            .or_insert_with(|| DeviceHistory::new(device));
+    }
+
+    /// Routes a collection report to the history of the device it is about,
+    /// creating that history on first contact.
+    ///
+    /// Returns `false` if the per-device history rejected the report (the
+    /// [`DeviceHistory::ingest`] device-ID cross-check failed — impossible
+    /// through this path unless the map was tampered with, but counted in
+    /// [`VerifierHub::rejected`] as a defence-in-depth signal).
+    pub fn ingest(&mut self, report: &CollectionReport) -> bool {
+        let history = self
+            .histories
+            .entry(report.device())
+            .or_insert_with(|| DeviceHistory::new(report.device()));
+        let accepted = history.ingest(report);
+        if accepted {
+            self.ingested += 1;
+        } else {
+            self.rejected += 1;
+        }
+        accepted
+    }
+
+    /// The history of one device, if any report (or registration) mentioned
+    /// it.
+    pub fn history(&self, device: DeviceId) -> Option<&DeviceHistory> {
+        self.histories.get(&device)
+    }
+
+    /// Number of devices tracked.
+    pub fn len(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Whether no device is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.histories.is_empty()
+    }
+
+    /// Iterator over the tracked histories in device order.
+    pub fn histories(&self) -> impl Iterator<Item = &DeviceHistory> {
+        self.histories.values()
+    }
+
+    /// Reports successfully folded in across all devices.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Reports rejected by the per-device device-ID cross-check.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total collection reports recorded across all device histories.
+    pub fn total_collections(&self) -> u64 {
+        self.histories.values().map(|h| h.collections()).sum()
+    }
+
+    /// Total distinct measurements recorded across all device histories.
+    pub fn total_entries(&self) -> u64 {
+        self.histories.values().map(|h| h.len() as u64).sum()
+    }
+
+    /// Devices whose timeline contains at least one non-healthy measurement,
+    /// in device order.
+    pub fn compromised_devices(&self) -> Vec<DeviceId> {
+        self.histories
+            .values()
+            .filter(|h| h.first_compromise().is_some())
+            .map(|h| h.device())
+            .collect()
+    }
+
+    /// Whether every tracked device's timeline is entirely healthy.
+    pub fn all_healthy(&self) -> bool {
+        self.histories
+            .values()
+            .all(|h| h.first_compromise().is_none())
+    }
+
+    /// Absorbs another hub: disjoint devices are moved over wholesale,
+    /// overlapping devices are combined entry-by-entry via
+    /// [`DeviceHistory::merge_from`]. Ingestion counters are summed.
+    pub fn merge(&mut self, other: VerifierHub) {
+        self.ingested += other.ingested;
+        self.rejected += other.rejected;
+        for (device, history) in other.histories {
+            match self.histories.get_mut(&device) {
+                Some(existing) => {
+                    let merged = existing.merge_from(&history);
+                    debug_assert!(merged, "map key always matches history device");
+                }
+                None => {
+                    self.histories.insert(device, history);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProverConfig;
+    use crate::protocol::CollectionRequest;
+    use crate::prover::Prover;
+    use crate::report::MeasurementVerdict;
+    use crate::verifier::Verifier;
+    use erasmus_crypto::MacAlgorithm;
+    use erasmus_hw::{DeviceKey, DeviceProfile};
+    use erasmus_sim::{SimDuration, SimTime};
+
+    fn provision(id: u64) -> (Prover, Verifier) {
+        let key = DeviceKey::derive(b"hub-test", id);
+        let config = ProverConfig::builder()
+            .measurement_interval(SimDuration::from_secs(10))
+            .buffer_slots(16)
+            .build()
+            .expect("valid config");
+        let prover = Prover::new(
+            DeviceId::new(id),
+            DeviceProfile::msp430_8mhz(512),
+            key.clone(),
+            config,
+        )
+        .expect("provisioning");
+        let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
+        verifier.learn_reference_image(prover.mcu().app_memory());
+        verifier.set_expected_interval(SimDuration::from_secs(10));
+        (prover, verifier)
+    }
+
+    fn collect(
+        prover: &mut Prover,
+        verifier: &mut Verifier,
+        at_secs: u64,
+        k: usize,
+    ) -> CollectionReport {
+        prover
+            .run_until(SimTime::from_secs(at_secs))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(k), SimTime::from_secs(at_secs));
+        verifier
+            .verify_collection(&response, SimTime::from_secs(at_secs))
+            .expect("report")
+    }
+
+    #[test]
+    fn routes_reports_to_per_device_histories() {
+        let mut hub = VerifierHub::new();
+        for id in 0..4u64 {
+            let (mut prover, mut verifier) = provision(id);
+            let report = collect(&mut prover, &mut verifier, 40, 4);
+            assert!(hub.ingest(&report));
+        }
+        assert_eq!(hub.len(), 4);
+        assert_eq!(hub.ingested(), 4);
+        assert_eq!(hub.rejected(), 0);
+        assert_eq!(hub.total_collections(), 4);
+        assert_eq!(hub.total_entries(), 16);
+        assert!(hub.all_healthy());
+        for id in 0..4u64 {
+            let history = hub.history(DeviceId::new(id)).expect("tracked");
+            assert_eq!(history.device(), DeviceId::new(id));
+            assert_eq!(history.len(), 4);
+        }
+    }
+
+    #[test]
+    fn register_makes_silent_devices_visible() {
+        let mut hub = VerifierHub::new();
+        hub.register(DeviceId::new(9));
+        assert_eq!(hub.len(), 1);
+        let history = hub.history(DeviceId::new(9)).expect("registered");
+        assert!(history.is_empty());
+        assert!(hub.all_healthy());
+    }
+
+    #[test]
+    fn compromised_device_is_singled_out() {
+        let mut hub = VerifierHub::new();
+        let (mut healthy_p, mut healthy_v) = provision(1);
+        assert!(hub.ingest(&collect(&mut healthy_p, &mut healthy_v, 40, 4)));
+
+        let (mut sick_p, mut sick_v) = provision(2);
+        sick_p.run_until(SimTime::from_secs(20)).expect("run");
+        sick_p
+            .mcu_mut()
+            .write_app_memory(0, b"implant")
+            .expect("infect");
+        assert!(hub.ingest(&collect(&mut sick_p, &mut sick_v, 40, 4)));
+
+        assert!(!hub.all_healthy());
+        assert_eq!(hub.compromised_devices(), vec![DeviceId::new(2)]);
+        let history = hub.history(DeviceId::new(2)).expect("tracked");
+        assert!(history.count(MeasurementVerdict::Compromised) >= 1);
+        // The healthy neighbour's timeline is untouched.
+        let neighbour = hub.history(DeviceId::new(1)).expect("tracked");
+        assert_eq!(neighbour.count(MeasurementVerdict::Healthy), 4);
+        assert!(neighbour.first_compromise().is_none());
+    }
+
+    #[test]
+    fn merge_combines_disjoint_and_overlapping_hubs() {
+        // Shard A: devices 0 and 1 (first collection window).
+        let mut a = VerifierHub::new();
+        // Shard B: devices 1 (second window) and 2.
+        let mut b = VerifierHub::new();
+
+        let (mut p0, mut v0) = provision(0);
+        assert!(a.ingest(&collect(&mut p0, &mut v0, 40, 4)));
+        let (mut p1, mut v1) = provision(1);
+        assert!(a.ingest(&collect(&mut p1, &mut v1, 40, 4)));
+        assert!(b.ingest(&collect(&mut p1, &mut v1, 80, 4)));
+        let (mut p2, mut v2) = provision(2);
+        assert!(b.ingest(&collect(&mut p2, &mut v2, 40, 4)));
+
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.ingested(), 4);
+        assert_eq!(a.total_collections(), 4);
+        // Device 1 got both windows: t = 10..40 and t = 50..80.
+        let overlapping = a.history(DeviceId::new(1)).expect("tracked");
+        assert_eq!(overlapping.len(), 8);
+        assert_eq!(overlapping.collections(), 2);
+    }
+}

@@ -29,6 +29,8 @@
 //!   schedules.
 //! * [`CollectionRequest`] / [`OnDemandRequest`] — the ERASMUS (Figure 2)
 //!   and ERASMUS+OD (Figure 4) protocols.
+//! * [`DeviceHistory`] / [`VerifierHub`] — the reconstructed per-device
+//!   state timeline and the fleet-wide map of such timelines.
 //! * [`QoaParams`] — Quality of Attestation analytics.
 //! * [`Malware`] / [`Scenario`] — the threat models and the discrete-event
 //!   scenario runner used by the security experiments.
@@ -74,6 +76,7 @@ pub mod config;
 pub mod encoding;
 pub mod error;
 pub mod history;
+pub mod hub;
 pub mod ids;
 pub mod malware;
 pub mod measurement;
@@ -93,6 +96,7 @@ pub use encoding::{
 };
 pub use error::Error;
 pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
+pub use hub::VerifierHub;
 pub use ids::DeviceId;
 pub use malware::{Malware, MalwareBehavior, TamperStrategy};
 pub use measurement::{Measurement, MemoryDigest, DIGEST_LEN, MAC_INPUT_LEN};

@@ -101,10 +101,11 @@ impl Prover {
         key: DeviceKey,
         config: ProverConfig,
     ) -> Result<Self, Error> {
-        let scheduler = MeasurementScheduler::new(
+        let scheduler = MeasurementScheduler::new_with_phase(
             config.schedule().clone(),
             config.measurement_interval(),
             key.as_bytes(),
+            config.phase_offset(),
         );
         let buffer = MeasurementBuffer::new(config.buffer_slots(), config.measurement_interval());
         let keyed = config.mac_algorithm().with_key(key.as_bytes());

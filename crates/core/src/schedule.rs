@@ -66,6 +66,10 @@ impl fmt::Display for ScheduleKind {
 pub struct MeasurementScheduler {
     kind: ScheduleKind,
     interval: SimDuration,
+    /// Phase offset within `T_M`: every due time is shifted by this amount,
+    /// so a fleet can stagger its devices' measurement instants (Section 6
+    /// availability — see `erasmus_swarm::StaggeredSchedule`).
+    phase: SimDuration,
     drbg: HmacDrbg,
     next_due: SimTime,
     /// Nominal due time of the pending measurement (lenient schedules only);
@@ -89,7 +93,27 @@ impl MeasurementScheduler {
     /// `lower >= upper`, or if a lenient schedule has `window_factor < 1`.
     /// Use [`crate::ProverConfig`] for error-returning validation.
     pub fn new(kind: ScheduleKind, interval: SimDuration, key: &[u8]) -> Self {
+        Self::new_with_phase(kind, interval, key, SimDuration::ZERO)
+    }
+
+    /// Creates a scheduler whose due times are all shifted by `phase` within
+    /// `T_M`: the first regular measurement fires at `T_M + phase` and every
+    /// subsequent one `T_M` later, so devices with distinct phases never
+    /// measure at the same simulated instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`MeasurementScheduler::new`], and additionally if
+    /// `phase >= interval` — a phase of a full interval or more would skip
+    /// measurement windows instead of staggering them.
+    pub fn new_with_phase(
+        kind: ScheduleKind,
+        interval: SimDuration,
+        key: &[u8],
+        phase: SimDuration,
+    ) -> Self {
         assert!(!interval.is_zero(), "measurement interval must be non-zero");
+        assert!(phase < interval, "phase offset must lie within T_M");
         if let ScheduleKind::Irregular { lower, upper } = &kind {
             assert!(lower < upper, "irregular schedule requires lower < upper");
             assert!(!lower.is_zero(), "irregular lower bound must be non-zero");
@@ -100,6 +124,7 @@ impl MeasurementScheduler {
         let mut scheduler = Self {
             kind,
             interval,
+            phase,
             drbg: HmacDrbg::new(key, b"erasmus-irregular-schedule"),
             next_due: SimTime::ZERO,
             nominal_due: SimTime::ZERO,
@@ -112,13 +137,14 @@ impl MeasurementScheduler {
     }
 
     fn first_due(&mut self) -> SimTime {
-        match &self.kind {
+        let base = match &self.kind {
             ScheduleKind::Regular | ScheduleKind::Lenient { .. } => SimTime::ZERO + self.interval,
             ScheduleKind::Irregular { lower, upper } => {
                 let nanos = self.drbg.next_in_range(lower.as_nanos(), upper.as_nanos());
                 SimTime::ZERO + SimDuration::from_nanos(nanos)
             }
-        }
+        };
+        base + self.phase
     }
 
     /// The scheduling policy.
@@ -129,6 +155,12 @@ impl MeasurementScheduler {
     /// The nominal measurement interval `T_M`.
     pub fn interval(&self) -> SimDuration {
         self.interval
+    }
+
+    /// The phase offset within `T_M` (zero unless built with
+    /// [`MeasurementScheduler::new_with_phase`]).
+    pub fn phase(&self) -> SimDuration {
+        self.phase
     }
 
     /// When the next measurement is due.
@@ -166,9 +198,13 @@ impl MeasurementScheduler {
                 self.next_due = now + SimDuration::from_nanos(nanos);
             }
             ScheduleKind::Lenient { .. } => {
-                // The next nominal measurement is at the next multiple of T_M.
-                let periods = now.as_nanos() / self.interval.as_nanos() + 1;
-                self.nominal_due = SimTime::from_nanos(periods * self.interval.as_nanos());
+                // The next nominal measurement is at the next multiple of
+                // T_M past the phase offset.
+                let origin = SimTime::ZERO + self.phase;
+                let since_origin = now.saturating_duration_since(origin);
+                let periods = since_origin.as_nanos() / self.interval.as_nanos() + 1;
+                self.nominal_due =
+                    origin + SimDuration::from_nanos(periods * self.interval.as_nanos());
                 self.next_due = self.nominal_due;
             }
         }
@@ -216,6 +252,58 @@ mod tests {
         s.mark_completed(SimTime::from_secs(20));
         assert_eq!(s.next_due(), SimTime::from_secs(30));
         assert_eq!(s.completed(), 2);
+    }
+
+    #[test]
+    fn phase_offset_staggers_regular_schedule() {
+        let phase = SimDuration::from_secs(3);
+        let mut s = MeasurementScheduler::new_with_phase(ScheduleKind::Regular, TM, &KEY, phase);
+        assert_eq!(s.phase(), phase);
+        assert_eq!(s.next_due(), SimTime::from_secs(13));
+        s.mark_completed(SimTime::from_secs(13));
+        assert_eq!(s.next_due(), SimTime::from_secs(23));
+        // The catch-up path stays phase-aligned.
+        s.mark_completed(SimTime::from_secs(47));
+        assert_eq!(s.next_due(), SimTime::from_secs(53));
+    }
+
+    #[test]
+    fn phase_offset_staggers_lenient_schedule() {
+        let phase = SimDuration::from_secs(4);
+        let mut s = MeasurementScheduler::new_with_phase(
+            ScheduleKind::Lenient { window_factor: 2.0 },
+            TM,
+            &KEY,
+            phase,
+        );
+        assert_eq!(s.next_due(), SimTime::from_secs(14));
+        s.mark_completed(SimTime::from_secs(14));
+        assert_eq!(s.next_due(), SimTime::from_secs(24));
+        let deferred = s.defer(SimTime::from_secs(24)).expect("deferral granted");
+        assert_eq!(deferred, SimTime::from_secs(34));
+    }
+
+    #[test]
+    fn zero_phase_is_the_plain_schedule() {
+        let mut plain = MeasurementScheduler::new(ScheduleKind::Regular, TM, &KEY);
+        let mut phased = MeasurementScheduler::new_with_phase(
+            ScheduleKind::Regular,
+            TM,
+            &KEY,
+            SimDuration::ZERO,
+        );
+        for _ in 0..5 {
+            assert_eq!(plain.next_due(), phased.next_due());
+            let due = plain.next_due();
+            plain.mark_completed(due);
+            phased.mark_completed(due);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase offset must lie within T_M")]
+    fn phase_of_a_full_interval_panics() {
+        let _ = MeasurementScheduler::new_with_phase(ScheduleKind::Regular, TM, &KEY, TM);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Fleet-scale exercise of the verifier-side history hub: many devices, many
+//! collection rounds, strict per-device isolation — the path where a missing
+//! device-ID check in `DeviceHistory::ingest` would silently cross-pollinate
+//! timelines.
+
+use erasmus_core::{
+    CollectionReport, CollectionRequest, DeviceHistory, DeviceId, MeasurementVerdict, Prover,
+    ProverConfig, Verifier, VerifierHub,
+};
+use erasmus_crypto::MacAlgorithm;
+use erasmus_hw::{DeviceKey, DeviceProfile};
+use erasmus_sim::{SimDuration, SimTime};
+
+const INTERVAL: SimDuration = SimDuration::from_secs(10);
+const DEVICES: u64 = 32;
+const ROUNDS: u64 = 3;
+const PER_ROUND: usize = 4;
+
+fn provision(id: u64) -> (Prover, Verifier) {
+    let key = DeviceKey::derive(b"hub-fleet-test", id);
+    let config = ProverConfig::builder()
+        .measurement_interval(INTERVAL)
+        .buffer_slots(PER_ROUND)
+        .build()
+        .expect("valid config");
+    let prover = Prover::new(
+        DeviceId::new(id),
+        DeviceProfile::msp430_8mhz(256),
+        key.clone(),
+        config,
+    )
+    .expect("provisioning");
+    let mut verifier = Verifier::new(key, MacAlgorithm::HmacSha256);
+    verifier.learn_reference_image(prover.mcu().app_memory());
+    verifier.set_expected_interval(INTERVAL);
+    (prover, verifier)
+}
+
+fn collect(prover: &mut Prover, verifier: &mut Verifier, at: SimTime) -> CollectionReport {
+    prover.run_until(at).expect("measurements");
+    let response = prover.handle_collection(&CollectionRequest::latest(PER_ROUND), at);
+    verifier.verify_collection(&response, at).expect("report")
+}
+
+#[test]
+fn hub_keeps_per_device_histories_isolated_across_a_fleet() {
+    let mut fleet: Vec<(Prover, Verifier)> = (0..DEVICES).map(provision).collect();
+    let mut hub = VerifierHub::new();
+
+    let round_span = INTERVAL * PER_ROUND as u64;
+    for round in 1..=ROUNDS {
+        let horizon = SimTime::ZERO + round_span * round;
+        for (prover, verifier) in fleet.iter_mut() {
+            assert!(hub.ingest(&collect(prover, verifier, horizon)));
+        }
+    }
+
+    assert_eq!(hub.len(), DEVICES as usize);
+    assert_eq!(hub.ingested(), DEVICES * ROUNDS);
+    assert_eq!(hub.rejected(), 0);
+    assert_eq!(hub.total_collections(), DEVICES * ROUNDS);
+    // Every device owns exactly its own PER_ROUND × ROUNDS measurements; a
+    // cross-device leak would inflate one history and starve another.
+    assert_eq!(hub.total_entries(), DEVICES * ROUNDS * PER_ROUND as u64);
+    for id in 0..DEVICES {
+        let history = hub.history(DeviceId::new(id)).expect("tracked");
+        assert_eq!(history.device(), DeviceId::new(id));
+        assert_eq!(history.len(), ROUNDS as usize * PER_ROUND);
+        assert_eq!(history.collections(), ROUNDS);
+        assert_eq!(
+            history.count(MeasurementVerdict::Healthy),
+            ROUNDS as usize * PER_ROUND
+        );
+        assert_eq!(history.largest_gap(), Some(INTERVAL));
+    }
+    assert!(hub.all_healthy());
+    assert!(hub.compromised_devices().is_empty());
+}
+
+#[test]
+fn one_compromised_device_does_not_taint_its_neighbours() {
+    let mut fleet: Vec<(Prover, Verifier)> = (0..8).map(provision).collect();
+    let mut hub = VerifierHub::new();
+
+    // Device 5 picks up a persistent implant before the collection round.
+    fleet[5].0.run_until(SimTime::from_secs(15)).expect("run");
+    fleet[5]
+        .0
+        .mcu_mut()
+        .write_app_memory(0, b"implant")
+        .expect("infect");
+
+    let horizon = SimTime::ZERO + INTERVAL * PER_ROUND as u64;
+    for (prover, verifier) in fleet.iter_mut() {
+        assert!(hub.ingest(&collect(prover, verifier, horizon)));
+    }
+
+    assert_eq!(hub.compromised_devices(), vec![DeviceId::new(5)]);
+    assert!(!hub.all_healthy());
+    let sick = hub.history(DeviceId::new(5)).expect("tracked");
+    assert_eq!(sick.first_compromise(), Some(SimTime::from_secs(20)));
+    for id in (0..8).filter(|&id| id != 5) {
+        let healthy = hub.history(DeviceId::new(id)).expect("tracked");
+        assert!(healthy.first_compromise().is_none(), "device {id} tainted");
+        assert_eq!(healthy.count(MeasurementVerdict::Healthy), PER_ROUND);
+    }
+}
+
+#[test]
+fn direct_history_rejects_a_neighbours_report() {
+    // The regression the hub protects against: feeding device 1's report
+    // into device 0's history must be a no-op, not a silent merge.
+    let (mut p0, mut v0) = provision(0);
+    let (mut p1, mut v1) = provision(1);
+    let at = SimTime::ZERO + INTERVAL * PER_ROUND as u64;
+    let own = collect(&mut p0, &mut v0, at);
+    let foreign = collect(&mut p1, &mut v1, at);
+
+    let mut history = DeviceHistory::new(DeviceId::new(0));
+    assert!(history.ingest(&own));
+    assert!(!history.ingest(&foreign));
+    assert_eq!(history.len(), PER_ROUND);
+    assert_eq!(history.collections(), 1);
+}
