@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate an `erasmus-perfbench/v3` fleet report.
+
+Usage:
+    validate_perfbench.py REPORT.json [--lossless]
+                          [--expect-seed N] [--expect-loss P]
+
+Checks the structural invariants every v3 document must satisfy (rates
+positive, per-thread sums consistent, delivered + dropped == attempted,
+hub ingestion == delivered, non-negative on-demand latency percentiles,
+scaling sweep well-formed). With `--lossless` it additionally requires a
+perfect delivery record; with `--expect-loss` it requires that the lossy
+network actually dropped something.
+"""
+
+import argparse
+import json
+import sys
+
+
+def validate(path: str, lossless: bool, expect_seed, expect_loss) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+
+    assert doc["schema"] == "erasmus-perfbench/v3", doc["schema"]
+    assert doc["provers"] >= 1000, doc["provers"]
+    assert doc["threads"] >= 2, doc["threads"]
+    assert isinstance(doc["seed"], int), doc["seed"]
+    if expect_seed is not None:
+        assert doc["seed"] == expect_seed, (doc["seed"], expect_seed)
+
+    for result in doc["results"]:
+        # Non-positive rates mean the sub-resolution clamp regressed.
+        assert result["measurements_per_sec"] > 0, result
+        assert result["verifications_per_sec"] > 0, result
+        assert result["all_healthy"], result
+        # A device whose every collection was dropped never reaches the hub,
+        # so only a lossless run is guaranteed full coverage.
+        assert result["devices_tracked"] <= result["provers"], result
+        if lossless:
+            assert result["devices_tracked"] == result["provers"], result
+        assert result["seed"] == doc["seed"], result
+
+        network = result["network"]
+        assert 0.0 <= network["loss"] <= 1.0, network
+        assert network["latency_ms"] >= 0 and network["jitter_ms"] >= 0, network
+        if expect_loss is not None:
+            assert network["loss"] == expect_loss, (network, expect_loss)
+
+        collections = result["collections"]
+        attempted = collections["attempted"]
+        delivered = collections["delivered"]
+        dropped = collections["dropped"]
+        assert delivered + dropped == attempted, collections
+        assert result["collections_ingested"] == delivered, result
+        assert result["hub_batches"] >= 1, result
+        assert 1 <= result["largest_batch"] <= delivered, result
+        if lossless:
+            assert dropped == 0, collections
+            assert result["history_entries"] == result["measurements_total"], result
+        if expect_loss:
+            assert dropped > 0, "lossy run dropped nothing — loss knob broken?"
+
+        on_demand = result["on_demand"]
+        assert on_demand["completed"] <= on_demand["attempted"], on_demand
+        for key in ("latency_ms_p50", "latency_ms_p90", "latency_ms_p99"):
+            assert on_demand[key] >= 0, on_demand
+        assert on_demand["latency_ms_p50"] <= on_demand["latency_ms_p99"], on_demand
+
+        shards = result["per_thread"]
+        assert len(shards) == result["threads"], result
+        assert sum(s["measurements"] for s in shards) == result["measurements_total"]
+        assert sum(s["provers"] for s in shards) == result["provers"]
+        assert sum(s["collections_attempted"] for s in shards) == attempted
+        assert sum(s["collections_delivered"] for s in shards) == delivered
+        assert all(s["all_healthy"] for s in shards), result
+
+    scaling = doc["scaling"]
+    assert scaling, "scaling sweep missing"
+    assert scaling[0]["threads"] == 1, scaling
+    assert scaling[-1]["threads"] == doc["threads"], scaling
+    for point in scaling:
+        assert point["measurements_per_sec"] > 0, point
+        assert point["verifications_per_sec"] > 0, point
+        assert point["speedup"] > 0, point
+
+    print(
+        f"ok: {path}: {len(doc['results'])} algorithms, {doc['provers']} provers, "
+        f"{doc['threads']} threads, seed {doc['seed']}, {len(scaling)} scaling points"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--lossless", action="store_true")
+    parser.add_argument("--expect-seed", type=int, default=None)
+    parser.add_argument("--expect-loss", type=float, default=None)
+    args = parser.parse_args()
+    validate(args.report, args.lossless, args.expect_seed, args.expect_loss)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,12 @@
 //! `perfbench` — fleet-scale throughput harness.
 //!
 //! Simulates N provers × scheduled self-measurements × periodic
-//! collections for every MAC algorithm — partitioned over worker threads —
-//! prints a throughput summary, runs a 1→N thread-scaling sweep and writes
-//! `BENCH_fleet.json` (schema `erasmus-perfbench/v2`) at the repository
-//! root so successive PRs have a perf trajectory to compare against.
+//! collections for every MAC algorithm — partitioned over worker threads,
+//! each driving an event-driven timeline with an optional lossy network,
+//! device churn and on-demand traffic — prints a throughput summary, runs a
+//! 1→N thread-scaling sweep and writes `BENCH_fleet.json` (schema
+//! `erasmus-perfbench/v3`) at the repository root so successive PRs have a
+//! perf trajectory to compare against.
 //!
 //! Usage:
 //!
@@ -13,14 +15,24 @@
 //! perfbench --quick          # CI-sized run (1000 provers per algorithm)
 //! perfbench --threads 4      # shard the fleet over 4 worker threads
 //! perfbench --provers 20000  # override the fleet size
+//! perfbench --seed 7         # reseed every deterministic draw
+//! perfbench --loss 0.05      # drop 5% of collection/on-demand packets
+//! perfbench --latency 20     # 20 ms base link latency (+50% jitter)
+//! perfbench --churn 0.1      # 10% of devices leave and rejoin mid-run
+//! perfbench --on-demand 64   # inject 64 authenticated on-demand requests
 //! perfbench --out path.json  # write the JSON somewhere else
 //! ```
+//!
+//! With the default flags (no loss, no latency, no churn, no on-demand) the
+//! event-driven runtime reproduces the lossless phase-loop totals
+//! bit-for-bit; the determinism test suite pins this.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use erasmus_bench::fleet::{self, scaling, FleetConfig};
 use erasmus_crypto::MacAlgorithm;
+use erasmus_sim::{NetworkConfig, SimDuration};
 
 struct Options {
     quick: bool,
@@ -28,18 +40,29 @@ struct Options {
     provers: Option<usize>,
     rounds: Option<usize>,
     memory_bytes: Option<usize>,
+    seed: u64,
+    loss: f64,
+    latency_ms: u64,
+    churn: f64,
+    on_demand: usize,
     out: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: perfbench [--quick] [--threads N] [--provers N] [--rounds N] [--memory BYTES] [--out PATH]\n\
+    "usage: perfbench [--quick] [--threads N] [--provers N] [--rounds N] [--memory BYTES]\n\
+     \x20                [--seed N] [--loss P] [--latency MS] [--churn P] [--on-demand N]\n\
+     \x20                [--out PATH]\n\
      \n\
      Drives N simulated provers through scheduled self-measurements and\n\
      periodic collections for each MAC algorithm, sharded over --threads\n\
-     worker threads, then writes the BENCH_fleet.json throughput trajectory\n\
-     (default: repository root) including a 1..N thread-scaling sweep.\n\
+     worker threads running event-driven timelines, then writes the\n\
+     BENCH_fleet.json throughput trajectory (default: repository root)\n\
+     including a 1..N thread-scaling sweep.\n\
      --threads, --provers and --rounds must be at least 1; --memory must be\n\
-     at least 1 byte."
+     at least 1 byte. --loss and --churn are probabilities in [0, 1];\n\
+     --latency is the base link latency in milliseconds (jitter is half the\n\
+     base); --seed makes lossy/churn runs reproducible and is recorded in\n\
+     the JSON report."
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -49,30 +72,45 @@ fn parse_args() -> Result<Options, String> {
         provers: None,
         rounds: None,
         memory_bytes: None,
+        seed: fleet::DEFAULT_SEED,
+        loss: 0.0,
+        latency_ms: 0,
+        churn: 0.0,
+        on_demand: 0,
         out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut numeric = |name: &str, min: usize| -> Result<usize, String> {
-            let value = args
-                .next()
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<usize>()
-                .map_err(|e| format!("invalid {name} value: {e}"))?;
-            if value < min {
-                return Err(format!(
-                    "{name} must be at least {min}, got {value} — a zero-work run \
-                     would overwrite BENCH_fleet.json with a degenerate trajectory"
-                ));
-            }
-            Ok(value)
+        let mut value_for = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
             "--quick" => options.quick = true,
-            "--threads" => options.threads = numeric("--threads", 1)?,
-            "--provers" => options.provers = Some(numeric("--provers", 1)?),
-            "--rounds" => options.rounds = Some(numeric("--rounds", 1)?),
-            "--memory" => options.memory_bytes = Some(numeric("--memory", 1)?),
+            "--threads" => options.threads = numeric(value_for("--threads")?, "--threads", 1)?,
+            "--provers" => {
+                options.provers = Some(numeric(value_for("--provers")?, "--provers", 1)?);
+            }
+            "--rounds" => options.rounds = Some(numeric(value_for("--rounds")?, "--rounds", 1)?),
+            "--memory" => {
+                options.memory_bytes = Some(numeric(value_for("--memory")?, "--memory", 1)?);
+            }
+            "--seed" => {
+                options.seed = value_for("--seed")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--loss" => options.loss = probability(value_for("--loss")?, "--loss")?,
+            "--latency" => {
+                options.latency_ms = value_for("--latency")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid --latency value: {e}"))?;
+            }
+            "--churn" => options.churn = probability(value_for("--churn")?, "--churn")?,
+            "--on-demand" => {
+                options.on_demand = value_for("--on-demand")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid --on-demand value: {e}"))?;
+            }
             "--out" => {
                 options.out = Some(PathBuf::from(
                     args.next().ok_or_else(|| "--out needs a path".to_owned())?,
@@ -83,6 +121,31 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(options)
+}
+
+fn numeric(raw: String, name: &str, min: usize) -> Result<usize, String> {
+    let value = raw
+        .parse::<usize>()
+        .map_err(|e| format!("invalid {name} value: {e}"))?;
+    if value < min {
+        return Err(format!(
+            "{name} must be at least {min}, got {value} — a zero-work run \
+             would overwrite BENCH_fleet.json with a degenerate trajectory"
+        ));
+    }
+    Ok(value)
+}
+
+fn probability(raw: String, name: &str) -> Result<f64, String> {
+    let value = raw
+        .parse::<f64>()
+        .map_err(|e| format!("invalid {name} value: {e}"))?;
+    if !(0.0..=1.0).contains(&value) {
+        return Err(format!(
+            "{name} must be a probability in [0, 1], got {value}"
+        ));
+    }
+    Ok(value)
 }
 
 /// `BENCH_fleet.json` lives at the repository root regardless of the
@@ -109,6 +172,14 @@ fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
     if let Some(memory_bytes) = options.memory_bytes {
         config.memory_bytes = memory_bytes;
     }
+    config.seed = options.seed;
+    config.network = NetworkConfig {
+        base_latency: SimDuration::from_millis(options.latency_ms),
+        jitter: SimDuration::from_millis(options.latency_ms / 2),
+        loss: options.loss,
+    };
+    config.churn = options.churn;
+    config.on_demand = options.on_demand;
     config
 }
 
@@ -134,8 +205,17 @@ fn main() -> ExitCode {
         .map(|&algorithm| {
             let config = config_for(&options, algorithm);
             eprintln!(
-                "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) ...",
-                config.provers, config.measurements_per_round, config.rounds, options.threads
+                "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) \
+                 (seed {}, loss {}, latency {} ms, churn {}, on-demand {}) ...",
+                config.provers,
+                config.measurements_per_round,
+                config.rounds,
+                options.threads,
+                config.seed,
+                config.network.loss,
+                options.latency_ms,
+                config.churn,
+                config.on_demand,
             );
             fleet::run_threaded(&config, options.threads)
         })

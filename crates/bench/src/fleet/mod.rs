@@ -10,16 +10,23 @@
 //! schedules derived once per device — and reports wall-clock throughput.
 //!
 //! The fleet is partitioned into per-thread **shards** (see [`shard`]): each
-//! scoped `std::thread` worker owns its `(Prover, Verifier)` pairs outright,
-//! staggers their measurement phases within `T_M` via
-//! [`erasmus_swarm::StaggeredSchedule`] (the Section 6 availability
-//! argument), and routes every collection report through its own
-//! [`erasmus_core::VerifierHub`] so the paper's "entire history"
-//! reconstruction runs end to end at fleet scale. Shard results are merged
-//! into one [`FleetReport`]; the per-thread breakdown and the 1→N scaling
-//! sweep (see [`scaling`]) are serialized by the `perfbench` binary into
-//! `BENCH_fleet.json` (schema `erasmus-perfbench/v2`) so successive PRs
-//! accumulate a perf trajectory.
+//! scoped `std::thread` worker owns its `(Prover, Verifier)` pairs outright
+//! and drives them through its own [`erasmus_sim::Engine`] as one
+//! event-driven timeline. Measurements fire at their staggered
+//! [`erasmus_swarm::StaggeredSchedule`] instants (the Section 6 availability
+//! argument); collection responses travel through a deterministic
+//! [`NetworkModel`] (latency, jitter, loss — all drawn per device from the
+//! run's seed); delivered reports arriving at the same instant are folded
+//! into the shard's [`erasmus_core::VerifierHub`] as one batch; on-demand
+//! requests (ERASMUS+OD, Figure 4) and device churn interleave with the
+//! schedule on the same timeline. Because every random draw is keyed by the
+//! *global* device index, totals are thread-count-invariant by
+//! construction, lossy runs included.
+//!
+//! Shard results are merged into one [`FleetReport`]; the per-thread
+//! breakdown and the 1→N scaling sweep (see [`scaling`]) are serialized by
+//! the `perfbench` binary into `BENCH_fleet.json` (schema
+//! `erasmus-perfbench/v3`) so successive PRs accumulate a perf trajectory.
 
 pub mod scaling;
 mod shard;
@@ -30,20 +37,27 @@ use std::time::Duration;
 
 use erasmus_core::VerifierHub;
 use erasmus_crypto::MacAlgorithm;
-use erasmus_sim::SimDuration;
+use erasmus_sim::{NetworkConfig, SimDuration, SimRng, SimTime};
 use erasmus_swarm::StaggeredSchedule;
 
 use shard::Shard;
 
+/// Seed used when none is given: any seed reproduces identical lossless
+/// runs, but recording one keeps lossy runs replayable from the JSON alone.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Stream salt for the fleet-wide on-demand plan.
+const ON_DEMAND_STREAM: u64 = 0x6f6e_6465_6d61_6e64;
+
 /// Parameters of one fleet run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Number of simulated prover devices.
     pub provers: usize,
     /// Scheduled self-measurements each prover takes per collection round.
     pub measurements_per_round: usize,
     /// Collection rounds: after each, every device's buffer is collected
-    /// and verified.
+    /// and (if the response survives the network) verified.
     pub rounds: usize,
     /// Application-memory size hashed by every measurement, in bytes.
     pub memory_bytes: usize,
@@ -54,37 +68,65 @@ pub struct FleetConfig {
     pub stagger_groups: usize,
     /// MAC construction provisioned on every device.
     pub algorithm: MacAlgorithm,
+    /// Seed for every deterministic draw of the run (network fates, churn
+    /// plan, on-demand targeting). Recorded in the JSON report.
+    pub seed: u64,
+    /// Link model between devices and the verifier side. The ideal default
+    /// reproduces lossless, zero-latency behaviour bit-for-bit.
+    pub network: NetworkConfig,
+    /// Probability that a device leaves the fleet once mid-run and rejoins
+    /// later (losing the measurements and collections in between).
+    pub churn: f64,
+    /// Fleet-wide count of authenticated on-demand requests (ERASMUS+OD)
+    /// injected at deterministic instants during the run.
+    pub on_demand: usize,
 }
 
 impl FleetConfig {
+    /// A lossless, churn-free configuration with the given shape — the
+    /// baseline every scenario knob perturbs.
+    pub fn new(
+        provers: usize,
+        measurements_per_round: usize,
+        rounds: usize,
+        memory_bytes: usize,
+        stagger_groups: usize,
+        algorithm: MacAlgorithm,
+    ) -> Self {
+        Self {
+            provers,
+            measurements_per_round,
+            rounds,
+            memory_bytes,
+            stagger_groups,
+            algorithm,
+            seed: DEFAULT_SEED,
+            network: NetworkConfig::IDEAL,
+            churn: 0.0,
+            on_demand: 0,
+        }
+    }
+
     /// CI-sized run: ≥ 1,000 provers but only a few schedule ticks, so the
     /// whole sweep finishes in seconds even on a busy runner.
     pub fn quick(algorithm: MacAlgorithm) -> Self {
-        Self {
-            provers: 1_000,
-            measurements_per_round: 4,
-            rounds: 2,
-            memory_bytes: 1024,
-            stagger_groups: 4,
-            algorithm,
-        }
+        Self::new(1_000, 4, 2, 1024, 4, algorithm)
     }
 
     /// Default full-size run.
     pub fn full(algorithm: MacAlgorithm) -> Self {
-        Self {
-            provers: 4_096,
-            measurements_per_round: 8,
-            rounds: 4,
-            memory_bytes: 4 * 1024,
-            stagger_groups: 4,
-            algorithm,
-        }
+        Self::new(4_096, 8, 4, 4 * 1024, 4, algorithm)
     }
 
-    /// Total measurements the run will produce.
+    /// Total measurements the schedule will produce when every device stays
+    /// online (churn removes some; on-demand requests add fresh ones).
     pub fn total_measurements(&self) -> u64 {
         (self.provers * self.measurements_per_round * self.rounds) as u64
+    }
+
+    /// Total scheduled collection attempts.
+    pub fn total_collection_attempts(&self) -> u64 {
+        (self.provers * self.rounds) as u64
     }
 
     /// The staggered schedule the run drives its provers with.
@@ -97,30 +139,50 @@ impl FleetConfig {
     }
 }
 
-/// Wall-clock throughput of one fleet run.
+/// The fleet-wide on-demand plan: `(global device, issue instant)` pairs,
+/// sorted by time. Drawn from the run seed alone, before the fleet is
+/// partitioned, so every shard (at any thread count) agrees on it.
+pub(crate) fn on_demand_plan(config: &FleetConfig) -> Vec<(usize, SimTime)> {
+    if config.on_demand == 0 || config.provers == 0 {
+        return Vec::new();
+    }
+    let span = MEASUREMENT_INTERVAL * (config.measurements_per_round * config.rounds).max(1) as u64;
+    let mut rng = SimRng::seed_from(config.seed ^ ON_DEMAND_STREAM);
+    let mut plan: Vec<(usize, SimTime)> = (0..config.on_demand)
+        .map(|_| {
+            let device = rng.gen_range(0, config.provers as u64) as usize;
+            let at = rng.gen_range(span.as_nanos() / 4, span.as_nanos());
+            (device, SimTime::from_nanos(at))
+        })
+        .collect();
+    plan.sort_by_key(|&(device, at)| (at, device));
+    plan
+}
+
+/// Wall-clock throughput and scenario accounting of one fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// The configuration that produced this report.
     pub config: FleetConfig,
     /// Worker threads (shards) the fleet was partitioned into.
     pub threads: usize,
-    /// Self-measurements taken across the fleet.
+    /// Self-measurements taken across the fleet (scheduled + on-demand).
     pub measurements_total: u64,
-    /// Individual measurement MACs verified across all collection reports.
+    /// Individual measurement MACs verified across all delivered reports.
     pub verifications_total: u64,
-    /// Wall-clock time of the measurement phase: the *slowest shard's*
+    /// Wall-clock time of the measurement work: the *slowest shard's*
     /// accumulated measurement time, since shards run concurrently
     /// (provisioning is excluded; key schedules are derived once).
     pub measure_wall: Duration,
-    /// Wall-clock time of the collection/verification phase, same
+    /// Wall-clock time of the collection/verification work, same
     /// slowest-shard convention.
     pub verify_wall: Duration,
     /// Aggregate *simulated* prover busy time, for cross-checking against
     /// the paper's cost model.
     pub simulated_busy: SimDuration,
-    /// Whether every collection round verified as healthy and every report
-    /// was accepted by the history hub (it must: the fleet is never
-    /// infected).
+    /// Whether the run stayed healthy: no forged or compromised
+    /// measurement anywhere, no hub rejection — and, in a gap-free run (no
+    /// loss, no churn), every delivered report fully `AllHealthy`.
     pub all_healthy: bool,
     /// Devices tracked by the merged verifier-side history hub.
     pub devices_tracked: usize,
@@ -128,6 +190,28 @@ pub struct FleetReport {
     pub history_entries: u64,
     /// Collection reports folded into the hub across the whole run.
     pub collections_ingested: u64,
+    /// Scheduled collection attempts across the fleet.
+    pub collections_attempted: u64,
+    /// Collection responses that reached the verifier side.
+    pub collections_delivered: u64,
+    /// Collection attempts lost to the network or to absent devices.
+    pub collections_dropped: u64,
+    /// Delivery bursts folded into shard hubs via `ingest_batch`.
+    pub hub_batches: u64,
+    /// Largest single delivery burst.
+    pub largest_batch: u64,
+    /// On-demand requests issued across the fleet.
+    pub on_demand_attempted: u64,
+    /// On-demand exchanges that completed end to end.
+    pub on_demand_completed: u64,
+    /// Median simulated end-to-end on-demand latency.
+    pub on_demand_p50: SimDuration,
+    /// 90th-percentile on-demand latency.
+    pub on_demand_p90: SimDuration,
+    /// 99th-percentile on-demand latency.
+    pub on_demand_p99: SimDuration,
+    /// Devices that left and rejoined during the run.
+    pub devices_churned: u64,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardReport>,
 }
@@ -158,6 +242,15 @@ fn per_second(count: u64, wall: Duration) -> f64 {
     count as f64 / wall.as_secs_f64().max(MIN_RATE_WALL.as_secs_f64())
 }
 
+/// The latency at quantile `q` (in `[0, 1]`) of a sorted sample.
+fn percentile(sorted: &[SimDuration], q: f64) -> SimDuration {
+    if sorted.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let index = ((sorted.len() - 1) as f64 * q).floor() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
 pub(crate) const MEASUREMENT_INTERVAL: SimDuration = SimDuration::from_secs(10);
 
 /// Single-threaded fleet run: [`run_threaded`] with one shard.
@@ -165,35 +258,37 @@ pub(crate) const MEASUREMENT_INTERVAL: SimDuration = SimDuration::from_secs(10);
 /// # Panics
 ///
 /// Panics if a prover refuses a measurement or a verifier rejects a
-/// response — both would be bugs in the reproduction, not load conditions.
+/// delivered collection response — both would be bugs in the reproduction,
+/// not load conditions.
 pub fn run(config: &FleetConfig) -> FleetReport {
     run_threaded(config, 1)
 }
 
 /// Provisions a sharded fleet and drives it on `threads` scoped worker
-/// threads, timing the measurement and collection/verification phases
-/// separately per shard and merging the shard results.
+/// threads — each running its own event-driven engine — then merges the
+/// shard results.
 ///
 /// The partition only changes *which worker* drives a device; every device
-/// performs identical simulated work regardless of `threads`, so
-/// measurement/verification totals and health are deterministic across
-/// thread counts.
+/// performs identical simulated work, and every packet suffers the same
+/// deterministic fate, regardless of `threads` — so all totals (including
+/// delivered/dropped splits under loss) are identical across thread counts.
 ///
 /// # Panics
 ///
 /// Panics if `threads` is zero, or if a prover refuses a measurement or a
-/// verifier rejects a response — the latter two would be bugs in the
-/// reproduction, not load conditions.
+/// verifier rejects a delivered collection response — the latter two would
+/// be bugs in the reproduction, not load conditions.
 pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     assert!(threads > 0, "at least one worker thread is required");
     let threads = threads.min(config.provers.max(1));
     let schedule = config.schedule();
+    let plan = on_demand_plan(config);
 
     // Provisioning: per-device keys, precomputed MAC schedules, reference
-    // digests. Deliberately outside the timed sections — this happens once
-    // per device lifetime. The partition is balanced: the remainder is
-    // spread over the first shards, so no worker idles while another owns
-    // two extra devices.
+    // digests, scenario plans. Deliberately outside the timed sections —
+    // this happens once per device lifetime. The partition is balanced: the
+    // remainder is spread over the first shards, so no worker idles while
+    // another owns two extra devices.
     let base = config.provers / threads;
     let remainder = config.provers % threads;
     let mut start = 0usize;
@@ -202,7 +297,7 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
             let size = base + usize::from(index < remainder);
             let range = start..start + size;
             start += size;
-            Shard::provision(index, config, &schedule, range)
+            Shard::provision(index, config, &schedule, range, &plan)
         })
         .collect();
 
@@ -234,6 +329,15 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     let mut verify_wall = Duration::ZERO;
     let mut simulated_busy = SimDuration::ZERO;
     let mut all_healthy = true;
+    let mut collections_attempted = 0u64;
+    let mut collections_delivered = 0u64;
+    let mut collections_dropped = 0u64;
+    let mut hub_batches = 0u64;
+    let mut largest_batch = 0u64;
+    let mut on_demand_attempted = 0u64;
+    let mut on_demand_completed = 0u64;
+    let mut devices_churned = 0u64;
+    let mut latencies: Vec<SimDuration> = Vec::new();
     for report in &shard_reports {
         measurements_total += report.measurements;
         verifications_total += report.verifications;
@@ -241,7 +345,17 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         verify_wall = verify_wall.max(report.verify_wall);
         simulated_busy += report.simulated_busy;
         all_healthy &= report.all_healthy;
+        collections_attempted += report.collections_attempted;
+        collections_delivered += report.collections_delivered;
+        collections_dropped += report.collections_dropped;
+        hub_batches += report.hub_batches;
+        largest_batch = largest_batch.max(report.largest_batch);
+        on_demand_attempted += report.on_demand_attempted;
+        on_demand_completed += report.on_demand_completed;
+        devices_churned += report.devices_churned;
+        latencies.extend_from_slice(&report.on_demand_latencies);
     }
+    latencies.sort_unstable();
     all_healthy &= hub.all_healthy() && hub.rejected() == 0;
 
     FleetReport {
@@ -256,6 +370,17 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         devices_tracked: hub.len(),
         history_entries: hub.total_entries(),
         collections_ingested: hub.total_collections(),
+        collections_attempted,
+        collections_delivered,
+        collections_dropped,
+        hub_batches,
+        largest_batch,
+        on_demand_attempted,
+        on_demand_completed,
+        on_demand_p50: percentile(&latencies, 0.50),
+        on_demand_p90: percentile(&latencies, 0.90),
+        on_demand_p99: percentile(&latencies, 0.99),
+        devices_churned,
         shards: shard_reports,
     }
 }
@@ -276,6 +401,9 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"memory_bytes\": {memory},\n\
          {indent}  \"stagger_groups\": {groups},\n\
          {indent}  \"threads\": {threads},\n\
+         {indent}  \"seed\": {seed},\n\
+         {indent}  \"network\": {{ \"latency_ms\": {lat:.3}, \"jitter_ms\": {jit:.3}, \"loss\": {loss} }},\n\
+         {indent}  \"churn\": {churn},\n\
          {indent}  \"measurements_total\": {mt},\n\
          {indent}  \"verifications_total\": {vt},\n\
          {indent}  \"measure_wall_secs\": {mw:.6},\n\
@@ -287,6 +415,12 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"devices_tracked\": {tracked},\n\
          {indent}  \"history_entries\": {entries},\n\
          {indent}  \"collections_ingested\": {ingested},\n\
+         {indent}  \"collections\": {{ \"attempted\": {att}, \"delivered\": {del}, \"dropped\": {dropped} }},\n\
+         {indent}  \"hub_batches\": {batches},\n\
+         {indent}  \"largest_batch\": {largest},\n\
+         {indent}  \"devices_churned\": {churned},\n\
+         {indent}  \"on_demand\": {{ \"attempted\": {od_att}, \"completed\": {od_done}, \
+         \"latency_ms_p50\": {p50:.3}, \"latency_ms_p90\": {p90:.3}, \"latency_ms_p99\": {p99:.3} }},\n\
          {indent}  \"per_thread\": [\n{pt}\n{indent}  ]\n\
          {indent}}}",
         alg = report.config.algorithm,
@@ -296,6 +430,11 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         memory = report.config.memory_bytes,
         groups = report.config.stagger_groups,
         threads = report.threads,
+        seed = report.config.seed,
+        lat = report.config.network.base_latency.as_millis_f64(),
+        jit = report.config.network.jitter.as_millis_f64(),
+        loss = report.config.network.loss,
+        churn = report.config.churn,
         mt = report.measurements_total,
         vt = report.verifications_total,
         mw = report.measure_wall.as_secs_f64(),
@@ -307,6 +446,17 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         tracked = report.devices_tracked,
         entries = report.history_entries,
         ingested = report.collections_ingested,
+        att = report.collections_attempted,
+        del = report.collections_delivered,
+        dropped = report.collections_dropped,
+        batches = report.hub_batches,
+        largest = report.largest_batch,
+        churned = report.devices_churned,
+        od_att = report.on_demand_attempted,
+        od_done = report.on_demand_completed,
+        p50 = report.on_demand_p50.as_millis_f64(),
+        p90 = report.on_demand_p90.as_millis_f64(),
+        p99 = report.on_demand_p99.as_millis_f64(),
         pt = per_thread.join(",\n"),
     )
 }
@@ -320,11 +470,12 @@ pub fn document_json(
     sweep: &[scaling::ScalingPoint],
 ) -> String {
     let provers = reports.first().map_or(0, |r| r.config.provers);
+    let seed = reports.first().map_or(DEFAULT_SEED, |r| r.config.seed);
     let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
     let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
     format!(
-        "{{\n  \"schema\": \"erasmus-perfbench/v2\",\n  \"mode\": \"{mode}\",\n  \
-         \"provers\": {provers},\n  \"threads\": {threads},\n  \
+        "{{\n  \"schema\": \"erasmus-perfbench/v3\",\n  \"mode\": \"{mode}\",\n  \
+         \"provers\": {provers},\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \
          \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scaling_entries.join(",\n"),
@@ -335,11 +486,11 @@ pub fn document_json(
 pub fn render(reports: &[FleetReport]) -> String {
     let mut out = String::from(
         "Fleet throughput (host wall-clock)\n\
-         algorithm       provers  threads  measurements     meas/s     verifs     verif/s\n",
+         algorithm       provers  threads  measurements     meas/s     verifs     verif/s  delivered/attempted\n",
     );
     for report in reports {
         out.push_str(&format!(
-            "{:<15} {:>7}  {:>7}  {:>12}  {:>9.0}  {:>9}  {:>10.0}\n",
+            "{:<15} {:>7}  {:>7}  {:>12}  {:>9.0}  {:>9}  {:>10.0}  {:>9}/{}\n",
             report.config.algorithm.to_string(),
             report.config.provers,
             report.threads,
@@ -347,6 +498,8 @@ pub fn render(reports: &[FleetReport]) -> String {
             report.measurements_per_sec(),
             report.verifications_total,
             report.verifications_per_sec(),
+            report.collections_delivered,
+            report.collections_attempted,
         ));
     }
     out
@@ -356,16 +509,10 @@ pub fn render(reports: &[FleetReport]) -> String {
 mod tests {
     use super::*;
     use erasmus_core::DeviceId;
+    use erasmus_sim::NetworkConfig;
 
     fn tiny(algorithm: MacAlgorithm) -> FleetConfig {
-        FleetConfig {
-            provers: 8,
-            measurements_per_round: 2,
-            rounds: 2,
-            memory_bytes: 256,
-            stagger_groups: 4,
-            algorithm,
-        }
+        FleetConfig::new(8, 2, 2, 256, 4, algorithm)
     }
 
     #[test]
@@ -385,6 +532,13 @@ mod tests {
             report.collections_ingested,
             (config.provers * config.rounds) as u64
         );
+        // The ideal network delivers everything.
+        assert_eq!(report.collections_attempted, (8 * 2) as u64);
+        assert_eq!(report.collections_delivered, report.collections_attempted);
+        assert_eq!(report.collections_dropped, 0);
+        assert_eq!(report.collections_ingested, report.collections_delivered);
+        assert_eq!(report.on_demand_attempted, 0);
+        assert_eq!(report.devices_churned, 0);
     }
 
     #[test]
@@ -414,6 +568,54 @@ mod tests {
         assert_eq!(shard_meas, threaded.measurements_total);
         let shard_provers: usize = threaded.shards.iter().map(|s| s.provers).sum();
         assert_eq!(shard_provers, config.provers);
+    }
+
+    #[test]
+    fn lossy_runs_are_thread_invariant_and_conserve_attempts() {
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(15),
+            jitter: SimDuration::from_millis(10),
+            loss: 0.25,
+        };
+        config.seed = 9;
+        let single = run_threaded(&config, 1);
+        let threaded = run_threaded(&config, 3);
+        assert_eq!(
+            single.collections_delivered + single.collections_dropped,
+            single.collections_attempted
+        );
+        assert!(single.collections_dropped > 0, "no drop at 25% loss");
+        assert_eq!(single.collections_delivered, threaded.collections_delivered);
+        assert_eq!(single.collections_dropped, threaded.collections_dropped);
+        assert_eq!(single.verifications_total, threaded.verifications_total);
+        assert_eq!(single.history_entries, threaded.history_entries);
+        assert_eq!(single.collections_ingested, single.collections_delivered);
+        // Loss drops evidence, it does not fabricate compromise.
+        assert!(single.all_healthy);
+    }
+
+    #[test]
+    fn on_demand_latency_percentiles_are_ordered() {
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.on_demand = 6;
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            loss: 0.0,
+        };
+        let report = run(&config);
+        assert_eq!(report.on_demand_attempted, 6);
+        assert!(report.on_demand_completed > 0);
+        assert!(report.on_demand_p50 >= SimDuration::from_millis(20)); // two legs
+        assert!(report.on_demand_p50 <= report.on_demand_p90);
+        assert!(report.on_demand_p90 <= report.on_demand_p99);
+        // Each completed exchange added one fresh measurement and verified
+        // the fresh + k buffered ones.
+        assert_eq!(
+            report.measurements_total,
+            config.total_measurements() + report.on_demand_completed
+        );
     }
 
     #[test]
@@ -456,12 +658,40 @@ mod tests {
     }
 
     #[test]
+    fn more_stagger_groups_than_provers_still_covers_every_device() {
+        // Groups clamp to the fleet size; every device keeps a distinct
+        // offset strictly inside T_M and the totals are unchanged.
+        let config = FleetConfig::new(3, 2, 2, 128, 64, MacAlgorithm::HmacSha256);
+        let schedule = config.schedule();
+        assert_eq!(schedule.groups(), 3);
+        assert_eq!(schedule.max_concurrent(), 1);
+        for device in 0..config.provers {
+            assert!(schedule.offset(device) < MEASUREMENT_INTERVAL);
+        }
+        let report = run(&config);
+        assert_eq!(report.measurements_total, config.total_measurements());
+        assert_eq!(report.verifications_total, report.measurements_total);
+        assert!(report.all_healthy);
+    }
+
+    #[test]
     fn per_second_is_positive_even_below_timer_resolution() {
         // The regression: a quick phase finishing in "zero" wall time used
         // to serialize measurements_per_sec = 0.0 into BENCH_fleet.json.
         assert!(per_second(1_000, Duration::ZERO) > 0.0);
         assert_eq!(per_second(0, Duration::ZERO), 0.0);
         assert_eq!(per_second(10, Duration::from_secs(2)), 5.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_singleton_samples() {
+        assert_eq!(percentile(&[], 0.5), SimDuration::ZERO);
+        let one = [SimDuration::from_millis(7)];
+        assert_eq!(percentile(&one, 0.5), SimDuration::from_millis(7));
+        assert_eq!(percentile(&one, 0.99), SimDuration::from_millis(7));
+        let many: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
+        assert_eq!(percentile(&many, 0.5), SimDuration::from_millis(50));
+        assert_eq!(percentile(&many, 0.99), SimDuration::from_millis(99));
     }
 
     #[test]
@@ -489,13 +719,21 @@ mod tests {
         }];
         let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
         assert!(doc.starts_with("{\n"));
-        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v2\""));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v3\""));
         assert!(doc.contains("\"mode\": \"test\""));
         assert!(doc.contains("\"provers\": 8"));
         assert!(doc.contains("\"threads\": 2"));
+        assert!(doc.contains(&format!("\"seed\": {DEFAULT_SEED}")));
+        assert!(doc
+            .contains("\"network\": { \"latency_ms\": 0.000, \"jitter_ms\": 0.000, \"loss\": 0 }"));
         assert!(doc.contains("\"measurements_per_sec\""));
         assert!(doc.contains("\"verifications_per_sec\""));
         assert!(doc.contains("\"algorithm\": \"Keyed BLAKE2S\""));
+        assert!(doc
+            .contains("\"collections\": { \"attempted\": 16, \"delivered\": 16, \"dropped\": 0 }"));
+        assert!(doc.contains("\"on_demand\""));
+        assert!(doc.contains("\"latency_ms_p99\""));
+        assert!(doc.contains("\"hub_batches\""));
         assert!(doc.contains("\"per_thread\""));
         assert!(doc.contains("\"shard\": 0"));
         assert!(doc.contains("\"scaling\""));
@@ -513,6 +751,27 @@ mod tests {
         for alg in MacAlgorithm::ALL {
             assert!(text.contains(&alg.to_string()), "{text}");
         }
+    }
+
+    #[test]
+    fn on_demand_plan_is_sorted_and_in_range() {
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.on_demand = 32;
+        let plan = on_demand_plan(&config);
+        assert_eq!(plan.len(), 32);
+        let span = MEASUREMENT_INTERVAL * (config.measurements_per_round * config.rounds) as u64;
+        for window in plan.windows(2) {
+            assert!(window[0].1 <= window[1].1, "plan not time-sorted");
+        }
+        for &(device, at) in &plan {
+            assert!(device < config.provers);
+            assert!(at >= SimTime::ZERO + span / 4 && at < SimTime::ZERO + span);
+        }
+        // The plan is a pure function of the seed.
+        assert_eq!(plan, on_demand_plan(&config));
+        let mut reseeded = config.clone();
+        reseeded.seed = 1;
+        assert_ne!(plan, on_demand_plan(&reseeded));
     }
 
     #[test]

@@ -140,14 +140,7 @@ mod tests {
 
     #[test]
     fn sweep_keeps_totals_and_reports_baseline_speedup() {
-        let config = FleetConfig {
-            provers: 8,
-            measurements_per_round: 2,
-            rounds: 1,
-            memory_bytes: 128,
-            stagger_groups: 2,
-            algorithm: MacAlgorithm::KeyedBlake2s,
-        };
+        let config = FleetConfig::new(8, 2, 1, 128, 2, MacAlgorithm::KeyedBlake2s);
         let points = sweep(&config, 4);
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].threads, 1);
@@ -164,14 +157,7 @@ mod tests {
 
     #[test]
     fn sweep_clamps_thread_counts_to_fleet_size() {
-        let config = FleetConfig {
-            provers: 2,
-            measurements_per_round: 2,
-            rounds: 1,
-            memory_bytes: 128,
-            stagger_groups: 2,
-            algorithm: MacAlgorithm::HmacSha256,
-        };
+        let config = FleetConfig::new(2, 2, 1, 128, 2, MacAlgorithm::HmacSha256);
         // 8 requested threads, 2 devices: only 1 and 2 are distinct
         // partitions; timing 2 twice (as 4 and 8) would skew the record.
         let points = sweep(&config, 8);
@@ -181,14 +167,7 @@ mod tests {
 
     #[test]
     fn sweep_reuses_an_already_run_report() {
-        let config = FleetConfig {
-            provers: 4,
-            measurements_per_round: 2,
-            rounds: 1,
-            memory_bytes: 128,
-            stagger_groups: 2,
-            algorithm: MacAlgorithm::HmacSha256,
-        };
+        let config = FleetConfig::new(4, 2, 1, 128, 2, MacAlgorithm::HmacSha256);
         let done = run_threaded(&config, 2);
         let points = sweep_reusing(&config, 2, Some(&done));
         assert_eq!(points.len(), 2);

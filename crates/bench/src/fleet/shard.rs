@@ -1,30 +1,180 @@
-//! Per-thread fleet shards.
+//! Per-thread fleet shards, driven by a discrete-event engine.
 //!
 //! [`Shard`] is the unit of parallelism of the fleet harness: a contiguous
 //! slice of the fleet whose `(Prover, Verifier)` pairs are *owned* by one
 //! scoped worker thread, so the hot loops run without any cross-thread
-//! sharing or locking. Devices keep their global fleet index for key
-//! derivation and for their [`StaggeredSchedule`] phase offset, which makes
-//! shard boundaries invisible to the simulated protocol: a device performs
-//! the same measurements at the same simulated instants whether the fleet
-//! runs on one thread or sixteen.
+//! sharing or locking. Each shard owns an [`erasmus_sim::Engine`] and runs
+//! its slice of the fleet as one interleaved timeline of [`FleetEvent`]s:
+//! self-measurements, collection requests arriving at devices, responses
+//! travelling back through the [`NetworkModel`], on-demand attestations
+//! racing the schedule, and devices leaving/rejoining the fleet (churn).
+//!
+//! Devices keep their global fleet index for key derivation, for their
+//! [`StaggeredSchedule`] phase offset and for their network flows, which
+//! makes shard boundaries invisible to the simulated protocol: a device
+//! performs the same measurements at the same simulated instants — and its
+//! packets suffer the same fates — whether the fleet runs on one thread or
+//! sixteen.
+//!
+//! Delivered collection responses are verified at their (per-device,
+//! latency-shifted) arrival instants; reports arriving at the same instant
+//! form one burst that is folded into the shard's [`VerifierHub`] through
+//! [`VerifierHub::ingest_batch`], amortizing the per-device routing.
 
 use std::ops::Range;
 use std::time::{Duration, Instant};
 
-use erasmus_core::{CollectionRequest, DeviceId, Prover, ProverConfig, Verifier, VerifierHub};
+use erasmus_core::{
+    CollectionReport, CollectionRequest, CollectionResponse, DeviceId, MeasurementVerdict,
+    OnDemandRequest, OnDemandResponse, Prover, ProverConfig, Verifier, VerifierHub,
+};
 use erasmus_hw::{DeviceKey, DeviceProfile};
-use erasmus_sim::{SimDuration, SimTime};
+use erasmus_sim::{Delivery, Engine, NetworkModel, ScheduledEvent, SimDuration, SimRng, SimTime};
 use erasmus_swarm::StaggeredSchedule;
 
 use super::{FleetConfig, MEASUREMENT_INTERVAL};
 
-/// One device of a shard: the protocol pair plus its staggered phase offset
-/// within `T_M`.
+/// Network channel tags: a device's flows are `global_id * CHANNELS + tag`,
+/// so its collection stream and the two on-demand legs draw independent
+/// randomness.
+const CHANNELS: u64 = 4;
+const CHANNEL_COLLECT: u64 = 0;
+const CHANNEL_OD_REQUEST: u64 = 1;
+const CHANNEL_OD_RESPONSE: u64 = 2;
+
+/// Stream salt for the per-device churn draws (seeds a fresh [`SimRng`] per
+/// device, so the plan is independent of the shard partition).
+const CHURN_STREAM: u64 = 0x6368_7572_6e21_7331;
+
+fn flow(global: u64, channel: u64) -> u64 {
+    global * CHANNELS + channel
+}
+
+/// One device of a shard: the protocol pair plus its timeline state.
 struct ShardDevice {
     prover: Prover,
     verifier: Verifier,
     offset: SimDuration,
+    /// Global fleet index: keys, phase offsets and network flows hang off
+    /// this, never off the shard-local index.
+    global: u64,
+    /// The device's last collection instant; no measurement is scheduled
+    /// past it.
+    horizon: SimTime,
+    /// Whether the device is currently part of the fleet (churn).
+    active: bool,
+    /// Bumped on every leave: outstanding `Measure` events from before the
+    /// churn are recognized as stale and ignored.
+    epoch: u32,
+    collect_seq: u64,
+    od_request_seq: u64,
+    od_response_seq: u64,
+}
+
+/// The events a shard's timeline is made of.
+enum FleetEvent {
+    /// A scheduled self-measurement is due on a device.
+    Measure { device: usize, epoch: u32 },
+    /// The verifier's collection request reaches a device.
+    CollectArrive { device: usize },
+    /// A collection response reaches the verifier side.
+    CollectDeliver {
+        device: usize,
+        response: CollectionResponse,
+    },
+    /// An authenticated on-demand request reaches a device.
+    OnDemand {
+        device: usize,
+        request: OnDemandRequest,
+        issued: SimTime,
+    },
+    /// An on-demand response reaches the verifier side.
+    OnDemandDeliver(Box<OnDemandExchange>),
+    /// A device drops out of the fleet.
+    DeviceLeave { device: usize },
+    /// A device rejoins the fleet and resumes its (phase-aligned) schedule.
+    DeviceJoin { device: usize },
+}
+
+/// Payload of an [`FleetEvent::OnDemandDeliver`] event.
+struct OnDemandExchange {
+    device: usize,
+    request: OnDemandRequest,
+    response: OnDemandResponse,
+    issued: SimTime,
+}
+
+/// Mutable per-run accounting threaded through the event loop as the
+/// [`Engine::run_with`] context.
+struct RunState {
+    request: CollectionRequest,
+    /// Whether the run is expected to be gap-free (no loss, no churn,
+    /// latency bounded below `T_M`): only then does a non-`AllHealthy`
+    /// report verdict flag the run.
+    strict: bool,
+    measurements: u64,
+    verifications: u64,
+    measure_wall: Duration,
+    verify_wall: Duration,
+    all_healthy: bool,
+    collect_attempted: u64,
+    collect_delivered: u64,
+    collect_dropped: u64,
+    od_attempted: u64,
+    od_completed: u64,
+    od_dropped: u64,
+    od_latencies: Vec<SimDuration>,
+    pending: Vec<CollectionReport>,
+    pending_at: Option<SimTime>,
+    batches: u64,
+    largest_batch: u64,
+}
+
+impl RunState {
+    fn new(strict: bool, request: CollectionRequest) -> Self {
+        Self {
+            request,
+            strict,
+            measurements: 0,
+            verifications: 0,
+            measure_wall: Duration::ZERO,
+            verify_wall: Duration::ZERO,
+            all_healthy: true,
+            collect_attempted: 0,
+            collect_delivered: 0,
+            collect_dropped: 0,
+            od_attempted: 0,
+            od_completed: 0,
+            od_dropped: 0,
+            od_latencies: Vec::new(),
+            pending: Vec::new(),
+            pending_at: None,
+            batches: 0,
+            largest_batch: 0,
+        }
+    }
+
+    /// Folds one verified report into the health verdict. Gap verdicts
+    /// (missing/tampering) only count against a gap-free run; authentic
+    /// evidence of forged or compromised measurements always does.
+    fn note_health(&mut self, report: &CollectionReport, scheduled: bool) {
+        if self.strict && scheduled {
+            self.all_healthy &= report.all_valid();
+        } else {
+            self.all_healthy &= report_is_clean(report);
+        }
+    }
+}
+
+fn report_is_clean(report: &CollectionReport) -> bool {
+    report
+        .with_verdict(MeasurementVerdict::Forged)
+        .next()
+        .is_none()
+        && report
+            .with_verdict(MeasurementVerdict::Compromised)
+            .next()
+            .is_none()
 }
 
 /// A worker thread's slice of the fleet.
@@ -32,6 +182,11 @@ pub(crate) struct Shard {
     index: usize,
     devices: Vec<ShardDevice>,
     hub: VerifierHub,
+    engine: Engine<FleetEvent>,
+    /// `(local index, leave, rejoin)` churn plan, drawn per global device.
+    churn: Vec<(usize, SimTime, SimTime)>,
+    /// `(local index, issue instant)` on-demand plan, sorted by time.
+    on_demand: Vec<(usize, SimTime)>,
 }
 
 /// What one shard contributed to a fleet run.
@@ -43,16 +198,35 @@ pub struct ShardReport {
     pub provers: usize,
     /// Self-measurements taken by this shard's devices.
     pub measurements: u64,
-    /// Measurement MACs verified from this shard's collection reports.
+    /// Measurement MACs verified from this shard's delivered reports.
     pub verifications: u64,
-    /// Wall-clock time this shard spent in measurement phases.
+    /// Wall-clock time this shard spent taking measurements.
     pub measure_wall: Duration,
     /// Wall-clock time this shard spent collecting and verifying.
     pub verify_wall: Duration,
     /// Simulated busy time accumulated by this shard's provers.
     pub simulated_busy: SimDuration,
-    /// Whether every collection round of this shard verified healthy.
+    /// Whether every delivered report of this shard verified healthy (see
+    /// `FleetReport::all_healthy` for the loss/churn semantics).
     pub all_healthy: bool,
+    /// Scheduled collection attempts against this shard's devices.
+    pub collections_attempted: u64,
+    /// Collection responses that reached the verifier side.
+    pub collections_delivered: u64,
+    /// Collection attempts lost to the network or to absent devices.
+    pub collections_dropped: u64,
+    /// Delivery bursts folded into the shard hub via `ingest_batch`.
+    pub hub_batches: u64,
+    /// Largest single delivery burst.
+    pub largest_batch: u64,
+    /// On-demand requests issued against this shard's devices.
+    pub on_demand_attempted: u64,
+    /// On-demand exchanges that completed end to end.
+    pub on_demand_completed: u64,
+    /// Simulated end-to-end latency of every completed on-demand exchange.
+    pub on_demand_latencies: Vec<SimDuration>,
+    /// Devices of this shard that leave and rejoin during the run.
+    pub devices_churned: u64,
 }
 
 impl ShardReport {
@@ -62,13 +236,20 @@ impl ShardReport {
             "{indent}{{ \"shard\": {shard}, \"provers\": {provers}, \
              \"measurements\": {meas}, \"verifications\": {verif}, \
              \"measure_wall_secs\": {mw:.6}, \"verify_wall_secs\": {vw:.6}, \
-             \"all_healthy\": {healthy} }}",
+             \"collections_attempted\": {att}, \"collections_delivered\": {del}, \
+             \"collections_dropped\": {drop}, \"hub_batches\": {batches}, \
+             \"largest_batch\": {largest}, \"all_healthy\": {healthy} }}",
             shard = self.shard,
             provers = self.provers,
             meas = self.measurements,
             verif = self.verifications,
             mw = self.measure_wall.as_secs_f64(),
             vw = self.verify_wall.as_secs_f64(),
+            att = self.collections_attempted,
+            del = self.collections_delivered,
+            drop = self.collections_dropped,
+            batches = self.hub_batches,
+            largest = self.largest_batch,
             healthy = self.all_healthy,
         )
     }
@@ -76,24 +257,36 @@ impl ShardReport {
 
 impl Shard {
     /// Provisions the devices with global fleet indices `range`: per-device
-    /// keys, precomputed MAC schedules, reference digests, phase offsets.
+    /// keys, precomputed MAC schedules, reference digests, phase offsets —
+    /// plus the shard's slices of the deterministic churn and on-demand
+    /// plans.
+    ///
+    /// `on_demand_plan` is the fleet-wide `(global device, issue instant)`
+    /// plan (time-sorted); the shard keeps the entries that fall into its
+    /// range. The churn plan is drawn here, from a per-device RNG keyed by
+    /// the global index, so both plans are independent of the partition.
     pub(crate) fn provision(
         index: usize,
         config: &FleetConfig,
         schedule: &StaggeredSchedule,
         range: Range<usize>,
+        on_demand_plan: &[(usize, SimTime)],
     ) -> Self {
         let buffer_slots = config.measurements_per_round.max(1);
-        let devices = range
+        let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
+        let span = round_span * config.rounds as u64;
+        let devices: Vec<ShardDevice> = range
+            .clone()
             .map(|i| {
                 // The device's phase offset goes into its *prover schedule*:
                 // measurements genuinely fire at `offset + k·T_M`, so at any
                 // simulated instant only one stagger group is busy measuring.
+                let offset = schedule.offset(i);
                 let prover_config = ProverConfig::builder()
                     .measurement_interval(MEASUREMENT_INTERVAL)
                     .buffer_slots(buffer_slots)
                     .mac_algorithm(config.algorithm)
-                    .phase_offset(schedule.offset(i))
+                    .phase_offset(offset)
                     .build()
                     .expect("fleet prover config is valid");
                 let key = DeviceKey::derive(b"erasmus-fleet", i as u64);
@@ -110,73 +303,138 @@ impl Shard {
                 ShardDevice {
                     prover,
                     verifier,
-                    offset: schedule.offset(i),
+                    offset,
+                    global: i as u64,
+                    horizon: SimTime::ZERO + span + offset,
+                    active: true,
+                    epoch: 0,
+                    collect_seq: 0,
+                    od_request_seq: 0,
+                    od_response_seq: 0,
                 }
             })
+            .collect();
+
+        let churn = if config.churn > 0.0 {
+            range
+                .clone()
+                .filter_map(|i| {
+                    let mut rng = SimRng::seed_from(
+                        config.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ CHURN_STREAM,
+                    );
+                    if !rng.gen_bool(config.churn) {
+                        return None;
+                    }
+                    let leave = rng.gen_range(span.as_nanos() / 4, span.as_nanos() / 2);
+                    let dwell = rng.gen_range(span.as_nanos() / 8, span.as_nanos() / 4);
+                    Some((
+                        i - range.start,
+                        SimTime::from_nanos(leave),
+                        SimTime::from_nanos(leave + dwell),
+                    ))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let on_demand = on_demand_plan
+            .iter()
+            .filter(|(device, _)| range.contains(device))
+            .map(|&(device, at)| (device - range.start, at))
             .collect();
 
         Self {
             index,
             devices,
             hub: VerifierHub::new(),
+            engine: Engine::new(),
+            churn,
+            on_demand,
         }
     }
 
-    /// Drives this shard through every collection round.
+    /// Drives this shard's event loop to completion.
     ///
-    /// A device with phase offset `o` measures at `o + k·T_M` and runs to —
-    /// and is collected at — its *own* staggered horizon `round_end + o`,
-    /// so staggering shifts whole phases without changing how many
+    /// A device with phase offset `o` measures at `o + k·T_M` and is
+    /// collected at its *own* staggered instants `r·round_span + o`, so
+    /// staggering shifts whole timelines without changing how many
     /// measurements a round yields: offsets stay strictly inside `T_M`,
     /// hence exactly `measurements_per_round` measurements fall into every
-    /// device's collection window regardless of its group.
+    /// device's collection window regardless of its group. Loss, latency,
+    /// churn and on-demand traffic perturb that timeline only through
+    /// deterministic per-device draws, keeping every total thread-count-
+    /// invariant.
     pub(crate) fn run(&mut self, config: &FleetConfig) -> ShardReport {
-        let mut measurements = 0u64;
-        let mut verifications = 0u64;
-        let mut measure_wall = Duration::ZERO;
-        let mut verify_wall = Duration::ZERO;
-        let mut all_healthy = true;
-
+        let network = NetworkModel::new(config.network, config.seed);
+        // Strict (AllHealthy-or-bust) health accounting is only sound when
+        // nothing can legitimately open a gap: no loss, no churn, and
+        // latency small against `T_M` — a delivery shifted by `T_M` or more
+        // moves the verifier's coverage window enough to report a missing
+        // measurement on a perfectly healthy fleet.
+        let strict = config.network.loss == 0.0
+            && config.churn == 0.0
+            && config.network.base_latency + config.network.jitter < MEASUREMENT_INTERVAL;
+        let mut state = RunState::new(
+            strict,
+            CollectionRequest::latest(config.measurements_per_round),
+        );
         let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
-        let request = CollectionRequest::latest(config.measurements_per_round);
-        for round in 1..=config.rounds {
-            let round_end = SimTime::ZERO + round_span * round as u64;
+        let mut engine = std::mem::take(&mut self.engine);
 
-            let measure_start = Instant::now();
-            for device in self.devices.iter_mut() {
-                let outcomes = device
-                    .prover
-                    .run_until(round_end + device.offset)
-                    .expect("fleet measurement");
-                measurements += outcomes.len() as u64;
+        // Seed the timeline: one pending Measure event per device, every
+        // scheduled collection arrival, the churn plan, and the on-demand
+        // plan (whose requests are built now, in issue order, so each
+        // device's `t_req` values are strictly increasing).
+        for (local, device) in self.devices.iter().enumerate() {
+            let due = device.prover.next_measurement_due();
+            if due <= device.horizon {
+                engine.schedule_at(
+                    due,
+                    FleetEvent::Measure {
+                        device: local,
+                        epoch: device.epoch,
+                    },
+                );
             }
-            measure_wall += measure_start.elapsed();
-
-            // Only the protocol work (collection + MAC verification) is
-            // timed; hub bookkeeping happens outside the span so
-            // `verifications_per_sec` stays comparable with the pre-hub
-            // trajectory in earlier `BENCH_fleet.json` revisions.
-            let verify_start = Instant::now();
-            let reports: Vec<_> = self
-                .devices
-                .iter_mut()
-                .map(|device| {
-                    let now = round_end + device.offset;
-                    let response = device.prover.handle_collection(&request, now);
-                    device
-                        .verifier
-                        .verify_collection(&response, now)
-                        .expect("fleet collection verifies")
-                })
-                .collect();
-            verify_wall += verify_start.elapsed();
-
-            for report in &reports {
-                verifications += report.measurements().len() as u64;
-                all_healthy &= report.all_valid();
-                all_healthy &= self.hub.ingest(report);
+            for round in 1..=config.rounds {
+                let at = SimTime::ZERO + round_span * round as u64 + device.offset;
+                engine.schedule_at(at, FleetEvent::CollectArrive { device: local });
             }
         }
+        for &(local, leave, rejoin) in &self.churn {
+            engine.schedule_at(leave, FleetEvent::DeviceLeave { device: local });
+            engine.schedule_at(rejoin, FleetEvent::DeviceJoin { device: local });
+        }
+        let plan = std::mem::take(&mut self.on_demand);
+        for &(local, issued) in &plan {
+            let device = &mut self.devices[local];
+            let request = device
+                .verifier
+                .make_on_demand_request(config.measurements_per_round, issued);
+            state.od_attempted += 1;
+            let seq = device.od_request_seq;
+            device.od_request_seq += 1;
+            match network.sample(flow(device.global, CHANNEL_OD_REQUEST), seq) {
+                Delivery::Dropped => state.od_dropped += 1,
+                Delivery::Delivered(latency) => engine.schedule_at(
+                    issued + latency,
+                    FleetEvent::OnDemand {
+                        device: local,
+                        request,
+                        issued,
+                    },
+                ),
+            }
+        }
+        self.on_demand = plan;
+
+        engine.run_with(&mut state, |engine, state, event| {
+            self.handle(engine, state, &network, event);
+            true
+        });
+        self.flush_batch(&mut state);
+        self.engine = engine;
 
         let simulated_busy = self
             .devices
@@ -187,13 +445,193 @@ impl Shard {
         ShardReport {
             shard: self.index,
             provers: self.devices.len(),
-            measurements,
-            verifications,
-            measure_wall,
-            verify_wall,
+            measurements: state.measurements,
+            verifications: state.verifications,
+            measure_wall: state.measure_wall,
+            verify_wall: state.verify_wall,
             simulated_busy,
-            all_healthy,
+            all_healthy: state.all_healthy,
+            collections_attempted: state.collect_attempted,
+            collections_delivered: state.collect_delivered,
+            collections_dropped: state.collect_dropped,
+            hub_batches: state.batches,
+            largest_batch: state.largest_batch,
+            on_demand_attempted: state.od_attempted,
+            on_demand_completed: state.od_completed,
+            on_demand_latencies: state.od_latencies,
+            devices_churned: self.churn.len() as u64,
         }
+    }
+
+    /// One event of the shard timeline.
+    fn handle(
+        &mut self,
+        engine: &mut Engine<FleetEvent>,
+        state: &mut RunState,
+        network: &NetworkModel,
+        event: ScheduledEvent<FleetEvent>,
+    ) {
+        let now = event.time;
+        match event.payload {
+            FleetEvent::Measure { device, epoch } => {
+                let d = &mut self.devices[device];
+                if !d.active || d.epoch != epoch {
+                    return; // stale event from before a churn transition
+                }
+                drain_due_measurements(d, now, state);
+                let next = d.prover.next_measurement_due();
+                if next <= d.horizon {
+                    engine.schedule_at(next, FleetEvent::Measure { device, epoch });
+                }
+            }
+            FleetEvent::CollectArrive { device } => {
+                state.collect_attempted += 1;
+                let d = &mut self.devices[device];
+                if !d.active {
+                    // An absent device answers nothing: the attempt is lost.
+                    state.collect_dropped += 1;
+                    return;
+                }
+                // `run_until` semantics: a measurement due exactly at the
+                // collection instant happens before the buffer is read.
+                drain_due_measurements(d, now, state);
+                let started = Instant::now();
+                let response = d.prover.handle_collection(&state.request, now);
+                state.verify_wall += started.elapsed();
+                let seq = d.collect_seq;
+                d.collect_seq += 1;
+                match network.sample(flow(d.global, CHANNEL_COLLECT), seq) {
+                    Delivery::Dropped => state.collect_dropped += 1,
+                    Delivery::Delivered(latency) => engine.schedule_at(
+                        now + latency,
+                        FleetEvent::CollectDeliver { device, response },
+                    ),
+                }
+            }
+            FleetEvent::CollectDeliver { device, response } => {
+                let d = &mut self.devices[device];
+                let started = Instant::now();
+                let report = d
+                    .verifier
+                    .verify_collection(&response, now)
+                    .expect("fleet collection verifies");
+                state.verify_wall += started.elapsed();
+                state.collect_delivered += 1;
+                state.verifications += report.measurements().len() as u64;
+                state.note_health(&report, true);
+                self.push_report(state, now, report);
+            }
+            FleetEvent::OnDemand {
+                device,
+                request,
+                issued,
+            } => {
+                let d = &mut self.devices[device];
+                if !d.active {
+                    state.od_dropped += 1;
+                    return;
+                }
+                // The fresh measurement dominates the cost of serving the
+                // request, so the exchange is timed as measurement work.
+                let started = Instant::now();
+                let outcome = d.prover.handle_on_demand(&request, now);
+                state.measure_wall += started.elapsed();
+                match outcome {
+                    // Rejected requests (e.g. reordered arrivals tripping
+                    // the anti-replay check) fail the exchange, not the run.
+                    Err(_) => state.od_dropped += 1,
+                    Ok(response) => {
+                        state.measurements += 1; // the fresh M_0
+                        let seq = d.od_response_seq;
+                        d.od_response_seq += 1;
+                        match network.sample(flow(d.global, CHANNEL_OD_RESPONSE), seq) {
+                            Delivery::Dropped => state.od_dropped += 1,
+                            Delivery::Delivered(latency) => engine.schedule_at(
+                                now + latency,
+                                FleetEvent::OnDemandDeliver(Box::new(OnDemandExchange {
+                                    device,
+                                    request,
+                                    response,
+                                    issued,
+                                })),
+                            ),
+                        }
+                    }
+                }
+            }
+            FleetEvent::OnDemandDeliver(exchange) => {
+                let d = &mut self.devices[exchange.device];
+                let started = Instant::now();
+                let verified =
+                    d.verifier
+                        .verify_on_demand(&exchange.request, &exchange.response, now);
+                state.verify_wall += started.elapsed();
+                match verified {
+                    Ok(report) => {
+                        state.od_completed += 1;
+                        state
+                            .od_latencies
+                            .push(now.saturating_duration_since(exchange.issued));
+                        state.verifications += report.measurements().len() as u64;
+                        state.note_health(&report, false);
+                        self.push_report(state, now, report);
+                    }
+                    Err(_) => state.od_dropped += 1,
+                }
+            }
+            FleetEvent::DeviceLeave { device } => {
+                let d = &mut self.devices[device];
+                if d.active {
+                    d.active = false;
+                    d.epoch += 1;
+                }
+            }
+            FleetEvent::DeviceJoin { device } => {
+                let d = &mut self.devices[device];
+                if !d.active {
+                    d.active = true;
+                    d.epoch += 1;
+                    d.prover.skip_missed_measurements(now);
+                    let next = d.prover.next_measurement_due();
+                    if next <= d.horizon {
+                        engine.schedule_at(
+                            next,
+                            FleetEvent::Measure {
+                                device,
+                                epoch: d.epoch,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Buffers a verified report into the current delivery burst; a new
+    /// arrival instant seals the previous burst into the hub.
+    fn push_report(&mut self, state: &mut RunState, at: SimTime, report: CollectionReport) {
+        if state.pending_at != Some(at) {
+            self.flush_batch(state);
+            state.pending_at = Some(at);
+        }
+        state.pending.push(report);
+    }
+
+    /// Folds the buffered burst into the shard hub via `ingest_batch`. Hub
+    /// bookkeeping happens outside the timed verify span, keeping
+    /// `verifications_per_sec` comparable with the pre-hub trajectory in
+    /// earlier `BENCH_fleet.json` revisions.
+    fn flush_batch(&mut self, state: &mut RunState) {
+        if state.pending.is_empty() {
+            state.pending_at = None;
+            return;
+        }
+        let outcome = self.hub.ingest_batch(state.pending.iter());
+        state.all_healthy &= outcome.rejected == 0;
+        state.batches += 1;
+        state.largest_batch = state.largest_batch.max(state.pending.len() as u64);
+        state.pending.clear();
+        state.pending_at = None;
     }
 
     /// Surrenders the shard's history hub for merging into the fleet-wide
@@ -203,27 +641,47 @@ impl Shard {
     }
 }
 
+/// Takes every scheduled self-measurement due at or before `now`, exactly
+/// like `Prover::run_until` but without allocating per-event outcome
+/// vectors.
+fn drain_due_measurements(device: &mut ShardDevice, now: SimTime, state: &mut RunState) {
+    if device.prover.next_measurement_due() > now {
+        return;
+    }
+    let started = Instant::now();
+    while device.prover.next_measurement_due() <= now {
+        let due = device.prover.next_measurement_due();
+        device.prover.self_measure(due).expect("fleet measurement");
+        state.measurements += 1;
+    }
+    state.measure_wall += started.elapsed();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use erasmus_crypto::MacAlgorithm;
+    use erasmus_sim::NetworkConfig;
 
     fn config() -> FleetConfig {
-        FleetConfig {
-            provers: 6,
-            measurements_per_round: 3,
-            rounds: 2,
-            memory_bytes: 256,
-            stagger_groups: 3,
-            algorithm: MacAlgorithm::HmacSha256,
-        }
+        FleetConfig::new(6, 3, 2, 256, 3, MacAlgorithm::HmacSha256)
+    }
+
+    fn shard_for(config: &FleetConfig, range: Range<usize>, index: usize) -> Shard {
+        let schedule = config.schedule();
+        Shard::provision(
+            index,
+            config,
+            &schedule,
+            range,
+            &super::super::on_demand_plan(config),
+        )
     }
 
     #[test]
     fn shard_drives_only_its_range() {
         let config = config();
-        let schedule = config.schedule();
-        let mut shard = Shard::provision(1, &config, &schedule, 2..5);
+        let mut shard = shard_for(&config, 2..5, 1);
         let report = shard.run(&config);
         assert_eq!(report.shard, 1);
         assert_eq!(report.provers, 3);
@@ -231,6 +689,11 @@ mod tests {
         assert_eq!(report.verifications, report.measurements);
         assert!(report.all_healthy);
         assert!(report.simulated_busy > SimDuration::ZERO);
+        assert_eq!(report.collections_attempted, 3 * 2);
+        assert_eq!(report.collections_delivered, 3 * 2);
+        assert_eq!(report.collections_dropped, 0);
+        assert!(report.hub_batches >= 1);
+        assert!(report.largest_batch >= 1);
 
         // The hub tracks exactly the shard's devices, under their *global*
         // fleet ids.
@@ -248,7 +711,7 @@ mod tests {
     fn measurement_instants_are_genuinely_staggered() {
         let config = config(); // 6 devices, 3 stagger groups over T_M = 10 s
         let schedule = config.schedule();
-        let mut shard = Shard::provision(0, &config, &schedule, 0..3);
+        let mut shard = shard_for(&config, 0..3, 0);
         shard.run(&config);
         let hub = shard.into_hub();
         // Devices 0/1/2 sit in groups 0/1/2: their k-th measurements fire at
@@ -271,10 +734,111 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_deliveries_form_one_batch() {
+        // One stagger group: all devices collect — and, with an ideal
+        // network, deliver — at the same instants, so each round is exactly
+        // one burst.
+        let config = FleetConfig::new(4, 2, 3, 128, 1, MacAlgorithm::KeyedBlake2s);
+        let mut shard = shard_for(&config, 0..4, 0);
+        let report = shard.run(&config);
+        assert_eq!(report.hub_batches, config.rounds as u64);
+        assert_eq!(report.largest_batch, config.provers as u64);
+    }
+
+    #[test]
+    fn lossy_shard_conserves_attempts() {
+        let mut config = config();
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(10),
+            loss: 0.3,
+        };
+        config.seed = 7;
+        let mut shard = shard_for(&config, 0..6, 0);
+        let report = shard.run(&config);
+        assert_eq!(
+            report.collections_delivered + report.collections_dropped,
+            report.collections_attempted
+        );
+        assert_eq!(report.collections_attempted, 6 * 2);
+        // Measurements happen on-device regardless of collection fate.
+        assert_eq!(report.measurements, 6 * 3 * 2);
+        // Only delivered reports are verified.
+        assert_eq!(report.verifications, report.collections_delivered * 3);
+        let hub = shard.into_hub();
+        assert_eq!(hub.ingested(), report.collections_delivered);
+
+        // Determinism: the identical shard sees the identical fates.
+        let mut again = shard_for(&config, 0..6, 0);
+        let rerun = again.run(&config);
+        assert_eq!(rerun.collections_delivered, report.collections_delivered);
+        assert_eq!(rerun.verifications, report.verifications);
+    }
+
+    #[test]
+    fn churned_devices_miss_work_deterministically() {
+        let mut config = FleetConfig::new(8, 2, 4, 128, 2, MacAlgorithm::HmacSha256);
+        config.churn = 0.9;
+        config.seed = 11;
+        let mut shard = shard_for(&config, 0..8, 0);
+        let report = shard.run(&config);
+        assert!(report.devices_churned > 0, "plan drew no churners");
+        // Absent devices measure less and miss collections.
+        assert!(report.measurements < config.total_measurements());
+        assert!(report.collections_dropped > 0);
+        assert_eq!(
+            report.collections_delivered + report.collections_dropped,
+            report.collections_attempted
+        );
+        assert!(report.all_healthy, "gaps must not read as compromise");
+
+        // Identical simulated outcome on a re-run (wall clocks aside).
+        let mut again = shard_for(&config, 0..8, 0);
+        let rerun = again.run(&config);
+        assert_eq!(rerun.measurements, report.measurements);
+        assert_eq!(rerun.verifications, report.verifications);
+        assert_eq!(rerun.collections_delivered, report.collections_delivered);
+        assert_eq!(rerun.collections_dropped, report.collections_dropped);
+        assert_eq!(rerun.devices_churned, report.devices_churned);
+        assert_eq!(rerun.simulated_busy, report.simulated_busy);
+    }
+
+    #[test]
+    fn extreme_latency_does_not_read_as_tampering() {
+        // Delivery shifted by more than T_M moves the verifier's coverage
+        // window: the resulting "missing measurement" verdicts are a
+        // latency artefact, not tampering, and must not fail the run.
+        let mut config = config();
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_secs(15),
+            jitter: SimDuration::from_secs(10),
+            loss: 0.0,
+        };
+        let mut shard = shard_for(&config, 0..6, 0);
+        let report = shard.run(&config);
+        assert_eq!(report.collections_delivered, report.collections_attempted);
+        assert_eq!(report.collections_dropped, 0);
+        assert!(report.all_healthy, "latency gaps read as compromise");
+    }
+
+    #[test]
+    fn on_demand_exchanges_complete_under_ideal_network() {
+        let mut config = config();
+        config.on_demand = 5;
+        let mut shard = shard_for(&config, 0..6, 0);
+        let report = shard.run(&config);
+        assert_eq!(report.on_demand_attempted, 5);
+        assert_eq!(report.on_demand_completed, 5);
+        assert_eq!(report.on_demand_latencies.len(), 5);
+        // Each exchange takes one fresh measurement on top of the schedule.
+        assert_eq!(report.measurements, config.total_measurements() + 5);
+        assert!(report.all_healthy);
+    }
+
+    #[test]
     fn empty_shard_is_a_no_op() {
         let config = config();
-        let schedule = config.schedule();
-        let mut shard = Shard::provision(0, &config, &schedule, 0..0);
+        let mut shard = shard_for(&config, 0..0, 0);
         let report = shard.run(&config);
         assert_eq!(report.provers, 0);
         assert_eq!(report.measurements, 0);
@@ -285,11 +849,12 @@ mod tests {
     #[test]
     fn shard_report_json_is_balanced() {
         let config = config();
-        let schedule = config.schedule();
-        let mut shard = Shard::provision(0, &config, &schedule, 0..2);
+        let mut shard = shard_for(&config, 0..2, 0);
         let text = shard.run(&config).to_json("  ");
         assert!(text.contains("\"shard\": 0"));
         assert!(text.contains("\"provers\": 2"));
+        assert!(text.contains("\"collections_delivered\": 4")); // 2 devices × 2 rounds
+        assert!(text.contains("\"hub_batches\""));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 }

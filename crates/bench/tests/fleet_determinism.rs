@@ -1,19 +1,27 @@
 //! The sharded fleet engine must be a pure partition of the work: thread
 //! count changes wall-clock, never the simulated protocol. These tests pin
-//! the determinism contract the `BENCH_fleet.json` scaling sweep relies on.
+//! the determinism contract the `BENCH_fleet.json` scaling sweep relies
+//! on — including for lossy, churning and on-demand timelines, whose
+//! per-device draws are keyed by the global device index and therefore
+//! independent of the partition.
 
 use erasmus_bench::fleet::{self, scaling, FleetConfig};
 use erasmus_crypto::MacAlgorithm;
+use erasmus_sim::{NetworkConfig, SimDuration};
 
 fn config(algorithm: MacAlgorithm) -> FleetConfig {
-    FleetConfig {
-        provers: 96,
-        measurements_per_round: 3,
-        rounds: 2,
-        memory_bytes: 512,
-        stagger_groups: 4,
-        algorithm,
-    }
+    FleetConfig::new(96, 3, 2, 512, 4, algorithm)
+}
+
+fn lossy_config() -> FleetConfig {
+    let mut config = config(MacAlgorithm::HmacSha256);
+    config.network = NetworkConfig {
+        base_latency: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        loss: 0.05,
+    };
+    config.seed = 42;
+    config
 }
 
 #[test]
@@ -44,6 +52,36 @@ fn threaded_and_single_threaded_runs_are_identical() {
 }
 
 #[test]
+fn default_flags_reproduce_the_phase_loop_totals() {
+    // The event-driven runtime must be observationally identical to the
+    // original measure-then-collect phase loops when no scenario knob is
+    // turned: exact totals, exact hub coverage, every report AllHealthy —
+    // at 1 and 4 threads.
+    let config = config(MacAlgorithm::HmacSha256);
+    for threads in [1usize, 4] {
+        let report = fleet::run_threaded(&config, threads);
+        assert_eq!(
+            report.measurements_total,
+            config.total_measurements(),
+            "threads={threads}"
+        );
+        assert_eq!(report.verifications_total, config.total_measurements());
+        assert_eq!(
+            report.collections_attempted,
+            config.total_collection_attempts()
+        );
+        assert_eq!(report.collections_delivered, report.collections_attempted);
+        assert_eq!(report.collections_dropped, 0);
+        assert_eq!(report.collections_ingested, report.collections_delivered);
+        assert_eq!(report.devices_tracked, config.provers);
+        assert_eq!(report.history_entries, config.total_measurements());
+        assert!(report.all_healthy, "threads={threads}");
+        assert_eq!(report.devices_churned, 0);
+        assert_eq!(report.on_demand_attempted, 0);
+    }
+}
+
+#[test]
 fn determinism_holds_for_every_algorithm() {
     for alg in MacAlgorithm::ALL {
         let config = config(alg);
@@ -62,6 +100,92 @@ fn determinism_holds_for_every_algorithm() {
 }
 
 #[test]
+fn lossy_runs_are_deterministic_and_conserve_attempts() {
+    let config = lossy_config();
+    let first = fleet::run_threaded(&config, 1);
+    let again = fleet::run_threaded(&config, 1);
+    let threaded = fleet::run_threaded(&config, 4);
+
+    // Same seed → same packet fates, run to run and thread count to thread
+    // count.
+    assert_eq!(first.collections_delivered, again.collections_delivered);
+    assert_eq!(first.collections_dropped, again.collections_dropped);
+    assert_eq!(first.collections_delivered, threaded.collections_delivered);
+    assert_eq!(first.collections_dropped, threaded.collections_dropped);
+    assert_eq!(first.verifications_total, threaded.verifications_total);
+    assert_eq!(first.history_entries, threaded.history_entries);
+
+    // Conservation: every scheduled attempt is either delivered or dropped,
+    // and the hub ingested exactly the delivered ones.
+    assert_eq!(
+        first.collections_delivered + first.collections_dropped,
+        first.collections_attempted
+    );
+    assert_eq!(
+        first.collections_attempted,
+        config.total_collection_attempts()
+    );
+    assert!(first.collections_dropped > 0, "5% loss dropped nothing");
+    assert_eq!(first.collections_ingested, first.collections_delivered);
+
+    // Devices measure regardless of collection fate; loss only removes
+    // evidence from the verifier side, it does not fabricate compromise.
+    assert_eq!(first.measurements_total, config.total_measurements());
+    assert!(first.all_healthy);
+
+    // A different seed draws different fates.
+    let mut reseeded = config.clone();
+    reseeded.seed = 1337;
+    let other = fleet::run_threaded(&reseeded, 1);
+    assert_eq!(
+        other.collections_delivered + other.collections_dropped,
+        other.collections_attempted
+    );
+    assert_ne!(other.collections_delivered, first.collections_delivered);
+}
+
+#[test]
+fn churn_and_on_demand_stay_thread_invariant() {
+    let mut config = config(MacAlgorithm::KeyedBlake2s);
+    config.rounds = 3;
+    config.churn = 0.25;
+    config.on_demand = 24;
+    config.network = NetworkConfig {
+        base_latency: SimDuration::from_millis(10),
+        jitter: SimDuration::from_millis(5),
+        loss: 0.02,
+    };
+    config.seed = 7;
+
+    let single = fleet::run_threaded(&config, 1);
+    let threaded = fleet::run_threaded(&config, 4);
+
+    assert_eq!(single.measurements_total, threaded.measurements_total);
+    assert_eq!(single.verifications_total, threaded.verifications_total);
+    assert_eq!(single.collections_delivered, threaded.collections_delivered);
+    assert_eq!(single.collections_dropped, threaded.collections_dropped);
+    assert_eq!(single.devices_churned, threaded.devices_churned);
+    assert_eq!(single.on_demand_attempted, threaded.on_demand_attempted);
+    assert_eq!(single.on_demand_completed, threaded.on_demand_completed);
+    assert_eq!(single.on_demand_p50, threaded.on_demand_p50);
+    assert_eq!(single.on_demand_p99, threaded.on_demand_p99);
+    assert_eq!(single.history_entries, threaded.history_entries);
+    assert_eq!(single.simulated_busy, threaded.simulated_busy);
+
+    assert!(single.devices_churned > 0, "25% churn drew no churners");
+    assert_eq!(single.on_demand_attempted, 24);
+    assert!(single.on_demand_completed > 0);
+    assert!(single.on_demand_p50 <= single.on_demand_p99);
+    assert_eq!(
+        single.collections_delivered + single.collections_dropped,
+        single.collections_attempted
+    );
+    // Churned devices skip part of their schedule.
+    assert!(single.measurements_total < config.total_measurements() + 24);
+    assert!(single.all_healthy, "gaps must not read as compromise");
+}
+
+#[test]
 fn hub_tracks_every_device_exactly_once_at_fleet_scale() {
     let config = config(MacAlgorithm::KeyedBlake2s);
     let report = fleet::run_threaded(&config, 4);
@@ -76,6 +200,18 @@ fn hub_tracks_every_device_exactly_once_at_fleet_scale() {
 }
 
 #[test]
+fn more_stagger_groups_than_provers_is_well_defined_at_scale() {
+    let mut config = FleetConfig::new(5, 2, 2, 256, 64, MacAlgorithm::HmacSha256);
+    config.seed = 3;
+    let single = fleet::run_threaded(&config, 1);
+    let threaded = fleet::run_threaded(&config, 4);
+    assert_eq!(single.measurements_total, config.total_measurements());
+    assert_eq!(single.measurements_total, threaded.measurements_total);
+    assert_eq!(single.verifications_total, threaded.verifications_total);
+    assert!(single.all_healthy && threaded.all_healthy);
+}
+
+#[test]
 fn scaling_sweep_is_work_preserving() {
     let config = config(MacAlgorithm::HmacSha256);
     // sweep() itself asserts identical totals at every thread count.
@@ -84,6 +220,18 @@ fn scaling_sweep_is_work_preserving() {
     assert!((points[0].speedup - 1.0).abs() < 1e-12);
     for point in &points {
         assert!(point.measurements_per_sec > 0.0, "rates must stay positive");
+        assert!(point.verifications_per_sec > 0.0);
+    }
+}
+
+#[test]
+fn scaling_sweep_is_work_preserving_under_loss() {
+    // The sweep's totals assertion must hold for lossy runs too: delivery
+    // fates are drawn per (device, sequence), never per shard.
+    let points = scaling::sweep(&lossy_config(), 4);
+    assert_eq!(points.len(), 3);
+    for point in &points {
+        assert!(point.measurements_per_sec > 0.0);
         assert!(point.verifications_per_sec > 0.0);
     }
 }

@@ -16,6 +16,15 @@
 //!
 //! A collection response is the device id (u64), a measurement count (u16)
 //! and that many measurements back to back.
+//!
+//! A collection *batch* is a response count (u16, at most
+//! [`MAX_BATCH_RESPONSES`]) followed by that many responses back to back.
+//! It is the wire frame for one hub delivery burst — the same unit
+//! [`crate::VerifierHub::ingest_batch`] consumes after verification. The
+//! in-process fleet harness hands verified reports over in memory; this
+//! framing is the serialization boundary for a networked hub front-end
+//! (decode → verify each response → `ingest_batch`), and the batch tests
+//! below drive that full pipeline.
 
 use std::fmt;
 
@@ -188,18 +197,77 @@ pub fn encode_collection_response(response: &CollectionResponse) -> Vec<u8> {
 /// trailing garbage.
 pub fn decode_collection_response(bytes: &[u8]) -> Result<CollectionResponse, DecodeError> {
     let mut reader = Reader::new(bytes);
+    let response = decode_collection_response_from(&mut reader)?;
+    reader.finish()?;
+    Ok(response)
+}
+
+/// Largest number of responses one batch frame may carry. Mirrors the
+/// exact-digest-length rule: an implausible count can only come from
+/// corrupted or hostile input and is rejected before any allocation.
+pub const MAX_BATCH_RESPONSES: usize = 1024;
+
+fn decode_collection_response_from(
+    reader: &mut Reader<'_>,
+) -> Result<CollectionResponse, DecodeError> {
     let device = reader.u64("device id")?;
     let count = reader.u16("measurement count")? as usize;
     let mut measurements = Vec::with_capacity(count.min(1024));
     for _ in 0..count {
-        measurements.push(decode_measurement_from(&mut reader)?);
+        measurements.push(decode_measurement_from(reader)?);
     }
-    reader.finish()?;
     Ok(CollectionResponse {
         device: DeviceId::new(device),
         measurements,
         prover_time: SimDuration::ZERO,
     })
+}
+
+/// Serializes a burst of collection responses as one batch frame — what a
+/// single hub delivery event carries on the wire before each response is
+/// verified and the reports are folded in via
+/// [`crate::VerifierHub::ingest_batch`].
+///
+/// # Panics
+///
+/// Panics if `responses` exceeds [`MAX_BATCH_RESPONSES`]; split larger
+/// bursts into multiple frames.
+pub fn encode_collection_batch(responses: &[CollectionResponse]) -> Vec<u8> {
+    assert!(
+        responses.len() <= MAX_BATCH_RESPONSES,
+        "batch of {} responses exceeds MAX_BATCH_RESPONSES ({MAX_BATCH_RESPONSES})",
+        responses.len()
+    );
+    let mut out = Vec::new();
+    out.extend_from_slice(&(responses.len() as u16).to_be_bytes());
+    for response in responses {
+        out.extend_from_slice(&encode_collection_response(response));
+    }
+    out
+}
+
+/// Parses a batch frame.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input, a batch count above
+/// [`MAX_BATCH_RESPONSES`], any malformed inner response, or trailing
+/// garbage — so a frame either parses completely or not at all.
+pub fn decode_collection_batch(bytes: &[u8]) -> Result<Vec<CollectionResponse>, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let count = reader.u16("batch count")? as usize;
+    if count > MAX_BATCH_RESPONSES {
+        return Err(DecodeError::new(
+            format!("implausible batch count {count}"),
+            0,
+        ));
+    }
+    let mut responses = Vec::with_capacity(count);
+    for _ in 0..count {
+        responses.push(decode_collection_response_from(&mut reader)?);
+    }
+    reader.finish()?;
+    Ok(responses)
 }
 
 #[cfg(test)]
@@ -304,5 +372,125 @@ mod tests {
         bytes[12] ^= 0x01;
         let decoded = decode_measurement(&bytes).expect("still well-formed");
         assert!(!decoded.verify(&KEY, MacAlgorithm::HmacSha256));
+    }
+
+    fn sample_response(device: u64, count: usize) -> CollectionResponse {
+        CollectionResponse {
+            device: DeviceId::new(device),
+            measurements: (0..count).map(|i| sample(10 * (i as u64 + 1))).collect(),
+            prover_time: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let batch = vec![
+            sample_response(1, 3),
+            sample_response(2, 0),
+            sample_response(7, 1),
+        ];
+        let bytes = encode_collection_batch(&batch);
+        let decoded = decode_collection_batch(&bytes).expect("decodes");
+        assert_eq!(decoded, batch);
+
+        let empty = decode_collection_batch(&encode_collection_batch(&[])).expect("decodes");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn oversized_batch_count_is_rejected() {
+        let mut bytes = ((MAX_BATCH_RESPONSES + 1) as u16).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        let err = decode_collection_batch(&bytes).unwrap_err();
+        assert!(err.to_string().contains("implausible batch count"), "{err}");
+    }
+
+    #[test]
+    fn batch_with_missing_response_is_rejected() {
+        let mut bytes = encode_collection_batch(&[sample_response(1, 1)]);
+        // Claim two responses but carry one.
+        bytes[1] = 2;
+        let err = decode_collection_batch(&bytes).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use erasmus_crypto::MAX_TAG_LEN;
+    use proptest::prelude::*;
+
+    fn arb_measurement() -> impl Strategy<Value = Measurement> {
+        (
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), DIGEST_LEN),
+            proptest::collection::vec(any::<u8>(), 1..=MAX_TAG_LEN),
+        )
+            .prop_map(|(nanos, digest_bytes, tag_bytes)| {
+                let mut digest = MemoryDigest::default();
+                digest.copy_from_slice(&digest_bytes);
+                Measurement::from_parts(SimTime::from_nanos(nanos), digest, MacTag::new(&tag_bytes))
+            })
+    }
+
+    fn arb_response() -> impl Strategy<Value = CollectionResponse> {
+        (
+            any::<u64>(),
+            proptest::collection::vec(arb_measurement(), 0..8),
+        )
+            .prop_map(|(device, measurements)| CollectionResponse {
+                device: DeviceId::new(device),
+                measurements,
+                prover_time: SimDuration::ZERO,
+            })
+    }
+
+    proptest! {
+        /// Any well-formed measurement survives the wire byte-for-byte.
+        #[test]
+        fn measurement_roundtrips(measurement in arb_measurement()) {
+            let bytes = encode_measurement(&measurement);
+            prop_assert_eq!(decode_measurement(&bytes).unwrap(), measurement);
+        }
+
+        /// Any well-formed response — including ones with zero
+        /// measurements — survives the wire.
+        #[test]
+        fn response_roundtrips(response in arb_response()) {
+            let bytes = encode_collection_response(&response);
+            prop_assert_eq!(decode_collection_response(&bytes).unwrap(), response);
+        }
+
+        /// A whole delivery batch survives the wire, preserving response
+        /// order (the hub's per-device arrival order depends on it).
+        #[test]
+        fn batch_roundtrips(batch in proptest::collection::vec(arb_response(), 0..6)) {
+            let bytes = encode_collection_batch(&batch);
+            prop_assert_eq!(decode_collection_batch(&bytes).unwrap(), batch);
+        }
+
+        /// Batch framing is prefix-strict: every strict prefix of a valid
+        /// frame is rejected as truncated (no partial batch ever parses).
+        #[test]
+        fn truncated_batches_are_rejected(
+            batch in proptest::collection::vec(arb_response(), 1..4),
+            cut in any::<usize>(),
+        ) {
+            let bytes = encode_collection_batch(&batch);
+            let len = cut % bytes.len(); // in 0..bytes.len(): strict prefix
+            prop_assert!(decode_collection_batch(&bytes[..len]).is_err());
+        }
+
+        /// ...and suffix-strict: trailing garbage is rejected too.
+        #[test]
+        fn oversized_batches_are_rejected(
+            batch in proptest::collection::vec(arb_response(), 0..4),
+            trailer in proptest::collection::vec(any::<u8>(), 1..16),
+        ) {
+            let mut bytes = encode_collection_batch(&batch);
+            bytes.extend_from_slice(&trailer);
+            prop_assert!(decode_collection_batch(&bytes).is_err());
+        }
     }
 }

@@ -231,6 +231,16 @@ impl Prover {
         Ok(outcomes)
     }
 
+    /// Fast-forwards the device to `now` without taking the measurements
+    /// that were due meanwhile: the device was powered off or away from the
+    /// fleet (churn), so that evidence simply does not exist. The schedule
+    /// stays phase-aligned; the verifier will see the gap as missing
+    /// measurements, which is the honest outcome.
+    pub fn skip_missed_measurements(&mut self, now: SimTime) {
+        self.mcu.advance_time_to(now);
+        self.scheduler.skip_until(now);
+    }
+
     /// Requests deferral of the pending measurement because a time-critical
     /// task is running (Section 5). Returns the new due time if the
     /// schedule's lenient window allows it.
@@ -555,6 +565,25 @@ mod tests {
             .digest()
             .to_vec();
         assert_ne!(clean, infected);
+    }
+
+    #[test]
+    fn skip_missed_measurements_leaves_a_gap() {
+        let mut prover = default_prover();
+        prover
+            .run_until(SimTime::from_secs(25))
+            .expect("measurements");
+        assert_eq!(prover.measurements_taken(), 2); // t = 10, 20
+        prover.skip_missed_measurements(SimTime::from_secs(65));
+        // Due times 30..60 never fired; the schedule resumes on phase.
+        assert_eq!(prover.measurements_taken(), 2);
+        assert_eq!(prover.next_measurement_due(), SimTime::from_secs(70));
+        assert_eq!(prover.now(), SimTime::from_secs(65));
+        let outcomes = prover
+            .run_until(SimTime::from_secs(75))
+            .expect("measurements");
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].measurement.timestamp(), SimTime::from_secs(70));
     }
 
     #[test]

@@ -210,6 +210,40 @@ impl MeasurementScheduler {
         }
     }
 
+    /// Fast-forwards the schedule past `now` *without* recording any
+    /// completion: the measurements that were due meanwhile simply never
+    /// happened (the device was powered off or absent from the network).
+    ///
+    /// Regular and lenient schedules stay phase-aligned — the next due time
+    /// is the first `phase + k·T_M` (nominal window for lenient) strictly
+    /// after `now`. Irregular schedules draw a fresh interval from `now`,
+    /// exactly as [`MeasurementScheduler::mark_completed`] would.
+    pub fn skip_until(&mut self, now: SimTime) {
+        if self.next_due > now {
+            return;
+        }
+        match &self.kind {
+            ScheduleKind::Regular => {
+                while self.next_due <= now {
+                    self.next_due += self.interval;
+                }
+            }
+            ScheduleKind::Irregular { lower, upper } => {
+                self.drbg.reseed(&now.as_nanos().to_be_bytes());
+                let nanos = self.drbg.next_in_range(lower.as_nanos(), upper.as_nanos());
+                self.next_due = now + SimDuration::from_nanos(nanos);
+            }
+            ScheduleKind::Lenient { .. } => {
+                let origin = SimTime::ZERO + self.phase;
+                let since_origin = now.saturating_duration_since(origin);
+                let periods = since_origin.as_nanos() / self.interval.as_nanos() + 1;
+                self.nominal_due =
+                    origin + SimDuration::from_nanos(periods * self.interval.as_nanos());
+                self.next_due = self.nominal_due;
+            }
+        }
+    }
+
     /// Defers the pending measurement because the device is busy with a
     /// time-critical task (Section 5).
     ///
@@ -381,6 +415,48 @@ mod tests {
         // Completing at the deferred time starts the next nominal window.
         s.mark_completed(SimTime::from_secs(30));
         assert_eq!(s.next_due(), SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn skip_until_fast_forwards_without_completions() {
+        let phase = SimDuration::from_secs(3);
+        let mut s = MeasurementScheduler::new_with_phase(ScheduleKind::Regular, TM, &KEY, phase);
+        assert_eq!(s.next_due(), SimTime::from_secs(13));
+        // Device offline until t = 47: due times 13/23/33/43 never happened.
+        s.skip_until(SimTime::from_secs(47));
+        assert_eq!(s.next_due(), SimTime::from_secs(53));
+        assert_eq!(s.completed(), 0);
+        // A skip into the past (or to now before the due time) is a no-op.
+        s.skip_until(SimTime::from_secs(10));
+        assert_eq!(s.next_due(), SimTime::from_secs(53));
+    }
+
+    #[test]
+    fn skip_until_keeps_lenient_windows_phase_aligned() {
+        let phase = SimDuration::from_secs(4);
+        let mut s = MeasurementScheduler::new_with_phase(
+            ScheduleKind::Lenient { window_factor: 2.0 },
+            TM,
+            &KEY,
+            phase,
+        );
+        s.skip_until(SimTime::from_secs(31));
+        assert_eq!(s.next_due(), SimTime::from_secs(34));
+        // The post-skip window defers like any other nominal window.
+        let deferred = s.defer(SimTime::from_secs(34)).expect("deferral granted");
+        assert_eq!(deferred, SimTime::from_secs(44));
+    }
+
+    #[test]
+    fn skip_until_redraws_irregular_intervals_in_bounds() {
+        let lower = SimDuration::from_secs(5);
+        let upper = SimDuration::from_secs(15);
+        let mut s = MeasurementScheduler::new(ScheduleKind::Irregular { lower, upper }, TM, &KEY);
+        s.skip_until(SimTime::from_secs(100));
+        let gap = s
+            .next_due()
+            .saturating_duration_since(SimTime::from_secs(100));
+        assert!(gap >= lower && gap < upper, "gap {gap} outside bounds");
     }
 
     #[test]

@@ -112,14 +112,56 @@ impl<T> Engine<T> {
     /// Runs `handler` on every event until the queue is empty or `handler`
     /// returns `false`.
     ///
+    /// The handler receives the engine itself, so it can schedule follow-up
+    /// events. When the handler also needs mutable access to external state
+    /// (devices, counters, a report sink) *and* that state lives in the same
+    /// struct as the engine, the borrow checker rejects the capturing
+    /// closure — use [`Engine::run_with`] and pass the state as the context
+    /// instead.
+    ///
     /// Returns the number of events delivered by this call.
     pub fn run<F>(&mut self, mut handler: F) -> u64
     where
         F: FnMut(&mut Self, ScheduledEvent<T>) -> bool,
     {
+        self.run_with(&mut (), move |engine, (), event| handler(engine, event))
+    }
+
+    /// Runs `handler` on every event, threading a mutable context through
+    /// every invocation, until the queue is empty or `handler` returns
+    /// `false`.
+    ///
+    /// This is the event-loop entry point for simulation drivers: the
+    /// handler can both schedule follow-up events on the engine *and* mutate
+    /// the simulation state (`ctx`) without fighting the borrow checker,
+    /// which a closure capturing state from the engine's owner cannot do.
+    ///
+    /// Returns the number of events delivered by this call.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use erasmus_sim::{Engine, SimDuration};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.schedule_in(SimDuration::from_secs(1), 0u32);
+    /// let mut log = Vec::new();
+    /// engine.run_with(&mut log, |engine, log, event| {
+    ///     log.push(event.payload);
+    ///     if event.payload < 3 {
+    ///         engine.schedule_in(SimDuration::from_secs(1), event.payload + 1);
+    ///     }
+    ///     true
+    /// });
+    /// assert_eq!(log, vec![0, 1, 2, 3]);
+    /// ```
+    pub fn run_with<C, F>(&mut self, ctx: &mut C, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, &mut C, ScheduledEvent<T>) -> bool,
+    {
         let start = self.processed;
         while let Some(event) = self.next_event() {
-            if !handler(self, event) {
+            if !handler(self, ctx, event) {
                 break;
             }
         }
@@ -193,6 +235,48 @@ mod tests {
         let delivered = engine.run(|_, event| event.payload < 4);
         assert_eq!(delivered, 5); // events 0..=4 delivered; payload 4 stops the loop
         assert_eq!(engine.pending(), 5);
+    }
+
+    #[test]
+    fn run_with_threads_context_through_handlers() {
+        struct Counters {
+            fired: u64,
+            rescheduled: u64,
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(1), 0u32);
+        let mut counters = Counters {
+            fired: 0,
+            rescheduled: 0,
+        };
+        let delivered = engine.run_with(&mut counters, |engine, counters, event| {
+            counters.fired += 1;
+            if event.payload < 2 {
+                counters.rescheduled += 1;
+                engine.schedule_in(SimDuration::from_secs(1), event.payload + 1);
+            }
+            true
+        });
+        assert_eq!(delivered, 3);
+        assert_eq!(counters.fired, 3);
+        assert_eq!(counters.rescheduled, 2);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_with_can_stop_early() {
+        let mut engine = Engine::new();
+        for i in 0..5u32 {
+            engine.schedule_at(SimTime::from_secs(i as u64 + 1), i);
+        }
+        let mut seen = Vec::new();
+        let delivered = engine.run_with(&mut seen, |_, seen, event| {
+            seen.push(event.payload);
+            event.payload < 2
+        });
+        assert_eq!(delivered, 3);
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(engine.pending(), 2);
     }
 
     #[test]

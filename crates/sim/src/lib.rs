@@ -15,6 +15,9 @@
 //! * [`SimRng`] — a small deterministic RNG for workload generation
 //!   (malware dwell times, mobility), so every experiment is reproducible
 //!   from a seed.
+//! * [`NetworkModel`] — deterministic per-flow latency/jitter/loss, so the
+//!   collection links of a fleet experiment can be lossy while every run
+//!   stays reproducible from its seed.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod clock;
 pub mod engine;
 pub mod event;
+pub mod network;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -44,6 +48,7 @@ pub mod trace;
 pub use clock::SimClock;
 pub use engine::Engine;
 pub use event::{EventQueue, ScheduledEvent};
+pub use network::{Delivery, NetworkConfig, NetworkModel};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

@@ -1,0 +1,282 @@
+//! Deterministic network model: per-flow latency, jitter and loss.
+//!
+//! ERASMUS collections cross a real network — the paper prices UDP packet
+//! transmission (Table 2) and Section 6 reasons about unattended swarms
+//! whose links come and go. [`NetworkModel`] gives simulation drivers a
+//! reproducible stand-in for that network: every transmission is either
+//! delivered after `base_latency` plus a jitter draw, or dropped with the
+//! configured loss probability.
+//!
+//! Determinism is the whole point. A draw depends only on the model's seed,
+//! the caller-chosen *flow* identifier (typically a device id, optionally
+//! tagged with a channel) and a per-flow *sequence* number — never on the
+//! order in which flows are sampled. A fleet harness that partitions its
+//! devices over worker threads therefore observes the exact same delivery
+//! pattern at any thread count, which is what keeps lossy benchmark runs
+//! reproducible and thread-count-invariant.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Parameters of a simulated link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Fixed one-way latency added to every delivered transmission.
+    pub base_latency: SimDuration,
+    /// Upper bound (exclusive) of the uniform jitter added on top of
+    /// `base_latency`. Zero disables jitter.
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a transmission is dropped.
+    pub loss: f64,
+}
+
+impl NetworkConfig {
+    /// A perfect link: zero latency, zero jitter, zero loss.
+    pub const IDEAL: NetworkConfig = NetworkConfig {
+        base_latency: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        loss: 0.0,
+    };
+
+    /// Whether the link is perfect — delivery is certain and instantaneous,
+    /// so sampling it never consumes randomness.
+    pub fn is_ideal(&self) -> bool {
+        self.base_latency.is_zero() && self.jitter.is_zero() && self.loss == 0.0
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::IDEAL
+    }
+}
+
+/// Outcome of one transmission through a [`NetworkModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The transmission arrives after this one-way latency.
+    Delivered(SimDuration),
+    /// The transmission is lost.
+    Dropped,
+}
+
+impl Delivery {
+    /// Whether the transmission arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Delivery::Delivered(_))
+    }
+
+    /// The latency of a delivered transmission, if any.
+    pub fn latency(&self) -> Option<SimDuration> {
+        match self {
+            Delivery::Delivered(latency) => Some(*latency),
+            Delivery::Dropped => None,
+        }
+    }
+}
+
+/// Deterministic per-flow network model.
+///
+/// # Example
+///
+/// ```
+/// use erasmus_sim::{Delivery, NetworkConfig, NetworkModel, SimDuration};
+///
+/// let config = NetworkConfig {
+///     base_latency: SimDuration::from_millis(20),
+///     jitter: SimDuration::from_millis(10),
+///     loss: 0.0,
+/// };
+/// let model = NetworkModel::new(config, 42);
+/// match model.sample(7, 0) {
+///     Delivery::Delivered(latency) => {
+///         assert!(latency >= SimDuration::from_millis(20));
+///         assert!(latency < SimDuration::from_millis(30));
+///     }
+///     Delivery::Dropped => unreachable!("loss is zero"),
+/// }
+/// // Same (flow, sequence) → same draw, regardless of sampling order.
+/// assert_eq!(model.sample(7, 0), model.sample(7, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    config: NetworkConfig,
+    seed: u64,
+}
+
+impl NetworkModel {
+    /// Creates a model over `config`, with all draws derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a probability in `[0, 1]` or the latency
+    /// parameters are not finite (checked implicitly by `SimDuration`).
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.loss),
+            "loss probability out of range: {}",
+            config.loss
+        );
+        Self { config, seed }
+    }
+
+    /// A perfect network: everything is delivered instantly.
+    pub fn ideal() -> Self {
+        Self::new(NetworkConfig::IDEAL, 0)
+    }
+
+    /// The link parameters.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// The seed all draws derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the underlying link is perfect.
+    pub fn is_ideal(&self) -> bool {
+        self.config.is_ideal()
+    }
+
+    /// Samples the fate of transmission number `sequence` on `flow`.
+    ///
+    /// The draw is a pure function of `(seed, flow, sequence)`: callers may
+    /// sample flows in any order — or from different threads on clones of
+    /// the model — and observe identical outcomes. Use distinct flow ids for
+    /// distinct logical channels (e.g. `device * 4 + channel`) so their
+    /// streams stay independent.
+    pub fn sample(&self, flow: u64, sequence: u64) -> Delivery {
+        if self.config.is_ideal() {
+            return Delivery::Delivered(SimDuration::ZERO);
+        }
+        let mut rng = SimRng::seed_from(mix3(self.seed, flow, sequence));
+        if self.config.loss > 0.0 && rng.gen_bool(self.config.loss) {
+            return Delivery::Dropped;
+        }
+        let jitter = if self.config.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            rng.gen_duration(SimDuration::ZERO, self.config.jitter)
+        };
+        Delivery::Delivered(self.config.base_latency + jitter)
+    }
+}
+
+/// SplitMix64-style finalizer: a cheap bijective scrambler with good
+/// avalanche, so adjacent (flow, sequence) pairs land on unrelated seeds.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+fn mix3(seed: u64, flow: u64, sequence: u64) -> u64 {
+    mix(seed
+        .wrapping_add(mix(flow.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+        .wrapping_add(mix(sequence.wrapping_add(0x6a09_e667_f3bc_c909))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy(loss: f64) -> NetworkModel {
+        NetworkModel::new(
+            NetworkConfig {
+                base_latency: SimDuration::from_millis(5),
+                jitter: SimDuration::from_millis(5),
+                loss,
+            },
+            1234,
+        )
+    }
+
+    #[test]
+    fn ideal_link_is_instant_and_lossless() {
+        let model = NetworkModel::ideal();
+        assert!(model.is_ideal());
+        for flow in 0..100 {
+            assert_eq!(
+                model.sample(flow, 0),
+                Delivery::Delivered(SimDuration::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_flow_and_sequence() {
+        let model = lossy(0.2);
+        let forward: Vec<Delivery> = (0..64).map(|f| model.sample(f, 3)).collect();
+        let backward: Vec<Delivery> = (0..64).rev().map(|f| model.sample(f, 3)).collect();
+        let backward: Vec<Delivery> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        // A clone (as a worker thread would hold) sees the same world.
+        let clone = model.clone();
+        for flow in 0..64 {
+            assert_eq!(model.sample(flow, 3), clone.sample(flow, 3));
+        }
+    }
+
+    #[test]
+    fn latency_respects_base_and_jitter_bounds() {
+        let model = lossy(0.0);
+        for flow in 0..32 {
+            for seq in 0..8 {
+                match model.sample(flow, seq) {
+                    Delivery::Delivered(latency) => {
+                        assert!(latency >= SimDuration::from_millis(5));
+                        assert!(latency < SimDuration::from_millis(10));
+                    }
+                    Delivery::Dropped => panic!("lossless link dropped a packet"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honoured() {
+        let model = lossy(0.25);
+        let drops = (0..4000)
+            .filter(|&seq| !model.sample(seq % 40, seq / 40).is_delivered())
+            .count();
+        let rate = drops as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn distinct_flows_and_seeds_decorrelate() {
+        let a = lossy(0.5);
+        let b = NetworkModel::new(*a.config(), 5678);
+        let a_flow0: Vec<bool> = (0..64).map(|s| a.sample(0, s).is_delivered()).collect();
+        let a_flow1: Vec<bool> = (0..64).map(|s| a.sample(1, s).is_delivered()).collect();
+        let b_flow0: Vec<bool> = (0..64).map(|s| b.sample(0, s).is_delivered()).collect();
+        assert_ne!(a_flow0, a_flow1);
+        assert_ne!(a_flow0, b_flow0);
+    }
+
+    #[test]
+    fn delivery_accessors() {
+        let delivered = Delivery::Delivered(SimDuration::from_millis(3));
+        assert!(delivered.is_delivered());
+        assert_eq!(delivered.latency(), Some(SimDuration::from_millis(3)));
+        assert!(!Delivery::Dropped.is_delivered());
+        assert_eq!(Delivery::Dropped.latency(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let _ = NetworkModel::new(
+            NetworkConfig {
+                loss: 1.5,
+                ..NetworkConfig::IDEAL
+            },
+            0,
+        );
+    }
+}

@@ -28,6 +28,64 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`, like upstream's
+        /// `Strategy::prop_map`.
+        fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.sample(rng),
+                self.1.sample(rng),
+                self.2.sample(rng),
+                self.3.sample(rng),
+            )
+        }
     }
 
     macro_rules! impl_range_strategies {
@@ -363,6 +421,13 @@ mod tests {
         ) {
             prop_assert!(data.len() < 64);
             prop_assert_eq!(fixed.len(), 7);
+        }
+
+        #[test]
+        fn tuples_and_prop_map_compose(
+            pair in (0u64..10, 0u64..10).prop_map(|(a, b)| a * 10 + b),
+        ) {
+            prop_assert!(pair < 100);
         }
 
         #[test]
