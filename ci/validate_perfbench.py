@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
-"""Validate an `erasmus-perfbench/v3` fleet report.
+"""Validate an `erasmus-perfbench/v4` fleet report.
 
 Usage:
     validate_perfbench.py REPORT.json [--lossless]
                           [--expect-seed N] [--expect-loss P]
 
-Checks the structural invariants every v3 document must satisfy (rates
+Checks the structural invariants every v4 document must satisfy (rates
 positive, per-thread sums consistent, delivered + dropped == attempted,
 hub ingestion == delivered, non-negative on-demand latency percentiles,
-scaling sweep well-formed). With `--lossless` it additionally requires a
-perfect delivery record; with `--expect-loss` it requires that the lossy
-network actually dropped something.
+lane fields well-formed, scaling sweep well-formed). With `--lossless` it
+additionally requires a perfect delivery record; with `--expect-loss` it
+requires that the lossy network actually dropped something; with
+`--expect-lanes` it requires the recorded effective lane width and, for
+widths > 1, at least one multi-lane hash job plus a positive lane-speedup
+probe.
 """
 
 import argparse
@@ -18,16 +21,19 @@ import json
 import sys
 
 
-def validate(path: str, lossless: bool, expect_seed, expect_loss) -> None:
+def validate(path: str, lossless: bool, expect_seed, expect_loss, expect_lanes) -> None:
     with open(path) as fh:
         doc = json.load(fh)
 
-    assert doc["schema"] == "erasmus-perfbench/v3", doc["schema"]
+    assert doc["schema"] == "erasmus-perfbench/v4", doc["schema"]
     assert doc["provers"] >= 1000, doc["provers"]
     assert doc["threads"] >= 2, doc["threads"]
+    assert doc["lanes"] >= 1, doc["lanes"]
     assert isinstance(doc["seed"], int), doc["seed"]
     if expect_seed is not None:
         assert doc["seed"] == expect_seed, (doc["seed"], expect_seed)
+    if expect_lanes is not None:
+        assert doc["lanes"] == expect_lanes, (doc["lanes"], expect_lanes)
 
     for result in doc["results"]:
         # Non-positive rates mean the sub-resolution clamp regressed.
@@ -61,6 +67,17 @@ def validate(path: str, lossless: bool, expect_seed, expect_loss) -> None:
         if expect_loss:
             assert dropped > 0, "lossy run dropped nothing — loss knob broken?"
 
+        assert result["lanes"] == doc["lanes"], result
+        assert result["lane_jobs"] >= 0 and result["lane_remainder"] >= 0, result
+        probe = result["lane_speedup"]
+        assert probe is not None, "perfbench must attach the lane-speedup probe"
+        assert probe["lanes"] == result["lanes"], (probe, result["lanes"])
+        assert probe["scalar_measurements_per_sec"] > 0, probe
+        assert probe["lane_measurements_per_sec"] > 0, probe
+        assert probe["speedup"] > 0, probe
+        if result["lanes"] > 1:
+            assert result["lane_jobs"] > 0, "lane width > 1 but no multi-lane job ran"
+
         on_demand = result["on_demand"]
         assert on_demand["completed"] <= on_demand["attempted"], on_demand
         for key in ("latency_ms_p50", "latency_ms_p90", "latency_ms_p99"):
@@ -86,7 +103,8 @@ def validate(path: str, lossless: bool, expect_seed, expect_loss) -> None:
 
     print(
         f"ok: {path}: {len(doc['results'])} algorithms, {doc['provers']} provers, "
-        f"{doc['threads']} threads, seed {doc['seed']}, {len(scaling)} scaling points"
+        f"{doc['threads']} threads, {doc['lanes']} lane(s), seed {doc['seed']}, "
+        f"{len(scaling)} scaling points"
     )
 
 
@@ -96,8 +114,11 @@ def main() -> int:
     parser.add_argument("--lossless", action="store_true")
     parser.add_argument("--expect-seed", type=int, default=None)
     parser.add_argument("--expect-loss", type=float, default=None)
+    parser.add_argument("--expect-lanes", type=int, default=None)
     args = parser.parse_args()
-    validate(args.report, args.lossless, args.expect_seed, args.expect_loss)
+    validate(
+        args.report, args.lossless, args.expect_seed, args.expect_loss, args.expect_lanes
+    )
     return 0
 
 

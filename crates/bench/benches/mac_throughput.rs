@@ -1,10 +1,15 @@
 //! Raw throughput of the from-scratch MAC implementations (the primitive
 //! behind Figures 6 and 8): bytes per second of SHA-256, HMAC-SHA256 and
-//! keyed BLAKE2s on the host, plus the re-keyed vs precomputed key-schedule
-//! comparison on measurement-sized inputs.
+//! keyed BLAKE2s on the host, the re-keyed vs precomputed key-schedule
+//! comparison on measurement-sized inputs, and the scalar vs 4-lane vs
+//! 8-lane multi-buffer comparison behind the fleet's lane-batched
+//! measurement path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use erasmus_crypto::{Blake2s, Digest, HmacSha256, MacAlgorithm, Sha256};
+use erasmus_crypto::{
+    Blake2s, Blake2sx4, Blake2sx8, Digest, HmacSha256, MacAlgorithm, MultiDigest, Sha256, Sha256x4,
+    Sha256x8,
+};
 
 fn bench_mac_throughput(c: &mut Criterion) {
     let key = [0x42u8; 32];
@@ -57,5 +62,62 @@ fn bench_key_schedule(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mac_throughput, bench_key_schedule);
+/// Scalar vs lane-interleaved hashing at measurement-like sizes: the
+/// throughput is bytes hashed across *all* lanes, so the multi-buffer wins
+/// show up directly as higher GiB/s at identical per-message work.
+fn bench_multi_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_buffer");
+    for size in [1024usize, 4 * 1024, 64 * 1024] {
+        let images: Vec<Vec<u8>> = (0..8u8).map(|lane| vec![lane ^ 0xab; size]).collect();
+
+        group.throughput(Throughput::Bytes(8 * size as u64));
+        group.bench_with_input(BenchmarkId::new("SHA-256/scalar", size), &images, |b, m| {
+            b.iter(|| {
+                for image in m.iter() {
+                    std::hint::black_box(Sha256::digest(image));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("SHA-256/x4", size), &images, |b, m| {
+            b.iter(|| {
+                for pair in m.chunks_exact(4) {
+                    std::hint::black_box(Sha256x4::digest(std::array::from_fn(|i| &pair[i][..])));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("SHA-256/x8", size), &images, |b, m| {
+            b.iter(|| {
+                std::hint::black_box(Sha256x8::digest(std::array::from_fn(|i| &m[i][..])));
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("BLAKE2s/scalar", size), &images, |b, m| {
+            b.iter(|| {
+                for image in m.iter() {
+                    std::hint::black_box(Blake2s::digest(image));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BLAKE2s/x4", size), &images, |b, m| {
+            b.iter(|| {
+                for pair in m.chunks_exact(4) {
+                    std::hint::black_box(Blake2sx4::digest(std::array::from_fn(|i| &pair[i][..])));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("BLAKE2s/x8", size), &images, |b, m| {
+            b.iter(|| {
+                std::hint::black_box(Blake2sx8::digest(std::array::from_fn(|i| &m[i][..])));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mac_throughput,
+    bench_key_schedule,
+    bench_multi_buffer
+);
 criterion_main!(benches);

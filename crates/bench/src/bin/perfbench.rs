@@ -5,7 +5,7 @@
 //! each driving an event-driven timeline with an optional lossy network,
 //! device churn and on-demand traffic — prints a throughput summary, runs a
 //! 1→N thread-scaling sweep and writes `BENCH_fleet.json` (schema
-//! `erasmus-perfbench/v3`) at the repository root so successive PRs have a
+//! `erasmus-perfbench/v4`) at the repository root so successive PRs have a
 //! perf trajectory to compare against.
 //!
 //! Usage:
@@ -14,6 +14,7 @@
 //! perfbench                  # full run (4096 provers per algorithm)
 //! perfbench --quick          # CI-sized run (1000 provers per algorithm)
 //! perfbench --threads 4      # shard the fleet over 4 worker threads
+//! perfbench --lanes 4        # batch same-instant measurements 4 lanes wide
 //! perfbench --provers 20000  # override the fleet size
 //! perfbench --seed 7         # reseed every deterministic draw
 //! perfbench --loss 0.05      # drop 5% of collection/on-demand packets
@@ -37,6 +38,7 @@ use erasmus_sim::{NetworkConfig, SimDuration};
 struct Options {
     quick: bool,
     threads: usize,
+    lanes: usize,
     provers: Option<usize>,
     rounds: Option<usize>,
     memory_bytes: Option<usize>,
@@ -49,17 +51,20 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: perfbench [--quick] [--threads N] [--provers N] [--rounds N] [--memory BYTES]\n\
-     \x20                [--seed N] [--loss P] [--latency MS] [--churn P] [--on-demand N]\n\
-     \x20                [--out PATH]\n\
+    "usage: perfbench [--quick] [--threads N] [--lanes N] [--provers N] [--rounds N]\n\
+     \x20                [--memory BYTES] [--seed N] [--loss P] [--latency MS] [--churn P]\n\
+     \x20                [--on-demand N] [--out PATH]\n\
      \n\
      Drives N simulated provers through scheduled self-measurements and\n\
      periodic collections for each MAC algorithm, sharded over --threads\n\
      worker threads running event-driven timelines, then writes the\n\
      BENCH_fleet.json throughput trajectory (default: repository root)\n\
      including a 1..N thread-scaling sweep.\n\
-     --threads, --provers and --rounds must be at least 1; --memory must be\n\
-     at least 1 byte. --loss and --churn are probabilities in [0, 1];\n\
+     --threads, --lanes, --provers and --rounds must be at least 1;\n\
+     --memory must be at least 1 byte. --lanes is an upper bound on the\n\
+     multi-lane hash width: same-instant measurements batch in lockstep\n\
+     groups of the widest supported width (8 or 4) not exceeding it, with\n\
+     totals bit-identical to the scalar path. --loss and --churn are probabilities in [0, 1];\n\
      --latency is the base link latency in milliseconds (jitter is half the\n\
      base); --seed makes lossy/churn runs reproducible and is recorded in\n\
      the JSON report."
@@ -69,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         quick: false,
         threads: 1,
+        lanes: 1,
         provers: None,
         rounds: None,
         memory_bytes: None,
@@ -87,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--quick" => options.quick = true,
             "--threads" => options.threads = numeric(value_for("--threads")?, "--threads", 1)?,
+            "--lanes" => options.lanes = numeric(value_for("--lanes")?, "--lanes", 1)?,
             "--provers" => {
                 options.provers = Some(numeric(value_for("--provers")?, "--provers", 1)?);
             }
@@ -180,6 +187,7 @@ fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
     };
     config.churn = options.churn;
     config.on_demand = options.on_demand;
+    config.lanes = options.lanes;
     config
 }
 
@@ -206,20 +214,42 @@ fn main() -> ExitCode {
             let config = config_for(&options, algorithm);
             eprintln!(
                 "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) \
-                 (seed {}, loss {}, latency {} ms, churn {}, on-demand {}) ...",
+                 x {} lane(s) (seed {}, loss {}, latency {} ms, churn {}, on-demand {}) ...",
                 config.provers,
                 config.measurements_per_round,
                 config.rounds,
                 options.threads,
+                fleet::lanes::effective_width(config.lanes),
                 config.seed,
                 config.network.loss,
                 options.latency_ms,
                 config.churn,
                 config.on_demand,
             );
-            fleet::run_threaded(&config, options.threads)
+            let mut report = fleet::run_threaded(&config, options.threads);
+            // Attach the scalar-vs-lane digest probe so the JSON records
+            // what the lane-interleaved cores buy at this memory size.
+            report.lane_speedup = Some(fleet::lanes::measure(
+                algorithm,
+                config.memory_bytes,
+                config.lanes,
+            ));
+            report
         })
         .collect();
+
+    for report in &reports {
+        if let Some(probe) = &report.lane_speedup {
+            eprintln!(
+                "perfbench: {}: lane probe x{}: scalar {:.0} meas/s, lanes {:.0} meas/s ({:.2}x)",
+                report.config.algorithm,
+                probe.lanes,
+                probe.scalar_per_sec,
+                probe.lane_per_sec,
+                probe.speedup,
+            );
+        }
+    }
 
     print!("{}", fleet::render(&reports));
 

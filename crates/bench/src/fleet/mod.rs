@@ -23,14 +23,24 @@
 //! *global* device index, totals are thread-count-invariant by
 //! construction, lossy runs included.
 //!
+//! With `lanes` ≥ 4 each shard coalesces same-instant measurements —
+//! devices sharing a stagger-group offset — into lane-interleaved hash jobs
+//! ([`erasmus_crypto::Sha256xN`] via
+//! [`erasmus_core::Measurement::compute_keyed_batch`]), falling back to the
+//! scalar path for ragged remainders; totals stay bit-identical at every
+//! lane width (see [`lanes`]).
+//!
 //! Shard results are merged into one [`FleetReport`]; the per-thread
-//! breakdown and the 1→N scaling sweep (see [`scaling`]) are serialized by
-//! the `perfbench` binary into `BENCH_fleet.json` (schema
-//! `erasmus-perfbench/v3`) so successive PRs accumulate a perf trajectory.
+//! breakdown, the per-algorithm scalar-vs-lane speedup probe and the 1→N
+//! scaling sweep (see [`scaling`]) are serialized by the `perfbench` binary
+//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v4`) so successive
+//! PRs accumulate a perf trajectory.
 
+pub mod lanes;
 pub mod scaling;
 mod shard;
 
+pub use lanes::LaneSpeedup;
 pub use shard::ShardReport;
 
 use std::time::Duration;
@@ -80,6 +90,12 @@ pub struct FleetConfig {
     /// Fleet-wide count of authenticated on-demand requests (ERASMUS+OD)
     /// injected at deterministic instants during the run.
     pub on_demand: usize,
+    /// Upper bound on the lane width for batched measurement hashing: 1
+    /// runs the scalar per-device path; ≥ 4 coalesces same-instant
+    /// measurements into lane-interleaved hash jobs of the widest supported
+    /// width not exceeding this value (see [`lanes::effective_width`]).
+    /// Totals are bit-identical at every width.
+    pub lanes: usize,
 }
 
 impl FleetConfig {
@@ -104,6 +120,7 @@ impl FleetConfig {
             network: NetworkConfig::IDEAL,
             churn: 0.0,
             on_demand: 0,
+            lanes: 1,
         }
     }
 
@@ -212,6 +229,16 @@ pub struct FleetReport {
     pub on_demand_p99: SimDuration,
     /// Devices that left and rejoined during the run.
     pub devices_churned: u64,
+    /// Multi-lane hash jobs executed across all shards (0 when `lanes` is
+    /// 1 or no cohort filled a lane group).
+    pub lane_jobs: u64,
+    /// Measurements that fell back to the scalar path as ragged cohort
+    /// remainders (fewer than 4 devices left after the lane groups);
+    /// scalar catch-up drains outside the cohort path are not counted.
+    pub lane_remainder: u64,
+    /// Scalar-vs-lane digest throughput probe, attached by `perfbench`
+    /// (`None` for plain `run_threaded` calls).
+    pub lane_speedup: Option<LaneSpeedup>,
     /// Per-shard breakdown, in shard order.
     pub shards: Vec<ShardReport>,
 }
@@ -337,6 +364,8 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     let mut on_demand_attempted = 0u64;
     let mut on_demand_completed = 0u64;
     let mut devices_churned = 0u64;
+    let mut lane_jobs = 0u64;
+    let mut lane_remainder = 0u64;
     let mut latencies: Vec<SimDuration> = Vec::new();
     for report in &shard_reports {
         measurements_total += report.measurements;
@@ -353,6 +382,8 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         on_demand_attempted += report.on_demand_attempted;
         on_demand_completed += report.on_demand_completed;
         devices_churned += report.devices_churned;
+        lane_jobs += report.lane_jobs;
+        lane_remainder += report.lane_remainder;
         latencies.extend_from_slice(&report.on_demand_latencies);
     }
     latencies.sort_unstable();
@@ -381,6 +412,9 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         on_demand_p90: percentile(&latencies, 0.90),
         on_demand_p99: percentile(&latencies, 0.99),
         devices_churned,
+        lane_jobs,
+        lane_remainder,
+        lane_speedup: None,
         shards: shard_reports,
     }
 }
@@ -401,6 +435,7 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"memory_bytes\": {memory},\n\
          {indent}  \"stagger_groups\": {groups},\n\
          {indent}  \"threads\": {threads},\n\
+         {indent}  \"lanes\": {lanes},\n\
          {indent}  \"seed\": {seed},\n\
          {indent}  \"network\": {{ \"latency_ms\": {lat:.3}, \"jitter_ms\": {jit:.3}, \"loss\": {loss} }},\n\
          {indent}  \"churn\": {churn},\n\
@@ -418,6 +453,9 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"collections\": {{ \"attempted\": {att}, \"delivered\": {del}, \"dropped\": {dropped} }},\n\
          {indent}  \"hub_batches\": {batches},\n\
          {indent}  \"largest_batch\": {largest},\n\
+         {indent}  \"lane_jobs\": {lane_jobs},\n\
+         {indent}  \"lane_remainder\": {lane_remainder},\n\
+         {indent}  \"lane_speedup\": {lane_speedup},\n\
          {indent}  \"devices_churned\": {churned},\n\
          {indent}  \"on_demand\": {{ \"attempted\": {od_att}, \"completed\": {od_done}, \
          \"latency_ms_p50\": {p50:.3}, \"latency_ms_p90\": {p90:.3}, \"latency_ms_p99\": {p99:.3} }},\n\
@@ -430,6 +468,7 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         memory = report.config.memory_bytes,
         groups = report.config.stagger_groups,
         threads = report.threads,
+        lanes = lanes::effective_width(report.config.lanes),
         seed = report.config.seed,
         lat = report.config.network.base_latency.as_millis_f64(),
         jit = report.config.network.jitter.as_millis_f64(),
@@ -451,6 +490,12 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         dropped = report.collections_dropped,
         batches = report.hub_batches,
         largest = report.largest_batch,
+        lane_jobs = report.lane_jobs,
+        lane_remainder = report.lane_remainder,
+        lane_speedup = report
+            .lane_speedup
+            .as_ref()
+            .map_or_else(|| "null".to_owned(), LaneSpeedup::to_json),
         churned = report.devices_churned,
         od_att = report.on_demand_attempted,
         od_done = report.on_demand_completed,
@@ -471,11 +516,15 @@ pub fn document_json(
 ) -> String {
     let provers = reports.first().map_or(0, |r| r.config.provers);
     let seed = reports.first().map_or(DEFAULT_SEED, |r| r.config.seed);
+    let lane_width = reports
+        .first()
+        .map_or(1, |r| lanes::effective_width(r.config.lanes));
     let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
     let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
     format!(
-        "{{\n  \"schema\": \"erasmus-perfbench/v3\",\n  \"mode\": \"{mode}\",\n  \
-         \"provers\": {provers},\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \
+        "{{\n  \"schema\": \"erasmus-perfbench/v4\",\n  \"mode\": \"{mode}\",\n  \
+         \"provers\": {provers},\n  \"threads\": {threads},\n  \"lanes\": {lane_width},\n  \
+         \"seed\": {seed},\n  \
          \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scaling_entries.join(",\n"),
@@ -719,7 +768,10 @@ mod tests {
         }];
         let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
         assert!(doc.starts_with("{\n"));
-        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v3\""));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v4\""));
+        assert!(doc.contains("\"lanes\": 1"));
+        assert!(doc.contains("\"lane_jobs\": 0"));
+        assert!(doc.contains("\"lane_speedup\": null"));
         assert!(doc.contains("\"mode\": \"test\""));
         assert!(doc.contains("\"provers\": 8"));
         assert!(doc.contains("\"threads\": 2"));

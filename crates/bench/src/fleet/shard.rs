@@ -73,8 +73,12 @@ struct ShardDevice {
 
 /// The events a shard's timeline is made of.
 enum FleetEvent {
-    /// A scheduled self-measurement is due on a device.
+    /// A scheduled self-measurement is due on a device (scalar mode).
     Measure { device: usize, epoch: u32 },
+    /// A stagger cohort's scheduled self-measurements are due (lane-batched
+    /// mode): every active member measures at this instant, in
+    /// lane-interleaved groups.
+    MeasureCohort { cohort: usize },
     /// The verifier's collection request reaches a device.
     CollectArrive { device: usize },
     /// A collection response reaches the verifier side.
@@ -128,6 +132,8 @@ struct RunState {
     pending_at: Option<SimTime>,
     batches: u64,
     largest_batch: u64,
+    lane_jobs: u64,
+    lane_remainder: u64,
 }
 
 impl RunState {
@@ -151,6 +157,8 @@ impl RunState {
             pending_at: None,
             batches: 0,
             largest_batch: 0,
+            lane_jobs: 0,
+            lane_remainder: 0,
         }
     }
 
@@ -177,6 +185,18 @@ fn report_is_clean(report: &CollectionReport) -> bool {
             .is_none()
 }
 
+/// One stagger cohort of a lane-batched shard: the local devices sharing a
+/// phase offset, i.e. exactly the devices whose `Measure` events fire at
+/// the same simulated instants.
+struct Cohort {
+    /// Local device indices, ascending (provision order).
+    members: Vec<usize>,
+    /// Time of the authoritative pending [`FleetEvent::MeasureCohort`]
+    /// event, if any. Events firing at any other time are superseded
+    /// duplicates and ignored; scheduling only ever moves this earlier.
+    scheduled: Option<SimTime>,
+}
+
 /// A worker thread's slice of the fleet.
 pub(crate) struct Shard {
     index: usize,
@@ -187,6 +207,13 @@ pub(crate) struct Shard {
     churn: Vec<(usize, SimTime, SimTime)>,
     /// `(local index, issue instant)` on-demand plan, sorted by time.
     on_demand: Vec<(usize, SimTime)>,
+    /// Effective lane width for batched measurement (1 = scalar mode; the
+    /// cohort machinery below is then unused).
+    lane_width: usize,
+    /// Stagger cohorts (lane-batched mode only; empty in scalar mode).
+    cohorts: Vec<Cohort>,
+    /// Local device index → cohort index (lane-batched mode only).
+    cohort_of: Vec<usize>,
 }
 
 /// What one shard contributed to a fleet run.
@@ -227,6 +254,14 @@ pub struct ShardReport {
     pub on_demand_latencies: Vec<SimDuration>,
     /// Devices of this shard that leave and rejoin during the run.
     pub devices_churned: u64,
+    /// Multi-lane hash jobs this shard executed (lane-batched mode).
+    pub lane_jobs: u64,
+    /// Measurements that fell back to the scalar path as the ragged
+    /// remainder of a lane-batched cohort (fewer than 4 devices left after
+    /// the lane groups). Catch-up drains outside the cohort path (e.g. a
+    /// device collected mid-lattice under extreme latency) are scalar too
+    /// but are not counted here.
+    pub lane_remainder: u64,
 }
 
 impl ShardReport {
@@ -238,7 +273,8 @@ impl ShardReport {
              \"measure_wall_secs\": {mw:.6}, \"verify_wall_secs\": {vw:.6}, \
              \"collections_attempted\": {att}, \"collections_delivered\": {del}, \
              \"collections_dropped\": {drop}, \"hub_batches\": {batches}, \
-             \"largest_batch\": {largest}, \"all_healthy\": {healthy} }}",
+             \"largest_batch\": {largest}, \"lane_jobs\": {lane_jobs}, \
+             \"all_healthy\": {healthy} }}",
             shard = self.shard,
             provers = self.provers,
             meas = self.measurements,
@@ -250,6 +286,7 @@ impl ShardReport {
             drop = self.collections_dropped,
             batches = self.hub_batches,
             largest = self.largest_batch,
+            lane_jobs = self.lane_jobs,
             healthy = self.all_healthy,
         )
     }
@@ -344,6 +381,30 @@ impl Shard {
             .map(|&(device, at)| (device - range.start, at))
             .collect();
 
+        // Lane-batched mode: group the shard's devices into stagger
+        // cohorts — one cohort per phase offset, i.e. per set of devices
+        // whose measurements are due at the same simulated instants.
+        let lane_width = super::lanes::effective_width(config.lanes);
+        let mut cohorts: Vec<Cohort> = Vec::new();
+        let mut cohort_of: Vec<usize> = Vec::new();
+        if lane_width > 1 {
+            let mut by_group: std::collections::BTreeMap<usize, usize> =
+                std::collections::BTreeMap::new();
+            cohort_of = Vec::with_capacity(devices.len());
+            for device in &devices {
+                let group = schedule.group_of(device.global as usize);
+                let cohort = *by_group.entry(group).or_insert_with(|| {
+                    cohorts.push(Cohort {
+                        members: Vec::new(),
+                        scheduled: None,
+                    });
+                    cohorts.len() - 1
+                });
+                cohorts[cohort].members.push(cohort_of.len());
+                cohort_of.push(cohort);
+            }
+        }
+
         Self {
             index,
             devices,
@@ -351,6 +412,9 @@ impl Shard {
             engine: Engine::new(),
             churn,
             on_demand,
+            lane_width,
+            cohorts,
+            cohort_of,
         }
     }
 
@@ -387,19 +451,38 @@ impl Shard {
         // plan (whose requests are built now, in issue order, so each
         // device's `t_req` values are strictly increasing).
         for (local, device) in self.devices.iter().enumerate() {
-            let due = device.prover.next_measurement_due();
-            if due <= device.horizon {
-                engine.schedule_at(
-                    due,
-                    FleetEvent::Measure {
-                        device: local,
-                        epoch: device.epoch,
-                    },
-                );
+            if self.lane_width == 1 {
+                let due = device.prover.next_measurement_due();
+                if due <= device.horizon {
+                    engine.schedule_at(
+                        due,
+                        FleetEvent::Measure {
+                            device: local,
+                            epoch: device.epoch,
+                        },
+                    );
+                }
             }
             for round in 1..=config.rounds {
                 let at = SimTime::ZERO + round_span * round as u64 + device.offset;
                 engine.schedule_at(at, FleetEvent::CollectArrive { device: local });
+            }
+        }
+        // Lane-batched mode: one authoritative measure event per cohort
+        // instead of one per device.
+        for (index, cohort) in self.cohorts.iter_mut().enumerate() {
+            let next = cohort
+                .members
+                .iter()
+                .filter_map(|&member| {
+                    let device = &self.devices[member];
+                    let due = device.prover.next_measurement_due();
+                    (due <= device.horizon).then_some(due)
+                })
+                .min();
+            if let Some(at) = next {
+                cohort.scheduled = Some(at);
+                engine.schedule_at(at, FleetEvent::MeasureCohort { cohort: index });
             }
         }
         for &(local, leave, rejoin) in &self.churn {
@@ -460,6 +543,8 @@ impl Shard {
             on_demand_completed: state.od_completed,
             on_demand_latencies: state.od_latencies,
             devices_churned: self.churn.len() as u64,
+            lane_jobs: state.lane_jobs,
+            lane_remainder: state.lane_remainder,
         }
     }
 
@@ -484,8 +569,26 @@ impl Shard {
                     engine.schedule_at(next, FleetEvent::Measure { device, epoch });
                 }
             }
+            FleetEvent::MeasureCohort { cohort } => {
+                if self.cohorts[cohort].scheduled != Some(now) {
+                    return; // superseded by an earlier reschedule
+                }
+                self.cohorts[cohort].scheduled = None;
+                self.measure_cohort(engine, state, cohort, now);
+            }
             FleetEvent::CollectArrive { device } => {
                 state.collect_attempted += 1;
+                // Lane-batched mode: if this device's cohort is due at this
+                // very instant, fire the whole batch first — otherwise the
+                // per-device drain below would take this device's
+                // measurement scalar and shrink the lane group.
+                if self.lane_width > 1 {
+                    let cohort = self.cohort_of[device];
+                    if self.cohorts[cohort].scheduled == Some(now) {
+                        self.cohorts[cohort].scheduled = None;
+                        self.measure_cohort(engine, state, cohort, now);
+                    }
+                }
                 let d = &mut self.devices[device];
                 if !d.active {
                     // An absent device answers nothing: the attempt is lost.
@@ -587,22 +690,134 @@ impl Shard {
                 }
             }
             FleetEvent::DeviceJoin { device } => {
+                let lane_mode = self.lane_width > 1;
                 let d = &mut self.devices[device];
                 if !d.active {
                     d.active = true;
                     d.epoch += 1;
                     d.prover.skip_missed_measurements(now);
                     let next = d.prover.next_measurement_due();
+                    let epoch = d.epoch;
                     if next <= d.horizon {
-                        engine.schedule_at(
-                            next,
-                            FleetEvent::Measure {
-                                device,
-                                epoch: d.epoch,
-                            },
-                        );
+                        if lane_mode {
+                            // The rejoin stays on the cohort lattice
+                            // (skip_until is phase-aligned), so pulling the
+                            // cohort's next event forward covers it.
+                            let cohort = self.cohort_of[device];
+                            self.schedule_cohort_at(engine, cohort, next);
+                        } else {
+                            engine.schedule_at(next, FleetEvent::Measure { device, epoch });
+                        }
                     }
                 }
+            }
+        }
+    }
+
+    /// Fires every due measurement of a stagger cohort at `now` as
+    /// lane-interleaved batch jobs: groups of `lane_width` (with a narrower
+    /// 4-lane pass when an 8-lane shard leaves 4–7 devices over) hash their
+    /// memory images in lockstep through `Prover::self_measure_batch`; the
+    /// ragged remainder falls back to the scalar path. Every device's
+    /// measurement is bit-identical to the scalar timeline, so totals,
+    /// health and hub coverage do not depend on the lane width.
+    fn measure_cohort(
+        &mut self,
+        engine: &mut Engine<FleetEvent>,
+        state: &mut RunState,
+        cohort: usize,
+        now: SimTime,
+    ) {
+        let mut due: Vec<usize> = Vec::with_capacity(self.cohorts[cohort].members.len());
+        for &local in &self.cohorts[cohort].members {
+            let device = &mut self.devices[local];
+            if !device.active {
+                continue;
+            }
+            if device.prover.next_measurement_due() < now {
+                // A member that fell behind the lattice (e.g. drained at a
+                // collect instant under extreme latency) catches up scalar.
+                drain_due_measurements(device, now, state);
+                continue;
+            }
+            if device.prover.next_measurement_due() == now {
+                due.push(local);
+            }
+        }
+
+        if !due.is_empty() {
+            let started = Instant::now();
+            let mut rest: &[usize] = &due;
+            if self.lane_width >= 8 {
+                while rest.len() >= 8 {
+                    let (group, tail) = rest.split_at(8);
+                    self.measure_lane_group::<8>(group.try_into().expect("8 lanes"), now, state);
+                    rest = tail;
+                }
+            }
+            while rest.len() >= 4 {
+                let (group, tail) = rest.split_at(4);
+                self.measure_lane_group::<4>(group.try_into().expect("4 lanes"), now, state);
+                rest = tail;
+            }
+            for &local in rest {
+                self.devices[local]
+                    .prover
+                    .self_measure(now)
+                    .expect("fleet measurement");
+                state.measurements += 1;
+                state.lane_remainder += 1;
+            }
+            state.measure_wall += started.elapsed();
+        }
+
+        self.schedule_cohort_next(engine, cohort);
+    }
+
+    /// One multi-lane measurement job over `N` cohort members (ascending
+    /// local indices).
+    fn measure_lane_group<const N: usize>(
+        &mut self,
+        group: [usize; N],
+        now: SimTime,
+        state: &mut RunState,
+    ) {
+        let provers = select_mut(&mut self.devices, &group).map(|device| &mut device.prover);
+        Prover::self_measure_batch(provers, now).expect("fleet lane measurement");
+        state.measurements += N as u64;
+        state.lane_jobs += 1;
+    }
+
+    /// Schedules a cohort's next authoritative measure event at the
+    /// earliest due time among its active members (within their horizon).
+    fn schedule_cohort_next(&mut self, engine: &mut Engine<FleetEvent>, cohort: usize) {
+        let next = self.cohorts[cohort]
+            .members
+            .iter()
+            .filter_map(|&member| {
+                let device = &self.devices[member];
+                if !device.active {
+                    return None;
+                }
+                let due = device.prover.next_measurement_due();
+                (due <= device.horizon).then_some(due)
+            })
+            .min();
+        if let Some(at) = next {
+            self.schedule_cohort_at(engine, cohort, at);
+        }
+    }
+
+    /// Makes `at` the cohort's authoritative next measure instant if it is
+    /// earlier than the currently scheduled one. The superseded event stays
+    /// queued and is ignored when it fires (time mismatch).
+    fn schedule_cohort_at(&mut self, engine: &mut Engine<FleetEvent>, cohort: usize, at: SimTime) {
+        let entry = &mut self.cohorts[cohort];
+        match entry.scheduled {
+            Some(current) if current <= at => {}
+            _ => {
+                entry.scheduled = Some(at);
+                engine.schedule_at(at, FleetEvent::MeasureCohort { cohort });
             }
         }
     }
@@ -639,6 +854,25 @@ impl Shard {
     pub(crate) fn into_hub(self) -> VerifierHub {
         self.hub
     }
+}
+
+/// Disjoint mutable borrows of `indices` (strictly ascending) out of
+/// `devices`, via progressive `split_at_mut` — no unsafe, O(N) total.
+fn select_mut<'a, const N: usize>(
+    devices: &'a mut [ShardDevice],
+    indices: &[usize; N],
+) -> [&'a mut ShardDevice; N] {
+    let mut rest: &'a mut [ShardDevice] = devices;
+    let mut consumed = 0usize;
+    let mut out: [Option<&'a mut ShardDevice>; N] = [const { None }; N];
+    for (slot, &index) in out.iter_mut().zip(indices) {
+        let (_, tail) = rest.split_at_mut(index - consumed);
+        let (first, tail) = tail.split_first_mut().expect("index within the shard");
+        *slot = Some(first);
+        consumed = index + 1;
+        rest = tail;
+    }
+    out.map(|device| device.expect("every lane selected"))
 }
 
 /// Takes every scheduled self-measurement due at or before `now`, exactly
@@ -833,6 +1067,74 @@ mod tests {
         // Each exchange takes one fresh measurement on top of the schedule.
         assert_eq!(report.measurements, config.total_measurements() + 5);
         assert!(report.all_healthy);
+    }
+
+    #[test]
+    fn lane_batched_shard_is_observationally_identical_to_scalar() {
+        // 24 devices over 3 stagger groups → cohorts of 8 per instant:
+        // enough for full 8-lane jobs, 4-lane jobs and scalar remainders at
+        // the narrower widths.
+        for alg in [MacAlgorithm::HmacSha256, MacAlgorithm::KeyedBlake2s] {
+            let config = FleetConfig::new(24, 3, 2, 256, 3, alg);
+            let mut scalar_shard = shard_for(&config, 0..24, 0);
+            let scalar = scalar_shard.run(&config);
+            assert_eq!(scalar.lane_jobs, 0);
+            let scalar_hub = scalar_shard.into_hub();
+            for lanes in [4usize, 8] {
+                let mut config = config.clone();
+                config.lanes = lanes;
+                let mut shard = shard_for(&config, 0..24, 0);
+                let report = shard.run(&config);
+                assert_eq!(report.measurements, scalar.measurements, "{alg} x{lanes}");
+                assert_eq!(report.verifications, scalar.verifications, "{alg} x{lanes}");
+                assert_eq!(report.all_healthy, scalar.all_healthy, "{alg} x{lanes}");
+                assert_eq!(
+                    report.simulated_busy, scalar.simulated_busy,
+                    "{alg} x{lanes}"
+                );
+                assert!(report.lane_jobs > 0, "{alg} x{lanes} batched nothing");
+                // The verifier side learned byte-identical histories.
+                let hub = shard.into_hub();
+                assert_eq!(hub.len(), scalar_hub.len());
+                assert_eq!(hub.total_entries(), scalar_hub.total_entries());
+                for id in 0..24u64 {
+                    let batched: Vec<_> = hub
+                        .history(DeviceId::new(id))
+                        .expect("tracked")
+                        .entries()
+                        .collect();
+                    let reference: Vec<_> = scalar_hub
+                        .history(DeviceId::new(id))
+                        .expect("tracked")
+                        .entries()
+                        .collect();
+                    assert_eq!(batched, reference, "{alg} x{lanes} device {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_shard_handles_churn_and_ragged_cohorts() {
+        // 10 devices in 2 groups → cohorts of 5: one 4-lane job plus one
+        // scalar remainder per instant; churn shrinks cohorts mid-run.
+        let mut config = FleetConfig::new(10, 2, 3, 128, 2, MacAlgorithm::HmacSha256);
+        config.churn = 0.6;
+        config.seed = 11;
+        let scalar = shard_for(&config, 0..10, 0).run(&config);
+        config.lanes = 4;
+        let mut shard = shard_for(&config, 0..10, 0);
+        let report = shard.run(&config);
+        assert!(report.devices_churned > 0, "plan drew no churners");
+        assert_eq!(report.measurements, scalar.measurements);
+        assert_eq!(report.verifications, scalar.verifications);
+        assert_eq!(report.simulated_busy, scalar.simulated_busy);
+        assert_eq!(report.collections_dropped, scalar.collections_dropped);
+        assert!(report.lane_jobs > 0);
+        assert!(
+            report.lane_remainder > 0,
+            "no scalar remainder in a 5-cohort"
+        );
     }
 
     #[test]

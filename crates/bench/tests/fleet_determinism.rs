@@ -186,6 +186,101 @@ fn churn_and_on_demand_stay_thread_invariant() {
 }
 
 #[test]
+fn lane_batched_runs_reproduce_scalar_totals_bit_for_bit() {
+    // The lane-interleaved measurement path must be a pure re-expression of
+    // the scalar timeline: identical totals, health, simulated cost and hub
+    // coverage for every algorithm, at 1 and 4 threads, at width 4 and 8.
+    for alg in MacAlgorithm::ALL {
+        let scalar_config = config(alg);
+        let scalar = fleet::run_threaded(&scalar_config, 1);
+        assert_eq!(scalar.lane_jobs, 0);
+        for lanes in [4usize, 8] {
+            for threads in [1usize, 4] {
+                let mut config = scalar_config.clone();
+                config.lanes = lanes;
+                let report = fleet::run_threaded(&config, threads);
+                let label = format!("{alg} lanes={lanes} threads={threads}");
+                assert_eq!(
+                    report.measurements_total, scalar.measurements_total,
+                    "{label}"
+                );
+                assert_eq!(
+                    report.verifications_total, scalar.verifications_total,
+                    "{label}"
+                );
+                assert_eq!(report.all_healthy, scalar.all_healthy, "{label}");
+                assert!(report.all_healthy, "{label}");
+                assert_eq!(report.simulated_busy, scalar.simulated_busy, "{label}");
+                assert_eq!(report.devices_tracked, scalar.devices_tracked, "{label}");
+                assert_eq!(report.history_entries, scalar.history_entries, "{label}");
+                assert_eq!(
+                    report.collections_ingested, scalar.collections_ingested,
+                    "{label}"
+                );
+                assert!(report.lane_jobs > 0, "{label}: no multi-lane job ran");
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_batched_scenario_runs_stay_thread_and_lane_invariant() {
+    // Loss, churn and on-demand traffic on top of lane batching: the width
+    // must not change any simulated outcome, and neither must the thread
+    // count at any width.
+    let mut base = config(MacAlgorithm::HmacSha256);
+    base.rounds = 3;
+    base.churn = 0.25;
+    base.on_demand = 16;
+    base.network = NetworkConfig {
+        base_latency: SimDuration::from_millis(10),
+        jitter: SimDuration::from_millis(5),
+        loss: 0.05,
+    };
+    base.seed = 9;
+
+    let scalar = fleet::run_threaded(&base, 1);
+    for lanes in [4usize, 8] {
+        let mut config = base.clone();
+        config.lanes = lanes;
+        let single = fleet::run_threaded(&config, 1);
+        let threaded = fleet::run_threaded(&config, 4);
+        for (report, label) in [
+            (&single, format!("lanes={lanes} threads=1")),
+            (&threaded, format!("lanes={lanes} threads=4")),
+        ] {
+            assert_eq!(
+                report.measurements_total, scalar.measurements_total,
+                "{label}"
+            );
+            assert_eq!(
+                report.verifications_total, scalar.verifications_total,
+                "{label}"
+            );
+            assert_eq!(
+                report.collections_delivered, scalar.collections_delivered,
+                "{label}"
+            );
+            assert_eq!(
+                report.collections_dropped, scalar.collections_dropped,
+                "{label}"
+            );
+            assert_eq!(report.devices_churned, scalar.devices_churned, "{label}");
+            assert_eq!(
+                report.on_demand_completed, scalar.on_demand_completed,
+                "{label}"
+            );
+            assert_eq!(report.on_demand_p50, scalar.on_demand_p50, "{label}");
+            assert_eq!(report.on_demand_p99, scalar.on_demand_p99, "{label}");
+            assert_eq!(report.history_entries, scalar.history_entries, "{label}");
+            assert_eq!(report.simulated_busy, scalar.simulated_busy, "{label}");
+            assert_eq!(report.all_healthy, scalar.all_healthy, "{label}");
+        }
+        assert!(single.lane_jobs > 0, "lanes={lanes} batched nothing");
+    }
+}
+
+#[test]
 fn hub_tracks_every_device_exactly_once_at_fleet_scale() {
     let config = config(MacAlgorithm::KeyedBlake2s);
     let report = fleet::run_threaded(&config, 4);

@@ -1,6 +1,6 @@
 //! The ERASMUS prover: a device that periodically measures itself.
 
-use erasmus_crypto::KeyedMac;
+use erasmus_crypto::{KeyedMac, MultiKeyedMac};
 use erasmus_hw::{DeviceKey, DeviceProfile, Mcu};
 use erasmus_sim::{SimDuration, SimTime};
 
@@ -212,6 +212,78 @@ impl Prover {
             slot,
             duration,
         })
+    }
+
+    /// Takes one self-measurement on each of `N` provers at time `now`,
+    /// hashing their memory images in lockstep through the lane-interleaved
+    /// SHA-256 core and MACing the timestamped digests through the
+    /// transposed per-device key schedules.
+    ///
+    /// Per device, the outcome is bit-identical to
+    /// [`Prover::self_measure`]`(now)`: same trusted-entry gate (MPU rules
+    /// and secure boot are checked on every device before any memory is
+    /// read), same timestamps, same stored measurements, same cost-model
+    /// charge. Only the host wall-clock differs — that is the point: `N`
+    /// equal-sized memory images hash in one vectorized pass.
+    ///
+    /// All provers must use the same MAC algorithm and equal-sized
+    /// application memories; fleet drivers batch devices per size class and
+    /// fall back to [`Prover::self_measure`] for ragged remainders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Hardware`] if any device refuses entry to the
+    /// trusted measurement context; no measurement is stored on any device
+    /// in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the provers mix MAC algorithms or memory sizes.
+    pub fn self_measure_batch<const N: usize>(
+        mut provers: [&mut Prover; N],
+        now: SimTime,
+    ) -> Result<[MeasurementOutcome; N], Error> {
+        // Gate every device first: a batch either measures everywhere or
+        // nowhere, so a mid-batch MPU fault cannot leave half the lanes
+        // with stored evidence.
+        for prover in provers.iter_mut() {
+            prover.mcu.advance_time_to(now);
+        }
+        for prover in provers.iter() {
+            prover.mcu.trusted_entry_allowed()?;
+        }
+        for prover in provers.iter_mut() {
+            prover.mcu.enter_trusted()?;
+        }
+        let timestamps: [SimTime; N] = std::array::from_fn(|i| provers[i].mcu.rroc_now());
+        let measurements = {
+            let keyed = MultiKeyedMac::new(std::array::from_fn(|i| &provers[i].keyed));
+            let memories: [&[u8]; N] = std::array::from_fn(|i| provers[i].mcu.app_memory());
+            Measurement::compute_keyed_batch(&keyed, timestamps, memories)
+        };
+
+        let mut outcomes: [Option<MeasurementOutcome>; N] = [const { None }; N];
+        for ((prover, measurement), outcome) in provers
+            .into_iter()
+            .zip(measurements)
+            .zip(outcomes.iter_mut())
+        {
+            let alg = prover.config.mac_algorithm();
+            let duration = prover
+                .mcu
+                .cost_model()
+                .measurement(prover.mcu.app_memory_len(), alg);
+            prover.busy_time += duration;
+            prover.measurements_taken += 1;
+            let slot = prover.buffer.store(measurement.clone());
+            prover.scheduler.mark_completed(now);
+            *outcome = Some(MeasurementOutcome {
+                measurement,
+                slot,
+                duration,
+            });
+        }
+        Ok(outcomes.map(|outcome| outcome.expect("every lane produced an outcome")))
     }
 
     /// Performs every scheduled self-measurement due up to and including
@@ -537,6 +609,73 @@ mod tests {
             prover.handle_on_demand(&good, SimTime::from_secs(102)),
             Err(Error::RequestRejected { .. })
         ));
+    }
+
+    #[test]
+    fn batch_measurement_is_bit_identical_to_scalar() {
+        for alg in [MacAlgorithm::HmacSha256, MacAlgorithm::KeyedBlake2s] {
+            let config = ProverConfig::builder()
+                .measurement_interval(SimDuration::from_secs(10))
+                .buffer_slots(8)
+                .mac_algorithm(alg)
+                .build()
+                .expect("valid config");
+            let make = |seed: u8| {
+                let mut prover = Prover::new(
+                    DeviceId::new(seed as u64),
+                    DeviceProfile::msp430_8mhz(2048),
+                    DeviceKey::from_bytes([seed; 32]),
+                    config.clone(),
+                )
+                .expect("provisioning succeeds");
+                prover
+                    .mcu_mut()
+                    .write_app_memory(0, &[seed ^ 0x3c; 64])
+                    .expect("image");
+                prover
+            };
+            // Scalar reference fleet and batch fleet with identical state.
+            let mut scalar: Vec<Prover> = (0u8..4).map(make).collect();
+            let mut batched: Vec<Prover> = (0u8..4).map(make).collect();
+            let now = SimTime::from_secs(10);
+            let scalar_outcomes: Vec<MeasurementOutcome> = scalar
+                .iter_mut()
+                .map(|p| p.self_measure(now).expect("scalar measures"))
+                .collect();
+            let mut lanes: Vec<&mut Prover> = batched.iter_mut().collect();
+            let mut drain = lanes.drain(..);
+            let batch_outcomes = Prover::self_measure_batch::<4>(
+                std::array::from_fn(|_| drain.next().expect("four lanes")),
+                now,
+            )
+            .expect("batch measures");
+            drop(drain);
+            for (lane, (a, b)) in scalar_outcomes.iter().zip(&batch_outcomes).enumerate() {
+                assert_eq!(a, b, "{alg} lane {lane}");
+            }
+            for (a, b) in scalar.iter().zip(&batched) {
+                assert_eq!(a.measurements_taken(), b.measurements_taken());
+                assert_eq!(a.total_busy_time(), b.total_busy_time());
+                assert_eq!(a.next_measurement_due(), b.next_measurement_due());
+                assert_eq!(a.buffer().len(), b.buffer().len());
+                assert_eq!(a.mcu().trusted_invocations(), b.mcu().trusted_invocations());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_measurement_is_all_or_nothing_on_hardware_fault() {
+        let mut healthy = default_prover();
+        let mut broken = default_prover();
+        broken.mcu_mut().set_mpu(MpuConfig::deny_all());
+        let result =
+            Prover::self_measure_batch::<2>([&mut healthy, &mut broken], SimTime::from_secs(10));
+        assert!(matches!(result, Err(Error::Hardware(_))));
+        // The healthy device stored nothing and was not charged.
+        assert_eq!(healthy.measurements_taken(), 0);
+        assert_eq!(healthy.buffer().len(), 0);
+        assert_eq!(healthy.total_busy_time(), SimDuration::ZERO);
+        assert_eq!(healthy.mcu().trusted_invocations(), 0);
     }
 
     #[test]

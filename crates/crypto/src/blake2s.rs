@@ -10,12 +10,12 @@ use crate::ct::constant_time_eq;
 use crate::digest::Digest;
 
 /// BLAKE2s initialization vector (identical to the SHA-256 IV).
-const IV: [u32; 8] = [
+pub(crate) const IV: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// Message word schedule for the 10 rounds.
-const SIGMA: [[usize; 16]; 10] = [
+pub(crate) const SIGMA: [[usize; 16]; 10] = [
     [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
     [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
     [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
@@ -156,6 +156,12 @@ impl Blake2s {
     /// Verifies a keyed-BLAKE2s tag in constant time.
     pub fn verify_keyed(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
         constant_time_eq(&Self::keyed_mac(key, message), tag)
+    }
+
+    /// Lane view used by the multi-lane cores to transpose keyed states:
+    /// `(chain value, counter, buffer, buffered bytes, output length)`.
+    pub(crate) fn lane_parts(&self) -> ([u32; 8], [u32; 2], &[u8; BLOCK_BYTES], usize, usize) {
+        (self.h, self.t, &self.buffer, self.buffer_len, self.out_len)
     }
 
     fn increment_counter(&mut self, bytes: u32) {

@@ -110,11 +110,11 @@ impl Digest for Sha1 {
             }
         }
 
+        // Aligned full blocks compress straight from the input slice; the
+        // copy through `self.buffer` is only for partial blocks.
         let mut chunks = data.chunks_exact(64);
         for chunk in &mut chunks {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(chunk);
-            self.compress(&block);
+            self.compress(chunk.try_into().expect("64-byte chunk"));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -198,6 +198,25 @@ mod tests {
             hasher.update(&data[split..]);
             assert_eq!(hasher.finalize(), Sha1::digest(&data), "split at {split}");
         }
+    }
+
+    #[test]
+    fn aligned_fast_path_is_stream_identical() {
+        // Regression for the direct-compress fast path (see the SHA-256
+        // twin test): aligned full blocks must hash identically whether
+        // they stream through the buffer or compress straight from input.
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7 % 251) as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        let mut aligned = Sha1::new();
+        for chunk in data.chunks(64) {
+            aligned.update(chunk);
+        }
+        assert_eq!(aligned.finalize(), oneshot);
+        let mut mixed = Sha1::new();
+        mixed.update(&data[..10]);
+        mixed.update(&data[10..202]);
+        mixed.update(&data[202..512]);
+        assert_eq!(mixed.finalize(), oneshot);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::digest::Digest;
 
 /// Round constants (first 32 bits of the fractional parts of the cube roots
 /// of the first 64 primes).
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -21,7 +21,7 @@ const K: [u32; 64] = [
 
 /// Initial hash state (first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes).
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
@@ -109,6 +109,12 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+
+    /// Lane view used by the multi-lane cores to transpose midstates:
+    /// `(state words, absorbed bytes, buffered bytes)`.
+    pub(crate) fn lane_parts(&self) -> ([u32; 8], u64, usize) {
+        (self.state, self.total_len, self.buffer_len)
+    }
 }
 
 impl Default for Sha256 {
@@ -143,11 +149,11 @@ impl Digest for Sha256 {
             }
         }
 
+        // Aligned full blocks compress straight from the input slice; the
+        // copy through `self.buffer` is only for partial blocks.
         let mut chunks = data.chunks_exact(64);
         for chunk in &mut chunks {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(chunk);
-            self.compress(&block);
+            self.compress(chunk.try_into().expect("64-byte chunk"));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -256,6 +262,36 @@ mod tests {
             hasher.update(std::slice::from_ref(byte));
         }
         assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn aligned_fast_path_is_stream_identical() {
+        // Regression for the direct-compress fast path: full blocks arriving
+        // on an empty buffer bypass the copy, and the stream must stay
+        // byte-identical to any other split of the same data.
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 13 % 251) as u8).collect();
+        let oneshot = Sha256::digest(&data);
+
+        // Pure aligned updates (fast path only).
+        let mut aligned = Sha256::new();
+        for chunk in data.chunks(64) {
+            aligned.update(chunk);
+        }
+        assert_eq!(aligned.finalize(), oneshot);
+
+        // Partial fill, buffer drain, then the fast path mid-update, then a
+        // trailing partial block again.
+        let mut mixed = Sha256::new();
+        mixed.update(&data[..10]); // partial: buffered
+        mixed.update(&data[10..202]); // drains buffer, then 2 aligned blocks
+        mixed.update(&data[202..512]); // drains again, aligned tail
+        assert_eq!(mixed.finalize(), oneshot);
+
+        // Multi-block single update on an aligned boundary.
+        let mut bulk = Sha256::new();
+        bulk.update(&data[..128]);
+        bulk.update(&data[128..]);
+        assert_eq!(bulk.finalize(), oneshot);
     }
 
     #[test]

@@ -221,6 +221,18 @@ impl Mcu {
     where
         F: FnOnce(&TrustedContext<'_>) -> R,
     {
+        self.check_trusted_entry()?;
+        self.trusted_invocations += 1;
+        let ctx = TrustedContext {
+            key: self.rom.key(),
+            app_memory: &self.app_memory,
+            now: self.rroc.now(),
+        };
+        Ok(body(&ctx))
+    }
+
+    /// The MPU and secure-boot gate shared by every trusted entry point.
+    fn check_trusted_entry(&self) -> Result<(), HwError> {
         self.mpu
             .check(Subject::AttestationCode, RegionKind::Key, AccessKind::Read)?;
         self.mpu.check(
@@ -236,13 +248,40 @@ impl Mcu {
         if let Some(boot) = &self.secure_boot {
             boot.verify(&self.rom)?;
         }
+        Ok(())
+    }
+
+    /// Checks whether the trusted attestation context *could* be entered —
+    /// the [`Mcu::run_trusted`] gate without the invocation accounting.
+    /// Batch drivers use this to make a multi-device measurement
+    /// all-or-nothing: every device is gated before any device commits.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Mcu::run_trusted`].
+    pub fn trusted_entry_allowed(&self) -> Result<(), HwError> {
+        self.check_trusted_entry()
+    }
+
+    /// Enters the trusted attestation context without running a closure:
+    /// the same MPU rule-table and secure-boot gate as [`Mcu::run_trusted`],
+    /// and the same invocation accounting — but the caller reads the device
+    /// state through the public accessors afterwards instead of through a
+    /// [`TrustedContext`].
+    ///
+    /// This exists for the lane-batched measurement path, which must hold
+    /// several devices' memory views *simultaneously* to hash them in
+    /// lockstep — a per-device closure cannot express that. The key never
+    /// leaves the ROM on this path: batched measurements ride the
+    /// precomputed per-device MAC schedules derived at provisioning.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Mcu::run_trusted`].
+    pub fn enter_trusted(&mut self) -> Result<(), HwError> {
+        self.check_trusted_entry()?;
         self.trusted_invocations += 1;
-        let ctx = TrustedContext {
-            key: self.rom.key(),
-            app_memory: &self.app_memory,
-            now: self.rroc.now(),
-        };
-        Ok(body(&ctx))
+        Ok(())
     }
 
     /// Replaces the MPU configuration. Exists so tests can demonstrate what
@@ -373,6 +412,20 @@ mod tests {
         mcu.set_mpu(MpuConfig::deny_all());
         let err = mcu.run_trusted(|_| ()).unwrap_err();
         assert!(matches!(err, HwError::AccessViolation { .. }));
+    }
+
+    #[test]
+    fn enter_trusted_shares_the_run_trusted_gate_and_accounting() {
+        let mut mcu = device();
+        mcu.enter_trusted().expect("entry allowed");
+        assert_eq!(mcu.trusted_invocations(), 1);
+        mcu.run_trusted(|_| ()).expect("closure entry allowed");
+        assert_eq!(mcu.trusted_invocations(), 2);
+        // The batch entry is gated by the same MPU rule table.
+        mcu.set_mpu(MpuConfig::deny_all());
+        let err = mcu.enter_trusted().unwrap_err();
+        assert!(matches!(err, HwError::AccessViolation { .. }));
+        assert_eq!(mcu.trusted_invocations(), 2);
     }
 
     #[test]
