@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Validate an `erasmus-perfbench/v4` fleet report.
+"""Validate an `erasmus-perfbench/v5` fleet report.
 
 Usage:
     validate_perfbench.py REPORT.json [--lossless]
                           [--expect-seed N] [--expect-loss P]
+                          [--expect-lanes N] [--expect-delivery MODE]
 
-Checks the structural invariants every v4 document must satisfy (rates
+Checks the structural invariants every v5 document must satisfy (rates
 positive, per-thread sums consistent, delivered + dropped == attempted,
 hub ingestion == delivered, non-negative on-demand latency percentiles,
-lane fields well-formed, scaling sweep well-formed). With `--lossless` it
-additionally requires a perfect delivery record; with `--expect-loss` it
+lane fields well-formed, wire accounting conserved, scaling sweep
+well-formed). With `--lossless` it additionally requires a perfect
+delivery record and — on wire-delivery runs — that every ingested report
+came off a decoded frame (`ingested == wire.decoded_accepted +
+on_demand.completed`, with zero decode rejects); with `--expect-loss` it
 requires that the lossy network actually dropped something; with
 `--expect-lanes` it requires the recorded effective lane width and, for
 widths > 1, at least one multi-lane hash job plus a positive lane-speedup
-probe.
+probe; with `--expect-delivery` it pins the delivery mode (`wire` or
+`struct`).
 """
 
 import argparse
@@ -21,19 +26,29 @@ import json
 import sys
 
 
-def validate(path: str, lossless: bool, expect_seed, expect_loss, expect_lanes) -> None:
+def validate(
+    path: str,
+    lossless: bool,
+    expect_seed,
+    expect_loss,
+    expect_lanes,
+    expect_delivery,
+) -> None:
     with open(path) as fh:
         doc = json.load(fh)
 
-    assert doc["schema"] == "erasmus-perfbench/v4", doc["schema"]
+    assert doc["schema"] == "erasmus-perfbench/v5", doc["schema"]
     assert doc["provers"] >= 1000, doc["provers"]
     assert doc["threads"] >= 2, doc["threads"]
     assert doc["lanes"] >= 1, doc["lanes"]
+    assert doc["delivery"] in ("wire", "struct"), doc["delivery"]
     assert isinstance(doc["seed"], int), doc["seed"]
     if expect_seed is not None:
         assert doc["seed"] == expect_seed, (doc["seed"], expect_seed)
     if expect_lanes is not None:
         assert doc["lanes"] == expect_lanes, (doc["lanes"], expect_lanes)
+    if expect_delivery is not None:
+        assert doc["delivery"] == expect_delivery, (doc["delivery"], expect_delivery)
 
     for result in doc["results"]:
         # Non-positive rates mean the sub-resolution clamp regressed.
@@ -46,6 +61,7 @@ def validate(path: str, lossless: bool, expect_seed, expect_loss, expect_lanes) 
         if lossless:
             assert result["devices_tracked"] == result["provers"], result
         assert result["seed"] == doc["seed"], result
+        assert result["delivery"] == doc["delivery"], result
 
         network = result["network"]
         assert 0.0 <= network["loss"] <= 1.0, network
@@ -66,6 +82,37 @@ def validate(path: str, lossless: bool, expect_seed, expect_loss, expect_lanes) 
             assert result["history_entries"] == result["measurements_total"], result
         if expect_loss:
             assert dropped > 0, "lossy run dropped nothing — loss knob broken?"
+
+        # Wire accounting. On a wire run every periodic collection crosses
+        # the wire as part of an encoded frame and on-demand reports ride the
+        # struct path, so frame-decoded accepts plus on-demand completions
+        # must conserve the hub's ingestion total exactly. A struct run must
+        # leave every wire counter at zero.
+        wire = result["wire"]
+        for key in ("frames", "bytes", "responses", "decoded_accepted", "decode_rejects"):
+            assert wire[key] >= 0, (key, wire)
+        assert wire["encode_wall_secs"] >= 0, wire
+        assert wire["ingest_wall_secs"] >= 0, wire
+        assert wire["decode_mib_per_sec"] >= 0, wire
+        od_completed = result["on_demand"]["completed"]
+        if result["delivery"] == "wire":
+            assert wire["frames"] >= 1, "wire run encoded no frame"
+            assert wire["bytes"] > 0, wire
+            assert wire["responses"] == delivered, (wire, collections)
+            assert (
+                wire["decoded_accepted"] + od_completed
+                == result["collections_ingested"]
+            ), (wire, result["collections_ingested"], od_completed)
+            assert wire["decode_rejects"] == 0, wire
+            assert wire["decode_mib_per_sec"] > 0, wire
+            if lossless and od_completed == 0:
+                assert wire["decoded_accepted"] == result["collections_ingested"], (
+                    wire,
+                    result["collections_ingested"],
+                )
+        else:
+            for key in ("frames", "bytes", "responses", "decoded_accepted", "decode_rejects"):
+                assert wire[key] == 0, (key, wire)
 
         assert result["lanes"] == doc["lanes"], result
         assert result["lane_jobs"] >= 0 and result["lane_remainder"] >= 0, result
@@ -90,6 +137,9 @@ def validate(path: str, lossless: bool, expect_seed, expect_loss, expect_lanes) 
         assert sum(s["provers"] for s in shards) == result["provers"]
         assert sum(s["collections_attempted"] for s in shards) == attempted
         assert sum(s["collections_delivered"] for s in shards) == delivered
+        assert sum(s["wire_frames"] for s in shards) == wire["frames"], result
+        assert sum(s["wire_bytes"] for s in shards) == wire["bytes"], result
+        assert sum(s["wire_accepted"] for s in shards) == wire["decoded_accepted"], result
         assert all(s["all_healthy"] for s in shards), result
 
     scaling = doc["scaling"]
@@ -103,8 +153,8 @@ def validate(path: str, lossless: bool, expect_seed, expect_loss, expect_lanes) 
 
     print(
         f"ok: {path}: {len(doc['results'])} algorithms, {doc['provers']} provers, "
-        f"{doc['threads']} threads, {doc['lanes']} lane(s), seed {doc['seed']}, "
-        f"{len(scaling)} scaling points"
+        f"{doc['threads']} threads, {doc['lanes']} lane(s), {doc['delivery']} delivery, "
+        f"seed {doc['seed']}, {len(scaling)} scaling points"
     )
 
 
@@ -115,9 +165,15 @@ def main() -> int:
     parser.add_argument("--expect-seed", type=int, default=None)
     parser.add_argument("--expect-loss", type=float, default=None)
     parser.add_argument("--expect-lanes", type=int, default=None)
+    parser.add_argument("--expect-delivery", choices=("wire", "struct"), default=None)
     args = parser.parse_args()
     validate(
-        args.report, args.lossless, args.expect_seed, args.expect_loss, args.expect_lanes
+        args.report,
+        args.lossless,
+        args.expect_seed,
+        args.expect_loss,
+        args.expect_lanes,
+        args.expect_delivery,
     )
     return 0
 

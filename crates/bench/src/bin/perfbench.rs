@@ -5,7 +5,7 @@
 //! each driving an event-driven timeline with an optional lossy network,
 //! device churn and on-demand traffic — prints a throughput summary, runs a
 //! 1→N thread-scaling sweep and writes `BENCH_fleet.json` (schema
-//! `erasmus-perfbench/v4`) at the repository root so successive PRs have a
+//! `erasmus-perfbench/v5`) at the repository root so successive PRs have a
 //! perf trajectory to compare against.
 //!
 //! Usage:
@@ -15,6 +15,7 @@
 //! perfbench --quick          # CI-sized run (1000 provers per algorithm)
 //! perfbench --threads 4      # shard the fleet over 4 worker threads
 //! perfbench --lanes 4        # batch same-instant measurements 4 lanes wide
+//! perfbench --delivery struct# legacy in-memory delivery (default: wire)
 //! perfbench --provers 20000  # override the fleet size
 //! perfbench --seed 7         # reseed every deterministic draw
 //! perfbench --loss 0.05      # drop 5% of collection/on-demand packets
@@ -26,7 +27,10 @@
 //!
 //! With the default flags (no loss, no latency, no churn, no on-demand) the
 //! event-driven runtime reproduces the lossless phase-loop totals
-//! bit-for-bit; the determinism test suite pins this.
+//! bit-for-bit; the determinism test suite pins this. Delivery defaults to
+//! `wire`: every collection burst travels as encoded batch frames and is
+//! decoded + verified zero-copy off the bytes; `--delivery struct` keeps
+//! the legacy in-memory path, with bit-identical totals.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,6 +43,7 @@ struct Options {
     quick: bool,
     threads: usize,
     lanes: usize,
+    wire: bool,
     provers: Option<usize>,
     rounds: Option<usize>,
     memory_bytes: Option<usize>,
@@ -51,7 +56,8 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: perfbench [--quick] [--threads N] [--lanes N] [--provers N] [--rounds N]\n\
+    "usage: perfbench [--quick] [--threads N] [--lanes N] [--delivery wire|struct]\n\
+     \x20                [--provers N] [--rounds N]\n\
      \x20                [--memory BYTES] [--seed N] [--loss P] [--latency MS] [--churn P]\n\
      \x20                [--on-demand N] [--out PATH]\n\
      \n\
@@ -64,7 +70,11 @@ fn usage() -> &'static str {
      --memory must be at least 1 byte. --lanes is an upper bound on the\n\
      multi-lane hash width: same-instant measurements batch in lockstep\n\
      groups of the widest supported width (8 or 4) not exceeding it, with\n\
-     totals bit-identical to the scalar path. --loss and --churn are probabilities in [0, 1];\n\
+     totals bit-identical to the scalar path. --delivery picks how\n\
+     collection bursts reach the verifier hub: `wire` (default) encodes\n\
+     them as batch frames and verifies zero-copy off the bytes, `struct`\n\
+     keeps the legacy in-memory path — totals are bit-identical either\n\
+     way. --loss and --churn are probabilities in [0, 1];\n\
      --latency is the base link latency in milliseconds (jitter is half the\n\
      base); --seed makes lossy/churn runs reproducible and is recorded in\n\
      the JSON report."
@@ -75,6 +85,7 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         threads: 1,
         lanes: 1,
+        wire: true,
         provers: None,
         rounds: None,
         memory_bytes: None,
@@ -94,6 +105,17 @@ fn parse_args() -> Result<Options, String> {
             "--quick" => options.quick = true,
             "--threads" => options.threads = numeric(value_for("--threads")?, "--threads", 1)?,
             "--lanes" => options.lanes = numeric(value_for("--lanes")?, "--lanes", 1)?,
+            "--delivery" => {
+                options.wire = match value_for("--delivery")?.as_str() {
+                    "wire" => true,
+                    "struct" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid --delivery value `{other}` (expected `wire` or `struct`)"
+                        ));
+                    }
+                };
+            }
             "--provers" => {
                 options.provers = Some(numeric(value_for("--provers")?, "--provers", 1)?);
             }
@@ -188,6 +210,7 @@ fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
     config.churn = options.churn;
     config.on_demand = options.on_demand;
     config.lanes = options.lanes;
+    config.wire = options.wire;
     config
 }
 
@@ -214,12 +237,14 @@ fn main() -> ExitCode {
             let config = config_for(&options, algorithm);
             eprintln!(
                 "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) \
-                 x {} lane(s) (seed {}, loss {}, latency {} ms, churn {}, on-demand {}) ...",
+                 x {} lane(s), {} delivery (seed {}, loss {}, latency {} ms, churn {}, \
+                 on-demand {}) ...",
                 config.provers,
                 config.measurements_per_round,
                 config.rounds,
                 options.threads,
                 fleet::lanes::effective_width(config.lanes),
+                if config.wire { "wire" } else { "struct" },
                 config.seed,
                 config.network.loss,
                 options.latency_ms,
@@ -239,6 +264,17 @@ fn main() -> ExitCode {
         .collect();
 
     for report in &reports {
+        if report.wire_frames > 0 {
+            eprintln!(
+                "perfbench: {}: wire: {} frames, {} bytes, {} responses decoded+verified \
+                 ({:.1} MiB/s frame ingest)",
+                report.config.algorithm,
+                report.wire_frames,
+                report.wire_bytes,
+                report.decoded_accepted,
+                report.decode_mib_per_sec(),
+            );
+        }
         if let Some(probe) = &report.lane_speedup {
             eprintln!(
                 "perfbench: {}: lane probe x{}: scalar {:.0} meas/s, lanes {:.0} meas/s ({:.2}x)",

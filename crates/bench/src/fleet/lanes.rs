@@ -1,7 +1,7 @@
 //! Scalar-vs-lane measurement-digest speedup, recorded per algorithm.
 //!
 //! The fleet harness batches same-instant measurements into multi-lane hash
-//! jobs (see [`super::shard`]); this module measures what that buys on the
+//! jobs (the private `shard` module); this module measures what that buys on the
 //! host: the throughput of computing complete measurements
 //! (`H(mem) + MAC_K(t, H(mem))`) through the scalar
 //! [`Measurement::compute_keyed`] path versus the lane-interleaved

@@ -9,19 +9,25 @@
 //! protocol tests use, with the precomputed [`erasmus_crypto::KeyedMac`]
 //! schedules derived once per device — and reports wall-clock throughput.
 //!
-//! The fleet is partitioned into per-thread **shards** (see [`shard`]): each
+//! The fleet is partitioned into per-thread **shards** (the private `shard`
+//! module): each
 //! scoped `std::thread` worker owns its `(Prover, Verifier)` pairs outright
 //! and drives them through its own [`erasmus_sim::Engine`] as one
 //! event-driven timeline. Measurements fire at their staggered
 //! [`erasmus_swarm::StaggeredSchedule`] instants (the Section 6 availability
 //! argument); collection responses travel through a deterministic
-//! [`NetworkModel`] (latency, jitter, loss — all drawn per device from the
-//! run's seed); delivered reports arriving at the same instant are folded
-//! into the shard's [`erasmus_core::VerifierHub`] as one batch; on-demand
+//! [`erasmus_sim::NetworkModel`] (latency, jitter, loss — all drawn per device from the
+//! run's seed); responses arriving at the same instant form one burst that
+//! is serialized into framed batch buffers
+//! ([`erasmus_core::encode_collection_batch`]'s wire format) and folded
+//! into the shard's [`erasmus_core::VerifierHub`] straight off the bytes
+//! via [`erasmus_core::VerifierHub::ingest_frame`] — or, with
+//! [`FleetConfig::wire`] off, verified as in-memory structs; on-demand
 //! requests (ERASMUS+OD, Figure 4) and device churn interleave with the
 //! schedule on the same timeline. Because every random draw is keyed by the
 //! *global* device index, totals are thread-count-invariant by
-//! construction, lossy runs included.
+//! construction, lossy runs included — and bit-identical across the wire
+//! and struct delivery paths.
 //!
 //! With `lanes` ≥ 4 each shard coalesces same-instant measurements —
 //! devices sharing a stagger-group offset — into lane-interleaved hash jobs
@@ -33,7 +39,7 @@
 //! Shard results are merged into one [`FleetReport`]; the per-thread
 //! breakdown, the per-algorithm scalar-vs-lane speedup probe and the 1→N
 //! scaling sweep (see [`scaling`]) are serialized by the `perfbench` binary
-//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v4`) so successive
+//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v5`) so successive
 //! PRs accumulate a perf trajectory.
 
 pub mod lanes;
@@ -96,6 +102,14 @@ pub struct FleetConfig {
     /// width not exceeding this value (see [`lanes::effective_width`]).
     /// Totals are bit-identical at every width.
     pub lanes: usize,
+    /// Wire-native delivery (the default): shards serialize every
+    /// same-instant burst of collection responses into framed batch buffers
+    /// ([`erasmus_core::encode_collection_batch_into`]) and the verifier
+    /// side decodes and verifies straight off the frames through
+    /// [`erasmus_core::VerifierHub::ingest_frame`] — zero-copy, no
+    /// per-report allocation. `false` keeps the legacy in-memory struct
+    /// path; totals are bit-identical either way.
+    pub wire: bool,
 }
 
 impl FleetConfig {
@@ -121,6 +135,7 @@ impl FleetConfig {
             churn: 0.0,
             on_demand: 0,
             lanes: 1,
+            wire: true,
         }
     }
 
@@ -217,6 +232,28 @@ pub struct FleetReport {
     pub hub_batches: u64,
     /// Largest single delivery burst.
     pub largest_batch: u64,
+    /// Encoded collection batch frames ingested across all shards (wire
+    /// delivery only; 0 on the struct path).
+    pub wire_frames: u64,
+    /// Total bytes of those frames, count headers included.
+    pub wire_bytes: u64,
+    /// Response records carried by the ingested frames.
+    pub wire_responses: u64,
+    /// Frame-decoded responses whose reports the hubs accepted. On a
+    /// lossless wire run this equals `collections_ingested` — the validator
+    /// cross-checks it.
+    pub decoded_accepted: u64,
+    /// Frames the strict decoder rejected. Always 0 for harness-encoded
+    /// frames; the field exists so the JSON schema matches the fuzz
+    /// harness's accounting.
+    pub decode_rejects: u64,
+    /// Wall-clock time the slowest shard spent serializing frames
+    /// (excluded from `verify_wall`; the struct path has no encode leg).
+    pub encode_wall: Duration,
+    /// Wall-clock time of the slowest shard's frame-ingest spans (decode +
+    /// verify + hub fold, included in `verify_wall`): the denominator of
+    /// [`FleetReport::decode_mib_per_sec`].
+    pub wire_ingest_wall: Duration,
     /// On-demand requests issued across the fleet.
     pub on_demand_attempted: u64,
     /// On-demand exchanges that completed end to end.
@@ -252,6 +289,12 @@ impl FleetReport {
     /// Verified measurements per wall-clock second.
     pub fn verifications_per_sec(&self) -> f64 {
         per_second(self.verifications_total, self.verify_wall)
+    }
+
+    /// Frame-ingest throughput in MiB/s: encoded bytes over the wall time
+    /// of the decode + verify + hub-fold spans (0.0 on the struct path).
+    pub fn decode_mib_per_sec(&self) -> f64 {
+        per_second(self.wire_bytes, self.wire_ingest_wall) / (1024.0 * 1024.0)
     }
 }
 
@@ -361,6 +404,13 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     let mut collections_dropped = 0u64;
     let mut hub_batches = 0u64;
     let mut largest_batch = 0u64;
+    let mut wire_frames = 0u64;
+    let mut wire_bytes = 0u64;
+    let mut wire_responses = 0u64;
+    let mut decoded_accepted = 0u64;
+    let mut decode_rejects = 0u64;
+    let mut encode_wall = Duration::ZERO;
+    let mut wire_ingest_wall = Duration::ZERO;
     let mut on_demand_attempted = 0u64;
     let mut on_demand_completed = 0u64;
     let mut devices_churned = 0u64;
@@ -379,6 +429,13 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         collections_dropped += report.collections_dropped;
         hub_batches += report.hub_batches;
         largest_batch = largest_batch.max(report.largest_batch);
+        wire_frames += report.wire_frames;
+        wire_bytes += report.wire_bytes;
+        wire_responses += report.wire_responses;
+        decoded_accepted += report.wire_accepted;
+        decode_rejects += report.wire_decode_rejects;
+        encode_wall = encode_wall.max(report.encode_wall);
+        wire_ingest_wall = wire_ingest_wall.max(report.wire_ingest_wall);
         on_demand_attempted += report.on_demand_attempted;
         on_demand_completed += report.on_demand_completed;
         devices_churned += report.devices_churned;
@@ -406,6 +463,13 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         collections_dropped,
         hub_batches,
         largest_batch,
+        wire_frames,
+        wire_bytes,
+        wire_responses,
+        decoded_accepted,
+        decode_rejects,
+        encode_wall,
+        wire_ingest_wall,
         on_demand_attempted,
         on_demand_completed,
         on_demand_p50: percentile(&latencies, 0.50),
@@ -453,6 +517,11 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"collections\": {{ \"attempted\": {att}, \"delivered\": {del}, \"dropped\": {dropped} }},\n\
          {indent}  \"hub_batches\": {batches},\n\
          {indent}  \"largest_batch\": {largest},\n\
+         {indent}  \"delivery\": \"{delivery}\",\n\
+         {indent}  \"wire\": {{ \"frames\": {wframes}, \"bytes\": {wbytes}, \
+         \"responses\": {wresp}, \"decoded_accepted\": {waccepted}, \"decode_rejects\": {wrejects}, \
+         \"encode_wall_secs\": {wenc:.6}, \"ingest_wall_secs\": {wing:.6}, \
+         \"decode_mib_per_sec\": {wmibs:.3} }},\n\
          {indent}  \"lane_jobs\": {lane_jobs},\n\
          {indent}  \"lane_remainder\": {lane_remainder},\n\
          {indent}  \"lane_speedup\": {lane_speedup},\n\
@@ -490,6 +559,15 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         dropped = report.collections_dropped,
         batches = report.hub_batches,
         largest = report.largest_batch,
+        delivery = if report.config.wire { "wire" } else { "struct" },
+        wframes = report.wire_frames,
+        wbytes = report.wire_bytes,
+        wresp = report.wire_responses,
+        waccepted = report.decoded_accepted,
+        wrejects = report.decode_rejects,
+        wenc = report.encode_wall.as_secs_f64(),
+        wing = report.wire_ingest_wall.as_secs_f64(),
+        wmibs = report.decode_mib_per_sec(),
         lane_jobs = report.lane_jobs,
         lane_remainder = report.lane_remainder,
         lane_speedup = report
@@ -519,12 +597,15 @@ pub fn document_json(
     let lane_width = reports
         .first()
         .map_or(1, |r| lanes::effective_width(r.config.lanes));
+    let delivery = reports
+        .first()
+        .map_or("wire", |r| if r.config.wire { "wire" } else { "struct" });
     let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
     let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
     format!(
-        "{{\n  \"schema\": \"erasmus-perfbench/v4\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"erasmus-perfbench/v5\",\n  \"mode\": \"{mode}\",\n  \
          \"provers\": {provers},\n  \"threads\": {threads},\n  \"lanes\": {lane_width},\n  \
-         \"seed\": {seed},\n  \
+         \"delivery\": \"{delivery}\",\n  \"seed\": {seed},\n  \
          \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scaling_entries.join(",\n"),
@@ -588,6 +669,15 @@ mod tests {
         assert_eq!(report.collections_ingested, report.collections_delivered);
         assert_eq!(report.on_demand_attempted, 0);
         assert_eq!(report.devices_churned, 0);
+        // Wire delivery is the default: every delivered response travelled
+        // as an encoded frame record, and every decoded record was
+        // accepted — `ingested == decoded_accepted` on a lossless run.
+        assert!(report.config.wire);
+        assert_eq!(report.wire_responses, report.collections_delivered);
+        assert_eq!(report.decoded_accepted, report.collections_ingested);
+        assert_eq!(report.decode_rejects, 0);
+        assert!(report.wire_frames >= 1);
+        assert!(report.wire_bytes > 0);
     }
 
     #[test]
@@ -642,6 +732,33 @@ mod tests {
         assert_eq!(single.collections_ingested, single.collections_delivered);
         // Loss drops evidence, it does not fabricate compromise.
         assert!(single.all_healthy);
+    }
+
+    #[test]
+    fn wire_and_struct_delivery_agree_bit_for_bit() {
+        // The wire path decodes and verifies straight off encoded frames;
+        // every total — including per-device histories via the ingested /
+        // history_entries counts — must match the in-memory struct path.
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.on_demand = 3; // exercise the mixed struct+wire burst path
+        let wire = run(&config);
+        config.wire = false;
+        let legacy = run(&config);
+        assert_eq!(wire.measurements_total, legacy.measurements_total);
+        assert_eq!(wire.verifications_total, legacy.verifications_total);
+        assert_eq!(wire.collections_ingested, legacy.collections_ingested);
+        assert_eq!(wire.history_entries, legacy.history_entries);
+        assert_eq!(wire.hub_batches, legacy.hub_batches);
+        assert_eq!(wire.largest_batch, legacy.largest_batch);
+        assert_eq!(wire.all_healthy, legacy.all_healthy);
+        // Only the wire run moved bytes.
+        assert!(wire.wire_bytes > 0);
+        assert_eq!(legacy.wire_bytes, 0);
+        assert_eq!(legacy.wire_frames, 0);
+        assert_eq!(
+            wire.decoded_accepted,
+            wire.collections_ingested - wire.on_demand_completed
+        );
     }
 
     #[test]
@@ -768,7 +885,12 @@ mod tests {
         }];
         let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
         assert!(doc.starts_with("{\n"));
-        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v4\""));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v5\""));
+        assert!(doc.contains("\"delivery\": \"wire\""));
+        assert!(doc.contains("\"wire\": {"));
+        assert!(doc.contains("\"decoded_accepted\""));
+        assert!(doc.contains("\"decode_rejects\": 0"));
+        assert!(doc.contains("\"decode_mib_per_sec\""));
         assert!(doc.contains("\"lanes\": 1"));
         assert!(doc.contains("\"lane_jobs\": 0"));
         assert!(doc.contains("\"lane_speedup\": null"));

@@ -17,16 +17,23 @@
 //! sixteen.
 //!
 //! Delivered collection responses are verified at their (per-device,
-//! latency-shifted) arrival instants; reports arriving at the same instant
-//! form one burst that is folded into the shard's [`VerifierHub`] through
-//! [`VerifierHub::ingest_batch`], amortizing the per-device routing.
+//! latency-shifted) arrival instants; responses arriving at the same
+//! instant form one burst. Under wire delivery (the default) the burst is
+//! serialized into framed batch buffers — chunked at
+//! [`MAX_BATCH_RESPONSES`] — and folded into the shard's [`VerifierHub`]
+//! straight off the bytes through [`VerifierHub::ingest_frame`], verifying
+//! each record zero-copy off the frame; with [`FleetConfig::wire`] off,
+//! the burst is verified as in-memory structs and folded through
+//! [`VerifierHub::ingest_batch`]. Both paths produce bit-identical totals
+//! and hub histories.
 
 use std::ops::Range;
 use std::time::{Duration, Instant};
 
 use erasmus_core::{
-    CollectionReport, CollectionRequest, CollectionResponse, DeviceId, MeasurementVerdict,
-    OnDemandRequest, OnDemandResponse, Prover, ProverConfig, Verifier, VerifierHub,
+    encode_collection_batch_into, CollectionReport, CollectionRequest, CollectionResponse,
+    DeviceId, MeasurementVerdict, OnDemandRequest, OnDemandResponse, Prover, ProverConfig,
+    Verifier, VerifierHub, MAX_BATCH_RESPONSES,
 };
 use erasmus_hw::{DeviceKey, DeviceProfile};
 use erasmus_sim::{Delivery, Engine, NetworkModel, ScheduledEvent, SimDuration, SimRng, SimTime};
@@ -128,16 +135,32 @@ struct RunState {
     od_completed: u64,
     od_dropped: u64,
     od_latencies: Vec<SimDuration>,
+    /// Verified reports of the current burst awaiting `ingest_batch` — the
+    /// on-demand leg in wire mode, every delivery in struct mode.
     pending: Vec<CollectionReport>,
+    /// Raw responses of the current burst awaiting frame encode + ingest
+    /// (wire mode only; empty in struct mode).
+    pending_responses: Vec<CollectionResponse>,
     pending_at: Option<SimTime>,
     batches: u64,
     largest_batch: u64,
+    /// Wire delivery: serialize bursts and verify off the frames.
+    wire: bool,
+    wire_frames: u64,
+    wire_bytes: u64,
+    wire_responses: u64,
+    wire_accepted: u64,
+    wire_decode_rejects: u64,
+    encode_wall: Duration,
+    wire_ingest_wall: Duration,
+    /// Reusable frame buffer, so steady-state encoding allocates nothing.
+    frame_buf: Vec<u8>,
     lane_jobs: u64,
     lane_remainder: u64,
 }
 
 impl RunState {
-    fn new(strict: bool, request: CollectionRequest) -> Self {
+    fn new(strict: bool, wire: bool, request: CollectionRequest) -> Self {
         Self {
             request,
             strict,
@@ -154,9 +177,19 @@ impl RunState {
             od_dropped: 0,
             od_latencies: Vec::new(),
             pending: Vec::new(),
+            pending_responses: Vec::new(),
             pending_at: None,
             batches: 0,
             largest_batch: 0,
+            wire,
+            wire_frames: 0,
+            wire_bytes: 0,
+            wire_responses: 0,
+            wire_accepted: 0,
+            wire_decode_rejects: 0,
+            encode_wall: Duration::ZERO,
+            wire_ingest_wall: Duration::ZERO,
+            frame_buf: Vec::new(),
             lane_jobs: 0,
             lane_remainder: 0,
         }
@@ -200,6 +233,10 @@ struct Cohort {
 /// A worker thread's slice of the fleet.
 pub(crate) struct Shard {
     index: usize,
+    /// Global fleet index of the shard's first device: the range is
+    /// contiguous, so `global - base` recovers the local index when a
+    /// decoded frame record is routed back to its verifier.
+    base: usize,
     devices: Vec<ShardDevice>,
     hub: VerifierHub,
     engine: Engine<FleetEvent>,
@@ -246,6 +283,25 @@ pub struct ShardReport {
     pub hub_batches: u64,
     /// Largest single delivery burst.
     pub largest_batch: u64,
+    /// Encoded collection batch frames this shard ingested (wire mode; 0
+    /// on the struct path).
+    pub wire_frames: u64,
+    /// Total bytes of those frames, count headers included.
+    pub wire_bytes: u64,
+    /// Response records carried by the ingested frames.
+    pub wire_responses: u64,
+    /// Frame-decoded responses whose reports the hub accepted.
+    pub wire_accepted: u64,
+    /// Frames the strict decoder rejected — always 0 for the shard's own
+    /// well-formed frames; tracked so the fleet report's accounting
+    /// mirrors the fuzz harness's.
+    pub wire_decode_rejects: u64,
+    /// Wall-clock time spent serializing frames (not part of
+    /// `verify_wall`: the struct path has no encode leg).
+    pub encode_wall: Duration,
+    /// Wall-clock time of the frame-ingest spans (decode + verify + hub
+    /// fold); included in `verify_wall`.
+    pub wire_ingest_wall: Duration,
     /// On-demand requests issued against this shard's devices.
     pub on_demand_attempted: u64,
     /// On-demand exchanges that completed end to end.
@@ -273,7 +329,10 @@ impl ShardReport {
              \"measure_wall_secs\": {mw:.6}, \"verify_wall_secs\": {vw:.6}, \
              \"collections_attempted\": {att}, \"collections_delivered\": {del}, \
              \"collections_dropped\": {drop}, \"hub_batches\": {batches}, \
-             \"largest_batch\": {largest}, \"lane_jobs\": {lane_jobs}, \
+             \"largest_batch\": {largest}, \"wire_frames\": {wframes}, \
+             \"wire_bytes\": {wbytes}, \"wire_accepted\": {waccepted}, \
+             \"encode_wall_secs\": {wenc:.6}, \"wire_ingest_wall_secs\": {wing:.6}, \
+             \"lane_jobs\": {lane_jobs}, \
              \"all_healthy\": {healthy} }}",
             shard = self.shard,
             provers = self.provers,
@@ -286,6 +345,11 @@ impl ShardReport {
             drop = self.collections_dropped,
             batches = self.hub_batches,
             largest = self.largest_batch,
+            wframes = self.wire_frames,
+            wbytes = self.wire_bytes,
+            waccepted = self.wire_accepted,
+            wenc = self.encode_wall.as_secs_f64(),
+            wing = self.wire_ingest_wall.as_secs_f64(),
             lane_jobs = self.lane_jobs,
             healthy = self.all_healthy,
         )
@@ -407,6 +471,7 @@ impl Shard {
 
         Self {
             index,
+            base: range.start,
             devices,
             hub: VerifierHub::new(),
             engine: Engine::new(),
@@ -441,6 +506,7 @@ impl Shard {
             && config.network.base_latency + config.network.jitter < MEASUREMENT_INTERVAL;
         let mut state = RunState::new(
             strict,
+            config.wire,
             CollectionRequest::latest(config.measurements_per_round),
         );
         let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
@@ -539,6 +605,13 @@ impl Shard {
             collections_dropped: state.collect_dropped,
             hub_batches: state.batches,
             largest_batch: state.largest_batch,
+            wire_frames: state.wire_frames,
+            wire_bytes: state.wire_bytes,
+            wire_responses: state.wire_responses,
+            wire_accepted: state.wire_accepted,
+            wire_decode_rejects: state.wire_decode_rejects,
+            encode_wall: state.encode_wall,
+            wire_ingest_wall: state.wire_ingest_wall,
             on_demand_attempted: state.od_attempted,
             on_demand_completed: state.od_completed,
             on_demand_latencies: state.od_latencies,
@@ -612,17 +685,24 @@ impl Shard {
                 }
             }
             FleetEvent::CollectDeliver { device, response } => {
-                let d = &mut self.devices[device];
-                let started = Instant::now();
-                let report = d
-                    .verifier
-                    .verify_collection(&response, now)
-                    .expect("fleet collection verifies");
-                state.verify_wall += started.elapsed();
                 state.collect_delivered += 1;
-                state.verifications += report.measurements().len() as u64;
-                state.note_health(&report, true);
-                self.push_report(state, now, report);
+                if state.wire {
+                    // Wire delivery: the response joins the current burst
+                    // as-is; the whole burst is frame-encoded, decoded and
+                    // verified off the bytes when it seals (`flush_batch`).
+                    self.push_response(state, now, response);
+                } else {
+                    let d = &mut self.devices[device];
+                    let started = Instant::now();
+                    let report = d
+                        .verifier
+                        .verify_collection(&response, now)
+                        .expect("fleet collection verifies");
+                    state.verify_wall += started.elapsed();
+                    state.verifications += report.measurements().len() as u64;
+                    state.note_health(&report, true);
+                    self.push_report(state, now, report);
+                }
             }
             FleetEvent::OnDemand {
                 device,
@@ -832,20 +912,85 @@ impl Shard {
         state.pending.push(report);
     }
 
-    /// Folds the buffered burst into the shard hub via `ingest_batch`. Hub
-    /// bookkeeping happens outside the timed verify span, keeping
-    /// `verifications_per_sec` comparable with the pre-hub trajectory in
-    /// earlier `BENCH_fleet.json` revisions.
+    /// Buffers a raw collection response into the current delivery burst
+    /// (wire mode), under the same sealing rule as [`Shard::push_report`]:
+    /// mixed bursts — frame-bound collections plus struct-path on-demand
+    /// reports landing at the same instant — seal and flush together.
+    fn push_response(&mut self, state: &mut RunState, at: SimTime, response: CollectionResponse) {
+        if state.pending_at != Some(at) {
+            self.flush_batch(state);
+            state.pending_at = Some(at);
+        }
+        state.pending_responses.push(response);
+    }
+
+    /// Seals the buffered burst into the shard hub.
+    ///
+    /// Wire mode first: the burst's raw responses are serialized into
+    /// framed batch buffers — chunked at [`MAX_BATCH_RESPONSES`], since a
+    /// single-group stagger can put a whole shard into one instant — and
+    /// ingested through [`VerifierHub::ingest_frame`]; each record is
+    /// verified zero-copy off the frame, at the burst's arrival instant,
+    /// by the device's own verifier. Any already-verified struct reports
+    /// (the on-demand leg, or everything in struct mode) then fold in via
+    /// `ingest_batch`. A mixed burst still counts as *one* batch with its
+    /// combined size, so burst accounting is bit-identical across delivery
+    /// modes. Encoding is timed separately (`encode_wall`); the ingest
+    /// span lands in both `wire_ingest_wall` and `verify_wall`, which is
+    /// where the struct path's verification time lives.
     fn flush_batch(&mut self, state: &mut RunState) {
-        if state.pending.is_empty() {
+        if state.pending.is_empty() && state.pending_responses.is_empty() {
             state.pending_at = None;
             return;
         }
-        let outcome = self.hub.ingest_batch(state.pending.iter());
-        state.all_healthy &= outcome.rejected == 0;
+        let burst = (state.pending.len() + state.pending_responses.len()) as u64;
+        if !state.pending_responses.is_empty() {
+            let at = state
+                .pending_at
+                .expect("a non-empty burst has an arrival instant");
+            let mut responses = std::mem::take(&mut state.pending_responses);
+            let mut frame = std::mem::take(&mut state.frame_buf);
+            let base = self.base as u64;
+            for chunk in responses.chunks(MAX_BATCH_RESPONSES) {
+                frame.clear();
+                let started = Instant::now();
+                encode_collection_batch_into(&mut frame, chunk);
+                state.encode_wall += started.elapsed();
+                state.wire_frames += 1;
+                state.wire_bytes += frame.len() as u64;
+                let devices = &mut self.devices;
+                let started = Instant::now();
+                let outcome = self
+                    .hub
+                    .ingest_frame(&frame, |view| {
+                        let local = (view.device().value() - base) as usize;
+                        let report = devices[local]
+                            .verifier
+                            .verify_frame_response(&view, at)
+                            .expect("fleet collection verifies");
+                        state.verifications += report.measurements().len() as u64;
+                        state.note_health(&report, true);
+                        Some(report)
+                    })
+                    .expect("shard-encoded frame decodes");
+                let elapsed = started.elapsed();
+                state.wire_ingest_wall += elapsed;
+                state.verify_wall += elapsed;
+                state.wire_responses += outcome.responses;
+                state.wire_accepted += outcome.accepted;
+                state.all_healthy &= outcome.rejected == 0 && outcome.verify_failed == 0;
+            }
+            responses.clear();
+            state.pending_responses = responses;
+            state.frame_buf = frame;
+        }
+        if !state.pending.is_empty() {
+            let outcome = self.hub.ingest_batch(state.pending.iter());
+            state.all_healthy &= outcome.rejected == 0;
+            state.pending.clear();
+        }
         state.batches += 1;
-        state.largest_batch = state.largest_batch.max(state.pending.len() as u64);
-        state.pending.clear();
+        state.largest_batch = state.largest_batch.max(burst);
         state.pending_at = None;
     }
 
@@ -1135,6 +1280,70 @@ mod tests {
             report.lane_remainder > 0,
             "no scalar remainder in a 5-cohort"
         );
+    }
+
+    #[test]
+    fn wire_shard_hub_matches_struct_shard_hub() {
+        // The wire path re-routes every collection through encode → frame
+        // → zero-copy verify; the verifier-side outcome must be
+        // bit-identical to the struct path, including on mixed bursts
+        // where struct-path on-demand reports land with frame-bound
+        // collections.
+        let mut config = config();
+        config.on_demand = 2;
+        let mut wire_shard = shard_for(&config, 0..6, 0);
+        let wire_report = wire_shard.run(&config);
+        config.wire = false;
+        let mut struct_shard = shard_for(&config, 0..6, 0);
+        let struct_report = struct_shard.run(&config);
+        assert_eq!(wire_report.verifications, struct_report.verifications);
+        assert_eq!(wire_report.hub_batches, struct_report.hub_batches);
+        assert_eq!(wire_report.largest_batch, struct_report.largest_batch);
+        assert_eq!(wire_report.all_healthy, struct_report.all_healthy);
+        assert_eq!(
+            wire_report.wire_responses,
+            wire_report.collections_delivered
+        );
+        assert_eq!(wire_report.wire_accepted, wire_report.wire_responses);
+        assert_eq!(wire_report.wire_decode_rejects, 0);
+        assert!(wire_report.wire_frames > 0);
+        assert!(wire_report.wire_bytes > 0);
+        assert_eq!(struct_report.wire_frames, 0);
+        assert_eq!(struct_report.wire_bytes, 0);
+        let wire_hub = wire_shard.into_hub();
+        let struct_hub = struct_shard.into_hub();
+        assert_eq!(wire_hub.ingested(), struct_hub.ingested());
+        assert_eq!(wire_hub.total_entries(), struct_hub.total_entries());
+        for id in 0..6u64 {
+            let wired: Vec<_> = wire_hub
+                .history(DeviceId::new(id))
+                .expect("tracked")
+                .entries()
+                .collect();
+            let reference: Vec<_> = struct_hub
+                .history(DeviceId::new(id))
+                .expect("tracked")
+                .entries()
+                .collect();
+            assert_eq!(wired, reference, "device {id}");
+        }
+    }
+
+    #[test]
+    fn oversized_bursts_chunk_into_multiple_frames() {
+        // One stagger group puts the whole fleet into a single burst;
+        // 1100 responses exceed MAX_BATCH_RESPONSES (1024), so the burst
+        // must ship as two frames while still counting as one hub batch.
+        let config = FleetConfig::new(1100, 1, 1, 64, 1, MacAlgorithm::HmacSha256);
+        assert!(config.provers > MAX_BATCH_RESPONSES);
+        let mut shard = shard_for(&config, 0..1100, 0);
+        let report = shard.run(&config);
+        assert_eq!(report.largest_batch, 1100);
+        assert_eq!(report.hub_batches, 1);
+        assert_eq!(report.wire_frames, 2);
+        assert_eq!(report.wire_responses, 1100);
+        assert_eq!(report.wire_accepted, 1100);
+        assert!(report.all_healthy);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub struct MobilityPoint {
 const REPETITIONS: u64 = 5;
 
 /// Sweeps churn probabilities for a swarm of `size` devices, averaging each
-/// point over [`REPETITIONS`] independent topologies and mobility traces.
+/// point over `REPETITIONS` (5) independent topologies and mobility traces.
 pub fn sweep(size: usize, churn_probabilities: &[f64], seed: u64) -> Vec<MobilityPoint> {
     churn_probabilities
         .iter()

@@ -281,6 +281,137 @@ fn lane_batched_scenario_runs_stay_thread_and_lane_invariant() {
 }
 
 #[test]
+fn wire_delivery_matches_struct_delivery_bit_for_bit() {
+    // The tentpole invariant: routing every collection burst through the
+    // encoded frame path must be observationally identical to the legacy
+    // in-memory path — same totals, same hub coverage, same health — at 1
+    // and 4 threads, on a lossless run.
+    let wire_config = config(MacAlgorithm::HmacSha256);
+    assert!(wire_config.wire, "wire delivery is the default");
+    let mut struct_config = wire_config.clone();
+    struct_config.wire = false;
+
+    for threads in [1usize, 4] {
+        let wire = fleet::run_threaded(&wire_config, threads);
+        let legacy = fleet::run_threaded(&struct_config, threads);
+        let label = format!("threads={threads}");
+
+        assert_eq!(
+            wire.measurements_total, legacy.measurements_total,
+            "{label}"
+        );
+        assert_eq!(
+            wire.verifications_total, legacy.verifications_total,
+            "{label}"
+        );
+        assert_eq!(
+            wire.collections_delivered, legacy.collections_delivered,
+            "{label}"
+        );
+        assert_eq!(
+            wire.collections_ingested, legacy.collections_ingested,
+            "{label}"
+        );
+        assert_eq!(wire.devices_tracked, legacy.devices_tracked, "{label}");
+        assert_eq!(wire.history_entries, legacy.history_entries, "{label}");
+        assert_eq!(wire.hub_batches, legacy.hub_batches, "{label}");
+        assert_eq!(wire.largest_batch, legacy.largest_batch, "{label}");
+        assert_eq!(wire.simulated_busy, legacy.simulated_busy, "{label}");
+        assert_eq!(wire.all_healthy, legacy.all_healthy, "{label}");
+        assert!(wire.all_healthy, "{label}");
+
+        // The wire run actually used the wire: 100% of collection traffic
+        // travelled as encoded frames and decoded losslessly.
+        assert!(wire.wire_frames > 0, "{label}: no frame was encoded");
+        assert!(wire.wire_bytes > 0, "{label}");
+        assert_eq!(
+            wire.wire_responses, wire.collections_delivered,
+            "{label}: every delivered collection crossed the wire"
+        );
+        assert_eq!(
+            wire.decoded_accepted, wire.collections_ingested,
+            "{label}: every ingested report came off a decoded frame"
+        );
+        assert_eq!(wire.decode_rejects, 0, "{label}");
+
+        // The struct run never touched the wire counters.
+        assert_eq!(legacy.wire_frames, 0, "{label}");
+        assert_eq!(legacy.wire_bytes, 0, "{label}");
+        assert_eq!(legacy.decoded_accepted, 0, "{label}");
+    }
+}
+
+#[test]
+fn wire_delivery_stays_invariant_under_loss_churn_and_on_demand() {
+    // Same invariant on a hostile timeline: drops, churn and on-demand
+    // traffic (which rides the struct path inside a wire run, since OD
+    // reports are verified at receive time) must not open any daylight
+    // between the two delivery modes, at any thread count.
+    let mut wire_config = config(MacAlgorithm::HmacSha256);
+    wire_config.rounds = 3;
+    wire_config.churn = 0.2;
+    wire_config.on_demand = 24;
+    wire_config.network = NetworkConfig {
+        base_latency: SimDuration::from_millis(10),
+        jitter: SimDuration::from_millis(5),
+        loss: 0.05,
+    };
+    wire_config.seed = 11;
+    let mut struct_config = wire_config.clone();
+    struct_config.wire = false;
+
+    let baseline = fleet::run_threaded(&struct_config, 1);
+    for threads in [1usize, 4] {
+        let wire = fleet::run_threaded(&wire_config, threads);
+        let label = format!("threads={threads}");
+        assert_eq!(
+            wire.measurements_total, baseline.measurements_total,
+            "{label}"
+        );
+        assert_eq!(
+            wire.verifications_total, baseline.verifications_total,
+            "{label}"
+        );
+        assert_eq!(
+            wire.collections_delivered, baseline.collections_delivered,
+            "{label}"
+        );
+        assert_eq!(
+            wire.collections_dropped, baseline.collections_dropped,
+            "{label}"
+        );
+        assert_eq!(
+            wire.collections_ingested, baseline.collections_ingested,
+            "{label}"
+        );
+        assert_eq!(wire.devices_churned, baseline.devices_churned, "{label}");
+        assert_eq!(
+            wire.on_demand_completed, baseline.on_demand_completed,
+            "{label}"
+        );
+        assert_eq!(wire.on_demand_p50, baseline.on_demand_p50, "{label}");
+        assert_eq!(wire.on_demand_p99, baseline.on_demand_p99, "{label}");
+        assert_eq!(wire.history_entries, baseline.history_entries, "{label}");
+        assert_eq!(wire.simulated_busy, baseline.simulated_busy, "{label}");
+        assert_eq!(wire.all_healthy, baseline.all_healthy, "{label}");
+
+        // Conservation on the wire axis: collections ride frames, on-demand
+        // reports ride the struct path, nothing is double-counted.
+        assert_eq!(wire.wire_responses, wire.collections_delivered, "{label}");
+        assert_eq!(
+            wire.decoded_accepted + wire.on_demand_completed,
+            wire.collections_ingested,
+            "{label}"
+        );
+        assert_eq!(wire.decode_rejects, 0, "{label}");
+        assert!(
+            wire.collections_dropped > 0,
+            "{label}: loss dropped nothing"
+        );
+    }
+}
+
+#[test]
 fn hub_tracks_every_device_exactly_once_at_fleet_scale() {
     let config = config(MacAlgorithm::KeyedBlake2s);
     let report = fleet::run_threaded(&config, 4);

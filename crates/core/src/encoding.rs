@@ -19,12 +19,33 @@
 //!
 //! A collection *batch* is a response count (u16, at most
 //! [`MAX_BATCH_RESPONSES`]) followed by that many responses back to back.
-//! It is the wire frame for one hub delivery burst — the same unit
-//! [`crate::VerifierHub::ingest_batch`] consumes after verification. The
-//! in-process fleet harness hands verified reports over in memory; this
-//! framing is the serialization boundary for a networked hub front-end
-//! (decode → verify each response → `ingest_batch`), and the batch tests
-//! below drive that full pipeline.
+//! It is the wire frame for one hub delivery burst — the unit
+//! [`crate::VerifierHub::ingest_frame`] consumes: decode, verify each
+//! response straight off the frame, fold the reports in.
+//!
+//! # Strictness
+//!
+//! The codec is deliberately unforgiving — every rule below is load-bearing
+//! for the fuzz harness's differential oracle:
+//!
+//! * **Exact lengths.** A digest length other than [`DIGEST_LEN`] or a tag
+//!   length of zero or above `MAX_TAG_LEN` is rejected before any copy.
+//! * **Prefix-strict.** Every strict prefix of a valid frame is rejected as
+//!   truncated; a frame either parses completely or not at all.
+//! * **Suffix-strict.** Trailing bytes after the last record are rejected.
+//! * **Canonical.** The format is bijective: for every frame accepted by
+//!   [`decode_collection_batch`], re-encoding the result reproduces the
+//!   input byte for byte.
+//!
+//! # Zero-copy views
+//!
+//! [`FrameView::parse`] validates a whole frame in one allocation-free pass
+//! and hands out borrowed [`ResponseView`]s / [`MeasurementView`]s whose
+//! digest and tag point straight into the frame buffer. The verifier checks
+//! MACs off those borrowed slices; owned [`Measurement`]s are materialized
+//! only for the reports that survive verification. The owned decoders
+//! ([`decode_collection_batch`] & co.) are thin wrappers over the views, so
+//! there is exactly one strict contract.
 
 use std::fmt;
 
@@ -35,9 +56,53 @@ use crate::ids::DeviceId;
 use crate::measurement::{Measurement, MemoryDigest, DIGEST_LEN};
 use crate::protocol::CollectionResponse;
 
+/// Category of strict-codec violation behind a [`DecodeError`].
+///
+/// The adversarial-frame corpus tests cover every variant; keep
+/// [`DecodeErrorKind::ALL`] in sync when extending the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeErrorKind {
+    /// The input ended before a field could be read in full.
+    Truncated,
+    /// A digest length field disagreed with [`DIGEST_LEN`].
+    DigestLength,
+    /// A tag length field was zero or above `MAX_TAG_LEN`.
+    TagLength,
+    /// A batch count field was above [`MAX_BATCH_RESPONSES`].
+    BatchCount,
+    /// A well-formed message was followed by trailing bytes.
+    TrailingBytes,
+}
+
+impl DecodeErrorKind {
+    /// Every way the strict codec can reject input.
+    pub const ALL: [DecodeErrorKind; 5] = [
+        DecodeErrorKind::Truncated,
+        DecodeErrorKind::DigestLength,
+        DecodeErrorKind::TagLength,
+        DecodeErrorKind::BatchCount,
+        DecodeErrorKind::TrailingBytes,
+    ];
+}
+
+impl fmt::Display for DecodeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            DecodeErrorKind::Truncated => "truncated",
+            DecodeErrorKind::DigestLength => "digest length",
+            DecodeErrorKind::TagLength => "tag length",
+            DecodeErrorKind::BatchCount => "batch count",
+            DecodeErrorKind::TrailingBytes => "trailing bytes",
+        };
+        f.write_str(text)
+    }
+}
+
 /// Error produced when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {
+    /// Which contract rule was violated.
+    kind: DecodeErrorKind,
     /// What went wrong.
     reason: String,
     /// Byte offset at which decoding failed.
@@ -45,11 +110,17 @@ pub struct DecodeError {
 }
 
 impl DecodeError {
-    fn new(reason: impl Into<String>, offset: usize) -> Self {
+    fn new(kind: DecodeErrorKind, reason: impl Into<String>, offset: usize) -> Self {
         Self {
+            kind,
             reason: reason.into(),
             offset,
         }
+    }
+
+    /// Which contract rule was violated.
+    pub fn kind(&self) -> DecodeErrorKind {
+        self.kind
     }
 
     /// Byte offset at which decoding failed.
@@ -71,6 +142,7 @@ impl std::error::Error for DecodeError {}
 // longer than `MAX_TAG_LEN`. Anything else can only come from corrupted or
 // hostile input and is rejected before allocation.
 
+#[derive(Debug, Clone)]
 struct Reader<'a> {
     bytes: &'a [u8],
     offset: usize,
@@ -82,8 +154,9 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], DecodeError> {
-        if self.offset + len > self.bytes.len() {
+        if len > self.bytes.len() - self.offset {
             return Err(DecodeError::new(
+                DecodeErrorKind::Truncated,
                 format!("truncated while reading {what} ({len} bytes needed)"),
                 self.offset,
             ));
@@ -110,6 +183,7 @@ impl<'a> Reader<'a> {
     fn finish(&self) -> Result<(), DecodeError> {
         if self.offset != self.bytes.len() {
             return Err(DecodeError::new(
+                DecodeErrorKind::TrailingBytes,
                 format!(
                     "{} trailing bytes after message",
                     self.bytes.len() - self.offset
@@ -121,43 +195,296 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serializes one measurement.
-pub fn encode_measurement(measurement: &Measurement) -> Vec<u8> {
-    let digest = measurement.digest();
-    let tag = measurement.tag().as_bytes();
-    let mut out = Vec::with_capacity(8 + 2 + digest.len() + 2 + tag.len());
-    out.extend_from_slice(&measurement.timestamp().as_nanos().to_be_bytes());
-    out.extend_from_slice(&(digest.len() as u16).to_be_bytes());
-    out.extend_from_slice(digest);
-    out.extend_from_slice(&(tag.len() as u16).to_be_bytes());
-    out.extend_from_slice(tag);
-    out
+/// Zero-copy view of one measurement record inside a validated frame.
+///
+/// The digest and tag borrow straight from the frame buffer; nothing is
+/// copied or allocated until [`MeasurementView::to_measurement`]. Views are
+/// only handed out by [`FrameView`] / [`ResponseView`] after the whole frame
+/// passed strict validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasurementView<'a> {
+    timestamp: SimTime,
+    digest: &'a MemoryDigest,
+    tag: &'a [u8],
 }
 
-fn decode_measurement_from(reader: &mut Reader<'_>) -> Result<Measurement, DecodeError> {
+impl<'a> MeasurementView<'a> {
+    /// The RROC timestamp `t`.
+    pub fn timestamp(&self) -> SimTime {
+        self.timestamp
+    }
+
+    /// The memory digest `H(mem_t)`, borrowed from the frame.
+    pub fn digest(&self) -> &'a MemoryDigest {
+        self.digest
+    }
+
+    /// The authentication tag bytes, borrowed from the frame.
+    pub fn tag(&self) -> &'a [u8] {
+        self.tag
+    }
+
+    /// Materializes an owned [`Measurement`] (the only copying step on the
+    /// frame ingestion path, deferred until a report is actually built).
+    pub fn to_measurement(&self) -> Measurement {
+        Measurement::from_parts(self.timestamp, *self.digest, MacTag::new(self.tag))
+    }
+}
+
+fn measurement_view_from<'a>(reader: &mut Reader<'a>) -> Result<MeasurementView<'a>, DecodeError> {
     let timestamp = reader.u64("timestamp")?;
     let digest_len = reader.u16("digest length")? as usize;
     if digest_len != DIGEST_LEN {
         return Err(DecodeError::new(
+            DecodeErrorKind::DigestLength,
             format!("implausible digest length {digest_len}"),
             reader.offset,
         ));
     }
-    let mut digest = MemoryDigest::default();
-    digest.copy_from_slice(reader.take(digest_len, "digest")?);
+    let digest: &MemoryDigest = reader
+        .take(digest_len, "digest")?
+        .try_into()
+        .expect("slice length is DIGEST_LEN");
     let tag_len = reader.u16("tag length")? as usize;
     if tag_len == 0 || tag_len > MAX_TAG_LEN {
         return Err(DecodeError::new(
+            DecodeErrorKind::TagLength,
             format!("implausible tag length {tag_len}"),
             reader.offset,
         ));
     }
     let tag = reader.take(tag_len, "tag")?;
-    Ok(Measurement::from_parts(
-        SimTime::from_nanos(timestamp),
+    Ok(MeasurementView {
+        timestamp: SimTime::from_nanos(timestamp),
         digest,
-        MacTag::new(tag),
-    ))
+        tag,
+    })
+}
+
+/// Iterator over the [`MeasurementView`]s of one response record.
+///
+/// Walks bytes that were already validated by [`FrameView::parse`] (or one
+/// of the owned decoders), so iteration itself cannot fail.
+#[derive(Debug, Clone)]
+pub struct MeasurementViews<'a> {
+    reader: Reader<'a>,
+    remaining: usize,
+}
+
+impl<'a> Iterator for MeasurementViews<'a> {
+    type Item = MeasurementView<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(measurement_view_from(&mut self.reader).expect("records validated at parse time"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for MeasurementViews<'_> {}
+
+/// Zero-copy view of one collection-response record inside a validated
+/// frame.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseView<'a> {
+    device: DeviceId,
+    count: usize,
+    records: &'a [u8],
+}
+
+impl<'a> ResponseView<'a> {
+    /// The device this response claims to come from.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Number of measurement records the response carries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the response carries no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterator over the borrowed measurement records, newest first (the
+    /// order the prover serialized them in).
+    pub fn measurements(&self) -> MeasurementViews<'a> {
+        MeasurementViews {
+            reader: Reader::new(self.records),
+            remaining: self.count,
+        }
+    }
+
+    /// Materializes an owned [`CollectionResponse`].
+    ///
+    /// The prover-time field is not on the wire (it is a simulation
+    /// artefact); the materialized response carries [`SimDuration::ZERO`]
+    /// there.
+    pub fn to_response(&self) -> CollectionResponse {
+        CollectionResponse {
+            device: self.device,
+            measurements: self.measurements().map(|m| m.to_measurement()).collect(),
+            prover_time: SimDuration::ZERO,
+        }
+    }
+}
+
+fn response_view_from<'a>(reader: &mut Reader<'a>) -> Result<ResponseView<'a>, DecodeError> {
+    let device = reader.u64("device id")?;
+    let count = reader.u16("measurement count")? as usize;
+    let start = reader.offset;
+    for _ in 0..count {
+        measurement_view_from(reader)?;
+    }
+    Ok(ResponseView {
+        device: DeviceId::new(device),
+        count,
+        records: &reader.bytes[start..reader.offset],
+    })
+}
+
+/// Iterator over the [`ResponseView`]s of a validated frame.
+#[derive(Debug, Clone)]
+pub struct ResponseViews<'a> {
+    reader: Reader<'a>,
+    remaining: usize,
+}
+
+impl<'a> Iterator for ResponseViews<'a> {
+    type Item = ResponseView<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(response_view_from(&mut self.reader).expect("records validated at parse time"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ResponseViews<'_> {}
+
+/// Zero-copy view of a whole validated batch frame — the hub's wire-native
+/// ingestion unit.
+///
+/// [`FrameView::parse`] makes exactly one strict validation pass (bounds
+/// checks only, no allocation, no copying); the view's iterators then
+/// re-walk the validated bytes infallibly. Holding a `FrameView` is proof
+/// the frame satisfies the full codec contract described in the
+/// [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use erasmus_core::{encode_collection_batch, CollectionResponse, DeviceId, FrameView};
+/// use erasmus_sim::SimDuration;
+///
+/// let burst = vec![CollectionResponse {
+///     device: DeviceId::new(7),
+///     measurements: Vec::new(),
+///     prover_time: SimDuration::ZERO,
+/// }];
+/// let bytes = encode_collection_batch(&burst);
+/// let frame = FrameView::parse(&bytes).expect("valid frame");
+/// assert_eq!(frame.len(), 1);
+/// assert_eq!(frame.responses().next().unwrap().device(), DeviceId::new(7));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    count: usize,
+    records: &'a [u8],
+    frame_len: usize,
+}
+
+impl<'a> FrameView<'a> {
+    /// Validates a batch frame in one allocation-free pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] (with a structured [`DecodeErrorKind`]) for
+    /// truncated input, a batch count above [`MAX_BATCH_RESPONSES`], any
+    /// malformed inner record, or trailing garbage — a frame either
+    /// validates completely or not at all.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut reader = Reader::new(bytes);
+        let count = reader.u16("batch count")? as usize;
+        if count > MAX_BATCH_RESPONSES {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("implausible batch count {count}"),
+                0,
+            ));
+        }
+        let start = reader.offset;
+        for _ in 0..count {
+            response_view_from(&mut reader)?;
+        }
+        reader.finish()?;
+        Ok(Self {
+            count,
+            records: &bytes[start..],
+            frame_len: bytes.len(),
+        })
+    }
+
+    /// Number of response records the frame carries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the frame carries no responses.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Size of the whole frame in bytes, including the count header.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Iterator over the borrowed response records in wire order (the hub's
+    /// per-device arrival order depends on it).
+    pub fn responses(&self) -> ResponseViews<'a> {
+        ResponseViews {
+            reader: Reader::new(self.records),
+            remaining: self.count,
+        }
+    }
+}
+
+/// Appends the serialized measurement to `out`.
+pub fn encode_measurement_into(out: &mut Vec<u8>, measurement: &Measurement) {
+    let digest = measurement.digest();
+    let tag = measurement.tag().as_bytes();
+    out.reserve(8 + 2 + digest.len() + 2 + tag.len());
+    out.extend_from_slice(&measurement.timestamp().as_nanos().to_be_bytes());
+    out.extend_from_slice(&(digest.len() as u16).to_be_bytes());
+    out.extend_from_slice(digest);
+    out.extend_from_slice(&(tag.len() as u16).to_be_bytes());
+    out.extend_from_slice(tag);
+}
+
+/// Serializes one measurement.
+pub fn encode_measurement(measurement: &Measurement) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_measurement_into(&mut out, measurement);
+    out
+}
+
+fn decode_measurement_from(reader: &mut Reader<'_>) -> Result<Measurement, DecodeError> {
+    measurement_view_from(reader).map(|view| view.to_measurement())
 }
 
 /// Parses one measurement, rejecting trailing bytes.
@@ -174,15 +501,20 @@ pub fn decode_measurement(bytes: &[u8]) -> Result<Measurement, DecodeError> {
     Ok(measurement)
 }
 
-/// Serializes a collection response (the prover → verifier UDP payload).
-pub fn encode_collection_response(response: &CollectionResponse) -> Vec<u8> {
-    let mut out =
-        Vec::with_capacity(8 + 2 + response.payload_bytes() + 4 * response.measurements.len());
+/// Appends the serialized collection response to `out`.
+pub fn encode_collection_response_into(out: &mut Vec<u8>, response: &CollectionResponse) {
+    out.reserve(8 + 2 + response.payload_bytes() + 4 * response.measurements.len());
     out.extend_from_slice(&response.device.value().to_be_bytes());
     out.extend_from_slice(&(response.measurements.len() as u16).to_be_bytes());
     for measurement in &response.measurements {
-        out.extend_from_slice(&encode_measurement(measurement));
+        encode_measurement_into(out, measurement);
     }
+}
+
+/// Serializes a collection response (the prover → verifier UDP payload).
+pub fn encode_collection_response(response: &CollectionResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_collection_response_into(&mut out, response);
     out
 }
 
@@ -197,9 +529,9 @@ pub fn encode_collection_response(response: &CollectionResponse) -> Vec<u8> {
 /// trailing garbage.
 pub fn decode_collection_response(bytes: &[u8]) -> Result<CollectionResponse, DecodeError> {
     let mut reader = Reader::new(bytes);
-    let response = decode_collection_response_from(&mut reader)?;
+    let view = response_view_from(&mut reader)?;
     reader.finish()?;
-    Ok(response)
+    Ok(view.to_response())
 }
 
 /// Largest number of responses one batch frame may carry. Mirrors the
@@ -207,46 +539,46 @@ pub fn decode_collection_response(bytes: &[u8]) -> Result<CollectionResponse, De
 /// corrupted or hostile input and is rejected before any allocation.
 pub const MAX_BATCH_RESPONSES: usize = 1024;
 
-fn decode_collection_response_from(
-    reader: &mut Reader<'_>,
-) -> Result<CollectionResponse, DecodeError> {
-    let device = reader.u64("device id")?;
-    let count = reader.u16("measurement count")? as usize;
-    let mut measurements = Vec::with_capacity(count.min(1024));
-    for _ in 0..count {
-        measurements.push(decode_measurement_from(reader)?);
+/// Appends a burst of collection responses to `out` as one batch frame.
+///
+/// This is the shard engines' hot path: one reusable buffer per shard,
+/// cleared between bursts, instead of a fresh allocation per frame.
+///
+/// # Panics
+///
+/// Panics if `responses` exceeds [`MAX_BATCH_RESPONSES`]; split larger
+/// bursts into multiple frames.
+pub fn encode_collection_batch_into(out: &mut Vec<u8>, responses: &[CollectionResponse]) {
+    assert!(
+        responses.len() <= MAX_BATCH_RESPONSES,
+        "batch of {} responses exceeds MAX_BATCH_RESPONSES ({MAX_BATCH_RESPONSES})",
+        responses.len()
+    );
+    out.extend_from_slice(&(responses.len() as u16).to_be_bytes());
+    for response in responses {
+        encode_collection_response_into(out, response);
     }
-    Ok(CollectionResponse {
-        device: DeviceId::new(device),
-        measurements,
-        prover_time: SimDuration::ZERO,
-    })
 }
 
 /// Serializes a burst of collection responses as one batch frame — what a
 /// single hub delivery event carries on the wire before each response is
 /// verified and the reports are folded in via
-/// [`crate::VerifierHub::ingest_batch`].
+/// [`crate::VerifierHub::ingest_frame`].
 ///
 /// # Panics
 ///
 /// Panics if `responses` exceeds [`MAX_BATCH_RESPONSES`]; split larger
 /// bursts into multiple frames.
 pub fn encode_collection_batch(responses: &[CollectionResponse]) -> Vec<u8> {
-    assert!(
-        responses.len() <= MAX_BATCH_RESPONSES,
-        "batch of {} responses exceeds MAX_BATCH_RESPONSES ({MAX_BATCH_RESPONSES})",
-        responses.len()
-    );
     let mut out = Vec::new();
-    out.extend_from_slice(&(responses.len() as u16).to_be_bytes());
-    for response in responses {
-        out.extend_from_slice(&encode_collection_response(response));
-    }
+    encode_collection_batch_into(&mut out, responses);
     out
 }
 
-/// Parses a batch frame.
+/// Parses a batch frame into owned responses.
+///
+/// Thin wrapper over [`FrameView::parse`], so the owned and zero-copy
+/// decoders enforce the same strict contract by construction.
 ///
 /// # Errors
 ///
@@ -254,20 +586,8 @@ pub fn encode_collection_batch(responses: &[CollectionResponse]) -> Vec<u8> {
 /// [`MAX_BATCH_RESPONSES`], any malformed inner response, or trailing
 /// garbage — so a frame either parses completely or not at all.
 pub fn decode_collection_batch(bytes: &[u8]) -> Result<Vec<CollectionResponse>, DecodeError> {
-    let mut reader = Reader::new(bytes);
-    let count = reader.u16("batch count")? as usize;
-    if count > MAX_BATCH_RESPONSES {
-        return Err(DecodeError::new(
-            format!("implausible batch count {count}"),
-            0,
-        ));
-    }
-    let mut responses = Vec::with_capacity(count);
-    for _ in 0..count {
-        responses.push(decode_collection_response_from(&mut reader)?);
-    }
-    reader.finish()?;
-    Ok(responses)
+    let frame = FrameView::parse(bytes)?;
+    Ok(frame.responses().map(|view| view.to_response()).collect())
 }
 
 #[cfg(test)]
@@ -328,6 +648,7 @@ mod tests {
         for len in [0usize, 1, 7, 9, bytes.len() - 1] {
             let err = decode_measurement(&bytes[..len]).unwrap_err();
             assert!(err.to_string().contains("decode error"), "{err}");
+            assert_eq!(err.kind(), DecodeErrorKind::Truncated, "cut at {len}");
         }
     }
 
@@ -337,6 +658,7 @@ mod tests {
         bytes.push(0xff);
         let err = decode_measurement(&bytes).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+        assert_eq!(err.kind(), DecodeErrorKind::TrailingBytes);
     }
 
     #[test]
@@ -348,6 +670,7 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 16]);
         let err = decode_measurement(&bytes).unwrap_err();
         assert!(err.to_string().contains("implausible digest length"));
+        assert_eq!(err.kind(), DecodeErrorKind::DigestLength);
         assert!(err.offset() >= 10);
     }
 
@@ -403,6 +726,7 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 64]);
         let err = decode_collection_batch(&bytes).unwrap_err();
         assert!(err.to_string().contains("implausible batch count"), "{err}");
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
     }
 
     #[test]
@@ -412,6 +736,110 @@ mod tests {
         bytes[1] = 2;
         let err = decode_collection_batch(&bytes).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+        assert_eq!(err.kind(), DecodeErrorKind::Truncated);
+    }
+
+    #[test]
+    fn frame_view_matches_owned_decoder() {
+        let batch = vec![
+            sample_response(9, 2),
+            sample_response(3, 0),
+            sample_response(5, 4),
+        ];
+        let bytes = encode_collection_batch(&batch);
+        let frame = FrameView::parse(&bytes).expect("parses");
+        assert_eq!(frame.len(), batch.len());
+        assert_eq!(frame.frame_len(), bytes.len());
+        assert!(!frame.is_empty());
+
+        for (view, expected) in frame.responses().zip(&batch) {
+            assert_eq!(view.device(), expected.device);
+            assert_eq!(view.len(), expected.measurements.len());
+            assert_eq!(view.is_empty(), expected.measurements.is_empty());
+            for (mv, m) in view.measurements().zip(&expected.measurements) {
+                assert_eq!(mv.timestamp(), m.timestamp());
+                assert_eq!(mv.digest(), m.digest());
+                assert_eq!(mv.tag(), m.tag().as_bytes());
+                assert_eq!(&mv.to_measurement(), m);
+            }
+            assert_eq!(&view.to_response(), expected);
+        }
+    }
+
+    #[test]
+    fn view_iterators_report_exact_lengths() {
+        let batch = vec![sample_response(1, 3), sample_response(2, 1)];
+        let bytes = encode_collection_batch(&batch);
+        let frame = FrameView::parse(&bytes).expect("parses");
+        let mut responses = frame.responses();
+        assert_eq!(responses.len(), 2);
+        let first = responses.next().expect("first response");
+        assert_eq!(responses.len(), 1);
+        let mut measurements = first.measurements();
+        assert_eq!(measurements.len(), 3);
+        measurements.next();
+        assert_eq!(measurements.len(), 2);
+        assert_eq!(measurements.count(), 2);
+    }
+
+    #[test]
+    fn into_encoders_append_without_clearing() {
+        let response = sample_response(4, 2);
+        let mut out = vec![0xaa, 0xbb];
+        encode_collection_batch_into(&mut out, std::slice::from_ref(&response));
+        assert_eq!(&out[..2], &[0xaa, 0xbb]);
+        assert_eq!(
+            &out[2..],
+            &encode_collection_batch(std::slice::from_ref(&response))[..]
+        );
+    }
+
+    #[test]
+    fn error_kind_every_variant_is_constructible() {
+        // Truncated
+        assert_eq!(
+            decode_collection_batch(&[0x00]).unwrap_err().kind(),
+            DecodeErrorKind::Truncated
+        );
+        // BatchCount
+        let oversized = ((MAX_BATCH_RESPONSES + 1) as u16).to_be_bytes();
+        assert_eq!(
+            decode_collection_batch(&oversized).unwrap_err().kind(),
+            DecodeErrorKind::BatchCount
+        );
+        // TrailingBytes
+        let mut padded = encode_collection_batch(&[]);
+        padded.push(0);
+        assert_eq!(
+            decode_collection_batch(&padded).unwrap_err().kind(),
+            DecodeErrorKind::TrailingBytes
+        );
+        // DigestLength and TagLength via a crafted single-measurement frame.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&1u16.to_be_bytes()); // 1 response
+        frame.extend_from_slice(&1u64.to_be_bytes()); // device
+        frame.extend_from_slice(&1u16.to_be_bytes()); // 1 measurement
+        frame.extend_from_slice(&9u64.to_be_bytes()); // timestamp
+        let digest_len_at = frame.len();
+        frame.extend_from_slice(&(DIGEST_LEN as u16).to_be_bytes());
+        frame.extend_from_slice(&[0u8; DIGEST_LEN]);
+        let tag_len_at = frame.len();
+        frame.extend_from_slice(&4u16.to_be_bytes());
+        frame.extend_from_slice(&[0u8; 4]);
+        assert!(decode_collection_batch(&frame).is_ok());
+
+        let mut bad_digest = frame.clone();
+        bad_digest[digest_len_at + 1] = DIGEST_LEN as u8 + 1;
+        assert_eq!(
+            decode_collection_batch(&bad_digest).unwrap_err().kind(),
+            DecodeErrorKind::DigestLength
+        );
+        let mut bad_tag = frame.clone();
+        bad_tag[tag_len_at + 1] = 0;
+        assert_eq!(
+            decode_collection_batch(&bad_tag).unwrap_err().kind(),
+            DecodeErrorKind::TagLength
+        );
     }
 }
 
@@ -468,6 +896,20 @@ mod proptests {
         fn batch_roundtrips(batch in proptest::collection::vec(arb_response(), 0..6)) {
             let bytes = encode_collection_batch(&batch);
             prop_assert_eq!(decode_collection_batch(&bytes).unwrap(), batch);
+        }
+
+        /// The zero-copy view path decodes exactly what the owned path
+        /// decodes, and re-encoding is canonical (byte-identical input).
+        #[test]
+        fn views_agree_with_owned_path_and_reencode_canonically(
+            batch in proptest::collection::vec(arb_response(), 0..6),
+        ) {
+            let bytes = encode_collection_batch(&batch);
+            let frame = FrameView::parse(&bytes).unwrap();
+            let via_views: Vec<CollectionResponse> =
+                frame.responses().map(|view| view.to_response()).collect();
+            prop_assert_eq!(&via_views, &decode_collection_batch(&bytes).unwrap());
+            prop_assert_eq!(encode_collection_batch(&via_views), bytes);
         }
 
         /// Batch framing is prefix-strict: every strict prefix of a valid

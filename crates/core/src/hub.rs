@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::encoding::{DecodeError, FrameView, ResponseView};
 use crate::history::DeviceHistory;
 use crate::ids::DeviceId;
 use crate::report::CollectionReport;
@@ -35,6 +36,22 @@ impl BatchIngest {
     pub fn total(&self) -> u64 {
         self.accepted + self.rejected
     }
+}
+
+/// Per-frame accounting returned by [`VerifierHub::ingest_frame`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameIngest {
+    /// Response records the frame carried.
+    pub responses: u64,
+    /// Reports folded into a device history.
+    pub accepted: u64,
+    /// Reports rejected by the per-device device-ID cross-check.
+    pub rejected: u64,
+    /// Response records the verify callback refused to turn into a report
+    /// (failed MAC-level verification, unknown device, empty record, …).
+    pub verify_failed: u64,
+    /// Size of the decoded frame in bytes, including the count header.
+    pub bytes: u64,
 }
 
 /// Per-device [`DeviceHistory`] map covering a fleet.
@@ -128,6 +145,49 @@ impl VerifierHub {
         self.ingested += outcome.accepted;
         self.rejected += outcome.rejected;
         outcome
+    }
+
+    /// Wire-native ingestion: validates one batch frame zero-copy, has
+    /// `verify` (which owns the per-device key material) check each response
+    /// record straight off the frame, and folds the surviving reports in
+    /// through [`VerifierHub::ingest_batch`] — so per-report accept/reject
+    /// accounting is *literally* the struct path's accounting.
+    ///
+    /// `verify` is handed each [`ResponseView`] in wire order and returns
+    /// the report to ingest, or `None` to drop the record (counted in
+    /// [`FrameIngest::verify_failed`]) — e.g. for a record about an unknown
+    /// device or one that fails MAC-level verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DecodeError`] when the frame violates the strict codec
+    /// contract. The hub is left completely untouched in that case: a frame
+    /// either decodes as a whole or contributes nothing.
+    pub fn ingest_frame<F>(
+        &mut self,
+        frame: &[u8],
+        mut verify: F,
+    ) -> Result<FrameIngest, DecodeError>
+    where
+        F: FnMut(ResponseView<'_>) -> Option<CollectionReport>,
+    {
+        let parsed = FrameView::parse(frame)?;
+        let mut outcome = FrameIngest {
+            responses: parsed.len() as u64,
+            bytes: parsed.frame_len() as u64,
+            ..FrameIngest::default()
+        };
+        let mut reports = Vec::with_capacity(parsed.len());
+        for view in parsed.responses() {
+            match verify(view) {
+                Some(report) => reports.push(report),
+                None => outcome.verify_failed += 1,
+            }
+        }
+        let batch = self.ingest_batch(reports.iter());
+        outcome.accepted = batch.accepted;
+        outcome.rejected = batch.rejected;
+        Ok(outcome)
     }
 
     /// The history of one device, if any report (or registration) mentioned
@@ -381,6 +441,120 @@ mod tests {
         assert_eq!(hub.len(), 3);
         assert_eq!(hub.total_entries(), 12);
         assert!(hub.all_healthy());
+    }
+
+    #[test]
+    fn ingest_frame_matches_struct_path_bit_identically() {
+        use crate::encoding::encode_collection_batch;
+        use crate::protocol::{CollectionRequest, CollectionResponse};
+
+        let mut responses: Vec<CollectionResponse> = Vec::new();
+        let mut verifiers = Vec::new();
+        for id in 0..3u64 {
+            let (mut prover, verifier) = provision(id);
+            prover.run_until(SimTime::from_secs(40)).expect("runs");
+            responses.push(
+                prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40)),
+            );
+            verifiers.push(verifier);
+        }
+        let frame = encode_collection_batch(&responses);
+
+        // Struct path: decode, verify, ingest_batch.
+        let mut struct_hub = VerifierHub::new();
+        let mut struct_verifiers = verifiers.clone();
+        let reports: Vec<CollectionReport> = responses
+            .iter()
+            .zip(struct_verifiers.iter_mut())
+            .map(|(response, verifier)| {
+                verifier
+                    .verify_collection(response, SimTime::from_secs(40))
+                    .expect("verifies")
+            })
+            .collect();
+        let struct_outcome = struct_hub.ingest_batch(reports.iter());
+
+        // Frame path: verify straight off the frame inside ingest_frame.
+        let mut frame_hub = VerifierHub::new();
+        let outcome = frame_hub
+            .ingest_frame(&frame, |view| {
+                let verifier = &mut verifiers[view.device().value() as usize];
+                Some(
+                    verifier
+                        .verify_frame_response(&view, SimTime::from_secs(40))
+                        .expect("verifies"),
+                )
+            })
+            .expect("frame decodes");
+
+        assert_eq!(outcome.responses, 3);
+        assert_eq!(outcome.accepted, struct_outcome.accepted);
+        assert_eq!(outcome.rejected, struct_outcome.rejected);
+        assert_eq!(outcome.verify_failed, 0);
+        assert_eq!(outcome.bytes, frame.len() as u64);
+        assert_eq!(frame_hub, struct_hub);
+        for (a, b) in struct_verifiers.iter().zip(&verifiers) {
+            assert_eq!(a.last_collection(), b.last_collection());
+        }
+    }
+
+    #[test]
+    fn malformed_frame_leaves_hub_untouched() {
+        use crate::encoding::{encode_collection_batch, DecodeErrorKind};
+        use crate::protocol::CollectionRequest;
+
+        let (mut prover, mut verifier) = provision(0);
+        prover.run_until(SimTime::from_secs(40)).expect("runs");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let mut frame = encode_collection_batch(std::slice::from_ref(&response));
+        frame.truncate(frame.len() - 1);
+
+        let mut hub = VerifierHub::new();
+        let err = hub
+            .ingest_frame(&frame, |view| {
+                verifier
+                    .verify_frame_response(&view, SimTime::from_secs(40))
+                    .ok()
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::Truncated);
+        assert!(hub.is_empty());
+        assert_eq!(hub.ingested(), 0);
+        assert_eq!(hub.rejected(), 0);
+    }
+
+    #[test]
+    fn verify_failures_are_counted_not_ingested() {
+        use crate::encoding::encode_collection_batch;
+        use crate::protocol::CollectionRequest;
+
+        let (mut prover, mut verifier) = provision(0);
+        prover.run_until(SimTime::from_secs(40)).expect("runs");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let mut frame = encode_collection_batch(std::slice::from_ref(&response));
+        // Flip a digest byte: the frame still parses, the MAC check fails,
+        // and the callback sees a tampering report it chooses to drop.
+        // Layout: count(2) + device(8) + mcount(2) + t(8) + dlen(2) puts the
+        // first digest byte at offset 22.
+        frame[22] ^= 0x01;
+
+        let mut hub = VerifierHub::new();
+        let outcome = hub
+            .ingest_frame(&frame, |view| {
+                use crate::report::AttestationVerdict;
+                let report = verifier
+                    .verify_frame_response(&view, SimTime::from_secs(40))
+                    .expect("still a report");
+                assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
+                None
+            })
+            .expect("frame decodes");
+        assert_eq!(outcome.responses, 1);
+        assert_eq!(outcome.verify_failed, 1);
+        assert_eq!(outcome.accepted, 0);
+        assert!(hub.is_empty());
     }
 
     #[test]

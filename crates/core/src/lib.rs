@@ -92,12 +92,14 @@ pub use buffer::MeasurementBuffer;
 pub use config::{ProverConfig, ProverConfigBuilder};
 pub use encoding::{
     decode_collection_batch, decode_collection_response, decode_measurement,
-    encode_collection_batch, encode_collection_response, encode_measurement, DecodeError,
+    encode_collection_batch, encode_collection_batch_into, encode_collection_response,
+    encode_collection_response_into, encode_measurement, encode_measurement_into, DecodeError,
+    DecodeErrorKind, FrameView, MeasurementView, MeasurementViews, ResponseView, ResponseViews,
     MAX_BATCH_RESPONSES,
 };
 pub use error::Error;
 pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
-pub use hub::{BatchIngest, VerifierHub};
+pub use hub::{BatchIngest, FrameIngest, VerifierHub};
 pub use ids::DeviceId;
 pub use malware::{Malware, MalwareBehavior, TamperStrategy};
 pub use measurement::{Measurement, MemoryDigest, DIGEST_LEN, MAC_INPUT_LEN};

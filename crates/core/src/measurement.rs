@@ -170,8 +170,10 @@ impl Measurement {
     }
 
     /// The canonical MAC input: the big-endian timestamp followed by the
-    /// memory digest, built on the stack.
-    fn mac_input(timestamp: SimTime, digest: &MemoryDigest) -> [u8; MAC_INPUT_LEN] {
+    /// memory digest, built on the stack. Crate-visible so the verifier can
+    /// check MACs straight off borrowed wire-frame slices without
+    /// materializing a `Measurement` first.
+    pub(crate) fn mac_input(timestamp: SimTime, digest: &MemoryDigest) -> [u8; MAC_INPUT_LEN] {
         let mut input = [0u8; MAC_INPUT_LEN];
         input[..8].copy_from_slice(&timestamp.as_nanos().to_be_bytes());
         input[8..].copy_from_slice(digest);

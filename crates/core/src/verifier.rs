@@ -1,16 +1,67 @@
 //! The verifier: collects measurements and reconstructs the prover's state
 //! history.
 
-use erasmus_crypto::{KeyedMac, MacAlgorithm};
+use erasmus_crypto::{KeyedMac, MacAlgorithm, MacTag};
 use erasmus_hw::DeviceKey;
 use erasmus_sim::{SimDuration, SimTime};
 
+use crate::encoding::{MeasurementView, ResponseView};
 use crate::error::Error;
+use crate::ids::DeviceId;
 use crate::measurement::{Measurement, MemoryDigest};
 use crate::protocol::{CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse};
 use crate::report::{
     AttestationVerdict, CollectionReport, MeasurementVerdict, VerifiedMeasurement,
 };
+
+/// One piece of collection evidence, independent of whether it is owned
+/// (struct path) or borrowed straight out of a wire frame (view path).
+///
+/// Both `Verifier` entry points funnel into one generic verification loop
+/// over this trait, so the struct and frame paths are bit-identical by
+/// construction — the property the wire-vs-struct determinism tests pin.
+trait Evidence {
+    fn timestamp(&self) -> SimTime;
+    fn digest(&self) -> &MemoryDigest;
+    fn tag(&self) -> MacTag;
+    fn materialize(&self) -> Measurement;
+}
+
+impl Evidence for &Measurement {
+    fn timestamp(&self) -> SimTime {
+        Measurement::timestamp(self)
+    }
+
+    fn digest(&self) -> &MemoryDigest {
+        Measurement::digest(self)
+    }
+
+    fn tag(&self) -> MacTag {
+        *Measurement::tag(self)
+    }
+
+    fn materialize(&self) -> Measurement {
+        (*self).clone()
+    }
+}
+
+impl Evidence for MeasurementView<'_> {
+    fn timestamp(&self) -> SimTime {
+        MeasurementView::timestamp(self)
+    }
+
+    fn digest(&self) -> &MemoryDigest {
+        MeasurementView::digest(self)
+    }
+
+    fn tag(&self) -> MacTag {
+        MacTag::new(MeasurementView::tag(self))
+    }
+
+    fn materialize(&self) -> Measurement {
+        self.to_measurement()
+    }
+}
 
 /// The (possibly untrusted-network-facing, but key-holding) verifier.
 ///
@@ -126,12 +177,23 @@ impl Verifier {
         OnDemandRequest::new_keyed(&self.keyed, treq, k)
     }
 
-    fn verdict_for(&self, measurement: &Measurement) -> MeasurementVerdict {
-        if !measurement.verify_keyed(&self.keyed) {
+    /// MAC and reference-digest verdict for one piece of evidence. The MAC
+    /// input is rebuilt on the stack, so borrowed frame slices verify
+    /// without materializing a [`Measurement`].
+    fn verdict_for_parts(
+        &self,
+        timestamp: SimTime,
+        digest: &MemoryDigest,
+        tag: &MacTag,
+    ) -> MeasurementVerdict {
+        if !self
+            .keyed
+            .verify(&Measurement::mac_input(timestamp, digest), tag)
+        {
             return MeasurementVerdict::Forged;
         }
         match &self.reference_digest {
-            Some(reference) if measurement.digest() != reference => MeasurementVerdict::Compromised,
+            Some(reference) if digest != reference => MeasurementVerdict::Compromised,
             _ => MeasurementVerdict::Healthy,
         }
     }
@@ -165,38 +227,72 @@ impl Verifier {
         response: &CollectionResponse,
         now: SimTime,
     ) -> Result<CollectionReport, Error> {
-        if response.measurements.is_empty() {
-            return Err(Error::NoMeasurements);
-        }
+        self.verify_evidence(response.device, response.measurements.iter(), now)
+    }
 
-        let mut verified = Vec::with_capacity(response.measurements.len());
+    /// Verifies one response record straight off a validated wire frame —
+    /// the zero-copy half of [`crate::VerifierHub::ingest_frame`].
+    ///
+    /// MACs are checked against the borrowed digest and tag slices; owned
+    /// measurements are materialized only for the report. The result is
+    /// bit-identical to [`Verifier::verify_collection`] over the decoded
+    /// equivalent: both entry points share one verification loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoMeasurements`] if the record carries no
+    /// measurements, exactly like the struct path.
+    pub fn verify_frame_response(
+        &mut self,
+        response: &ResponseView<'_>,
+        now: SimTime,
+    ) -> Result<CollectionReport, Error> {
+        self.verify_evidence(response.device(), response.measurements(), now)
+    }
+
+    /// The shared verification loop behind [`Verifier::verify_collection`]
+    /// and [`Verifier::verify_frame_response`].
+    fn verify_evidence<E: Evidence>(
+        &mut self,
+        device: DeviceId,
+        items: impl Iterator<Item = E>,
+        now: SimTime,
+    ) -> Result<CollectionReport, Error> {
+        let mut verified: Vec<VerifiedMeasurement> = Vec::with_capacity(items.size_hint().0);
         let mut any_forged = false;
         let mut any_compromised = false;
         let mut out_of_order = false;
         let mut previous: Option<SimTime> = None;
+        let mut newest: Option<SimTime> = None;
 
-        for measurement in &response.measurements {
-            let mut verdict = self.verdict_for(measurement);
+        for item in items {
+            let timestamp = item.timestamp();
+            let mut verdict = self.verdict_for_parts(timestamp, item.digest(), &item.tag());
             // Timestamps must not lie in the verifier's future; a "future"
             // measurement can only come from a tampered store or clock.
-            if measurement.timestamp() > now {
+            if timestamp > now {
                 verdict = MeasurementVerdict::Forged;
             }
             if let Some(prev) = previous {
-                if measurement.timestamp() >= prev {
+                if timestamp >= prev {
                     out_of_order = true;
                 }
             }
-            previous = Some(measurement.timestamp());
+            previous = Some(timestamp);
+            newest = Some(newest.map_or(timestamp, |n| n.max(timestamp)));
             match verdict {
                 MeasurementVerdict::Forged => any_forged = true,
                 MeasurementVerdict::Compromised => any_compromised = true,
                 MeasurementVerdict::Healthy => {}
             }
             verified.push(VerifiedMeasurement {
-                measurement: measurement.clone(),
+                measurement: item.materialize(),
                 verdict,
             });
+        }
+
+        if verified.is_empty() {
+            return Err(Error::NoMeasurements);
         }
 
         // Coverage check: did we receive as many measurements as the schedule
@@ -220,19 +316,13 @@ impl Verifier {
             AttestationVerdict::AllHealthy
         };
 
-        let freshness = response
-            .most_recent()
-            .map(|m| m.age_at(now))
+        let freshness = newest
+            .map(|t| now.saturating_duration_since(t))
             .unwrap_or(SimDuration::ZERO);
 
         self.last_collection = Some(now);
         Ok(CollectionReport::new(
-            response.device,
-            verified,
-            verdict,
-            missing,
-            freshness,
-            now,
+            device, verified, verdict, missing, freshness, now,
         ))
     }
 
@@ -501,6 +591,55 @@ mod tests {
         assert!(matches!(
             verifier.verify_on_demand(&request, &response, SimTime::from_secs(36)),
             Err(Error::InvalidResponse { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_path_matches_struct_path() {
+        use crate::encoding::{encode_collection_batch, FrameView};
+
+        let (mut prover, mut struct_verifier) = setup();
+        struct_verifier.learn_reference_image(prover.mcu().app_memory());
+        let mut frame_verifier = struct_verifier.clone();
+        prover
+            .run_until(SimTime::from_secs(60))
+            .expect("measurements");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(6), SimTime::from_secs(60));
+
+        let bytes = encode_collection_batch(std::slice::from_ref(&response));
+        let frame = FrameView::parse(&bytes).expect("valid frame");
+        let view = frame.responses().next().expect("one response");
+
+        let struct_report = struct_verifier
+            .verify_collection(&response, SimTime::from_secs(60))
+            .expect("struct path verifies");
+        let frame_report = frame_verifier
+            .verify_frame_response(&view, SimTime::from_secs(60))
+            .expect("frame path verifies");
+        assert_eq!(struct_report, frame_report);
+        assert_eq!(
+            struct_verifier.last_collection(),
+            frame_verifier.last_collection()
+        );
+    }
+
+    #[test]
+    fn empty_frame_response_is_an_error() {
+        use crate::encoding::{encode_collection_batch, FrameView};
+
+        let (_, mut verifier) = setup();
+        let response = CollectionResponse {
+            device: DeviceId::new(1),
+            measurements: Vec::new(),
+            prover_time: SimDuration::ZERO,
+        };
+        let bytes = encode_collection_batch(std::slice::from_ref(&response));
+        let frame = FrameView::parse(&bytes).expect("valid frame");
+        let view = frame.responses().next().expect("one response");
+        assert!(matches!(
+            verifier.verify_frame_response(&view, SimTime::from_secs(10)),
+            Err(Error::NoMeasurements)
         ));
     }
 

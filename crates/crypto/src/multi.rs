@@ -23,7 +23,7 @@
 //!
 //! The [`MultiDigest`] trait mirrors [`Digest`](crate::Digest) for equal-length inputs;
 //! [`MultiKeyedMac`] rides the *existing* precomputed key schedules — the
-//! HMAC ipad/opad midstates of [`HmacKey`](crate::HmacKey) and the keyed
+//! HMAC ipad/opad midstates of [`HmacKey`] and the keyed
 //! BLAKE2s key block — transposed across the lanes, so lane-batched
 //! measurements reuse exactly the per-device states the scalar hot path
 //! uses. Every lane produces a digest/tag bit-identical to the scalar

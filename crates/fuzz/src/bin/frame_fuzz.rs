@@ -1,0 +1,199 @@
+//! `frame_fuzz` — seeded fuzzer for the ERASMUS wire-frame decoder.
+//!
+//! Replays the committed regression corpus (`crates/fuzz/corpus/*.bin`,
+//! sorted by file name) through the full decoder-contract check, then runs
+//! a bounded, seeded generate → mutate → check loop (see
+//! [`erasmus_fuzz::FuzzSession`]). Deterministic: the same `--seed` and
+//! `--iterations` reproduce the same inputs in the same order.
+//!
+//! Usage:
+//!
+//! ```text
+//! frame_fuzz                          # 2000 iterations, seed 42, repo corpus
+//! frame_fuzz --iterations 100000      # longer soak
+//! frame_fuzz --seed 7                 # different deterministic input stream
+//! frame_fuzz --corpus path/to/dir     # replay a different corpus directory
+//! frame_fuzz --require-kind-coverage  # fail unless every DecodeErrorKind fired
+//! ```
+//!
+//! Exit codes: 0 — contract held; 1 — contract violation (or a decoder
+//! panic, which aborts); 2 — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use erasmus_core::DecodeErrorKind;
+use erasmus_fuzz::{check_contract, ContractViolation, FuzzReport, FuzzSession};
+
+struct Options {
+    iterations: u64,
+    seed: u64,
+    corpus: PathBuf,
+    require_kind_coverage: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: frame_fuzz [--iterations N] [--seed N] [--corpus DIR] [--require-kind-coverage]\n\
+     \n\
+     Replays the regression corpus, then fuzzes the wire-frame decoder for\n\
+     N seeded iterations: every input must decode without panicking, agree\n\
+     with an independent model decoder (accept/reject, error kind and\n\
+     offset), re-encode canonically when accepted, and never yield a\n\
+     verifying measurement the generator did not produce.\n\
+     --require-kind-coverage additionally fails the run unless every\n\
+     DecodeErrorKind was observed at least once (corpus included)."
+}
+
+/// The committed corpus lives next to this crate regardless of the
+/// invocation directory.
+fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        iterations: 2_000,
+        seed: 42,
+        corpus: default_corpus_dir(),
+        require_kind_coverage: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--iterations" => {
+                options.iterations = value_for("--iterations")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid --iterations value: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value_for("--seed")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--corpus" => options.corpus = PathBuf::from(value_for("--corpus")?),
+            "--require-kind-coverage" => options.require_kind_coverage = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Replays every `*.bin` file of the corpus directory, name-sorted so runs
+/// are order-stable across filesystems.
+fn replay_corpus(dir: &PathBuf, report: &mut FuzzReport) -> Result<usize, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus directory {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "bin"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!(
+            "corpus directory {} contains no .bin files",
+            dir.display()
+        ));
+    }
+    for path in &paths {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        match check_contract(&bytes) {
+            Ok(verdict) => report.record(&verdict),
+            Err(violation) => {
+                return Err(format!(
+                    "corpus file {} violates the contract\n{violation}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    Ok(paths.len())
+}
+
+fn print_histogram(report: &FuzzReport) {
+    println!(
+        "frame_fuzz: {} inputs: {} accepted, {} rejected",
+        report.iterations,
+        report.accepted,
+        report.rejected_total()
+    );
+    for (kind, count) in DecodeErrorKind::ALL.iter().zip(&report.rejected) {
+        println!("frame_fuzz:   {kind}: {count}");
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("frame_fuzz: {message}");
+            }
+            eprintln!("{}", usage());
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let mut report = FuzzReport::default();
+
+    match replay_corpus(&options.corpus, &mut report) {
+        Ok(count) => eprintln!(
+            "frame_fuzz: replayed {count} corpus frames from {}",
+            options.corpus.display()
+        ),
+        Err(message) => {
+            eprintln!("frame_fuzz: {message}");
+            return ExitCode::from(if message.contains("violates") { 1 } else { 2 });
+        }
+    }
+
+    eprintln!(
+        "frame_fuzz: fuzzing {} iterations (seed {}) ...",
+        options.iterations, options.seed
+    );
+    let mut session = FuzzSession::new(options.seed);
+    let loop_report: Result<FuzzReport, ContractViolation> = session.run(options.iterations);
+    match loop_report {
+        Ok(fuzzed) => {
+            report.iterations += fuzzed.iterations;
+            report.accepted += fuzzed.accepted;
+            for (total, count) in report.rejected.iter_mut().zip(&fuzzed.rejected) {
+                *total += count;
+            }
+        }
+        Err(violation) => {
+            eprintln!("frame_fuzz: {violation}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    print_histogram(&report);
+
+    if options.require_kind_coverage {
+        let missing = report.missing_kinds();
+        if !missing.is_empty() {
+            eprintln!(
+                "frame_fuzz: kind coverage incomplete, never saw: {}",
+                missing
+                    .iter()
+                    .map(|kind| format!("{kind:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "frame_fuzz: all {} rejection kinds covered",
+            DecodeErrorKind::ALL.len()
+        );
+    }
+
+    ExitCode::SUCCESS
+}

@@ -8,7 +8,7 @@ use erasmus_crypto::HmacDrbg;
 ///
 /// On SMART+ the key lives in ROM and is readable only by the ROM-resident
 /// attestation code; on HYDRA it is owned exclusively by the `PrAtt` process.
-/// The [`Debug`]/[`Display`] implementations never print the key material.
+/// The [`Debug`]/[`std::fmt::Display`] implementations never print the key material.
 ///
 /// # Example
 ///
