@@ -1,24 +1,29 @@
 #!/usr/bin/env python3
-"""Validate an `erasmus-perfbench/v5` fleet report.
+"""Validate an `erasmus-perfbench/v6` fleet report.
 
 Usage:
-    validate_perfbench.py REPORT.json [--lossless]
+    validate_perfbench.py REPORT.json [--lossless] [--recovered]
                           [--expect-seed N] [--expect-loss P]
                           [--expect-lanes N] [--expect-delivery MODE]
+                          [--expect-crashes N]
 
-Checks the structural invariants every v5 document must satisfy (rates
+Checks the structural invariants every v6 document must satisfy (rates
 positive, per-thread sums consistent, delivered + dropped == attempted,
-hub ingestion == delivered, non-negative on-demand latency percentiles,
-lane fields well-formed, wire accounting conserved, scaling sweep
-well-formed). With `--lossless` it additionally requires a perfect
-delivery record and — on wire-delivery runs — that every ingested report
-came off a decoded frame (`ingested == wire.decoded_accepted +
-on_demand.completed`, with zero decode rejects); with `--expect-loss` it
-requires that the lossy network actually dropped something; with
-`--expect-lanes` it requires the recorded effective lane width and, for
-widths > 1, at least one multi-lane hash job plus a positive lane-speedup
-probe; with `--expect-delivery` it pins the delivery mode (`wire` or
-`struct`).
+the reliability ledger conserved — `unique_accepted + exhausted_retries +
+churn_losses + stale_retries == attempted`, the retry histogram summing
+to the deliveries, hub dedup drops equal to injected duplicates — hub
+ingestion conserved through frame losses, non-negative on-demand latency
+percentiles, lane fields well-formed, wire accounting conserved, scaling
+sweep well-formed). With `--lossless` it additionally requires a perfect
+delivery record with zero retransmissions and fault counters; with
+`--recovered` it requires that faults actually fired (retransmissions,
+duplicates) and that the ARQ recovered every attempt anyway; with
+`--expect-loss` it requires that the lossy network actually dropped
+something; with `--expect-lanes` it requires the recorded effective lane
+width and, for widths > 1, at least one multi-lane hash job plus a
+positive lane-speedup probe; with `--expect-delivery` it pins the
+delivery mode (`wire` or `struct`); with `--expect-crashes` it pins the
+per-shard hub crash/restore cycle count and requires snapshot bytes.
 """
 
 import argparse
@@ -29,15 +34,17 @@ import sys
 def validate(
     path: str,
     lossless: bool,
+    recovered: bool,
     expect_seed,
     expect_loss,
     expect_lanes,
     expect_delivery,
+    expect_crashes,
 ) -> None:
     with open(path) as fh:
         doc = json.load(fh)
 
-    assert doc["schema"] == "erasmus-perfbench/v5", doc["schema"]
+    assert doc["schema"] == "erasmus-perfbench/v6", doc["schema"]
     assert doc["provers"] >= 1000, doc["provers"]
     assert doc["threads"] >= 2, doc["threads"]
     assert doc["lanes"] >= 1, doc["lanes"]
@@ -64,7 +71,8 @@ def validate(
         assert result["delivery"] == doc["delivery"], result
 
         network = result["network"]
-        assert 0.0 <= network["loss"] <= 1.0, network
+        for knob in ("loss", "duplicate", "reorder", "corrupt"):
+            assert 0.0 <= network[knob] <= 1.0, (knob, network)
         assert network["latency_ms"] >= 0 and network["jitter_ms"] >= 0, network
         if expect_loss is not None:
             assert network["loss"] == expect_loss, (network, expect_loss)
@@ -74,7 +82,6 @@ def validate(
         delivered = collections["delivered"]
         dropped = collections["dropped"]
         assert delivered + dropped == attempted, collections
-        assert result["collections_ingested"] == delivered, result
         assert result["hub_batches"] >= 1, result
         assert 1 <= result["largest_batch"] <= delivered, result
         if lossless:
@@ -82,6 +89,85 @@ def validate(
             assert result["history_entries"] == result["measurements_total"], result
         if expect_loss:
             assert dropped > 0, "lossy run dropped nothing — loss knob broken?"
+
+        # Reliability ledger. Every scheduled collection attempt must be
+        # accounted for exactly once: delivered (after 0..retries ARQ
+        # rounds), exhausted past the budget, lost to an absent device, or
+        # discarded as a stale retry after a churn transition.
+        reliability = result["reliability"]
+        collect = reliability["collect"]
+        frame = reliability["frame"]
+        hub = reliability["hub"]
+        retries = reliability["retries"]
+        assert retries >= 0, reliability
+        assert collect["attempted"] == attempted, (collect, collections)
+        assert collect["unique_accepted"] == delivered, (collect, collections)
+        assert (
+            collect["unique_accepted"]
+            + collect["exhausted_retries"]
+            + collect["churn_losses"]
+            + collect["stale_retries"]
+            == attempted
+        ), collect
+        assert (
+            dropped
+            == collect["exhausted_retries"]
+            + collect["churn_losses"]
+            + collect["stale_retries"]
+        ), (collect, collections)
+        histogram = collect["retry_histogram"]
+        assert len(histogram) == retries + 1, (histogram, retries)
+        assert all(bucket >= 0 for bucket in histogram), histogram
+        assert sum(histogram) == collect["unique_accepted"], (histogram, collect)
+        # Exactly-once at the hub: every duplicate the network injected on
+        # the frame link was dropped by the dedup window, no more, no less.
+        assert hub["duplicates_dropped"] == frame["duplicates_injected"], (hub, frame)
+        assert hub["crashes"] >= 0 and hub["snapshot_bytes"] >= 0, hub
+        if hub["crashes"] > 0:
+            assert hub["snapshot_bytes"] > 0, hub
+        if frame["exhausted"] > 0:
+            # Every exhausted frame carried at least one response record.
+            assert frame["lost_responses"] >= frame["exhausted"], frame
+        else:
+            assert frame["lost_responses"] == 0, frame
+        # Hub ingestion conserved through frame losses: responses the frame
+        # hop lost for good never reach a history, everything else does.
+        od_done = result["on_demand"]["completed"]
+        assert (
+            result["collections_ingested"]
+            == delivered - frame["lost_responses"] + od_done
+        ), (result["collections_ingested"], delivered, frame, od_done)
+        if lossless:
+            for counter in (
+                collect["retransmits"],
+                collect["exhausted_retries"],
+                collect["stale_retries"],
+                collect["reorders"],
+                frame["retransmits"],
+                frame["duplicates_injected"],
+                frame["corrupt_decode"],
+                frame["corrupt_tamper"],
+                frame["exhausted"],
+                hub["duplicates_dropped"],
+            ):
+                assert counter == 0, reliability
+        if recovered:
+            assert collect["retransmits"] > 0, "faulty run never retransmitted"
+            assert frame["duplicates_injected"] > 0, "faulty run injected no duplicate"
+            assert collect["unique_accepted"] == attempted, (
+                "ARQ failed to recover every report",
+                collect,
+            )
+            assert collect["exhausted_retries"] == 0, collect
+            assert frame["exhausted"] == 0, frame
+        if expect_crashes is not None:
+            assert hub["crashes"] == expect_crashes * result["threads"], (
+                hub,
+                expect_crashes,
+                result["threads"],
+            )
+            if expect_crashes > 0:
+                assert hub["snapshot_bytes"] > 0, hub
 
         # Wire accounting. On a wire run every periodic collection crosses
         # the wire as part of an encoded frame and on-demand reports ride the
@@ -113,6 +199,21 @@ def validate(
         else:
             for key in ("frames", "bytes", "responses", "decoded_accepted", "decode_rejects"):
                 assert wire[key] == 0, (key, wire)
+            # Struct delivery never crosses the frame link, so every
+            # frame-hop and hub reliability counter must stay at zero
+            # (perfbench rejects the flag combinations up front).
+            for counter in (
+                frame["retransmits"],
+                frame["duplicates_injected"],
+                frame["corrupt_decode"],
+                frame["corrupt_tamper"],
+                frame["exhausted"],
+                frame["lost_responses"],
+                hub["duplicates_dropped"],
+                hub["crashes"],
+                hub["snapshot_bytes"],
+            ):
+                assert counter == 0, reliability
 
         assert result["lanes"] == doc["lanes"], result
         assert result["lane_jobs"] >= 0 and result["lane_remainder"] >= 0, result
@@ -162,18 +263,22 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report")
     parser.add_argument("--lossless", action="store_true")
+    parser.add_argument("--recovered", action="store_true")
     parser.add_argument("--expect-seed", type=int, default=None)
     parser.add_argument("--expect-loss", type=float, default=None)
     parser.add_argument("--expect-lanes", type=int, default=None)
     parser.add_argument("--expect-delivery", choices=("wire", "struct"), default=None)
+    parser.add_argument("--expect-crashes", type=int, default=None)
     args = parser.parse_args()
     validate(
         args.report,
         args.lossless,
+        args.recovered,
         args.expect_seed,
         args.expect_loss,
         args.expect_lanes,
         args.expect_delivery,
+        args.expect_crashes,
     )
     return 0
 

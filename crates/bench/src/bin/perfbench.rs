@@ -5,7 +5,7 @@
 //! each driving an event-driven timeline with an optional lossy network,
 //! device churn and on-demand traffic — prints a throughput summary, runs a
 //! 1→N thread-scaling sweep and writes `BENCH_fleet.json` (schema
-//! `erasmus-perfbench/v5`) at the repository root so successive PRs have a
+//! `erasmus-perfbench/v6`) at the repository root so successive PRs have a
 //! perf trajectory to compare against.
 //!
 //! Usage:
@@ -21,6 +21,11 @@
 //! perfbench --loss 0.05      # drop 5% of collection/on-demand packets
 //! perfbench --latency 20     # 20 ms base link latency (+50% jitter)
 //! perfbench --churn 0.1      # 10% of devices leave and rejoin mid-run
+//! perfbench --duplicate 0.02 # deliver 2% of batch frames twice
+//! perfbench --reorder 0.02   # delay 2% of deliveries past successors
+//! perfbench --corrupt 0.01   # flip a byte in 1% of transmissions
+//! perfbench --retries 3      # ARQ: retransmit drops up to 3 times
+//! perfbench --hub-crash 2    # crash/restore the verifier hub twice
 //! perfbench --on-demand 64   # inject 64 authenticated on-demand requests
 //! perfbench --out path.json  # write the JSON somewhere else
 //! ```
@@ -30,7 +35,11 @@
 //! bit-for-bit; the determinism test suite pins this. Delivery defaults to
 //! `wire`: every collection burst travels as encoded batch frames and is
 //! decoded + verified zero-copy off the bytes; `--delivery struct` keeps
-//! the legacy in-memory path, with bit-identical totals.
+//! the legacy in-memory path, with bit-identical totals. The fault and
+//! recovery flags (`--duplicate`, `--reorder`, `--corrupt`, `--retries`,
+//! `--hub-crash`) exercise the wire path's ARQ loop, the hub's dedup
+//! window and the snapshot-based crash recovery, so they require wire
+//! delivery; combining them with `--delivery struct` is rejected.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -51,6 +60,11 @@ struct Options {
     loss: f64,
     latency_ms: u64,
     churn: f64,
+    duplicate: f64,
+    reorder: f64,
+    corrupt: f64,
+    retries: u32,
+    hub_crashes: usize,
     on_demand: usize,
     out: Option<PathBuf>,
 }
@@ -59,7 +73,8 @@ fn usage() -> &'static str {
     "usage: perfbench [--quick] [--threads N] [--lanes N] [--delivery wire|struct]\n\
      \x20                [--provers N] [--rounds N]\n\
      \x20                [--memory BYTES] [--seed N] [--loss P] [--latency MS] [--churn P]\n\
-     \x20                [--on-demand N] [--out PATH]\n\
+     \x20                [--duplicate P] [--reorder P] [--corrupt P] [--retries N]\n\
+     \x20                [--hub-crash N] [--on-demand N] [--out PATH]\n\
      \n\
      Drives N simulated provers through scheduled self-measurements and\n\
      periodic collections for each MAC algorithm, sharded over --threads\n\
@@ -74,10 +89,14 @@ fn usage() -> &'static str {
      collection bursts reach the verifier hub: `wire` (default) encodes\n\
      them as batch frames and verifies zero-copy off the bytes, `struct`\n\
      keeps the legacy in-memory path — totals are bit-identical either\n\
-     way. --loss and --churn are probabilities in [0, 1];\n\
-     --latency is the base link latency in milliseconds (jitter is half the\n\
-     base); --seed makes lossy/churn runs reproducible and is recorded in\n\
-     the JSON report."
+     way. --loss, --churn, --duplicate, --reorder and --corrupt are\n\
+     probabilities in [0, 1]; --latency is the base link latency in\n\
+     milliseconds (jitter is half the base); --seed makes faulty/churn runs\n\
+     reproducible and is recorded in the JSON report. --retries bounds the\n\
+     ARQ retransmission budget per collection (0 disables retransmission);\n\
+     --hub-crash schedules N verifier-hub crash/snapshot-restore cycles\n\
+     per shard. The fault, retry and crash flags exercise the wire frame\n\
+     path, so they reject --delivery struct."
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -93,6 +112,11 @@ fn parse_args() -> Result<Options, String> {
         loss: 0.0,
         latency_ms: 0,
         churn: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        corrupt: 0.0,
+        retries: 0,
+        hub_crashes: 0,
         on_demand: 0,
         out: None,
     };
@@ -135,6 +159,21 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("invalid --latency value: {e}"))?;
             }
             "--churn" => options.churn = probability(value_for("--churn")?, "--churn")?,
+            "--duplicate" => {
+                options.duplicate = probability(value_for("--duplicate")?, "--duplicate")?;
+            }
+            "--reorder" => options.reorder = probability(value_for("--reorder")?, "--reorder")?,
+            "--corrupt" => options.corrupt = probability(value_for("--corrupt")?, "--corrupt")?,
+            "--retries" => {
+                options.retries = value_for("--retries")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("invalid --retries value: {e}"))?;
+            }
+            "--hub-crash" => {
+                options.hub_crashes = value_for("--hub-crash")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("invalid --hub-crash value: {e}"))?;
+            }
             "--on-demand" => {
                 options.on_demand = value_for("--on-demand")?
                     .parse::<usize>()
@@ -147,6 +186,28 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !options.wire {
+        // The fault, ARQ and crash machinery all live on the wire frame
+        // path; silently ignoring them under `--delivery struct` would
+        // report a fault-free run as if it had survived faults.
+        if options.duplicate > 0.0 || options.reorder > 0.0 || options.corrupt > 0.0 {
+            return Err(
+                "--duplicate/--reorder/--corrupt inject faults into wire frames \
+                 and cannot be combined with --delivery struct"
+                    .to_owned(),
+            );
+        }
+        if options.retries > 0 {
+            return Err("--retries drives wire-frame retransmission and cannot be \
+                 combined with --delivery struct"
+                .to_owned());
+        }
+        if options.hub_crashes > 0 {
+            return Err("--hub-crash snapshots the wire-ingest hub and cannot be \
+                 combined with --delivery struct"
+                .to_owned());
         }
     }
     Ok(options)
@@ -206,8 +267,13 @@ fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
         base_latency: SimDuration::from_millis(options.latency_ms),
         jitter: SimDuration::from_millis(options.latency_ms / 2),
         loss: options.loss,
+        duplicate: options.duplicate,
+        reorder: options.reorder,
+        corrupt: options.corrupt,
     };
     config.churn = options.churn;
+    config.retries = options.retries;
+    config.hub_crashes = options.hub_crashes;
     config.on_demand = options.on_demand;
     config.lanes = options.lanes;
     config.wire = options.wire;
@@ -237,8 +303,8 @@ fn main() -> ExitCode {
             let config = config_for(&options, algorithm);
             eprintln!(
                 "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) \
-                 x {} lane(s), {} delivery (seed {}, loss {}, latency {} ms, churn {}, \
-                 on-demand {}) ...",
+                 x {} lane(s), {} delivery (seed {}, loss {}, dup {}, reorder {}, corrupt {}, \
+                 latency {} ms, churn {}, retries {}, hub-crashes {}, on-demand {}) ...",
                 config.provers,
                 config.measurements_per_round,
                 config.rounds,
@@ -247,8 +313,13 @@ fn main() -> ExitCode {
                 if config.wire { "wire" } else { "struct" },
                 config.seed,
                 config.network.loss,
+                config.network.duplicate,
+                config.network.reorder,
+                config.network.corrupt,
                 options.latency_ms,
                 config.churn,
+                config.retries,
+                config.hub_crashes,
                 config.on_demand,
             );
             let mut report = fleet::run_threaded(&config, options.threads);

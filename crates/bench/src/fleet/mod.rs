@@ -36,17 +36,29 @@
 //! scalar path for ragged remainders; totals stay bit-identical at every
 //! lane width (see [`lanes`]).
 //!
+//! Injected faults ride the same deterministic draws: duplicated frames
+//! are deduplicated by the hubs' per-flow sequence windows, reordered
+//! deliveries pick up extra in-flight delay, corrupted frames hit the
+//! strict decoder's and the MAC verifier's live rejection paths, and — with
+//! [`FleetConfig::retries`] > 0 — every drop is retransmitted under an
+//! exponential-backoff ARQ loop ([`erasmus_core::RetryPolicy`]). Scheduled
+//! [`FleetConfig::hub_crashes`] serialize each shard hub to its wire-format
+//! snapshot ([`erasmus_core::encode_hub_snapshot`]) and restore it
+//! bit-identically mid-run.
+//!
 //! Shard results are merged into one [`FleetReport`]; the per-thread
 //! breakdown, the per-algorithm scalar-vs-lane speedup probe and the 1→N
 //! scaling sweep (see [`scaling`]) are serialized by the `perfbench` binary
-//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v5`) so successive
+//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v6`) so successive
 //! PRs accumulate a perf trajectory.
 
 pub mod lanes;
+pub mod reservoir;
 pub mod scaling;
 mod shard;
 
 pub use lanes::LaneSpeedup;
+pub use reservoir::{LatencyReservoir, RESERVOIR_CAP};
 pub use shard::ShardReport;
 
 use std::time::Duration;
@@ -93,6 +105,15 @@ pub struct FleetConfig {
     /// Probability that a device leaves the fleet once mid-run and rejoins
     /// later (losing the measurements and collections in between).
     pub churn: f64,
+    /// ARQ retransmission budget per collection response and per batch
+    /// frame: a dropped or corrupted transmission is retried up to this
+    /// many times with exponential backoff
+    /// ([`erasmus_core::RetryPolicy`]). 0 disables retransmission.
+    pub retries: u32,
+    /// Scheduled verifier-hub crash/restart cycles per shard: at each, the
+    /// hub state is serialized to its wire-format snapshot, dropped, and
+    /// restored from the bytes alone — recovery must be bit-identical.
+    pub hub_crashes: usize,
     /// Fleet-wide count of authenticated on-demand requests (ERASMUS+OD)
     /// injected at deterministic instants during the run.
     pub on_demand: usize,
@@ -133,6 +154,8 @@ impl FleetConfig {
             seed: DEFAULT_SEED,
             network: NetworkConfig::IDEAL,
             churn: 0.0,
+            retries: 0,
+            hub_crashes: 0,
             on_demand: 0,
             lanes: 1,
             wire: true,
@@ -228,6 +251,40 @@ pub struct FleetReport {
     pub collections_delivered: u64,
     /// Collection attempts lost to the network or to absent devices.
     pub collections_dropped: u64,
+    /// Collect-hop retransmissions sent under the ARQ policy.
+    pub collect_retransmits: u64,
+    /// Responses lost for good after the retry budget ran out.
+    pub exhausted_retries: u64,
+    /// Collection attempts lost because the device was absent (churn);
+    /// counted inside `collections_dropped`.
+    pub churn_losses: u64,
+    /// Retransmission timers that fired after the device had churned — the
+    /// stale copy is discarded; counted inside `collections_dropped`.
+    pub stale_retries: u64,
+    /// Deliveries that drew a reorder fault (extra in-flight delay).
+    pub reorders: u64,
+    /// `retry_histogram[a]` = deliveries that took `a` retransmissions
+    /// (length = retry budget + 1; element-wise sum over shards).
+    pub retry_histogram: Vec<u64>,
+    /// Frame-hop retransmissions sent under the ARQ policy.
+    pub frame_retransmits: u64,
+    /// Duplicate frame copies the network injected on the frame link.
+    pub frame_duplicates: u64,
+    /// Corrupted frame copies the strict decoder rejected live.
+    pub corrupt_decode_drops: u64,
+    /// Corrupted frame copies that decoded but failed MAC verification.
+    pub corrupt_tamper_drops: u64,
+    /// Frames lost for good after the retry budget ran out.
+    pub frames_exhausted: u64,
+    /// Response records carried by those exhausted frames.
+    pub frame_lost_responses: u64,
+    /// Duplicate frames the hubs' dedup windows dropped — must equal
+    /// `frame_duplicates` (exactly-once delivery).
+    pub hub_duplicates: u64,
+    /// Hub crash/restart cycles survived via snapshot recovery.
+    pub hub_crashes: u64,
+    /// Total bytes of the recovery snapshots taken at those crashes.
+    pub snapshot_bytes: u64,
     /// Delivery bursts folded into shard hubs via `ingest_batch`.
     pub hub_batches: u64,
     /// Largest single delivery burst.
@@ -402,6 +459,20 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     let mut collections_attempted = 0u64;
     let mut collections_delivered = 0u64;
     let mut collections_dropped = 0u64;
+    let mut collect_retransmits = 0u64;
+    let mut exhausted_retries = 0u64;
+    let mut churn_losses = 0u64;
+    let mut stale_retries = 0u64;
+    let mut reorders = 0u64;
+    let mut retry_histogram = vec![0u64; config.retries as usize + 1];
+    let mut frame_retransmits = 0u64;
+    let mut frame_duplicates = 0u64;
+    let mut corrupt_decode_drops = 0u64;
+    let mut corrupt_tamper_drops = 0u64;
+    let mut frames_exhausted = 0u64;
+    let mut frame_lost_responses = 0u64;
+    let mut hub_crashes = 0u64;
+    let mut snapshot_bytes = 0u64;
     let mut hub_batches = 0u64;
     let mut largest_batch = 0u64;
     let mut wire_frames = 0u64;
@@ -416,7 +487,7 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     let mut devices_churned = 0u64;
     let mut lane_jobs = 0u64;
     let mut lane_remainder = 0u64;
-    let mut latencies: Vec<SimDuration> = Vec::new();
+    let mut latency_sample = LatencyReservoir::with_default_cap();
     for report in &shard_reports {
         measurements_total += report.measurements;
         verifications_total += report.verifications;
@@ -427,6 +498,22 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         collections_attempted += report.collections_attempted;
         collections_delivered += report.collections_delivered;
         collections_dropped += report.collections_dropped;
+        collect_retransmits += report.collect_retransmits;
+        exhausted_retries += report.exhausted_retries;
+        churn_losses += report.churn_losses;
+        stale_retries += report.stale_retries;
+        reorders += report.reorders;
+        for (total, shard) in retry_histogram.iter_mut().zip(&report.retry_histogram) {
+            *total += shard;
+        }
+        frame_retransmits += report.frame_retransmits;
+        frame_duplicates += report.frame_duplicates;
+        corrupt_decode_drops += report.corrupt_decode_drops;
+        corrupt_tamper_drops += report.corrupt_tamper_drops;
+        frames_exhausted += report.frames_exhausted;
+        frame_lost_responses += report.frame_lost_responses;
+        hub_crashes += report.hub_crashes;
+        snapshot_bytes += report.snapshot_bytes;
         hub_batches += report.hub_batches;
         largest_batch = largest_batch.max(report.largest_batch);
         wire_frames += report.wire_frames;
@@ -441,10 +528,11 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         devices_churned += report.devices_churned;
         lane_jobs += report.lane_jobs;
         lane_remainder += report.lane_remainder;
-        latencies.extend_from_slice(&report.on_demand_latencies);
+        latency_sample.merge(report.on_demand_latencies.clone());
     }
-    latencies.sort_unstable();
+    let latencies = latency_sample.sorted_latencies();
     all_healthy &= hub.all_healthy() && hub.rejected() == 0;
+    let hub_duplicates = hub.duplicates();
 
     FleetReport {
         config: config.clone(),
@@ -461,6 +549,21 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         collections_attempted,
         collections_delivered,
         collections_dropped,
+        collect_retransmits,
+        exhausted_retries,
+        churn_losses,
+        stale_retries,
+        reorders,
+        retry_histogram,
+        frame_retransmits,
+        frame_duplicates,
+        corrupt_decode_drops,
+        corrupt_tamper_drops,
+        frames_exhausted,
+        frame_lost_responses,
+        hub_duplicates,
+        hub_crashes,
+        snapshot_bytes,
         hub_batches,
         largest_batch,
         wire_frames,
@@ -501,7 +604,8 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"threads\": {threads},\n\
          {indent}  \"lanes\": {lanes},\n\
          {indent}  \"seed\": {seed},\n\
-         {indent}  \"network\": {{ \"latency_ms\": {lat:.3}, \"jitter_ms\": {jit:.3}, \"loss\": {loss} }},\n\
+         {indent}  \"network\": {{ \"latency_ms\": {lat:.3}, \"jitter_ms\": {jit:.3}, \"loss\": {loss}, \
+         \"duplicate\": {dup}, \"reorder\": {reord}, \"corrupt\": {corr} }},\n\
          {indent}  \"churn\": {churn},\n\
          {indent}  \"measurements_total\": {mt},\n\
          {indent}  \"verifications_total\": {vt},\n\
@@ -528,6 +632,17 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"devices_churned\": {churned},\n\
          {indent}  \"on_demand\": {{ \"attempted\": {od_att}, \"completed\": {od_done}, \
          \"latency_ms_p50\": {p50:.3}, \"latency_ms_p90\": {p90:.3}, \"latency_ms_p99\": {p99:.3} }},\n\
+         {indent}  \"reliability\": {{\n\
+         {indent}    \"retries\": {retries},\n\
+         {indent}    \"collect\": {{ \"attempted\": {att}, \"unique_accepted\": {del}, \
+         \"retransmits\": {c_rtx}, \"exhausted_retries\": {c_exh}, \"churn_losses\": {c_churn}, \
+         \"stale_retries\": {c_stale}, \"reorders\": {c_reord}, \"retry_histogram\": [{histogram}] }},\n\
+         {indent}    \"frame\": {{ \"retransmits\": {f_rtx}, \"duplicates_injected\": {f_dup}, \
+         \"corrupt_decode\": {f_cdec}, \"corrupt_tamper\": {f_ctam}, \"exhausted\": {f_exh}, \
+         \"lost_responses\": {f_lost} }},\n\
+         {indent}    \"hub\": {{ \"duplicates_dropped\": {h_dup}, \"crashes\": {h_crash}, \
+         \"snapshot_bytes\": {h_snap} }}\n\
+         {indent}  }},\n\
          {indent}  \"per_thread\": [\n{pt}\n{indent}  ]\n\
          {indent}}}",
         alg = report.config.algorithm,
@@ -542,6 +657,9 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         lat = report.config.network.base_latency.as_millis_f64(),
         jit = report.config.network.jitter.as_millis_f64(),
         loss = report.config.network.loss,
+        dup = report.config.network.duplicate,
+        reord = report.config.network.reorder,
+        corr = report.config.network.corrupt,
         churn = report.config.churn,
         mt = report.measurements_total,
         vt = report.verifications_total,
@@ -580,6 +698,27 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         p50 = report.on_demand_p50.as_millis_f64(),
         p90 = report.on_demand_p90.as_millis_f64(),
         p99 = report.on_demand_p99.as_millis_f64(),
+        retries = report.config.retries,
+        c_rtx = report.collect_retransmits,
+        c_exh = report.exhausted_retries,
+        c_churn = report.churn_losses,
+        c_stale = report.stale_retries,
+        c_reord = report.reorders,
+        histogram = report
+            .retry_histogram
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        f_rtx = report.frame_retransmits,
+        f_dup = report.frame_duplicates,
+        f_cdec = report.corrupt_decode_drops,
+        f_ctam = report.corrupt_tamper_drops,
+        f_exh = report.frames_exhausted,
+        f_lost = report.frame_lost_responses,
+        h_dup = report.hub_duplicates,
+        h_crash = report.hub_crashes,
+        h_snap = report.snapshot_bytes,
         pt = per_thread.join(",\n"),
     )
 }
@@ -603,7 +742,7 @@ pub fn document_json(
     let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
     let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
     format!(
-        "{{\n  \"schema\": \"erasmus-perfbench/v5\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"erasmus-perfbench/v6\",\n  \"mode\": \"{mode}\",\n  \
          \"provers\": {provers},\n  \"threads\": {threads},\n  \"lanes\": {lane_width},\n  \
          \"delivery\": \"{delivery}\",\n  \"seed\": {seed},\n  \
          \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
@@ -716,6 +855,7 @@ mod tests {
             base_latency: SimDuration::from_millis(15),
             jitter: SimDuration::from_millis(10),
             loss: 0.25,
+            ..NetworkConfig::IDEAL
         };
         config.seed = 9;
         let single = run_threaded(&config, 1);
@@ -769,6 +909,7 @@ mod tests {
             base_latency: SimDuration::from_millis(10),
             jitter: SimDuration::from_millis(5),
             loss: 0.0,
+            ..NetworkConfig::IDEAL
         };
         let report = run(&config);
         assert_eq!(report.on_demand_attempted, 6);
@@ -885,7 +1026,7 @@ mod tests {
         }];
         let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
         assert!(doc.starts_with("{\n"));
-        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v5\""));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v6\""));
         assert!(doc.contains("\"delivery\": \"wire\""));
         assert!(doc.contains("\"wire\": {"));
         assert!(doc.contains("\"decoded_accepted\""));
@@ -898,8 +1039,10 @@ mod tests {
         assert!(doc.contains("\"provers\": 8"));
         assert!(doc.contains("\"threads\": 2"));
         assert!(doc.contains(&format!("\"seed\": {DEFAULT_SEED}")));
-        assert!(doc
-            .contains("\"network\": { \"latency_ms\": 0.000, \"jitter_ms\": 0.000, \"loss\": 0 }"));
+        assert!(doc.contains(
+            "\"network\": { \"latency_ms\": 0.000, \"jitter_ms\": 0.000, \"loss\": 0, \
+             \"duplicate\": 0, \"reorder\": 0, \"corrupt\": 0 }"
+        ));
         assert!(doc.contains("\"measurements_per_sec\""));
         assert!(doc.contains("\"verifications_per_sec\""));
         assert!(doc.contains("\"algorithm\": \"Keyed BLAKE2S\""));
@@ -907,6 +1050,20 @@ mod tests {
             .contains("\"collections\": { \"attempted\": 16, \"delivered\": 16, \"dropped\": 0 }"));
         assert!(doc.contains("\"on_demand\""));
         assert!(doc.contains("\"latency_ms_p99\""));
+        assert!(doc.contains("\"reliability\": {"));
+        assert!(doc.contains("\"retries\": 0"));
+        assert!(doc.contains(
+            "\"collect\": { \"attempted\": 16, \"unique_accepted\": 16, \"retransmits\": 0, \
+             \"exhausted_retries\": 0, \"churn_losses\": 0, \"stale_retries\": 0, \
+             \"reorders\": 0, \"retry_histogram\": [16] }"
+        ));
+        assert!(doc.contains(
+            "\"frame\": { \"retransmits\": 0, \"duplicates_injected\": 0, \"corrupt_decode\": 0, \
+             \"corrupt_tamper\": 0, \"exhausted\": 0, \"lost_responses\": 0 }"
+        ));
+        assert!(doc.contains(
+            "\"hub\": { \"duplicates_dropped\": 0, \"crashes\": 0, \"snapshot_bytes\": 0 }"
+        ));
         assert!(doc.contains("\"hub_batches\""));
         assert!(doc.contains("\"per_thread\""));
         assert!(doc.contains("\"shard\": 0"));

@@ -1,0 +1,185 @@
+//! Bounded, merge-invariant latency sampling for fleet runs.
+//!
+//! The on-demand leg used to push every completed exchange's latency into
+//! an unbounded `Vec<SimDuration>` — fine for CI-sized runs, unbounded
+//! memory on a million-exchange fleet. [`LatencyReservoir`] replaces it
+//! with a *bottom-k priority sample*: every observation carries a
+//! deterministic 64-bit priority (drawn from the run seed and the
+//! observation's identity, never from shard-local state) and the reservoir
+//! keeps the `cap` observations with the smallest priorities.
+//!
+//! Bottom-k is the one sampling scheme that is exact under sharding: the
+//! global bottom-k of a run is a subset of the union of the per-shard
+//! bottom-ks, so merging shard reservoirs and truncating reproduces the
+//! single-threaded sample bit for bit at any thread count. When the run
+//! produces at most `cap` observations (every CI configuration), the
+//! "sample" is the complete population and the percentiles are exact.
+
+use erasmus_sim::{SimDuration, SimRng};
+
+/// Default number of latency samples a fleet run retains.
+pub const RESERVOIR_CAP: usize = 4096;
+
+/// Stream salt for latency-sample priorities.
+const LATENCY_STREAM: u64 = 0x6c61_7465_6e63_7921;
+
+/// Deterministic priority of one latency observation, drawn from the run
+/// seed and the observation's global identity `(device, instant)` — never
+/// from shard-local state, so the sample is partition-invariant.
+pub fn sample_priority(seed: u64, device: u64, instant_nanos: u64) -> u64 {
+    SimRng::seed_from(
+        seed ^ LATENCY_STREAM
+            ^ device.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ instant_nanos.wrapping_mul(0x6a09_e667_f3bc_c909),
+    )
+    .next_u64()
+}
+
+/// A fixed-capacity bottom-k sample of simulated latencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyReservoir {
+    cap: usize,
+    /// `(priority, latency)` pairs; kept loosely bounded between pushes and
+    /// compacted to the `cap` smallest priorities on demand.
+    entries: Vec<(u64, SimDuration)>,
+    /// Total observations offered, retained or not.
+    observed: u64,
+}
+
+impl LatencyReservoir {
+    /// An empty reservoir retaining at most `cap` samples (at least 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            entries: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    /// An empty reservoir with the default fleet capacity.
+    pub fn with_default_cap() -> Self {
+        Self::new(RESERVOIR_CAP)
+    }
+
+    /// Offers one observation. Memory stays bounded at `2 × cap` entries:
+    /// the buffer is compacted (sort by priority, truncate) whenever it
+    /// fills, so pushes are amortized O(log cap).
+    pub fn push(&mut self, priority: u64, latency: SimDuration) {
+        self.observed += 1;
+        self.entries.push((priority, latency));
+        if self.entries.len() >= self.cap * 2 {
+            self.compact();
+        }
+    }
+
+    /// Folds another reservoir (of the same capacity) into this one; the
+    /// result is identical to a single reservoir having seen both streams.
+    pub fn merge(&mut self, other: LatencyReservoir) {
+        self.observed += other.observed;
+        self.entries.extend_from_slice(&other.entries);
+        if self.entries.len() >= self.cap * 2 {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        self.entries.sort_unstable();
+        self.entries.truncate(self.cap);
+    }
+
+    /// Number of retained samples (== the number observed while the
+    /// population fits the capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len().min(self.cap)
+    }
+
+    /// Whether the reservoir holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total observations offered, retained or not.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The retained latencies, ascending — the input `percentile` expects.
+    pub fn sorted_latencies(&self) -> Vec<SimDuration> {
+        let mut keep = self.entries.clone();
+        keep.sort_unstable();
+        keep.truncate(self.cap);
+        let mut latencies: Vec<SimDuration> =
+            keep.into_iter().map(|(_, latency)| latency).collect();
+        latencies.sort_unstable();
+        latencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_everything_below_capacity() {
+        let mut reservoir = LatencyReservoir::new(8);
+        for i in 0..5u64 {
+            reservoir.push(sample_priority(42, i, i), SimDuration::from_millis(i));
+        }
+        assert_eq!(reservoir.len(), 5);
+        assert_eq!(reservoir.observed(), 5);
+        let sorted = reservoir.sorted_latencies();
+        assert_eq!(sorted.len(), 5);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bounds_memory_and_keeps_the_smallest_priorities() {
+        let mut reservoir = LatencyReservoir::new(4);
+        for i in 0..100u64 {
+            // Priority == latency in millis, so the kept sample is known.
+            reservoir.push(i, SimDuration::from_millis(i));
+            assert!(reservoir.entries.len() < 8, "buffer unbounded");
+        }
+        assert_eq!(reservoir.observed(), 100);
+        assert_eq!(reservoir.len(), 4);
+        assert_eq!(
+            reservoir.sorted_latencies(),
+            (0..4).map(SimDuration::from_millis).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_is_partition_invariant() {
+        // Split one stream across three "shards" arbitrarily: the merged
+        // reservoir must equal the single-reservoir run exactly.
+        let observations: Vec<(u64, SimDuration)> = (0..257u64)
+            .map(|i| (sample_priority(7, i % 13, i), SimDuration::from_micros(i)))
+            .collect();
+        let mut whole = LatencyReservoir::new(16);
+        for &(priority, latency) in &observations {
+            whole.push(priority, latency);
+        }
+        let mut shards = [
+            LatencyReservoir::new(16),
+            LatencyReservoir::new(16),
+            LatencyReservoir::new(16),
+        ];
+        for (i, &(priority, latency)) in observations.iter().enumerate() {
+            shards[i % 3].push(priority, latency);
+        }
+        let mut merged = LatencyReservoir::new(16);
+        for shard in shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.observed(), whole.observed());
+        assert_eq!(merged.sorted_latencies(), whole.sorted_latencies());
+    }
+
+    #[test]
+    fn priorities_are_pure_functions_of_identity() {
+        assert_eq!(sample_priority(1, 2, 3), sample_priority(1, 2, 3));
+        assert_ne!(sample_priority(1, 2, 3), sample_priority(2, 2, 3));
+        assert_ne!(sample_priority(1, 2, 3), sample_priority(1, 3, 3));
+        assert_ne!(sample_priority(1, 2, 3), sample_priority(1, 2, 4));
+    }
+}

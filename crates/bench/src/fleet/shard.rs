@@ -21,37 +21,74 @@
 //! instant form one burst. Under wire delivery (the default) the burst is
 //! serialized into framed batch buffers — chunked at
 //! [`MAX_BATCH_RESPONSES`] — and folded into the shard's [`VerifierHub`]
-//! straight off the bytes through [`VerifierHub::ingest_frame`], verifying
-//! each record zero-copy off the frame; with [`FleetConfig::wire`] off,
-//! the burst is verified as in-memory structs and folded through
+//! straight off the bytes through
+//! [`VerifierHub::ingest_sequenced_frame`], verifying each record
+//! zero-copy off the frame; with [`FleetConfig::wire`] off, the burst is
+//! verified as in-memory structs and folded through
 //! [`VerifierHub::ingest_batch`]. Both paths produce bit-identical totals
 //! and hub histories.
+//!
+//! # Reliability
+//!
+//! Two hops can fail, and each recovers through its own ARQ loop:
+//!
+//! * **Collect hop** (device → collector, event-driven): the network model
+//!   drops and delays responses as before; *reorder* faults add a
+//!   deterministic extra delay so late packets genuinely overtake earlier
+//!   ones. With [`FleetConfig::retries`] > 0, a dropped response is
+//!   retransmitted after an exponential [`RetryPolicy`] backoff. Retry
+//!   events carry the device's churn `epoch`: a device that left the fleet
+//!   mid-backoff never replays stale evidence.
+//! * **Frame hop** (collector → hub, synchronous): each encoded batch
+//!   frame is numbered on a per-shard flow and ingested through
+//!   [`VerifierHub::ingest_sequenced_frame`], whose `Ok(Some(_))` return
+//!   doubles as the hub's ack. *Duplicate* faults deliver a frame twice —
+//!   the hub's dedup window drops the echo. *Corrupt* faults flip a byte
+//!   on the wire: a damaged count header hits the strict decoder's live
+//!   `DecodeError` path, a damaged digest parses fine but fails MAC
+//!   verification (`TamperingDetected`) on a scratch verifier before the
+//!   frame is acked; both trigger a retransmission of the pristine frame
+//!   until the retry budget runs out.
+//!
+//! Every fault and retry draw is keyed by global device index or shard
+//! base, so recovered totals stay thread-count-invariant and — with a
+//! sufficient budget — bit-identical to the fault-free run.
 
 use std::ops::Range;
 use std::time::{Duration, Instant};
 
 use erasmus_core::{
-    encode_collection_batch_into, CollectionReport, CollectionRequest, CollectionResponse,
-    DeviceId, MeasurementVerdict, OnDemandRequest, OnDemandResponse, Prover, ProverConfig,
+    decode_hub_snapshot, encode_collection_batch_into, encode_hub_snapshot, AttestationVerdict,
+    CollectionReport, CollectionRequest, CollectionResponse, DeviceId, FrameView,
+    MeasurementVerdict, OnDemandRequest, OnDemandResponse, Prover, ProverConfig, RetryPolicy,
     Verifier, VerifierHub, MAX_BATCH_RESPONSES,
 };
 use erasmus_hw::{DeviceKey, DeviceProfile};
-use erasmus_sim::{Delivery, Engine, NetworkModel, ScheduledEvent, SimDuration, SimRng, SimTime};
+use erasmus_sim::{
+    Corruption, Delivery, Engine, NetworkModel, ScheduledEvent, SimDuration, SimRng, SimTime,
+};
 use erasmus_swarm::StaggeredSchedule;
 
+use super::reservoir::{sample_priority, LatencyReservoir};
 use super::{FleetConfig, MEASUREMENT_INTERVAL};
 
 /// Network channel tags: a device's flows are `global_id * CHANNELS + tag`,
-/// so its collection stream and the two on-demand legs draw independent
-/// randomness.
+/// so its collection stream, the two on-demand legs and its ARQ
+/// retransmissions draw independent randomness.
 const CHANNELS: u64 = 4;
 const CHANNEL_COLLECT: u64 = 0;
 const CHANNEL_OD_REQUEST: u64 = 1;
 const CHANNEL_OD_RESPONSE: u64 = 2;
+const CHANNEL_RETRY: u64 = 3;
 
 /// Stream salt for the per-device churn draws (seeds a fresh [`SimRng`] per
 /// device, so the plan is independent of the shard partition).
 const CHURN_STREAM: u64 = 0x6368_7572_6e21_7331;
+
+/// Flow salt for the collector → hub frame link. Frame flows are per
+/// shard (`FRAME_STREAM ^ base`): frame composition already depends on the
+/// partition, so frame-hop fault draws may too — recovered totals do not.
+const FRAME_STREAM: u64 = 0x6672_616d_6521_7331;
 
 fn flow(global: u64, channel: u64) -> u64 {
     global * CHANNELS + channel
@@ -92,7 +129,24 @@ enum FleetEvent {
     CollectDeliver {
         device: usize,
         response: CollectionResponse,
+        /// How many retransmissions this copy took (0 = first send).
+        attempt: u32,
     },
+    /// A dropped collection response's retransmission timer fires.
+    CollectRetry {
+        device: usize,
+        response: CollectionResponse,
+        /// The original send's collect sequence number: retry fault draws
+        /// key off `(CHANNEL_RETRY, seq << 8 | attempt)`, so they never
+        /// collide with first-send draws and stay partition-invariant.
+        seq: u64,
+        attempt: u32,
+        /// Churn epoch at the original send: a device that left (or left
+        /// and rejoined) mid-backoff must not replay stale evidence.
+        epoch: u32,
+    },
+    /// The verifier hub crashes and restarts from a state snapshot.
+    HubCrash,
     /// An authenticated on-demand request reaches a device.
     OnDemand {
         device: usize,
@@ -123,6 +177,10 @@ struct RunState {
     /// latency bounded below `T_M`): only then does a non-`AllHealthy`
     /// report verdict flag the run.
     strict: bool,
+    /// Run seed, for latency-sample priorities.
+    seed: u64,
+    /// ARQ retry policy shared by the collect and frame hops.
+    policy: RetryPolicy,
     measurements: u64,
     verifications: u64,
     measure_wall: Duration,
@@ -131,10 +189,23 @@ struct RunState {
     collect_attempted: u64,
     collect_delivered: u64,
     collect_dropped: u64,
+    /// Collect-hop retransmissions actually sent.
+    collect_retransmits: u64,
+    /// Responses lost for good after the retry budget ran out.
+    exhausted_retries: u64,
+    /// Collection attempts lost because the device was absent (churn).
+    churn_losses: u64,
+    /// Retransmission timers that fired after the device left (or left and
+    /// rejoined) — the stale copy is discarded, never replayed.
+    stale_retries: u64,
+    /// Deliveries that drew a reorder fault (extra in-flight delay).
+    reorders: u64,
+    /// `retry_histogram[a]` = deliveries that took `a` retransmissions.
+    retry_histogram: Vec<u64>,
     od_attempted: u64,
     od_completed: u64,
     od_dropped: u64,
-    od_latencies: Vec<SimDuration>,
+    od_latencies: LatencyReservoir,
     /// Verified reports of the current burst awaiting `ingest_batch` — the
     /// on-demand leg in wire mode, every delivery in struct mode.
     pending: Vec<CollectionReport>,
@@ -155,15 +226,43 @@ struct RunState {
     wire_ingest_wall: Duration,
     /// Reusable frame buffer, so steady-state encoding allocates nothing.
     frame_buf: Vec<u8>,
+    /// Per-shard frame-link sequence counter (wire mode).
+    frame_seq: u64,
+    /// Frame-hop retransmissions actually sent.
+    frame_retransmits: u64,
+    /// Duplicate frame copies injected by the network (and deduplicated by
+    /// the hub's flow window).
+    frame_duplicates: u64,
+    /// Corrupted frame copies the strict decoder rejected.
+    corrupt_decode_drops: u64,
+    /// Corrupted frame copies that decoded but failed MAC verification.
+    corrupt_tamper_drops: u64,
+    /// Frames lost for good after the retry budget ran out.
+    frames_exhausted: u64,
+    /// Response records carried by those exhausted frames.
+    frame_lost_responses: u64,
+    /// Hub crash/restart cycles survived via snapshot recovery.
+    hub_crashes: u64,
+    /// Total bytes of the recovery snapshots taken at those crashes.
+    snapshot_bytes: u64,
     lane_jobs: u64,
     lane_remainder: u64,
 }
 
 impl RunState {
-    fn new(strict: bool, wire: bool, request: CollectionRequest) -> Self {
+    fn new(
+        strict: bool,
+        wire: bool,
+        seed: u64,
+        policy: RetryPolicy,
+        request: CollectionRequest,
+    ) -> Self {
+        let histogram_slots = policy.budget as usize + 1;
         Self {
             request,
             strict,
+            seed,
+            policy,
             measurements: 0,
             verifications: 0,
             measure_wall: Duration::ZERO,
@@ -172,10 +271,16 @@ impl RunState {
             collect_attempted: 0,
             collect_delivered: 0,
             collect_dropped: 0,
+            collect_retransmits: 0,
+            exhausted_retries: 0,
+            churn_losses: 0,
+            stale_retries: 0,
+            reorders: 0,
+            retry_histogram: vec![0; histogram_slots],
             od_attempted: 0,
             od_completed: 0,
             od_dropped: 0,
-            od_latencies: Vec::new(),
+            od_latencies: LatencyReservoir::with_default_cap(),
             pending: Vec::new(),
             pending_responses: Vec::new(),
             pending_at: None,
@@ -190,6 +295,15 @@ impl RunState {
             encode_wall: Duration::ZERO,
             wire_ingest_wall: Duration::ZERO,
             frame_buf: Vec::new(),
+            frame_seq: 0,
+            frame_retransmits: 0,
+            frame_duplicates: 0,
+            corrupt_decode_drops: 0,
+            corrupt_tamper_drops: 0,
+            frames_exhausted: 0,
+            frame_lost_responses: 0,
+            hub_crashes: 0,
+            snapshot_bytes: 0,
             lane_jobs: 0,
             lane_remainder: 0,
         }
@@ -279,6 +393,39 @@ pub struct ShardReport {
     pub collections_delivered: u64,
     /// Collection attempts lost to the network or to absent devices.
     pub collections_dropped: u64,
+    /// Collect-hop retransmissions sent under the ARQ policy.
+    pub collect_retransmits: u64,
+    /// Responses lost for good after the retry budget ran out.
+    pub exhausted_retries: u64,
+    /// Collection attempts lost because the device was absent (churn);
+    /// counted inside `collections_dropped`.
+    pub churn_losses: u64,
+    /// Retransmission timers that fired after the device had left — the
+    /// stale copy is discarded; counted inside `collections_dropped`.
+    pub stale_retries: u64,
+    /// Deliveries that drew a reorder fault (extra in-flight delay).
+    pub reorders: u64,
+    /// `retry_histogram[a]` = deliveries that took `a` retransmissions
+    /// (length = retry budget + 1).
+    pub retry_histogram: Vec<u64>,
+    /// Frame-hop retransmissions sent under the ARQ policy.
+    pub frame_retransmits: u64,
+    /// Duplicate frame copies injected by the network.
+    pub frame_duplicates: u64,
+    /// Corrupted frame copies the strict decoder rejected live.
+    pub corrupt_decode_drops: u64,
+    /// Corrupted frame copies that decoded but failed MAC verification.
+    pub corrupt_tamper_drops: u64,
+    /// Frames lost for good after the retry budget ran out.
+    pub frames_exhausted: u64,
+    /// Response records carried by those exhausted frames.
+    pub frame_lost_responses: u64,
+    /// Duplicate frames the hub's dedup window dropped.
+    pub hub_duplicates: u64,
+    /// Hub crash/restart cycles survived via snapshot recovery.
+    pub hub_crashes: u64,
+    /// Total bytes of the recovery snapshots taken at those crashes.
+    pub snapshot_bytes: u64,
     /// Delivery bursts folded into the shard hub via `ingest_batch`.
     pub hub_batches: u64,
     /// Largest single delivery burst.
@@ -306,8 +453,9 @@ pub struct ShardReport {
     pub on_demand_attempted: u64,
     /// On-demand exchanges that completed end to end.
     pub on_demand_completed: u64,
-    /// Simulated end-to-end latency of every completed on-demand exchange.
-    pub on_demand_latencies: Vec<SimDuration>,
+    /// Bounded, merge-invariant sample of the simulated end-to-end
+    /// latencies of completed on-demand exchanges.
+    pub on_demand_latencies: LatencyReservoir,
     /// Devices of this shard that leave and rejoin during the run.
     pub devices_churned: u64,
     /// Multi-lane hash jobs this shard executed (lane-batched mode).
@@ -497,25 +645,42 @@ impl Shard {
     pub(crate) fn run(&mut self, config: &FleetConfig) -> ShardReport {
         let network = NetworkModel::new(config.network, config.seed);
         // Strict (AllHealthy-or-bust) health accounting is only sound when
-        // nothing can legitimately open a gap: no loss, no churn, and
-        // latency small against `T_M` — a delivery shifted by `T_M` or more
-        // moves the verifier's coverage window enough to report a missing
-        // measurement on a perfectly healthy fleet.
+        // nothing can legitimately open a gap: no loss, no churn, no
+        // injected faults (an exhausted frame or a reorder-delayed delivery
+        // legitimately shifts coverage windows), and latency small against
+        // `T_M` — a delivery shifted by `T_M` or more moves the verifier's
+        // coverage window enough to report a missing measurement on a
+        // perfectly healthy fleet.
         let strict = config.network.loss == 0.0
             && config.churn == 0.0
+            && !config.network.has_faults()
             && config.network.base_latency + config.network.jitter < MEASUREMENT_INTERVAL;
         let mut state = RunState::new(
             strict,
             config.wire,
+            config.seed,
+            RetryPolicy::with_budget(config.retries),
             CollectionRequest::latest(config.measurements_per_round),
         );
         let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
+        let span = round_span * config.rounds as u64;
         let mut engine = std::mem::take(&mut self.engine);
 
-        // Seed the timeline: one pending Measure event per device, every
-        // scheduled collection arrival, the churn plan, and the on-demand
-        // plan (whose requests are built now, in issue order, so each
-        // device's `t_req` values are strictly increasing).
+        // Seed the timeline. Hub crashes go in FIRST: the engine breaks
+        // time ties FIFO, so crash events scheduled before everything else
+        // fire before any same-instant delivery — the crash boundary never
+        // splits a burst differently across thread counts.
+        for k in 1..=config.hub_crashes {
+            let at = SimTime::ZERO
+                + SimDuration::from_nanos(
+                    span.as_nanos() / (config.hub_crashes as u64 + 1) * k as u64,
+                );
+            engine.schedule_at(at, FleetEvent::HubCrash);
+        }
+        // Then one pending Measure event per device, every scheduled
+        // collection arrival, the churn plan, and the on-demand plan (whose
+        // requests are built now, in issue order, so each device's `t_req`
+        // values are strictly increasing).
         for (local, device) in self.devices.iter().enumerate() {
             if self.lane_width == 1 {
                 let due = device.prover.next_measurement_due();
@@ -582,7 +747,7 @@ impl Shard {
             self.handle(engine, state, &network, event);
             true
         });
-        self.flush_batch(&mut state);
+        self.flush_batch(&mut state, &network);
         self.engine = engine;
 
         let simulated_busy = self
@@ -603,6 +768,21 @@ impl Shard {
             collections_attempted: state.collect_attempted,
             collections_delivered: state.collect_delivered,
             collections_dropped: state.collect_dropped,
+            collect_retransmits: state.collect_retransmits,
+            exhausted_retries: state.exhausted_retries,
+            churn_losses: state.churn_losses,
+            stale_retries: state.stale_retries,
+            reorders: state.reorders,
+            retry_histogram: state.retry_histogram,
+            frame_retransmits: state.frame_retransmits,
+            frame_duplicates: state.frame_duplicates,
+            corrupt_decode_drops: state.corrupt_decode_drops,
+            corrupt_tamper_drops: state.corrupt_tamper_drops,
+            frames_exhausted: state.frames_exhausted,
+            frame_lost_responses: state.frame_lost_responses,
+            hub_duplicates: self.hub.duplicates(),
+            hub_crashes: state.hub_crashes,
+            snapshot_bytes: state.snapshot_bytes,
             hub_batches: state.batches,
             largest_batch: state.largest_batch,
             wire_frames: state.wire_frames,
@@ -666,6 +846,7 @@ impl Shard {
                 if !d.active {
                     // An absent device answers nothing: the attempt is lost.
                     state.collect_dropped += 1;
+                    state.churn_losses += 1;
                     return;
                 }
                 // `run_until` semantics: a measurement due exactly at the
@@ -676,21 +857,43 @@ impl Shard {
                 state.verify_wall += started.elapsed();
                 let seq = d.collect_seq;
                 d.collect_seq += 1;
-                match network.sample(flow(d.global, CHANNEL_COLLECT), seq) {
-                    Delivery::Dropped => state.collect_dropped += 1,
-                    Delivery::Delivered(latency) => engine.schedule_at(
-                        now + latency,
-                        FleetEvent::CollectDeliver { device, response },
-                    ),
-                }
+                let epoch = d.epoch;
+                self.dispatch_collection(
+                    engine, state, network, device, response, seq, 0, epoch, now,
+                );
             }
-            FleetEvent::CollectDeliver { device, response } => {
+            FleetEvent::CollectRetry {
+                device,
+                response,
+                seq,
+                attempt,
+                epoch,
+            } => {
+                let d = &self.devices[device];
+                if !d.active || d.epoch != epoch {
+                    // The device churned mid-backoff: the buffered copy is
+                    // stale evidence and must not be replayed.
+                    state.collect_dropped += 1;
+                    state.stale_retries += 1;
+                    return;
+                }
+                state.collect_retransmits += 1;
+                self.dispatch_collection(
+                    engine, state, network, device, response, seq, attempt, epoch, now,
+                );
+            }
+            FleetEvent::CollectDeliver {
+                device,
+                response,
+                attempt,
+            } => {
                 state.collect_delivered += 1;
+                state.retry_histogram[attempt as usize] += 1;
                 if state.wire {
                     // Wire delivery: the response joins the current burst
                     // as-is; the whole burst is frame-encoded, decoded and
                     // verified off the bytes when it seals (`flush_batch`).
-                    self.push_response(state, now, response);
+                    self.push_response(state, network, now, response);
                 } else {
                     let d = &mut self.devices[device];
                     let started = Instant::now();
@@ -701,7 +904,7 @@ impl Shard {
                     state.verify_wall += started.elapsed();
                     state.verifications += report.measurements().len() as u64;
                     state.note_health(&report, true);
-                    self.push_report(state, now, report);
+                    self.push_report(state, network, now, report);
                 }
             }
             FleetEvent::OnDemand {
@@ -752,15 +955,31 @@ impl Shard {
                 match verified {
                     Ok(report) => {
                         state.od_completed += 1;
+                        let priority =
+                            sample_priority(state.seed, d.global, exchange.issued.as_nanos());
                         state
                             .od_latencies
-                            .push(now.saturating_duration_since(exchange.issued));
+                            .push(priority, now.saturating_duration_since(exchange.issued));
                         state.verifications += report.measurements().len() as u64;
                         state.note_health(&report, false);
-                        self.push_report(state, now, report);
+                        self.push_report(state, network, now, report);
                     }
                     Err(_) => state.od_dropped += 1,
                 }
+            }
+            FleetEvent::HubCrash => {
+                // Crash boundary. The burst in flight flushes first (frames
+                // already on the wire are the network's problem, not the
+                // restarting verifier's), then the hub is checkpointed,
+                // dropped, and rebuilt from the snapshot bytes alone — and
+                // the rebuilt state must be bit-identical.
+                self.flush_batch(state, network);
+                let snapshot = encode_hub_snapshot(&self.hub);
+                let restored = decode_hub_snapshot(&snapshot).expect("hub snapshot round-trips");
+                assert_eq!(restored, self.hub, "hub restores bit-identically");
+                self.hub = restored;
+                state.hub_crashes += 1;
+                state.snapshot_bytes += snapshot.len() as u64;
             }
             FleetEvent::DeviceLeave { device } => {
                 let d = &mut self.devices[device];
@@ -789,6 +1008,72 @@ impl Shard {
                             engine.schedule_at(next, FleetEvent::Measure { device, epoch });
                         }
                     }
+                }
+            }
+        }
+    }
+
+    /// Puts one copy of a collection response on the wire (first send or
+    /// retransmission) and schedules what its fate implies.
+    ///
+    /// Attempt 0 draws on the device's collection flow with the original
+    /// sequence — bit-compatible with the pre-ARQ timeline — while
+    /// retransmissions draw on the dedicated retry channel keyed by
+    /// `(seq, attempt)`, so every copy's fate is an independent,
+    /// partition-invariant function of the run seed. A reorder fault
+    /// stretches the copy's in-flight latency, letting later sends
+    /// genuinely overtake it; a drop either arms the backoff timer or,
+    /// with the budget spent, loses the response for good.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_collection(
+        &mut self,
+        engine: &mut Engine<FleetEvent>,
+        state: &mut RunState,
+        network: &NetworkModel,
+        device: usize,
+        response: CollectionResponse,
+        seq: u64,
+        attempt: u32,
+        epoch: u32,
+        now: SimTime,
+    ) {
+        let global = self.devices[device].global;
+        let (fault_flow, fault_seq) = if attempt == 0 {
+            (flow(global, CHANNEL_COLLECT), seq)
+        } else {
+            (flow(global, CHANNEL_RETRY), (seq << 8) | attempt as u64)
+        };
+        match network.sample(fault_flow, fault_seq) {
+            Delivery::Delivered(latency) => {
+                let mut latency = latency;
+                if let Some(extra) = network.sample_faults(fault_flow, fault_seq).reorder {
+                    latency += extra;
+                    state.reorders += 1;
+                }
+                engine.schedule_at(
+                    now + latency,
+                    FleetEvent::CollectDeliver {
+                        device,
+                        response,
+                        attempt,
+                    },
+                );
+            }
+            Delivery::Dropped => {
+                if state.policy.allows_retry(attempt) {
+                    engine.schedule_at(
+                        now + state.policy.backoff(attempt),
+                        FleetEvent::CollectRetry {
+                            device,
+                            response,
+                            seq,
+                            attempt: attempt + 1,
+                            epoch,
+                        },
+                    );
+                } else {
+                    state.collect_dropped += 1;
+                    state.exhausted_retries += 1;
                 }
             }
         }
@@ -904,9 +1189,15 @@ impl Shard {
 
     /// Buffers a verified report into the current delivery burst; a new
     /// arrival instant seals the previous burst into the hub.
-    fn push_report(&mut self, state: &mut RunState, at: SimTime, report: CollectionReport) {
+    fn push_report(
+        &mut self,
+        state: &mut RunState,
+        network: &NetworkModel,
+        at: SimTime,
+        report: CollectionReport,
+    ) {
         if state.pending_at != Some(at) {
-            self.flush_batch(state);
+            self.flush_batch(state, network);
             state.pending_at = Some(at);
         }
         state.pending.push(report);
@@ -916,9 +1207,15 @@ impl Shard {
     /// (wire mode), under the same sealing rule as [`Shard::push_report`]:
     /// mixed bursts — frame-bound collections plus struct-path on-demand
     /// reports landing at the same instant — seal and flush together.
-    fn push_response(&mut self, state: &mut RunState, at: SimTime, response: CollectionResponse) {
+    fn push_response(
+        &mut self,
+        state: &mut RunState,
+        network: &NetworkModel,
+        at: SimTime,
+        response: CollectionResponse,
+    ) {
         if state.pending_at != Some(at) {
-            self.flush_batch(state);
+            self.flush_batch(state, network);
             state.pending_at = Some(at);
         }
         state.pending_responses.push(response);
@@ -929,16 +1226,17 @@ impl Shard {
     /// Wire mode first: the burst's raw responses are serialized into
     /// framed batch buffers — chunked at [`MAX_BATCH_RESPONSES`], since a
     /// single-group stagger can put a whole shard into one instant — and
-    /// ingested through [`VerifierHub::ingest_frame`]; each record is
-    /// verified zero-copy off the frame, at the burst's arrival instant,
-    /// by the device's own verifier. Any already-verified struct reports
-    /// (the on-demand leg, or everything in struct mode) then fold in via
-    /// `ingest_batch`. A mixed burst still counts as *one* batch with its
-    /// combined size, so burst accounting is bit-identical across delivery
-    /// modes. Encoding is timed separately (`encode_wall`); the ingest
-    /// span lands in both `wire_ingest_wall` and `verify_wall`, which is
-    /// where the struct path's verification time lives.
-    fn flush_batch(&mut self, state: &mut RunState) {
+    /// carried across the frame link by [`Shard::deliver_frame`]'s ARQ
+    /// loop, which verifies each record zero-copy off the frame, at the
+    /// burst's arrival instant, by the device's own verifier. Any
+    /// already-verified struct reports (the on-demand leg, or everything
+    /// in struct mode) then fold in via `ingest_batch`. A mixed burst
+    /// still counts as *one* batch with its combined size, so burst
+    /// accounting is bit-identical across delivery modes. Encoding is
+    /// timed separately (`encode_wall`); the ingest span lands in both
+    /// `wire_ingest_wall` and `verify_wall`, which is where the struct
+    /// path's verification time lives.
+    fn flush_batch(&mut self, state: &mut RunState, network: &NetworkModel) {
         if state.pending.is_empty() && state.pending_responses.is_empty() {
             state.pending_at = None;
             return;
@@ -950,35 +1248,20 @@ impl Shard {
                 .expect("a non-empty burst has an arrival instant");
             let mut responses = std::mem::take(&mut state.pending_responses);
             let mut frame = std::mem::take(&mut state.frame_buf);
-            let base = self.base as u64;
+            let frame_flow = FRAME_STREAM ^ self.base as u64;
             for chunk in responses.chunks(MAX_BATCH_RESPONSES) {
                 frame.clear();
                 let started = Instant::now();
                 encode_collection_batch_into(&mut frame, chunk);
                 state.encode_wall += started.elapsed();
+                // First-send accounting: however many times the ARQ loop
+                // below re-carries this frame, it counts once here, so the
+                // wire totals stay comparable across fault settings.
                 state.wire_frames += 1;
                 state.wire_bytes += frame.len() as u64;
-                let devices = &mut self.devices;
-                let started = Instant::now();
-                let outcome = self
-                    .hub
-                    .ingest_frame(&frame, |view| {
-                        let local = (view.device().value() - base) as usize;
-                        let report = devices[local]
-                            .verifier
-                            .verify_frame_response(&view, at)
-                            .expect("fleet collection verifies");
-                        state.verifications += report.measurements().len() as u64;
-                        state.note_health(&report, true);
-                        Some(report)
-                    })
-                    .expect("shard-encoded frame decodes");
-                let elapsed = started.elapsed();
-                state.wire_ingest_wall += elapsed;
-                state.verify_wall += elapsed;
-                state.wire_responses += outcome.responses;
-                state.wire_accepted += outcome.accepted;
-                state.all_healthy &= outcome.rejected == 0 && outcome.verify_failed == 0;
+                let frame_seq = state.frame_seq;
+                state.frame_seq += 1;
+                self.deliver_frame(state, network, frame_flow, frame_seq, &frame, chunk, at);
             }
             responses.clear();
             state.pending_responses = responses;
@@ -992,6 +1275,164 @@ impl Shard {
         state.batches += 1;
         state.largest_batch = state.largest_batch.max(burst);
         state.pending_at = None;
+    }
+
+    /// Carries one encoded batch frame across the collector → hub link
+    /// until the hub acknowledges it or the retry budget runs out.
+    ///
+    /// Each copy's fate is drawn from the fault stream at
+    /// `(frame_flow, frame_seq << 8 | attempt)`. A corrupted copy is
+    /// damaged and delivered so the verifier side rejects it *live* —
+    /// through the strict decoder for structural damage, through MAC
+    /// verification for payload damage — and the pristine frame is then
+    /// retransmitted. A clean copy goes through
+    /// [`VerifierHub::ingest_sequenced_frame`], whose fresh acceptance is
+    /// the ack; a duplicate fault re-delivers the acked copy and the
+    /// hub's dedup window must swallow the echo. The frame link itself
+    /// does not lose frames (the collector and hub are co-located; loss
+    /// lives on the device radio hop), so only corruption consumes
+    /// retries here.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_frame(
+        &mut self,
+        state: &mut RunState,
+        network: &NetworkModel,
+        frame_flow: u64,
+        frame_seq: u64,
+        frame: &[u8],
+        chunk: &[CollectionResponse],
+        at: SimTime,
+    ) {
+        let base = self.base as u64;
+        let mut attempt: u32 = 0;
+        loop {
+            let draw = network.sample_faults(frame_flow, (frame_seq << 8) | attempt as u64);
+            if let Some(corruption) = draw.corrupt {
+                self.deliver_corrupt_copy(state, frame, chunk, corruption, at);
+                if state.policy.allows_retry(attempt) {
+                    state.frame_retransmits += 1;
+                    attempt += 1;
+                    continue;
+                }
+                state.frames_exhausted += 1;
+                state.frame_lost_responses += chunk.len() as u64;
+                return;
+            }
+            let devices = &mut self.devices;
+            let started = Instant::now();
+            let outcome = self
+                .hub
+                .ingest_sequenced_frame(frame_flow, frame_seq, frame, |view| {
+                    let local = (view.device().value() - base) as usize;
+                    let report = devices[local]
+                        .verifier
+                        .verify_frame_response(&view, at)
+                        .expect("fleet collection verifies");
+                    state.verifications += report.measurements().len() as u64;
+                    state.note_health(&report, true);
+                    Some(report)
+                })
+                .expect("shard-encoded frame decodes")
+                .expect("first acceptance of a fresh sequence");
+            let elapsed = started.elapsed();
+            state.wire_ingest_wall += elapsed;
+            state.verify_wall += elapsed;
+            state.wire_responses += outcome.responses;
+            state.wire_accepted += outcome.accepted;
+            state.all_healthy &= outcome.rejected == 0 && outcome.verify_failed == 0;
+            if draw.duplicate.is_some() {
+                // The link re-delivers the acked copy; the dedup window
+                // must drop the echo without running any verification.
+                let echo = self
+                    .hub
+                    .ingest_sequenced_frame(frame_flow, frame_seq, frame, |_| {
+                        unreachable!("duplicate frames are dropped before verification")
+                    })
+                    .expect("duplicate copy still decodes");
+                assert!(echo.is_none(), "hub dedup window drops the echo");
+                state.frame_duplicates += 1;
+            }
+            return;
+        }
+    }
+
+    /// Delivers one corrupted copy of `frame` and checks that the verifier
+    /// side rejects it without perturbing any live state, so the
+    /// retransmitted pristine copy is still fresh.
+    ///
+    /// Structural damage flips a count-header byte: the strict decoder
+    /// must throw a [`DecodeError`] before the dedup window or any
+    /// verifier is touched. Payload damage flips a digest byte inside the
+    /// first non-empty response: the frame still parses, but the record's
+    /// MAC no longer matches — checked on a *clone* of the device's
+    /// verifier (collection verification advances `last_collection`, and
+    /// a discarded frame must not move the live coverage window).
+    fn deliver_corrupt_copy(
+        &mut self,
+        state: &mut RunState,
+        frame: &[u8],
+        chunk: &[CollectionResponse],
+        corruption: Corruption,
+        at: SimTime,
+    ) {
+        // First digest byte of the first response that carries evidence:
+        // response records are `device u64 | count u16`, then measurements
+        // of `t u64 | dlen u16 | digest ...` — 20 bytes from the record
+        // start to the digest.
+        let mut digest_target: Option<(usize, usize)> = None;
+        let mut offset = 2;
+        for (index, response) in chunk.iter().enumerate() {
+            if !response.measurements.is_empty() {
+                digest_target = Some((index, offset + 20));
+                break;
+            }
+            offset += 10 + response.payload_bytes() + 4 * response.measurements.len();
+        }
+        let started = Instant::now();
+        let mut damaged = frame.to_vec();
+        match digest_target {
+            // A frame of empty responses has no authenticated payload, so
+            // any damage to it is structural.
+            Some((index, digest_at)) if !corruption.structural => {
+                damaged[digest_at] ^= corruption.mask;
+                let parsed =
+                    FrameView::parse(&damaged).expect("payload corruption preserves framing");
+                let view = parsed
+                    .responses()
+                    .nth(index)
+                    .expect("damaged response still present");
+                let local = (view.device().value() - self.base as u64) as usize;
+                let report = self.devices[local]
+                    .verifier
+                    .clone()
+                    .verify_frame_response(&view, at)
+                    .expect("corrupted evidence still verifies to a report");
+                assert_eq!(
+                    report.verdict(),
+                    AttestationVerdict::TamperingDetected,
+                    "flipped digest byte must surface as tampering"
+                );
+                state.corrupt_tamper_drops += 1;
+            }
+            _ => {
+                // Flip a count-header byte: the decoder must reject the
+                // frame outright, leaving the hub (dedup window included)
+                // untouched.
+                damaged[0] ^= corruption.mask;
+                self.hub
+                    .ingest_sequenced_frame(
+                        FRAME_STREAM ^ self.base as u64,
+                        u64::MAX,
+                        &damaged,
+                        |_| unreachable!("structurally corrupt frames fail decode"),
+                    )
+                    .expect_err("damaged count header fails the strict decoder");
+                state.corrupt_decode_drops += 1;
+            }
+        }
+        let elapsed = started.elapsed();
+        state.wire_ingest_wall += elapsed;
+        state.verify_wall += elapsed;
     }
 
     /// Surrenders the shard's history hub for merging into the fleet-wide
@@ -1131,6 +1572,7 @@ mod tests {
             base_latency: SimDuration::from_millis(20),
             jitter: SimDuration::from_millis(10),
             loss: 0.3,
+            ..NetworkConfig::IDEAL
         };
         config.seed = 7;
         let mut shard = shard_for(&config, 0..6, 0);
@@ -1192,6 +1634,7 @@ mod tests {
             base_latency: SimDuration::from_secs(15),
             jitter: SimDuration::from_secs(10),
             loss: 0.0,
+            ..NetworkConfig::IDEAL
         };
         let mut shard = shard_for(&config, 0..6, 0);
         let report = shard.run(&config);
@@ -1367,5 +1810,153 @@ mod tests {
         assert!(text.contains("\"collections_delivered\": 4")); // 2 devices × 2 rounds
         assert!(text.contains("\"hub_batches\""));
         assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    /// A faulty-but-retried config used by the recovery tests: every fault
+    /// family is on, with enough budget that nothing is lost for good.
+    fn faulty_config() -> FleetConfig {
+        let mut config = FleetConfig::new(24, 3, 3, 256, 3, MacAlgorithm::HmacSha256);
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            loss: 0.1,
+            duplicate: 0.05,
+            reorder: 0.05,
+            corrupt: 0.05,
+        };
+        config.retries = 6;
+        config.seed = 42;
+        config
+    }
+
+    #[test]
+    fn retries_recover_every_report_under_faults() {
+        let config = faulty_config();
+        let mut shard = shard_for(&config, 0..24, 0);
+        let report = shard.run(&config);
+
+        // Conservation: every attempt is delivered, lost to churn, lost to
+        // a stale retry, or exhausted — and with this budget, nothing
+        // exhausts, so recovery is total.
+        assert_eq!(report.collections_attempted, 24 * 3);
+        assert_eq!(
+            report.collections_delivered
+                + report.exhausted_retries
+                + report.churn_losses
+                + report.stale_retries,
+            report.collections_attempted
+        );
+        assert_eq!(report.exhausted_retries, 0);
+        assert_eq!(report.collections_delivered, report.collections_attempted);
+        assert!(report.collect_retransmits > 0, "loss 10% must retransmit");
+        assert_eq!(
+            report.retry_histogram.iter().sum::<u64>(),
+            report.collections_delivered
+        );
+        assert!(
+            report.retry_histogram[1..].iter().sum::<u64>() > 0,
+            "some delivery took at least one retry"
+        );
+
+        // Frame hop: corruption was seen live on both rejection paths over
+        // this many frames, and every frame eventually got through.
+        assert_eq!(report.frames_exhausted, 0);
+        assert_eq!(report.frame_lost_responses, 0);
+        assert_eq!(report.wire_responses, report.collections_delivered);
+        assert_eq!(report.hub_duplicates, report.frame_duplicates);
+
+        // The hub saw everything exactly once.
+        let hub = shard.into_hub();
+        assert_eq!(
+            hub.ingested(),
+            report.collections_delivered + report.on_demand_completed
+        );
+    }
+
+    #[test]
+    fn recovered_totals_match_the_lossless_run() {
+        let faulty = faulty_config();
+        let mut lossless = faulty.clone();
+        lossless.network = NetworkConfig::IDEAL;
+        lossless.retries = 0;
+
+        let mut faulty_shard = shard_for(&faulty, 0..24, 0);
+        let faulty_report = faulty_shard.run(&faulty);
+        let mut lossless_shard = shard_for(&lossless, 0..24, 0);
+        let lossless_report = lossless_shard.run(&lossless);
+
+        assert_eq!(
+            faulty_report.collections_delivered,
+            lossless_report.collections_delivered
+        );
+        assert_eq!(faulty_report.measurements, lossless_report.measurements);
+        let faulty_hub = faulty_shard.into_hub();
+        let lossless_hub = lossless_shard.into_hub();
+        assert_eq!(faulty_hub.ingested(), lossless_hub.ingested());
+        assert_eq!(faulty_hub.total_entries(), lossless_hub.total_entries());
+        assert_eq!(
+            faulty_hub.total_collections(),
+            lossless_hub.total_collections()
+        );
+    }
+
+    #[test]
+    fn hub_crashes_recover_bit_identically() {
+        let mut crashing = faulty_config();
+        crashing.hub_crashes = 3;
+        let smooth = FleetConfig {
+            hub_crashes: 0,
+            ..crashing.clone()
+        };
+
+        let mut crashed_shard = shard_for(&crashing, 0..24, 0);
+        let crashed_report = crashed_shard.run(&crashing);
+        let mut smooth_shard = shard_for(&smooth, 0..24, 0);
+        let smooth_report = smooth_shard.run(&smooth);
+
+        assert_eq!(crashed_report.hub_crashes, 3);
+        assert!(crashed_report.snapshot_bytes > 0);
+        assert_eq!(smooth_report.hub_crashes, 0);
+        assert_eq!(
+            crashed_report.collections_delivered,
+            smooth_report.collections_delivered
+        );
+        // The crash/restore cycles must leave no trace: the recovered hub
+        // equals the never-crashed one bit for bit.
+        assert_eq!(crashed_shard.into_hub(), smooth_shard.into_hub());
+    }
+
+    #[test]
+    fn device_leaving_mid_backoff_never_replays_stale_evidence() {
+        // Heavy loss plus churn: some retransmission timers are guaranteed
+        // to fire on devices that churned away in the meantime.
+        let mut config = FleetConfig::new(32, 3, 3, 256, 4, MacAlgorithm::HmacSha256);
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            loss: 0.35,
+            ..NetworkConfig::IDEAL
+        };
+        config.retries = 8;
+        config.churn = 0.6;
+        config.seed = 13;
+        let mut shard = shard_for(&config, 0..32, 0);
+        let report = shard.run(&config);
+
+        assert!(report.devices_churned > 0, "churn plan must trigger");
+        assert_eq!(
+            report.collections_delivered
+                + report.exhausted_retries
+                + report.churn_losses
+                + report.stale_retries,
+            report.collections_attempted
+        );
+        // Every delivery is fresh-epoch by construction; the hub holds
+        // exactly the delivered reports, no replayed extras.
+        let hub = shard.into_hub();
+        assert_eq!(
+            hub.ingested(),
+            report.collections_delivered + report.on_demand_completed
+        );
     }
 }

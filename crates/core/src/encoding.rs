@@ -37,6 +37,17 @@
 //!   [`decode_collection_batch`], re-encoding the result reproduces the
 //!   input byte for byte.
 //!
+//! # Hub snapshots
+//!
+//! [`encode_hub_snapshot`] / [`decode_hub_snapshot`] serialize a whole
+//! [`crate::VerifierHub`] — counters, per-flow dedup windows and every
+//! device history — under the same strictness rules, so a verifier can
+//! crash, restore from its last snapshot and keep ingesting with
+//! exactly-once accounting intact. A snapshot opens with the magic `0x4552`
+//! (`"ER"`), which is deliberately above [`MAX_BATCH_RESPONSES`]: bytes of
+//! one format can never be mistaken for the other, the frame decoder
+//! rejects a snapshot outright (and vice versa).
+//!
 //! # Zero-copy views
 //!
 //! [`FrameView::parse`] validates a whole frame in one allocation-free pass
@@ -52,9 +63,12 @@ use std::fmt;
 use erasmus_crypto::{MacTag, MAX_TAG_LEN};
 use erasmus_sim::{SimDuration, SimTime};
 
+use crate::history::{DeviceHistory, HistoryEntry};
+use crate::hub::{FlowWindow, VerifierHub};
 use crate::ids::DeviceId;
 use crate::measurement::{Measurement, MemoryDigest, DIGEST_LEN};
 use crate::protocol::CollectionResponse;
+use crate::report::MeasurementVerdict;
 
 /// Category of strict-codec violation behind a [`DecodeError`].
 ///
@@ -173,11 +187,22 @@ impl<'a> Reader<'a> {
         ))
     }
 
+    fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_be_bytes(
+            bytes.try_into().expect("slice length is 4"),
+        ))
+    }
+
     fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
         let bytes = self.take(2, what)?;
         Ok(u16::from_be_bytes(
             bytes.try_into().expect("slice length is 2"),
         ))
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -590,6 +615,222 @@ pub fn decode_collection_batch(bytes: &[u8]) -> Result<Vec<CollectionResponse>, 
     Ok(frame.responses().map(|view| view.to_response()).collect())
 }
 
+/// Magic opening a hub snapshot: `"ER"` as a big-endian u16. Chosen above
+/// [`MAX_BATCH_RESPONSES`] so the batch-frame decoder can never confuse a
+/// snapshot for a frame (it reads the magic as an implausible batch count).
+pub const SNAPSHOT_MAGIC: u16 = 0x4552;
+
+/// Current hub-snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Appends the serialized hub snapshot to `out`.
+///
+/// The layout (all integers big-endian) is:
+///
+/// ```text
+/// magic: u16 = 0x4552 ("ER")    version: u8 = 1
+/// ingested: u64   rejected: u64   duplicates: u64
+/// flow_count: u32, then per flow (ascending flow id):
+///     flow: u64   floor: u64   seq_count: u32   seqs: u64 × seq_count
+/// device_count: u32, then per device (ascending device id):
+///     device: u64   collections: u64   entry_count: u32
+///     then per entry (ascending timestamp):
+///         timestamp: u64   collected_at: u64   verdict: u8 (0|1|2)
+/// ```
+///
+/// Sequences and timestamps are strictly ascending on the wire — the codec
+/// is canonical, so a decoded snapshot re-encodes byte-identically.
+pub fn encode_hub_snapshot_into(out: &mut Vec<u8>, hub: &VerifierHub) {
+    out.extend_from_slice(&SNAPSHOT_MAGIC.to_be_bytes());
+    out.push(SNAPSHOT_VERSION);
+    out.extend_from_slice(&hub.ingested.to_be_bytes());
+    out.extend_from_slice(&hub.rejected.to_be_bytes());
+    out.extend_from_slice(&hub.duplicates.to_be_bytes());
+    out.extend_from_slice(&(hub.dedup.len() as u32).to_be_bytes());
+    for (flow, window) in &hub.dedup {
+        out.extend_from_slice(&flow.to_be_bytes());
+        out.extend_from_slice(&window.floor.to_be_bytes());
+        out.extend_from_slice(&(window.seen.len() as u32).to_be_bytes());
+        for sequence in &window.seen {
+            out.extend_from_slice(&sequence.to_be_bytes());
+        }
+    }
+    out.extend_from_slice(&(hub.histories.len() as u32).to_be_bytes());
+    for (device, history) in &hub.histories {
+        out.extend_from_slice(&device.value().to_be_bytes());
+        out.extend_from_slice(&history.collections().to_be_bytes());
+        out.extend_from_slice(&(history.len() as u32).to_be_bytes());
+        for entry in history.entries() {
+            out.extend_from_slice(&entry.timestamp.as_nanos().to_be_bytes());
+            out.extend_from_slice(&entry.collected_at.as_nanos().to_be_bytes());
+            out.push(verdict_tag(entry.verdict));
+        }
+    }
+}
+
+/// Serializes a [`crate::VerifierHub`] as a compact crash-recovery snapshot.
+///
+/// See [`encode_hub_snapshot_into`] for the layout.
+pub fn encode_hub_snapshot(hub: &VerifierHub) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_hub_snapshot_into(&mut out, hub);
+    out
+}
+
+/// Parses a hub snapshot, restoring counters, dedup windows and device
+/// histories exactly as they were encoded.
+///
+/// The snapshot codec enforces the same strictness rules as the frame
+/// codec: exact lengths, prefix- and suffix-strict, and canonical — flows,
+/// sequences, devices and timestamps must be strictly ascending, so every
+/// accepted snapshot re-encodes byte-identically.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for truncated input, a wrong magic or version,
+/// out-of-order or below-floor records, an out-of-range verdict tag, or
+/// trailing garbage.
+pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
+    let mut reader = Reader::new(bytes);
+    let magic = reader.u16("snapshot magic")?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(DecodeError::new(
+            DecodeErrorKind::BatchCount,
+            format!("not a hub snapshot (magic {magic:#06x})"),
+            0,
+        ));
+    }
+    let version = reader.u8("snapshot version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(DecodeError::new(
+            DecodeErrorKind::BatchCount,
+            format!("unsupported hub snapshot version {version}"),
+            2,
+        ));
+    }
+    let ingested = reader.u64("ingested counter")?;
+    let rejected = reader.u64("rejected counter")?;
+    let duplicates = reader.u64("duplicates counter")?;
+
+    let flow_count = reader.u32("flow count")? as usize;
+    let mut dedup = std::collections::BTreeMap::new();
+    let mut previous_flow: Option<u64> = None;
+    for _ in 0..flow_count {
+        let flow_at = reader.offset;
+        let flow = reader.u64("flow id")?;
+        if previous_flow.is_some_and(|previous| previous >= flow) {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("snapshot flows out of order at flow {flow}"),
+                flow_at,
+            ));
+        }
+        previous_flow = Some(flow);
+        let floor = reader.u64("window floor")?;
+        let seq_count = reader.u32("sequence count")? as usize;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut previous_seq: Option<u64> = None;
+        for _ in 0..seq_count {
+            let seq_at = reader.offset;
+            let sequence = reader.u64("window sequence")?;
+            if sequence < floor {
+                return Err(DecodeError::new(
+                    DecodeErrorKind::BatchCount,
+                    format!("snapshot sequence {sequence} below window floor {floor}"),
+                    seq_at,
+                ));
+            }
+            if previous_seq.is_some_and(|previous| previous >= sequence) {
+                return Err(DecodeError::new(
+                    DecodeErrorKind::BatchCount,
+                    format!("snapshot sequences out of order at {sequence}"),
+                    seq_at,
+                ));
+            }
+            previous_seq = Some(sequence);
+            seen.insert(sequence);
+        }
+        dedup.insert(flow, FlowWindow { floor, seen });
+    }
+
+    let device_count = reader.u32("device count")? as usize;
+    let mut histories = std::collections::BTreeMap::new();
+    let mut previous_device: Option<u64> = None;
+    for _ in 0..device_count {
+        let device_at = reader.offset;
+        let device = reader.u64("device id")?;
+        if previous_device.is_some_and(|previous| previous >= device) {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("snapshot devices out of order at device {device}"),
+                device_at,
+            ));
+        }
+        previous_device = Some(device);
+        let collections = reader.u64("collection count")?;
+        let entry_count = reader.u32("entry count")? as usize;
+        let mut entries = Vec::new();
+        let mut previous_timestamp: Option<u64> = None;
+        for _ in 0..entry_count {
+            let entry_at = reader.offset;
+            let timestamp = reader.u64("entry timestamp")?;
+            if previous_timestamp.is_some_and(|previous| previous >= timestamp) {
+                return Err(DecodeError::new(
+                    DecodeErrorKind::BatchCount,
+                    format!("snapshot entries out of order at t={timestamp}"),
+                    entry_at,
+                ));
+            }
+            previous_timestamp = Some(timestamp);
+            let collected_at = reader.u64("entry collection time")?;
+            let tag_at = reader.offset;
+            let tag = reader.u8("verdict tag")?;
+            let verdict = verdict_from_tag(tag).ok_or_else(|| {
+                DecodeError::new(
+                    DecodeErrorKind::TagLength,
+                    format!("snapshot verdict tag {tag} out of range"),
+                    tag_at,
+                )
+            })?;
+            entries.push(HistoryEntry {
+                timestamp: SimTime::from_nanos(timestamp),
+                verdict,
+                collected_at: SimTime::from_nanos(collected_at),
+            });
+        }
+        let id = DeviceId::new(device);
+        histories.insert(
+            id,
+            DeviceHistory::from_snapshot_parts(id, collections, entries),
+        );
+    }
+    reader.finish()?;
+    Ok(VerifierHub {
+        histories,
+        ingested,
+        rejected,
+        duplicates,
+        dedup,
+    })
+}
+
+fn verdict_tag(verdict: MeasurementVerdict) -> u8 {
+    match verdict {
+        MeasurementVerdict::Healthy => 0,
+        MeasurementVerdict::Compromised => 1,
+        MeasurementVerdict::Forged => 2,
+    }
+}
+
+fn verdict_from_tag(tag: u8) -> Option<MeasurementVerdict> {
+    match tag {
+        0 => Some(MeasurementVerdict::Healthy),
+        1 => Some(MeasurementVerdict::Compromised),
+        2 => Some(MeasurementVerdict::Forged),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,6 +1081,195 @@ mod tests {
             decode_collection_batch(&bad_tag).unwrap_err().kind(),
             DecodeErrorKind::TagLength
         );
+    }
+
+    /// A hub with counters, two dedup windows and two device histories —
+    /// every snapshot field populated with non-default values.
+    fn populated_hub() -> VerifierHub {
+        let mut hub = VerifierHub {
+            ingested: 17,
+            rejected: 3,
+            duplicates: 2,
+            ..VerifierHub::default()
+        };
+        hub.dedup.insert(
+            4,
+            FlowWindow {
+                floor: 0,
+                seen: [0u64, 1, 3].into_iter().collect(),
+            },
+        );
+        hub.dedup.insert(
+            9,
+            FlowWindow {
+                floor: 40,
+                seen: [41u64, 44].into_iter().collect(),
+            },
+        );
+        for (device, verdict) in [
+            (2u64, MeasurementVerdict::Healthy),
+            (6u64, MeasurementVerdict::Compromised),
+        ] {
+            let id = DeviceId::new(device);
+            let entries = (1..=3u64).map(|i| HistoryEntry {
+                timestamp: SimTime::from_secs(10 * i),
+                verdict,
+                collected_at: SimTime::from_secs(10 * i + 5),
+            });
+            hub.histories
+                .insert(id, DeviceHistory::from_snapshot_parts(id, device, entries));
+        }
+        hub
+    }
+
+    #[test]
+    fn hub_snapshot_roundtrip_is_lossless_and_canonical() {
+        for hub in [VerifierHub::default(), populated_hub()] {
+            let bytes = encode_hub_snapshot(&hub);
+            let decoded = decode_hub_snapshot(&bytes).expect("snapshot decodes");
+            assert_eq!(decoded, hub);
+            assert_eq!(encode_hub_snapshot(&decoded), bytes, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn hub_snapshot_into_appends_without_clearing() {
+        let hub = populated_hub();
+        let mut out = vec![0xaa, 0xbb];
+        encode_hub_snapshot_into(&mut out, &hub);
+        assert_eq!(&out[..2], &[0xaa, 0xbb]);
+        assert_eq!(&out[2..], &encode_hub_snapshot(&hub)[..]);
+    }
+
+    #[test]
+    fn hub_snapshot_is_prefix_and_suffix_strict() {
+        let bytes = encode_hub_snapshot(&populated_hub());
+        for len in 0..bytes.len() {
+            let err = decode_hub_snapshot(&bytes[..len]).unwrap_err();
+            assert_eq!(err.kind(), DecodeErrorKind::Truncated, "cut at {len}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let err = decode_hub_snapshot(&padded).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::TrailingBytes);
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_wrong_magic_and_version() {
+        let mut bytes = encode_hub_snapshot(&VerifierHub::default());
+        bytes[0] = 0x00;
+        let err = decode_hub_snapshot(&bytes).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("not a hub snapshot"), "{err}");
+
+        let mut bytes = encode_hub_snapshot(&VerifierHub::default());
+        bytes[2] = SNAPSHOT_VERSION + 1;
+        let err = decode_hub_snapshot(&bytes).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_non_canonical_record_order() {
+        // Header: magic (2) + version (1) + three u64 counters (24) = 27,
+        // then the u32 flow count at 27.
+        let hub = populated_hub();
+        let bytes = encode_hub_snapshot(&hub);
+
+        // Swap the two flow ids (offset 31 and the second flow record's id)
+        // so flows arrive descending.
+        let first_flow_at = 31;
+        let second_flow_at = first_flow_at + 8 + 8 + 4 + 3 * 8;
+        let mut swapped = bytes.clone();
+        swapped.copy_within(second_flow_at..second_flow_at + 8, first_flow_at);
+        swapped[second_flow_at..second_flow_at + 8].copy_from_slice(&4u64.to_be_bytes());
+        let err = decode_hub_snapshot(&swapped).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("flows out of order"), "{err}");
+
+        // Duplicate the first sequence of flow 4 into its second slot so the
+        // sequence list stops ascending.
+        let first_seq_at = first_flow_at + 8 + 8 + 4;
+        let mut stalled = bytes.clone();
+        stalled.copy_within(first_seq_at..first_seq_at + 8, first_seq_at + 8);
+        let err = decode_hub_snapshot(&stalled).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("sequences out of order"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_sequences_below_the_floor() {
+        // A window whose recorded sequence sits below its own floor can only
+        // come from corruption; the in-memory window prunes on advance.
+        let mut hub = VerifierHub::default();
+        hub.dedup.insert(
+            1,
+            FlowWindow {
+                floor: 100,
+                seen: [7u64].into_iter().collect(),
+            },
+        );
+        let err = decode_hub_snapshot(&encode_hub_snapshot(&hub)).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("below window floor"), "{err}");
+    }
+
+    /// Offset of the first device record in a [`populated_hub`] snapshot:
+    /// 27-byte header, u32 flow count, flow 4 (3 sequences), flow 9
+    /// (2 sequences), u32 device count.
+    fn populated_hub_device_at() -> usize {
+        27 + 4 + (8 + 8 + 4 + 3 * 8) + (8 + 8 + 4 + 2 * 8) + 4
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_disordered_devices_and_timestamps() {
+        let hub = populated_hub();
+        let bytes = encode_hub_snapshot(&hub);
+        let device_at = populated_hub_device_at();
+        assert_eq!(&bytes[device_at..device_at + 8], &2u64.to_be_bytes());
+        let mut disordered = bytes.clone();
+        disordered[device_at..device_at + 8].copy_from_slice(&7u64.to_be_bytes());
+        let err = decode_hub_snapshot(&disordered).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("devices out of order"), "{err}");
+
+        // First history entry of device 2 starts right after its id,
+        // collection count and entry count.
+        let first_entry_at = device_at + 8 + 8 + 4;
+        let mut stalled = bytes.clone();
+        // Copy entry 1's timestamp over entry 2's (each entry is 17 bytes).
+        stalled.copy_within(first_entry_at..first_entry_at + 8, first_entry_at + 17);
+        let err = decode_hub_snapshot(&stalled).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("entries out of order"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_out_of_range_verdicts() {
+        let hub = populated_hub();
+        let bytes = encode_hub_snapshot(&hub);
+        let verdict_at = populated_hub_device_at() + 8 + 8 + 4 + 16;
+        let mut bad = bytes.clone();
+        assert_eq!(bad[verdict_at], 0, "healthy verdict tag");
+        bad[verdict_at] = 3;
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::TagLength);
+        assert!(err.to_string().contains("verdict tag 3"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_and_frame_formats_reject_each_other() {
+        let snapshot = encode_hub_snapshot(&populated_hub());
+        // The snapshot magic reads as an implausible batch count.
+        let err = decode_collection_batch(&snapshot).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(FrameView::parse(&snapshot).is_err());
+
+        // And a valid frame never opens with the snapshot magic.
+        let frame = encode_collection_batch(&[sample_response(1, 1)]);
+        let err = decode_hub_snapshot(&frame).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("not a hub snapshot"), "{err}");
     }
 }
 

@@ -69,6 +69,25 @@ impl DeviceHistory {
         }
     }
 
+    /// Rebuilds a history from decoded snapshot parts (used by the hub
+    /// snapshot codec in [`crate::encoding`]). `entries` must already be in
+    /// ascending timestamp order — the codec enforces that as part of its
+    /// canonical-form contract.
+    pub(crate) fn from_snapshot_parts(
+        device: DeviceId,
+        collections: u64,
+        entries: impl IntoIterator<Item = HistoryEntry>,
+    ) -> Self {
+        Self {
+            device,
+            entries: entries
+                .into_iter()
+                .map(|entry| (entry.timestamp, entry))
+                .collect(),
+            collections,
+        }
+    }
+
     /// The device this history belongs to.
     pub fn device(&self) -> DeviceId {
         self.device

@@ -14,12 +14,51 @@
 //!
 //! [`merged`]: VerifierHub::merge
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::encoding::{DecodeError, FrameView, ResponseView};
 use crate::history::DeviceHistory;
 use crate::ids::DeviceId;
 use crate::report::CollectionReport;
+
+/// How far the per-flow dedup window trails the highest sequence seen.
+/// Retransmissions and duplicated deliveries always carry the sequence of a
+/// recent transmission, so anything older than this is stale by construction
+/// and treated as a duplicate.
+pub const DEDUP_WINDOW: u64 = 1024;
+
+/// Per-flow receive window backing the hub's exactly-once accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct FlowWindow {
+    /// Sequences below this are stale: already accepted and pruned, or so
+    /// old that accepting them could double-count.
+    pub(crate) floor: u64,
+    /// Sequences at or above `floor` already accepted.
+    pub(crate) seen: BTreeSet<u64>,
+}
+
+impl FlowWindow {
+    /// Records `sequence` if it is fresh; returns whether it was.
+    fn note(&mut self, sequence: u64) -> bool {
+        if sequence < self.floor || self.seen.contains(&sequence) {
+            return false;
+        }
+        self.seen.insert(sequence);
+        let horizon = sequence.saturating_sub(DEDUP_WINDOW);
+        if horizon > self.floor {
+            self.floor = horizon;
+            self.seen = self.seen.split_off(&self.floor);
+        }
+        true
+    }
+
+    /// Folds another window over the same flow into this one.
+    fn merge(&mut self, other: FlowWindow) {
+        self.floor = self.floor.max(other.floor);
+        self.seen.extend(other.seen);
+        self.seen = self.seen.split_off(&self.floor);
+    }
+}
 
 /// Per-batch accept/reject accounting returned by
 /// [`VerifierHub::ingest_batch`].
@@ -67,9 +106,13 @@ pub struct FrameIngest {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VerifierHub {
-    histories: BTreeMap<DeviceId, DeviceHistory>,
-    ingested: u64,
-    rejected: u64,
+    pub(crate) histories: BTreeMap<DeviceId, DeviceHistory>,
+    pub(crate) ingested: u64,
+    pub(crate) rejected: u64,
+    /// Sequenced frames rejected as duplicates by the dedup window.
+    pub(crate) duplicates: u64,
+    /// Per-flow receive windows for [`VerifierHub::ingest_sequenced_frame`].
+    pub(crate) dedup: BTreeMap<u64, FlowWindow>,
 }
 
 impl VerifierHub {
@@ -163,15 +206,58 @@ impl VerifierHub {
     /// Returns the [`DecodeError`] when the frame violates the strict codec
     /// contract. The hub is left completely untouched in that case: a frame
     /// either decodes as a whole or contributes nothing.
-    pub fn ingest_frame<F>(
-        &mut self,
-        frame: &[u8],
-        mut verify: F,
-    ) -> Result<FrameIngest, DecodeError>
+    pub fn ingest_frame<F>(&mut self, frame: &[u8], verify: F) -> Result<FrameIngest, DecodeError>
     where
         F: FnMut(ResponseView<'_>) -> Option<CollectionReport>,
     {
         let parsed = FrameView::parse(frame)?;
+        Ok(self.ingest_parsed(&parsed, verify))
+    }
+
+    /// ARQ-aware wire ingestion: like [`VerifierHub::ingest_frame`], but the
+    /// frame carries a `(flow, sequence)` identity checked against the hub's
+    /// per-flow dedup window first, so retransmissions and duplicated
+    /// deliveries are accepted **exactly once**.
+    ///
+    /// Returns `Ok(None)` — and counts the frame in
+    /// [`VerifierHub::duplicates`] — when the window has already accepted
+    /// this sequence (or it fell below the window floor and is stale by
+    /// construction). Only a frame that decodes *and* is fresh advances the
+    /// window: a corrupted retransmission neither consumes the sequence nor
+    /// touches the hub, so the sender's next copy still goes through.
+    ///
+    /// The `Ok(Some(ingest))` outcome doubles as the hub's acknowledgement:
+    /// in a live deployment this is the point where an ack for `(flow,
+    /// sequence)` would be sent back to the collector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DecodeError`] when the frame violates the strict codec
+    /// contract; the hub — including the dedup window — is left untouched.
+    pub fn ingest_sequenced_frame<F>(
+        &mut self,
+        flow: u64,
+        sequence: u64,
+        frame: &[u8],
+        verify: F,
+    ) -> Result<Option<FrameIngest>, DecodeError>
+    where
+        F: FnMut(ResponseView<'_>) -> Option<CollectionReport>,
+    {
+        let parsed = FrameView::parse(frame)?;
+        if !self.dedup.entry(flow).or_default().note(sequence) {
+            self.duplicates += 1;
+            return Ok(None);
+        }
+        Ok(Some(self.ingest_parsed(&parsed, verify)))
+    }
+
+    /// Shared tail of the frame-ingestion paths: verify each response off
+    /// the already-validated frame and fold the survivors in.
+    fn ingest_parsed<F>(&mut self, parsed: &FrameView<'_>, mut verify: F) -> FrameIngest
+    where
+        F: FnMut(ResponseView<'_>) -> Option<CollectionReport>,
+    {
         let mut outcome = FrameIngest {
             responses: parsed.len() as u64,
             bytes: parsed.frame_len() as u64,
@@ -187,7 +273,7 @@ impl VerifierHub {
         let batch = self.ingest_batch(reports.iter());
         outcome.accepted = batch.accepted;
         outcome.rejected = batch.rejected;
-        Ok(outcome)
+        outcome
     }
 
     /// The history of one device, if any report (or registration) mentioned
@@ -221,6 +307,11 @@ impl VerifierHub {
         self.rejected
     }
 
+    /// Sequenced frames dropped by the dedup window as duplicates.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
     /// Total collection reports recorded across all device histories.
     pub fn total_collections(&self) -> u64 {
         self.histories.values().map(|h| h.collections()).sum()
@@ -250,10 +341,21 @@ impl VerifierHub {
 
     /// Absorbs another hub: disjoint devices are moved over wholesale,
     /// overlapping devices are combined entry-by-entry via
-    /// [`DeviceHistory::merge_from`]. Ingestion counters are summed.
+    /// [`DeviceHistory::merge_from`]. Ingestion counters are summed and
+    /// per-flow dedup windows are unioned (sharded runs give each shard its
+    /// own flows, so windows do not normally overlap).
     pub fn merge(&mut self, other: VerifierHub) {
         self.ingested += other.ingested;
         self.rejected += other.rejected;
+        self.duplicates += other.duplicates;
+        for (flow, window) in other.dedup {
+            match self.dedup.get_mut(&flow) {
+                Some(existing) => existing.merge(window),
+                None => {
+                    self.dedup.insert(flow, window);
+                }
+            }
+        }
         for (device, history) in other.histories {
             match self.histories.get_mut(&device) {
                 Some(existing) => {
@@ -555,6 +657,190 @@ mod tests {
         assert_eq!(outcome.verify_failed, 1);
         assert_eq!(outcome.accepted, 0);
         assert!(hub.is_empty());
+    }
+
+    #[test]
+    fn sequenced_frames_are_accepted_exactly_once() {
+        use crate::encoding::encode_collection_batch;
+        use crate::protocol::CollectionRequest;
+
+        let (mut prover, mut verifier) = provision(0);
+        prover.run_until(SimTime::from_secs(40)).expect("runs");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let frame = encode_collection_batch(std::slice::from_ref(&response));
+
+        let mut hub = VerifierHub::new();
+        let mut verify = |view: ResponseView<'_>| {
+            verifier
+                .verify_frame_response(&view, SimTime::from_secs(40))
+                .ok()
+        };
+        let first = hub
+            .ingest_sequenced_frame(7, 0, &frame, &mut verify)
+            .expect("decodes")
+            .expect("fresh");
+        assert_eq!(first.accepted, 1);
+        assert_eq!(hub.ingested(), 1);
+
+        // The duplicated delivery (or a retransmission whose ack was lost)
+        // is rejected by the window, not double-counted.
+        let echo = hub
+            .ingest_sequenced_frame(7, 0, &frame, &mut verify)
+            .expect("decodes");
+        assert!(echo.is_none());
+        assert_eq!(hub.duplicates(), 1);
+        assert_eq!(hub.ingested(), 1);
+        assert_eq!(hub.total_collections(), 1);
+
+        // A later sequence on the same flow and the same sequence on another
+        // flow are both fresh.
+        assert!(hub
+            .ingest_sequenced_frame(7, 1, &frame, &mut verify)
+            .expect("decodes")
+            .is_some());
+        assert!(hub
+            .ingest_sequenced_frame(8, 0, &frame, &mut verify)
+            .expect("decodes")
+            .is_some());
+        assert_eq!(hub.duplicates(), 1);
+    }
+
+    #[test]
+    fn corrupted_sequenced_frame_does_not_consume_the_sequence() {
+        use crate::encoding::encode_collection_batch;
+        use crate::protocol::CollectionRequest;
+
+        let (mut prover, mut verifier) = provision(0);
+        prover.run_until(SimTime::from_secs(40)).expect("runs");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let frame = encode_collection_batch(std::slice::from_ref(&response));
+        let mut corrupted = frame.clone();
+        corrupted[0] ^= 0xff; // count header: guaranteed decode failure
+
+        let mut hub = VerifierHub::new();
+        let mut verify = |view: ResponseView<'_>| {
+            verifier
+                .verify_frame_response(&view, SimTime::from_secs(40))
+                .ok()
+        };
+        // The corrupted first attempt is rejected wholesale...
+        assert!(hub
+            .ingest_sequenced_frame(7, 0, &corrupted, &mut verify)
+            .is_err());
+        assert!(hub.is_empty());
+        assert_eq!(hub.duplicates(), 0);
+        // ...and the clean retransmission of the same sequence still lands.
+        let retry = hub
+            .ingest_sequenced_frame(7, 0, &frame, &mut verify)
+            .expect("decodes");
+        assert!(retry.is_some());
+        assert_eq!(hub.ingested(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_live_ingestion_state() {
+        use crate::encoding::{decode_hub_snapshot, encode_collection_batch, encode_hub_snapshot};
+        use crate::protocol::CollectionRequest;
+
+        let (mut prover, mut verifier) = provision(0);
+        prover.run_until(SimTime::from_secs(40)).expect("runs");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let frame = encode_collection_batch(std::slice::from_ref(&response));
+
+        let mut hub = VerifierHub::new();
+        let mut verify = |view: ResponseView<'_>| {
+            verifier
+                .verify_frame_response(&view, SimTime::from_secs(40))
+                .ok()
+        };
+        for sequence in [0u64, 1, 1, 3] {
+            let _ = hub
+                .ingest_sequenced_frame(7, sequence, &frame, &mut verify)
+                .expect("decodes");
+        }
+        assert_eq!(hub.duplicates(), 1);
+
+        // Crash: all that survives is the snapshot bytes.
+        let snapshot = encode_hub_snapshot(&hub);
+        let restored = decode_hub_snapshot(&snapshot).expect("snapshot decodes");
+        assert_eq!(restored, hub);
+
+        // The restored hub still deduplicates pre-crash sequences and still
+        // accepts fresh ones — exactly-once accounting survives the crash.
+        let mut hub = restored;
+        assert!(hub
+            .ingest_sequenced_frame(7, 1, &frame, &mut verify)
+            .expect("decodes")
+            .is_none());
+        assert!(hub
+            .ingest_sequenced_frame(7, 4, &frame, &mut verify)
+            .expect("decodes")
+            .is_some());
+        assert_eq!(hub.duplicates(), 2);
+    }
+
+    #[test]
+    fn dedup_window_treats_sequences_below_the_floor_as_stale() {
+        let mut window = FlowWindow::default();
+        assert!(window.note(0));
+        assert!(window.note(DEDUP_WINDOW + 5));
+        assert_eq!(window.floor, 5);
+        // Replays of pruned or below-floor sequences are stale.
+        assert!(!window.note(0));
+        assert!(!window.note(4));
+        // In-window sequences are still tracked individually.
+        assert!(window.note(5));
+        assert!(!window.note(5));
+        assert!(!window.note(DEDUP_WINDOW + 5));
+    }
+
+    #[test]
+    fn merge_carries_dedup_state_and_duplicate_counts() {
+        use crate::encoding::encode_collection_batch;
+        use crate::protocol::CollectionRequest;
+
+        let (mut prover, mut verifier) = provision(0);
+        prover.run_until(SimTime::from_secs(40)).expect("runs");
+        let response =
+            prover.handle_collection(&CollectionRequest::latest(4), SimTime::from_secs(40));
+        let frame = encode_collection_batch(std::slice::from_ref(&response));
+
+        let mut a = VerifierHub::new();
+        let mut b = VerifierHub::new();
+        let mut verify = |view: ResponseView<'_>| {
+            verifier
+                .verify_frame_response(&view, SimTime::from_secs(40))
+                .ok()
+        };
+        assert!(a
+            .ingest_sequenced_frame(1, 0, &frame, &mut verify)
+            .expect("decodes")
+            .is_some());
+        assert!(b
+            .ingest_sequenced_frame(2, 0, &frame, &mut verify)
+            .expect("decodes")
+            .is_some());
+        assert!(b
+            .ingest_sequenced_frame(2, 0, &frame, &mut verify)
+            .expect("decodes")
+            .is_none());
+
+        a.merge(b);
+        assert_eq!(a.duplicates(), 1);
+        // The merged hub still remembers both flows' accepted sequences.
+        assert!(a
+            .ingest_sequenced_frame(1, 0, &frame, &mut verify)
+            .expect("decodes")
+            .is_none());
+        assert!(a
+            .ingest_sequenced_frame(2, 0, &frame, &mut verify)
+            .expect("decodes")
+            .is_none());
+        assert_eq!(a.duplicates(), 3);
+        assert_eq!(a.ingested(), 2);
     }
 
     #[test]

@@ -91,19 +91,22 @@ pub mod verifier;
 pub use buffer::MeasurementBuffer;
 pub use config::{ProverConfig, ProverConfigBuilder};
 pub use encoding::{
-    decode_collection_batch, decode_collection_response, decode_measurement,
+    decode_collection_batch, decode_collection_response, decode_hub_snapshot, decode_measurement,
     encode_collection_batch, encode_collection_batch_into, encode_collection_response,
-    encode_collection_response_into, encode_measurement, encode_measurement_into, DecodeError,
-    DecodeErrorKind, FrameView, MeasurementView, MeasurementViews, ResponseView, ResponseViews,
-    MAX_BATCH_RESPONSES,
+    encode_collection_response_into, encode_hub_snapshot, encode_hub_snapshot_into,
+    encode_measurement, encode_measurement_into, DecodeError, DecodeErrorKind, FrameView,
+    MeasurementView, MeasurementViews, ResponseView, ResponseViews, MAX_BATCH_RESPONSES,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use error::Error;
 pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
-pub use hub::{BatchIngest, FrameIngest, VerifierHub};
+pub use hub::{BatchIngest, FrameIngest, VerifierHub, DEDUP_WINDOW};
 pub use ids::DeviceId;
 pub use malware::{Malware, MalwareBehavior, TamperStrategy};
 pub use measurement::{Measurement, MemoryDigest, DIGEST_LEN, MAC_INPUT_LEN};
-pub use protocol::{CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse};
+pub use protocol::{
+    CollectionRequest, CollectionResponse, OnDemandRequest, OnDemandResponse, RetryPolicy,
+};
 pub use prover::{MeasurementOutcome, Prover};
 pub use qoa::QoaParams;
 pub use report::{AttestationVerdict, CollectionReport, MeasurementVerdict, VerifiedMeasurement};

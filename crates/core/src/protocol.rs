@@ -1,5 +1,6 @@
-//! Protocol messages: ERASMUS collection (Figure 2), ERASMUS+OD (Figure 4)
-//! and classic on-demand attestation.
+//! Protocol messages: ERASMUS collection (Figure 2), ERASMUS+OD (Figure 4),
+//! classic on-demand attestation, and the ARQ retry policy that keeps
+//! collection reports alive on faulty links.
 
 use erasmus_crypto::{KeyedMac, MacAlgorithm, MacTag};
 use erasmus_sim::{SimDuration, SimTime};
@@ -129,6 +130,73 @@ impl OnDemandResponse {
     }
 }
 
+/// ARQ retransmission policy: a bounded retry budget with exponential
+/// backoff.
+///
+/// ERASMUS evidence is produced on a schedule whether or not the network
+/// cooperates (Section 3), so a lost collection report is pure information
+/// loss. Senders that hold evidence therefore retransmit un-acknowledged
+/// transmissions: attempt `n` waits `base_backoff << n` (plus caller-drawn
+/// jitter) before retrying, and gives up for good once `budget` retries are
+/// exhausted. The policy itself is deterministic — all jitter comes from the
+/// caller's seeded network model, which keeps fleet simulations
+/// thread-count-invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *re*transmissions after the initial attempt. Zero
+    /// disables ARQ entirely.
+    pub budget: u32,
+    /// Backoff before the first retransmission; doubles on every further
+    /// attempt.
+    pub base_backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Default backoff before the first retransmission (100 ms — an order of
+    /// magnitude above typical link latency, two below the measurement
+    /// interval).
+    pub const DEFAULT_BACKOFF: SimDuration = SimDuration::from_millis(100);
+
+    /// ARQ disabled: transmissions are attempted exactly once.
+    pub const DISABLED: RetryPolicy = RetryPolicy {
+        budget: 0,
+        base_backoff: Self::DEFAULT_BACKOFF,
+    };
+
+    /// A policy allowing `budget` retransmissions with the default backoff.
+    pub fn with_budget(budget: u32) -> Self {
+        Self {
+            budget,
+            base_backoff: Self::DEFAULT_BACKOFF,
+        }
+    }
+
+    /// Whether any retransmission is allowed at all.
+    pub fn enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// Whether a transmission that already failed `attempt + 1` times may be
+    /// retried (attempts are numbered from zero).
+    pub fn allows_retry(&self, attempt: u32) -> bool {
+        attempt < self.budget
+    }
+
+    /// Backoff before retransmission number `attempt + 1`: exponential in
+    /// the attempt index, with the shift saturated so absurd budgets cannot
+    /// overflow.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(16);
+        SimDuration::from_nanos(self.base_backoff.as_nanos().saturating_mul(1 << shift))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::DISABLED
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +269,23 @@ mod tests {
             prover_time: SimDuration::from_millis(285),
         };
         assert_eq!(od.payload_bytes(), m1.wire_size() + m2.wire_size());
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_and_bounded() {
+        let policy = RetryPolicy::with_budget(3);
+        assert!(policy.enabled());
+        assert!(policy.allows_retry(0));
+        assert!(policy.allows_retry(2));
+        assert!(!policy.allows_retry(3));
+        assert_eq!(policy.backoff(0), RetryPolicy::DEFAULT_BACKOFF);
+        assert_eq!(policy.backoff(1), RetryPolicy::DEFAULT_BACKOFF * 2);
+        assert_eq!(policy.backoff(3), RetryPolicy::DEFAULT_BACKOFF * 8);
+        // The shift saturates instead of overflowing on absurd attempts.
+        assert_eq!(policy.backoff(200), policy.backoff(16));
+        assert!(!RetryPolicy::DISABLED.enabled());
+        assert!(!RetryPolicy::DISABLED.allows_retry(0));
+        assert_eq!(RetryPolicy::default(), RetryPolicy::DISABLED);
     }
 
     #[test]

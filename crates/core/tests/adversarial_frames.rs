@@ -7,9 +7,10 @@
 //! fails here first, with a readable assertion.
 
 use erasmus_core::{
-    decode_collection_batch, encode_collection_batch, AttestationVerdict, CollectionReport,
-    CollectionRequest, CollectionResponse, DecodeErrorKind, DeviceId, FrameView, Prover,
-    ProverConfig, Verifier, VerifierHub, DIGEST_LEN, MAX_BATCH_RESPONSES,
+    decode_collection_batch, decode_hub_snapshot, encode_collection_batch, encode_hub_snapshot,
+    AttestationVerdict, CollectionReport, CollectionRequest, CollectionResponse, DecodeErrorKind,
+    DeviceId, FrameView, Prover, ProverConfig, Verifier, VerifierHub, DEDUP_WINDOW, DIGEST_LEN,
+    MAX_BATCH_RESPONSES,
 };
 use erasmus_crypto::MacAlgorithm;
 use erasmus_hw::{DeviceKey, DeviceProfile};
@@ -244,6 +245,134 @@ fn flipped_device_id_fails_verification_under_the_real_owner_key() {
         .verify_frame_response(&view, at)
         .expect("verification still yields a report");
     assert_eq!(report.verdict(), AttestationVerdict::TamperingDetected);
+}
+
+#[test]
+fn replayed_sequenced_frames_are_dropped_exactly_once() {
+    // An attacker (or a faulty link) replaying a captured frame must not
+    // double-count a single measurement: the dedup window accepts each
+    // (flow, sequence) once and swallows every later copy without even
+    // running verification.
+    let at = SimTime::ZERO + INTERVAL * PER_ROUND as u64;
+    let (frame, mut verifier) = genuine_frame(0);
+    let mut hub = VerifierHub::new();
+    const FLOW: u64 = 7;
+
+    let outcome = hub
+        .ingest_sequenced_frame(FLOW, 0, &frame, |view| {
+            Some(verifier.verify_frame_response(&view, at).expect("verifies"))
+        })
+        .expect("genuine frame decodes")
+        .expect("first copy is fresh");
+    assert_eq!(outcome.accepted, 1);
+    let after_first = hub.clone();
+
+    // Replays: same sequence, arbitrary number of times.
+    for _ in 0..3 {
+        let replay = hub
+            .ingest_sequenced_frame(FLOW, 0, &frame, |_| {
+                panic!("verify callback ran on a replayed frame")
+            })
+            .expect("replay still decodes");
+        assert!(replay.is_none(), "replay was accepted");
+    }
+    assert_eq!(hub.duplicates(), 3);
+    assert_eq!(hub.ingested(), after_first.ingested());
+    assert_eq!(hub.total_entries(), after_first.total_entries());
+
+    // A far-future sequence advances the window floor; sequences that fell
+    // below the floor are stale even if never seen before — the hub
+    // prefers losing an ancient frame to ever double-counting one.
+    let fresh = hub
+        .ingest_sequenced_frame(FLOW, DEDUP_WINDOW + 10, &frame, |view| {
+            Some(verifier.verify_frame_response(&view, at).expect("verifies"))
+        })
+        .expect("decodes");
+    assert!(fresh.is_some(), "far-future sequence is fresh");
+    let stale = hub
+        .ingest_sequenced_frame(FLOW, 1, &frame, |_| {
+            panic!("verify callback ran on a below-floor frame")
+        })
+        .expect("decodes");
+    assert!(stale.is_none(), "below-floor sequence accepted");
+
+    // The same sequence on a different flow is a different delivery.
+    let other_flow = hub
+        .ingest_sequenced_frame(FLOW + 1, 0, &frame, |view| {
+            Some(verifier.verify_frame_response(&view, at).expect("verifies"))
+        })
+        .expect("decodes");
+    assert!(other_flow.is_some(), "flows must not share dedup state");
+}
+
+#[test]
+fn snapshot_restore_preserves_replay_protection() {
+    // Crash recovery must restore the dedup window along with the device
+    // histories: a hub that forgets what it has seen across a restart can
+    // be replayed into double-counting by re-sending captured frames.
+    let at = SimTime::ZERO + INTERVAL * PER_ROUND as u64;
+    let (frame, mut verifier) = genuine_frame(0);
+    let mut hub = VerifierHub::new();
+    hub.ingest_sequenced_frame(11, 42, &frame, |view| {
+        Some(verifier.verify_frame_response(&view, at).expect("verifies"))
+    })
+    .expect("decodes")
+    .expect("fresh");
+
+    let snapshot = encode_hub_snapshot(&hub);
+    let mut restored = decode_hub_snapshot(&snapshot).expect("snapshot decodes");
+    assert_eq!(restored, hub, "restore is bit-identical");
+
+    let replay = restored
+        .ingest_sequenced_frame(11, 42, &frame, |_| {
+            panic!("verify callback ran on a replay against the restored hub")
+        })
+        .expect("decodes");
+    assert!(replay.is_none(), "restored hub forgot the dedup window");
+    assert_eq!(restored.duplicates(), hub.duplicates() + 1);
+
+    // Re-encoding the restored hub reproduces the snapshot byte for byte —
+    // the codec is canonical, so recovery cannot drift across restarts.
+    // (The replay above only bumped the duplicates counter; undo it for
+    // the byte comparison by snapshotting before and after.)
+    let again = decode_hub_snapshot(&snapshot).expect("snapshot decodes twice");
+    assert_eq!(encode_hub_snapshot(&again), snapshot);
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected_not_misparsed() {
+    let at = SimTime::ZERO + INTERVAL * PER_ROUND as u64;
+    let (frame, mut verifier) = genuine_frame(0);
+    let mut hub = VerifierHub::new();
+    hub.ingest_sequenced_frame(3, 9, &frame, |view| {
+        Some(verifier.verify_frame_response(&view, at).expect("verifies"))
+    })
+    .expect("decodes")
+    .expect("fresh");
+    let snapshot = encode_hub_snapshot(&hub);
+
+    // Truncations at every prefix length must fail cleanly, never panic
+    // and never yield a hub.
+    for cut in 0..snapshot.len() {
+        assert!(
+            decode_hub_snapshot(&snapshot[..cut]).is_err(),
+            "truncated snapshot (len {cut}) decoded"
+        );
+    }
+    // A wrong magic or version is not silently tolerated.
+    let mut bad_magic = snapshot.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(
+        decode_hub_snapshot(&bad_magic).is_err(),
+        "bad magic decoded"
+    );
+    // Trailing garbage is rejected, not ignored.
+    let mut padded = snapshot.clone();
+    padded.push(0);
+    assert!(
+        decode_hub_snapshot(&padded).is_err(),
+        "trailing byte decoded"
+    );
 }
 
 #[test]

@@ -1,8 +1,10 @@
-//! `frame_fuzz` — seeded fuzzer for the ERASMUS wire-frame decoder.
+//! `frame_fuzz` — seeded fuzzer for the ERASMUS wire-frame decoder and the
+//! hub crash-recovery snapshot codec.
 //!
 //! Replays the committed regression corpus (`crates/fuzz/corpus/*.bin`,
-//! sorted by file name) through the full decoder-contract check, then runs
-//! a bounded, seeded generate → mutate → check loop (see
+//! sorted by file name; `snap-*.bin` files exercise the snapshot contract,
+//! everything else the frame contract), then runs bounded, seeded
+//! generate → mutate → check loops over both formats (see
 //! [`erasmus_fuzz::FuzzSession`]). Deterministic: the same `--seed` and
 //! `--iterations` reproduce the same inputs in the same order.
 //!
@@ -23,7 +25,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use erasmus_core::DecodeErrorKind;
-use erasmus_fuzz::{check_contract, ContractViolation, FuzzReport, FuzzSession};
+use erasmus_fuzz::{
+    check_contract, check_snapshot_contract, ContractViolation, FuzzReport, FuzzSession,
+};
 
 struct Options {
     iterations: u64,
@@ -35,11 +39,13 @@ struct Options {
 fn usage() -> &'static str {
     "usage: frame_fuzz [--iterations N] [--seed N] [--corpus DIR] [--require-kind-coverage]\n\
      \n\
-     Replays the regression corpus, then fuzzes the wire-frame decoder for\n\
-     N seeded iterations: every input must decode without panicking, agree\n\
-     with an independent model decoder (accept/reject, error kind and\n\
-     offset), re-encode canonically when accepted, and never yield a\n\
-     verifying measurement the generator did not produce.\n\
+     Replays the regression corpus (snap-*.bin files against the hub\n\
+     snapshot codec, the rest against the frame decoder), then fuzzes both\n\
+     formats for N seeded iterations each: every input must decode without\n\
+     panicking, agree with an independent model decoder where one exists\n\
+     (accept/reject, error kind and offset), re-encode canonically when\n\
+     accepted, and never yield a verifying measurement the generator did\n\
+     not produce.\n\
      --require-kind-coverage additionally fails the run unless every\n\
      DecodeErrorKind was observed at least once (corpus included)."
 }
@@ -100,7 +106,19 @@ fn replay_corpus(dir: &PathBuf, report: &mut FuzzReport) -> Result<usize, String
     for path in &paths {
         let bytes =
             std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        match check_contract(&bytes) {
+        // Snapshot corpus entries carry a `snap-` name prefix; everything
+        // else is a frame. The two formats cannot be told apart by content
+        // alone on purpose (the snapshot magic is an invalid batch count).
+        let is_snapshot = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .is_some_and(|name| name.starts_with("snap-"));
+        let checked = if is_snapshot {
+            check_snapshot_contract(&bytes)
+        } else {
+            check_contract(&bytes)
+        };
+        match checked {
             Ok(verdict) => report.record(&verdict),
             Err(violation) => {
                 return Err(format!(
@@ -155,17 +173,24 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "frame_fuzz: fuzzing {} iterations (seed {}) ...",
-        options.iterations, options.seed
+        "frame_fuzz: fuzzing {} frame + {} snapshot iterations (seed {}) ...",
+        options.iterations, options.iterations, options.seed
     );
     let mut session = FuzzSession::new(options.seed);
-    let loop_report: Result<FuzzReport, ContractViolation> = session.run(options.iterations);
-    match loop_report {
-        Ok(fuzzed) => {
-            report.iterations += fuzzed.iterations;
-            report.accepted += fuzzed.accepted;
-            for (total, count) in report.rejected.iter_mut().zip(&fuzzed.rejected) {
-                *total += count;
+    let frame_loop: Result<FuzzReport, ContractViolation> = session.run(options.iterations);
+    let snapshot_loop = frame_loop.and_then(|frames| {
+        session
+            .run_snapshots(options.iterations)
+            .map(|snapshots| (frames, snapshots))
+    });
+    match snapshot_loop {
+        Ok((frames, snapshots)) => {
+            for fuzzed in [frames, snapshots] {
+                report.iterations += fuzzed.iterations;
+                report.accepted += fuzzed.accepted;
+                for (total, count) in report.rejected.iter_mut().zip(&fuzzed.rejected) {
+                    *total += count;
+                }
             }
         }
         Err(violation) => {

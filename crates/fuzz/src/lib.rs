@@ -30,9 +30,17 @@
 //!    generator actually produced — mutations may truncate evidence, but
 //!    they must never mint new valid evidence.
 //!
-//! The `frame_fuzz` binary drives [`FuzzSession::run`] for a bounded,
-//! seeded iteration budget and replays the committed regression corpus
-//! (`crates/fuzz/corpus/*.bin`) on every run; CI pins both.
+//! The hub crash-recovery snapshot ([`erasmus_core::decode_hub_snapshot`])
+//! is held to the same standard by [`check_snapshot_contract`] and the
+//! [`FuzzSession::run_snapshots`] loop: a snapshot file is
+//! attacker-reachable bytes too, and a hub restored from one must be
+//! byte-canonical so recovery cannot drift.
+//!
+//! The `frame_fuzz` binary drives [`FuzzSession::run`] and
+//! [`FuzzSession::run_snapshots`] for a bounded, seeded iteration budget
+//! and replays the committed regression corpus (`crates/fuzz/corpus/*.bin`;
+//! `snap-*.bin` files route to the snapshot contract) on every run; CI
+//! pins both.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,8 +49,9 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use erasmus_core::{
-    decode_collection_batch, encode_collection_batch, encode_measurement, CollectionResponse,
-    DecodeErrorKind, DeviceId, FrameView, Measurement, DIGEST_LEN, MAX_BATCH_RESPONSES,
+    decode_collection_batch, decode_hub_snapshot, encode_collection_batch, encode_hub_snapshot,
+    encode_measurement, CollectionResponse, DecodeErrorKind, DeviceId, FrameView, Measurement,
+    DIGEST_LEN, MAX_BATCH_RESPONSES, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 use erasmus_crypto::{Digest, KeyedMac, MacAlgorithm, Sha256, MAX_TAG_LEN};
 use erasmus_sim::{SimDuration, SimRng, SimTime};
@@ -312,6 +321,69 @@ pub fn check_contract(bytes: &[u8]) -> Result<Verdict, ContractViolation> {
         }
     }
     Ok(verdict)
+}
+
+/// Runs the hub-snapshot codec contract against one input.
+///
+/// The snapshot ([`erasmus_core::decode_hub_snapshot`]) is the second spot
+/// where the verifier side parses attacker-reachable bytes: a crash-recovery
+/// file an adversary with filesystem access may have damaged or forged. The
+/// contract mirrors the frame decoder's:
+///
+/// 1. **No panic, no over-read.** Accept or structured
+///    [`erasmus_core::DecodeError`] with an in-bounds offset — nothing else.
+/// 2. **Canonical.** An accepted snapshot re-encodes byte-identically, so
+///    recovery state cannot drift across restart cycles.
+/// 3. **Deterministic.** Decoding twice restores equal hubs.
+///
+/// Accepted inputs report the restored hub's device count and total entry
+/// count through [`Verdict::Accepted`], reusing the frame verdict shape so
+/// snapshot replays share the [`FuzzReport`] histogram.
+///
+/// # Errors
+///
+/// Returns the [`ContractViolation`] describing the first broken rule.
+pub fn check_snapshot_contract(bytes: &[u8]) -> Result<Verdict, ContractViolation> {
+    match decode_hub_snapshot(bytes) {
+        Ok(hub) => {
+            let reencoded = encode_hub_snapshot(&hub);
+            if reencoded != bytes {
+                return Err(ContractViolation::new(
+                    "accepted snapshot is not canonical: re-encode differs from input",
+                    bytes,
+                ));
+            }
+            let again = decode_hub_snapshot(bytes).map_err(|error| {
+                ContractViolation::new(
+                    format!("snapshot decode is nondeterministic: second pass rejected ({error})"),
+                    bytes,
+                )
+            })?;
+            if again != hub {
+                return Err(ContractViolation::new(
+                    "snapshot decode is nondeterministic: second pass restored a different hub",
+                    bytes,
+                ));
+            }
+            Ok(Verdict::Accepted {
+                responses: hub.len(),
+                measurements: hub.total_entries() as usize,
+            })
+        }
+        Err(error) => {
+            if error.offset() > bytes.len() {
+                return Err(ContractViolation::new(
+                    format!(
+                        "snapshot rejection offset {} beyond input length {}",
+                        error.offset(),
+                        bytes.len()
+                    ),
+                    bytes,
+                ));
+            }
+            Ok(Verdict::Rejected(error.kind()))
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -625,6 +697,83 @@ impl FuzzSession {
         }
         Ok(report)
     }
+
+    /// Generates one valid hub snapshot, built byte-by-byte against the
+    /// documented layout (so the generator shares no code with the encoder
+    /// under test): random counters, dedup windows with strictly ascending
+    /// flows and sequences, device histories with strictly ascending ids
+    /// and timestamps.
+    pub fn generate_snapshot(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_be_bytes());
+        out.push(SNAPSHOT_VERSION);
+        for _ in 0..3 {
+            // ingested, rejected, duplicates
+            out.extend_from_slice(&(self.rng.next_u64() >> 32).to_be_bytes());
+        }
+        let flows = self.rng.gen_range(0, 4);
+        out.extend_from_slice(&(flows as u32).to_be_bytes());
+        let mut flow = 0u64;
+        for _ in 0..flows {
+            flow += 1 + self.rng.gen_range(0, 1 << 20);
+            out.extend_from_slice(&flow.to_be_bytes());
+            let floor = self.rng.gen_range(0, 1 << 16);
+            out.extend_from_slice(&floor.to_be_bytes());
+            let seqs = self.rng.gen_range(0, 5);
+            out.extend_from_slice(&(seqs as u32).to_be_bytes());
+            let mut sequence = floor;
+            for i in 0..seqs {
+                sequence += if i == 0 { 0 } else { 1 } + self.rng.gen_range(0, 64);
+                out.extend_from_slice(&sequence.to_be_bytes());
+            }
+        }
+        let devices = self.rng.gen_range(0, 4);
+        out.extend_from_slice(&(devices as u32).to_be_bytes());
+        let mut device = 0u64;
+        for _ in 0..devices {
+            device += 1 + self.rng.gen_range(0, 64);
+            out.extend_from_slice(&device.to_be_bytes());
+            out.extend_from_slice(&self.rng.gen_range(0, 1 << 20).to_be_bytes()); // collections
+            let entries = self.rng.gen_range(0, 4);
+            out.extend_from_slice(&(entries as u32).to_be_bytes());
+            let mut timestamp = self.rng.gen_range(0, 1 << 30);
+            for _ in 0..entries {
+                timestamp += 1 + self.rng.gen_range(0, 1 << 20);
+                out.extend_from_slice(&timestamp.to_be_bytes());
+                out.extend_from_slice(&self.rng.gen_range(0, 1 << 30).to_be_bytes());
+                out.push(self.rng.gen_range(0, 3) as u8); // verdict tag
+            }
+        }
+        out
+    }
+
+    /// One generate → mutate → check iteration against the snapshot codec,
+    /// round-robining the same mutation families as the frame loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ContractViolation`] describing the first broken rule.
+    pub fn snapshot_step(&mut self) -> Result<Verdict, ContractViolation> {
+        let mutation = Mutation::ALL[(self.round as usize) % Mutation::ALL.len()];
+        self.round += 1;
+        let mut snapshot = self.generate_snapshot();
+        self.mutate(&mut snapshot, mutation);
+        check_snapshot_contract(&snapshot)
+    }
+
+    /// Runs `iterations` snapshot fuzz steps, accumulating the histogram.
+    ///
+    /// # Errors
+    ///
+    /// Stops at — and returns — the first [`ContractViolation`].
+    pub fn run_snapshots(&mut self, iterations: u64) -> Result<FuzzReport, ContractViolation> {
+        let mut report = FuzzReport::default();
+        for _ in 0..iterations {
+            let verdict = self.snapshot_step()?;
+            report.record(&verdict);
+        }
+        Ok(report)
+    }
 }
 
 /// The canonical MAC input `t || H(mem_t)`, mirrored from
@@ -745,6 +894,64 @@ mod tests {
             .check(&doubled)
             .expect("duplicates are not forgeries");
         assert!(matches!(verdict, Verdict::Accepted { .. }));
+    }
+
+    #[test]
+    fn generated_snapshots_are_valid_and_canonical() {
+        let mut session = FuzzSession::new(11);
+        for _ in 0..50 {
+            let snapshot = session.generate_snapshot();
+            let verdict = session_check(&snapshot);
+            assert!(matches!(verdict, Verdict::Accepted { .. }), "{verdict:?}");
+        }
+    }
+
+    fn session_check(snapshot: &[u8]) -> Verdict {
+        check_snapshot_contract(snapshot).expect("pristine snapshot violates contract")
+    }
+
+    #[test]
+    fn snapshot_fuzz_run_holds_the_contract_and_rejects_plenty() {
+        let mut session = FuzzSession::new(42);
+        let report = session.run_snapshots(600).expect("contract holds");
+        assert_eq!(report.iterations, 600);
+        assert!(report.accepted > 0, "no mutation left a snapshot valid");
+        assert!(
+            report.rejected_total() > report.iterations / 4,
+            "mutations barely perturbed the snapshot format: {report:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_contract_rejects_the_obvious_forgeries() {
+        let mut session = FuzzSession::new(3);
+        let snapshot = session.generate_snapshot();
+        // Wrong magic, wrong version, truncation, trailing garbage: all
+        // must come back Rejected, never a hub and never a panic.
+        let mut bad_magic = snapshot.clone();
+        bad_magic[0] ^= 0x01;
+        assert!(matches!(
+            check_snapshot_contract(&bad_magic).expect("contract holds"),
+            Verdict::Rejected(_)
+        ));
+        let mut bad_version = snapshot.clone();
+        bad_version[2] = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            check_snapshot_contract(&bad_version).expect("contract holds"),
+            Verdict::Rejected(_)
+        ));
+        for cut in 0..snapshot.len() {
+            assert!(matches!(
+                check_snapshot_contract(&snapshot[..cut]).expect("contract holds"),
+                Verdict::Rejected(_)
+            ));
+        }
+        let mut padded = snapshot.clone();
+        padded.push(0);
+        assert!(matches!(
+            check_snapshot_contract(&padded).expect("contract holds"),
+            Verdict::Rejected(_)
+        ));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod trace;
 pub use clock::SimClock;
 pub use engine::Engine;
 pub use event::{EventQueue, ScheduledEvent};
-pub use network::{Delivery, NetworkConfig, NetworkModel};
+pub use network::{Corruption, Delivery, FaultDraw, NetworkConfig, NetworkModel};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};

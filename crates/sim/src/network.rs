@@ -14,6 +14,14 @@
 //! devices over worker threads therefore observes the exact same delivery
 //! pattern at any thread count, which is what keeps lossy benchmark runs
 //! reproducible and thread-count-invariant.
+//!
+//! Beyond loss and latency the model can inject three further fault
+//! families — **duplication**, **reordering** (as an extra delivery delay)
+//! and **byte corruption** — via [`NetworkModel::sample_faults`]. Fault
+//! draws live on their own seed stream, so enabling them never perturbs the
+//! loss/jitter pattern an existing `(seed, flow, sequence)` run observed:
+//! reliability experiments stay comparable against their fault-free
+//! baselines bit for bit.
 
 use crate::rng::SimRng;
 use crate::time::SimDuration;
@@ -28,20 +36,42 @@ pub struct NetworkConfig {
     pub jitter: SimDuration,
     /// Probability in `[0, 1]` that a transmission is dropped.
     pub loss: f64,
+    /// Probability in `[0, 1]` that a transmission is duplicated: the
+    /// original arrives normally and an echo copy arrives after an extra
+    /// delay drawn from the fault stream.
+    pub duplicate: f64,
+    /// Probability in `[0, 1]` that a transmission is reordered: it still
+    /// arrives, but only after an extra delay drawn from the fault stream,
+    /// letting later sequence numbers overtake it.
+    pub reorder: f64,
+    /// Probability in `[0, 1]` that a transmission arrives with one payload
+    /// byte flipped in flight.
+    pub corrupt: f64,
 }
 
 impl NetworkConfig {
-    /// A perfect link: zero latency, zero jitter, zero loss.
+    /// A perfect link: zero latency, zero jitter, zero loss, zero faults.
     pub const IDEAL: NetworkConfig = NetworkConfig {
         base_latency: SimDuration::ZERO,
         jitter: SimDuration::ZERO,
         loss: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        corrupt: 0.0,
     };
 
     /// Whether the link is perfect — delivery is certain and instantaneous,
     /// so sampling it never consumes randomness.
     pub fn is_ideal(&self) -> bool {
-        self.base_latency.is_zero() && self.jitter.is_zero() && self.loss == 0.0
+        self.base_latency.is_zero()
+            && self.jitter.is_zero()
+            && self.loss == 0.0
+            && !self.has_faults()
+    }
+
+    /// Whether any of the injected-fault probabilities is non-zero.
+    pub fn has_faults(&self) -> bool {
+        self.duplicate > 0.0 || self.reorder > 0.0 || self.corrupt > 0.0
     }
 }
 
@@ -75,6 +105,52 @@ impl Delivery {
     }
 }
 
+/// An in-flight single-byte corruption drawn from the fault stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corruption {
+    /// When true the corruption hits framing metadata (lengths, counts) and
+    /// the receiver's decoder is expected to reject the whole frame; when
+    /// false it hits authenticated payload bytes and should surface as a
+    /// MAC/tampering failure instead.
+    pub structural: bool,
+    /// Non-zero XOR mask applied to the victim byte.
+    pub mask: u8,
+    /// Entropy for the caller to pick the victim byte deterministically
+    /// (e.g. `entropy % payload_len`).
+    pub entropy: u64,
+}
+
+/// The injected-fault draw for one transmission.
+///
+/// Sampled by [`NetworkModel::sample_faults`] on a seed stream independent
+/// of the loss/latency draw, so a clean draw here never changes the fate an
+/// existing run observed for the same `(flow, sequence)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDraw {
+    /// `Some(extra)` when the transmission is duplicated: the echo copy
+    /// arrives `extra` after the original.
+    pub duplicate: Option<SimDuration>,
+    /// `Some(extra)` when the transmission is reordered: it arrives `extra`
+    /// later than its loss/latency draw said, letting successors overtake.
+    pub reorder: Option<SimDuration>,
+    /// `Some(corruption)` when one payload byte flips in flight.
+    pub corrupt: Option<Corruption>,
+}
+
+impl FaultDraw {
+    /// A draw with no fault injected.
+    pub const CLEAN: FaultDraw = FaultDraw {
+        duplicate: None,
+        reorder: None,
+        corrupt: None,
+    };
+
+    /// Whether the transmission sails through unfaulted.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::CLEAN
+    }
+}
+
 /// Deterministic per-flow network model.
 ///
 /// # Example
@@ -85,7 +161,7 @@ impl Delivery {
 /// let config = NetworkConfig {
 ///     base_latency: SimDuration::from_millis(20),
 ///     jitter: SimDuration::from_millis(10),
-///     loss: 0.0,
+///     ..NetworkConfig::IDEAL
 /// };
 /// let model = NetworkModel::new(config, 42);
 /// match model.sample(7, 0) {
@@ -117,6 +193,16 @@ impl NetworkModel {
             "loss probability out of range: {}",
             config.loss
         );
+        for (name, p) in [
+            ("duplicate", config.duplicate),
+            ("reorder", config.reorder),
+            ("corrupt", config.corrupt),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability out of range: {p}"
+            );
+        }
         Self { config, seed }
     }
 
@@ -162,7 +248,58 @@ impl NetworkModel {
         };
         Delivery::Delivered(self.config.base_latency + jitter)
     }
+
+    /// Whether any injected-fault probability is non-zero.
+    pub fn has_faults(&self) -> bool {
+        self.config.has_faults()
+    }
+
+    /// Samples the injected faults for transmission `sequence` on `flow`.
+    ///
+    /// Like [`NetworkModel::sample`] this is a pure function of
+    /// `(seed, flow, sequence)`, but it runs on a separate seed stream:
+    /// turning fault injection on (or off) leaves the loss/latency pattern
+    /// of every transmission untouched. With all fault probabilities at
+    /// zero it consumes no randomness and returns [`FaultDraw::CLEAN`].
+    ///
+    /// Draw order is fixed — duplicate, reorder, corrupt — and each draw
+    /// only happens when its probability is non-zero, so enabling one fault
+    /// family does not shift the draws of another.
+    pub fn sample_faults(&self, flow: u64, sequence: u64) -> FaultDraw {
+        if !self.config.has_faults() {
+            return FaultDraw::CLEAN;
+        }
+        let mut rng = SimRng::seed_from(mix3(self.seed ^ FAULT_STREAM, flow, sequence));
+        let mut draw = FaultDraw::CLEAN;
+        if self.config.duplicate > 0.0 && rng.gen_bool(self.config.duplicate) {
+            draw.duplicate = Some(self.extra_delay(&mut rng));
+        }
+        if self.config.reorder > 0.0 && rng.gen_bool(self.config.reorder) {
+            draw.reorder = Some(self.extra_delay(&mut rng));
+        }
+        if self.config.corrupt > 0.0 && rng.gen_bool(self.config.corrupt) {
+            draw.corrupt = Some(Corruption {
+                structural: rng.next_u64() & 1 == 0,
+                mask: (rng.gen_range(1, 256)) as u8,
+                entropy: rng.next_u64(),
+            });
+        }
+        draw
+    }
+
+    /// Extra delay for duplicated/reordered copies: a uniform draw over
+    /// `[span/4, span)` where `span` is four round-trip-ish link delays,
+    /// floored at one millisecond so even an otherwise-ideal link reorders
+    /// by a visible amount.
+    fn extra_delay(&self, rng: &mut SimRng) -> SimDuration {
+        let link = self.config.base_latency + self.config.jitter;
+        let span = (link * 4).max(SimDuration::from_millis(1));
+        rng.gen_duration(span / 4, span)
+    }
 }
+
+/// Salt separating the injected-fault stream from the loss/latency stream.
+const FAULT_STREAM: u64 = 0x6661_756c_7421_7331;
 
 /// SplitMix64-style finalizer: a cheap bijective scrambler with good
 /// avalanche, so adjacent (flow, sequence) pairs land on unrelated seeds.
@@ -191,6 +328,21 @@ mod tests {
                 base_latency: SimDuration::from_millis(5),
                 jitter: SimDuration::from_millis(5),
                 loss,
+                ..NetworkConfig::IDEAL
+            },
+            1234,
+        )
+    }
+
+    fn faulty() -> NetworkModel {
+        NetworkModel::new(
+            NetworkConfig {
+                base_latency: SimDuration::from_millis(5),
+                jitter: SimDuration::from_millis(5),
+                loss: 0.1,
+                duplicate: 0.2,
+                reorder: 0.2,
+                corrupt: 0.2,
             },
             1234,
         )
@@ -266,6 +418,113 @@ mod tests {
         assert_eq!(delivered.latency(), Some(SimDuration::from_millis(3)));
         assert!(!Delivery::Dropped.is_delivered());
         assert_eq!(Delivery::Dropped.latency(), None);
+    }
+
+    #[test]
+    fn fault_draws_are_pure_and_do_not_perturb_delivery() {
+        let clean = lossy(0.1);
+        let faulted = NetworkModel::new(
+            NetworkConfig {
+                duplicate: 0.2,
+                reorder: 0.2,
+                corrupt: 0.2,
+                ..*clean.config()
+            },
+            1234,
+        );
+        assert!(!clean.has_faults());
+        assert!(faulted.has_faults());
+        for flow in 0..64 {
+            for seq in 0..4 {
+                // Turning faults on never changes the loss/latency fate.
+                assert_eq!(clean.sample(flow, seq), faulted.sample(flow, seq));
+                // Fault draws are pure functions of (flow, sequence).
+                assert_eq!(
+                    faulted.sample_faults(flow, seq),
+                    faulted.sample_faults(flow, seq)
+                );
+                // A fault-free model consumes no randomness at all.
+                assert_eq!(clean.sample_faults(flow, seq), FaultDraw::CLEAN);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_roughly_honoured_and_well_formed() {
+        let model = faulty();
+        let mut duplicated = 0usize;
+        let mut reordered = 0usize;
+        let mut corrupted = 0usize;
+        let total = 4000u64;
+        for seq in 0..total {
+            let draw = model.sample_faults(seq % 40, seq / 40);
+            if let Some(extra) = draw.duplicate {
+                duplicated += 1;
+                assert!(extra >= SimDuration::from_millis(10));
+                assert!(extra < SimDuration::from_millis(40));
+            }
+            if let Some(extra) = draw.reorder {
+                reordered += 1;
+                assert!(!extra.is_zero());
+            }
+            if let Some(corruption) = draw.corrupt {
+                corrupted += 1;
+                assert_ne!(corruption.mask, 0, "zero mask would be a no-op flip");
+            }
+        }
+        for (name, hits) in [
+            ("duplicate", duplicated),
+            ("reorder", reordered),
+            ("corrupt", corrupted),
+        ] {
+            let rate = hits as f64 / total as f64;
+            assert!((rate - 0.2).abs() < 0.05, "observed {name} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn single_fault_family_draws_are_independent() {
+        // Enabling one family must not shift the draws of another: a
+        // corrupt-only model and an all-faults model agree on every
+        // corruption the corrupt-only model observes... they cannot be
+        // compared draw-for-draw (gating changes the rng stream), but the
+        // corrupt-only model must still hit roughly its configured rate.
+        let corrupt_only = NetworkModel::new(
+            NetworkConfig {
+                corrupt: 0.2,
+                ..NetworkConfig::IDEAL
+            },
+            1234,
+        );
+        assert!(!corrupt_only.is_ideal());
+        let hits = (0..2000)
+            .filter(|&seq| corrupt_only.sample_faults(7, seq).corrupt.is_some())
+            .count();
+        let rate = hits as f64 / 2000.0;
+        assert!((rate - 0.2).abs() < 0.05, "observed corrupt rate {rate}");
+        // An otherwise-ideal link still reorders by a visible amount.
+        let reorder_only = NetworkModel::new(
+            NetworkConfig {
+                reorder: 1.0,
+                ..NetworkConfig::IDEAL
+            },
+            1,
+        );
+        let draw = reorder_only.sample_faults(0, 0);
+        assert!(draw.reorder.is_some_and(|extra| !extra.is_zero()));
+        assert!(draw.duplicate.is_none() && draw.corrupt.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt probability")]
+    fn invalid_fault_probability_panics() {
+        let _ = NetworkModel::new(
+            NetworkConfig {
+                corrupt: -0.2,
+                ..NetworkConfig::IDEAL
+            },
+            0,
+        );
     }
 
     #[test]
