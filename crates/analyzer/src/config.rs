@@ -1,0 +1,422 @@
+//! `analyzer.toml` — committed configuration for the rule engine.
+//!
+//! The container has no crates.io access, so this is a hand-rolled parser
+//! for the small TOML subset the analyzer needs: comments, `[rules.<name>]`
+//! tables, `[[allow]]` array-of-tables, string values and (possibly
+//! multi-line) arrays of strings. Anything outside that subset is a hard
+//! error — configuration typos must fail the run, not silently widen or
+//! narrow a rule's scope.
+//!
+//! ```toml
+//! exclude = ["vendor", "crates/analyzer/tests/fixtures"]
+//!
+//! [rules.determinism]
+//! include = ["crates/sim/src", "crates/core/src"]
+//! exclude = ["crates/core/src/generated.rs"]
+//!
+//! [rules.unsafe-forbid]
+//! crate-roots = ["src/lib.rs", "crates/core/src/lib.rs"]
+//!
+//! [[allow]]
+//! rule = "determinism"
+//! path = "crates/bench/src/fleet/shard.rs"
+//! reason = "wall-clock phase timing measures real throughput"
+//! ```
+//!
+//! Paths are workspace-root-relative, `/`-separated, and match on whole
+//! component prefixes: `crates/core/src` covers `crates/core/src/hub.rs`
+//! but never `crates/core/src-other`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where one rule looks.
+#[derive(Debug, Default, Clone)]
+pub struct RuleScope {
+    /// Path prefixes the rule scans. Empty means the rule scans nothing
+    /// (except `unsafe-forbid`, which uses `crate_roots`).
+    pub include: Vec<String>,
+    /// Path prefixes carved back out of `include`.
+    pub exclude: Vec<String>,
+    /// For `unsafe-forbid`: the crate-root files that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub crate_roots: Vec<String>,
+}
+
+/// One `[[allow]]` entry: a path-scoped waiver with a mandatory reason.
+#[derive(Debug, Clone)]
+pub struct PathAllow {
+    /// The rule being waived.
+    pub rule: String,
+    /// Path prefix the waiver covers.
+    pub path: String,
+    /// Why the waiver is sound. Mandatory; an empty reason is a config
+    /// error.
+    pub reason: String,
+    /// Line in `analyzer.toml` (for unused-allow diagnostics).
+    pub line: u32,
+}
+
+/// Parsed `analyzer.toml`.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Path prefixes excluded from the walk entirely (vendored code,
+    /// fixtures that are violating on purpose).
+    pub exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule name.
+    pub rules: BTreeMap<String, RuleScope>,
+    /// Path-scoped allows.
+    pub allows: Vec<PathAllow>,
+}
+
+/// A configuration error with its `analyzer.toml` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the error was detected on.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "analyzer.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Does `path` fall under `prefix` on whole path components?
+pub fn path_matches(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Top,
+    Rule,
+    Allow,
+}
+
+impl Config {
+    /// Parses the configuration, validating rule names against `known`.
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<Self, ConfigError> {
+        let mut config = Config::default();
+        let mut section = Section::Top;
+        let mut current_rule = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((index, raw)) = lines.next() {
+            let line_no = u32::try_from(index).unwrap_or(u32::MAX).saturating_add(1);
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if header.trim() != "allow" {
+                    return Err(err(line_no, format!("unknown array table [[{header}]]")));
+                }
+                section = Section::Allow;
+                config.allows.push(PathAllow {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                    line: line_no,
+                });
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = header
+                    .trim()
+                    .strip_prefix("rules.")
+                    .ok_or_else(|| err(line_no, format!("unknown table [{header}]")))?
+                    .trim()
+                    .to_string();
+                if !known_rules.contains(&name.as_str()) {
+                    return Err(err(line_no, format!("unknown rule `{name}`")));
+                }
+                section = Section::Rule;
+                current_rule = name.clone();
+                config.rules.entry(name).or_default();
+                continue;
+            }
+            let (key, mut value) = split_key_value(line, line_no)?;
+            // Arrays may span lines: keep consuming until brackets balance.
+            while !brackets_balanced(&value) {
+                let Some((_, more)) = lines.next() else {
+                    return Err(err(line_no, format!("unterminated array for `{key}`")));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(more).trim());
+            }
+            match section {
+                Section::Top => match key.as_str() {
+                    "exclude" => config.exclude = parse_string_array(&value, line_no)?,
+                    _ => return Err(err(line_no, format!("unknown top-level key `{key}`"))),
+                },
+                Section::Rule => {
+                    let scope = config
+                        .rules
+                        .get_mut(&current_rule)
+                        .ok_or_else(|| err(line_no, "rule table vanished"))?;
+                    match key.as_str() {
+                        "include" => scope.include = parse_string_array(&value, line_no)?,
+                        "exclude" => scope.exclude = parse_string_array(&value, line_no)?,
+                        "crate-roots" => scope.crate_roots = parse_string_array(&value, line_no)?,
+                        _ => {
+                            return Err(err(
+                                line_no,
+                                format!("unknown key `{key}` in [rules.{current_rule}]"),
+                            ))
+                        }
+                    }
+                }
+                Section::Allow => {
+                    let entry = config
+                        .allows
+                        .last_mut()
+                        .ok_or_else(|| err(line_no, "allow entry vanished"))?;
+                    let text = parse_string(&value, line_no)?;
+                    match key.as_str() {
+                        "rule" => entry.rule = text,
+                        "path" => entry.path = text,
+                        "reason" => entry.reason = text,
+                        _ => return Err(err(line_no, format!("unknown key `{key}` in [[allow]]"))),
+                    }
+                }
+            }
+        }
+        config.validate(known_rules)?;
+        Ok(config)
+    }
+
+    fn validate(&self, known_rules: &[&str]) -> Result<(), ConfigError> {
+        for allow in &self.allows {
+            if !known_rules.contains(&allow.rule.as_str()) {
+                return Err(err(
+                    allow.line,
+                    format!("[[allow]] names unknown rule `{}`", allow.rule),
+                ));
+            }
+            if allow.path.is_empty() {
+                return Err(err(allow.line, "[[allow]] entry is missing `path`"));
+            }
+            if allow.reason.trim().is_empty() {
+                return Err(err(
+                    allow.line,
+                    format!(
+                        "[[allow]] for `{}` on `{}` has no reason — reasons are mandatory",
+                        allow.rule, allow.path
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment, honouring `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_key_value(line: &str, line_no: u32) -> Result<(String, String), ConfigError> {
+    let (key, value) = line
+        .split_once('=')
+        .ok_or_else(|| err(line_no, format!("expected `key = value`, got `{line}`")))?;
+    Ok((key.trim().to_string(), value.trim().to_string()))
+}
+
+fn brackets_balanced(value: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in value.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !in_string
+}
+
+fn parse_string(value: &str, line_no: u32) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| err(line_no, format!("expected a quoted string, got `{value}`")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => return Err(err(line_no, format!("unsupported escape `\\{other}`"))),
+                None => return Err(err(line_no, "dangling escape at end of string")),
+            }
+        } else if c == '"' {
+            return Err(err(line_no, "unescaped quote inside string"));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_string_array(value: &str, line_no: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            err(
+                line_no,
+                format!("expected an array of strings, got `{value}`"),
+            )
+        })?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('"') {
+            return Err(err(
+                line_no,
+                format!("expected a quoted string in array, got `{rest}`"),
+            ));
+        }
+        // Find the closing quote, honouring escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices().skip(1) {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| err(line_no, "unterminated string in array"))?;
+        out.push(parse_string(&rest[..=end], line_no)?);
+        rest = rest[end + 1..].trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(line_no, "expected `,` between array elements"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["determinism", "unsafe-forbid"];
+
+    #[test]
+    fn parses_scopes_and_allows() {
+        let text = r#"
+# top comment
+exclude = ["vendor", "target"]
+
+[rules.determinism]
+include = [
+    "crates/sim/src",
+    "crates/core/src", # trailing comment
+]
+exclude = ["crates/core/src/skip.rs"]
+
+[rules.unsafe-forbid]
+crate-roots = ["src/lib.rs"]
+
+[[allow]]
+rule = "determinism"
+path = "crates/bench/src/fleet/shard.rs"
+reason = "wall-clock timing of the measure phase"
+"#;
+        let config = Config::parse(text, RULES).expect("parses");
+        assert_eq!(config.exclude, vec!["vendor", "target"]);
+        let det = &config.rules["determinism"];
+        assert_eq!(det.include.len(), 2);
+        assert_eq!(det.exclude, vec!["crates/core/src/skip.rs"]);
+        assert_eq!(
+            config.rules["unsafe-forbid"].crate_roots,
+            vec!["src/lib.rs"]
+        );
+        assert_eq!(config.allows.len(), 1);
+        assert!(config.allows[0].reason.contains("wall-clock"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_missing_reasons() {
+        assert!(Config::parse("[rules.nope]\ninclude = []\n", RULES).is_err());
+        let missing_reason = "[[allow]]\nrule = \"determinism\"\npath = \"x\"\n";
+        let error = Config::parse(missing_reason, RULES).unwrap_err();
+        assert!(error.message.contains("no reason"), "{error}");
+        let unknown = "[[allow]]\nrule = \"nope\"\npath = \"x\"\nreason = \"r\"\n";
+        assert!(Config::parse(unknown, RULES).is_err());
+    }
+
+    #[test]
+    fn rejects_typos_loudly() {
+        assert!(Config::parse("includ = []\n", RULES).is_err());
+        assert!(Config::parse("[rules.determinism]\nincluded = []\n", RULES).is_err());
+        assert!(Config::parse("[table]\n", RULES).is_err());
+        assert!(Config::parse("[rules.determinism]\ninclude = [\"a\"", RULES).is_err());
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let text = "[rules.determinism]\ninclude = [\"path#with/hash\"]\n";
+        let config = Config::parse(text, RULES).expect("parses");
+        assert_eq!(config.rules["determinism"].include, vec!["path#with/hash"]);
+    }
+
+    #[test]
+    fn path_prefixes_match_whole_components() {
+        assert!(path_matches("crates/core/src/hub.rs", "crates/core/src"));
+        assert!(path_matches("crates/core/src", "crates/core/src"));
+        assert!(!path_matches(
+            "crates/core/src-other/x.rs",
+            "crates/core/src"
+        ));
+    }
+}

@@ -1,0 +1,503 @@
+//! A minimal, total Rust lexer.
+//!
+//! The analyzer has no access to crates.io (so no `syn`); this module
+//! tokenizes Rust source by hand. It is deliberately *total*: every byte
+//! sequence lexes to a token stream without panicking — unterminated
+//! strings, unbalanced comments and stray bytes all degrade into tokens
+//! rather than errors, because the analyzer must survive adversarial and
+//! half-written source (it runs in CI on whatever the tree contains).
+//!
+//! The lexer understands exactly as much Rust as the rules need:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//!   kept separately from code tokens so waiver comments can be matched
+//!   and so `"panic!"` inside a doc comment never trips a rule;
+//! * string-ish literals: `"…"` with escapes, raw strings `r#"…"#` with
+//!   any number of hashes, byte/C variants (`b"…"`, `br#"…"#`, `c"…"`),
+//!   char literals, and the char-vs-lifetime ambiguity (`'a'` vs `'a`);
+//! * identifiers/keywords, numbers, and single-character punctuation.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Numeric literal, suffix included (`0x1f`, `8usize`, `1.5e3`).
+    Number,
+    /// Any string, raw-string, byte-string, C-string or char literal.
+    Literal,
+    /// A single punctuation character (`[`, `!`, `#`, …).
+    Punct(char),
+}
+
+/// One code token with its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the source.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// 1-based column (in characters) of the token start.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    ///
+    /// Spans produced by [`lex`] always lie on char boundaries inside the
+    /// source they were lexed from; out-of-range spans (e.g. against a
+    /// different string) yield `""` rather than panicking.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// One comment, kept out of the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Byte offset of the comment start (at the `//` or `/*`).
+    pub start: usize,
+    /// Byte offset one past the comment end.
+    pub end: usize,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column the comment starts at.
+    pub col: u32,
+    /// Whether this is a `/* … */` block comment.
+    pub block: bool,
+}
+
+impl Comment {
+    /// The comment's text within `src`, delimiters included.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// The result of lexing one source file: code tokens and comments,
+/// each in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars
+            .get(self.pos.saturating_add(ahead))
+            .map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the current position (source length at EOF).
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(off, _)| off)
+            .unwrap_or(self.src.len())
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Total: never panics, never
+/// errors — malformed input degrades into best-effort tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut cursor = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cursor.peek() {
+        let start = cursor.offset();
+        let line = cursor.line;
+        let col = cursor.col;
+        if c.is_whitespace() {
+            cursor.bump();
+            continue;
+        }
+        if c == '/' && cursor.peek_at(1) == Some('/') {
+            cursor.eat_while(|c| c != '\n');
+            out.comments.push(Comment {
+                start,
+                end: cursor.offset(),
+                line,
+                col,
+                block: false,
+            });
+            continue;
+        }
+        if c == '/' && cursor.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cursor);
+            out.comments.push(Comment {
+                start,
+                end: cursor.offset(),
+                line,
+                col,
+                block: true,
+            });
+            continue;
+        }
+        let kind = if is_ident_start(c) {
+            lex_ident_or_prefixed_literal(&mut cursor)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cursor);
+            TokenKind::Number
+        } else if c == '"' {
+            lex_string(&mut cursor);
+            TokenKind::Literal
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cursor)
+        } else {
+            cursor.bump();
+            TokenKind::Punct(c)
+        };
+        out.tokens.push(Token {
+            kind,
+            start,
+            end: cursor.offset(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a (possibly nested) block comment; the opening `/*` is still
+/// unconsumed. Unterminated comments run to EOF.
+fn lex_block_comment(cursor: &mut Cursor<'_>) {
+    cursor.bump(); // '/'
+    cursor.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cursor.peek(), cursor.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cursor.bump();
+                cursor.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cursor.bump();
+                cursor.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cursor.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Lexes an identifier, or — when the identifier turns out to be a
+/// raw/byte/C string prefix (`r`, `b`, `br`, `rb`, `c`, `cr`) directly
+/// followed by its literal — the whole prefixed literal.
+fn lex_ident_or_prefixed_literal(cursor: &mut Cursor<'_>) -> TokenKind {
+    let ident_start = cursor.pos;
+    cursor.eat_while(is_ident_continue);
+    let ident_len = cursor.pos - ident_start;
+    let is_literal_prefix = ident_len <= 2
+        && (ident_start..cursor.pos)
+            .all(|i| matches!(cursor.chars.get(i).map(|&(_, c)| c), Some('r' | 'b' | 'c')));
+    if is_literal_prefix {
+        match cursor.peek() {
+            Some('"') => {
+                lex_string(cursor);
+                return TokenKind::Literal;
+            }
+            Some('#') if has_raw_prefix(cursor) => {
+                lex_raw_string(cursor);
+                return TokenKind::Literal;
+            }
+            Some('\'') => {
+                // b'x' byte char; consume like a char literal.
+                cursor.bump();
+                lex_char_body(cursor);
+                return TokenKind::Literal;
+            }
+            _ => {}
+        }
+    }
+    TokenKind::Ident
+}
+
+/// Whether the cursor (sitting on `#`) opens a raw string: some `#`s then
+/// a `"`. Bare `r#ident` raw identifiers return false.
+fn has_raw_prefix(cursor: &Cursor<'_>) -> bool {
+    let mut ahead = 0usize;
+    while cursor.peek_at(ahead) == Some('#') {
+        ahead += 1;
+    }
+    cursor.peek_at(ahead) == Some('"')
+}
+
+/// Consumes a raw string from the cursor sitting on its first `#` (or on
+/// the quote when called from [`lex_string`]'s zero-hash case). The number
+/// of closing hashes must match; unterminated raw strings run to EOF.
+fn lex_raw_string(cursor: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cursor.peek() == Some('#') {
+        cursor.bump();
+        hashes += 1;
+    }
+    if cursor.peek() != Some('"') {
+        return; // `r#ident` raw identifier — already consumed the hashes.
+    }
+    cursor.bump(); // opening quote
+    loop {
+        match cursor.bump() {
+            None => return, // unterminated: runs to EOF
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cursor.peek() == Some('#') {
+                    cursor.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a `"…"` string (cursor on the opening quote, possibly after a
+/// `b`/`c` prefix). Escapes are honoured; unterminated strings run to EOF.
+fn lex_string(cursor: &mut Cursor<'_>) {
+    cursor.bump(); // opening quote
+    loop {
+        match cursor.bump() {
+            None | Some('"') => return,
+            Some('\\') => {
+                cursor.bump(); // the escaped char, whatever it is
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a number. Good enough for the rules (numbers are never
+/// matched): hex/oct/bin prefixes, `_` separators, type suffixes and
+/// simple float forms all end up in one token.
+fn lex_number(cursor: &mut Cursor<'_>) {
+    cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    // A fractional part: only when a digit follows the dot, so `0..len`
+    // and `1.max(2)` keep their dots.
+    if cursor.peek() == Some('.') && cursor.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        cursor.bump();
+        cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime). Cursor sits on
+/// the opening quote.
+fn lex_char_or_lifetime(cursor: &mut Cursor<'_>) -> TokenKind {
+    // A lifetime is `'` + ident-start + ident-continue* NOT followed by a
+    // closing quote. Everything else is a char literal.
+    if cursor.peek_at(1).is_some_and(is_ident_start) {
+        let mut ahead = 2usize;
+        while cursor.peek_at(ahead).is_some_and(is_ident_continue) {
+            ahead += 1;
+        }
+        if cursor.peek_at(ahead) != Some('\'') {
+            cursor.bump(); // the quote
+            cursor.eat_while(is_ident_continue);
+            return TokenKind::Lifetime;
+        }
+    }
+    cursor.bump(); // the quote
+    lex_char_body(cursor);
+    TokenKind::Literal
+}
+
+/// Consumes the body and closing quote of a char literal, cursor just past
+/// the opening quote. Unterminated literals stop at EOF or end of line
+/// (so a stray `'` cannot swallow the rest of the file).
+fn lex_char_body(cursor: &mut Cursor<'_>) {
+    loop {
+        match cursor.peek() {
+            None | Some('\n') => return,
+            Some('\\') => {
+                cursor.bump();
+                cursor.bump();
+            }
+            Some('\'') => {
+                cursor.bump();
+                return;
+            }
+            Some(_) => {
+                cursor.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_kept_out_of_the_token_stream() {
+        let src = "let x = 1; // unwrap() here is commentary\n/* panic! */ let y;";
+        assert!(!idents(src).contains(&"unwrap"));
+        assert!(!idents(src).contains(&"panic"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text(src).contains("unwrap"));
+        assert!(lexed.comments[1].block);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner */ still comment */ fn after() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(idents(src), vec!["fn", "after"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "unwrap() and \" panic!"; let t = x.unwrap();"#;
+        let names = idents(src);
+        assert_eq!(names.iter().filter(|n| **n == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_counts() {
+        let src = r###"let s = r#"quote " inside, panic! too"#; let y = unwrap;"###;
+        let names = idents(src);
+        assert_eq!(names.iter().filter(|n| **n == "panic").count(), 0);
+        assert!(names.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        for src in [
+            "let a = b\"bytes\";",
+            "let a = br#\"raw\"#;",
+            "let a = c\"c\";",
+        ] {
+            let lexed = lex(src);
+            assert!(
+                lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_char_literals_terminate() {
+        let src = r"let q = '\''; let n = '\n'; let next = token;";
+        assert!(idents(src).contains(&"next"));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let src = "let r#fn = 1; let r = 2;";
+        assert!(idents(src).contains(&"fn"));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_line_aware() {
+        let src = "a\n  b";
+        let lexed = lex(src);
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_everything_reaches_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed /* nested",
+            "'",
+            "b'",
+            "r#",
+            "let x = '\\",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

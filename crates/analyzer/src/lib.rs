@@ -1,0 +1,242 @@
+//! `erasmus-analyzer` — an in-repo lint engine that enforces the
+//! workspace's no-panic decode and determinism contracts statically.
+//!
+//! The repo's two load-bearing guarantees are dynamic everywhere else:
+//! fuzzing shows the wire decoders never panic, and the fleet tests show
+//! totals are bit-identical across thread counts. Nothing in that setup
+//! stops the next change from adding an `unwrap()` to `encoding.rs` or a
+//! `HashMap` iteration to a merge path — the tests only catch what the
+//! corpora happen to exercise. This crate checks the *code*: a
+//! dependency-free, comment/string-aware token scan over the workspace's
+//! own source, with committed scoping (`analyzer.toml`) and mandatory-
+//! reason waivers, gated in CI.
+//!
+//! The rules (see [`rules`]):
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-panic-decode`  | strict decode paths are total: no `unwrap`/`expect`/`panic!`/`unreachable!`/indexing |
+//! | `checked-casts`    | no bare `as` integer casts in decode/snapshot paths |
+//! | `determinism`      | no wall-clock, OS randomness or randomized-iteration containers in deterministic crates |
+//! | `unsafe-forbid`    | every crate root keeps `#![forbid(unsafe_code)]` |
+//! | `no-debug-residue` | no `dbg!`/`todo!`/`println!` in library code |
+//!
+//! Run it as the CI gate does:
+//!
+//! ```text
+//! cargo run -p erasmus-analyzer -- --workspace          # human diagnostics
+//! cargo run -p erasmus-analyzer -- --workspace --json   # machine-readable report
+//! ```
+//!
+//! Exit code 0 means every finding is either fixed or waived with a
+//! written reason; any unwaived finding (or stale waiver) exits 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::{path_matches, Config};
+use report::Analysis;
+use rules::{FileContext, Finding, RULE_NAMES, WAIVER_RULE};
+
+/// Collects every `.rs` file under `root` (relative `/`-separated paths,
+/// sorted), skipping `target`, dot-directories and the configured global
+/// excludes.
+pub fn walk_workspace(root: &Path, excludes: &[String]) -> io::Result<Vec<String>> {
+    let mut files = BTreeSet::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(root.join(&dir))?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else {
+                continue; // non-UTF8 names cannot be workspace sources
+            };
+            let rel = if dir.as_os_str().is_empty() {
+                PathBuf::from(name)
+            } else {
+                dir.join(name)
+            };
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if excludes.iter().any(|prefix| path_matches(&rel_str, prefix)) {
+                continue;
+            }
+            let file_type = entry.file_type()?;
+            if file_type.is_dir() {
+                if name.starts_with('.') || name == "target" {
+                    continue;
+                }
+                stack.push(rel);
+            } else if file_type.is_file() && name.ends_with(".rs") {
+                files.insert(rel_str);
+            }
+        }
+    }
+    Ok(files.into_iter().collect())
+}
+
+/// Which configured rules scan `path`?
+fn rules_in_scope<'a>(config: &'a Config, path: &str) -> Vec<&'a str> {
+    config
+        .rules
+        .iter()
+        .filter(|(name, scope)| {
+            *name != "unsafe-forbid"
+                && scope.include.iter().any(|p| path_matches(path, p))
+                && !scope.exclude.iter().any(|p| path_matches(path, p))
+        })
+        .map(|(name, _)| name.as_str())
+        .collect()
+}
+
+/// Runs the full analysis over `root` under `config`.
+///
+/// # Errors
+///
+/// Returns an error only for filesystem failures; findings — including
+/// missing crate roots and malformed waivers — are data, not errors.
+pub fn analyze(root: &Path, config: &Config) -> io::Result<Analysis> {
+    let files = walk_workspace(root, &config.exclude)?;
+    let crate_roots: Vec<&str> = config
+        .rules
+        .get("unsafe-forbid")
+        .map(|scope| scope.crate_roots.iter().map(String::as_str).collect())
+        .unwrap_or_default();
+
+    let mut findings = Vec::new();
+    let mut waiver_findings = Vec::new();
+    let mut waivers_used = 0usize;
+    let mut findings_waived = 0usize;
+    let mut findings_allowed = 0usize;
+    let mut allows_used = vec![false; config.allows.len()];
+
+    for path in &files {
+        let bytes = std::fs::read(root.join(path))?;
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = lexer::lex(&src);
+        let ctx = FileContext {
+            path,
+            src: &src,
+            lexed: &lexed,
+            test_regions: rules::test_regions(&src, &lexed),
+        };
+
+        let mut file_findings = Vec::new();
+        for rule in rules_in_scope(config, path) {
+            match rule {
+                "no-panic-decode" => rules::no_panic_decode(&ctx, &mut file_findings),
+                "checked-casts" => rules::checked_casts(&ctx, &mut file_findings),
+                "determinism" => rules::determinism(&ctx, &mut file_findings),
+                "no-debug-residue" => rules::no_debug_residue(&ctx, &mut file_findings),
+                _ => {}
+            }
+        }
+        if crate_roots.contains(&path.as_str()) {
+            rules::unsafe_forbid(&ctx, &mut file_findings);
+        }
+
+        // Inline waivers: a finding is waived when a waiver on its line
+        // names its rule. Malformed and stale waivers are findings.
+        let (mut waivers, malformed) = rules::extract_waivers(path, &src, &lexed, &RULE_NAMES);
+        waiver_findings.extend(malformed);
+        file_findings.retain(|finding| {
+            let mut waived = false;
+            for waiver in waivers.iter_mut() {
+                if waiver.target_line == finding.line
+                    && waiver.rules.iter().any(|r| r == &finding.rule)
+                {
+                    waiver.used = true;
+                    waived = true;
+                }
+            }
+            if waived {
+                findings_waived += 1;
+            }
+            !waived
+        });
+        for waiver in &waivers {
+            if waiver.used {
+                waivers_used += 1;
+            } else {
+                waiver_findings.push(Finding {
+                    rule: WAIVER_RULE.to_string(),
+                    file: path.clone(),
+                    line: waiver.comment_line,
+                    col: waiver.comment_col,
+                    message: format!(
+                        "stale waiver for `{}`: it no longer suppresses any finding — remove it",
+                        waiver.rules.join(", ")
+                    ),
+                });
+            }
+        }
+
+        // Path-scoped [[allow]] entries from analyzer.toml.
+        file_findings.retain(|finding| {
+            for (i, allow) in config.allows.iter().enumerate() {
+                if allow.rule == finding.rule && path_matches(&finding.file, &allow.path) {
+                    allows_used[i] = true;
+                    findings_allowed += 1;
+                    return false;
+                }
+            }
+            true
+        });
+        findings.extend(file_findings);
+    }
+
+    // Crate roots that are configured but missing from the tree entirely.
+    for missing in crate_roots
+        .iter()
+        .filter(|path| !files.iter().any(|f| f == *path))
+    {
+        findings.push(Finding {
+            rule: "unsafe-forbid".to_string(),
+            file: (*missing).to_string(),
+            line: 1,
+            col: 1,
+            message: "configured crate root does not exist".to_string(),
+        });
+    }
+
+    // Stale [[allow]] entries rot the audit trail exactly like stale
+    // inline waivers do.
+    for (allow, _) in config
+        .allows
+        .iter()
+        .zip(&allows_used)
+        .filter(|(_, used)| !**used)
+    {
+        findings.push(Finding {
+            rule: WAIVER_RULE.to_string(),
+            file: "analyzer.toml".to_string(),
+            line: allow.line,
+            col: 1,
+            message: format!(
+                "stale [[allow]] for `{}` on `{}`: it no longer suppresses any finding",
+                allow.rule, allow.path
+            ),
+        });
+    }
+
+    findings.extend(waiver_findings);
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+
+    Ok(Analysis {
+        findings,
+        files_scanned: files.len(),
+        waivers_used,
+        findings_waived,
+        findings_allowed,
+    })
+}

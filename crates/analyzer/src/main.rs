@@ -1,0 +1,128 @@
+//! CLI for the in-repo static analyzer. See the library docs for the rule
+//! set; this binary is what CI and `cargo run -p erasmus-analyzer` invoke.
+//!
+//! ```text
+//! cargo run -p erasmus-analyzer -- --workspace [--json] [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unwaived findings, `2` usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use erasmus_analyzer::config::Config;
+use erasmus_analyzer::report::{render_human_report, render_json};
+use erasmus_analyzer::rules::RULE_NAMES;
+
+const USAGE: &str = "usage: erasmus-analyzer --workspace [--json] [--root DIR] [--config FILE]
+
+Scans the workspace's own Rust source for violations of the no-panic
+decode and determinism contracts. Scoping and path-level allows come from
+analyzer.toml at the workspace root; inline waivers look like:
+
+    // analyzer: allow(<rule>) — <reason, mandatory>
+
+Exit codes: 0 clean, 1 unwaived findings, 2 usage or configuration error.";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config_path = Some(PathBuf::from(file)),
+                None => return usage_error("--config needs a file"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage_error("pass --workspace to scan the workspace");
+    }
+
+    let root = match root.or_else(discover_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "error: no analyzer.toml found between the current directory and filesystem \
+                 root; pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("analyzer.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("error: cannot read {}: {error}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text, &RULE_NAMES) {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match erasmus_analyzer::analyze(&root, &config) {
+        Ok(analysis) => analysis,
+        Err(error) => {
+            eprintln!("error: analysis failed: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&analysis));
+    } else {
+        println!("{}", render_human_report(&analysis));
+    }
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory (falling back to the crate's own
+/// manifest dir under `cargo run`) looking for `analyzer.toml`.
+fn discover_root() -> Option<PathBuf> {
+    let starts = [
+        std::env::current_dir().ok(),
+        std::env::var_os("CARGO_MANIFEST_DIR").map(PathBuf::from),
+    ];
+    for start in starts.into_iter().flatten() {
+        let mut dir = start.as_path();
+        loop {
+            if dir.join("analyzer.toml").is_file() {
+                return Some(dir.to_path_buf());
+            }
+            match dir.parent() {
+                Some(parent) => dir = parent,
+                None => break,
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,175 @@
+//! Rendering: human diagnostics and the machine-readable JSON report.
+//!
+//! JSON is emitted by hand (no serde in this container); the escaping is
+//! total over arbitrary strings and the output is deterministic — findings
+//! arrive pre-sorted from [`crate::analyze`].
+
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// Schema identifier stamped into every JSON report.
+pub const JSON_SCHEMA: &str = "erasmus-analyzer/v1";
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Unwaived findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Inline waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+    /// Findings suppressed by inline waivers.
+    pub findings_waived: usize,
+    /// Findings suppressed by `[[allow]]` path entries.
+    pub findings_allowed: usize,
+}
+
+impl Analysis {
+    /// Whether the tree is clean (exit code 0).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Renders one finding the way rustc renders diagnostics, so terminals and
+/// editors pick the location up:
+///
+/// ```text
+/// error[determinism]: `HashMap` in a deterministic region: iteration order is randomized per process
+///   --> crates/fuzz/src/lib.rs:505:11
+/// ```
+pub fn render_human(finding: &Finding) -> String {
+    format!(
+        "error[{}]: {}\n  --> {}:{}:{}",
+        finding.rule, finding.message, finding.file, finding.line, finding.col
+    )
+}
+
+/// Renders the whole run for terminals: every finding plus a summary line.
+pub fn render_human_report(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for finding in &analysis.findings {
+        out.push_str(&render_human(finding));
+        out.push_str("\n\n");
+    }
+    let _ = write!(
+        out,
+        "{} file{} scanned, {} finding{} ({} waived inline, {} allowed by config)",
+        analysis.files_scanned,
+        plural(analysis.files_scanned),
+        analysis.findings.len(),
+        plural(analysis.findings.len()),
+        analysis.findings_waived,
+        analysis.findings_allowed,
+    );
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders the machine-readable report.
+pub fn render_json(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(JSON_SCHEMA));
+    let _ = writeln!(out, "  \"files_scanned\": {},", analysis.files_scanned);
+    let _ = writeln!(out, "  \"waivers_used\": {},", analysis.waivers_used);
+    let _ = writeln!(out, "  \"findings_waived\": {},", analysis.findings_waived);
+    let _ = writeln!(out, "  \"findings_allowed\": {},", analysis.findings_allowed);
+    let _ = writeln!(out, "  \"clean\": {},", analysis.is_clean());
+    out.push_str("  \"findings\": [");
+    for (i, finding) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(out, "\"rule\": {}, ", json_string(&finding.rule));
+        let _ = write!(out, "\"file\": {}, ", json_string(&finding.file));
+        let _ = write!(out, "\"line\": {}, ", finding.line);
+        let _ = write!(out, "\"col\": {}, ", finding.col);
+        let _ = write!(out, "\"message\": {}", json_string(&finding.message));
+        out.push('}');
+    }
+    if !analysis.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON. Total over arbitrary input.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "determinism".to_string(),
+            file: "crates/core/src/hub.rs".to_string(),
+            line: 12,
+            col: 7,
+            message: "`HashMap` with \"quotes\"\nand newline".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let text = render_human(&finding());
+        assert!(text.starts_with("error[determinism]:"));
+        assert!(text.contains("--> crates/core/src/hub.rs:12:7"));
+    }
+
+    #[test]
+    fn json_escapes_and_reports_cleanliness() {
+        let analysis = Analysis {
+            findings: vec![finding()],
+            files_scanned: 3,
+            waivers_used: 1,
+            findings_waived: 2,
+            findings_allowed: 0,
+        };
+        let json = render_json(&analysis);
+        assert!(json.contains("\\\"quotes\\\"\\nand newline"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"schema\": \"erasmus-analyzer/v1\""));
+
+        let clean = Analysis {
+            findings: Vec::new(),
+            files_scanned: 3,
+            waivers_used: 0,
+            findings_waived: 0,
+            findings_allowed: 0,
+        };
+        let json = render_json(&clean);
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,632 @@
+//! The rule engine: per-file token scans for the contracts the test suite
+//! can only check dynamically.
+//!
+//! Every rule works on the [`crate::lexer`] token stream, so nothing inside
+//! comments or string literals can ever trip a rule, and `#[cfg(test)]` /
+//! `#[test]` regions are skipped (the contracts bind *shipping* code; tests
+//! are free to `unwrap`).
+//!
+//! # Inline waivers
+//!
+//! A finding can be waived in place:
+//!
+//! ```text
+//! // analyzer: allow(checked-casts) — bounded by the assert above
+//! out.extend_from_slice(&(responses.len() as u16).to_be_bytes());
+//! ```
+//!
+//! A waiver on its own line covers the next line of code; a trailing waiver
+//! covers its own line. The reason after the dash is **mandatory** — a
+//! reasonless or malformed waiver is itself a finding, and so is a waiver
+//! that no longer suppresses anything (stale waivers rot the audit trail).
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+
+/// Names of the contract rules, in reporting order.
+pub const RULE_NAMES: [&str; 5] = [
+    "no-panic-decode",
+    "checked-casts",
+    "determinism",
+    "unsafe-forbid",
+    "no-debug-residue",
+];
+
+/// Rule name used for waiver/config hygiene findings (malformed or stale
+/// waivers). Always on; cannot itself be waived.
+pub const WAIVER_RULE: &str = "waiver";
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// One parsed inline waiver.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Rules the waiver names.
+    pub rules: Vec<String>,
+    /// The line of code the waiver covers.
+    pub target_line: u32,
+    /// Line the waiver comment itself sits on.
+    pub comment_line: u32,
+    /// Column of the waiver comment.
+    pub comment_col: u32,
+    /// Whether the waiver suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Per-file scan state handed to each rule.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// File contents.
+    pub src: &'a str,
+    /// Token stream and comments.
+    pub lexed: &'a Lexed,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl FileContext<'_> {
+    fn is_test_line(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    fn push(&self, findings: &mut Vec<Finding>, rule: &str, token: &Token, message: String) {
+        if self.is_test_line(token.line) {
+            return;
+        }
+        findings.push(Finding {
+            rule: rule.to_string(),
+            file: self.path.to_string(),
+            line: token.line,
+            col: token.col,
+            message,
+        });
+    }
+}
+
+/// Computes the `#[cfg(test)]` / `#[test]` line regions of a token stream.
+///
+/// An attribute whose idents include `test` (and not `not`, so
+/// `#[cfg(not(test))]` stays live code) marks the next braced item — the
+/// whole `mod tests { … }` or `fn …() { … }` — as test-only. An attribute
+/// that hits a `;` before any `{` (e.g. `#[cfg(test)] use …;`) covers just
+/// that statement's lines.
+pub fn test_regions(src: &str, lexed: &Lexed) -> Vec<(u32, u32)> {
+    let tokens = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_attr_start(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // tokens[i] is `#`, tokens[i+1] (or i+2 for `#!`) is `[`.
+        let bracket = if tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('!')) {
+            i + 2
+        } else {
+            i + 1
+        };
+        let Some(close) = matching(tokens, bracket, '[', ']') else {
+            break; // unterminated attribute at EOF
+        };
+        let mentions_test = tokens[bracket..=close]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "test");
+        let mentions_not = tokens[bracket..=close]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "not");
+        if !mentions_test || mentions_not {
+            i = close + 1;
+            continue;
+        }
+        // Walk forward to the item the attribute decorates: the first `{`
+        // opens the region; a `;` first means a braceless item.
+        let mut j = close + 1;
+        let mut region_end_line = None;
+        while let Some(token) = tokens.get(j) {
+            match token.kind {
+                TokenKind::Punct('{') => {
+                    let end = matching(tokens, j, '{', '}').unwrap_or(tokens.len() - 1);
+                    region_end_line = Some(tokens[end].line);
+                    j = end;
+                    break;
+                }
+                TokenKind::Punct(';') => {
+                    region_end_line = Some(token.line);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let start_line = tokens[i].line;
+        let end_line =
+            region_end_line.unwrap_or_else(|| tokens.last().map(|t| t.line).unwrap_or(start_line));
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).map(|t| t.kind) == Some(TokenKind::Punct('#'))
+        && matches!(
+            tokens.get(i + 1).map(|t| t.kind),
+            Some(TokenKind::Punct('[')) | Some(TokenKind::Punct('!'))
+        )
+        && (tokens.get(i + 1).map(|t| t.kind) != Some(TokenKind::Punct('!'))
+            || tokens.get(i + 2).map(|t| t.kind) == Some(TokenKind::Punct('[')))
+}
+
+/// Index of the token closing the bracket opened at `open` (which must be
+/// `open_char`), or `None` at EOF.
+fn matching(tokens: &[Token], open: usize, open_char: char, close_char: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, token) in tokens.iter().enumerate().skip(open) {
+        if token.kind == TokenKind::Punct(open_char) {
+            depth += 1;
+        } else if token.kind == TokenKind::Punct(close_char) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts inline waivers from a file's comments. Malformed waivers are
+/// returned as findings (second element) — the waiver grammar is part of
+/// the contract: `// analyzer: allow(rule-a, rule-b) — reason`.
+pub fn extract_waivers(
+    path: &str,
+    src: &str,
+    lexed: &Lexed,
+    known_rules: &[&str],
+) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for comment in &lexed.comments {
+        let text = comment.text(src);
+        // Doc comments never carry waivers — they are documentation, and
+        // the analyzer's own docs quote waiver syntax as examples.
+        if text.starts_with("///")
+            || text.starts_with("//!")
+            || text.starts_with("/**")
+            || text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = text.find("analyzer:") else {
+            continue;
+        };
+        let directive = &text[at + "analyzer:".len()..];
+        match parse_waiver_directive(directive, known_rules) {
+            Ok(rules) => {
+                waivers.push(Waiver {
+                    rules,
+                    target_line: waiver_target_line(comment, lexed),
+                    comment_line: comment.line,
+                    comment_col: comment.col,
+                    used: false,
+                });
+            }
+            Err(problem) => findings.push(Finding {
+                rule: WAIVER_RULE.to_string(),
+                file: path.to_string(),
+                line: comment.line,
+                col: comment.col,
+                message: format!("malformed waiver: {problem}"),
+            }),
+        }
+    }
+    (waivers, findings)
+}
+
+/// Parses `allow(rule, …) <dash> reason`, returning the rule list.
+fn parse_waiver_directive(directive: &str, known_rules: &[&str]) -> Result<Vec<String>, String> {
+    let directive = directive.trim_start();
+    let inner = directive
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|d| d.strip_prefix('('))
+        .ok_or_else(|| "expected `allow(<rule>)` after `analyzer:`".to_string())?;
+    let (list, rest) = inner
+        .split_once(')')
+        .ok_or_else(|| "unclosed rule list in `allow(...)`".to_string())?;
+    let mut rules = Vec::new();
+    for rule in list.split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            return Err("empty rule name in `allow(...)`".to_string());
+        }
+        if !known_rules.contains(&rule) {
+            return Err(format!("unknown rule `{rule}`"));
+        }
+        rules.push(rule.to_string());
+    }
+    if rules.is_empty() {
+        return Err("empty rule list in `allow(...)`".to_string());
+    }
+    let reason = rest
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim();
+    if reason.is_empty() {
+        return Err("missing reason — write `allow(<rule>) — <why this is sound>`".to_string());
+    }
+    Ok(rules)
+}
+
+/// The line of code a waiver covers: its own line when code precedes the
+/// comment on that line (trailing waiver), otherwise the next line that
+/// carries a token.
+fn waiver_target_line(comment: &Comment, lexed: &Lexed) -> u32 {
+    let trailing = lexed
+        .tokens
+        .iter()
+        .any(|t| t.line == comment.line && t.start < comment.start);
+    if trailing {
+        return comment.line;
+    }
+    lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&line| line > comment.line)
+        .unwrap_or(comment.line)
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+const NONDETERMINISTIC_IDENTS: [(&str, &str); 6] = [
+    ("Instant", "wall-clock time is not simulation time"),
+    ("SystemTime", "wall-clock time is not simulation time"),
+    ("thread_rng", "OS-seeded randomness breaks reproducibility"),
+    ("HashMap", "iteration order is randomized per process"),
+    ("HashSet", "iteration order is randomized per process"),
+    (
+        "RandomState",
+        "per-process hasher seeding is nondeterministic",
+    ),
+];
+
+const DEBUG_MACROS: [&str; 7] = [
+    "dbg",
+    "todo",
+    "unimplemented",
+    "println",
+    "eprintln",
+    "print",
+    "eprint",
+];
+
+/// `no-panic-decode`: forbid `.unwrap()`, `.expect(…)`, `panic!`,
+/// `unreachable!` and slice/array indexing in strict decode paths.
+/// Decoders must be total over arbitrary bytes — the fuzz harness checks
+/// that dynamically, this rule pins it structurally.
+pub fn no_panic_decode(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        match token.kind {
+            TokenKind::Ident => {
+                let text = token.text(ctx.src);
+                let next = tokens.get(i + 1).map(|t| t.kind);
+                let prev = i.checked_sub(1).and_then(|p| tokens.get(p)).map(|t| t.kind);
+                if (text == "unwrap" || text == "expect")
+                    && next == Some(TokenKind::Punct('('))
+                    && prev == Some(TokenKind::Punct('.'))
+                {
+                    ctx.push(
+                        findings,
+                        "no-panic-decode",
+                        token,
+                        format!("`.{text}(...)` can panic; decode paths must return `DecodeError`"),
+                    );
+                } else if (text == "panic" || text == "unreachable")
+                    && next == Some(TokenKind::Punct('!'))
+                {
+                    ctx.push(
+                        findings,
+                        "no-panic-decode",
+                        token,
+                        format!("`{text}!` in a decode path; return a structured error instead"),
+                    );
+                }
+            }
+            TokenKind::Punct('[') if is_index_expression(ctx.src, tokens, i) => {
+                ctx.push(
+                    findings,
+                    "no-panic-decode",
+                    token,
+                    "slice/array indexing can panic on hostile lengths; use `get(..)` or a \
+                     fixed-size read"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that may directly precede a `[` without forming an index
+/// expression (`let [a, b] = …`, `return [x]`, `in [..]`, …). `self` is
+/// deliberately absent: `self[i]` is real indexing.
+const NON_INDEXING_KEYWORDS: [&str; 14] = [
+    "let", "mut", "ref", "in", "return", "if", "else", "match", "move", "const", "static", "as",
+    "break", "continue",
+];
+
+/// Is the `[` at `i` an index expression (`expr[...]`) rather than an
+/// array/slice type, array literal, destructuring pattern or attribute?
+/// Index brackets directly follow a non-keyword identifier, a closing
+/// `)`/`]`, or a `?`.
+fn is_index_expression(src: &str, tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| tokens.get(p)) else {
+        return false;
+    };
+    match prev.kind {
+        TokenKind::Ident => !NON_INDEXING_KEYWORDS.contains(&prev.text(src)),
+        TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('?') => true,
+        _ => false,
+    }
+}
+
+/// `checked-casts`: bare `as` casts to integer types silently truncate or
+/// sign-flip; decode/snapshot paths must use `try_from`/`usize::from` or
+/// carry a written waiver.
+pub fn checked_casts(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || token.text(ctx.src) != "as" {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokenKind::Ident {
+            let name = target.text(ctx.src);
+            if INT_TYPES.contains(&name) {
+                ctx.push(
+                    findings,
+                    "checked-casts",
+                    token,
+                    format!(
+                        "bare `as {name}` cast; use `{name}::try_from` (or `usize::from` for \
+                         provably-widening casts), or waive with a reason"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `determinism`: forbid wall-clock reads, OS randomness and
+/// randomized-iteration containers in deterministic crates. Partition- and
+/// thread-invariant totals are the repo's core guarantee; one `HashMap`
+/// iteration in a merge path silently breaks it.
+pub fn determinism(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    for token in &ctx.lexed.tokens {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = token.text(ctx.src);
+        if let Some((_, why)) = NONDETERMINISTIC_IDENTS
+            .iter()
+            .find(|(name, _)| *name == text)
+        {
+            ctx.push(
+                findings,
+                "determinism",
+                token,
+                format!("`{text}` in a deterministic region: {why}"),
+            );
+        }
+    }
+}
+
+/// `unsafe-forbid` (file-level): a configured crate root must carry
+/// `#![forbid(unsafe_code)]`. Called only for crate-root files.
+pub fn unsafe_forbid(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind == TokenKind::Ident
+            && token.text(ctx.src) == "forbid"
+            && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+        {
+            if let Some(close) = matching(tokens, i + 1, '(', ')') {
+                let has_unsafe_code = tokens[i + 1..close]
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Ident && t.text(ctx.src) == "unsafe_code");
+                if has_unsafe_code {
+                    return;
+                }
+            }
+        }
+    }
+    findings.push(Finding {
+        rule: "unsafe-forbid".to_string(),
+        file: ctx.path.to_string(),
+        line: 1,
+        col: 1,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    });
+}
+
+/// `no-debug-residue`: `dbg!`/`todo!`/`println!` and friends in library
+/// code are leftovers; binaries and tests are exempt via scoping.
+pub fn no_debug_residue(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let tokens = &ctx.lexed.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = token.text(ctx.src);
+        if DEBUG_MACROS.contains(&text)
+            && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('!'))
+        {
+            // `println` as a method name (`self.println(..)`) is fine; the
+            // `!` requirement already excludes it.
+            ctx.push(
+                findings,
+                "no-debug-residue",
+                token,
+                format!("`{text}!` in library code; route output through the caller or remove"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx<'a>(src: &'a str, lexed: &'a Lexed) -> FileContext<'a> {
+        FileContext {
+            path: "test.rs",
+            src,
+            lexed,
+            test_regions: test_regions(src, lexed),
+        }
+    }
+
+    fn run(rule: fn(&FileContext<'_>, &mut Vec<Finding>), src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ctx = ctx(src, &lexed);
+        let mut findings = Vec::new();
+        rule(&ctx, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn panic_rule_catches_method_calls_and_macros() {
+        let findings = run(
+            no_panic_decode,
+            "fn f(v: &[u8]) { v.get(0).unwrap(); x.expect(\"boom\"); panic!(\"no\"); }",
+        );
+        assert_eq!(findings.len(), 3);
+    }
+
+    #[test]
+    fn panic_rule_catches_indexing_but_not_types_or_attrs() {
+        let findings = run(
+            no_panic_decode,
+            "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f(v: &[u8]) -> u8 { v[0] }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn destructuring_patterns_are_not_indexing() {
+        assert!(run(
+            no_panic_decode,
+            "fn f(b: [u8; 2]) -> u8 { let [hi, lo] = b; hi ^ lo }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_rule_allows_total_alternatives() {
+        assert!(run(
+            no_panic_decode,
+            "fn f(v: &[u8]) { v.first().copied().unwrap_or(0); let x = [0u8; 4]; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(v: &[u8]) { v.get(0).unwrap(); }\n}";
+        assert!(run(no_panic_decode, src).is_empty());
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live(v: &[u8]) { v.last().unwrap(); }";
+        assert_eq!(run(no_panic_decode, src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }";
+        assert_eq!(run(no_panic_decode, src).len(), 1);
+    }
+
+    #[test]
+    fn cast_rule_flags_integer_casts_only() {
+        let findings = run(
+            checked_casts,
+            "fn f(x: u32) { let a = x as usize; let b = x as f64; }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("as usize"));
+    }
+
+    #[test]
+    fn determinism_rule_names_the_hazard() {
+        let findings = run(
+            determinism,
+            "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(findings.len(), 2);
+        assert!(findings[1].message.contains("wall-clock"));
+    }
+
+    #[test]
+    fn unsafe_forbid_checks_the_attribute() {
+        assert!(run(unsafe_forbid, "#![forbid(unsafe_code)]\npub fn f() {}").is_empty());
+        assert_eq!(run(unsafe_forbid, "pub fn f() {}").len(), 1);
+        // deny is not forbid: it can be overridden downstream.
+        assert_eq!(run(unsafe_forbid, "#![deny(unsafe_code)]").len(), 1);
+    }
+
+    #[test]
+    fn debug_residue_requires_the_bang() {
+        let findings = run(
+            no_debug_residue,
+            "fn f() { println!(\"x\"); logger.println(\"ok\"); dbg!(1); }",
+        );
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn waivers_parse_and_target_the_right_line() {
+        let src = "// analyzer: allow(checked-casts) — bounded above\nlet x = y as u16;\nlet z = t as u16; // analyzer: allow(checked-casts) - same bound\n";
+        let lexed = lex(src);
+        let (waivers, findings) = extract_waivers("t.rs", src, &lexed, &RULE_NAMES);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(waivers.len(), 2);
+        assert_eq!(waivers[0].target_line, 2);
+        assert_eq!(waivers[1].target_line, 3);
+    }
+
+    #[test]
+    fn reasonless_or_unknown_waivers_are_findings() {
+        for src in [
+            "// analyzer: allow(checked-casts)\nlet x = y as u16;\n",
+            "// analyzer: allow(checked-casts) —   \nlet x = y as u16;\n",
+            "// analyzer: allow(not-a-rule) — because\nlet x = 1;\n",
+            "// analyzer: allow() — because\nlet x = 1;\n",
+            "// analyzer: disallow(x) — because\nlet x = 1;\n",
+        ] {
+            let lexed = lex(src);
+            let (waivers, findings) = extract_waivers("t.rs", src, &lexed, &RULE_NAMES);
+            assert!(waivers.is_empty(), "{src}");
+            assert_eq!(findings.len(), 1, "{src}");
+            assert_eq!(findings[0].rule, WAIVER_RULE);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: checked conversions only; the rule must stay silent. A cast to
+// a float is outside the rule's integer-target scope.
+pub fn widen(len: u16, count: u32) -> (usize, usize) {
+    let from_len = usize::from(len);
+    let from_count = usize::try_from(count).unwrap_or(usize::MAX);
+    (from_len, from_count)
+}
+
+pub fn ratio(hits: u32) -> f64 {
+    hits as f64
+}

@@ -1,0 +1,6 @@
+// Fixture: narrowing `as` casts the `checked-casts` rule must flag.
+pub fn narrow(len: usize, word: u32) -> (u16, u8) {
+    let hi = (word >> 16) as u16;
+    let lo = len as u8;
+    (hi, lo)
+}

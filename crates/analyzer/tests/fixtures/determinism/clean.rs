@@ -1,0 +1,9 @@
+// Fixture: simulated time and ordered containers; the rule must stay
+// silent, including over the identifiers in this comment: Instant, HashMap.
+use std::collections::BTreeMap;
+
+pub fn measure(now_nanos: u64) -> u64 {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    counts.insert(now_nanos, 1);
+    counts.values().sum()
+}

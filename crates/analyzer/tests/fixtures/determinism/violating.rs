@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads and randomized containers the `determinism`
+// rule must flag.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let start = Instant::now();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    counts.insert(0, 1);
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,12 @@
+// Fixture: no residue. `println` as a method name is not a macro call and
+// must not be flagged.
+pub struct Console;
+
+impl Console {
+    pub fn println(&self, _line: &str) {}
+}
+
+pub fn compute(console: &Console, x: u32) -> u32 {
+    console.println("computing");
+    x * 2
+}

@@ -1,0 +1,9 @@
+// Fixture: leftover debug macros the `no-debug-residue` rule must flag.
+pub fn compute(x: u32) -> u32 {
+    println!("computing {x}");
+    let doubled = dbg!(x * 2);
+    if doubled == 0 {
+        todo!("handle zero");
+    }
+    doubled
+}

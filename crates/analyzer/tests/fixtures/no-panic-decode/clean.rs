@@ -1,0 +1,23 @@
+// Fixture: a total decoder; the rule must stay silent. Array-type syntax,
+// array literals and destructuring patterns all use `[` without indexing.
+pub fn decode(bytes: &[u8]) -> Option<u16> {
+    let pair: [u8; 2] = bytes.get(1..3)?.try_into().ok()?;
+    Some(u16::from_be_bytes(pair))
+}
+
+pub fn first(bytes: &[u8]) -> Option<u8> {
+    let [byte] = *bytes.first_chunk::<1>()?;
+    Some(byte)
+}
+
+pub fn header() -> [u8; 4] {
+    [0xEu8, 0xA, 0x5, 0x0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panicking_assertions_are_fine_inside_tests() {
+        assert_eq!(super::decode(&[0, 1, 2]).unwrap(), 0x0102);
+    }
+}

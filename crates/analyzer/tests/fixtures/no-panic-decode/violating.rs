@@ -1,0 +1,16 @@
+// Fixture: every panic avenue the `no-panic-decode` rule must catch.
+pub fn decode(bytes: &[u8]) -> u16 {
+    let first = bytes[0];
+    if first == 0 {
+        panic!("zero prefix");
+    }
+    let pair: [u8; 2] = bytes[1..3].try_into().unwrap();
+    match u16::from_be_bytes(pair) {
+        0 => unreachable!(),
+        value => value,
+    }
+}
+
+pub fn lookup(table: &[u16], index: usize) -> u16 {
+    table.get(index).copied().expect("index in range")
+}

@@ -1,0 +1,4 @@
+// Fixture: the required crate-root attribute is present.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

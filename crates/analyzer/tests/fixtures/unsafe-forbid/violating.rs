@@ -1,0 +1,5 @@
+// Fixture: a crate root that merely denies unsafe code. `deny` can be
+// overridden with `#[allow]`; the rule requires `forbid`.
+#![deny(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,9 @@
+// Fixture: well-formed waivers, trailing and standalone, that must parse.
+pub fn trailing() -> u64 {
+    7 // analyzer: allow(determinism) — fixture: a trailing waiver covers its own line
+}
+
+pub fn standalone() -> u64 {
+    // analyzer: allow(no-panic-decode, checked-casts) — fixture: covers the next code line
+    9
+}

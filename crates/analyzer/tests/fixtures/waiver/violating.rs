@@ -1,0 +1,9 @@
+// Fixture: waiver-grammar violations the `waiver` meta-rule must flag.
+pub fn stamp() -> u64 {
+    // analyzer: allow(determinism)
+    7
+}
+
+pub fn count() -> usize {
+    3 // analyzer: allow(no-such-rule) — an unknown rule is malformed
+}

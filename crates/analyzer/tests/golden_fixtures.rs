@@ -1,0 +1,238 @@
+//! Golden fixture tests: every rule is pinned against a violating fixture
+//! (diagnostic-for-diagnostic, including positions) and a clean fixture
+//! that must stay silent. The fixtures live under `tests/fixtures/` and
+//! are excluded from the workspace scan by `analyzer.toml`.
+
+use erasmus_analyzer::lexer::lex;
+use erasmus_analyzer::report::{render_human, render_json, Analysis};
+use erasmus_analyzer::rules::{self, FileContext, Finding, RULE_NAMES};
+
+type Rule = fn(&FileContext<'_>, &mut Vec<Finding>);
+
+/// Runs one rule over fixture source, returning rustc-shaped diagnostics.
+fn run(rule: Rule, path: &str, src: &str) -> Vec<String> {
+    let lexed = lex(src);
+    let ctx = FileContext {
+        path,
+        src,
+        lexed: &lexed,
+        test_regions: rules::test_regions(src, &lexed),
+    };
+    let mut findings = Vec::new();
+    rule(&ctx, &mut findings);
+    findings.iter().map(render_human).collect()
+}
+
+fn assert_diagnostics(actual: &[String], expected: &[&str]) {
+    assert_eq!(
+        actual,
+        expected,
+        "\n--- actual ---\n{}\n--- expected ---\n{}\n",
+        actual.join("\n"),
+        expected.join("\n"),
+    );
+}
+
+#[test]
+fn no_panic_decode_violating_fixture_pins_diagnostics() {
+    let src = include_str!("fixtures/no-panic-decode/violating.rs");
+    let actual = run(
+        rules::no_panic_decode,
+        "fixtures/no-panic-decode/violating.rs",
+        src,
+    );
+    assert_diagnostics(
+        &actual,
+        &[
+            "error[no-panic-decode]: slice/array indexing can panic on hostile lengths; use `get(..)` or a fixed-size read\n  --> fixtures/no-panic-decode/violating.rs:3:22",
+            "error[no-panic-decode]: `panic!` in a decode path; return a structured error instead\n  --> fixtures/no-panic-decode/violating.rs:5:9",
+            "error[no-panic-decode]: slice/array indexing can panic on hostile lengths; use `get(..)` or a fixed-size read\n  --> fixtures/no-panic-decode/violating.rs:7:30",
+            "error[no-panic-decode]: `.unwrap(...)` can panic; decode paths must return `DecodeError`\n  --> fixtures/no-panic-decode/violating.rs:7:48",
+            "error[no-panic-decode]: `unreachable!` in a decode path; return a structured error instead\n  --> fixtures/no-panic-decode/violating.rs:9:14",
+            "error[no-panic-decode]: `.expect(...)` can panic; decode paths must return `DecodeError`\n  --> fixtures/no-panic-decode/violating.rs:15:31",
+        ],
+    );
+}
+
+#[test]
+fn no_panic_decode_clean_fixture_is_silent() {
+    let src = include_str!("fixtures/no-panic-decode/clean.rs");
+    let actual = run(
+        rules::no_panic_decode,
+        "fixtures/no-panic-decode/clean.rs",
+        src,
+    );
+    assert_diagnostics(&actual, &[]);
+}
+
+#[test]
+fn checked_casts_violating_fixture_pins_diagnostics() {
+    let src = include_str!("fixtures/checked-casts/violating.rs");
+    let actual = run(
+        rules::checked_casts,
+        "fixtures/checked-casts/violating.rs",
+        src,
+    );
+    assert_diagnostics(
+        &actual,
+        &[
+            "error[checked-casts]: bare `as u16` cast; use `u16::try_from` (or `usize::from` for provably-widening casts), or waive with a reason\n  --> fixtures/checked-casts/violating.rs:3:27",
+            "error[checked-casts]: bare `as u8` cast; use `u8::try_from` (or `usize::from` for provably-widening casts), or waive with a reason\n  --> fixtures/checked-casts/violating.rs:4:18",
+        ],
+    );
+}
+
+#[test]
+fn checked_casts_clean_fixture_is_silent() {
+    let src = include_str!("fixtures/checked-casts/clean.rs");
+    let actual = run(rules::checked_casts, "fixtures/checked-casts/clean.rs", src);
+    assert_diagnostics(&actual, &[]);
+}
+
+#[test]
+fn determinism_violating_fixture_pins_diagnostics() {
+    let src = include_str!("fixtures/determinism/violating.rs");
+    let actual = run(rules::determinism, "fixtures/determinism/violating.rs", src);
+    assert_diagnostics(
+        &actual,
+        &[
+            "error[determinism]: `HashMap` in a deterministic region: iteration order is randomized per process\n  --> fixtures/determinism/violating.rs:3:23",
+            "error[determinism]: `Instant` in a deterministic region: wall-clock time is not simulation time\n  --> fixtures/determinism/violating.rs:4:16",
+            "error[determinism]: `Instant` in a deterministic region: wall-clock time is not simulation time\n  --> fixtures/determinism/violating.rs:7:17",
+            "error[determinism]: `HashMap` in a deterministic region: iteration order is randomized per process\n  --> fixtures/determinism/violating.rs:8:21",
+            "error[determinism]: `HashMap` in a deterministic region: iteration order is randomized per process\n  --> fixtures/determinism/violating.rs:8:41",
+        ],
+    );
+}
+
+#[test]
+fn determinism_clean_fixture_is_silent() {
+    let src = include_str!("fixtures/determinism/clean.rs");
+    let actual = run(rules::determinism, "fixtures/determinism/clean.rs", src);
+    assert_diagnostics(&actual, &[]);
+}
+
+#[test]
+fn unsafe_forbid_violating_fixture_pins_diagnostics() {
+    let src = include_str!("fixtures/unsafe-forbid/violating.rs");
+    let actual = run(
+        rules::unsafe_forbid,
+        "fixtures/unsafe-forbid/violating.rs",
+        src,
+    );
+    assert_diagnostics(
+        &actual,
+        &["error[unsafe-forbid]: crate root is missing `#![forbid(unsafe_code)]`\n  --> fixtures/unsafe-forbid/violating.rs:1:1"],
+    );
+}
+
+#[test]
+fn unsafe_forbid_clean_fixture_is_silent() {
+    let src = include_str!("fixtures/unsafe-forbid/clean.rs");
+    let actual = run(rules::unsafe_forbid, "fixtures/unsafe-forbid/clean.rs", src);
+    assert_diagnostics(&actual, &[]);
+}
+
+#[test]
+fn no_debug_residue_violating_fixture_pins_diagnostics() {
+    let src = include_str!("fixtures/no-debug-residue/violating.rs");
+    let actual = run(
+        rules::no_debug_residue,
+        "fixtures/no-debug-residue/violating.rs",
+        src,
+    );
+    assert_diagnostics(
+        &actual,
+        &[
+            "error[no-debug-residue]: `println!` in library code; route output through the caller or remove\n  --> fixtures/no-debug-residue/violating.rs:3:5",
+            "error[no-debug-residue]: `dbg!` in library code; route output through the caller or remove\n  --> fixtures/no-debug-residue/violating.rs:4:19",
+            "error[no-debug-residue]: `todo!` in library code; route output through the caller or remove\n  --> fixtures/no-debug-residue/violating.rs:6:9",
+        ],
+    );
+}
+
+#[test]
+fn no_debug_residue_clean_fixture_is_silent() {
+    let src = include_str!("fixtures/no-debug-residue/clean.rs");
+    let actual = run(
+        rules::no_debug_residue,
+        "fixtures/no-debug-residue/clean.rs",
+        src,
+    );
+    assert_diagnostics(&actual, &[]);
+}
+
+#[test]
+fn waiver_violating_fixture_pins_diagnostics() {
+    let src = include_str!("fixtures/waiver/violating.rs");
+    let lexed = lex(src);
+    let (waivers, malformed) =
+        rules::extract_waivers("fixtures/waiver/violating.rs", src, &lexed, &RULE_NAMES);
+    assert!(
+        waivers.is_empty(),
+        "malformed waivers must not parse: {waivers:?}"
+    );
+    let actual: Vec<String> = malformed.iter().map(render_human).collect();
+    assert_diagnostics(
+        &actual,
+        &[
+            "error[waiver]: malformed waiver: missing reason — write `allow(<rule>) — <why this is sound>`\n  --> fixtures/waiver/violating.rs:3:5",
+            "error[waiver]: malformed waiver: unknown rule `no-such-rule`\n  --> fixtures/waiver/violating.rs:8:7",
+        ],
+    );
+}
+
+#[test]
+fn waiver_clean_fixture_parses_both_shapes() {
+    let src = include_str!("fixtures/waiver/clean.rs");
+    let lexed = lex(src);
+    let (waivers, malformed) =
+        rules::extract_waivers("fixtures/waiver/clean.rs", src, &lexed, &RULE_NAMES);
+    assert!(
+        malformed.is_empty(),
+        "clean fixture produced: {malformed:?}"
+    );
+    assert_eq!(waivers.len(), 2);
+    // Trailing waiver covers its own line.
+    assert_eq!(waivers[0].rules, ["determinism"]);
+    assert_eq!(waivers[0].target_line, 3);
+    assert_eq!(waivers[0].comment_line, 3);
+    // Standalone waiver covers the next code line; rule lists may span rules.
+    assert_eq!(waivers[1].rules, ["no-panic-decode", "checked-casts"]);
+    assert_eq!(waivers[1].target_line, 8);
+    assert_eq!(waivers[1].comment_line, 7);
+}
+
+#[test]
+fn json_report_golden() {
+    let analysis = Analysis {
+        findings: vec![Finding {
+            rule: "determinism".to_string(),
+            file: "crates/core/src/hub.rs".to_string(),
+            line: 12,
+            col: 7,
+            message:
+                "`HashMap` in a deterministic region: iteration order is randomized per process"
+                    .to_string(),
+        }],
+        files_scanned: 2,
+        waivers_used: 1,
+        findings_waived: 1,
+        findings_allowed: 0,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"schema\": \"erasmus-analyzer/v1\",\n",
+        "  \"files_scanned\": 2,\n",
+        "  \"waivers_used\": 1,\n",
+        "  \"findings_waived\": 1,\n",
+        "  \"findings_allowed\": 0,\n",
+        "  \"clean\": false,\n",
+        "  \"findings\": [\n",
+        "    {\"rule\": \"determinism\", \"file\": \"crates/core/src/hub.rs\", \"line\": 12, \"col\": 7, ",
+        "\"message\": \"`HashMap` in a deterministic region: iteration order is randomized per process\"}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(render_json(&analysis), expected);
+}

@@ -1,0 +1,78 @@
+//! Property tests: the hand-rolled lexer is total. It must never panic on
+//! any input — including adversarial fragments that leave strings, raw
+//! strings, char literals and block comments unterminated — and every
+//! span it reports must stay inside the source.
+
+use erasmus_analyzer::lexer::lex;
+use proptest::prelude::*;
+
+/// Fragments chosen to hit the lexer's hard paths: unterminated literals,
+/// raw-string hash counting, nested block comments, byte/C-string
+/// prefixes, lifetime-vs-char disambiguation and stray escapes.
+const FRAGMENTS: [&str; 24] = [
+    "r#\"",
+    "\"#",
+    "r###\"x\"##",
+    "\"",
+    "\\\"",
+    "'",
+    "'a",
+    "'\\",
+    "b'",
+    "b\"",
+    "c\"",
+    "br#\"",
+    "//",
+    "/*",
+    "*/",
+    "/* /* nested",
+    "///",
+    "//!",
+    "#",
+    "\n",
+    "ident",
+    "0x_1f",
+    "é∀",
+    "r#raw_ident",
+];
+
+fn assert_spans_in_bounds(src: &str) {
+    let lexed = lex(src);
+    for token in &lexed.tokens {
+        assert!(
+            token.start <= token.end && token.end <= src.len(),
+            "token span out of bounds"
+        );
+        assert!(
+            src.is_char_boundary(token.start) && src.is_char_boundary(token.end),
+            "token span splits a char"
+        );
+    }
+    for comment in &lexed.comments {
+        assert!(
+            comment.start <= comment.end && comment.end <= src.len(),
+            "comment span out of bounds"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn lexer_is_total_over_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        assert_spans_in_bounds(&src);
+    }
+
+    #[test]
+    fn lexer_is_total_over_adversarial_fragments(
+        picks in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let src: String = picks
+            .iter()
+            .map(|&b| FRAGMENTS[usize::from(b) % FRAGMENTS.len()])
+            .collect();
+        assert_spans_in_bounds(&src);
+    }
+}

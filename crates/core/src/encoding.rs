@@ -167,42 +167,71 @@ impl<'a> Reader<'a> {
         Self { bytes, offset: 0 }
     }
 
+    /// Reads `len` bytes. Total over hostile lengths: the bounds check is
+    /// overflow-safe and the slice comes from `get`, never from indexing.
     fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], DecodeError> {
-        if len > self.bytes.len() - self.offset {
-            return Err(DecodeError::new(
+        let slice = self
+            .offset
+            .checked_add(len)
+            .and_then(|end| self.bytes.get(self.offset..end));
+        match slice {
+            Some(slice) => {
+                self.offset += len;
+                Ok(slice)
+            }
+            None => Err(DecodeError::new(
                 DecodeErrorKind::Truncated,
                 format!("truncated while reading {what} ({len} bytes needed)"),
                 self.offset,
-            ));
+            )),
         }
-        let slice = &self.bytes[self.offset..self.offset + len];
-        self.offset += len;
-        Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes as a fixed-size array reference — the
+    /// panic-free replacement for `take(..).try_into().expect(..)`.
+    fn array<const N: usize>(&mut self, what: &str) -> Result<&'a [u8; N], DecodeError> {
+        let offset = self.offset;
+        match self.take(N, what)?.try_into() {
+            Ok(array) => Ok(array),
+            // Unreachable (take returned exactly N bytes), but handled:
+            // decode paths never panic, not even on internal surprises.
+            Err(_) => Err(DecodeError::new(
+                DecodeErrorKind::Truncated,
+                format!("internal length mismatch while reading {what}"),
+                offset,
+            )),
+        }
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
-        let bytes = self.take(8, what)?;
-        Ok(u64::from_be_bytes(
-            bytes.try_into().expect("slice length is 8"),
-        ))
+        Ok(u64::from_be_bytes(*self.array::<8>(what)?))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
-        let bytes = self.take(4, what)?;
-        Ok(u32::from_be_bytes(
-            bytes.try_into().expect("slice length is 4"),
-        ))
+        Ok(u32::from_be_bytes(*self.array::<4>(what)?))
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
-        let bytes = self.take(2, what)?;
-        Ok(u16::from_be_bytes(
-            bytes.try_into().expect("slice length is 2"),
-        ))
+        Ok(u16::from_be_bytes(*self.array::<2>(what)?))
     }
 
     fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
-        Ok(self.take(1, what)?[0])
+        let [byte] = *self.array::<1>(what)?;
+        Ok(byte)
+    }
+
+    /// Reads a u32 record count as a `usize`, rejecting counts the platform
+    /// cannot index (only reachable on 16-bit targets).
+    fn count(&mut self, what: &str) -> Result<usize, DecodeError> {
+        let offset = self.offset;
+        let value = self.u32(what)?;
+        usize::try_from(value).map_err(|_| {
+            DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("{what} {value} does not fit this platform's usize"),
+                offset,
+            )
+        })
     }
 
     fn finish(&self) -> Result<(), DecodeError> {
@@ -258,7 +287,7 @@ impl<'a> MeasurementView<'a> {
 
 fn measurement_view_from<'a>(reader: &mut Reader<'a>) -> Result<MeasurementView<'a>, DecodeError> {
     let timestamp = reader.u64("timestamp")?;
-    let digest_len = reader.u16("digest length")? as usize;
+    let digest_len = usize::from(reader.u16("digest length")?);
     if digest_len != DIGEST_LEN {
         return Err(DecodeError::new(
             DecodeErrorKind::DigestLength,
@@ -266,11 +295,8 @@ fn measurement_view_from<'a>(reader: &mut Reader<'a>) -> Result<MeasurementView<
             reader.offset,
         ));
     }
-    let digest: &MemoryDigest = reader
-        .take(digest_len, "digest")?
-        .try_into()
-        .expect("slice length is DIGEST_LEN");
-    let tag_len = reader.u16("tag length")? as usize;
+    let digest: &MemoryDigest = reader.array::<DIGEST_LEN>("digest")?;
+    let tag_len = usize::from(reader.u16("tag length")?);
     if tag_len == 0 || tag_len > MAX_TAG_LEN {
         return Err(DecodeError::new(
             DecodeErrorKind::TagLength,
@@ -304,7 +330,9 @@ impl<'a> Iterator for MeasurementViews<'a> {
             return None;
         }
         self.remaining -= 1;
-        Some(measurement_view_from(&mut self.reader).expect("records validated at parse time"))
+        // Records were validated at parse time; a decode error here is
+        // unreachable, and ending the iteration is the panic-free answer.
+        measurement_view_from(&mut self.reader).ok()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -364,7 +392,7 @@ impl<'a> ResponseView<'a> {
 
 fn response_view_from<'a>(reader: &mut Reader<'a>) -> Result<ResponseView<'a>, DecodeError> {
     let device = reader.u64("device id")?;
-    let count = reader.u16("measurement count")? as usize;
+    let count = usize::from(reader.u16("measurement count")?);
     let start = reader.offset;
     for _ in 0..count {
         measurement_view_from(reader)?;
@@ -372,7 +400,9 @@ fn response_view_from<'a>(reader: &mut Reader<'a>) -> Result<ResponseView<'a>, D
     Ok(ResponseView {
         device: DeviceId::new(device),
         count,
-        records: &reader.bytes[start..reader.offset],
+        // The range is in bounds by construction (both ends came from the
+        // reader); the empty fallback keeps the path total regardless.
+        records: reader.bytes.get(start..reader.offset).unwrap_or_default(),
     })
 }
 
@@ -391,7 +421,8 @@ impl<'a> Iterator for ResponseViews<'a> {
             return None;
         }
         self.remaining -= 1;
-        Some(response_view_from(&mut self.reader).expect("records validated at parse time"))
+        // Same contract as MeasurementViews: validated at parse time.
+        response_view_from(&mut self.reader).ok()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -444,7 +475,7 @@ impl<'a> FrameView<'a> {
     /// validates completely or not at all.
     pub fn parse(bytes: &'a [u8]) -> Result<Self, DecodeError> {
         let mut reader = Reader::new(bytes);
-        let count = reader.u16("batch count")? as usize;
+        let count = usize::from(reader.u16("batch count")?);
         if count > MAX_BATCH_RESPONSES {
             return Err(DecodeError::new(
                 DecodeErrorKind::BatchCount,
@@ -459,7 +490,9 @@ impl<'a> FrameView<'a> {
         reader.finish()?;
         Ok(Self {
             count,
-            records: &bytes[start..],
+            // `start` is at most `bytes.len()` (the reader just walked the
+            // whole frame); the empty fallback keeps the path total.
+            records: bytes.get(start..).unwrap_or_default(),
             frame_len: bytes.len(),
         })
     }
@@ -495,8 +528,10 @@ pub fn encode_measurement_into(out: &mut Vec<u8>, measurement: &Measurement) {
     let tag = measurement.tag().as_bytes();
     out.reserve(8 + 2 + digest.len() + 2 + tag.len());
     out.extend_from_slice(&measurement.timestamp().as_nanos().to_be_bytes());
+    // analyzer: allow(checked-casts) — digest.len() is DIGEST_LEN (32), far below u16::MAX
     out.extend_from_slice(&(digest.len() as u16).to_be_bytes());
     out.extend_from_slice(digest);
+    // analyzer: allow(checked-casts) — tag.len() is at most MAX_TAG_LEN (32), far below u16::MAX
     out.extend_from_slice(&(tag.len() as u16).to_be_bytes());
     out.extend_from_slice(tag);
 }
@@ -527,9 +562,22 @@ pub fn decode_measurement(bytes: &[u8]) -> Result<Measurement, DecodeError> {
 }
 
 /// Appends the serialized collection response to `out`.
+///
+/// # Panics
+///
+/// Panics if the response carries more than `u16::MAX` measurements —
+/// previously the count silently truncated modulo 65536 on the wire,
+/// producing a frame the strict decoder rejects (or worse, misparses as a
+/// shorter response followed by trailing bytes).
 pub fn encode_collection_response_into(out: &mut Vec<u8>, response: &CollectionResponse) {
+    assert!(
+        response.measurements.len() <= usize::from(u16::MAX),
+        "response with {} measurements overflows the u16 wire count",
+        response.measurements.len()
+    );
     out.reserve(8 + 2 + response.payload_bytes() + 4 * response.measurements.len());
     out.extend_from_slice(&response.device.value().to_be_bytes());
+    // analyzer: allow(checked-casts) — bounded by the assert above
     out.extend_from_slice(&(response.measurements.len() as u16).to_be_bytes());
     for measurement in &response.measurements {
         encode_measurement_into(out, measurement);
@@ -579,6 +627,7 @@ pub fn encode_collection_batch_into(out: &mut Vec<u8>, responses: &[CollectionRe
         "batch of {} responses exceeds MAX_BATCH_RESPONSES ({MAX_BATCH_RESPONSES})",
         responses.len()
     );
+    // analyzer: allow(checked-casts) — bounded by the MAX_BATCH_RESPONSES assert above
     out.extend_from_slice(&(responses.len() as u16).to_be_bytes());
     for response in responses {
         encode_collection_response_into(out, response);
@@ -646,19 +695,23 @@ pub fn encode_hub_snapshot_into(out: &mut Vec<u8>, hub: &VerifierHub) {
     out.extend_from_slice(&hub.ingested.to_be_bytes());
     out.extend_from_slice(&hub.rejected.to_be_bytes());
     out.extend_from_slice(&hub.duplicates.to_be_bytes());
+    // analyzer: allow(checked-casts) — an in-memory flow map cannot reach 2^32 entries (>64 GiB at ~16 B each)
     out.extend_from_slice(&(hub.dedup.len() as u32).to_be_bytes());
     for (flow, window) in &hub.dedup {
         out.extend_from_slice(&flow.to_be_bytes());
         out.extend_from_slice(&window.floor.to_be_bytes());
+        // analyzer: allow(checked-casts) — dedup windows are pruned to DEDUP_WINDOW (1024) sequences
         out.extend_from_slice(&(window.seen.len() as u32).to_be_bytes());
         for sequence in &window.seen {
             out.extend_from_slice(&sequence.to_be_bytes());
         }
     }
+    // analyzer: allow(checked-casts) — an in-memory device map cannot reach 2^32 entries (>256 GiB at ~64 B each)
     out.extend_from_slice(&(hub.histories.len() as u32).to_be_bytes());
     for (device, history) in &hub.histories {
         out.extend_from_slice(&device.value().to_be_bytes());
         out.extend_from_slice(&history.collections().to_be_bytes());
+        // analyzer: allow(checked-casts) — in-memory history entries (17 B each) cannot reach 2^32
         out.extend_from_slice(&(history.len() as u32).to_be_bytes());
         for entry in history.entries() {
             out.extend_from_slice(&entry.timestamp.as_nanos().to_be_bytes());
@@ -712,7 +765,7 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
     let rejected = reader.u64("rejected counter")?;
     let duplicates = reader.u64("duplicates counter")?;
 
-    let flow_count = reader.u32("flow count")? as usize;
+    let flow_count = reader.count("flow count")?;
     let mut dedup = std::collections::BTreeMap::new();
     let mut previous_flow: Option<u64> = None;
     for _ in 0..flow_count {
@@ -727,7 +780,7 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
         }
         previous_flow = Some(flow);
         let floor = reader.u64("window floor")?;
-        let seq_count = reader.u32("sequence count")? as usize;
+        let seq_count = reader.count("sequence count")?;
         let mut seen = std::collections::BTreeSet::new();
         let mut previous_seq: Option<u64> = None;
         for _ in 0..seq_count {
@@ -753,7 +806,7 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
         dedup.insert(flow, FlowWindow { floor, seen });
     }
 
-    let device_count = reader.u32("device count")? as usize;
+    let device_count = reader.count("device count")?;
     let mut histories = std::collections::BTreeMap::new();
     let mut previous_device: Option<u64> = None;
     for _ in 0..device_count {
@@ -768,7 +821,7 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
         }
         previous_device = Some(device);
         let collections = reader.u64("collection count")?;
-        let entry_count = reader.u32("entry count")? as usize;
+        let entry_count = reader.count("entry count")?;
         let mut entries = Vec::new();
         let mut previous_timestamp: Option<u64> = None;
         for _ in 0..entry_count {

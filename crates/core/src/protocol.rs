@@ -70,12 +70,14 @@ pub struct OnDemandRequest {
 }
 
 impl OnDemandRequest {
-    /// Canonical MAC input for the request, built on the stack.
+    /// Canonical MAC input for the request, built on the stack: the
+    /// big-endian request timestamp followed by `k` as a big-endian u64.
     pub fn mac_input(treq: SimTime, k: usize) -> [u8; 16] {
-        let mut input = [0u8; 16];
-        input[..8].copy_from_slice(&treq.as_nanos().to_be_bytes());
-        input[8..].copy_from_slice(&(k as u64).to_be_bytes());
-        input
+        let [t0, t1, t2, t3, t4, t5, t6, t7] = treq.as_nanos().to_be_bytes();
+        let [k0, k1, k2, k3, k4, k5, k6, k7] = u64::try_from(k).unwrap_or(u64::MAX).to_be_bytes();
+        [
+            t0, t1, t2, t3, t4, t5, t6, t7, k0, k1, k2, k3, k4, k5, k6, k7,
+        ]
     }
 
     /// Builds an authenticated request, deriving the key schedule from

@@ -45,7 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use erasmus_core::{
@@ -502,10 +502,10 @@ impl FuzzReport {
 pub struct FuzzSession {
     rng: SimRng,
     /// Per-device keyed MAC state, for the forgery oracle.
-    keys: HashMap<u64, KeyedMac>,
+    keys: BTreeMap<u64, KeyedMac>,
     /// Every `(device, encoded measurement)` the generator ever produced:
     /// the set of evidence a mutated frame is allowed to verify.
-    pristine: HashSet<(u64, Vec<u8>)>,
+    pristine: BTreeSet<(u64, Vec<u8>)>,
     round: u64,
 }
 
@@ -514,8 +514,8 @@ impl FuzzSession {
     pub fn new(seed: u64) -> Self {
         Self {
             rng: SimRng::seed_from(seed),
-            keys: HashMap::new(),
-            pristine: HashSet::new(),
+            keys: BTreeMap::new(),
+            pristine: BTreeSet::new(),
             round: 0,
         }
     }
