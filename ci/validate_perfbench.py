@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
-"""Validate an `erasmus-perfbench/v6` fleet report.
+"""Validate an `erasmus-perfbench/v7` fleet report.
 
 Usage:
     validate_perfbench.py REPORT.json [--lossless] [--recovered]
                           [--expect-seed N] [--expect-loss P]
                           [--expect-lanes N] [--expect-delivery MODE]
-                          [--expect-crashes N]
+                          [--expect-crashes N] [--expect-scheduler BACKEND]
 
-Checks the structural invariants every v6 document must satisfy (rates
+Checks the structural invariants every v7 document must satisfy (rates
 positive, per-thread sums consistent, delivered + dropped == attempted,
 the reliability ledger conserved — `unique_accepted + exhausted_retries +
 churn_losses + stale_retries == attempted`, the retry histogram summing
@@ -23,7 +23,12 @@ something; with `--expect-lanes` it requires the recorded effective lane
 width and, for widths > 1, at least one multi-lane hash job plus a
 positive lane-speedup probe; with `--expect-delivery` it pins the
 delivery mode (`wire` or `struct`); with `--expect-crashes` it pins the
-per-shard hub crash/restore cycle count and requires snapshot bytes.
+per-shard hub crash/restore cycle count and requires snapshot bytes; with
+`--expect-scheduler` it pins the event-queue backend (`calendar` or
+`heap`). v7 adds the per-result `scheduler` field and the `events` block
+(cohort coalescing ledger, event-pool high-water, queue counters), which
+must conserve: `coalesced + singleton == scheduled`, and every queue push
+must eventually pop.
 """
 
 import argparse
@@ -40,15 +45,17 @@ def validate(
     expect_lanes,
     expect_delivery,
     expect_crashes,
+    expect_scheduler,
 ) -> None:
     with open(path) as fh:
         doc = json.load(fh)
 
-    assert doc["schema"] == "erasmus-perfbench/v6", doc["schema"]
+    assert doc["schema"] == "erasmus-perfbench/v7", doc["schema"]
     assert doc["provers"] >= 1000, doc["provers"]
     assert doc["threads"] >= 2, doc["threads"]
     assert doc["lanes"] >= 1, doc["lanes"]
     assert doc["delivery"] in ("wire", "struct"), doc["delivery"]
+    assert doc["scheduler"] in ("calendar", "heap"), doc["scheduler"]
     assert isinstance(doc["seed"], int), doc["seed"]
     if expect_seed is not None:
         assert doc["seed"] == expect_seed, (doc["seed"], expect_seed)
@@ -56,6 +63,8 @@ def validate(
         assert doc["lanes"] == expect_lanes, (doc["lanes"], expect_lanes)
     if expect_delivery is not None:
         assert doc["delivery"] == expect_delivery, (doc["delivery"], expect_delivery)
+    if expect_scheduler is not None:
+        assert doc["scheduler"] == expect_scheduler, (doc["scheduler"], expect_scheduler)
 
     for result in doc["results"]:
         # Non-positive rates mean the sub-resolution clamp regressed.
@@ -69,6 +78,36 @@ def validate(
             assert result["devices_tracked"] == result["provers"], result
         assert result["seed"] == doc["seed"], result
         assert result["delivery"] == doc["delivery"], result
+        assert result["scheduler"] == doc["scheduler"], result
+
+        # Event-runtime ledger (v7). Insertion-time coalescing means one
+        # queue slot may deliver many same-instant measurements; the ledger
+        # must conserve, and — because the queue drains dry before a shard
+        # reports — every push must eventually pop. The pool high-water is
+        # the leak guard: it tracks in-flight responses, never run length.
+        events = result["events"]
+        assert (
+            events["coalesced"] + events["singleton"] == events["scheduled"]
+        ), events
+        assert events["scheduled"] <= result["measurements_total"], (
+            events,
+            result["measurements_total"],
+        )
+        assert events["queue_pushes"] == events["queue_pops"], events
+        assert events["queue_max_pending"] >= 1, events
+        assert events["pool_high_water"] >= 1, events
+        assert events["queue_overflow_pushes"] <= events["queue_pushes"], events
+        if doc["scheduler"] == "calendar":
+            assert events["queue_buckets"] > 0, events
+            assert events["queue_bucket_width_nanos"] > 0, events
+        else:
+            assert events["queue_buckets"] == 0, events
+            assert events["queue_bucket_width_nanos"] == 0, events
+        if result["provers"] > result["stagger_groups"]:
+            assert events["coalesced"] > 0, (
+                "devices share stagger offsets but nothing coalesced",
+                events,
+            )
 
         network = result["network"]
         for knob in ("loss", "duplicate", "reorder", "corrupt"):
@@ -241,6 +280,23 @@ def validate(
         assert sum(s["wire_frames"] for s in shards) == wire["frames"], result
         assert sum(s["wire_bytes"] for s in shards) == wire["bytes"], result
         assert sum(s["wire_accepted"] for s in shards) == wire["decoded_accepted"], result
+        assert sum(s["events_scheduled"] for s in shards) == events["scheduled"], result
+        assert sum(s["singleton_events"] for s in shards) == events["singleton"], result
+        assert sum(s["coalesced_events"] for s in shards) == events["coalesced"], result
+        assert (
+            sum(s["event_pool_high_water"] for s in shards) == events["pool_high_water"]
+        ), result
+        assert sum(s["queue_pushes"] for s in shards) == events["queue_pushes"], result
+        assert sum(s["queue_pops"] for s in shards) == events["queue_pops"], result
+        assert (
+            max(s["queue_max_pending"] for s in shards) == events["queue_max_pending"]
+        ), result
+        for shard in shards:
+            assert (
+                shard["coalesced_events"] + shard["singleton_events"]
+                == shard["events_scheduled"]
+            ), shard
+            assert shard["queue_pushes"] == shard["queue_pops"], shard
         assert all(s["all_healthy"] for s in shards), result
 
     scaling = doc["scaling"]
@@ -255,7 +311,7 @@ def validate(
     print(
         f"ok: {path}: {len(doc['results'])} algorithms, {doc['provers']} provers, "
         f"{doc['threads']} threads, {doc['lanes']} lane(s), {doc['delivery']} delivery, "
-        f"seed {doc['seed']}, {len(scaling)} scaling points"
+        f"{doc['scheduler']} scheduler, seed {doc['seed']}, {len(scaling)} scaling points"
     )
 
 
@@ -269,6 +325,9 @@ def main() -> int:
     parser.add_argument("--expect-lanes", type=int, default=None)
     parser.add_argument("--expect-delivery", choices=("wire", "struct"), default=None)
     parser.add_argument("--expect-crashes", type=int, default=None)
+    parser.add_argument(
+        "--expect-scheduler", choices=("calendar", "heap"), default=None
+    )
     args = parser.parse_args()
     validate(
         args.report,
@@ -279,6 +338,7 @@ def main() -> int:
         args.expect_lanes,
         args.expect_delivery,
         args.expect_crashes,
+        args.expect_scheduler,
     )
     return 0
 

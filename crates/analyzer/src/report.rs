@@ -83,7 +83,11 @@ pub fn render_json(analysis: &Analysis) -> String {
     let _ = writeln!(out, "  \"files_scanned\": {},", analysis.files_scanned);
     let _ = writeln!(out, "  \"waivers_used\": {},", analysis.waivers_used);
     let _ = writeln!(out, "  \"findings_waived\": {},", analysis.findings_waived);
-    let _ = writeln!(out, "  \"findings_allowed\": {},", analysis.findings_allowed);
+    let _ = writeln!(
+        out,
+        "  \"findings_allowed\": {},",
+        analysis.findings_allowed
+    );
     let _ = writeln!(out, "  \"clean\": {},", analysis.is_clean());
     out.push_str("  \"findings\": [");
     for (i, finding) in analysis.findings.iter().enumerate() {

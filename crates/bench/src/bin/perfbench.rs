@@ -5,7 +5,7 @@
 //! each driving an event-driven timeline with an optional lossy network,
 //! device churn and on-demand traffic — prints a throughput summary, runs a
 //! 1→N thread-scaling sweep and writes `BENCH_fleet.json` (schema
-//! `erasmus-perfbench/v6`) at the repository root so successive PRs have a
+//! `erasmus-perfbench/v7`) at the repository root so successive PRs have a
 //! perf trajectory to compare against.
 //!
 //! Usage:
@@ -16,6 +16,7 @@
 //! perfbench --threads 4      # shard the fleet over 4 worker threads
 //! perfbench --lanes 4        # batch same-instant measurements 4 lanes wide
 //! perfbench --delivery struct# legacy in-memory delivery (default: wire)
+//! perfbench --scheduler heap # binary-heap oracle (default: calendar)
 //! perfbench --provers 20000  # override the fleet size
 //! perfbench --seed 7         # reseed every deterministic draw
 //! perfbench --loss 0.05      # drop 5% of collection/on-demand packets
@@ -40,19 +41,25 @@
 //! `--hub-crash`) exercise the wire path's ARQ loop, the hub's dedup
 //! window and the snapshot-based crash recovery, so they require wire
 //! delivery; combining them with `--delivery struct` is rejected.
+//!
+//! `--scheduler` picks the event-queue backend each shard engine runs on:
+//! `calendar` (default) is the O(1) rotating-wheel scheduler, `heap` the
+//! original binary heap, retained as the oracle — totals are bit-identical
+//! under either, which the perf-smoke CI job cross-checks on every push.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use erasmus_bench::fleet::{self, scaling, FleetConfig};
 use erasmus_crypto::MacAlgorithm;
-use erasmus_sim::{NetworkConfig, SimDuration};
+use erasmus_sim::{NetworkConfig, Scheduler, SimDuration};
 
 struct Options {
     quick: bool,
     threads: usize,
     lanes: usize,
     wire: bool,
+    scheduler: Scheduler,
     provers: Option<usize>,
     rounds: Option<usize>,
     memory_bytes: Option<usize>,
@@ -71,7 +78,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: perfbench [--quick] [--threads N] [--lanes N] [--delivery wire|struct]\n\
-     \x20                [--provers N] [--rounds N]\n\
+     \x20                [--scheduler calendar|heap] [--provers N] [--rounds N]\n\
      \x20                [--memory BYTES] [--seed N] [--loss P] [--latency MS] [--churn P]\n\
      \x20                [--duplicate P] [--reorder P] [--corrupt P] [--retries N]\n\
      \x20                [--hub-crash N] [--on-demand N] [--out PATH]\n\
@@ -89,7 +96,10 @@ fn usage() -> &'static str {
      collection bursts reach the verifier hub: `wire` (default) encodes\n\
      them as batch frames and verifies zero-copy off the bytes, `struct`\n\
      keeps the legacy in-memory path — totals are bit-identical either\n\
-     way. --loss, --churn, --duplicate, --reorder and --corrupt are\n\
+     way. --scheduler picks the shard engines' event-queue backend:\n\
+     `calendar` (default) is the O(1) rotating-wheel scheduler, `heap`\n\
+     the binary-heap oracle — totals are bit-identical under either.\n\
+     --loss, --churn, --duplicate, --reorder and --corrupt are\n\
      probabilities in [0, 1]; --latency is the base link latency in\n\
      milliseconds (jitter is half the base); --seed makes faulty/churn runs\n\
      reproducible and is recorded in the JSON report. --retries bounds the\n\
@@ -105,6 +115,7 @@ fn parse_args() -> Result<Options, String> {
         threads: 1,
         lanes: 1,
         wire: true,
+        scheduler: Scheduler::Calendar,
         provers: None,
         rounds: None,
         memory_bytes: None,
@@ -139,6 +150,11 @@ fn parse_args() -> Result<Options, String> {
                         ));
                     }
                 };
+            }
+            "--scheduler" => {
+                options.scheduler = value_for("--scheduler")?
+                    .parse::<Scheduler>()
+                    .map_err(|e| format!("invalid --scheduler value: {e}"))?;
             }
             "--provers" => {
                 options.provers = Some(numeric(value_for("--provers")?, "--provers", 1)?);
@@ -277,6 +293,7 @@ fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
     config.on_demand = options.on_demand;
     config.lanes = options.lanes;
     config.wire = options.wire;
+    config.scheduler = options.scheduler;
     config
 }
 
@@ -303,14 +320,15 @@ fn main() -> ExitCode {
             let config = config_for(&options, algorithm);
             eprintln!(
                 "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) \
-                 x {} lane(s), {} delivery (seed {}, loss {}, dup {}, reorder {}, corrupt {}, \
-                 latency {} ms, churn {}, retries {}, hub-crashes {}, on-demand {}) ...",
+                 x {} lane(s), {} delivery, {} scheduler (seed {}, loss {}, dup {}, reorder {}, \
+                 corrupt {}, latency {} ms, churn {}, retries {}, hub-crashes {}, on-demand {}) ...",
                 config.provers,
                 config.measurements_per_round,
                 config.rounds,
                 options.threads,
                 fleet::lanes::effective_width(config.lanes),
                 if config.wire { "wire" } else { "struct" },
+                config.scheduler,
                 config.seed,
                 config.network.loss,
                 config.network.duplicate,

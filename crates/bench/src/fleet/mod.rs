@@ -49,8 +49,13 @@
 //! Shard results are merged into one [`FleetReport`]; the per-thread
 //! breakdown, the per-algorithm scalar-vs-lane speedup probe and the 1→N
 //! scaling sweep (see [`scaling`]) are serialized by the `perfbench` binary
-//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v6`) so successive
+//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v7`) so successive
 //! PRs accumulate a perf trajectory.
+//!
+//! Each shard engine schedules on the calendar-queue backend by default
+//! ([`erasmus_sim::Scheduler::Calendar`]); [`FleetConfig::scheduler`] can
+//! pin the binary-heap oracle instead, and every total is bit-identical
+//! between the two — the perf-smoke CI job cross-checks it on every push.
 
 pub mod lanes;
 pub mod reservoir;
@@ -65,7 +70,7 @@ use std::time::Duration;
 
 use erasmus_core::VerifierHub;
 use erasmus_crypto::MacAlgorithm;
-use erasmus_sim::{NetworkConfig, SimDuration, SimRng, SimTime};
+use erasmus_sim::{NetworkConfig, QueueStats, Scheduler, SimDuration, SimRng, SimTime};
 use erasmus_swarm::StaggeredSchedule;
 
 use shard::Shard;
@@ -131,6 +136,12 @@ pub struct FleetConfig {
     /// per-report allocation. `false` keeps the legacy in-memory struct
     /// path; totals are bit-identical either way.
     pub wire: bool,
+    /// Event-queue backend every shard engine schedules on. The calendar
+    /// queue (default) is the O(1) rotating-wheel scheduler; the binary
+    /// heap is retained as the bit-compatible oracle — every total is
+    /// identical under either backend (`--scheduler heap` cross-checks it
+    /// in CI).
+    pub scheduler: Scheduler,
 }
 
 impl FleetConfig {
@@ -159,6 +170,7 @@ impl FleetConfig {
             on_demand: 0,
             lanes: 1,
             wire: true,
+            scheduler: Scheduler::Calendar,
         }
     }
 
@@ -330,6 +342,26 @@ pub struct FleetReport {
     /// remainders (fewer than 4 devices left after the lane groups);
     /// scalar catch-up drains outside the cohort path are not counted.
     pub lane_remainder: u64,
+    /// Measurement events that went through the coalesced cohort path:
+    /// every due device of a `MeasureCohort` firing counts once.
+    pub events_scheduled: u64,
+    /// `MeasureCohort` queue slots actually popped to deliver those
+    /// measurements — the insertion-time coalescing means one slot per
+    /// `(instant, cohort)` regardless of how many devices are due.
+    pub singleton_events: u64,
+    /// Queue slots *saved* by coalescing: measurement events that rode an
+    /// already-scheduled cohort slot. Conservation invariant (checked by
+    /// `ci/validate_perfbench.py`):
+    /// `coalesced_events + singleton_events == events_scheduled`.
+    pub coalesced_events: u64,
+    /// High-water mark of live pooled event payloads (collection responses
+    /// and on-demand exchanges) summed over shards. Bounded by in-flight
+    /// traffic, not run length — the leak guard for long churn runs.
+    pub event_pool_high_water: u64,
+    /// Merged event-queue counters: pushes/pops/overflow summed over
+    /// shards, `max_pending` the per-shard maximum, bucket geometry from
+    /// the backend (0 for the heap).
+    pub queue: QueueStats,
     /// Scalar-vs-lane digest throughput probe, attached by `perfbench`
     /// (`None` for plain `run_threaded` calls).
     pub lane_speedup: Option<LaneSpeedup>,
@@ -487,6 +519,11 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     let mut devices_churned = 0u64;
     let mut lane_jobs = 0u64;
     let mut lane_remainder = 0u64;
+    let mut events_scheduled = 0u64;
+    let mut singleton_events = 0u64;
+    let mut coalesced_events = 0u64;
+    let mut event_pool_high_water = 0u64;
+    let mut queue = QueueStats::default();
     let mut latency_sample = LatencyReservoir::with_default_cap();
     for report in &shard_reports {
         measurements_total += report.measurements;
@@ -528,6 +565,18 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         devices_churned += report.devices_churned;
         lane_jobs += report.lane_jobs;
         lane_remainder += report.lane_remainder;
+        events_scheduled += report.events_scheduled;
+        singleton_events += report.singleton_events;
+        coalesced_events += report.coalesced_events;
+        event_pool_high_water += report.event_pool_high_water;
+        queue.pushes += report.queue.pushes;
+        queue.pops += report.queue.pops;
+        queue.overflow_pushes += report.queue.overflow_pushes;
+        queue.max_pending = queue.max_pending.max(report.queue.max_pending);
+        queue.buckets = queue.buckets.max(report.queue.buckets);
+        queue.bucket_width_nanos = queue
+            .bucket_width_nanos
+            .max(report.queue.bucket_width_nanos);
         latency_sample.merge(report.on_demand_latencies.clone());
     }
     let latencies = latency_sample.sorted_latencies();
@@ -581,6 +630,11 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         devices_churned,
         lane_jobs,
         lane_remainder,
+        events_scheduled,
+        singleton_events,
+        coalesced_events,
+        event_pool_high_water,
+        queue,
         lane_speedup: None,
         shards: shard_reports,
     }
@@ -629,6 +683,12 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"lane_jobs\": {lane_jobs},\n\
          {indent}  \"lane_remainder\": {lane_remainder},\n\
          {indent}  \"lane_speedup\": {lane_speedup},\n\
+         {indent}  \"scheduler\": \"{scheduler}\",\n\
+         {indent}  \"events\": {{ \"scheduled\": {ev_sched}, \"singleton\": {ev_single}, \
+         \"coalesced\": {ev_coal}, \"pool_high_water\": {ev_pool}, \
+         \"queue_pushes\": {q_push}, \"queue_pops\": {q_pop}, \
+         \"queue_overflow_pushes\": {q_ovf}, \"queue_max_pending\": {q_max}, \
+         \"queue_buckets\": {q_buckets}, \"queue_bucket_width_nanos\": {q_width} }},\n\
          {indent}  \"devices_churned\": {churned},\n\
          {indent}  \"on_demand\": {{ \"attempted\": {od_att}, \"completed\": {od_done}, \
          \"latency_ms_p50\": {p50:.3}, \"latency_ms_p90\": {p90:.3}, \"latency_ms_p99\": {p99:.3} }},\n\
@@ -688,6 +748,17 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         wmibs = report.decode_mib_per_sec(),
         lane_jobs = report.lane_jobs,
         lane_remainder = report.lane_remainder,
+        scheduler = report.config.scheduler,
+        ev_sched = report.events_scheduled,
+        ev_single = report.singleton_events,
+        ev_coal = report.coalesced_events,
+        ev_pool = report.event_pool_high_water,
+        q_push = report.queue.pushes,
+        q_pop = report.queue.pops,
+        q_ovf = report.queue.overflow_pushes,
+        q_max = report.queue.max_pending,
+        q_buckets = report.queue.buckets,
+        q_width = report.queue.bucket_width_nanos,
         lane_speedup = report
             .lane_speedup
             .as_ref()
@@ -739,12 +810,15 @@ pub fn document_json(
     let delivery = reports
         .first()
         .map_or("wire", |r| if r.config.wire { "wire" } else { "struct" });
+    let scheduler = reports
+        .first()
+        .map_or(Scheduler::Calendar, |r| r.config.scheduler);
     let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
     let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
     format!(
-        "{{\n  \"schema\": \"erasmus-perfbench/v6\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"erasmus-perfbench/v7\",\n  \"mode\": \"{mode}\",\n  \
          \"provers\": {provers},\n  \"threads\": {threads},\n  \"lanes\": {lane_width},\n  \
-         \"delivery\": \"{delivery}\",\n  \"seed\": {seed},\n  \
+         \"delivery\": \"{delivery}\",\n  \"scheduler\": \"{scheduler}\",\n  \"seed\": {seed},\n  \
          \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scaling_entries.join(",\n"),
@@ -1026,7 +1100,12 @@ mod tests {
         }];
         let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
         assert!(doc.starts_with("{\n"));
-        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v6\""));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v7\""));
+        assert!(doc.contains("\"scheduler\": \"calendar\""));
+        assert!(doc.contains("\"events\": {"));
+        assert!(doc.contains("\"pool_high_water\""));
+        assert!(doc.contains("\"queue_overflow_pushes\""));
+        assert!(doc.contains("\"queue_buckets\": 1024"));
         assert!(doc.contains("\"delivery\": \"wire\""));
         assert!(doc.contains("\"wire\": {"));
         assert!(doc.contains("\"decoded_accepted\""));
@@ -1073,6 +1152,77 @@ mod tests {
         // Balanced braces/brackets — the cheap structural JSON check.
         assert_eq!(doc.matches('{').count(), doc.matches('}').count(), "{doc}");
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn heap_scheduler_matches_calendar_bit_for_bit() {
+        // The heap backend is the oracle: a faulty, churny, on-demand run
+        // must produce the identical report under either scheduler — only
+        // the queue-geometry stats may differ.
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(12),
+            jitter: SimDuration::from_millis(8),
+            loss: 0.1,
+            duplicate: 0.05,
+            reorder: 0.05,
+            corrupt: 0.05,
+        };
+        config.churn = 0.25;
+        config.retries = 3;
+        config.on_demand = 4;
+        config.hub_crashes = 1;
+        let calendar = run(&config);
+        assert_eq!(calendar.config.scheduler, Scheduler::Calendar);
+        config.scheduler = Scheduler::Heap;
+        let heap = run(&config);
+        assert_eq!(heap.queue.buckets, 0, "heap reports no bucket geometry");
+        assert!(calendar.queue.buckets > 0);
+        // Every observable total agrees; normalize the fields that are
+        // allowed to differ (config, queue geometry, wall clocks).
+        let mut normalized = heap.clone();
+        normalized.config.scheduler = Scheduler::Calendar;
+        normalized.queue = calendar.queue;
+        normalized.measure_wall = calendar.measure_wall;
+        normalized.verify_wall = calendar.verify_wall;
+        normalized.encode_wall = calendar.encode_wall;
+        normalized.wire_ingest_wall = calendar.wire_ingest_wall;
+        for (a, b) in normalized.shards.iter_mut().zip(&calendar.shards) {
+            a.queue = b.queue;
+            a.measure_wall = b.measure_wall;
+            a.verify_wall = b.verify_wall;
+            a.encode_wall = b.encode_wall;
+            a.wire_ingest_wall = b.wire_ingest_wall;
+        }
+        assert_eq!(normalized, calendar);
+    }
+
+    #[test]
+    fn coalescing_ledger_conserves_scheduled_events() {
+        // coalesced + singleton == scheduled, in every mode — and with
+        // more devices than stagger groups the cohort path must actually
+        // save queue slots.
+        for lanes in [1usize, 8] {
+            let mut config = tiny(MacAlgorithm::HmacSha256);
+            config.provers = 64;
+            config.stagger_groups = 4;
+            config.lanes = lanes;
+            let report = run_threaded(&config, 2);
+            assert_eq!(
+                report.coalesced_events + report.singleton_events,
+                report.events_scheduled,
+                "lanes={lanes}"
+            );
+            assert_eq!(report.events_scheduled, report.measurements_total);
+            assert!(
+                report.coalesced_events > 0,
+                "16 devices per stagger group must coalesce (lanes={lanes})"
+            );
+            assert!(report.event_pool_high_water > 0);
+            // Queue accounting: every push is eventually popped.
+            assert_eq!(report.queue.pushes, report.queue.pops);
+            assert!(report.queue.max_pending > 0);
+        }
     }
 
     #[test]

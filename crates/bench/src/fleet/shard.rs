@@ -53,6 +53,32 @@
 //! Every fault and retry draw is keyed by global device index or shard
 //! base, so recovered totals stay thread-count-invariant and — with a
 //! sufficient budget — bit-identical to the fault-free run.
+//!
+//! # Runtime layout
+//!
+//! The shard is built for event throughput, not just correctness:
+//!
+//! * The engine schedules on the calendar-queue backend by default
+//!   ([`FleetConfig::scheduler`] selects the binary-heap compatibility
+//!   backend, which must produce bit-identical totals).
+//! * Per-device hot state is struct-of-arrays ([`DeviceState`]): schedule
+//!   cursors, epoch tags, horizons and sequence counters live in parallel
+//!   vecs indexed by dense local slot, so cohort due-scans and lane
+//!   batching walk contiguous columns instead of hopping across large
+//!   `(Prover, Verifier)` pairs. The `next_due` column caches
+//!   `Prover::next_measurement_due()` and is refreshed after every
+//!   schedule-mutating prover call.
+//! * Heavy event payloads (collection responses riding the ARQ loop,
+//!   on-demand exchanges) live in [`EventPool`] slabs; events carry a
+//!   4-byte [`SlotId`]. Every path that abandons an event — stale retries
+//!   after churn, exhausted budgets — takes its slot back, so a long churn
+//!   run cannot grow the pools unboundedly (the fleet determinism tests
+//!   assert the high-water mark).
+//! * Self-measurements are coalesced at insertion: one `MeasureCohort`
+//!   event per (instant, stagger cohort) in *every* mode (the scalar path
+//!   simply runs width-1 jobs), instead of one queue entry per device.
+//!   The per-shard ledger keeps the conservation invariant
+//!   `coalesced_events + singleton_events == events_scheduled`.
 
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -65,7 +91,8 @@ use erasmus_core::{
 };
 use erasmus_hw::{DeviceKey, DeviceProfile};
 use erasmus_sim::{
-    Corruption, Delivery, Engine, NetworkModel, ScheduledEvent, SimDuration, SimRng, SimTime,
+    Corruption, Delivery, Engine, EventPool, NetworkModel, QueueStats, ScheduledEvent, SimDuration,
+    SimRng, SimTime, SlotId,
 };
 use erasmus_swarm::StaggeredSchedule;
 
@@ -94,48 +121,97 @@ fn flow(global: u64, channel: u64) -> u64 {
     global * CHANNELS + channel
 }
 
-/// One device of a shard: the protocol pair plus its timeline state.
-struct ShardDevice {
-    prover: Prover,
-    verifier: Verifier,
-    offset: SimDuration,
-    /// Global fleet index: keys, phase offsets and network flows hang off
-    /// this, never off the shard-local index.
-    global: u64,
-    /// The device's last collection instant; no measurement is scheduled
+/// Struct-of-arrays device state: every hot per-device scalar lives in its
+/// own parallel vec, indexed by dense local slot.
+///
+/// Cohort due-scans read only the `active`/`next_due`/`horizon` columns —
+/// a few bytes per device, contiguous — and lane batching selects disjoint
+/// `&mut Prover`s straight out of the `provers` column. A device's global
+/// fleet index (keys, phase offsets, network flows) is `base + local`;
+/// it is never stored per device.
+struct DeviceState {
+    provers: Vec<Prover>,
+    verifiers: Vec<Verifier>,
+    /// Stagger phase offsets.
+    offsets: Vec<SimDuration>,
+    /// Each device's last collection instant; no measurement is scheduled
     /// past it.
-    horizon: SimTime,
+    horizons: Vec<SimTime>,
+    /// Cached `Prover::next_measurement_due()`, refreshed after every
+    /// schedule-mutating prover call (measure, batch measure, catch-up
+    /// drain, rejoin skip): the cohort scan never touches the prover.
+    next_due: Vec<SimTime>,
     /// Whether the device is currently part of the fleet (churn).
-    active: bool,
-    /// Bumped on every leave: outstanding `Measure` events from before the
-    /// churn are recognized as stale and ignored.
-    epoch: u32,
-    collect_seq: u64,
-    od_request_seq: u64,
-    od_response_seq: u64,
+    active: Vec<bool>,
+    /// Bumped on every churn transition: outstanding retry events from
+    /// before the churn are recognized as stale and discarded.
+    epochs: Vec<u32>,
+    collect_seqs: Vec<u64>,
+    od_request_seqs: Vec<u64>,
+    od_response_seqs: Vec<u64>,
+}
+
+impl DeviceState {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            provers: Vec::with_capacity(capacity),
+            verifiers: Vec::with_capacity(capacity),
+            offsets: Vec::with_capacity(capacity),
+            horizons: Vec::with_capacity(capacity),
+            next_due: Vec::with_capacity(capacity),
+            active: Vec::with_capacity(capacity),
+            epochs: Vec::with_capacity(capacity),
+            collect_seqs: Vec::with_capacity(capacity),
+            od_request_seqs: Vec::with_capacity(capacity),
+            od_response_seqs: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn push(&mut self, prover: Prover, verifier: Verifier, offset: SimDuration, horizon: SimTime) {
+        self.next_due.push(prover.next_measurement_due());
+        self.provers.push(prover);
+        self.verifiers.push(verifier);
+        self.offsets.push(offset);
+        self.horizons.push(horizon);
+        self.active.push(true);
+        self.epochs.push(0);
+        self.collect_seqs.push(0);
+        self.od_request_seqs.push(0);
+        self.od_response_seqs.push(0);
+    }
+
+    fn len(&self) -> usize {
+        self.provers.len()
+    }
 }
 
 /// The events a shard's timeline is made of.
+///
+/// Heavy payloads do not ride in the queue: collection responses and
+/// on-demand exchanges live in the [`RunState`] event pools and the events
+/// carry [`SlotId`]s, so a queued event is a couple of words regardless of
+/// how much evidence it moves.
 enum FleetEvent {
-    /// A scheduled self-measurement is due on a device (scalar mode).
-    Measure { device: usize, epoch: u32 },
-    /// A stagger cohort's scheduled self-measurements are due (lane-batched
-    /// mode): every active member measures at this instant, in
-    /// lane-interleaved groups.
+    /// A stagger cohort's scheduled self-measurements are due: every active
+    /// member measures at this instant — in lane-interleaved groups when
+    /// lanes are on, scalar width-1 jobs otherwise. One queue slot per
+    /// (instant, cohort), coalesced at insertion.
     MeasureCohort { cohort: usize },
     /// The verifier's collection request reaches a device.
     CollectArrive { device: usize },
     /// A collection response reaches the verifier side.
     CollectDeliver {
         device: usize,
-        response: CollectionResponse,
+        /// The pooled [`CollectionResponse`].
+        slot: SlotId,
         /// How many retransmissions this copy took (0 = first send).
         attempt: u32,
     },
     /// A dropped collection response's retransmission timer fires.
     CollectRetry {
         device: usize,
-        response: CollectionResponse,
+        /// The pooled [`CollectionResponse`] awaiting retransmission.
+        slot: SlotId,
         /// The original send's collect sequence number: retry fault draws
         /// key off `(CHANNEL_RETRY, seq << 8 | attempt)`, so they never
         /// collide with first-send draws and stay partition-invariant.
@@ -153,15 +229,16 @@ enum FleetEvent {
         request: OnDemandRequest,
         issued: SimTime,
     },
-    /// An on-demand response reaches the verifier side.
-    OnDemandDeliver(Box<OnDemandExchange>),
+    /// An on-demand response reaches the verifier side; the exchange is
+    /// pooled.
+    OnDemandDeliver { slot: SlotId },
     /// A device drops out of the fleet.
     DeviceLeave { device: usize },
     /// A device rejoins the fleet and resumes its (phase-aligned) schedule.
     DeviceJoin { device: usize },
 }
 
-/// Payload of an [`FleetEvent::OnDemandDeliver`] event.
+/// Pooled payload of an [`FleetEvent::OnDemandDeliver`] event.
 struct OnDemandExchange {
     device: usize,
     request: OnDemandRequest,
@@ -247,6 +324,19 @@ struct RunState {
     snapshot_bytes: u64,
     lane_jobs: u64,
     lane_remainder: u64,
+    /// Pooled collection responses in flight through the ARQ loop.
+    response_pool: EventPool<CollectionResponse>,
+    /// Pooled on-demand exchanges in flight to the verifier.
+    od_pool: EventPool<OnDemandExchange>,
+    /// Reusable due-member scratch for cohort fires (no per-fire alloc).
+    due_scratch: Vec<usize>,
+    /// Measurement firings that went through the coalesced cohort path.
+    events_scheduled: u64,
+    /// Cohort fires: queue slots that actually carried due measurements.
+    singleton_events: u64,
+    /// Measurements that rode an already-occupied (instant, cohort) slot
+    /// instead of their own queue entry.
+    coalesced_events: u64,
 }
 
 impl RunState {
@@ -306,6 +396,12 @@ impl RunState {
             snapshot_bytes: 0,
             lane_jobs: 0,
             lane_remainder: 0,
+            response_pool: EventPool::new(),
+            od_pool: EventPool::new(),
+            due_scratch: Vec::new(),
+            events_scheduled: 0,
+            singleton_events: 0,
+            coalesced_events: 0,
         }
     }
 
@@ -332,9 +428,10 @@ fn report_is_clean(report: &CollectionReport) -> bool {
             .is_none()
 }
 
-/// One stagger cohort of a lane-batched shard: the local devices sharing a
-/// phase offset, i.e. exactly the devices whose `Measure` events fire at
-/// the same simulated instants.
+/// One stagger cohort: the local devices sharing a phase offset, i.e.
+/// exactly the devices whose self-measurements fire at the same simulated
+/// instants. Cohorts drive measurement in every mode — the queue holds one
+/// `MeasureCohort` slot per (instant, cohort), never one event per device.
 struct Cohort {
     /// Local device indices, ascending (provision order).
     members: Vec<usize>,
@@ -351,19 +448,18 @@ pub(crate) struct Shard {
     /// contiguous, so `global - base` recovers the local index when a
     /// decoded frame record is routed back to its verifier.
     base: usize,
-    devices: Vec<ShardDevice>,
+    devices: DeviceState,
     hub: VerifierHub,
     engine: Engine<FleetEvent>,
     /// `(local index, leave, rejoin)` churn plan, drawn per global device.
     churn: Vec<(usize, SimTime, SimTime)>,
     /// `(local index, issue instant)` on-demand plan, sorted by time.
     on_demand: Vec<(usize, SimTime)>,
-    /// Effective lane width for batched measurement (1 = scalar mode; the
-    /// cohort machinery below is then unused).
+    /// Effective lane width for batched measurement (1 = scalar jobs).
     lane_width: usize,
-    /// Stagger cohorts (lane-batched mode only; empty in scalar mode).
+    /// Stagger cohorts (one per phase offset present in this shard).
     cohorts: Vec<Cohort>,
-    /// Local device index → cohort index (lane-batched mode only).
+    /// Local device index → cohort index.
     cohort_of: Vec<usize>,
 }
 
@@ -466,6 +562,21 @@ pub struct ShardReport {
     /// device collected mid-lattice under extreme latency) are scalar too
     /// but are not counted here.
     pub lane_remainder: u64,
+    /// Measurement firings that went through the coalesced cohort path.
+    pub events_scheduled: u64,
+    /// Cohort fires — queue slots that carried at least one due
+    /// measurement.
+    pub singleton_events: u64,
+    /// Measurements that rode an already-occupied (instant, cohort) queue
+    /// slot. Conservation: `coalesced_events + singleton_events ==
+    /// events_scheduled`.
+    pub coalesced_events: u64,
+    /// Peak live slots across the shard's event payload pools — bounded
+    /// even under heavy churn, because every abandoned event recycles its
+    /// slot.
+    pub event_pool_high_water: u64,
+    /// Lifetime counters of the shard engine's event queue.
+    pub queue: QueueStats,
 }
 
 impl ShardReport {
@@ -481,6 +592,10 @@ impl ShardReport {
              \"wire_bytes\": {wbytes}, \"wire_accepted\": {waccepted}, \
              \"encode_wall_secs\": {wenc:.6}, \"wire_ingest_wall_secs\": {wing:.6}, \
              \"lane_jobs\": {lane_jobs}, \
+             \"events_scheduled\": {ev_sched}, \"singleton_events\": {ev_single}, \
+             \"coalesced_events\": {ev_coal}, \"event_pool_high_water\": {pool_hw}, \
+             \"queue_pushes\": {q_push}, \"queue_pops\": {q_pop}, \
+             \"queue_overflow_pushes\": {q_ovf}, \"queue_max_pending\": {q_max}, \
              \"all_healthy\": {healthy} }}",
             shard = self.shard,
             provers = self.provers,
@@ -499,6 +614,14 @@ impl ShardReport {
             wenc = self.encode_wall.as_secs_f64(),
             wing = self.wire_ingest_wall.as_secs_f64(),
             lane_jobs = self.lane_jobs,
+            ev_sched = self.events_scheduled,
+            ev_single = self.singleton_events,
+            ev_coal = self.coalesced_events,
+            pool_hw = self.event_pool_high_water,
+            q_push = self.queue.pushes,
+            q_pop = self.queue.pops,
+            q_ovf = self.queue.overflow_pushes,
+            q_max = self.queue.max_pending,
             healthy = self.all_healthy,
         )
     }
@@ -524,45 +647,32 @@ impl Shard {
         let buffer_slots = config.measurements_per_round.max(1);
         let round_span = MEASUREMENT_INTERVAL * config.measurements_per_round as u64;
         let span = round_span * config.rounds as u64;
-        let devices: Vec<ShardDevice> = range
-            .clone()
-            .map(|i| {
-                // The device's phase offset goes into its *prover schedule*:
-                // measurements genuinely fire at `offset + k·T_M`, so at any
-                // simulated instant only one stagger group is busy measuring.
-                let offset = schedule.offset(i);
-                let prover_config = ProverConfig::builder()
-                    .measurement_interval(MEASUREMENT_INTERVAL)
-                    .buffer_slots(buffer_slots)
-                    .mac_algorithm(config.algorithm)
-                    .phase_offset(offset)
-                    .build()
-                    .expect("fleet prover config is valid");
-                let key = DeviceKey::derive(b"erasmus-fleet", i as u64);
-                let prover = Prover::new(
-                    DeviceId::new(i as u64),
-                    DeviceProfile::msp430_8mhz(config.memory_bytes),
-                    key.clone(),
-                    prover_config,
-                )
-                .expect("fleet prover provisions");
-                let mut verifier = Verifier::new(key, config.algorithm);
-                verifier.learn_reference_image(prover.mcu().app_memory());
-                verifier.set_expected_interval(MEASUREMENT_INTERVAL);
-                ShardDevice {
-                    prover,
-                    verifier,
-                    offset,
-                    global: i as u64,
-                    horizon: SimTime::ZERO + span + offset,
-                    active: true,
-                    epoch: 0,
-                    collect_seq: 0,
-                    od_request_seq: 0,
-                    od_response_seq: 0,
-                }
-            })
-            .collect();
+        let mut devices = DeviceState::with_capacity(range.len());
+        for i in range.clone() {
+            // The device's phase offset goes into its *prover schedule*:
+            // measurements genuinely fire at `offset + k·T_M`, so at any
+            // simulated instant only one stagger group is busy measuring.
+            let offset = schedule.offset(i);
+            let prover_config = ProverConfig::builder()
+                .measurement_interval(MEASUREMENT_INTERVAL)
+                .buffer_slots(buffer_slots)
+                .mac_algorithm(config.algorithm)
+                .phase_offset(offset)
+                .build()
+                .expect("fleet prover config is valid");
+            let key = DeviceKey::derive(b"erasmus-fleet", i as u64);
+            let prover = Prover::new(
+                DeviceId::new(i as u64),
+                DeviceProfile::msp430_8mhz(config.memory_bytes),
+                key.clone(),
+                prover_config,
+            )
+            .expect("fleet prover provisions");
+            let mut verifier = Verifier::new(key, config.algorithm);
+            verifier.learn_reference_image(prover.mcu().app_memory());
+            verifier.set_expected_interval(MEASUREMENT_INTERVAL);
+            devices.push(prover, verifier, offset, SimTime::ZERO + span + offset);
+        }
 
         let churn = if config.churn > 0.0 {
             range
@@ -593,28 +703,27 @@ impl Shard {
             .map(|&(device, at)| (device - range.start, at))
             .collect();
 
-        // Lane-batched mode: group the shard's devices into stagger
-        // cohorts — one cohort per phase offset, i.e. per set of devices
-        // whose measurements are due at the same simulated instants.
+        // Group the shard's devices into stagger cohorts — one cohort per
+        // phase offset, i.e. per set of devices whose measurements are due
+        // at the same simulated instants. Cohorts drive measurement in
+        // every mode: the queue holds one coalesced event per (instant,
+        // cohort) whether the jobs then run lane-batched or scalar.
         let lane_width = super::lanes::effective_width(config.lanes);
         let mut cohorts: Vec<Cohort> = Vec::new();
-        let mut cohort_of: Vec<usize> = Vec::new();
-        if lane_width > 1 {
-            let mut by_group: std::collections::BTreeMap<usize, usize> =
-                std::collections::BTreeMap::new();
-            cohort_of = Vec::with_capacity(devices.len());
-            for device in &devices {
-                let group = schedule.group_of(device.global as usize);
-                let cohort = *by_group.entry(group).or_insert_with(|| {
-                    cohorts.push(Cohort {
-                        members: Vec::new(),
-                        scheduled: None,
-                    });
-                    cohorts.len() - 1
+        let mut cohort_of: Vec<usize> = Vec::with_capacity(devices.len());
+        let mut by_group: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for local in 0..devices.len() {
+            let group = schedule.group_of(range.start + local);
+            let cohort = *by_group.entry(group).or_insert_with(|| {
+                cohorts.push(Cohort {
+                    members: Vec::new(),
+                    scheduled: None,
                 });
-                cohorts[cohort].members.push(cohort_of.len());
-                cohort_of.push(cohort);
-            }
+                cohorts.len() - 1
+            });
+            cohorts[cohort].members.push(local);
+            cohort_of.push(cohort);
         }
 
         Self {
@@ -622,7 +731,7 @@ impl Shard {
             base: range.start,
             devices,
             hub: VerifierHub::new(),
-            engine: Engine::new(),
+            engine: Engine::with_scheduler(config.scheduler),
             churn,
             on_demand,
             lane_width,
@@ -677,38 +786,23 @@ impl Shard {
                 );
             engine.schedule_at(at, FleetEvent::HubCrash);
         }
-        // Then one pending Measure event per device, every scheduled
-        // collection arrival, the churn plan, and the on-demand plan (whose
-        // requests are built now, in issue order, so each device's `t_req`
-        // values are strictly increasing).
-        for (local, device) in self.devices.iter().enumerate() {
-            if self.lane_width == 1 {
-                let due = device.prover.next_measurement_due();
-                if due <= device.horizon {
-                    engine.schedule_at(
-                        due,
-                        FleetEvent::Measure {
-                            device: local,
-                            epoch: device.epoch,
-                        },
-                    );
-                }
-            }
+        // Then every scheduled collection arrival, one coalesced measure
+        // event per cohort (never one per device), the churn plan, and the
+        // on-demand plan (whose requests are built now, in issue order, so
+        // each device's `t_req` values are strictly increasing).
+        for local in 0..self.devices.len() {
             for round in 1..=config.rounds {
-                let at = SimTime::ZERO + round_span * round as u64 + device.offset;
+                let at = SimTime::ZERO + round_span * round as u64 + self.devices.offsets[local];
                 engine.schedule_at(at, FleetEvent::CollectArrive { device: local });
             }
         }
-        // Lane-batched mode: one authoritative measure event per cohort
-        // instead of one per device.
         for (index, cohort) in self.cohorts.iter_mut().enumerate() {
             let next = cohort
                 .members
                 .iter()
                 .filter_map(|&member| {
-                    let device = &self.devices[member];
-                    let due = device.prover.next_measurement_due();
-                    (due <= device.horizon).then_some(due)
+                    let due = self.devices.next_due[member];
+                    (due <= self.devices.horizons[member]).then_some(due)
                 })
                 .min();
             if let Some(at) = next {
@@ -722,14 +816,13 @@ impl Shard {
         }
         let plan = std::mem::take(&mut self.on_demand);
         for &(local, issued) in &plan {
-            let device = &mut self.devices[local];
-            let request = device
-                .verifier
+            let request = self.devices.verifiers[local]
                 .make_on_demand_request(config.measurements_per_round, issued);
             state.od_attempted += 1;
-            let seq = device.od_request_seq;
-            device.od_request_seq += 1;
-            match network.sample(flow(device.global, CHANNEL_OD_REQUEST), seq) {
+            let seq = self.devices.od_request_seqs[local];
+            self.devices.od_request_seqs[local] += 1;
+            let global = (self.base + local) as u64;
+            match network.sample(flow(global, CHANNEL_OD_REQUEST), seq) {
                 Delivery::Dropped => state.od_dropped += 1,
                 Delivery::Delivered(latency) => engine.schedule_at(
                     issued + latency,
@@ -748,12 +841,24 @@ impl Shard {
             true
         });
         self.flush_batch(&mut state, &network);
+        // Every delivered or abandoned event gave its pooled slot back; a
+        // drained queue with live slots would be a leak.
+        assert!(
+            state.response_pool.is_empty(),
+            "all pooled collection responses are consumed"
+        );
+        assert!(
+            state.od_pool.is_empty(),
+            "all pooled on-demand exchanges are consumed"
+        );
+        let queue = engine.queue_stats();
         self.engine = engine;
 
         let simulated_busy = self
             .devices
+            .provers
             .iter()
-            .map(|device| device.prover.total_busy_time())
+            .map(|prover| prover.total_busy_time())
             .fold(SimDuration::ZERO, |acc, busy| acc + busy);
 
         ShardReport {
@@ -798,6 +903,12 @@ impl Shard {
             devices_churned: self.churn.len() as u64,
             lane_jobs: state.lane_jobs,
             lane_remainder: state.lane_remainder,
+            events_scheduled: state.events_scheduled,
+            singleton_events: state.singleton_events,
+            coalesced_events: state.coalesced_events,
+            event_pool_high_water: (state.response_pool.high_water() + state.od_pool.high_water())
+                as u64,
+            queue,
         }
     }
 
@@ -811,17 +922,6 @@ impl Shard {
     ) {
         let now = event.time;
         match event.payload {
-            FleetEvent::Measure { device, epoch } => {
-                let d = &mut self.devices[device];
-                if !d.active || d.epoch != epoch {
-                    return; // stale event from before a churn transition
-                }
-                drain_due_measurements(d, now, state);
-                let next = d.prover.next_measurement_due();
-                if next <= d.horizon {
-                    engine.schedule_at(next, FleetEvent::Measure { device, epoch });
-                }
-            }
             FleetEvent::MeasureCohort { cohort } => {
                 if self.cohorts[cohort].scheduled != Some(now) {
                     return; // superseded by an earlier reschedule
@@ -831,19 +931,18 @@ impl Shard {
             }
             FleetEvent::CollectArrive { device } => {
                 state.collect_attempted += 1;
-                // Lane-batched mode: if this device's cohort is due at this
-                // very instant, fire the whole batch first — otherwise the
-                // per-device drain below would take this device's
-                // measurement scalar and shrink the lane group.
-                if self.lane_width > 1 {
-                    let cohort = self.cohort_of[device];
-                    if self.cohorts[cohort].scheduled == Some(now) {
-                        self.cohorts[cohort].scheduled = None;
-                        self.measure_cohort(engine, state, cohort, now);
-                    }
+                // If this device's cohort is due at this very instant, fire
+                // the whole batch first — otherwise the per-device drain
+                // below would take this device's measurement scalar and
+                // shrink the lane group (and, in every mode, cohort members
+                // must measure before any same-instant collection reads a
+                // buffer).
+                let cohort = self.cohort_of[device];
+                if self.cohorts[cohort].scheduled == Some(now) {
+                    self.cohorts[cohort].scheduled = None;
+                    self.measure_cohort(engine, state, cohort, now);
                 }
-                let d = &mut self.devices[device];
-                if !d.active {
+                if !self.devices.active[device] {
                     // An absent device answers nothing: the attempt is lost.
                     state.collect_dropped += 1;
                     state.churn_losses += 1;
@@ -851,54 +950,63 @@ impl Shard {
                 }
                 // `run_until` semantics: a measurement due exactly at the
                 // collection instant happens before the buffer is read.
-                drain_due_measurements(d, now, state);
+                if self.devices.next_due[device] <= now {
+                    self.devices.next_due[device] =
+                        drain_due_measurements(&mut self.devices.provers[device], now, state);
+                }
                 let started = Instant::now();
-                let response = d.prover.handle_collection(&state.request, now);
+                let response = self.devices.provers[device].handle_collection(&state.request, now);
                 state.verify_wall += started.elapsed();
-                let seq = d.collect_seq;
-                d.collect_seq += 1;
-                let epoch = d.epoch;
-                self.dispatch_collection(
-                    engine, state, network, device, response, seq, 0, epoch, now,
-                );
+                let seq = self.devices.collect_seqs[device];
+                self.devices.collect_seqs[device] += 1;
+                let epoch = self.devices.epochs[device];
+                let slot = state.response_pool.insert(response);
+                self.dispatch_collection(engine, state, network, device, slot, seq, 0, epoch, now);
             }
             FleetEvent::CollectRetry {
                 device,
-                response,
+                slot,
                 seq,
                 attempt,
                 epoch,
             } => {
-                let d = &self.devices[device];
-                if !d.active || d.epoch != epoch {
+                if !self.devices.active[device] || self.devices.epochs[device] != epoch {
                     // The device churned mid-backoff: the buffered copy is
-                    // stale evidence and must not be replayed.
+                    // stale evidence and must not be replayed — and its
+                    // pooled slot is recycled, so churn can never grow the
+                    // pool unboundedly.
                     state.collect_dropped += 1;
                     state.stale_retries += 1;
+                    state
+                        .response_pool
+                        .take(slot)
+                        .expect("stale retry still owns its slot");
                     return;
                 }
                 state.collect_retransmits += 1;
                 self.dispatch_collection(
-                    engine, state, network, device, response, seq, attempt, epoch, now,
+                    engine, state, network, device, slot, seq, attempt, epoch, now,
                 );
             }
             FleetEvent::CollectDeliver {
                 device,
-                response,
+                slot,
                 attempt,
             } => {
                 state.collect_delivered += 1;
                 state.retry_histogram[attempt as usize] += 1;
+                let response = state
+                    .response_pool
+                    .take(slot)
+                    .expect("delivered response owns its slot");
                 if state.wire {
                     // Wire delivery: the response joins the current burst
                     // as-is; the whole burst is frame-encoded, decoded and
                     // verified off the bytes when it seals (`flush_batch`).
                     self.push_response(state, network, now, response);
                 } else {
-                    let d = &mut self.devices[device];
                     let started = Instant::now();
-                    let report = d
-                        .verifier
+                    let report = self.devices.verifiers[device]
                         .verify_collection(&response, now)
                         .expect("fleet collection verifies");
                     state.verify_wall += started.elapsed();
@@ -912,51 +1020,62 @@ impl Shard {
                 request,
                 issued,
             } => {
-                let d = &mut self.devices[device];
-                if !d.active {
+                if !self.devices.active[device] {
                     state.od_dropped += 1;
                     return;
                 }
                 // The fresh measurement dominates the cost of serving the
                 // request, so the exchange is timed as measurement work.
                 let started = Instant::now();
-                let outcome = d.prover.handle_on_demand(&request, now);
+                let outcome = self.devices.provers[device].handle_on_demand(&request, now);
                 state.measure_wall += started.elapsed();
+                self.devices.next_due[device] = self.devices.provers[device].next_measurement_due();
                 match outcome {
                     // Rejected requests (e.g. reordered arrivals tripping
                     // the anti-replay check) fail the exchange, not the run.
                     Err(_) => state.od_dropped += 1,
                     Ok(response) => {
                         state.measurements += 1; // the fresh M_0
-                        let seq = d.od_response_seq;
-                        d.od_response_seq += 1;
-                        match network.sample(flow(d.global, CHANNEL_OD_RESPONSE), seq) {
+                        let seq = self.devices.od_response_seqs[device];
+                        self.devices.od_response_seqs[device] += 1;
+                        let global = (self.base + device) as u64;
+                        match network.sample(flow(global, CHANNEL_OD_RESPONSE), seq) {
                             Delivery::Dropped => state.od_dropped += 1,
-                            Delivery::Delivered(latency) => engine.schedule_at(
-                                now + latency,
-                                FleetEvent::OnDemandDeliver(Box::new(OnDemandExchange {
+                            Delivery::Delivered(latency) => {
+                                let slot = state.od_pool.insert(OnDemandExchange {
                                     device,
                                     request,
                                     response,
                                     issued,
-                                })),
-                            ),
+                                });
+                                engine.schedule_at(
+                                    now + latency,
+                                    FleetEvent::OnDemandDeliver { slot },
+                                );
+                            }
                         }
                     }
                 }
             }
-            FleetEvent::OnDemandDeliver(exchange) => {
-                let d = &mut self.devices[exchange.device];
+            FleetEvent::OnDemandDeliver { slot } => {
+                let exchange = state
+                    .od_pool
+                    .take(slot)
+                    .expect("delivered exchange owns its slot");
+                let device = exchange.device;
                 let started = Instant::now();
-                let verified =
-                    d.verifier
-                        .verify_on_demand(&exchange.request, &exchange.response, now);
+                let verified = self.devices.verifiers[device].verify_on_demand(
+                    &exchange.request,
+                    &exchange.response,
+                    now,
+                );
                 state.verify_wall += started.elapsed();
                 match verified {
                     Ok(report) => {
                         state.od_completed += 1;
+                        let global = (self.base + device) as u64;
                         let priority =
-                            sample_priority(state.seed, d.global, exchange.issued.as_nanos());
+                            sample_priority(state.seed, global, exchange.issued.as_nanos());
                         state
                             .od_latencies
                             .push(priority, now.saturating_duration_since(exchange.issued));
@@ -982,31 +1101,25 @@ impl Shard {
                 state.snapshot_bytes += snapshot.len() as u64;
             }
             FleetEvent::DeviceLeave { device } => {
-                let d = &mut self.devices[device];
-                if d.active {
-                    d.active = false;
-                    d.epoch += 1;
+                if self.devices.active[device] {
+                    self.devices.active[device] = false;
+                    self.devices.epochs[device] += 1;
                 }
             }
             FleetEvent::DeviceJoin { device } => {
-                let lane_mode = self.lane_width > 1;
-                let d = &mut self.devices[device];
-                if !d.active {
-                    d.active = true;
-                    d.epoch += 1;
-                    d.prover.skip_missed_measurements(now);
-                    let next = d.prover.next_measurement_due();
-                    let epoch = d.epoch;
-                    if next <= d.horizon {
-                        if lane_mode {
-                            // The rejoin stays on the cohort lattice
-                            // (skip_until is phase-aligned), so pulling the
-                            // cohort's next event forward covers it.
-                            let cohort = self.cohort_of[device];
-                            self.schedule_cohort_at(engine, cohort, next);
-                        } else {
-                            engine.schedule_at(next, FleetEvent::Measure { device, epoch });
-                        }
+                if !self.devices.active[device] {
+                    self.devices.active[device] = true;
+                    self.devices.epochs[device] += 1;
+                    let prover = &mut self.devices.provers[device];
+                    prover.skip_missed_measurements(now);
+                    let next = prover.next_measurement_due();
+                    self.devices.next_due[device] = next;
+                    if next <= self.devices.horizons[device] {
+                        // The rejoin stays on the cohort lattice
+                        // (skip_until is phase-aligned), so pulling the
+                        // cohort's next event forward covers it.
+                        let cohort = self.cohort_of[device];
+                        self.schedule_cohort_at(engine, cohort, next);
                     }
                 }
             }
@@ -1023,7 +1136,8 @@ impl Shard {
     /// partition-invariant function of the run seed. A reorder fault
     /// stretches the copy's in-flight latency, letting later sends
     /// genuinely overtake it; a drop either arms the backoff timer or,
-    /// with the budget spent, loses the response for good.
+    /// with the budget spent, loses the response for good — recycling its
+    /// pooled slot.
     #[allow(clippy::too_many_arguments)]
     fn dispatch_collection(
         &mut self,
@@ -1031,13 +1145,13 @@ impl Shard {
         state: &mut RunState,
         network: &NetworkModel,
         device: usize,
-        response: CollectionResponse,
+        slot: SlotId,
         seq: u64,
         attempt: u32,
         epoch: u32,
         now: SimTime,
     ) {
-        let global = self.devices[device].global;
+        let global = (self.base + device) as u64;
         let (fault_flow, fault_seq) = if attempt == 0 {
             (flow(global, CHANNEL_COLLECT), seq)
         } else {
@@ -1054,7 +1168,7 @@ impl Shard {
                     now + latency,
                     FleetEvent::CollectDeliver {
                         device,
-                        response,
+                        slot,
                         attempt,
                     },
                 );
@@ -1065,7 +1179,7 @@ impl Shard {
                         now + state.policy.backoff(attempt),
                         FleetEvent::CollectRetry {
                             device,
-                            response,
+                            slot,
                             seq,
                             attempt: attempt + 1,
                             epoch,
@@ -1074,6 +1188,10 @@ impl Shard {
                 } else {
                     state.collect_dropped += 1;
                     state.exhausted_retries += 1;
+                    state
+                        .response_pool
+                        .take(slot)
+                        .expect("exhausted response owns its slot");
                 }
             }
         }
@@ -1093,24 +1211,32 @@ impl Shard {
         cohort: usize,
         now: SimTime,
     ) {
-        let mut due: Vec<usize> = Vec::with_capacity(self.cohorts[cohort].members.len());
+        // The due-scan touches only the active/next_due columns — dense,
+        // contiguous reads — and reuses one scratch vec across fires.
+        let mut due = std::mem::take(&mut state.due_scratch);
+        due.clear();
         for &local in &self.cohorts[cohort].members {
-            let device = &mut self.devices[local];
-            if !device.active {
+            if !self.devices.active[local] {
                 continue;
             }
-            if device.prover.next_measurement_due() < now {
+            let next = self.devices.next_due[local];
+            if next < now {
                 // A member that fell behind the lattice (e.g. drained at a
                 // collect instant under extreme latency) catches up scalar.
-                drain_due_measurements(device, now, state);
+                self.devices.next_due[local] =
+                    drain_due_measurements(&mut self.devices.provers[local], now, state);
                 continue;
             }
-            if device.prover.next_measurement_due() == now {
+            if next == now {
                 due.push(local);
             }
         }
 
         if !due.is_empty() {
+            // Coalescing ledger: these measurements ride ONE queue slot.
+            state.events_scheduled += due.len() as u64;
+            state.singleton_events += 1;
+            state.coalesced_events += due.len() as u64 - 1;
             let started = Instant::now();
             let mut rest: &[usize] = &due;
             if self.lane_width >= 8 {
@@ -1120,52 +1246,62 @@ impl Shard {
                     rest = tail;
                 }
             }
-            while rest.len() >= 4 {
-                let (group, tail) = rest.split_at(4);
-                self.measure_lane_group::<4>(group.try_into().expect("4 lanes"), now, state);
-                rest = tail;
+            if self.lane_width >= 4 {
+                while rest.len() >= 4 {
+                    let (group, tail) = rest.split_at(4);
+                    self.measure_lane_group::<4>(group.try_into().expect("4 lanes"), now, state);
+                    rest = tail;
+                }
             }
             for &local in rest {
-                self.devices[local]
-                    .prover
+                self.devices.provers[local]
                     .self_measure(now)
                     .expect("fleet measurement");
+                self.devices.next_due[local] = self.devices.provers[local].next_measurement_due();
                 state.measurements += 1;
-                state.lane_remainder += 1;
+                if self.lane_width > 1 {
+                    state.lane_remainder += 1;
+                }
             }
             state.measure_wall += started.elapsed();
         }
+        due.clear();
+        state.due_scratch = due;
 
         self.schedule_cohort_next(engine, cohort);
     }
 
     /// One multi-lane measurement job over `N` cohort members (ascending
-    /// local indices).
+    /// local indices), selected as disjoint `&mut Prover`s straight out of
+    /// the SoA prover column.
     fn measure_lane_group<const N: usize>(
         &mut self,
         group: [usize; N],
         now: SimTime,
         state: &mut RunState,
     ) {
-        let provers = select_mut(&mut self.devices, &group).map(|device| &mut device.prover);
+        let provers = select_mut(&mut self.devices.provers, &group);
         Prover::self_measure_batch(provers, now).expect("fleet lane measurement");
+        for &local in &group {
+            self.devices.next_due[local] = self.devices.provers[local].next_measurement_due();
+        }
         state.measurements += N as u64;
         state.lane_jobs += 1;
     }
 
     /// Schedules a cohort's next authoritative measure event at the
     /// earliest due time among its active members (within their horizon).
+    /// Reads only the SoA columns — no prover access.
     fn schedule_cohort_next(&mut self, engine: &mut Engine<FleetEvent>, cohort: usize) {
         let next = self.cohorts[cohort]
             .members
             .iter()
             .filter_map(|&member| {
-                let device = &self.devices[member];
-                if !device.active {
+                if !self.devices.active[member] {
                     return None;
                 }
-                let due = device.prover.next_measurement_due();
-                (due <= device.horizon).then_some(due)
+                let due = self.devices.next_due[member];
+                (due <= self.devices.horizons[member]).then_some(due)
             })
             .min();
         if let Some(at) = next {
@@ -1318,14 +1454,13 @@ impl Shard {
                 state.frame_lost_responses += chunk.len() as u64;
                 return;
             }
-            let devices = &mut self.devices;
+            let verifiers = &mut self.devices.verifiers;
             let started = Instant::now();
             let outcome = self
                 .hub
                 .ingest_sequenced_frame(frame_flow, frame_seq, frame, |view| {
                     let local = (view.device().value() - base) as usize;
-                    let report = devices[local]
-                        .verifier
+                    let report = verifiers[local]
                         .verify_frame_response(&view, at)
                         .expect("fleet collection verifies");
                     state.verifications += report.measurements().len() as u64;
@@ -1402,8 +1537,7 @@ impl Shard {
                     .nth(index)
                     .expect("damaged response still present");
                 let local = (view.device().value() - self.base as u64) as usize;
-                let report = self.devices[local]
-                    .verifier
+                let report = self.devices.verifiers[local]
                     .clone()
                     .verify_frame_response(&view, at)
                     .expect("corrupted evidence still verifies to a report");
@@ -1443,14 +1577,11 @@ impl Shard {
 }
 
 /// Disjoint mutable borrows of `indices` (strictly ascending) out of
-/// `devices`, via progressive `split_at_mut` — no unsafe, O(N) total.
-fn select_mut<'a, const N: usize>(
-    devices: &'a mut [ShardDevice],
-    indices: &[usize; N],
-) -> [&'a mut ShardDevice; N] {
-    let mut rest: &'a mut [ShardDevice] = devices;
+/// `items`, via progressive `split_at_mut` — no unsafe, O(N) total.
+fn select_mut<'a, T, const N: usize>(items: &'a mut [T], indices: &[usize; N]) -> [&'a mut T; N] {
+    let mut rest: &'a mut [T] = items;
     let mut consumed = 0usize;
-    let mut out: [Option<&'a mut ShardDevice>; N] = [const { None }; N];
+    let mut out: [Option<&'a mut T>; N] = [const { None }; N];
     for (slot, &index) in out.iter_mut().zip(indices) {
         let (_, tail) = rest.split_at_mut(index - consumed);
         let (first, tail) = tail.split_first_mut().expect("index within the shard");
@@ -1458,23 +1589,26 @@ fn select_mut<'a, const N: usize>(
         consumed = index + 1;
         rest = tail;
     }
-    out.map(|device| device.expect("every lane selected"))
+    out.map(|item| item.expect("every lane selected"))
 }
 
 /// Takes every scheduled self-measurement due at or before `now`, exactly
 /// like `Prover::run_until` but without allocating per-event outcome
-/// vectors.
-fn drain_due_measurements(device: &mut ShardDevice, now: SimTime, state: &mut RunState) {
-    if device.prover.next_measurement_due() > now {
-        return;
+/// vectors. Returns the prover's new `next_measurement_due`, which the
+/// caller writes back into the SoA `next_due` column.
+fn drain_due_measurements(prover: &mut Prover, now: SimTime, state: &mut RunState) -> SimTime {
+    let mut next = prover.next_measurement_due();
+    if next > now {
+        return next;
     }
     let started = Instant::now();
-    while device.prover.next_measurement_due() <= now {
-        let due = device.prover.next_measurement_due();
-        device.prover.self_measure(due).expect("fleet measurement");
+    while next <= now {
+        prover.self_measure(next).expect("fleet measurement");
         state.measurements += 1;
+        next = prover.next_measurement_due();
     }
     state.measure_wall += started.elapsed();
+    next
 }
 
 #[cfg(test)]

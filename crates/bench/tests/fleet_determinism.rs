@@ -5,9 +5,9 @@
 //! per-device draws are keyed by the global device index and therefore
 //! independent of the partition.
 
-use erasmus_bench::fleet::{self, scaling, FleetConfig};
+use erasmus_bench::fleet::{self, scaling, FleetConfig, FleetReport};
 use erasmus_crypto::MacAlgorithm;
-use erasmus_sim::{NetworkConfig, SimDuration};
+use erasmus_sim::{NetworkConfig, Scheduler, SimDuration};
 
 fn config(algorithm: MacAlgorithm) -> FleetConfig {
     FleetConfig::new(96, 3, 2, 512, 4, algorithm)
@@ -681,6 +681,125 @@ fn churn_under_retransmission_never_replays_stale_evidence() {
     assert_eq!(single.retry_histogram, threaded.retry_histogram);
     assert_eq!(single.history_entries, threaded.history_entries);
     assert_eq!(single.devices_churned, threaded.devices_churned);
+}
+
+/// Asserts every simulated-outcome field of two reports agrees — the
+/// scheduler-equivalence contract. Wall clocks and queue geometry are the
+/// only axes allowed to differ between the calendar and heap backends.
+fn assert_same_outcome(a: &FleetReport, b: &FleetReport, label: &str) {
+    assert_eq!(a.measurements_total, b.measurements_total, "{label}");
+    assert_eq!(a.verifications_total, b.verifications_total, "{label}");
+    assert_eq!(a.simulated_busy, b.simulated_busy, "{label}");
+    assert_eq!(a.all_healthy, b.all_healthy, "{label}");
+    assert_eq!(a.devices_tracked, b.devices_tracked, "{label}");
+    assert_eq!(a.history_entries, b.history_entries, "{label}");
+    assert_eq!(a.collections_ingested, b.collections_ingested, "{label}");
+    assert_eq!(a.collections_attempted, b.collections_attempted, "{label}");
+    assert_eq!(a.collections_delivered, b.collections_delivered, "{label}");
+    assert_eq!(a.collections_dropped, b.collections_dropped, "{label}");
+    assert_eq!(a.collect_retransmits, b.collect_retransmits, "{label}");
+    assert_eq!(a.exhausted_retries, b.exhausted_retries, "{label}");
+    assert_eq!(a.churn_losses, b.churn_losses, "{label}");
+    assert_eq!(a.stale_retries, b.stale_retries, "{label}");
+    assert_eq!(a.retry_histogram, b.retry_histogram, "{label}");
+    assert_eq!(a.hub_duplicates, b.hub_duplicates, "{label}");
+    assert_eq!(a.devices_churned, b.devices_churned, "{label}");
+    assert_eq!(a.on_demand_attempted, b.on_demand_attempted, "{label}");
+    assert_eq!(a.on_demand_completed, b.on_demand_completed, "{label}");
+    assert_eq!(a.on_demand_p50, b.on_demand_p50, "{label}");
+    assert_eq!(a.on_demand_p99, b.on_demand_p99, "{label}");
+    assert_eq!(a.lane_jobs, b.lane_jobs, "{label}");
+    assert_eq!(a.lane_remainder, b.lane_remainder, "{label}");
+    assert_eq!(a.events_scheduled, b.events_scheduled, "{label}");
+    assert_eq!(a.singleton_events, b.singleton_events, "{label}");
+    assert_eq!(a.coalesced_events, b.coalesced_events, "{label}");
+    assert_eq!(a.event_pool_high_water, b.event_pool_high_water, "{label}");
+    // Push/pop traffic is a function of the simulated timeline alone, so
+    // it too must agree; only bucket geometry is backend-specific.
+    assert_eq!(a.queue.pushes, b.queue.pushes, "{label}");
+    assert_eq!(a.queue.pops, b.queue.pops, "{label}");
+}
+
+#[test]
+fn calendar_and_heap_schedulers_agree_across_threads_and_lanes() {
+    // The acceptance matrix: every thread count × lane width, lossless,
+    // must produce identical outcomes under both queue backends.
+    let base = config(MacAlgorithm::HmacSha256);
+    for lanes in [1usize, 4, 8] {
+        for threads in [1usize, 2, 4] {
+            let mut calendar_config = base.clone();
+            calendar_config.lanes = lanes;
+            let mut heap_config = calendar_config.clone();
+            heap_config.scheduler = Scheduler::Heap;
+            let calendar = fleet::run_threaded(&calendar_config, threads);
+            let heap = fleet::run_threaded(&heap_config, threads);
+            let label = format!("lossless lanes={lanes} threads={threads}");
+            assert_same_outcome(&calendar, &heap, &label);
+            assert!(calendar.all_healthy, "{label}");
+        }
+    }
+}
+
+#[test]
+fn calendar_and_heap_schedulers_agree_under_faults_and_churn() {
+    // Same matrix on the hostile timeline: loss + duplication + reorder +
+    // corruption + churn + on-demand + hub crashes, with ARQ running hot.
+    // This drives every event variant (retry timers, stale epochs, crash
+    // snapshots) through both backends.
+    let mut base = faulty_config();
+    base.churn = 0.25;
+    base.on_demand = 16;
+    base.hub_crashes = 1;
+    for lanes in [1usize, 4, 8] {
+        for threads in [1usize, 2, 4] {
+            let mut calendar_config = base.clone();
+            calendar_config.lanes = lanes;
+            let mut heap_config = calendar_config.clone();
+            heap_config.scheduler = Scheduler::Heap;
+            let calendar = fleet::run_threaded(&calendar_config, threads);
+            let heap = fleet::run_threaded(&heap_config, threads);
+            let label = format!("faulty lanes={lanes} threads={threads}");
+            assert_same_outcome(&calendar, &heap, &label);
+            assert!(
+                calendar.collect_retransmits > 0,
+                "{label}: faults retried nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_pool_high_water_is_bounded_by_traffic_not_run_length() {
+    // The leak guard: pooled slots are recycled on every delivery, stale
+    // retry and exhausted budget, so the high-water mark tracks *in-flight*
+    // responses — growing the run 3× must not grow the pool 3×.
+    let mut short = FleetConfig::new(64, 2, 2, 256, 4, MacAlgorithm::HmacSha256);
+    short.network = NetworkConfig {
+        base_latency: SimDuration::from_millis(10),
+        jitter: SimDuration::from_millis(5),
+        loss: 0.3,
+        ..NetworkConfig::IDEAL
+    };
+    short.retries = 6;
+    short.churn = 0.5;
+    short.seed = 13;
+    let mut long = short.clone();
+    long.rounds = 6;
+
+    let short_report = fleet::run_threaded(&short, 2);
+    let long_report = fleet::run_threaded(&long, 2);
+    assert!(short_report.event_pool_high_water > 0);
+    assert!(long_report.devices_churned > 0, "churn drew no churners");
+    // 3× the rounds (and 3× the ARQ traffic) must not scale the pool: the
+    // bound is per-instant concurrency, which the longer run repeats
+    // rather than stacks. Allow slack for fate-draw variation between the
+    // two timelines, but reject anything near linear growth.
+    assert!(
+        long_report.event_pool_high_water <= short_report.event_pool_high_water * 2,
+        "pool grew with run length: short={} long={}",
+        short_report.event_pool_high_water,
+        long_report.event_pool_high_water
+    );
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Discrete-event simulation engine.
 
-use crate::event::{EventQueue, ScheduledEvent};
+use crate::event::{EventQueue, QueueStats, ScheduledEvent, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
 /// A single-clock discrete-event engine.
@@ -36,13 +36,31 @@ pub struct Engine<T> {
 }
 
 impl<T> Engine<T> {
-    /// Creates an engine with an empty queue at time zero.
+    /// Creates an engine with an empty calendar-queue at time zero.
     pub fn new() -> Self {
+        Self::with_scheduler(Scheduler::Calendar)
+    }
+
+    /// Creates an engine scheduling on the given queue backend.
+    ///
+    /// Both backends deliver the identical event order; [`Scheduler::Heap`]
+    /// exists as the compatibility/oracle path.
+    pub fn with_scheduler(scheduler: Scheduler) -> Self {
         Self {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_scheduler(scheduler),
             now: SimTime::ZERO,
             processed: 0,
         }
+    }
+
+    /// Which queue backend this engine schedules on.
+    pub fn scheduler(&self) -> Scheduler {
+        self.queue.scheduler()
+    }
+
+    /// Lifetime counters of the underlying event queue.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Current simulated time (the timestamp of the last delivered event).
@@ -277,6 +295,35 @@ mod tests {
         assert_eq!(delivered, 3);
         assert_eq!(seen, vec![0, 1, 2]);
         assert_eq!(engine.pending(), 2);
+    }
+
+    #[test]
+    fn backends_deliver_identical_traces() {
+        let mut traces = Vec::new();
+        for scheduler in [Scheduler::Calendar, Scheduler::Heap] {
+            let mut engine = Engine::with_scheduler(scheduler);
+            assert_eq!(engine.scheduler(), scheduler);
+            engine.schedule_at(SimTime::from_secs(1), 0u32);
+            let mut trace = Vec::new();
+            engine.run_with(&mut trace, |engine, trace, event| {
+                trace.push((event.time, event.sequence, event.payload));
+                if event.payload < 20 {
+                    // Mix of near reschedules and same-instant follow-ups.
+                    let delay = if event.payload % 4 == 0 {
+                        SimDuration::from_secs(0)
+                    } else {
+                        SimDuration::from_secs(u64::from(event.payload % 7))
+                    };
+                    engine.schedule_in(delay, event.payload + 1);
+                    engine.schedule_in(SimDuration::from_secs(30), event.payload + 100);
+                }
+                event.payload < 100
+            });
+            let stats = engine.queue_stats();
+            assert_eq!(stats.pops, engine.processed());
+            traces.push(trace);
+        }
+        assert_eq!(traces[0], traces[1]);
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
 //! * [`SimClock`] — a monotonically advancing clock handle.
-//! * [`EventQueue`] / [`Engine`] — a classic discrete-event scheduler.
+//! * [`EventQueue`] / [`Engine`] — a discrete-event scheduler backed by a
+//!   calendar queue (rotating wheel of time buckets), with the original
+//!   binary heap retained as a bit-compatible [`Scheduler::Heap`] backend.
+//! * [`EventPool`] — a recyclable slab so big event payloads travel as
+//!   4-byte slot ids instead of per-event boxes.
 //! * [`Trace`] — an append-only record of what happened and when, used by
 //!   the QoA analysis and by the `repro` harness to print timelines.
 //! * [`SimRng`] — a small deterministic RNG for workload generation
@@ -41,14 +45,16 @@ pub mod clock;
 pub mod engine;
 pub mod event;
 pub mod network;
+pub mod pool;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use clock::SimClock;
 pub use engine::Engine;
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{CalendarQueue, EventQueue, HeapEventQueue, QueueStats, ScheduledEvent, Scheduler};
 pub use network::{Corruption, Delivery, FaultDraw, NetworkConfig, NetworkModel};
+pub use pool::{EventPool, SlotId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry};
