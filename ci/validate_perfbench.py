@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Validate an `erasmus-perfbench/v7` fleet report.
+"""Validate an `erasmus-perfbench/v8` fleet report.
 
 Usage:
     validate_perfbench.py REPORT.json [--lossless] [--recovered]
                           [--expect-seed N] [--expect-loss P]
                           [--expect-lanes N] [--expect-delivery MODE]
                           [--expect-crashes N] [--expect-scheduler BACKEND]
+                          [--expect-history MODE] [--expect-ring-capacity N]
 
-Checks the structural invariants every v7 document must satisfy (rates
+Checks the structural invariants every v8 document must satisfy (rates
 positive, per-thread sums consistent, delivered + dropped == attempted,
 the reliability ledger conserved — `unique_accepted + exhausted_retries +
 churn_losses + stale_retries == attempted`, the retry histogram summing
@@ -25,10 +26,24 @@ positive lane-speedup probe; with `--expect-delivery` it pins the
 delivery mode (`wire` or `struct`); with `--expect-crashes` it pins the
 per-shard hub crash/restore cycle count and requires snapshot bytes; with
 `--expect-scheduler` it pins the event-queue backend (`calendar` or
-`heap`). v7 adds the per-result `scheduler` field and the `events` block
+`heap`). v7 added the per-result `scheduler` field and the `events` block
 (cohort coalescing ledger, event-pool high-water, queue counters), which
 must conserve: `coalesced + singleton == scheduled`, and every queue push
 must eventually pop.
+
+v8 adds the compact verifier history and the aggregation tree: the
+top-level `history`/`ring_capacity` fields, a per-result `history` block
+whose retention ledger must conserve (`evictions + resident == entries`,
+a.k.a. `ring_evictions + ring_resident == entries_ingested`), whose hash
+chains must all verify (`chains_verified == devices_tracked`), and —
+the point of the ring — whose resident state must stay memory-bounded:
+`resident <= devices_tracked * ring_capacity` in ring mode, while
+unbounded mode must report zero evictions and stale discards. The
+per-result `aggregation` block (hierarchical swarm rollup over the hub)
+must cover every tracked device exactly once: `leaves == devices_tracked`,
+`root_entries == history_entries`, and a 64-hex-char root digest whenever
+any device is tracked. `--expect-history` pins the retention mode
+(`ring` or `unbounded`); `--expect-ring-capacity` pins the window size.
 """
 
 import argparse
@@ -46,16 +61,30 @@ def validate(
     expect_delivery,
     expect_crashes,
     expect_scheduler,
+    expect_history,
+    expect_ring_capacity,
 ) -> None:
     with open(path) as fh:
         doc = json.load(fh)
 
-    assert doc["schema"] == "erasmus-perfbench/v7", doc["schema"]
+    assert doc["schema"] == "erasmus-perfbench/v8", doc["schema"]
     assert doc["provers"] >= 1000, doc["provers"]
     assert doc["threads"] >= 2, doc["threads"]
     assert doc["lanes"] >= 1, doc["lanes"]
     assert doc["delivery"] in ("wire", "struct"), doc["delivery"]
     assert doc["scheduler"] in ("calendar", "heap"), doc["scheduler"]
+    assert doc["history"] in ("ring", "unbounded"), doc["history"]
+    if doc["history"] == "ring":
+        assert doc["ring_capacity"] >= 1, doc["ring_capacity"]
+    else:
+        assert doc["ring_capacity"] == 0, doc["ring_capacity"]
+    if expect_history is not None:
+        assert doc["history"] == expect_history, (doc["history"], expect_history)
+    if expect_ring_capacity is not None:
+        assert doc["ring_capacity"] == expect_ring_capacity, (
+            doc["ring_capacity"],
+            expect_ring_capacity,
+        )
     assert isinstance(doc["seed"], int), doc["seed"]
     if expect_seed is not None:
         assert doc["seed"] == expect_seed, (doc["seed"], expect_seed)
@@ -79,6 +108,66 @@ def validate(
         assert result["seed"] == doc["seed"], result
         assert result["delivery"] == doc["delivery"], result
         assert result["scheduler"] == doc["scheduler"], result
+
+        # Compact-history ledger (v8). Lifetime entries are conserved
+        # across eviction (`evictions + resident == entries`), every
+        # device's hash chain must re-verify after the merge, and in ring
+        # mode the resident footprint is the bounded-memory claim itself:
+        # at most `ring_capacity` entries per tracked device.
+        history = result["history"]
+        assert history["mode"] == doc["history"], (history, doc["history"])
+        assert history["ring_capacity"] == doc["ring_capacity"], history
+        assert (
+            history["evictions"] + history["resident"] == result["history_entries"]
+        ), (history, result["history_entries"])
+        assert history["chains_verified"] == result["devices_tracked"], (
+            history,
+            result["devices_tracked"],
+        )
+        if result["devices_tracked"] > 0:
+            assert history["resident_state_bytes"] > 0, history
+        if history["mode"] == "ring":
+            assert (
+                history["resident"]
+                <= result["devices_tracked"] * history["ring_capacity"]
+            ), ("ring resident state exceeds devices * capacity", history)
+            # Coarse absolute ceiling so resident_state_bytes cannot grow
+            # with the entry count: fixed per-device state plus the window.
+            assert history["resident_state_bytes"] <= result["devices_tracked"] * (
+                1024 + 64 * history["ring_capacity"]
+            ), history
+        else:
+            assert history["evictions"] == 0, history
+            assert history["stale_discards"] == 0, history
+            assert history["resident"] == result["history_entries"], history
+        if lossless:
+            # In-order delivery never discards a stale (pre-window) entry.
+            assert history["stale_discards"] == 0, history
+
+        # Aggregation tree (v8): the hierarchical rollup must cover every
+        # tracked device exactly once — leaves match the hub, the root
+        # totals match the flat history ledger, and the root digest is a
+        # real 32-byte value whenever anything was aggregated.
+        aggregation = result["aggregation"]
+        assert aggregation["fanout"] >= 2, aggregation
+        assert aggregation["leaves"] == result["devices_tracked"], (
+            aggregation,
+            result["devices_tracked"],
+        )
+        assert aggregation["root_entries"] == result["history_entries"], (
+            aggregation,
+            result["history_entries"],
+        )
+        assert aggregation["healthy_devices"] == result["devices_tracked"], aggregation
+        if result["devices_tracked"] > 0:
+            assert aggregation["nodes"] > aggregation["leaves"] or (
+                aggregation["leaves"] == 1 and aggregation["nodes"] >= 1
+            ), aggregation
+            assert aggregation["depth"] >= 1, aggregation
+            assert len(aggregation["root_digest"]) == 64, aggregation
+            assert all(
+                c in "0123456789abcdef" for c in aggregation["root_digest"]
+            ), aggregation
 
         # Event-runtime ledger (v7). Insertion-time coalescing means one
         # queue slot may deliver many same-instant measurements; the ledger
@@ -308,10 +397,14 @@ def validate(
         assert point["verifications_per_sec"] > 0, point
         assert point["speedup"] > 0, point
 
+    history_label = doc["history"]
+    if history_label == "ring":
+        history_label = f"ring({doc['ring_capacity']})"
     print(
         f"ok: {path}: {len(doc['results'])} algorithms, {doc['provers']} provers, "
         f"{doc['threads']} threads, {doc['lanes']} lane(s), {doc['delivery']} delivery, "
-        f"{doc['scheduler']} scheduler, seed {doc['seed']}, {len(scaling)} scaling points"
+        f"{doc['scheduler']} scheduler, {history_label} history, seed {doc['seed']}, "
+        f"{len(scaling)} scaling points"
     )
 
 
@@ -328,6 +421,10 @@ def main() -> int:
     parser.add_argument(
         "--expect-scheduler", choices=("calendar", "heap"), default=None
     )
+    parser.add_argument(
+        "--expect-history", choices=("ring", "unbounded"), default=None
+    )
+    parser.add_argument("--expect-ring-capacity", type=int, default=None)
     args = parser.parse_args()
     validate(
         args.report,
@@ -339,6 +436,8 @@ def main() -> int:
         args.expect_delivery,
         args.expect_crashes,
         args.expect_scheduler,
+        args.expect_history,
+        args.expect_ring_capacity,
     )
     return 0
 

@@ -5,7 +5,7 @@
 //! each driving an event-driven timeline with an optional lossy network,
 //! device churn and on-demand traffic — prints a throughput summary, runs a
 //! 1→N thread-scaling sweep and writes `BENCH_fleet.json` (schema
-//! `erasmus-perfbench/v7`) at the repository root so successive PRs have a
+//! `erasmus-perfbench/v8`) at the repository root so successive PRs have a
 //! perf trajectory to compare against.
 //!
 //! Usage:
@@ -28,6 +28,8 @@
 //! perfbench --retries 3      # ARQ: retransmit drops up to 3 times
 //! perfbench --hub-crash 2    # crash/restore the verifier hub twice
 //! perfbench --on-demand 64   # inject 64 authenticated on-demand requests
+//! perfbench --history unbounded # keep every history entry resident
+//! perfbench --ring-capacity 8   # retained entries per device (default 64)
 //! perfbench --out path.json  # write the JSON somewhere else
 //! ```
 //!
@@ -46,13 +48,27 @@
 //! `calendar` (default) is the O(1) rotating-wheel scheduler, `heap` the
 //! original binary heap, retained as the oracle — totals are bit-identical
 //! under either, which the perf-smoke CI job cross-checks on every push.
+//!
+//! `--history` picks the per-device verifier retention: `ring` (default)
+//! caps every device at `--ring-capacity` resident entries plus a rollup
+//! summary and a PCR-style hash chain over evicted entries — O(capacity)
+//! state per device no matter how long the run — while `unbounded` keeps
+//! everything resident. Lifetime totals are bit-identical between the two
+//! whenever the capacity covers each device's in-flight reordering window;
+//! the perf-smoke CI job cross-checks that too.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use erasmus_bench::fleet::{self, scaling, FleetConfig};
+use erasmus_core::HistoryMode;
 use erasmus_crypto::MacAlgorithm;
 use erasmus_sim::{NetworkConfig, Scheduler, SimDuration};
+
+/// Retained entries per device under the default `--history ring`. Large
+/// enough to cover any in-flight reordering window the fault flags can
+/// produce at CI scales, so ring totals stay bit-identical to unbounded.
+const DEFAULT_RING_CAPACITY: usize = 64;
 
 struct Options {
     quick: bool,
@@ -73,6 +89,8 @@ struct Options {
     retries: u32,
     hub_crashes: usize,
     on_demand: usize,
+    history_ring: bool,
+    ring_capacity: Option<usize>,
     out: Option<PathBuf>,
 }
 
@@ -81,7 +99,8 @@ fn usage() -> &'static str {
      \x20                [--scheduler calendar|heap] [--provers N] [--rounds N]\n\
      \x20                [--memory BYTES] [--seed N] [--loss P] [--latency MS] [--churn P]\n\
      \x20                [--duplicate P] [--reorder P] [--corrupt P] [--retries N]\n\
-     \x20                [--hub-crash N] [--on-demand N] [--out PATH]\n\
+     \x20                [--hub-crash N] [--on-demand N]\n\
+     \x20                [--history ring|unbounded] [--ring-capacity N] [--out PATH]\n\
      \n\
      Drives N simulated provers through scheduled self-measurements and\n\
      periodic collections for each MAC algorithm, sharded over --threads\n\
@@ -106,7 +125,11 @@ fn usage() -> &'static str {
      ARQ retransmission budget per collection (0 disables retransmission);\n\
      --hub-crash schedules N verifier-hub crash/snapshot-restore cycles\n\
      per shard. The fault, retry and crash flags exercise the wire frame\n\
-     path, so they reject --delivery struct."
+     path, so they reject --delivery struct. --history picks the\n\
+     per-device verifier retention: `ring` (default) keeps at most\n\
+     --ring-capacity entries resident per device (at least 1, default 64)\n\
+     and seals evicted entries into a per-device hash chain; `unbounded`\n\
+     keeps everything and rejects --ring-capacity."
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -129,6 +152,8 @@ fn parse_args() -> Result<Options, String> {
         retries: 0,
         hub_crashes: 0,
         on_demand: 0,
+        history_ring: true,
+        ring_capacity: None,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -195,6 +220,24 @@ fn parse_args() -> Result<Options, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("invalid --on-demand value: {e}"))?;
             }
+            "--history" => {
+                options.history_ring = match value_for("--history")?.as_str() {
+                    "ring" => true,
+                    "unbounded" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid --history value `{other}` (expected `ring` or `unbounded`)"
+                        ));
+                    }
+                };
+            }
+            "--ring-capacity" => {
+                options.ring_capacity = Some(numeric(
+                    value_for("--ring-capacity")?,
+                    "--ring-capacity",
+                    1,
+                )?);
+            }
             "--out" => {
                 options.out = Some(PathBuf::from(
                     args.next().ok_or_else(|| "--out needs a path".to_owned())?,
@@ -225,6 +268,13 @@ fn parse_args() -> Result<Options, String> {
                  combined with --delivery struct"
                 .to_owned());
         }
+    }
+    if !options.history_ring && options.ring_capacity.is_some() {
+        // Silently ignoring the capacity would report an unbounded run as
+        // if it had honoured a ring bound.
+        return Err("--ring-capacity sizes the ring history and cannot be \
+             combined with --history unbounded"
+            .to_owned());
     }
     Ok(options)
 }
@@ -294,6 +344,11 @@ fn config_for(options: &Options, algorithm: MacAlgorithm) -> FleetConfig {
     config.lanes = options.lanes;
     config.wire = options.wire;
     config.scheduler = options.scheduler;
+    config.history = if options.history_ring {
+        HistoryMode::Ring(options.ring_capacity.unwrap_or(DEFAULT_RING_CAPACITY))
+    } else {
+        HistoryMode::Unbounded
+    };
     config
 }
 
@@ -320,8 +375,9 @@ fn main() -> ExitCode {
             let config = config_for(&options, algorithm);
             eprintln!(
                 "perfbench: {algorithm}: {} provers x {} measurements x {} rounds on {} thread(s) \
-                 x {} lane(s), {} delivery, {} scheduler (seed {}, loss {}, dup {}, reorder {}, \
-                 corrupt {}, latency {} ms, churn {}, retries {}, hub-crashes {}, on-demand {}) ...",
+                 x {} lane(s), {} delivery, {} scheduler, {} history (seed {}, loss {}, dup {}, \
+                 reorder {}, corrupt {}, latency {} ms, churn {}, retries {}, hub-crashes {}, \
+                 on-demand {}) ...",
                 config.provers,
                 config.measurements_per_round,
                 config.rounds,
@@ -329,6 +385,10 @@ fn main() -> ExitCode {
                 fleet::lanes::effective_width(config.lanes),
                 if config.wire { "wire" } else { "struct" },
                 config.scheduler,
+                match config.history {
+                    HistoryMode::Unbounded => "unbounded".to_owned(),
+                    HistoryMode::Ring(capacity) => format!("ring({capacity})"),
+                },
                 config.seed,
                 config.network.loss,
                 config.network.duplicate,
@@ -364,6 +424,22 @@ fn main() -> ExitCode {
                 report.decode_mib_per_sec(),
             );
         }
+        eprintln!(
+            "perfbench: {}: history {}: {} entries ({} resident, {} evicted, {} stale), \
+             {} chains verified, {} bytes resident state; aggregation: {} leaves, {} nodes, \
+             depth {}",
+            report.config.algorithm,
+            fleet::history_mode_label(report.config.history),
+            report.history_entries,
+            report.history_resident,
+            report.history_evictions,
+            report.history_stale_discards,
+            report.chains_verified,
+            report.resident_state_bytes,
+            report.aggregation.leaves,
+            report.aggregation.nodes,
+            report.aggregation.depth,
+        );
         if let Some(probe) = &report.lane_speedup {
             eprintln!(
                 "perfbench: {}: lane probe x{}: scalar {:.0} meas/s, lanes {:.0} meas/s ({:.2}x)",

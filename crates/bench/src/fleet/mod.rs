@@ -46,10 +46,22 @@
 //! snapshot ([`erasmus_core::encode_hub_snapshot`]) and restore it
 //! bit-identically mid-run.
 //!
+//! Per-device verifier state is governed by [`FleetConfig::history`]:
+//! [`erasmus_core::HistoryMode::Ring`] (the `perfbench` default) caps every
+//! device at a fixed-size retained window plus a rollup summary and a
+//! PCR-style hash chain over the evicted entries, so the merged hub's
+//! resident footprint
+//! is O(devices × capacity) regardless of run length — the property the
+//! million-prover run demonstrates. Lifetime totals are bit-identical to
+//! unbounded retention whenever the capacity covers each device's
+//! reordering window, and the perf-smoke CI job cross-checks exactly that.
+//! After the merge an [`erasmus_swarm::AggregationTree`] folds every chain
+//! head into one root digest ([`AggregationReport`]).
+//!
 //! Shard results are merged into one [`FleetReport`]; the per-thread
 //! breakdown, the per-algorithm scalar-vs-lane speedup probe and the 1→N
 //! scaling sweep (see [`scaling`]) are serialized by the `perfbench` binary
-//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v7`) so successive
+//! into `BENCH_fleet.json` (schema `erasmus-perfbench/v8`) so successive
 //! PRs accumulate a perf trajectory.
 //!
 //! Each shard engine schedules on the calendar-queue backend by default
@@ -68,10 +80,10 @@ pub use shard::ShardReport;
 
 use std::time::Duration;
 
-use erasmus_core::VerifierHub;
+use erasmus_core::{DeviceHistory, HistoryEntry, HistoryMode, VerifierHub};
 use erasmus_crypto::MacAlgorithm;
 use erasmus_sim::{NetworkConfig, QueueStats, Scheduler, SimDuration, SimRng, SimTime};
-use erasmus_swarm::StaggeredSchedule;
+use erasmus_swarm::{digest_hex, AggregationTree, StaggeredSchedule};
 
 use shard::Shard;
 
@@ -142,6 +154,13 @@ pub struct FleetConfig {
     /// identical under either backend (`--scheduler heap` cross-checks it
     /// in CI).
     pub scheduler: Scheduler,
+    /// Per-device verifier-history retention. [`HistoryMode::Unbounded`]
+    /// (default) keeps every entry; [`HistoryMode::Ring`] caps resident
+    /// state at O(capacity) per device, sealing evicted entries into the
+    /// hash chain. Lifetime totals (`history_entries`, verdict counts) are
+    /// mode-invariant whenever the capacity covers each device's in-flight
+    /// reordering window — `--history ring` cross-checks it in CI.
+    pub history: HistoryMode,
 }
 
 impl FleetConfig {
@@ -171,6 +190,7 @@ impl FleetConfig {
             lanes: 1,
             wire: true,
             scheduler: Scheduler::Calendar,
+            history: HistoryMode::Unbounded,
         }
     }
 
@@ -226,6 +246,68 @@ pub(crate) fn on_demand_plan(config: &FleetConfig) -> Vec<(usize, SimTime)> {
     plan
 }
 
+/// Fan-out of the hierarchical aggregation tree built over the merged hub:
+/// each sub-verifier folds up to this many children into one fixed-size
+/// subtree aggregate (SANA/slimIoT style, Section 6 scale argument).
+pub const AGGREGATION_FANOUT: usize = 64;
+
+/// Summary of the [`erasmus_swarm::AggregationTree`] built over the merged
+/// hub after a run: the root verifier's view of the whole fleet in one
+/// fixed-size record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AggregationReport {
+    /// Children per internal node.
+    pub fanout: usize,
+    /// Leaf aggregates — one per tracked device.
+    pub leaves: usize,
+    /// Total aggregate nodes across all levels, leaves included.
+    pub nodes: usize,
+    /// Levels in the tree, leaves included (0 for an empty fleet).
+    pub depth: usize,
+    /// Devices whose history carries no compromise verdict.
+    pub healthy_devices: u64,
+    /// Lifetime history entries summed up to the root — must equal
+    /// `history_entries`.
+    pub root_entries: u64,
+    /// Hex-encoded root digest binding every per-device chain head
+    /// (empty string for an empty fleet).
+    pub root_digest: String,
+}
+
+impl AggregationReport {
+    fn from_hub(hub: &VerifierHub) -> Self {
+        let tree = AggregationTree::from_hub(hub, AGGREGATION_FANOUT);
+        let stats = tree.stats();
+        Self {
+            fanout: stats.fanout,
+            leaves: stats.leaves,
+            nodes: stats.nodes,
+            depth: stats.depth,
+            healthy_devices: tree.root().map_or(0, |root| root.healthy_devices),
+            root_entries: tree.root().map_or(0, |root| root.entries),
+            root_digest: tree
+                .root()
+                .map_or_else(String::new, |root| digest_hex(&root.digest)),
+        }
+    }
+}
+
+/// The `"history"` label a [`HistoryMode`] serializes as.
+pub fn history_mode_label(mode: HistoryMode) -> &'static str {
+    match mode {
+        HistoryMode::Unbounded => "unbounded",
+        HistoryMode::Ring(_) => "ring",
+    }
+}
+
+/// The `"ring_capacity"` a [`HistoryMode`] serializes as (0 = unbounded).
+pub fn history_capacity(mode: HistoryMode) -> usize {
+    match mode {
+        HistoryMode::Unbounded => 0,
+        HistoryMode::Ring(capacity) => capacity.max(1),
+    }
+}
+
 /// Wall-clock throughput and scenario accounting of one fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -253,8 +335,30 @@ pub struct FleetReport {
     pub all_healthy: bool,
     /// Devices tracked by the merged verifier-side history hub.
     pub devices_tracked: usize,
-    /// Distinct measurements recorded across all per-device histories.
+    /// Distinct measurements recorded across all per-device histories
+    /// (lifetime count — mode-invariant, evicted entries included).
     pub history_entries: u64,
+    /// Entries resident in the per-device windows after the merge. Equals
+    /// `history_entries` in unbounded mode; bounded by
+    /// `devices_tracked × ring capacity` in ring mode.
+    pub history_resident: u64,
+    /// Entries evicted from bounded rings into their sealed hash chains.
+    /// Conservation (checked by `ci/validate_perfbench.py`):
+    /// `history_evictions + history_resident == history_entries`.
+    pub history_evictions: u64,
+    /// Arrivals discarded because they fell behind an already-sealed ring
+    /// window. Always 0 in unbounded mode.
+    pub history_stale_discards: u64,
+    /// Device histories whose head digest re-verified as `chain` folded
+    /// over the resident window — must equal `devices_tracked`.
+    pub chains_verified: u64,
+    /// Resident verifier state across the merged hub, in bytes: per-device
+    /// fixed struct size plus the retained entries. In ring mode this is
+    /// O(devices × capacity) regardless of run length — the bound the
+    /// million-prover run demonstrates.
+    pub resident_state_bytes: u64,
+    /// Hierarchical swarm aggregation built over the merged hub.
+    pub aggregation: AggregationReport,
     /// Collection reports folded into the hub across the whole run.
     pub collections_ingested: u64,
     /// Scheduled collection attempts across the fleet.
@@ -477,7 +581,7 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         })
     };
 
-    let mut hub = VerifierHub::new();
+    let mut hub = VerifierHub::with_history(config.history);
     for shard in shards {
         hub.merge(shard.into_hub());
     }
@@ -583,6 +687,14 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
     all_healthy &= hub.all_healthy() && hub.rejected() == 0;
     let hub_duplicates = hub.duplicates();
 
+    let history_resident = hub.total_resident();
+    let aggregation = AggregationReport::from_hub(&hub);
+    // Informational estimate of the merged hub's resident footprint: the
+    // fixed per-device struct plus the retained window entries. Ring mode
+    // keeps this O(devices × capacity) no matter how long the run was.
+    let resident_state_bytes = hub.len() as u64 * std::mem::size_of::<DeviceHistory>() as u64
+        + history_resident * std::mem::size_of::<HistoryEntry>() as u64;
+
     FleetReport {
         config: config.clone(),
         threads,
@@ -594,6 +706,12 @@ pub fn run_threaded(config: &FleetConfig, threads: usize) -> FleetReport {
         all_healthy,
         devices_tracked: hub.len(),
         history_entries: hub.total_entries(),
+        history_resident,
+        history_evictions: hub.total_evictions(),
+        history_stale_discards: hub.total_stale_discards(),
+        chains_verified: hub.verified_chains() as u64,
+        resident_state_bytes,
+        aggregation,
         collections_ingested: hub.total_collections(),
         collections_attempted,
         collections_delivered,
@@ -671,6 +789,12 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
          {indent}  \"all_healthy\": {healthy},\n\
          {indent}  \"devices_tracked\": {tracked},\n\
          {indent}  \"history_entries\": {entries},\n\
+         {indent}  \"history\": {{ \"mode\": \"{h_mode}\", \"ring_capacity\": {h_cap}, \
+         \"resident\": {h_res}, \"evictions\": {h_evict}, \"stale_discards\": {h_stale}, \
+         \"chains_verified\": {h_chains}, \"resident_state_bytes\": {h_bytes} }},\n\
+         {indent}  \"aggregation\": {{ \"fanout\": {a_fanout}, \"leaves\": {a_leaves}, \
+         \"nodes\": {a_nodes}, \"depth\": {a_depth}, \"healthy_devices\": {a_healthy}, \
+         \"root_entries\": {a_entries}, \"root_digest\": \"{a_digest}\" }},\n\
          {indent}  \"collections_ingested\": {ingested},\n\
          {indent}  \"collections\": {{ \"attempted\": {att}, \"delivered\": {del}, \"dropped\": {dropped} }},\n\
          {indent}  \"hub_batches\": {batches},\n\
@@ -731,6 +855,20 @@ pub fn report_json(report: &FleetReport, indent: &str) -> String {
         healthy = report.all_healthy,
         tracked = report.devices_tracked,
         entries = report.history_entries,
+        h_mode = history_mode_label(report.config.history),
+        h_cap = history_capacity(report.config.history),
+        h_res = report.history_resident,
+        h_evict = report.history_evictions,
+        h_stale = report.history_stale_discards,
+        h_chains = report.chains_verified,
+        h_bytes = report.resident_state_bytes,
+        a_fanout = report.aggregation.fanout,
+        a_leaves = report.aggregation.leaves,
+        a_nodes = report.aggregation.nodes,
+        a_depth = report.aggregation.depth,
+        a_healthy = report.aggregation.healthy_devices,
+        a_entries = report.aggregation.root_entries,
+        a_digest = report.aggregation.root_digest,
         ingested = report.collections_ingested,
         att = report.collections_attempted,
         del = report.collections_delivered,
@@ -813,15 +951,22 @@ pub fn document_json(
     let scheduler = reports
         .first()
         .map_or(Scheduler::Calendar, |r| r.config.scheduler);
+    let history = reports
+        .first()
+        .map_or(HistoryMode::Unbounded, |r| r.config.history);
     let entries: Vec<String> = reports.iter().map(|r| report_json(r, "    ")).collect();
     let scaling_entries: Vec<String> = sweep.iter().map(|point| point.to_json("    ")).collect();
     format!(
-        "{{\n  \"schema\": \"erasmus-perfbench/v7\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"erasmus-perfbench/v8\",\n  \"mode\": \"{mode}\",\n  \
          \"provers\": {provers},\n  \"threads\": {threads},\n  \"lanes\": {lane_width},\n  \
-         \"delivery\": \"{delivery}\",\n  \"scheduler\": \"{scheduler}\",\n  \"seed\": {seed},\n  \
+         \"delivery\": \"{delivery}\",\n  \"scheduler\": \"{scheduler}\",\n  \
+         \"history\": \"{history_label}\",\n  \"ring_capacity\": {ring_capacity},\n  \
+         \"seed\": {seed},\n  \
          \"results\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
         scaling_entries.join(",\n"),
+        history_label = history_mode_label(history),
+        ring_capacity = history_capacity(history),
     )
 }
 
@@ -871,6 +1016,19 @@ mod tests {
         // The hub saw every device and every measurement exactly once.
         assert_eq!(report.devices_tracked, config.provers);
         assert_eq!(report.history_entries, report.measurements_total);
+        // Unbounded retention: everything stays resident, nothing is sealed
+        // into a chain, and every (empty) chain still verifies.
+        assert_eq!(report.history_resident, report.history_entries);
+        assert_eq!(report.history_evictions, 0);
+        assert_eq!(report.history_stale_discards, 0);
+        assert_eq!(report.chains_verified, config.provers as u64);
+        assert!(report.resident_state_bytes > 0);
+        // The aggregation tree covers the whole fleet up to its root.
+        assert_eq!(report.aggregation.fanout, AGGREGATION_FANOUT);
+        assert_eq!(report.aggregation.leaves, config.provers);
+        assert_eq!(report.aggregation.healthy_devices, config.provers as u64);
+        assert_eq!(report.aggregation.root_entries, report.history_entries);
+        assert_eq!(report.aggregation.root_digest.len(), 64);
         assert_eq!(
             report.collections_ingested,
             (config.provers * config.rounds) as u64
@@ -973,6 +1131,81 @@ mod tests {
             wire.decoded_accepted,
             wire.collections_ingested - wire.on_demand_completed
         );
+    }
+
+    #[test]
+    fn ring_history_bounds_state_and_matches_unbounded_totals() {
+        // Ring(2) against 4 lifetime entries per device: evictions must
+        // fire, resident state must cap at devices × capacity, and every
+        // lifetime total — head digests included, hence the aggregation
+        // root — must match the unbounded run bit for bit.
+        let unbounded = run(&tiny(MacAlgorithm::HmacSha256));
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.history = HistoryMode::Ring(2);
+        let ring = run(&config);
+
+        assert_eq!(ring.measurements_total, unbounded.measurements_total);
+        assert_eq!(ring.verifications_total, unbounded.verifications_total);
+        assert_eq!(ring.collections_ingested, unbounded.collections_ingested);
+        assert_eq!(ring.history_entries, unbounded.history_entries);
+        assert_eq!(ring.all_healthy, unbounded.all_healthy);
+        assert_eq!(
+            ring.aggregation.root_digest,
+            unbounded.aggregation.root_digest
+        );
+        assert_eq!(ring.aggregation.root_entries, ring.history_entries);
+
+        assert_eq!(ring.history_resident, (8 * 2) as u64);
+        assert_eq!(
+            ring.history_evictions + ring.history_resident,
+            ring.history_entries
+        );
+        assert!(ring.history_evictions > 0);
+        assert_eq!(ring.history_stale_discards, 0);
+        assert_eq!(ring.chains_verified, 8);
+        assert!(ring.resident_state_bytes < unbounded.resident_state_bytes);
+    }
+
+    #[test]
+    fn faulty_ring_run_is_thread_and_mode_invariant() {
+        // The acceptance bar: under loss + duplication + reordering with
+        // ARQ retries, ring-mode totals must match the unbounded run at
+        // every thread count, as long as the capacity covers each device's
+        // in-flight reordering window.
+        let mut config = tiny(MacAlgorithm::HmacSha256);
+        config.network = NetworkConfig {
+            base_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(8),
+            loss: 0.2,
+            duplicate: 0.1,
+            reorder: 0.1,
+            ..NetworkConfig::IDEAL
+        };
+        config.retries = 2;
+        config.seed = 17;
+        config.history = HistoryMode::Ring(8);
+        let ring1 = run_threaded(&config, 1);
+        let ring4 = run_threaded(&config, 4);
+        config.history = HistoryMode::Unbounded;
+        let flat = run_threaded(&config, 1);
+
+        assert!(
+            flat.collect_retransmits + flat.frame_retransmits > 0,
+            "faults never fired"
+        );
+        for faulty in [&ring1, &ring4] {
+            assert_eq!(faulty.history_entries, flat.history_entries);
+            assert_eq!(faulty.verifications_total, flat.verifications_total);
+            assert_eq!(faulty.collections_ingested, flat.collections_ingested);
+            assert_eq!(faulty.collections_dropped, flat.collections_dropped);
+            assert_eq!(faulty.history_stale_discards, 0);
+            assert_eq!(
+                faulty.history_evictions + faulty.history_resident,
+                faulty.history_entries
+            );
+            assert_eq!(faulty.chains_verified, faulty.devices_tracked as u64);
+            assert_eq!(faulty.aggregation.root_digest, flat.aggregation.root_digest);
+        }
     }
 
     #[test]
@@ -1100,8 +1333,20 @@ mod tests {
         }];
         let doc = document_json("test", 2, std::slice::from_ref(&report), &sweep);
         assert!(doc.starts_with("{\n"));
-        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v7\""));
+        assert!(doc.contains("\"schema\": \"erasmus-perfbench/v8\""));
         assert!(doc.contains("\"scheduler\": \"calendar\""));
+        assert!(doc.contains("\"history\": \"unbounded\""));
+        assert!(doc.contains("\"ring_capacity\": 0"));
+        assert!(doc.contains(
+            "\"history\": { \"mode\": \"unbounded\", \"ring_capacity\": 0, \"resident\": 32, \
+             \"evictions\": 0, \"stale_discards\": 0, \"chains_verified\": 8, \
+             \"resident_state_bytes\": "
+        ));
+        assert!(doc.contains(
+            "\"aggregation\": { \"fanout\": 64, \"leaves\": 8, \
+             \"nodes\": 9, \"depth\": 2, \"healthy_devices\": 8, \"root_entries\": 32, \
+             \"root_digest\": \""
+        ));
         assert!(doc.contains("\"events\": {"));
         assert!(doc.contains("\"pool_high_water\""));
         assert!(doc.contains("\"queue_overflow_pushes\""));

@@ -730,7 +730,7 @@ impl Shard {
             index,
             base: range.start,
             devices,
-            hub: VerifierHub::new(),
+            hub: VerifierHub::with_history(config.history),
             engine: Engine::with_scheduler(config.scheduler),
             churn,
             on_demand,

@@ -63,7 +63,7 @@ use std::fmt;
 use erasmus_crypto::{MacTag, MAX_TAG_LEN};
 use erasmus_sim::{SimDuration, SimTime};
 
-use crate::history::{DeviceHistory, HistoryEntry};
+use crate::history::{extend_digest, DeviceHistory, HistoryEntry, HistoryMode, HistoryRollup};
 use crate::hub::{FlowWindow, VerifierHub};
 use crate::ids::DeviceId;
 use crate::measurement::{Measurement, MemoryDigest, DIGEST_LEN};
@@ -669,29 +669,61 @@ pub fn decode_collection_batch(bytes: &[u8]) -> Result<Vec<CollectionResponse>, 
 /// snapshot for a frame (it reads the magic as an implausible batch count).
 pub const SNAPSHOT_MAGIC: u16 = 0x4552;
 
-/// Current hub-snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Current hub-snapshot format version. Version 2 introduced the compact
+/// history layout: per-device rollup tallies, the sealed-chain/head digest
+/// pair and a bounded resident window instead of the full entry list.
+pub const SNAPSHOT_VERSION: u8 = 2;
+
+/// Wire tag for [`HistoryMode::Unbounded`] in a snapshot header.
+const MODE_UNBOUNDED: u8 = 0;
+/// Wire tag for [`HistoryMode::Ring`] in a snapshot header.
+const MODE_RING: u8 = 1;
+
+fn mode_tag(mode: HistoryMode) -> (u8, u32) {
+    match mode {
+        HistoryMode::Unbounded => (MODE_UNBOUNDED, 0),
+        HistoryMode::Ring(capacity) => (
+            MODE_RING,
+            u32::try_from(capacity).unwrap_or(u32::MAX).max(1),
+        ),
+    }
+}
 
 /// Appends the serialized hub snapshot to `out`.
 ///
 /// The layout (all integers big-endian) is:
 ///
 /// ```text
-/// magic: u16 = 0x4552 ("ER")    version: u8 = 1
+/// magic: u16 = 0x4552 ("ER")    version: u8 = 2
+/// mode: u8 (0 = unbounded | 1 = ring)   capacity: u32 (0 iff unbounded)
 /// ingested: u64   rejected: u64   duplicates: u64
 /// flow_count: u32, then per flow (ascending flow id):
 ///     flow: u64   floor: u64   seq_count: u32   seqs: u64 × seq_count
 /// device_count: u32, then per device (ascending device id):
-///     device: u64   collections: u64   entry_count: u32
-///     then per entry (ascending timestamp):
+///     device: u64   collections: u64
+///     entries: u64   evictions: u64   stale_discards: u64
+///     healthy: u64   compromised: u64   forged: u64
+///     flags: u8 (bit 0: compromise evidence follows)
+///     [first_compromise: u64   detected_at: u64]   — iff flag bit 0
+///     [first_timestamp: u64]                       — iff entries > 0
+///     chain: 32 B   head: 32 B
+///     resident_count: u32
+///     then per resident entry (ascending timestamp):
 ///         timestamp: u64   collected_at: u64   verdict: u8 (0|1|2)
 /// ```
 ///
-/// Sequences and timestamps are strictly ascending on the wire — the codec
-/// is canonical, so a decoded snapshot re-encodes byte-identically.
+/// Sequences and timestamps are strictly ascending on the wire, the rollup
+/// must satisfy its conservation laws (`healthy + compromised + forged ==
+/// entries`, `evictions + resident_count == entries`) and the head digest
+/// must equal the sealed chain folded over the resident entries — the codec
+/// is canonical, so a decoded snapshot re-encodes byte-identically and a
+/// forged chain never restores.
 pub fn encode_hub_snapshot_into(out: &mut Vec<u8>, hub: &VerifierHub) {
     out.extend_from_slice(&SNAPSHOT_MAGIC.to_be_bytes());
     out.push(SNAPSHOT_VERSION);
+    let (mode, capacity) = mode_tag(hub.mode);
+    out.push(mode);
+    out.extend_from_slice(&capacity.to_be_bytes());
     out.extend_from_slice(&hub.ingested.to_be_bytes());
     out.extend_from_slice(&hub.rejected.to_be_bytes());
     out.extend_from_slice(&hub.duplicates.to_be_bytes());
@@ -709,10 +741,36 @@ pub fn encode_hub_snapshot_into(out: &mut Vec<u8>, hub: &VerifierHub) {
     // analyzer: allow(checked-casts) — an in-memory device map cannot reach 2^32 entries (>256 GiB at ~64 B each)
     out.extend_from_slice(&(hub.histories.len() as u32).to_be_bytes());
     for (device, history) in &hub.histories {
+        debug_assert_eq!(
+            history.mode(),
+            hub.mode,
+            "snapshot encodes the hub-wide history mode"
+        );
         out.extend_from_slice(&device.value().to_be_bytes());
         out.extend_from_slice(&history.collections().to_be_bytes());
-        // analyzer: allow(checked-casts) — in-memory history entries (17 B each) cannot reach 2^32
-        out.extend_from_slice(&(history.len() as u32).to_be_bytes());
+        let rollup = &history.rollup;
+        out.extend_from_slice(&rollup.entries.to_be_bytes());
+        out.extend_from_slice(&rollup.evictions.to_be_bytes());
+        out.extend_from_slice(&rollup.stale_discards.to_be_bytes());
+        out.extend_from_slice(&rollup.healthy.to_be_bytes());
+        out.extend_from_slice(&rollup.compromised.to_be_bytes());
+        out.extend_from_slice(&rollup.forged.to_be_bytes());
+        let compromise = rollup
+            .first_compromise_at
+            .zip(rollup.compromise_detected_at);
+        out.push(u8::from(compromise.is_some()));
+        if let Some((measured, detected)) = compromise {
+            out.extend_from_slice(&measured.as_nanos().to_be_bytes());
+            out.extend_from_slice(&detected.as_nanos().to_be_bytes());
+        }
+        if rollup.entries > 0 {
+            let first = rollup.first_timestamp.map_or(0, |at| at.as_nanos());
+            out.extend_from_slice(&first.to_be_bytes());
+        }
+        out.extend_from_slice(&history.chain);
+        out.extend_from_slice(&history.head);
+        // analyzer: allow(checked-casts) — the resident window is bounded by the ring capacity (u32 on the wire)
+        out.extend_from_slice(&(history.resident_len() as u32).to_be_bytes());
         for entry in history.entries() {
             out.extend_from_slice(&entry.timestamp.as_nanos().to_be_bytes());
             out.extend_from_slice(&entry.collected_at.as_nanos().to_be_bytes());
@@ -761,6 +819,41 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
             2,
         ));
     }
+    let mode_at = reader.offset;
+    let mode_byte = reader.u8("history mode")?;
+    let capacity_at = reader.offset;
+    let capacity = reader.u32("ring capacity")?;
+    let mode = match (mode_byte, capacity) {
+        (MODE_UNBOUNDED, 0) => HistoryMode::Unbounded,
+        (MODE_UNBOUNDED, _) => {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("unbounded snapshot carries ring capacity {capacity}"),
+                capacity_at,
+            ));
+        }
+        (MODE_RING, 0) => {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                "ring snapshot carries zero capacity".to_string(),
+                capacity_at,
+            ));
+        }
+        (MODE_RING, capacity) => HistoryMode::Ring(usize::try_from(capacity).map_err(|_| {
+            DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("ring capacity {capacity} does not fit this platform's usize"),
+                capacity_at,
+            )
+        })?),
+        (tag, _) => {
+            return Err(DecodeError::new(
+                DecodeErrorKind::TagLength,
+                format!("snapshot history mode {tag} out of range"),
+                mode_at,
+            ));
+        }
+    };
     let ingested = reader.u64("ingested counter")?;
     let rejected = reader.u64("rejected counter")?;
     let duplicates = reader.u64("duplicates counter")?;
@@ -821,10 +914,104 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
         }
         previous_device = Some(device);
         let collections = reader.u64("collection count")?;
-        let entry_count = reader.count("entry count")?;
-        let mut entries = Vec::new();
+        let entries = reader.u64("entry count")?;
+        let evictions_at = reader.offset;
+        let evictions = reader.u64("eviction count")?;
+        if mode == HistoryMode::Unbounded && evictions != 0 {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("unbounded snapshot claims {evictions} evictions"),
+                evictions_at,
+            ));
+        }
+        let stale_at = reader.offset;
+        let stale_discards = reader.u64("stale discard count")?;
+        if mode == HistoryMode::Unbounded && stale_discards != 0 {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("unbounded snapshot claims {stale_discards} stale discards"),
+                stale_at,
+            ));
+        }
+        let healthy_at = reader.offset;
+        let healthy = reader.u64("healthy count")?;
+        let compromised = reader.u64("compromised count")?;
+        let forged = reader.u64("forged count")?;
+        let verdict_sum = healthy
+            .checked_add(compromised)
+            .and_then(|sum| sum.checked_add(forged));
+        if verdict_sum != Some(entries) {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!("snapshot verdict counts do not sum to {entries} entries"),
+                healthy_at,
+            ));
+        }
+        let flags_at = reader.offset;
+        let flags = reader.u8("history flags")?;
+        if flags & !1 != 0 {
+            return Err(DecodeError::new(
+                DecodeErrorKind::TagLength,
+                format!("snapshot history flags {flags:#04x} out of range"),
+                flags_at,
+            ));
+        }
+        let (first_compromise_at, compromise_detected_at) = if flags & 1 != 0 {
+            let measured = reader.u64("first compromise time")?;
+            let detected = reader.u64("compromise detection time")?;
+            (
+                Some(SimTime::from_nanos(measured)),
+                Some(SimTime::from_nanos(detected)),
+            )
+        } else {
+            (None, None)
+        };
+        let first_ts_at = reader.offset;
+        let first_timestamp = if entries > 0 {
+            Some(SimTime::from_nanos(reader.u64("first timestamp")?))
+        } else {
+            None
+        };
+        let chain_at = reader.offset;
+        let chain = *reader.array::<32>("chain digest")?;
+        let head_at = reader.offset;
+        let head = *reader.array::<32>("head digest")?;
+        let resident_at = reader.offset;
+        let resident_count = reader.count("resident count")?;
+        let conserved = evictions.checked_add(u64::try_from(resident_count).unwrap_or(u64::MAX))
+            == Some(entries);
+        if !conserved {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                format!(
+                    "snapshot window breaks conservation: {evictions} evictions + \
+                     {resident_count} resident != {entries} entries"
+                ),
+                resident_at,
+            ));
+        }
+        if entries > 0 && resident_count == 0 {
+            return Err(DecodeError::new(
+                DecodeErrorKind::BatchCount,
+                "snapshot retains no entries for a non-empty history".to_string(),
+                resident_at,
+            ));
+        }
+        if let HistoryMode::Ring(ring_capacity) = mode {
+            if resident_count > ring_capacity {
+                return Err(DecodeError::new(
+                    DecodeErrorKind::BatchCount,
+                    format!(
+                        "snapshot retains {resident_count} entries over capacity {ring_capacity}"
+                    ),
+                    resident_at,
+                ));
+            }
+        }
+        let mut ring = std::collections::VecDeque::with_capacity(resident_count);
+        let mut folded = chain;
         let mut previous_timestamp: Option<u64> = None;
-        for _ in 0..entry_count {
+        for _ in 0..resident_count {
             let entry_at = reader.offset;
             let timestamp = reader.u64("entry timestamp")?;
             if previous_timestamp.is_some_and(|previous| previous >= timestamp) {
@@ -845,21 +1032,64 @@ pub fn decode_hub_snapshot(bytes: &[u8]) -> Result<VerifierHub, DecodeError> {
                     tag_at,
                 )
             })?;
-            entries.push(HistoryEntry {
+            folded = extend_digest(&folded, timestamp, tag, collected_at);
+            ring.push_back(HistoryEntry {
                 timestamp: SimTime::from_nanos(timestamp),
                 verdict,
                 collected_at: SimTime::from_nanos(collected_at),
             });
         }
+        if let (Some(first), Some(front)) = (first_timestamp, ring.front()) {
+            if first > front.timestamp {
+                return Err(DecodeError::new(
+                    DecodeErrorKind::BatchCount,
+                    "snapshot first timestamp is later than its oldest retained entry".to_string(),
+                    first_ts_at,
+                ));
+            }
+        }
+        if evictions == 0 && chain != [0u8; 32] {
+            return Err(DecodeError::new(
+                DecodeErrorKind::DigestLength,
+                "snapshot chain digest is non-zero with no evictions".to_string(),
+                chain_at,
+            ));
+        }
+        if folded != head {
+            return Err(DecodeError::new(
+                DecodeErrorKind::DigestLength,
+                "snapshot head digest does not extend its chain".to_string(),
+                head_at,
+            ));
+        }
         let id = DeviceId::new(device);
         histories.insert(
             id,
-            DeviceHistory::from_snapshot_parts(id, collections, entries),
+            DeviceHistory {
+                device: id,
+                mode,
+                ring,
+                chain,
+                head,
+                collections,
+                rollup: HistoryRollup {
+                    entries,
+                    evictions,
+                    stale_discards,
+                    healthy,
+                    compromised,
+                    forged,
+                    first_timestamp,
+                    first_compromise_at,
+                    compromise_detected_at,
+                },
+            },
         );
     }
     reader.finish()?;
     Ok(VerifierHub {
         histories,
+        mode,
         ingested,
         rejected,
         duplicates,
@@ -1136,6 +1366,31 @@ mod tests {
         );
     }
 
+    /// Ingests three entries per device for devices 2 (healthy) and
+    /// 6 (compromised), then backdates the collection counters, so both the
+    /// rollup and compromise-evidence sections carry non-default values.
+    fn populate_devices(hub: &mut VerifierHub) {
+        let mode = hub.history_mode();
+        for (device, verdict) in [
+            (2u64, MeasurementVerdict::Healthy),
+            (6u64, MeasurementVerdict::Compromised),
+        ] {
+            let id = DeviceId::new(device);
+            let history = hub
+                .histories
+                .entry(id)
+                .or_insert_with(|| DeviceHistory::with_mode(id, mode));
+            for i in 1..=3u64 {
+                history.observe(HistoryEntry {
+                    timestamp: SimTime::from_secs(10 * i),
+                    verdict,
+                    collected_at: SimTime::from_secs(10 * i + 5),
+                });
+            }
+            history.collections = device;
+        }
+    }
+
     /// A hub with counters, two dedup windows and two device histories —
     /// every snapshot field populated with non-default values.
     fn populated_hub() -> VerifierHub {
@@ -1159,30 +1414,55 @@ mod tests {
                 seen: [41u64, 44].into_iter().collect(),
             },
         );
-        for (device, verdict) in [
-            (2u64, MeasurementVerdict::Healthy),
-            (6u64, MeasurementVerdict::Compromised),
-        ] {
-            let id = DeviceId::new(device);
-            let entries = (1..=3u64).map(|i| HistoryEntry {
-                timestamp: SimTime::from_secs(10 * i),
-                verdict,
-                collected_at: SimTime::from_secs(10 * i + 5),
-            });
-            hub.histories
-                .insert(id, DeviceHistory::from_snapshot_parts(id, device, entries));
-        }
+        populate_devices(&mut hub);
+        hub
+    }
+
+    /// The same device timelines as [`populated_hub`] but ingested into a
+    /// two-slot ring, so every history has wrapped: one eviction, a sealed
+    /// non-zero chain and a two-entry retained window. No dedup flows, so
+    /// the first device record sits at offset 40.
+    fn populated_ring_hub() -> VerifierHub {
+        let mut hub = VerifierHub::with_history(HistoryMode::Ring(2));
+        hub.ingested = 6;
+        populate_devices(&mut hub);
         hub
     }
 
     #[test]
     fn hub_snapshot_roundtrip_is_lossless_and_canonical() {
-        for hub in [VerifierHub::default(), populated_hub()] {
+        for hub in [
+            VerifierHub::default(),
+            populated_hub(),
+            populated_ring_hub(),
+        ] {
             let bytes = encode_hub_snapshot(&hub);
             let decoded = decode_hub_snapshot(&bytes).expect("snapshot decodes");
             assert_eq!(decoded, hub);
             assert_eq!(encode_hub_snapshot(&decoded), bytes, "canonical re-encode");
+            assert_eq!(decoded.verified_chains(), decoded.len(), "chains verify");
         }
+    }
+
+    #[test]
+    fn hub_snapshot_restores_a_wrapped_ring() {
+        let hub = populated_ring_hub();
+        let decoded = decode_hub_snapshot(&encode_hub_snapshot(&hub)).expect("snapshot decodes");
+        assert_eq!(decoded.history_mode(), HistoryMode::Ring(2));
+        let history = decoded
+            .history(DeviceId::new(6))
+            .expect("device 6 restored");
+        assert_eq!(history.len(), 3, "lifetime count survives the wrap");
+        assert_eq!(history.resident_len(), 2);
+        assert_eq!(history.evictions(), 1);
+        assert_ne!(
+            history.chain_digest(),
+            &[0u8; 32],
+            "eviction sealed the chain"
+        );
+        assert!(history.verify_chain());
+        assert_eq!(history.first_compromise(), Some(SimTime::from_secs(10)));
+        assert_eq!(history.first_timestamp(), Some(SimTime::from_secs(10)));
     }
 
     #[test]
@@ -1196,15 +1476,17 @@ mod tests {
 
     #[test]
     fn hub_snapshot_is_prefix_and_suffix_strict() {
-        let bytes = encode_hub_snapshot(&populated_hub());
-        for len in 0..bytes.len() {
-            let err = decode_hub_snapshot(&bytes[..len]).unwrap_err();
-            assert_eq!(err.kind(), DecodeErrorKind::Truncated, "cut at {len}");
+        for hub in [populated_hub(), populated_ring_hub()] {
+            let bytes = encode_hub_snapshot(&hub);
+            for len in 0..bytes.len() {
+                let err = decode_hub_snapshot(&bytes[..len]).unwrap_err();
+                assert_eq!(err.kind(), DecodeErrorKind::Truncated, "cut at {len}");
+            }
+            let mut padded = bytes.clone();
+            padded.push(0);
+            let err = decode_hub_snapshot(&padded).unwrap_err();
+            assert_eq!(err.kind(), DecodeErrorKind::TrailingBytes);
         }
-        let mut padded = bytes.clone();
-        padded.push(0);
-        let err = decode_hub_snapshot(&padded).unwrap_err();
-        assert_eq!(err.kind(), DecodeErrorKind::TrailingBytes);
     }
 
     #[test]
@@ -1224,14 +1506,14 @@ mod tests {
 
     #[test]
     fn hub_snapshot_rejects_non_canonical_record_order() {
-        // Header: magic (2) + version (1) + three u64 counters (24) = 27,
-        // then the u32 flow count at 27.
+        // Header: magic (2) + version (1) + mode (1) + capacity (4) + three
+        // u64 counters (24) = 32, then the u32 flow count at 32.
         let hub = populated_hub();
         let bytes = encode_hub_snapshot(&hub);
 
-        // Swap the two flow ids (offset 31 and the second flow record's id)
+        // Swap the two flow ids (offset 36 and the second flow record's id)
         // so flows arrive descending.
-        let first_flow_at = 31;
+        let first_flow_at = 36;
         let second_flow_at = first_flow_at + 8 + 8 + 4 + 3 * 8;
         let mut swapped = bytes.clone();
         swapped.copy_within(second_flow_at..second_flow_at + 8, first_flow_at);
@@ -1268,11 +1550,27 @@ mod tests {
     }
 
     /// Offset of the first device record in a [`populated_hub`] snapshot:
-    /// 27-byte header, u32 flow count, flow 4 (3 sequences), flow 9
+    /// 32-byte header, u32 flow count, flow 4 (3 sequences), flow 9
     /// (2 sequences), u32 device count.
     fn populated_hub_device_at() -> usize {
-        27 + 4 + (8 + 8 + 4 + 3 * 8) + (8 + 8 + 4 + 2 * 8) + 4
+        32 + 4 + (8 + 8 + 4 + 3 * 8) + (8 + 8 + 4 + 2 * 8) + 4
     }
+
+    /// Byte offsets of device 2's record fields relative to the start of its
+    /// record. Device 2 is all-healthy, so its flags byte is zero and no
+    /// compromise pair is present: id (8), collections (8), six rollup
+    /// counters (48), flags (1), first timestamp (8), chain (32), head (32),
+    /// resident count (4), then 17-byte entries.
+    const DEV_ENTRIES_AT: usize = 16;
+    const DEV_EVICTIONS_AT: usize = 24;
+    const DEV_STALE_AT: usize = 32;
+    const DEV_HEALTHY_AT: usize = 40;
+    const DEV_FLAGS_AT: usize = 64;
+    const DEV_FIRST_TS_AT: usize = 65;
+    const DEV_CHAIN_AT: usize = 73;
+    const DEV_HEAD_AT: usize = 105;
+    const DEV_RESIDENT_AT: usize = 137;
+    const DEV_FIRST_ENTRY_AT: usize = 141;
 
     #[test]
     fn hub_snapshot_rejects_disordered_devices_and_timestamps() {
@@ -1286,9 +1584,7 @@ mod tests {
         assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
         assert!(err.to_string().contains("devices out of order"), "{err}");
 
-        // First history entry of device 2 starts right after its id,
-        // collection count and entry count.
-        let first_entry_at = device_at + 8 + 8 + 4;
+        let first_entry_at = device_at + DEV_FIRST_ENTRY_AT;
         let mut stalled = bytes.clone();
         // Copy entry 1's timestamp over entry 2's (each entry is 17 bytes).
         stalled.copy_within(first_entry_at..first_entry_at + 8, first_entry_at + 17);
@@ -1301,13 +1597,152 @@ mod tests {
     fn hub_snapshot_rejects_out_of_range_verdicts() {
         let hub = populated_hub();
         let bytes = encode_hub_snapshot(&hub);
-        let verdict_at = populated_hub_device_at() + 8 + 8 + 4 + 16;
+        let verdict_at = populated_hub_device_at() + DEV_FIRST_ENTRY_AT + 16;
         let mut bad = bytes.clone();
         assert_eq!(bad[verdict_at], 0, "healthy verdict tag");
         bad[verdict_at] = 3;
         let err = decode_hub_snapshot(&bad).unwrap_err();
         assert_eq!(err.kind(), DecodeErrorKind::TagLength);
         assert!(err.to_string().contains("verdict tag 3"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_bad_mode_headers() {
+        // Mode tag out of range.
+        let mut bytes = encode_hub_snapshot(&VerifierHub::default());
+        bytes[3] = 2;
+        let err = decode_hub_snapshot(&bytes).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::TagLength);
+        assert!(err.to_string().contains("history mode"), "{err}");
+
+        // An unbounded snapshot must carry a zero capacity.
+        let mut bytes = encode_hub_snapshot(&VerifierHub::default());
+        bytes[7] = 1;
+        let err = decode_hub_snapshot(&bytes).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("ring capacity"), "{err}");
+
+        // A ring snapshot must carry a non-zero capacity.
+        let mut bytes = encode_hub_snapshot(&populated_ring_hub());
+        bytes[4..8].copy_from_slice(&0u32.to_be_bytes());
+        let err = decode_hub_snapshot(&bytes).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("zero capacity"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_rollup_books_that_do_not_balance() {
+        let bytes = encode_hub_snapshot(&populated_hub());
+        let device_at = populated_hub_device_at();
+
+        // Verdict counts must sum to the lifetime entry count.
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_HEALTHY_AT + 7] = 4; // healthy: 3 -> 4
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("do not sum"), "{err}");
+
+        // Evictions + resident must equal entries.
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_ENTRIES_AT + 7] = 4; // entries: 3 -> 4
+        bad[device_at + DEV_HEALTHY_AT + 7] = 4; // keep the verdict sum consistent
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("conservation"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_phantom_evictions_in_unbounded_mode() {
+        let bytes = encode_hub_snapshot(&populated_hub());
+        let device_at = populated_hub_device_at();
+
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_EVICTIONS_AT + 7] = 1; // evictions: 0 -> 1
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("evictions"), "{err}");
+
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_STALE_AT + 7] = 1; // stale discards: 0 -> 1
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_out_of_range_flags() {
+        let bytes = encode_hub_snapshot(&populated_hub());
+        let flags_at = populated_hub_device_at() + DEV_FLAGS_AT;
+        let mut bad = bytes.clone();
+        assert_eq!(bad[flags_at], 0, "device 2 carries no compromise pair");
+        bad[flags_at] = 2;
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::TagLength);
+        assert!(err.to_string().contains("flags"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_an_implausible_first_timestamp() {
+        let bytes = encode_hub_snapshot(&populated_hub());
+        let first_ts_at = populated_hub_device_at() + DEV_FIRST_TS_AT;
+        let mut bad = bytes.clone();
+        bad[first_ts_at..first_ts_at + 8].copy_from_slice(&u64::MAX.to_be_bytes());
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("first timestamp"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_forged_digests() {
+        let bytes = encode_hub_snapshot(&populated_hub());
+        let device_at = populated_hub_device_at();
+
+        // A non-zero chain with no evictions cannot come from a real history.
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_CHAIN_AT] = 1;
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::DigestLength);
+        assert!(err.to_string().contains("no evictions"), "{err}");
+
+        // A tampered head no longer extends the sealed chain.
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_HEAD_AT] ^= 1;
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::DigestLength);
+        assert!(err.to_string().contains("does not extend"), "{err}");
+
+        // Tampering with a retained entry breaks the head fold too.
+        let mut bad = bytes.clone();
+        let collected_at = device_at + DEV_FIRST_ENTRY_AT + 8;
+        bad[collected_at + 7] ^= 1;
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::DigestLength);
+        assert!(err.to_string().contains("does not extend"), "{err}");
+    }
+
+    #[test]
+    fn hub_snapshot_rejects_ring_windows_that_overflow_their_capacity() {
+        // populated_ring_hub has no dedup flows: 32-byte header, u32 flow
+        // count, u32 device count, then device 2's record at offset 40.
+        let bytes = encode_hub_snapshot(&populated_ring_hub());
+        let device_at = 32 + 4 + 4;
+        assert_eq!(&bytes[device_at..device_at + 8], &2u64.to_be_bytes());
+
+        // Lower the declared capacity below the retained window.
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&1u32.to_be_bytes());
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("over capacity"), "{err}");
+
+        // A non-empty history must retain at least one entry.
+        let mut bad = bytes.clone();
+        bad[device_at + DEV_EVICTIONS_AT + 7] = 3; // evictions: 1 -> 3 keeps conservation
+        let resident_at = device_at + DEV_RESIDENT_AT;
+        bad[resident_at..resident_at + 4].copy_from_slice(&0u32.to_be_bytes());
+        let err = decode_hub_snapshot(&bad).unwrap_err();
+        assert_eq!(err.kind(), DecodeErrorKind::BatchCount);
+        assert!(err.to_string().contains("retains no entries"), "{err}");
     }
 
     #[test]
@@ -1416,6 +1851,50 @@ mod proptests {
             let mut bytes = encode_collection_batch(&batch);
             bytes.extend_from_slice(&trailer);
             prop_assert!(decode_collection_batch(&bytes).is_err());
+        }
+
+        /// Any hub — unbounded or ring, wrapped or not, with arbitrary
+        /// device timelines — survives the snapshot codec losslessly and
+        /// re-encodes byte-identically.
+        #[test]
+        fn hub_snapshot_roundtrips_for_arbitrary_hubs(
+            mode in (0usize..6).prop_map(|capacity| match capacity {
+                0 => HistoryMode::Unbounded,
+                capacity => HistoryMode::Ring(capacity),
+            }),
+            devices in proptest::collection::vec(
+                (0u64..32, proptest::collection::vec((0u64..128, any::<u8>()), 0..12)),
+                0..5,
+            ),
+            counters in (any::<u64>(), any::<u64>(), any::<u64>()),
+        ) {
+            let mut hub = VerifierHub::with_history(mode);
+            hub.ingested = counters.0;
+            hub.rejected = counters.1;
+            hub.duplicates = counters.2;
+            const VERDICTS: [MeasurementVerdict; 3] = [
+                MeasurementVerdict::Healthy,
+                MeasurementVerdict::Compromised,
+                MeasurementVerdict::Forged,
+            ];
+            for (device, draws) in devices {
+                let id = DeviceId::new(device);
+                let history = hub
+                    .histories
+                    .entry(id)
+                    .or_insert_with(|| DeviceHistory::with_mode(id, mode));
+                for (ts, selector) in draws {
+                    history.observe(HistoryEntry {
+                        timestamp: SimTime::from_secs(ts),
+                        verdict: VERDICTS[usize::from(selector) % VERDICTS.len()],
+                        collected_at: SimTime::from_secs(ts + 3),
+                    });
+                }
+            }
+            let bytes = encode_hub_snapshot(&hub);
+            let decoded = decode_hub_snapshot(&bytes).expect("own snapshot decodes");
+            prop_assert_eq!(&decoded, &hub);
+            prop_assert_eq!(encode_hub_snapshot(&decoded), bytes, "canonical");
         }
     }
 }

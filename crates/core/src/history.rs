@@ -1,15 +1,36 @@
 //! Verifier-side device history: the state timeline reconstructed from
-//! successive collections.
+//! successive collections, in O(ring capacity) memory per device.
 //!
 //! ERASMUS's selling point is that the verifier obtains the prover's *entire
 //! history* of measurements rather than a single point-in-time snapshot.
-//! [`DeviceHistory`] accumulates the verified measurements from every
-//! collection, deduplicates them, and answers the questions an operator
-//! actually asks: when did the device first look compromised, how long was
-//! it compromised, and were there windows with no evidence at all?
+//! Early versions of this crate stored that history literally — every entry
+//! in an unbounded `BTreeMap` — which capped fleet runs at a few thousand
+//! devices. [`DeviceHistory`] now keeps compact state instead:
+//!
+//! * a fixed-size **ring** of the K most recent entries (the operator-facing
+//!   window: spans, gaps, per-entry verdicts),
+//! * a **rollup** of lifetime tallies that survive eviction (entry and
+//!   verdict counts, first/last timestamps, first-compromise evidence),
+//! * a PCR-style **hash chain**: every entry extends a 32-byte digest,
+//!   `H_new = SHA256(H_old || t || verdict || collected_at)`, so the entire
+//!   timeline authenticates from one digest no matter how many entries have
+//!   been evicted.
+//!
+//! The chain is split in two: [`DeviceHistory::chain_digest`] covers the
+//! sealed prefix (entries already evicted from the ring, folded in eviction
+//! order) and [`DeviceHistory::head_digest`] covers the whole timeline.
+//! Evicting an entry moves it from the resident window into the sealed
+//! prefix without changing the head — the invariant
+//! `head == fold(chain, resident entries)` holds at all times and is
+//! checked by [`DeviceHistory::verify_chain`].
+//!
+//! [`HistoryMode::Unbounded`] retains every entry (the pre-compaction
+//! behaviour, still the default for [`DeviceHistory::new`]);
+//! [`HistoryMode::Ring`] caps the resident window.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
+use erasmus_crypto::{Digest, Sha256};
 use erasmus_sim::{SimDuration, SimTime};
 
 use crate::ids::DeviceId;
@@ -39,52 +60,167 @@ pub struct HistorySpan {
     pub measurements: usize,
 }
 
-/// The reconstructed state timeline of one device.
+/// Retention policy for a [`DeviceHistory`]'s resident entry window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryMode {
+    /// Keep every entry ever recorded (the original behaviour). Memory
+    /// grows linearly with the device's lifetime.
+    Unbounded,
+    /// Keep only the most recent entries, up to the given capacity; older
+    /// entries are sealed into the hash chain and evicted. Memory is
+    /// O(capacity) per device regardless of lifetime.
+    Ring(usize),
+}
+
+impl HistoryMode {
+    /// The resident-window capacity, or `None` when unbounded.
+    pub fn capacity(self) -> Option<usize> {
+        match self {
+            HistoryMode::Unbounded => None,
+            HistoryMode::Ring(capacity) => Some(capacity),
+        }
+    }
+}
+
+/// Extends a history chain digest by one entry:
+/// `SHA256(prev || t_be || verdict_tag || collected_at_be)`.
+///
+/// `verdict_tag` uses the same 0/1/2 encoding as the snapshot codec
+/// (healthy/compromised/forged — the severity order). This is the single
+/// fold primitive behind both [`DeviceHistory::chain_digest`] and
+/// [`DeviceHistory::head_digest`]; it is exported so external tooling (the
+/// snapshot fuzz model, swarm aggregation) can recompute chains from raw
+/// wire fields without a `DeviceHistory` in hand.
+pub fn extend_digest(
+    prev: &[u8; 32],
+    timestamp_nanos: u64,
+    verdict_tag: u8,
+    collected_at_nanos: u64,
+) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(prev);
+    hasher.update(&timestamp_nanos.to_be_bytes());
+    hasher.update(&[verdict_tag]);
+    hasher.update(&collected_at_nanos.to_be_bytes());
+    hasher.finalize()
+}
+
+fn extend_with_entry(prev: &[u8; 32], entry: &HistoryEntry) -> [u8; 32] {
+    extend_digest(
+        prev,
+        entry.timestamp.as_nanos(),
+        severity(entry.verdict),
+        entry.collected_at.as_nanos(),
+    )
+}
+
+/// Lifetime tallies that survive ring eviction. Every field is monotone
+/// under ingestion, which keeps the rollup order-independent where the
+/// resident window cannot be.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct HistoryRollup {
+    /// Distinct measurements ever recorded (resident + evicted).
+    pub(crate) entries: u64,
+    /// Entries sealed into the chain and dropped from the ring.
+    pub(crate) evictions: u64,
+    /// Measurements discarded because they predate the retained window of a
+    /// ring that has already evicted (late, reordered deliveries).
+    pub(crate) stale_discards: u64,
+    /// Lifetime verdict tallies; a worst-verdict downgrade of a resident
+    /// entry moves one count between buckets.
+    pub(crate) healthy: u64,
+    /// See [`HistoryRollup::healthy`].
+    pub(crate) compromised: u64,
+    /// See [`HistoryRollup::healthy`].
+    pub(crate) forged: u64,
+    /// Earliest measurement timestamp ever recorded.
+    pub(crate) first_timestamp: Option<SimTime>,
+    /// Earliest measurement timestamp that ever carried a non-healthy
+    /// verdict.
+    pub(crate) first_compromise_at: Option<SimTime>,
+    /// Earliest collection time at which non-healthy evidence was seen.
+    pub(crate) compromise_detected_at: Option<SimTime>,
+}
+
+impl HistoryRollup {
+    fn verdict_count_mut(&mut self, verdict: MeasurementVerdict) -> &mut u64 {
+        match verdict {
+            MeasurementVerdict::Healthy => &mut self.healthy,
+            MeasurementVerdict::Compromised => &mut self.compromised,
+            MeasurementVerdict::Forged => &mut self.forged,
+        }
+    }
+
+    fn verdict_count(&self, verdict: MeasurementVerdict) -> u64 {
+        match verdict {
+            MeasurementVerdict::Healthy => self.healthy,
+            MeasurementVerdict::Compromised => self.compromised,
+            MeasurementVerdict::Forged => self.forged,
+        }
+    }
+
+    fn note_compromise(&mut self, measured: SimTime, collected: SimTime) {
+        self.first_compromise_at = Some(match self.first_compromise_at {
+            Some(at) => at.min(measured),
+            None => measured,
+        });
+        self.compromise_detected_at = Some(match self.compromise_detected_at {
+            Some(at) => at.min(collected),
+            None => collected,
+        });
+    }
+}
+
+/// The reconstructed state timeline of one device, in compact form.
 ///
 /// # Example
 ///
 /// ```
-/// use erasmus_core::{history::DeviceHistory, DeviceId};
+/// use erasmus_core::{history::DeviceHistory, DeviceId, HistoryMode};
 ///
-/// let history = DeviceHistory::new(DeviceId::new(1));
+/// let history = DeviceHistory::with_mode(DeviceId::new(1), HistoryMode::Ring(16));
 /// assert!(history.is_empty());
 /// assert!(history.first_compromise().is_none());
+/// assert!(history.verify_chain());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceHistory {
-    device: DeviceId,
-    /// Keyed by measurement timestamp so repeated collections of the same
-    /// measurement deduplicate naturally.
-    entries: BTreeMap<SimTime, HistoryEntry>,
-    collections: u64,
+    pub(crate) device: DeviceId,
+    pub(crate) mode: HistoryMode,
+    /// Resident window, strictly ascending by timestamp.
+    pub(crate) ring: VecDeque<HistoryEntry>,
+    /// Digest of the sealed (evicted) prefix, folded in eviction order.
+    /// All-zero until the first eviction.
+    pub(crate) chain: [u8; 32],
+    /// Digest of the entire timeline: the sealed prefix extended by every
+    /// resident entry in timestamp order.
+    pub(crate) head: [u8; 32],
+    pub(crate) collections: u64,
+    pub(crate) rollup: HistoryRollup,
 }
 
 impl DeviceHistory {
-    /// Creates an empty history for `device`.
+    /// Creates an empty, unbounded history for `device`.
     pub fn new(device: DeviceId) -> Self {
-        Self {
-            device,
-            entries: BTreeMap::new(),
-            collections: 0,
-        }
+        Self::with_mode(device, HistoryMode::Unbounded)
     }
 
-    /// Rebuilds a history from decoded snapshot parts (used by the hub
-    /// snapshot codec in [`crate::encoding`]). `entries` must already be in
-    /// ascending timestamp order — the codec enforces that as part of its
-    /// canonical-form contract.
-    pub(crate) fn from_snapshot_parts(
-        device: DeviceId,
-        collections: u64,
-        entries: impl IntoIterator<Item = HistoryEntry>,
-    ) -> Self {
+    /// Creates an empty history for `device` under the given retention
+    /// mode. A `Ring(0)` capacity is treated as `Ring(1)` — an empty
+    /// resident window would make every query blind.
+    pub fn with_mode(device: DeviceId, mode: HistoryMode) -> Self {
+        let mode = match mode {
+            HistoryMode::Ring(capacity) => HistoryMode::Ring(capacity.max(1)),
+            HistoryMode::Unbounded => HistoryMode::Unbounded,
+        };
         Self {
             device,
-            entries: entries
-                .into_iter()
-                .map(|entry| (entry.timestamp, entry))
-                .collect(),
-            collections,
+            mode,
+            ring: VecDeque::new(),
+            chain: [0u8; 32],
+            head: [0u8; 32],
+            collections: 0,
+            rollup: HistoryRollup::default(),
         }
     }
 
@@ -93,19 +229,69 @@ impl DeviceHistory {
         self.device
     }
 
-    /// Number of distinct measurements recorded.
+    /// The retention mode this history was created with.
+    pub fn mode(&self) -> HistoryMode {
+        self.mode
+    }
+
+    /// Number of distinct measurements ever recorded, resident or evicted.
+    /// (Identical to the resident count in unbounded mode.)
     pub fn len(&self) -> usize {
-        self.entries.len()
+        usize::try_from(self.rollup.entries).unwrap_or(usize::MAX)
     }
 
     /// Whether no measurement has been recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.rollup.entries == 0
+    }
+
+    /// Number of entries currently resident in the ring.
+    pub fn resident_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Number of entries sealed into the chain and evicted from the ring.
+    /// Conservation: `evictions() + resident_len() == len()`.
+    pub fn evictions(&self) -> u64 {
+        self.rollup.evictions
+    }
+
+    /// Number of measurements discarded for predating an already-evicted
+    /// window (late, reordered deliveries in ring mode).
+    pub fn stale_discards(&self) -> u64 {
+        self.rollup.stale_discards
     }
 
     /// Number of collection reports folded in.
     pub fn collections(&self) -> u64 {
         self.collections
+    }
+
+    /// Digest of the sealed (evicted) prefix of the timeline. All-zero
+    /// until the first eviction.
+    pub fn chain_digest(&self) -> &[u8; 32] {
+        &self.chain
+    }
+
+    /// Digest of the entire timeline: the sealed prefix extended by every
+    /// resident entry. This is the device's PCR — it authenticates the
+    /// full history in 32 bytes and is invariant under eviction.
+    pub fn head_digest(&self) -> &[u8; 32] {
+        &self.head
+    }
+
+    /// Recomputes the head from the sealed chain and the resident window
+    /// and checks it against the stored head. O(resident entries).
+    pub fn verify_chain(&self) -> bool {
+        self.fold_resident() == self.head
+    }
+
+    fn fold_resident(&self) -> [u8; 32] {
+        let mut digest = self.chain;
+        for entry in &self.ring {
+            digest = extend_with_entry(&digest, entry);
+        }
+        digest
     }
 
     /// Folds a collection report into the history.
@@ -125,34 +311,98 @@ impl DeviceHistory {
             return false;
         }
         self.collections += 1;
-        for vm in report.measurements() {
-            self.upsert(HistoryEntry {
+        // Provers answer `latest k` newest-first; replay the report oldest-
+        // first so a bounded ring never mistakes an in-report older entry
+        // for one behind the sealed window. Unbounded histories are order-
+        // invariant, so this changes nothing there.
+        let mut entries: Vec<HistoryEntry> = report
+            .measurements()
+            .iter()
+            .map(|vm| HistoryEntry {
                 timestamp: vm.measurement.timestamp(),
                 verdict: vm.verdict,
                 collected_at: report.collected_at(),
-            });
+            })
+            .collect();
+        entries.sort_by_key(|entry| entry.timestamp);
+        for entry in entries {
+            self.observe(entry);
         }
         true
     }
 
-    /// Records one entry under the worst-verdict-wins rule shared by
-    /// [`DeviceHistory::ingest`] and [`DeviceHistory::merge_from`]: a known
-    /// timestamp keeps its verdict unless the incoming one is more alarming.
-    fn upsert(&mut self, entry: HistoryEntry) {
-        self.entries
-            .entry(entry.timestamp)
-            .and_modify(|existing| {
-                if severity(entry.verdict) > severity(existing.verdict) {
-                    existing.verdict = entry.verdict;
-                    existing.collected_at = entry.collected_at;
+    /// Records one verified measurement under the worst-verdict-wins rule
+    /// shared by [`DeviceHistory::ingest`] and [`DeviceHistory::merge_from`]:
+    /// a known timestamp keeps its verdict unless the incoming one is more
+    /// alarming; a fresh timestamp extends the hash chain; in ring mode a
+    /// timestamp older than an already-evicted window is counted as a stale
+    /// discard and dropped.
+    pub fn observe(&mut self, entry: HistoryEntry) {
+        match self
+            .ring
+            .binary_search_by_key(&entry.timestamp, |resident| resident.timestamp)
+        {
+            Ok(index) => {
+                let old = self.ring[index].verdict;
+                if severity(entry.verdict) > severity(old) {
+                    self.ring[index].verdict = entry.verdict;
+                    self.ring[index].collected_at = entry.collected_at;
+                    *self.rollup.verdict_count_mut(old) -= 1;
+                    *self.rollup.verdict_count_mut(entry.verdict) += 1;
+                    self.rollup
+                        .note_compromise(entry.timestamp, entry.collected_at);
+                    self.head = self.fold_resident();
                 }
-            })
-            .or_insert(entry);
+            }
+            Err(index) => {
+                if index == 0 && self.rollup.evictions > 0 && !self.ring.is_empty() {
+                    // Ring mode, and the entry predates the retained
+                    // window: the chain has already sealed past it.
+                    self.rollup.stale_discards += 1;
+                    return;
+                }
+                self.rollup.entries += 1;
+                *self.rollup.verdict_count_mut(entry.verdict) += 1;
+                self.rollup.first_timestamp = Some(match self.rollup.first_timestamp {
+                    Some(at) => at.min(entry.timestamp),
+                    None => entry.timestamp,
+                });
+                if entry.verdict != MeasurementVerdict::Healthy {
+                    self.rollup
+                        .note_compromise(entry.timestamp, entry.collected_at);
+                }
+                if index == self.ring.len() {
+                    // Fast path: in-order arrival is a pure PCR extend.
+                    self.head = extend_with_entry(&self.head, &entry);
+                    self.ring.push_back(entry);
+                } else {
+                    self.ring.insert(index, entry);
+                    self.head = self.fold_resident();
+                }
+                if let HistoryMode::Ring(capacity) = self.mode {
+                    while self.ring.len() > capacity {
+                        let evicted = self.ring.pop_front().expect("len > capacity >= 1");
+                        self.chain = extend_with_entry(&self.chain, &evicted);
+                        self.rollup.evictions += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Merges another history of the *same* device into this one, entry by
     /// entry, using the same worst-verdict-wins rule as
-    /// [`DeviceHistory::ingest`]. Collection counts are summed.
+    /// [`DeviceHistory::ingest`]. Collection counts, stale-discard counts
+    /// and the monotone rollup minima (first timestamp, first compromise)
+    /// are combined; `other`'s resident entries are re-observed under
+    /// `self`'s retention mode.
+    ///
+    /// When `other` has already evicted entries, those entries cannot be
+    /// replayed: their lifetime tallies stay with `other`, and chain
+    /// equality with a sequentially-ingested history is only guaranteed
+    /// while `other` is un-evicted (the fleet runtime never merges two
+    /// histories of the same device that both wrapped — devices live on
+    /// exactly one shard).
     ///
     /// Returns `false` (and changes nothing) when `other` belongs to a
     /// different device. Used by [`crate::VerifierHub::merge`] to combine the
@@ -162,33 +412,51 @@ impl DeviceHistory {
             return false;
         }
         self.collections += other.collections;
-        for entry in other.entries.values() {
-            self.upsert(entry.clone());
+        self.rollup.stale_discards += other.rollup.stale_discards;
+        if let Some(at) = other.rollup.first_timestamp {
+            self.rollup.first_timestamp = Some(match self.rollup.first_timestamp {
+                Some(mine) => mine.min(at),
+                None => at,
+            });
+        }
+        if let (Some(at), Some(detected)) = (
+            other.rollup.first_compromise_at,
+            other.rollup.compromise_detected_at,
+        ) {
+            self.rollup.note_compromise(at, detected);
+        }
+        for entry in other.ring.iter().cloned() {
+            self.observe(entry);
         }
         true
     }
 
-    /// All entries in timestamp order.
+    /// Resident entries in timestamp order.
     pub fn entries(&self) -> impl Iterator<Item = &HistoryEntry> {
-        self.entries.values()
+        self.ring.iter()
+    }
+
+    /// Timestamp of the earliest measurement ever recorded (survives
+    /// eviction).
+    pub fn first_timestamp(&self) -> Option<SimTime> {
+        self.rollup.first_timestamp
+    }
+
+    /// Timestamp of the most recent measurement recorded.
+    pub fn last_timestamp(&self) -> Option<SimTime> {
+        self.ring.back().map(|entry| entry.timestamp)
     }
 
     /// The timestamp of the earliest measurement showing compromise or
-    /// tampering, if any.
+    /// tampering, if any (survives eviction).
     pub fn first_compromise(&self) -> Option<SimTime> {
-        self.entries
-            .values()
-            .find(|entry| entry.verdict != MeasurementVerdict::Healthy)
-            .map(|entry| entry.timestamp)
+        self.rollup.first_compromise_at
     }
 
-    /// The time at which the verifier *learned* of the first compromise.
+    /// The time at which the verifier *learned* of the first compromise:
+    /// the earliest collection time that carried non-healthy evidence.
     pub fn first_compromise_detected_at(&self) -> Option<SimTime> {
-        self.entries
-            .values()
-            .filter(|entry| entry.verdict != MeasurementVerdict::Healthy)
-            .map(|entry| entry.collected_at)
-            .min()
+        self.rollup.compromise_detected_at
     }
 
     /// Detection latency: from the first incriminating measurement to the
@@ -202,48 +470,51 @@ impl DeviceHistory {
         }
     }
 
-    /// Total number of measurements with a given verdict.
+    /// Lifetime number of measurements with a given verdict (survives
+    /// eviction; a resident downgrade moves one count between buckets).
     pub fn count(&self, verdict: MeasurementVerdict) -> usize {
-        self.entries
-            .values()
-            .filter(|entry| entry.verdict == verdict)
-            .count()
+        usize::try_from(self.rollup.verdict_count(verdict)).unwrap_or(usize::MAX)
     }
 
-    /// Collapses the timeline into contiguous spans of equal verdict.
-    pub fn spans(&self) -> Vec<HistorySpan> {
-        let mut spans: Vec<HistorySpan> = Vec::new();
-        for entry in self.entries.values() {
-            match spans.last_mut() {
-                Some(span) if span.verdict == entry.verdict => {
-                    span.end = entry.timestamp;
-                    span.measurements += 1;
+    /// Collapses the resident window into contiguous spans of equal
+    /// verdict. Allocation-free: spans are produced lazily off the ring.
+    pub fn spans(&self) -> impl Iterator<Item = HistorySpan> + '_ {
+        let mut entries = self.ring.iter().peekable();
+        std::iter::from_fn(move || {
+            let first = entries.next()?;
+            let mut span = HistorySpan {
+                verdict: first.verdict,
+                start: first.timestamp,
+                end: first.timestamp,
+                measurements: 1,
+            };
+            while let Some(next) = entries.peek() {
+                if next.verdict != span.verdict {
+                    break;
                 }
-                _ => spans.push(HistorySpan {
-                    verdict: entry.verdict,
-                    start: entry.timestamp,
-                    end: entry.timestamp,
-                    measurements: 1,
-                }),
+                span.end = next.timestamp;
+                span.measurements += 1;
+                entries.next();
             }
-        }
-        spans
+            Some(span)
+        })
     }
 
-    /// Largest gap between consecutive measurement timestamps, if at least
-    /// two measurements are known. Large gaps relative to `T_M` point at
-    /// deleted evidence or an undersized buffer.
+    /// Largest gap between consecutive resident measurement timestamps, if
+    /// at least two are retained. Large gaps relative to `T_M` point at
+    /// deleted evidence or an undersized buffer. Allocation-free.
     pub fn largest_gap(&self) -> Option<SimDuration> {
-        let timestamps: Vec<SimTime> = self.entries.keys().copied().collect();
-        timestamps
-            .windows(2)
-            .map(|pair| pair[1].duration_since(pair[0]))
+        self.ring
+            .iter()
+            .zip(self.ring.iter().skip(1))
+            .map(|(earlier, later)| later.timestamp.duration_since(earlier.timestamp))
             .max()
     }
 }
 
 /// Orders verdicts by how alarming they are, for the "keep the worst verdict"
-/// rule in [`DeviceHistory::ingest`].
+/// rule in [`DeviceHistory::ingest`]. Doubles as the chain verdict tag —
+/// the same 0/1/2 values the snapshot codec writes.
 fn severity(verdict: MeasurementVerdict) -> u8 {
     match verdict {
         MeasurementVerdict::Healthy => 0,
@@ -303,6 +574,14 @@ mod tests {
         );
     }
 
+    fn healthy_at(secs: u64) -> HistoryEntry {
+        HistoryEntry {
+            timestamp: SimTime::from_secs(secs),
+            verdict: MeasurementVerdict::Healthy,
+            collected_at: SimTime::from_secs(secs + 5),
+        }
+    }
+
     #[test]
     fn accumulates_and_deduplicates_across_collections() {
         let (mut prover, mut verifier) = provision();
@@ -315,7 +594,10 @@ mod tests {
         assert!(history.first_compromise().is_none());
         assert_eq!(history.count(MeasurementVerdict::Healthy), 12);
         assert_eq!(history.largest_gap(), Some(SimDuration::from_secs(10)));
-        assert_eq!(history.spans().len(), 1);
+        assert_eq!(history.spans().count(), 1);
+        assert!(history.verify_chain());
+        assert_eq!(history.evictions(), 0);
+        assert_eq!(history.resident_len(), 12);
     }
 
     #[test]
@@ -343,7 +625,7 @@ mod tests {
             history.detection_latency(),
             Some(SimDuration::from_secs(40))
         );
-        let spans = history.spans();
+        let spans: Vec<HistorySpan> = history.spans().collect();
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0].verdict, MeasurementVerdict::Healthy);
         assert_eq!(spans[0].measurements, 7); // t = 10..70
@@ -390,6 +672,7 @@ mod tests {
         assert_eq!(first.len(), 12); // t = 10..120, disjoint halves
         assert_eq!(first.collections(), 2);
         assert_eq!(first.largest_gap(), Some(SimDuration::from_secs(10)));
+        assert!(first.verify_chain());
 
         // Device mismatch leaves the target untouched.
         let stranger = DeviceHistory::new(DeviceId::new(7));
@@ -403,10 +686,15 @@ mod tests {
         let history = DeviceHistory::new(DeviceId::new(9));
         assert!(history.is_empty());
         assert_eq!(history.len(), 0);
-        assert!(history.spans().is_empty());
+        assert!(history.spans().next().is_none());
         assert!(history.largest_gap().is_none());
         assert!(history.detection_latency().is_none());
+        assert!(history.first_timestamp().is_none());
+        assert!(history.last_timestamp().is_none());
         assert_eq!(history.device(), DeviceId::new(9));
+        assert_eq!(history.chain_digest(), &[0u8; 32]);
+        assert_eq!(history.head_digest(), &[0u8; 32]);
+        assert!(history.verify_chain());
     }
 
     #[test]
@@ -435,5 +723,93 @@ mod tests {
             .find(|e| e.timestamp == SimTime::from_secs(30))
             .expect("entry exists");
         assert_eq!(entry.verdict, MeasurementVerdict::Forged);
+        // The downgrade rewrote the resident window, so the head must have
+        // been refolded over it.
+        assert!(history.verify_chain());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_seals_the_chain() {
+        let mut ring = DeviceHistory::with_mode(DeviceId::new(3), HistoryMode::Ring(4));
+        let mut unbounded = DeviceHistory::new(DeviceId::new(3));
+        for secs in (10..=80).step_by(10) {
+            ring.observe(healthy_at(secs));
+            unbounded.observe(healthy_at(secs));
+        }
+        assert_eq!(ring.len(), 8, "lifetime count survives eviction");
+        assert_eq!(ring.resident_len(), 4);
+        assert_eq!(ring.evictions(), 4);
+        assert_eq!(
+            ring.evictions() + ring.resident_len() as u64,
+            ring.len() as u64
+        );
+        assert_eq!(ring.first_timestamp(), Some(SimTime::from_secs(10)));
+        assert_eq!(ring.last_timestamp(), Some(SimTime::from_secs(80)));
+        assert_eq!(
+            ring.entries().next().map(|e| e.timestamp),
+            Some(SimTime::from_secs(50)),
+            "resident window holds the most recent K"
+        );
+        assert!(ring.verify_chain());
+        assert_ne!(ring.chain_digest(), &[0u8; 32]);
+        // The head authenticates the whole timeline: eviction must not
+        // change it, so ring and unbounded heads agree.
+        assert_eq!(ring.head_digest(), unbounded.head_digest());
+        assert_eq!(unbounded.evictions(), 0);
+        assert_eq!(unbounded.chain_digest(), &[0u8; 32]);
+    }
+
+    #[test]
+    fn ring_discards_stale_arrivals_behind_the_sealed_window() {
+        let mut history = DeviceHistory::with_mode(DeviceId::new(4), HistoryMode::Ring(2));
+        for secs in [10, 20, 30, 40] {
+            history.observe(healthy_at(secs));
+        }
+        assert_eq!(history.evictions(), 2);
+        let head_before = *history.head_digest();
+        // t = 15 predates the retained window [30, 40]: sealed history
+        // cannot be rewritten, so the arrival is counted and dropped.
+        history.observe(healthy_at(15));
+        assert_eq!(history.stale_discards(), 1);
+        assert_eq!(history.len(), 4, "stale arrivals do not count as entries");
+        assert_eq!(history.head_digest(), &head_before);
+        assert!(history.verify_chain());
+        // A duplicate of a resident entry is still a dedup, not a discard.
+        history.observe(healthy_at(30));
+        assert_eq!(history.stale_discards(), 1);
+        assert_eq!(history.len(), 4);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_refold_the_head() {
+        let mut in_order = DeviceHistory::new(DeviceId::new(5));
+        let mut shuffled = DeviceHistory::new(DeviceId::new(5));
+        for secs in [10, 20, 30, 40] {
+            in_order.observe(healthy_at(secs));
+        }
+        for secs in [30, 10, 40, 20] {
+            shuffled.observe(healthy_at(secs));
+        }
+        assert_eq!(in_order, shuffled, "same set, same compact state");
+        assert!(shuffled.verify_chain());
+        assert_eq!(in_order.head_digest(), shuffled.head_digest());
+    }
+
+    #[test]
+    fn merge_matches_sequential_ingest_chain() {
+        let mut sequential = DeviceHistory::with_mode(DeviceId::new(6), HistoryMode::Ring(3));
+        let mut left = DeviceHistory::with_mode(DeviceId::new(6), HistoryMode::Ring(3));
+        let mut right = DeviceHistory::new(DeviceId::new(6));
+        for secs in [10, 20, 30] {
+            sequential.observe(healthy_at(secs));
+            left.observe(healthy_at(secs));
+        }
+        for secs in [40, 50] {
+            sequential.observe(healthy_at(secs));
+            right.observe(healthy_at(secs));
+        }
+        assert!(left.merge_from(&right));
+        assert_eq!(left, sequential);
+        assert!(left.verify_chain());
     }
 }

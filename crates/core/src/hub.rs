@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::encoding::{DecodeError, FrameView, ResponseView};
-use crate::history::DeviceHistory;
+use crate::history::{DeviceHistory, HistoryMode};
 use crate::ids::DeviceId;
 use crate::report::CollectionReport;
 
@@ -104,9 +104,11 @@ pub struct FrameIngest {
 /// assert!(hub.is_empty());
 /// assert!(hub.history(DeviceId::new(1)).is_none());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifierHub {
     pub(crate) histories: BTreeMap<DeviceId, DeviceHistory>,
+    /// Retention mode every history this hub creates is born with.
+    pub(crate) mode: HistoryMode,
     pub(crate) ingested: u64,
     pub(crate) rejected: u64,
     /// Sequenced frames rejected as duplicates by the dedup window.
@@ -115,18 +117,50 @@ pub struct VerifierHub {
     pub(crate) dedup: BTreeMap<u64, FlowWindow>,
 }
 
+impl Default for VerifierHub {
+    fn default() -> Self {
+        Self::with_history(HistoryMode::Unbounded)
+    }
+}
+
 impl VerifierHub {
-    /// Creates an empty hub.
+    /// Creates an empty hub with unbounded per-device histories.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty hub whose device histories follow `mode` — pass
+    /// [`HistoryMode::Ring`] to cap per-device verifier state at O(capacity)
+    /// regardless of fleet lifetime. A zero ring capacity is clamped to one,
+    /// matching [`DeviceHistory::with_mode`], so the hub's mode always equals
+    /// its histories' mode.
+    pub fn with_history(mode: HistoryMode) -> Self {
+        let mode = match mode {
+            HistoryMode::Unbounded => HistoryMode::Unbounded,
+            HistoryMode::Ring(capacity) => HistoryMode::Ring(capacity.max(1)),
+        };
+        Self {
+            histories: BTreeMap::new(),
+            mode,
+            ingested: 0,
+            rejected: 0,
+            duplicates: 0,
+            dedup: BTreeMap::new(),
+        }
+    }
+
+    /// The retention mode histories created by this hub use.
+    pub fn history_mode(&self) -> HistoryMode {
+        self.mode
     }
 
     /// Ensures a (possibly empty) history exists for `device`, so that a
     /// fleet roster is visible even before its first collection.
     pub fn register(&mut self, device: DeviceId) {
+        let mode = self.mode;
         self.histories
             .entry(device)
-            .or_insert_with(|| DeviceHistory::new(device));
+            .or_insert_with(|| DeviceHistory::with_mode(device, mode));
     }
 
     /// Routes a collection report to the history of the device it is about,
@@ -137,10 +171,11 @@ impl VerifierHub {
     /// through this path unless the map was tampered with, but counted in
     /// [`VerifierHub::rejected`] as a defence-in-depth signal).
     pub fn ingest(&mut self, report: &CollectionReport) -> bool {
+        let mode = self.mode;
         let history = self
             .histories
             .entry(report.device())
-            .or_insert_with(|| DeviceHistory::new(report.device()));
+            .or_insert_with(|| DeviceHistory::with_mode(report.device(), mode));
         let accepted = history.ingest(report);
         if accepted {
             self.ingested += 1;
@@ -172,10 +207,11 @@ impl VerifierHub {
         let mut index = 0;
         while index < batch.len() {
             let device = batch[index].device();
+            let mode = self.mode;
             let history = self
                 .histories
                 .entry(device)
-                .or_insert_with(|| DeviceHistory::new(device));
+                .or_insert_with(|| DeviceHistory::with_mode(device, mode));
             while index < batch.len() && batch[index].device() == device {
                 if history.ingest(batch[index]) {
                     outcome.accepted += 1;
@@ -317,9 +353,41 @@ impl VerifierHub {
         self.histories.values().map(|h| h.collections()).sum()
     }
 
-    /// Total distinct measurements recorded across all device histories.
+    /// Total distinct measurements ever recorded across all device
+    /// histories, resident or evicted (lifetime count — invariant across
+    /// retention modes).
     pub fn total_entries(&self) -> u64 {
         self.histories.values().map(|h| h.len() as u64).sum()
+    }
+
+    /// Total entries currently resident in the per-device rings. Equals
+    /// [`VerifierHub::total_entries`] in unbounded mode; bounded by
+    /// `devices × ring capacity` in ring mode.
+    pub fn total_resident(&self) -> u64 {
+        self.histories
+            .values()
+            .map(|h| h.resident_len() as u64)
+            .sum()
+    }
+
+    /// Total entries sealed into per-device hash chains and evicted.
+    /// Conservation: `total_evictions() + total_resident() ==
+    /// total_entries()`.
+    pub fn total_evictions(&self) -> u64 {
+        self.histories.values().map(|h| h.evictions()).sum()
+    }
+
+    /// Total measurements discarded for predating an already-evicted
+    /// window (ring mode only; always zero unbounded).
+    pub fn total_stale_discards(&self) -> u64 {
+        self.histories.values().map(|h| h.stale_discards()).sum()
+    }
+
+    /// Re-verifies every device's hash chain — `head == fold(chain,
+    /// resident entries)` — and returns how many devices passed. A healthy
+    /// hub returns [`VerifierHub::len`].
+    pub fn verified_chains(&self) -> usize {
+        self.histories.values().filter(|h| h.verify_chain()).count()
     }
 
     /// Devices whose timeline contains at least one non-healthy measurement,
@@ -344,7 +412,15 @@ impl VerifierHub {
     /// [`DeviceHistory::merge_from`]. Ingestion counters are summed and
     /// per-flow dedup windows are unioned (sharded runs give each shard its
     /// own flows, so windows do not normally overlap).
+    ///
+    /// Both hubs must use the same [`HistoryMode`]; mixing modes would leave
+    /// moved-over histories with a different retention policy than the
+    /// receiving hub creates.
     pub fn merge(&mut self, other: VerifierHub) {
+        debug_assert_eq!(
+            self.mode, other.mode,
+            "merged hubs must share a history mode"
+        );
         self.ingested += other.ingested;
         self.rejected += other.rejected;
         self.duplicates += other.duplicates;
@@ -875,5 +951,35 @@ mod tests {
         let overlapping = a.history(DeviceId::new(1)).expect("tracked");
         assert_eq!(overlapping.len(), 8);
         assert_eq!(overlapping.collections(), 2);
+    }
+
+    #[test]
+    fn ring_hub_matches_unbounded_totals_with_bounded_state() {
+        let mut ring = VerifierHub::with_history(HistoryMode::Ring(2));
+        let mut unbounded = VerifierHub::new();
+        for id in 0..3u64 {
+            let (mut prover, mut verifier) = provision(id);
+            for at in [40u64, 80] {
+                let report = collect(&mut prover, &mut verifier, at, 4);
+                assert!(ring.ingest(&report));
+                assert!(unbounded.ingest(&report));
+            }
+        }
+        // Lifetime totals are invariant across retention modes...
+        assert_eq!(ring.total_entries(), unbounded.total_entries());
+        assert_eq!(ring.total_collections(), unbounded.total_collections());
+        assert_eq!(ring.ingested(), unbounded.ingested());
+        // ...while resident state is capped and the remainder is sealed.
+        assert_eq!(ring.total_resident(), 6); // 3 devices × capacity 2
+        assert_eq!(
+            ring.total_evictions() + ring.total_resident(),
+            ring.total_entries()
+        );
+        assert_eq!(ring.total_stale_discards(), 0);
+        assert_eq!(ring.verified_chains(), ring.len());
+        // Ring heads equal unbounded heads: eviction never changes them.
+        for (compact, full) in ring.histories().zip(unbounded.histories()) {
+            assert_eq!(compact.head_digest(), full.head_digest());
+        }
     }
 }

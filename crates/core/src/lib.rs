@@ -99,7 +99,7 @@ pub use encoding::{
     SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use error::Error;
-pub use history::{DeviceHistory, HistoryEntry, HistorySpan};
+pub use history::{extend_digest, DeviceHistory, HistoryEntry, HistoryMode, HistorySpan};
 pub use hub::{BatchIngest, FrameIngest, VerifierHub, DEDUP_WINDOW};
 pub use ids::DeviceId;
 pub use malware::{Malware, MalwareBehavior, TamperStrategy};

@@ -42,7 +42,7 @@ fn usage() -> &'static str {
      Replays the regression corpus (snap-*.bin files against the hub\n\
      snapshot codec, the rest against the frame decoder), then fuzzes both\n\
      formats for N seeded iterations each: every input must decode without\n\
-     panicking, agree with an independent model decoder where one exists\n\
+     panicking, agree with the format's independent model decoder\n\
      (accept/reject, error kind and offset), re-encode canonically when\n\
      accepted, and never yield a verifying measurement the generator did\n\
      not produce.\n\

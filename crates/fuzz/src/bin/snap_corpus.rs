@@ -1,0 +1,536 @@
+//! `snap_corpus` — regenerates the committed hub-snapshot regression
+//! corpus (`crates/fuzz/corpus/snap-*.bin`).
+//!
+//! Every corpus entry is built byte-by-byte against the documented v2
+//! snapshot layout — never through `encode_hub_snapshot` — so the corpus
+//! stays an independent witness of the wire format: if the encoder drifts,
+//! replaying these bytes catches it. Accept entries exercise the happy
+//! paths (empty hub, populated unbounded hub, ring hub with a wrapped
+//! window and a sealed chain); each reject entry isolates one contract
+//! rule — header consistency, dedup/device ordering, rollup conservation
+//! (`healthy + compromised + forged == entries`,
+//! `evictions + resident == entries`), ring-capacity bounds, and the
+//! hash-chain folds — by corrupting exactly the field that rule guards.
+//!
+//! The tool is self-checking: before writing a file it runs the bytes
+//! through [`erasmus_fuzz::check_snapshot_contract`] and fails unless the
+//! verdict (accept, or reject with the expected
+//! [`erasmus_core::DecodeErrorKind`]) matches. Deterministic output: the
+//! same source produces byte-identical files, so regeneration diffs are
+//! meaningful.
+//!
+//! Usage:
+//!
+//! ```text
+//! snap_corpus             # rewrite crates/fuzz/corpus/snap-*.bin
+//! snap_corpus --dir DIR   # write the corpus somewhere else
+//! ```
+//!
+//! Exit codes: 0 — corpus written and verified; 1 — a generated entry did
+//! not produce its expected verdict; 2 — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use erasmus_core::{extend_digest, DecodeErrorKind, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use erasmus_fuzz::{check_snapshot_contract, Verdict};
+
+/// One dedup window: flow id, sequence floor, retained sequences.
+struct Flow {
+    id: u64,
+    floor: u64,
+    seqs: Vec<u64>,
+}
+
+/// One device record spec: the device's full lifetime timeline of
+/// `(timestamp, collected_at, verdict tag)` entries plus how long a suffix
+/// stays resident; the prefix is sealed into the chain digest exactly as
+/// ring eviction would have done.
+struct Device {
+    id: u64,
+    collections: u64,
+    timeline: Vec<(u64, u64, u8)>,
+    resident: usize,
+    stale: u64,
+}
+
+/// Byte offsets of the fields the reject entries corrupt, recorded while
+/// the device record is written.
+#[derive(Debug, Default, Clone, Copy)]
+struct FieldAt {
+    evictions: usize,
+    stale: usize,
+    healthy: usize,
+    flags: usize,
+    first_timestamp: usize,
+    chain: usize,
+    head: usize,
+    resident: usize,
+    first_entry: usize,
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+/// Builds one snapshot against the documented layout, returning the bytes
+/// and the per-device field offsets for surgical corruption.
+fn build(mode: u8, capacity: u32, flows: &[Flow], devices: &[Device]) -> (Vec<u8>, Vec<FieldAt>) {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAPSHOT_MAGIC.to_be_bytes());
+    out.push(SNAPSHOT_VERSION);
+    out.push(mode);
+    put_u32(&mut out, capacity);
+    for counter in [120, 3, 2] {
+        // ingested, rejected, duplicates
+        put_u64(&mut out, counter);
+    }
+    put_u32(&mut out, flows.len() as u32);
+    for flow in flows {
+        put_u64(&mut out, flow.id);
+        put_u64(&mut out, flow.floor);
+        put_u32(&mut out, flow.seqs.len() as u32);
+        for &seq in &flow.seqs {
+            put_u64(&mut out, seq);
+        }
+    }
+    put_u32(&mut out, devices.len() as u32);
+    let mut offsets = Vec::new();
+    for device in devices {
+        let mut at = FieldAt::default();
+        put_u64(&mut out, device.id);
+        put_u64(&mut out, device.collections);
+        put_u64(&mut out, device.timeline.len() as u64); // entries
+        let evicted = device.timeline.len() - device.resident;
+        at.evictions = out.len();
+        put_u64(&mut out, evicted as u64);
+        at.stale = out.len();
+        put_u64(&mut out, device.stale);
+        at.healthy = out.len();
+        for wanted in 0..3u8 {
+            let tally = device
+                .timeline
+                .iter()
+                .filter(|entry| entry.2 == wanted)
+                .count();
+            put_u64(&mut out, tally as u64);
+        }
+        at.flags = out.len();
+        let compromise = device.timeline.iter().find(|entry| entry.2 != 0);
+        out.push(u8::from(compromise.is_some()));
+        if let Some(&(measured, detected, _)) = compromise {
+            put_u64(&mut out, measured);
+            put_u64(&mut out, detected);
+        }
+        at.first_timestamp = out.len();
+        if let Some(&(first, _, _)) = device.timeline.first() {
+            put_u64(&mut out, first);
+        }
+        let mut chain = [0u8; 32];
+        for &(timestamp, collected_at, tag) in &device.timeline[..evicted] {
+            chain = extend_digest(&chain, timestamp, tag, collected_at);
+        }
+        at.chain = out.len();
+        out.extend_from_slice(&chain);
+        let mut head = chain;
+        for &(timestamp, collected_at, tag) in &device.timeline[evicted..] {
+            head = extend_digest(&head, timestamp, tag, collected_at);
+        }
+        at.head = out.len();
+        out.extend_from_slice(&head);
+        at.resident = out.len();
+        put_u32(&mut out, device.resident as u32);
+        at.first_entry = out.len();
+        for &(timestamp, collected_at, tag) in &device.timeline[evicted..] {
+            put_u64(&mut out, timestamp);
+            put_u64(&mut out, collected_at);
+            out.push(tag);
+        }
+        offsets.push(at);
+    }
+    (out, offsets)
+}
+
+/// The verdict a corpus entry must produce when replayed.
+enum Expect {
+    Accept,
+    Reject(DecodeErrorKind),
+}
+
+/// A populated unbounded snapshot: two dedup flows, one device with a
+/// mixed-verdict history (so the compromise pair is present), one device
+/// with no history yet.
+fn populated_unbounded() -> (Vec<u8>, Vec<FieldAt>) {
+    build(
+        0,
+        0,
+        &[
+            Flow {
+                id: 7,
+                floor: 3,
+                seqs: vec![3, 5, 9],
+            },
+            Flow {
+                id: 12,
+                floor: 0,
+                seqs: vec![],
+            },
+        ],
+        &[
+            Device {
+                id: 1,
+                collections: 4,
+                timeline: vec![(1_000, 1_100, 0), (2_000, 2_100, 1), (3_000, 3_100, 2)],
+                resident: 3,
+                stale: 0,
+            },
+            Device {
+                id: 9,
+                collections: 0,
+                timeline: vec![],
+                resident: 0,
+                stale: 0,
+            },
+        ],
+    )
+}
+
+/// A ring snapshot whose window has wrapped: five lifetime entries, two
+/// resident, three sealed into the chain, one stale discard.
+fn ring_wrapped() -> (Vec<u8>, Vec<FieldAt>) {
+    build(
+        1,
+        2,
+        &[Flow {
+            id: 4,
+            floor: 2,
+            seqs: vec![2, 6],
+        }],
+        &[Device {
+            id: 5,
+            collections: 9,
+            timeline: vec![
+                (1_000, 1_500, 0),
+                (2_000, 2_500, 0),
+                (3_000, 3_500, 1),
+                (4_000, 4_500, 0),
+                (5_000, 5_500, 2),
+            ],
+            resident: 2,
+            stale: 1,
+        }],
+    )
+}
+
+/// Builds every corpus entry with its expected replay verdict.
+fn entries() -> Vec<(&'static str, Vec<u8>, Expect)> {
+    use DecodeErrorKind::{BatchCount, DigestLength, TagLength, TrailingBytes, Truncated};
+
+    let (populated, at) = populated_unbounded();
+    let (ring, ring_at) = ring_wrapped();
+    let d1 = at[0];
+    let rd = ring_at[0];
+
+    let mut list: Vec<(&'static str, Vec<u8>, Expect)> = Vec::new();
+
+    // --- accepted shapes ---
+    list.push((
+        "snap-accept-empty-hub.bin",
+        build(0, 0, &[], &[]).0,
+        Expect::Accept,
+    ));
+    list.push((
+        "snap-accept-populated.bin",
+        populated.clone(),
+        Expect::Accept,
+    ));
+    list.push(("snap-accept-ring-wrapped.bin", ring.clone(), Expect::Accept));
+
+    // --- header rules ---
+    let mut bad_magic = populated.clone();
+    bad_magic[0] ^= 0xFF;
+    list.push((
+        "snap-reject-bad-magic.bin",
+        bad_magic,
+        Expect::Reject(BatchCount),
+    ));
+
+    let mut bad_version = populated.clone();
+    bad_version[2] = 1; // the pre-compact-history format version
+    list.push((
+        "snap-reject-bad-version.bin",
+        bad_version,
+        Expect::Reject(BatchCount),
+    ));
+
+    list.push((
+        "snap-reject-bad-mode.bin",
+        build(2, 0, &[], &[]).0,
+        Expect::Reject(TagLength),
+    ));
+    list.push((
+        "snap-reject-unbounded-with-capacity.bin",
+        build(0, 2, &[], &[]).0,
+        Expect::Reject(BatchCount),
+    ));
+    list.push((
+        "snap-reject-ring-zero-capacity.bin",
+        build(1, 0, &[], &[]).0,
+        Expect::Reject(BatchCount),
+    ));
+
+    // --- ordering rules ---
+    list.push((
+        "snap-reject-flows-out-of-order.bin",
+        build(
+            0,
+            0,
+            &[
+                Flow {
+                    id: 9,
+                    floor: 0,
+                    seqs: vec![],
+                },
+                Flow {
+                    id: 9,
+                    floor: 0,
+                    seqs: vec![],
+                },
+            ],
+            &[],
+        )
+        .0,
+        Expect::Reject(BatchCount),
+    ));
+    list.push((
+        "snap-reject-sequence-below-floor.bin",
+        build(
+            0,
+            0,
+            &[Flow {
+                id: 4,
+                floor: 10,
+                seqs: vec![5],
+            }],
+            &[],
+        )
+        .0,
+        Expect::Reject(BatchCount),
+    ));
+    let empty_device = |id: u64| Device {
+        id,
+        collections: 0,
+        timeline: vec![],
+        resident: 0,
+        stale: 0,
+    };
+    list.push((
+        "snap-reject-devices-out-of-order.bin",
+        build(0, 0, &[], &[empty_device(9), empty_device(3)]).0,
+        Expect::Reject(BatchCount),
+    ));
+
+    // --- framing ---
+    let mut trailing = populated.clone();
+    trailing.push(0);
+    list.push((
+        "snap-reject-trailing.bin",
+        trailing,
+        Expect::Reject(TrailingBytes),
+    ));
+
+    let truncated = populated[..d1.head + 10].to_vec(); // mid head-digest
+    list.push((
+        "snap-reject-truncated.bin",
+        truncated,
+        Expect::Reject(Truncated),
+    ));
+
+    // --- device record rules, each corrupting exactly one field ---
+    let mut verdict_tag = populated.clone();
+    verdict_tag[d1.first_entry + 16] = 7; // first resident entry's tag byte
+    list.push((
+        "snap-reject-verdict-tag.bin",
+        verdict_tag,
+        Expect::Reject(TagLength),
+    ));
+
+    let mut bad_flags = populated.clone();
+    bad_flags[d1.flags] = 2;
+    list.push((
+        "snap-reject-bad-flags.bin",
+        bad_flags,
+        Expect::Reject(TagLength),
+    ));
+
+    let mut rollup_sum = populated.clone();
+    rollup_sum[d1.healthy + 7] += 1; // healthy + compromised + forged != entries
+    list.push((
+        "snap-reject-rollup-sum.bin",
+        rollup_sum,
+        Expect::Reject(BatchCount),
+    ));
+
+    let mut phantom_evictions = populated.clone();
+    phantom_evictions[d1.evictions + 7] = 1; // unbounded history claims an eviction
+    list.push((
+        "snap-reject-phantom-evictions.bin",
+        phantom_evictions,
+        Expect::Reject(BatchCount),
+    ));
+
+    let mut phantom_stale = populated.clone();
+    phantom_stale[d1.stale + 7] = 1; // unbounded history claims a stale discard
+    list.push((
+        "snap-reject-phantom-stale.bin",
+        phantom_stale,
+        Expect::Reject(BatchCount),
+    ));
+
+    let mut first_timestamp = populated.clone();
+    first_timestamp[d1.first_timestamp..d1.first_timestamp + 8]
+        .copy_from_slice(&10_000u64.to_be_bytes()); // later than the oldest resident entry
+    list.push((
+        "snap-reject-first-timestamp.bin",
+        first_timestamp,
+        Expect::Reject(BatchCount),
+    ));
+
+    let mut chain_mismatch = populated.clone();
+    chain_mismatch[d1.chain] ^= 1; // nonzero chain with zero evictions
+    list.push((
+        "snap-reject-chain-mismatch.bin",
+        chain_mismatch,
+        Expect::Reject(DigestLength),
+    ));
+
+    let mut head_mismatch = populated;
+    head_mismatch[d1.head] ^= 1; // head no longer folds from the chain
+    list.push((
+        "snap-reject-head-mismatch.bin",
+        head_mismatch,
+        Expect::Reject(DigestLength),
+    ));
+
+    let mut conservation = ring;
+    conservation[rd.evictions + 7] += 1; // evictions + resident != entries
+    list.push((
+        "snap-reject-conservation.bin",
+        conservation,
+        Expect::Reject(BatchCount),
+    ));
+
+    list.push((
+        "snap-reject-over-capacity.bin",
+        build(
+            1,
+            2,
+            &[],
+            &[Device {
+                id: 3,
+                collections: 3,
+                timeline: vec![(1_000, 1_100, 0), (2_000, 2_100, 0), (3_000, 3_100, 0)],
+                resident: 3, // three resident entries in a ring of two
+                stale: 0,
+            }],
+        )
+        .0,
+        Expect::Reject(BatchCount),
+    ));
+    list.push((
+        "snap-reject-no-resident.bin",
+        build(
+            1,
+            2,
+            &[],
+            &[Device {
+                id: 3,
+                collections: 1,
+                timeline: vec![(1_000, 1_100, 0)],
+                resident: 0, // one lifetime entry but an empty window
+                stale: 0,
+            }],
+        )
+        .0,
+        Expect::Reject(BatchCount),
+    ));
+
+    list
+}
+
+fn usage() -> &'static str {
+    "usage: snap_corpus [--dir DIR]\n\
+     \n\
+     Regenerates the hub-snapshot regression corpus (snap-*.bin), building\n\
+     every entry byte-by-byte against the documented v2 layout and\n\
+     verifying each against check_snapshot_contract before writing it.\n\
+     DIR defaults to this crate's corpus/ directory."
+}
+
+fn parse_dir() -> Result<PathBuf, String> {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                dir = PathBuf::from(args.next().ok_or("--dir needs a value")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(dir)
+}
+
+fn main() -> ExitCode {
+    let dir = match parse_dir() {
+        Ok(dir) => dir,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("snap_corpus: {message}");
+            }
+            eprintln!("{}", usage());
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let mut written = 0usize;
+    for (name, bytes, expect) in entries() {
+        let verdict = match check_snapshot_contract(&bytes) {
+            Ok(verdict) => verdict,
+            Err(violation) => {
+                eprintln!("snap_corpus: {name} violates the contract\n{violation}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let matches = match (&verdict, &expect) {
+            (Verdict::Accepted { .. }, Expect::Accept) => true,
+            (Verdict::Rejected(kind), Expect::Reject(wanted)) => kind == wanted,
+            _ => false,
+        };
+        if !matches {
+            eprintln!("snap_corpus: {name} replayed as {verdict:?}, expected a different verdict");
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join(name);
+        if let Err(error) = std::fs::write(&path, &bytes) {
+            eprintln!("snap_corpus: cannot write {}: {error}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("snap_corpus: {name} ({} bytes, {verdict:?})", bytes.len());
+        written += 1;
+    }
+    eprintln!(
+        "snap_corpus: wrote {written} corpus entries to {}",
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -34,7 +34,13 @@
 //! is held to the same standard by [`check_snapshot_contract`] and the
 //! [`FuzzSession::run_snapshots`] loop: a snapshot file is
 //! attacker-reachable bytes too, and a hub restored from one must be
-//! byte-canonical so recovery cannot drift.
+//! byte-canonical so recovery cannot drift. The snapshot side has its own
+//! differential oracle, [`model_decode_snapshot`], which re-derives every
+//! v2 compact-history rule — retention-mode/capacity consistency, rollup
+//! conservation (`evictions + resident == entries`,
+//! `healthy + compromised + forged == entries`), ring-capacity bounds, and
+//! the hash-chain fold (`head == fold(chain, resident entries)` via
+//! [`erasmus_core::extend_digest`]) — independently of the real decoder.
 //!
 //! The `frame_fuzz` binary drives [`FuzzSession::run`] and
 //! [`FuzzSession::run_snapshots`] for a bounded, seeded iteration budget
@@ -50,8 +56,8 @@ use std::fmt;
 
 use erasmus_core::{
     decode_collection_batch, decode_hub_snapshot, encode_collection_batch, encode_hub_snapshot,
-    encode_measurement, CollectionResponse, DecodeErrorKind, DeviceId, FrameView, Measurement,
-    DIGEST_LEN, MAX_BATCH_RESPONSES, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    encode_measurement, extend_digest, CollectionResponse, DecodeErrorKind, DeviceId, FrameView,
+    Measurement, DIGEST_LEN, MAX_BATCH_RESPONSES, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 use erasmus_crypto::{Digest, KeyedMac, MacAlgorithm, Sha256, MAX_TAG_LEN};
 use erasmus_sim::{SimDuration, SimRng, SimTime};
@@ -180,6 +186,217 @@ fn model_u16(bytes: &[u8], offset: &mut usize) -> Result<u16, (DecodeErrorKind, 
     let at = *offset;
     model_take(bytes, offset, 2)?;
     Ok(u16::from_be_bytes([bytes[at], bytes[at + 1]]))
+}
+
+fn model_u8(bytes: &[u8], offset: &mut usize) -> Result<u8, (DecodeErrorKind, usize)> {
+    let at = *offset;
+    model_take(bytes, offset, 1)?;
+    Ok(bytes[at])
+}
+
+fn model_u32(bytes: &[u8], offset: &mut usize) -> Result<u32, (DecodeErrorKind, usize)> {
+    let at = *offset;
+    model_take(bytes, offset, 4)?;
+    Ok(u32::from_be_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+    ]))
+}
+
+fn model_u64(bytes: &[u8], offset: &mut usize) -> Result<u64, (DecodeErrorKind, usize)> {
+    let at = *offset;
+    model_take(bytes, offset, 8)?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    Ok(u64::from_be_bytes(raw))
+}
+
+fn model_digest(bytes: &[u8], offset: &mut usize) -> Result<[u8; 32], (DecodeErrorKind, usize)> {
+    let at = *offset;
+    model_take(bytes, offset, 32)?;
+    let mut digest = [0u8; 32];
+    digest.copy_from_slice(&bytes[at..at + 32]);
+    Ok(digest)
+}
+
+/// Independent reimplementation of the strict v2 hub-snapshot contract,
+/// used as the differential oracle for [`erasmus_core::decode_hub_snapshot`].
+/// Shares no code with `erasmus_core::encoding`; every bound, ordering rule,
+/// conservation law and digest fold is an explicit check against the
+/// documented wire layout (see `encode_hub_snapshot_into`): header
+/// `magic | version | mode | capacity`, counters, strictly ascending dedup
+/// flows/sequences, then per device (ascending ids) the rollup tallies
+/// (`healthy + compromised + forged == entries`), optional compromise pair
+/// and first timestamp, the sealed chain digest, the head digest (which
+/// must equal the chain folded over the resident window via
+/// [`erasmus_core::extend_digest`]), and the resident entries (strictly
+/// ascending, `evictions + resident == entries`, within the ring capacity,
+/// non-empty whenever `entries > 0`).
+///
+/// Accepted inputs report `(device count, lifetime entry total)` through
+/// [`Verdict::Accepted`], matching what [`check_snapshot_contract`] reads
+/// off the restored hub.
+///
+/// # Errors
+///
+/// Returns `(kind, offset)` describing the first contract rule the input
+/// violates, mirroring [`erasmus_core::DecodeError`].
+pub fn model_decode_snapshot(bytes: &[u8]) -> Result<Verdict, (DecodeErrorKind, usize)> {
+    let mut offset = 0usize;
+    let magic = model_u16(bytes, &mut offset)?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err((DecodeErrorKind::BatchCount, 0));
+    }
+    let version = model_u8(bytes, &mut offset)?;
+    if version != SNAPSHOT_VERSION {
+        return Err((DecodeErrorKind::BatchCount, 2));
+    }
+    let mode_at = offset;
+    let mode_byte = model_u8(bytes, &mut offset)?;
+    let capacity_at = offset;
+    let capacity = model_u32(bytes, &mut offset)?;
+    // `None` models unbounded retention; `Some(c)` a ring of capacity c.
+    let ring_capacity = match (mode_byte, capacity) {
+        (0, 0) => None,
+        (0, _) => return Err((DecodeErrorKind::BatchCount, capacity_at)),
+        (1, 0) => return Err((DecodeErrorKind::BatchCount, capacity_at)),
+        (1, capacity) => Some(capacity as usize),
+        _ => return Err((DecodeErrorKind::TagLength, mode_at)),
+    };
+    for _ in 0..3 {
+        model_u64(bytes, &mut offset)?; // ingested, rejected, duplicates
+    }
+
+    let flow_count = model_u32(bytes, &mut offset)? as usize;
+    let mut previous_flow: Option<u64> = None;
+    for _ in 0..flow_count {
+        let flow_at = offset;
+        let flow = model_u64(bytes, &mut offset)?;
+        if previous_flow.is_some_and(|previous| previous >= flow) {
+            return Err((DecodeErrorKind::BatchCount, flow_at));
+        }
+        previous_flow = Some(flow);
+        let floor = model_u64(bytes, &mut offset)?;
+        let seq_count = model_u32(bytes, &mut offset)? as usize;
+        let mut previous_seq: Option<u64> = None;
+        for _ in 0..seq_count {
+            let seq_at = offset;
+            let sequence = model_u64(bytes, &mut offset)?;
+            if sequence < floor {
+                return Err((DecodeErrorKind::BatchCount, seq_at));
+            }
+            if previous_seq.is_some_and(|previous| previous >= sequence) {
+                return Err((DecodeErrorKind::BatchCount, seq_at));
+            }
+            previous_seq = Some(sequence);
+        }
+    }
+
+    let device_count = model_u32(bytes, &mut offset)? as usize;
+    let mut previous_device: Option<u64> = None;
+    let mut total_entries = 0u64;
+    for _ in 0..device_count {
+        let device_at = offset;
+        let device = model_u64(bytes, &mut offset)?;
+        if previous_device.is_some_and(|previous| previous >= device) {
+            return Err((DecodeErrorKind::BatchCount, device_at));
+        }
+        previous_device = Some(device);
+        model_take(bytes, &mut offset, 8)?; // collections
+        let entries = model_u64(bytes, &mut offset)?;
+        let evictions_at = offset;
+        let evictions = model_u64(bytes, &mut offset)?;
+        if ring_capacity.is_none() && evictions != 0 {
+            return Err((DecodeErrorKind::BatchCount, evictions_at));
+        }
+        let stale_at = offset;
+        let stale_discards = model_u64(bytes, &mut offset)?;
+        if ring_capacity.is_none() && stale_discards != 0 {
+            return Err((DecodeErrorKind::BatchCount, stale_at));
+        }
+        let healthy_at = offset;
+        let healthy = model_u64(bytes, &mut offset)?;
+        let compromised = model_u64(bytes, &mut offset)?;
+        let forged = model_u64(bytes, &mut offset)?;
+        let verdict_sum = healthy
+            .checked_add(compromised)
+            .and_then(|sum| sum.checked_add(forged));
+        if verdict_sum != Some(entries) {
+            return Err((DecodeErrorKind::BatchCount, healthy_at));
+        }
+        let flags_at = offset;
+        let flags = model_u8(bytes, &mut offset)?;
+        if flags & !1 != 0 {
+            return Err((DecodeErrorKind::TagLength, flags_at));
+        }
+        if flags & 1 != 0 {
+            model_u64(bytes, &mut offset)?; // compromise measured timestamp
+            model_u64(bytes, &mut offset)?; // compromise detected timestamp
+        }
+        let first_ts_at = offset;
+        let first_timestamp = if entries > 0 {
+            Some(model_u64(bytes, &mut offset)?)
+        } else {
+            None
+        };
+        let chain_at = offset;
+        let chain = model_digest(bytes, &mut offset)?;
+        let head_at = offset;
+        let head = model_digest(bytes, &mut offset)?;
+        let resident_at = offset;
+        let resident_count = model_u32(bytes, &mut offset)? as usize;
+        if evictions.checked_add(resident_count as u64) != Some(entries) {
+            return Err((DecodeErrorKind::BatchCount, resident_at));
+        }
+        if entries > 0 && resident_count == 0 {
+            return Err((DecodeErrorKind::BatchCount, resident_at));
+        }
+        if ring_capacity.is_some_and(|capacity| resident_count > capacity) {
+            return Err((DecodeErrorKind::BatchCount, resident_at));
+        }
+        let mut folded = chain;
+        let mut previous_timestamp: Option<u64> = None;
+        let mut oldest_resident: Option<u64> = None;
+        for _ in 0..resident_count {
+            let entry_at = offset;
+            let timestamp = model_u64(bytes, &mut offset)?;
+            if previous_timestamp.is_some_and(|previous| previous >= timestamp) {
+                return Err((DecodeErrorKind::BatchCount, entry_at));
+            }
+            previous_timestamp = Some(timestamp);
+            if oldest_resident.is_none() {
+                oldest_resident = Some(timestamp);
+            }
+            let collected_at = model_u64(bytes, &mut offset)?;
+            let tag_at = offset;
+            let tag = model_u8(bytes, &mut offset)?;
+            if tag > 2 {
+                return Err((DecodeErrorKind::TagLength, tag_at));
+            }
+            folded = extend_digest(&folded, timestamp, tag, collected_at);
+        }
+        if let (Some(first), Some(oldest)) = (first_timestamp, oldest_resident) {
+            if first > oldest {
+                return Err((DecodeErrorKind::BatchCount, first_ts_at));
+            }
+        }
+        if evictions == 0 && chain != [0u8; 32] {
+            return Err((DecodeErrorKind::DigestLength, chain_at));
+        }
+        if folded != head {
+            return Err((DecodeErrorKind::DigestLength, head_at));
+        }
+        total_entries = total_entries.saturating_add(entries);
+    }
+    if offset != bytes.len() {
+        return Err((DecodeErrorKind::TrailingBytes, offset));
+    }
+    Ok(Verdict::Accepted {
+        responses: device_count,
+        measurements: total_entries as usize,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -335,6 +552,10 @@ pub fn check_contract(bytes: &[u8]) -> Result<Verdict, ContractViolation> {
 /// 2. **Canonical.** An accepted snapshot re-encodes byte-identically, so
 ///    recovery state cannot drift across restart cycles.
 /// 3. **Deterministic.** Decoding twice restores equal hubs.
+/// 4. **Differential agreement.** [`model_decode_snapshot`] — an
+///    independent reimplementation of the v2 layout — must reach the same
+///    accept/reject verdict, the same restored device/entry totals, and on
+///    rejection the same error kind and offset.
 ///
 /// Accepted inputs report the restored hub's device count and total entry
 /// count through [`Verdict::Accepted`], reusing the frame verdict shape so
@@ -344,8 +565,31 @@ pub fn check_contract(bytes: &[u8]) -> Result<Verdict, ContractViolation> {
 ///
 /// Returns the [`ContractViolation`] describing the first broken rule.
 pub fn check_snapshot_contract(bytes: &[u8]) -> Result<Verdict, ContractViolation> {
+    let model = model_decode_snapshot(bytes);
     match decode_hub_snapshot(bytes) {
         Ok(hub) => {
+            match model {
+                Ok(Verdict::Accepted {
+                    responses,
+                    measurements,
+                }) if responses == hub.len() && measurements == hub.total_entries() as usize => {}
+                Ok(verdict) => {
+                    return Err(ContractViolation::new(
+                        format!(
+                            "decoder accepted ({} devices, {} entries) but model saw {verdict:?}",
+                            hub.len(),
+                            hub.total_entries()
+                        ),
+                        bytes,
+                    ));
+                }
+                Err((kind, offset)) => {
+                    return Err(ContractViolation::new(
+                        format!("decoder accepted but model rejected {kind:?} at {offset}"),
+                        bytes,
+                    ));
+                }
+            }
             let reencoded = encode_hub_snapshot(&hub);
             if reencoded != bytes {
                 return Err(ContractViolation::new(
@@ -380,6 +624,29 @@ pub fn check_snapshot_contract(bytes: &[u8]) -> Result<Verdict, ContractViolatio
                     ),
                     bytes,
                 ));
+            }
+            match model {
+                Err((kind, offset)) if kind == error.kind() && offset == error.offset() => {}
+                Err((kind, offset)) => {
+                    return Err(ContractViolation::new(
+                        format!(
+                            "decoder rejected {:?} at {} but model rejected {kind:?} at {offset}",
+                            error.kind(),
+                            error.offset()
+                        ),
+                        bytes,
+                    ));
+                }
+                Ok(verdict) => {
+                    return Err(ContractViolation::new(
+                        format!(
+                            "decoder rejected {:?} at {} but model accepted {verdict:?}",
+                            error.kind(),
+                            error.offset()
+                        ),
+                        bytes,
+                    ));
+                }
             }
             Ok(Verdict::Rejected(error.kind()))
         }
@@ -698,15 +965,34 @@ impl FuzzSession {
         Ok(report)
     }
 
-    /// Generates one valid hub snapshot, built byte-by-byte against the
+    /// Generates one valid v2 hub snapshot, built byte-by-byte against the
     /// documented layout (so the generator shares no code with the encoder
-    /// under test): random counters, dedup windows with strictly ascending
-    /// flows and sequences, device histories with strictly ascending ids
-    /// and timestamps.
+    /// under test): a coin-flip between unbounded and ring retention,
+    /// random counters, dedup windows with strictly ascending flows and
+    /// sequences, then per device a simulated lifetime timeline split into
+    /// the sealed (evicted) prefix — folded into the chain digest — and the
+    /// resident window, with rollup tallies and the head digest derived
+    /// from the same timeline.
     pub fn generate_snapshot(&mut self) -> Vec<u8> {
+        // None models unbounded retention; Some(c) a ring of capacity c.
+        let ring_capacity = if self.rng.gen_bool(0.5) {
+            Some(1 + self.rng.gen_range(0, 4) as usize)
+        } else {
+            None
+        };
         let mut out = Vec::new();
         out.extend_from_slice(&SNAPSHOT_MAGIC.to_be_bytes());
         out.push(SNAPSHOT_VERSION);
+        match ring_capacity {
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u32.to_be_bytes());
+            }
+            Some(capacity) => {
+                out.push(1);
+                out.extend_from_slice(&(capacity as u32).to_be_bytes());
+            }
+        }
         for _ in 0..3 {
             // ingested, rejected, duplicates
             out.extend_from_slice(&(self.rng.next_u64() >> 32).to_be_bytes());
@@ -734,14 +1020,61 @@ impl FuzzSession {
             device += 1 + self.rng.gen_range(0, 64);
             out.extend_from_slice(&device.to_be_bytes());
             out.extend_from_slice(&self.rng.gen_range(0, 1 << 20).to_be_bytes()); // collections
-            let entries = self.rng.gen_range(0, 4);
-            out.extend_from_slice(&(entries as u32).to_be_bytes());
+
+            // Simulate the device's full lifetime: every entry ever
+            // ingested, in timestamp order. The suffix that fits the
+            // retention window stays resident; the prefix is sealed into
+            // the chain digest exactly as eviction would have done.
+            let total = self.rng.gen_range(0, 6) as usize;
+            let mut timeline = Vec::with_capacity(total);
             let mut timestamp = self.rng.gen_range(0, 1 << 30);
-            for _ in 0..entries {
+            for _ in 0..total {
                 timestamp += 1 + self.rng.gen_range(0, 1 << 20);
+                let collected_at = self.rng.gen_range(0, 1 << 30);
+                let tag = self.rng.gen_range(0, 3) as u8;
+                timeline.push((timestamp, collected_at, tag));
+            }
+            let resident = match ring_capacity {
+                None => total,
+                Some(capacity) => total.min(capacity),
+            };
+            let evicted = total - resident;
+
+            out.extend_from_slice(&(total as u64).to_be_bytes()); // entries
+            out.extend_from_slice(&(evicted as u64).to_be_bytes()); // evictions
+            let stale_discards = match ring_capacity {
+                None => 0,
+                Some(_) => self.rng.gen_range(0, 3),
+            };
+            out.extend_from_slice(&stale_discards.to_be_bytes());
+            for wanted in 0..3u8 {
+                let tally = timeline.iter().filter(|entry| entry.2 == wanted).count();
+                out.extend_from_slice(&(tally as u64).to_be_bytes());
+            }
+            let compromise = timeline.iter().find(|entry| entry.2 != 0);
+            out.push(u8::from(compromise.is_some()));
+            if let Some(&(measured, detected, _)) = compromise {
+                out.extend_from_slice(&measured.to_be_bytes());
+                out.extend_from_slice(&detected.to_be_bytes());
+            }
+            if let Some(&(first, _, _)) = timeline.first() {
+                out.extend_from_slice(&first.to_be_bytes());
+            }
+            let mut chain = [0u8; 32];
+            for &(timestamp, collected_at, tag) in &timeline[..evicted] {
+                chain = extend_digest(&chain, timestamp, tag, collected_at);
+            }
+            out.extend_from_slice(&chain);
+            let mut head = chain;
+            for &(timestamp, collected_at, tag) in &timeline[evicted..] {
+                head = extend_digest(&head, timestamp, tag, collected_at);
+            }
+            out.extend_from_slice(&head);
+            out.extend_from_slice(&(resident as u32).to_be_bytes());
+            for &(timestamp, collected_at, tag) in &timeline[evicted..] {
                 out.extend_from_slice(&timestamp.to_be_bytes());
-                out.extend_from_slice(&self.rng.gen_range(0, 1 << 30).to_be_bytes());
-                out.push(self.rng.gen_range(0, 3) as u8); // verdict tag
+                out.extend_from_slice(&collected_at.to_be_bytes());
+                out.push(tag);
             }
         }
         out
@@ -950,6 +1283,47 @@ mod tests {
         padded.push(0);
         assert!(matches!(
             check_snapshot_contract(&padded).expect("contract holds"),
+            Verdict::Rejected(_)
+        ));
+    }
+
+    #[test]
+    fn snapshot_contract_rejects_compact_history_forgeries() {
+        let mut session = FuzzSession::new(9);
+        // Find a generated snapshot with at least one lifetime entry so
+        // the digest and tally forgeries have something to bite on.
+        let snapshot = loop {
+            let candidate = session.generate_snapshot();
+            if let Verdict::Accepted { measurements, .. } = session_check(&candidate) {
+                if measurements > 0 {
+                    break candidate;
+                }
+            }
+        };
+        // Unknown retention-mode tag (header layout: magic u16, version,
+        // mode at offset 3, capacity u32 at offset 4).
+        let mut bad_mode = snapshot.clone();
+        bad_mode[3] = 2;
+        assert_eq!(
+            check_snapshot_contract(&bad_mode).expect("contract holds"),
+            Verdict::Rejected(DecodeErrorKind::TagLength)
+        );
+        // Mode/capacity inconsistency: flipping the mode bit turns a valid
+        // header into either "unbounded with a capacity" or "ring of zero".
+        let mut bad_capacity = snapshot.clone();
+        bad_capacity[3] ^= 1;
+        assert_eq!(
+            check_snapshot_contract(&bad_capacity).expect("contract holds"),
+            Verdict::Rejected(DecodeErrorKind::BatchCount)
+        );
+        // Corrupting the final byte lands in the last device's resident
+        // region; the verdict-tag bound, entry ordering, conservation law
+        // or chain fold must catch it — never an accept.
+        let mut bad_tail = snapshot;
+        let last = bad_tail.len() - 1;
+        bad_tail[last] ^= 0x40;
+        assert!(matches!(
+            check_snapshot_contract(&bad_tail).expect("contract holds"),
             Verdict::Rejected(_)
         ));
     }

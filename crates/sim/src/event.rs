@@ -87,7 +87,7 @@ impl std::str::FromStr for Scheduler {
 }
 
 /// Counters a queue accumulates over its lifetime, surfaced into the
-/// perfbench JSON (`events.queue` in the v7 schema).
+/// perfbench JSON (`events.queue` in the schema).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueueStats {
     /// Events pushed.

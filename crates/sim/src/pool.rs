@@ -12,7 +12,7 @@
 //! an allocator or address.
 //!
 //! The pool tracks a high-water mark ([`EventPool::high_water`]) surfaced
-//! into the perfbench v7 schema; the fleet determinism tests assert it stays
+//! into the perfbench schema; the fleet determinism tests assert it stays
 //! bounded under churn, pinning the stale-event slot-recycling fix.
 
 /// Index of a live slot in an [`EventPool`].

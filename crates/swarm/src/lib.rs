@@ -23,6 +23,9 @@
 //! * [`StaggeredSchedule`] — measurement phase offsets that guarantee only a
 //!   bounded fraction of the swarm is busy measuring at any instant
 //!   (the availability argument at the end of Section 6).
+//! * [`AggregationTree`] — SANA/slimIoT-style hierarchical aggregation of
+//!   per-device hash-chain heads, so a root verifier folds fixed-size
+//!   subtree aggregates instead of per-device reports.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod error;
 pub mod mobility;
 pub mod qosa;
@@ -50,6 +54,9 @@ pub mod schedule;
 pub mod swarm;
 pub mod topology;
 
+pub use aggregate::{
+    digest_hex, AggregationLeaf, AggregationStats, AggregationTree, SubtreeAggregate,
+};
 pub use error::SwarmError;
 pub use mobility::{MobilityModel, MobilitySimulator};
 pub use qosa::{DeviceStatus, QosaLevel, SwarmReport};
